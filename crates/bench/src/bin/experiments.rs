@@ -1,0 +1,67 @@
+//! Experiment runner: regenerates every figure and quantitative claim.
+//!
+//! ```text
+//! experiments                # run everything
+//! experiments list           # list experiment names
+//! experiments phoebe seagull # run a subset
+//! experiments --json out.json …  # also dump rows as JSON
+//! ```
+
+use adas_bench::experiments::registry;
+use adas_bench::{render_table, Row};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_path: Option<String> = None;
+    let mut selected: Vec<String> = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--json" => {
+                json_path = iter.next();
+                if json_path.is_none() {
+                    eprintln!("--json requires a path");
+                    std::process::exit(2);
+                }
+            }
+            other => selected.push(other.to_string()),
+        }
+    }
+
+    let registry = registry();
+    if selected.first().map(String::as_str) == Some("list") {
+        for (name, _) in &registry {
+            println!("{name}");
+        }
+        return;
+    }
+
+    let runs: Vec<_> = registry
+        .iter()
+        .filter(|(name, _)| selected.is_empty() || selected.iter().any(|s| s == name))
+        .collect();
+    if runs.is_empty() {
+        eprintln!("no experiment matches {selected:?}; try `experiments list`");
+        std::process::exit(2);
+    }
+
+    let mut all_rows: Vec<Row> = Vec::new();
+    for (name, runner) in runs {
+        let start = Instant::now();
+        let rows = runner();
+        let elapsed = start.elapsed();
+        println!("== {name} ({elapsed:.2?}) ==");
+        println!("{}", render_table(&rows));
+        all_rows.extend(rows);
+    }
+
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&all_rows).expect("rows serialize");
+        std::fs::write(&path, json).unwrap_or_else(|e| {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote {} rows to {path}", all_rows.len());
+    }
+}

@@ -1,0 +1,152 @@
+//! A1-A4 — ablations of the design choices DESIGN.md calls out.
+
+use crate::Row;
+use adas_learned::cardinality::{LearnedCardinality, TrainConfig};
+use adas_learned::cost::{CostEnsemble, CostTrainConfig};
+use adas_learned::steering::SteeringConfig;
+use adas_reuse::{replay, MatchPolicy, ReplayConfig};
+use adas_workload::gen::{GeneratorConfig, WorkloadGenerator};
+
+fn workload(days: usize, jobs: usize, templates: usize) -> adas_workload::gen::GeneratedWorkload {
+    WorkloadGenerator::new(GeneratorConfig {
+        days,
+        jobs_per_day: jobs,
+        n_templates: templates,
+        ..Default::default()
+    })
+    .expect("valid config")
+    .generate()
+    .expect("generation succeeds")
+}
+
+/// A1 — micromodel pruning on/off: pruning cuts the deployed model count
+/// substantially while keeping (or improving) the learned q-error, because
+/// only templates where learning actually beats the default keep a model.
+pub fn pruning() -> Vec<Row> {
+    let w = workload(10, 400, 60);
+    let plans: Vec<_> = w.trace.jobs().iter().map(|j| j.plan.clone()).collect();
+    let (_, pruned) = LearnedCardinality::train(&w.catalog, &plans, TrainConfig::default());
+    let (_, unpruned) = LearnedCardinality::train(
+        &w.catalog,
+        &plans,
+        TrainConfig { prune_ratio: f64::INFINITY, ..Default::default() },
+    );
+    vec![
+        Row::measured_only("A1", "models kept (pruning on)", pruned.models_kept as f64, "models"),
+        Row::measured_only("A1", "models kept (pruning off)", unpruned.models_kept as f64, "models"),
+        Row::measured_only("A1", "learned q-error (pruning on)", pruned.learned_q_error, "q-error"),
+        Row::measured_only("A1", "learned q-error (pruning off)", unpruned.learned_q_error, "q-error"),
+        Row::measured_only(
+            "A1",
+            "model-count reduction",
+            1.0 - pruned.models_kept as f64 / unpruned.models_kept.max(1) as f64,
+            "fraction",
+        ),
+    ]
+}
+
+/// A2 — meta-ensemble on/off: without the global fallback, coverage stops
+/// at the recurring templates; the ensemble reaches 100% coverage at lower
+/// error than the default.
+pub fn ensemble() -> Vec<Row> {
+    let w = workload(10, 300, 40);
+    let plans: Vec<_> = w.trace.jobs().iter().map(|j| j.plan.clone()).collect();
+    let (_, report) = CostEnsemble::train(&w.catalog, &plans, CostTrainConfig::default());
+    vec![
+        Row::measured_only("A2", "micromodel coverage (no ensemble)", report.micromodel_coverage, "fraction"),
+        Row::measured_only("A2", "ensemble coverage", 1.0, "fraction"),
+        Row::measured_only("A2", "micro-only MAPE", report.micro_only_mape, "mape"),
+        Row::measured_only("A2", "ensemble MAPE", report.ensemble_mape, "mape"),
+        Row::measured_only("A2", "default MAPE", report.default_mape, "mape"),
+    ]
+}
+
+/// A3 — steering validation on/off: disabling the validation model (win
+/// rate bar at 0) lets noisy arms promote, trading regressions for speed —
+/// exactly the production risk the paper guards against.
+pub fn steering() -> Vec<Row> {
+    let guarded = super::steering::run_with(40, SteeringConfig::default());
+    let unguarded = super::steering::run_with(
+        40,
+        SteeringConfig { validation_win_rate: 0.0, improvement_margin: 0.0, ..Default::default() },
+    );
+    let pick = |rows: &[Row], name: &str| -> f64 {
+        rows.iter().find(|r| r.metric.starts_with(name)).expect("metric present").measured
+    };
+    vec![
+        Row::measured_only("A3", "promotions (validation on)", pick(&guarded, "promotions"), "steps"),
+        Row::measured_only("A3", "promotions (validation off)", pick(&unguarded, "promotions"), "steps"),
+        Row::measured_only(
+            "A3",
+            "deployed regressions (validation on)",
+            pick(&guarded, "deployed regressions"),
+            "templates",
+        ),
+        Row::measured_only(
+            "A3",
+            "deployed regressions (validation off)",
+            pick(&unguarded, "deployed regressions"),
+            "templates",
+        ),
+        Row::measured_only(
+            "A3",
+            "blocked candidates (validation on)",
+            pick(&guarded, "candidates blocked"),
+            "arms",
+        ),
+    ]
+}
+
+/// A4 — reuse matching policy: syntactic-only vs semantic + containment.
+pub fn reuse() -> Vec<Row> {
+    let w = WorkloadGenerator::new(GeneratorConfig {
+        days: 6,
+        jobs_per_day: 120,
+        n_templates: 24,
+        shared_template_fraction: 0.7,
+        ..Default::default()
+    })
+    .expect("valid config")
+    .generate()
+    .expect("generation succeeds");
+    let syntactic = replay(
+        &w.trace,
+        &w.catalog,
+        &ReplayConfig { policy: MatchPolicy::syntactic_only(), ..Default::default() },
+    )
+    .expect("replay runs");
+    let full = replay(&w.trace, &w.catalog, &ReplayConfig::default()).expect("replay runs");
+    vec![
+        Row::measured_only("A4", "view hits (syntactic)", syntactic.total_hits as f64, "hits"),
+        Row::measured_only("A4", "view hits (semantic+containment)", full.total_hits as f64, "hits"),
+        Row::measured_only("A4", "containment hits", full.containment_hits as f64, "hits"),
+        Row::measured_only("A4", "latency improvement (syntactic)", syntactic.latency_improvement, "fraction"),
+        Row::measured_only("A4", "latency improvement (full)", full.latency_improvement, "fraction"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn a1_pruning_cuts_models() {
+        let rows = super::pruning();
+        let get = |m: &str| rows.iter().find(|r| r.metric == m).unwrap().measured;
+        assert!(get("models kept (pruning on)") <= get("models kept (pruning off)"));
+        assert!(get("model-count reduction") >= 0.0);
+    }
+
+    #[test]
+    fn a2_ensemble_extends_coverage() {
+        let rows = super::ensemble();
+        let get = |m: &str| rows.iter().find(|r| r.metric == m).unwrap().measured;
+        assert!(get("micromodel coverage (no ensemble)") < 1.0);
+        assert!(get("ensemble MAPE") < get("default MAPE"));
+    }
+
+    #[test]
+    fn a4_full_policy_is_superset() {
+        let rows = super::reuse();
+        let get = |m: &str| rows.iter().find(|r| r.metric == m).unwrap().measured;
+        assert!(get("view hits (semantic+containment)") >= get("view hits (syntactic)"));
+    }
+}

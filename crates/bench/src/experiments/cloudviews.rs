@@ -1,0 +1,69 @@
+//! C6 — CloudViews computation reuse (Sec 4.2, \[21\]).
+//!
+//! Paper numbers (Cosmos deployment): 34% cumulative-latency improvement,
+//! 37% total-processing-time reduction. The replay trains a view catalog on
+//! the first half of a shared-subexpression-heavy trace and replays the
+//! second half with and without rewriting.
+
+use crate::Row;
+use adas_reuse::{replay, ReplayConfig};
+use adas_workload::gen::{GeneratorConfig, WorkloadGenerator};
+
+/// Runs the experiment.
+pub fn run() -> Vec<Row> {
+    let gen_config = GeneratorConfig {
+        days: 10,
+        jobs_per_day: 150,
+        n_templates: 24,
+        shared_template_fraction: 0.8,
+        ..Default::default()
+    };
+    let workload = WorkloadGenerator::new(gen_config)
+        .expect("valid config")
+        .generate()
+        .expect("generation succeeds");
+    let report =
+        replay(
+        &workload.trace,
+        &workload.catalog,
+        &ReplayConfig { train_fraction: 0.3, ..Default::default() },
+    )
+    .expect("replay runs");
+    vec![
+        Row::measured_only("C6", "views selected", report.views_selected as f64, "views"),
+        Row::measured_only("C6", "jobs evaluated", report.jobs_evaluated as f64, "jobs"),
+        Row::measured_only(
+            "C6",
+            "jobs with a view hit",
+            report.jobs_with_hits as f64 / report.jobs_evaluated.max(1) as f64,
+            "fraction",
+        ),
+        Row::with_paper(
+            "C6",
+            "cumulative latency improvement",
+            0.34,
+            report.latency_improvement,
+            "fraction",
+        ),
+        Row::with_paper(
+            "C6",
+            "total processing time reduction",
+            0.37,
+            report.cpu_reduction,
+            "fraction",
+        ),
+        Row::measured_only("C6", "containment hits", report.containment_hits as f64, "hits"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn c6_reuse_pays_off() {
+        let rows = super::run();
+        let get = |m: &str| rows.iter().find(|r| r.metric == m).unwrap().measured;
+        assert!(get("cumulative latency improvement") > 0.1);
+        assert!(get("total processing time reduction") > 0.1);
+        assert!(get("views selected") >= 1.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! C10 — Doppler SKU recommendation (Sec 4.3, \[6\]).
+//!
+//! Paper number: "recommendation accuracy of over 95% by combining the
+//! segment-wise knowledge with a per-customer price-performance curve".
+
+use crate::Row;
+use adas_service::doppler::{evaluate, generate_customers, standard_skus, Doppler};
+
+/// Runs the experiment.
+pub fn run() -> Vec<Row> {
+    let train = generate_customers(1600, 8, 0.12, 3);
+    let test = generate_customers(400, 8, 0.12, 4);
+    let doppler = Doppler::train(&train, standard_skus(), 8, 7).expect("k <= population");
+    let report = evaluate(&doppler, &test);
+    vec![
+        Row::with_paper("C10", "Doppler recommendation accuracy", 0.95, report.doppler_accuracy, "fraction (paper: >0.95)"),
+        Row::measured_only("C10", "naive cheapest-covering accuracy", report.naive_accuracy, "fraction"),
+        Row::measured_only(
+            "C10",
+            "accuracy lift over naive",
+            report.doppler_accuracy - report.naive_accuracy,
+            "fraction",
+        ),
+        Row::measured_only("C10", "customers evaluated", report.customers as f64, "customers"),
+        Row::measured_only("C10", "SKUs ranked", standard_skus().len() as f64, "skus"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn c10_doppler_beats_paper_bar() {
+        let rows = super::run();
+        let get = |m: &str| rows.iter().find(|r| r.metric == m).unwrap().measured;
+        assert!(get("Doppler recommendation accuracy") > 0.95);
+        assert!(get("accuracy lift over naive") > 0.0);
+    }
+}

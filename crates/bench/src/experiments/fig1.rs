@@ -1,0 +1,60 @@
+//! F1 — Figure 1: linear models predicting machine behaviour.
+//!
+//! The paper's figure plots CPU utilization vs running containers and task
+//! execution time vs CPU, with fitted lines. We regenerate both fits per
+//! SKU from 4 weeks of simulated fleet telemetry and report slopes,
+//! intercepts and R². The paper prints no numbers on the figure; the
+//! reproduced *shape* is "strongly linear" (R² near 1 under moderate
+//! noise), with per-SKU slopes separating the hardware generations.
+
+use crate::Row;
+use adas_infra::behavior::fit_behavior_models;
+use adas_infra::machine::{MachineFleet, SkuSpec};
+
+/// Runs the experiment.
+pub fn run() -> Vec<Row> {
+    let fleet = MachineFleet::new(SkuSpec::standard_fleet(), 10);
+    let telemetry = fleet.generate_telemetry(24 * 28, 0.08, 101);
+    let models = fit_behavior_models(&telemetry).expect("telemetry is non-empty");
+    let mut rows = Vec::new();
+    for m in &models {
+        let sku = &fleet.skus()[m.sku].name;
+        rows.push(Row::measured_only(
+            "F1",
+            format!("{sku}: cpu-vs-containers slope"),
+            m.cpu_vs_containers.slope,
+            "cpu/container",
+        ));
+        rows.push(Row::measured_only(
+            "F1",
+            format!("{sku}: cpu-vs-containers R^2"),
+            m.cpu_vs_containers.r_squared,
+            "r2",
+        ));
+        rows.push(Row::measured_only(
+            "F1",
+            format!("{sku}: tasktime-vs-cpu slope"),
+            m.task_time_vs_cpu.slope,
+            "s/cpu",
+        ));
+        rows.push(Row::measured_only(
+            "F1",
+            format!("{sku}: tasktime-vs-cpu R^2"),
+            m.task_time_vs_cpu.r_squared,
+            "r2",
+        ));
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fig1_models_are_strongly_linear() {
+        let rows = super::run();
+        assert_eq!(rows.len(), 8);
+        for row in rows.iter().filter(|r| r.metric.contains("R^2")) {
+            assert!(row.measured > 0.9, "{}: {}", row.metric, row.measured);
+        }
+    }
+}

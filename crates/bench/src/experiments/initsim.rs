@@ -1,0 +1,51 @@
+//! C13 — cluster-initialization tail latency (Sec 4.1).
+//!
+//! "For Azure Synapse Spark, we developed a simulator to mimic the cluster
+//! initialization process and derived the optimal policy for sending
+//! requests, reducing its tail latency." The simulator compares
+//! single-request, retry, and hedged policies; the derived hedge delay is
+//! the policy that minimizes p99.
+
+use crate::Row;
+use adas_infra::initsim::{derive_optimal_hedge, simulate_inits, InitModel, RequestPolicy};
+
+/// Runs the experiment.
+pub fn run() -> Vec<Row> {
+    let model = InitModel::default();
+    let n = 20_000;
+    let single = simulate_inits(&model, RequestPolicy::Single, n, 77);
+    let retry = simulate_inits(
+        &model,
+        RequestPolicy::RetryAfter { timeout_s: single.p50 * 2.0 },
+        n,
+        77,
+    );
+    let (hedge_delay, hedged) = derive_optimal_hedge(&model, n, 77);
+    vec![
+        Row::measured_only("C13", "single-request p50", single.p50, "seconds"),
+        Row::measured_only("C13", "single-request p99", single.p99, "seconds"),
+        Row::measured_only("C13", "retry p99", retry.p99, "seconds"),
+        Row::measured_only("C13", "retry attempts/request", retry.attempts_per_request, "attempts"),
+        Row::measured_only("C13", "derived hedge delay", hedge_delay, "seconds"),
+        Row::measured_only("C13", "hedged p99", hedged.p99, "seconds"),
+        Row::measured_only("C13", "hedged attempts/request", hedged.attempts_per_request, "attempts"),
+        Row::measured_only(
+            "C13",
+            "tail latency reduction (p99)",
+            (single.p99 - hedged.p99) / single.p99,
+            "fraction",
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn c13_hedging_reduces_tail() {
+        let rows = super::run();
+        let get = |m: &str| rows.iter().find(|r| r.metric == m).unwrap().measured;
+        assert!(get("tail latency reduction (p99)") > 0.25);
+        assert!(get("hedged attempts/request") < 1.6);
+        assert!(get("hedged p99") < get("retry p99") * 1.2);
+    }
+}

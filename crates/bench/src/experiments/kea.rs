@@ -1,0 +1,54 @@
+//! C12 — KEA: model-driven scheduler configuration tuning (Sec 4.1, \[53\]).
+//!
+//! Shape: per-SKU container caps derived from the fitted behaviour models
+//! remove the hotspot that a uniform cap creates on the weaker hardware
+//! generation, balancing CPU across the fleet.
+
+use crate::Row;
+use adas_infra::behavior::fit_behavior_models;
+use adas_infra::kea::{evaluate_caps, tune_caps};
+use adas_infra::machine::{MachineFleet, SkuSpec};
+
+/// Runs the experiment.
+pub fn run() -> Vec<Row> {
+    let fleet = MachineFleet::new(SkuSpec::standard_fleet(), 50);
+    let telemetry = fleet.generate_telemetry(24 * 14, 0.06, 55);
+    let models = fit_behavior_models(&telemetry).expect("telemetry non-empty");
+
+    let demand = 2000usize;
+    let uniform = vec![24usize, 24];
+    let naive = evaluate_caps(&fleet, &uniform, demand);
+    let caps = tune_caps(&models, &fleet, 0.75);
+    let tuned = evaluate_caps(&fleet, &caps, demand);
+
+    vec![
+        Row::measured_only("C12", "machines", fleet.machine_count() as f64, "machines"),
+        Row::measured_only("C12", "demand placed (uniform)", naive.placed as f64, "containers"),
+        Row::measured_only("C12", "demand placed (tuned)", tuned.placed as f64, "containers"),
+        Row::measured_only("C12", "gen3 tuned cap", caps[0] as f64, "containers"),
+        Row::measured_only("C12", "gen4 tuned cap", caps[1] as f64, "containers"),
+        Row::measured_only("C12", "hotspot CPU (uniform caps)", naive.hotspot_cpu, "utilization"),
+        Row::measured_only("C12", "hotspot CPU (tuned caps)", tuned.hotspot_cpu, "utilization"),
+        Row::measured_only("C12", "CPU imbalance std (uniform)", naive.cpu_std, "utilization"),
+        Row::measured_only("C12", "CPU imbalance std (tuned)", tuned.cpu_std, "utilization"),
+        Row::measured_only(
+            "C12",
+            "hotspot reduction",
+            (naive.hotspot_cpu - tuned.hotspot_cpu) / naive.hotspot_cpu,
+            "fraction",
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn c12_tuned_caps_balance_load() {
+        let rows = super::run();
+        let get = |m: &str| rows.iter().find(|r| r.metric == m).unwrap().measured;
+        assert_eq!(get("demand placed (uniform)"), get("demand placed (tuned)"));
+        assert!(get("hotspot CPU (tuned caps)") < get("hotspot CPU (uniform caps)"));
+        assert!(get("CPU imbalance std (tuned)") <= get("CPU imbalance std (uniform)"));
+        assert!(get("gen3 tuned cap") < get("gen4 tuned cap"));
+    }
+}

@@ -1,0 +1,49 @@
+//! One module per reproduced figure/claim. See DESIGN.md's experiment index.
+
+pub mod ablations;
+pub mod cardinality;
+pub mod cloudviews;
+pub mod costmodel;
+pub mod doppler;
+pub mod fig1;
+pub mod fig2;
+pub mod initsim;
+pub mod kea;
+pub mod moneyball;
+pub mod phoebe;
+pub mod pipemizer;
+pub mod power;
+pub mod seagull;
+pub mod sparktune;
+pub mod steering;
+pub mod vmtune;
+pub mod workload_stats;
+
+use crate::Row;
+
+/// Name → runner for every experiment (deterministic order).
+pub fn registry() -> Vec<(&'static str, fn() -> Vec<Row>)> {
+    vec![
+        ("fig1", fig1::run as fn() -> Vec<Row>),
+        ("fig2", fig2::run),
+        ("workload-stats", workload_stats::run),
+        ("cardinality", cardinality::run),
+        ("costmodel", costmodel::run),
+        ("steering", steering::run),
+        ("phoebe", phoebe::run),
+        ("cloudviews", cloudviews::run),
+        ("pipemizer", pipemizer::run),
+        ("moneyball", moneyball::run),
+        ("seagull", seagull::run),
+        ("doppler", doppler::run),
+        ("sparktune", sparktune::run),
+        ("kea", kea::run),
+        ("initsim", initsim::run),
+        ("vmtune", vmtune::run),
+        ("power", power::run),
+        ("ablate-pruning", ablations::pruning),
+        ("ablate-ensemble", ablations::ensemble),
+        ("ablate-steering", ablations::steering),
+        ("ablate-reuse", ablations::reuse),
+    ]
+}

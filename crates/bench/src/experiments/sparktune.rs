@@ -1,0 +1,56 @@
+//! C11 — Spark configuration auto-tuning (Sec 4.3, \[45\]).
+//!
+//! Shape: the global model "serves as a reasonable starting point and is
+//! fine-tuned for each application as more observational data becomes
+//! available" — the global-start tuner converges faster than a cold start,
+//! and both approach the oracle with iterations.
+
+use crate::Row;
+use adas_service::sparktune::{compare_starts, GlobalModel, SparkApp};
+
+/// Runs the experiment.
+pub fn run() -> Vec<Row> {
+    let benchmarks = SparkApp::generate(80, 1);
+    let model = GlobalModel::train(&benchmarks).expect("benchmark population is regular");
+    let apps = SparkApp::generate(50, 2);
+
+    let mut rows = Vec::new();
+    for iters in [1usize, 3, 10, 30] {
+        let report = compare_starts(&apps, &model, iters);
+        rows.push(Row::measured_only(
+            "C11",
+            format!("cold-start regret @ {iters} runs"),
+            report.cold_regret,
+            "fraction over oracle",
+        ));
+        rows.push(Row::measured_only(
+            "C11",
+            format!("global-start regret @ {iters} runs"),
+            report.global_regret,
+            "fraction over oracle",
+        ));
+    }
+    let untouched = compare_starts(&apps, &model, 1);
+    rows.push(Row::measured_only(
+        "C11",
+        "global suggestion regret (no tuning)",
+        untouched.global_start_regret,
+        "fraction over oracle",
+    ));
+    rows.push(Row::measured_only("C11", "applications tuned", apps.len() as f64, "apps"));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn c11_global_start_converges_faster() {
+        let rows = super::run();
+        let get = |m: &str| rows.iter().find(|r| r.metric == m).unwrap().measured;
+        // At a small run budget the global start wins.
+        assert!(get("global-start regret @ 3 runs") <= get("cold-start regret @ 3 runs"));
+        // Iterating reduces regret for both.
+        assert!(get("cold-start regret @ 30 runs") <= get("cold-start regret @ 1 runs"));
+        assert!(get("global-start regret @ 30 runs") < 0.3);
+    }
+}

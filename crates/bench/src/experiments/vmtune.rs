@@ -1,0 +1,49 @@
+//! C14 — MLOS-style VM parameter tuning (Sec 4.1, \[9\]).
+//!
+//! "By using ML to predict the throughput and latency of benchmark
+//! workloads on VMs with various kernel parameters, developed on MLOS, we
+//! refined the parameters of the Azure VM that runs Redis workloads." The
+//! surrogate-model loop must approach the exhaustive-search optimum with a
+//! fraction of the benchmark runs, beating random search at equal budget.
+
+use crate::Row;
+use adas_infra::vmtune::{mlos_tune, random_tune, RedisBenchmark, VmConfig};
+
+/// Runs the experiment.
+pub fn run() -> Vec<Row> {
+    let bench = RedisBenchmark::new(0.03, 7);
+    let grid_size = VmConfig::grid().len();
+    let mlos = mlos_tune(&bench, 10, 15, 21).expect("tuning succeeds");
+    let random = random_tune(&bench, mlos.runs_spent, 21);
+    vec![
+        Row::measured_only("C14", "configuration grid size", grid_size as f64, "configs"),
+        Row::measured_only("C14", "benchmark runs spent (MLOS)", mlos.runs_spent as f64, "runs"),
+        Row::measured_only("C14", "MLOS throughput vs oracle", mlos.fraction_of_oracle, "fraction"),
+        Row::measured_only(
+            "C14",
+            "random search vs oracle (equal budget)",
+            random.fraction_of_oracle,
+            "fraction",
+        ),
+        Row::measured_only(
+            "C14",
+            "run-budget saving vs exhaustive",
+            1.0 - mlos.runs_spent as f64 / grid_size as f64,
+            "fraction",
+        ),
+        Row::measured_only("C14", "tuned backlog", mlos.best.backlog as f64, "connections"),
+        Row::measured_only("C14", "tuned dirty ratio", mlos.best.dirty_ratio as f64, "percent"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn c14_mlos_is_sample_efficient() {
+        let rows = super::run();
+        let get = |m: &str| rows.iter().find(|r| r.metric == m).unwrap().measured;
+        assert!(get("MLOS throughput vs oracle") > 0.95);
+        assert!(get("run-budget saving vs exhaustive") > 0.7);
+        assert!(get("MLOS throughput vs oracle") >= get("random search vs oracle (equal budget)") - 0.02);
+    }
+}

@@ -1,0 +1,360 @@
+//! The global / segment / individual model hierarchy (Sec 4.3, Insight 2).
+//!
+//! "We can develop models with different levels of granularity: 1) a global
+//! model that is broad but may not be precise, 2) a segment model that
+//! groups similar customers or applications and shares insights within the
+//! group, and 3) an individual model for each customer or application that
+//! requires sufficient data observations."
+//!
+//! The [`GranularityRouter`] holds one regressor per scope and routes each
+//! prediction to the most specific scope that has accumulated enough
+//! observations — with the observation counts maintained by the router
+//! itself, so callers just stream `(entity, segment, features, target)`
+//! tuples and ask for predictions.
+
+use adas_ml::Regressor;
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// Which scope served a prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum ModelScope {
+    /// Entity-specific model.
+    Individual,
+    /// Segment-shared model.
+    Segment,
+    /// Fleet-wide model.
+    Global,
+}
+
+/// A hierarchy of regressors with observation-count-based routing.
+///
+/// `G`, `S`, `I` are the model types at each level (often the same type).
+pub struct GranularityRouter<G, S, I> {
+    global: G,
+    segments: HashMap<u64, S>,
+    individuals: HashMap<u64, I>,
+    segment_counts: HashMap<u64, usize>,
+    individual_counts: HashMap<u64, usize>,
+    /// Observations a segment needs before its model is trusted.
+    pub min_segment_observations: usize,
+    /// Observations an entity needs before its model is trusted.
+    pub min_individual_observations: usize,
+}
+
+impl<G, S, I> GranularityRouter<G, S, I>
+where
+    G: Regressor,
+    S: Regressor,
+    I: Regressor,
+{
+    /// Creates a router with only the global model.
+    pub fn new(global: G, min_segment: usize, min_individual: usize) -> Self {
+        Self {
+            global,
+            segments: HashMap::new(),
+            individuals: HashMap::new(),
+            segment_counts: HashMap::new(),
+            individual_counts: HashMap::new(),
+            min_segment_observations: min_segment,
+            min_individual_observations: min_individual,
+        }
+    }
+
+    /// Installs a segment model.
+    pub fn set_segment_model(&mut self, segment: u64, model: S) {
+        self.segments.insert(segment, model);
+    }
+
+    /// Installs an individual model for an entity.
+    pub fn set_individual_model(&mut self, entity: u64, model: I) {
+        self.individuals.insert(entity, model);
+    }
+
+    /// Records that an observation for `(entity, segment)` was collected
+    /// (counts gate which scope is trusted).
+    pub fn record_observation(&mut self, entity: u64, segment: u64) {
+        *self.segment_counts.entry(segment).or_insert(0) += 1;
+        *self.individual_counts.entry(entity).or_insert(0) += 1;
+    }
+
+    /// The scope that would serve a prediction for `(entity, segment)`.
+    pub fn scope_for(&self, entity: u64, segment: u64) -> ModelScope {
+        if self.individuals.contains_key(&entity)
+            && self.individual_counts.get(&entity).copied().unwrap_or(0)
+                >= self.min_individual_observations
+        {
+            ModelScope::Individual
+        } else if self.segments.contains_key(&segment)
+            && self.segment_counts.get(&segment).copied().unwrap_or(0)
+                >= self.min_segment_observations
+        {
+            ModelScope::Segment
+        } else {
+            ModelScope::Global
+        }
+    }
+
+    /// Predicts for `(entity, segment)` and reports which scope served it.
+    pub fn predict(&self, entity: u64, segment: u64, features: &[f64]) -> (f64, ModelScope) {
+        match self.scope_for(entity, segment) {
+            ModelScope::Individual => {
+                (self.individuals[&entity].predict(features), ModelScope::Individual)
+            }
+            ModelScope::Segment => {
+                (self.segments[&segment].predict(features), ModelScope::Segment)
+            }
+            ModelScope::Global => (self.global.predict(features), ModelScope::Global),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A constant "model" for routing tests.
+    struct Constant(f64);
+    impl Regressor for Constant {
+        fn predict(&self, _features: &[f64]) -> f64 {
+            self.0
+        }
+    }
+
+    fn router() -> GranularityRouter<Constant, Constant, Constant> {
+        let mut r = GranularityRouter::new(Constant(1.0), 3, 5);
+        r.set_segment_model(7, Constant(2.0));
+        r.set_individual_model(42, Constant(3.0));
+        r
+    }
+
+    #[test]
+    fn cold_entity_routes_to_global() {
+        let r = router();
+        assert_eq!(r.scope_for(42, 7), ModelScope::Global);
+        assert_eq!(r.predict(42, 7, &[]), (1.0, ModelScope::Global));
+    }
+
+    #[test]
+    fn warming_promotes_segment_then_individual() {
+        let mut r = router();
+        for _ in 0..3 {
+            r.record_observation(42, 7);
+        }
+        assert_eq!(r.scope_for(42, 7), ModelScope::Segment);
+        assert_eq!(r.predict(42, 7, &[]).0, 2.0);
+        for _ in 0..2 {
+            r.record_observation(42, 7);
+        }
+        assert_eq!(r.scope_for(42, 7), ModelScope::Individual);
+        assert_eq!(r.predict(42, 7, &[]).0, 3.0);
+    }
+
+    #[test]
+    fn entity_without_models_stays_global_despite_counts() {
+        let mut r = router();
+        for _ in 0..10 {
+            r.record_observation(1, 2); // segment 2 has no model
+        }
+        assert_eq!(r.scope_for(1, 2), ModelScope::Global);
+    }
+
+    #[test]
+    fn segment_counts_shared_across_entities() {
+        let mut r = router();
+        // Three different entities in segment 7 warm the segment model.
+        for e in [1u64, 2, 3] {
+            r.record_observation(e, 7);
+        }
+        assert_eq!(r.scope_for(99, 7), ModelScope::Segment);
+    }
+}
+
+use adas_ml::dataset::Dataset;
+use adas_ml::linear::LinearRegression;
+
+/// An observation streamed into the [`HierarchicalTrainer`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observation {
+    /// Entity the observation belongs to.
+    pub entity: u64,
+    /// Segment the entity belongs to.
+    pub segment: u64,
+    /// Feature vector.
+    pub features: Vec<f64>,
+    /// Target value.
+    pub target: f64,
+}
+
+/// Streams observations and *trains* the hierarchy automatically: the global
+/// model refits on everything, a segment model appears once a segment has
+/// `min_segment_observations`, an individual model once an entity has
+/// `min_individual_observations` — the full Insight 2 mechanism, not just
+/// the routing.
+pub struct HierarchicalTrainer {
+    observations: Vec<Observation>,
+    router: Option<GranularityRouter<LinearRegression, LinearRegression, LinearRegression>>,
+    min_segment: usize,
+    min_individual: usize,
+}
+
+impl HierarchicalTrainer {
+    /// Creates a trainer with the given promotion thresholds.
+    pub fn new(min_segment: usize, min_individual: usize) -> Self {
+        Self { observations: Vec::new(), router: None, min_segment, min_individual }
+    }
+
+    /// Records one observation (call [`Self::refit`] to rebuild models).
+    pub fn observe(&mut self, observation: Observation) {
+        self.observations.push(observation);
+    }
+
+    /// Number of observations recorded.
+    pub fn len(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// True when no observations have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.observations.is_empty()
+    }
+
+    fn fit(rows: &[&Observation]) -> Option<LinearRegression> {
+        let data = Dataset::new(
+            rows.iter().map(|o| o.features.clone()).collect(),
+            rows.iter().map(|o| o.target).collect(),
+        )
+        .ok()?;
+        // Ridge guards against degenerate per-entity feature spreads.
+        LinearRegression::fit_ridge(&data, 1e-6).ok()
+    }
+
+    /// Rebuilds every level from the recorded observations. Returns `false`
+    /// when even the global model cannot be fitted yet.
+    pub fn refit(&mut self) -> bool {
+        use std::collections::HashMap;
+        let all: Vec<&Observation> = self.observations.iter().collect();
+        let Some(global) = Self::fit(&all) else {
+            return false;
+        };
+        let mut router = GranularityRouter::new(global, self.min_segment, self.min_individual);
+
+        let mut by_segment: HashMap<u64, Vec<&Observation>> = HashMap::new();
+        let mut by_entity: HashMap<u64, Vec<&Observation>> = HashMap::new();
+        for o in &self.observations {
+            by_segment.entry(o.segment).or_default().push(o);
+            by_entity.entry(o.entity).or_default().push(o);
+            router.record_observation(o.entity, o.segment);
+        }
+        for (segment, rows) in by_segment {
+            if rows.len() >= self.min_segment {
+                if let Some(model) = Self::fit(&rows) {
+                    router.set_segment_model(segment, model);
+                }
+            }
+        }
+        for (entity, rows) in by_entity {
+            if rows.len() >= self.min_individual {
+                if let Some(model) = Self::fit(&rows) {
+                    router.set_individual_model(entity, model);
+                }
+            }
+        }
+        self.router = Some(router);
+        true
+    }
+
+    /// Predicts for `(entity, segment)` using the most specific trained
+    /// scope; `None` until the first successful [`Self::refit`].
+    pub fn predict(&self, entity: u64, segment: u64, features: &[f64]) -> Option<(f64, ModelScope)> {
+        self.router.as_ref().map(|r| r.predict(entity, segment, features))
+    }
+}
+
+#[cfg(test)]
+mod trainer_tests {
+    use super::*;
+
+    /// Entities in segment s follow `y = (s + 1) * x`, except entity 99
+    /// which follows its own law `y = 10x`.
+    fn observations() -> Vec<Observation> {
+        let mut out = Vec::new();
+        for segment in 0..3u64 {
+            for entity in 0..4u64 {
+                let id = segment * 10 + entity;
+                for i in 0..5 {
+                    let x = i as f64 + 1.0;
+                    out.push(Observation {
+                        entity: id,
+                        segment,
+                        features: vec![x],
+                        target: (segment + 1) as f64 * x,
+                    });
+                }
+            }
+        }
+        for i in 0..12 {
+            let x = i as f64 + 1.0;
+            out.push(Observation { entity: 99, segment: 0, features: vec![x], target: 10.0 * x });
+        }
+        out
+    }
+
+    #[test]
+    fn hierarchy_trains_and_routes_by_specificity() {
+        let mut trainer = HierarchicalTrainer::new(10, 12);
+        assert!(trainer.is_empty());
+        for o in observations() {
+            trainer.observe(o);
+        }
+        assert!(trainer.refit());
+
+        // A known entity with its own model gets the individual law.
+        let (p, scope) = trainer.predict(99, 0, &[2.0]).expect("fitted");
+        assert_eq!(scope, ModelScope::Individual);
+        assert!((p - 20.0).abs() < 0.1, "individual prediction {p}");
+
+        // A segment-2 entity without enough personal data gets the segment law.
+        let (p, scope) = trainer.predict(21, 2, &[2.0]).expect("fitted");
+        assert_eq!(scope, ModelScope::Segment);
+        assert!((p - 6.0).abs() < 0.1, "segment prediction {p}");
+
+        // A brand-new entity in a brand-new segment falls back to global.
+        let (_, scope) = trainer.predict(500, 77, &[2.0]).expect("fitted");
+        assert_eq!(scope, ModelScope::Global);
+    }
+
+    #[test]
+    fn refit_fails_gracefully_without_data() {
+        let mut trainer = HierarchicalTrainer::new(5, 5);
+        assert!(!trainer.refit());
+        assert!(trainer.predict(1, 1, &[1.0]).is_none());
+    }
+
+    #[test]
+    fn more_data_promotes_scopes() {
+        let mut trainer = HierarchicalTrainer::new(6, 10);
+        // 3 observations: global only.
+        for i in 0..3 {
+            trainer.observe(Observation {
+                entity: 1,
+                segment: 1,
+                features: vec![i as f64],
+                target: 2.0 * i as f64,
+            });
+        }
+        trainer.refit();
+        assert_eq!(trainer.predict(1, 1, &[1.0]).expect("fitted").1, ModelScope::Global);
+        // 7 more: segment appears (>= 6), then individual (>= 10).
+        for i in 3..10 {
+            trainer.observe(Observation {
+                entity: 1,
+                segment: 1,
+                features: vec![i as f64],
+                target: 2.0 * i as f64,
+            });
+        }
+        trainer.refit();
+        assert_eq!(trainer.predict(1, 1, &[1.0]).expect("fitted").1, ModelScope::Individual);
+    }
+}

@@ -1,0 +1,267 @@
+//! Responsible-AI guardrails (Direction 4).
+//!
+//! "We introduce guardrails to protect customers from expensive solutions
+//! and from performance regressions, and we regularly check that our
+//! ML-driven decisions serve all customers fairly."
+//!
+//! A [`Guardrail`] inspects one proposed autonomous [`Decision`] against its
+//! baseline; a [`GuardrailSet`] runs them all and blocks on the first
+//! failure. [`FairnessCheck`] operates on a *batch* of decisions, flagging
+//! customer groups whose outcomes systematically lag the fleet.
+
+use serde::Serialize;
+
+/// A proposed autonomous decision, described by its predicted effects
+/// relative to doing nothing (the baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Decision {
+    /// Predicted performance metric under the decision (lower is better,
+    /// e.g. latency).
+    pub predicted_perf: f64,
+    /// Performance under the current/baseline configuration.
+    pub baseline_perf: f64,
+    /// Predicted cost under the decision (e.g. $/h).
+    pub predicted_cost: f64,
+    /// Cost under the baseline.
+    pub baseline_cost: f64,
+    /// Customer group the decision applies to (for fairness analysis).
+    pub group: u32,
+}
+
+/// Outcome of a guardrail check.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum Verdict {
+    /// The decision may proceed.
+    Allow,
+    /// The decision is blocked, with the reason.
+    Block(String),
+}
+
+/// A single guardrail.
+pub trait Guardrail {
+    /// Checks one decision.
+    fn check(&self, decision: &Decision) -> Verdict;
+    /// Name used in block messages and reports.
+    fn name(&self) -> &str;
+}
+
+/// Blocks decisions predicted to regress performance beyond a tolerance.
+#[derive(Debug, Clone, Copy)]
+pub struct RegressionGuard {
+    /// Allowed relative performance regression (0.05 = 5% worse).
+    pub tolerance: f64,
+}
+
+impl Guardrail for RegressionGuard {
+    fn check(&self, d: &Decision) -> Verdict {
+        if d.baseline_perf > 0.0
+            && d.predicted_perf > d.baseline_perf * (1.0 + self.tolerance)
+        {
+            Verdict::Block(format!(
+                "regression guard: predicted perf {:.3} exceeds baseline {:.3} by more than {:.0}%",
+                d.predicted_perf,
+                d.baseline_perf,
+                self.tolerance * 100.0
+            ))
+        } else {
+            Verdict::Allow
+        }
+    }
+
+    fn name(&self) -> &str {
+        "regression"
+    }
+}
+
+/// Blocks decisions predicted to raise cost beyond a budget multiplier —
+/// "protect customers from expensive solutions".
+#[derive(Debug, Clone, Copy)]
+pub struct CostGuard {
+    /// Allowed relative cost increase (0.1 = 10% more).
+    pub tolerance: f64,
+}
+
+impl Guardrail for CostGuard {
+    fn check(&self, d: &Decision) -> Verdict {
+        if d.baseline_cost > 0.0 && d.predicted_cost > d.baseline_cost * (1.0 + self.tolerance) {
+            Verdict::Block(format!(
+                "cost guard: predicted cost {:.3} exceeds baseline {:.3} by more than {:.0}%",
+                d.predicted_cost,
+                d.baseline_cost,
+                self.tolerance * 100.0
+            ))
+        } else {
+            Verdict::Allow
+        }
+    }
+
+    fn name(&self) -> &str {
+        "cost"
+    }
+}
+
+/// An ordered set of guardrails; the first block wins.
+#[derive(Default)]
+pub struct GuardrailSet {
+    guards: Vec<Box<dyn Guardrail + Send + Sync>>,
+}
+
+impl GuardrailSet {
+    /// The paper-default set: 5% regression tolerance, 10% cost tolerance.
+    pub fn standard() -> Self {
+        let mut set = Self::default();
+        set.add(RegressionGuard { tolerance: 0.05 });
+        set.add(CostGuard { tolerance: 0.10 });
+        set
+    }
+
+    /// Adds a guardrail.
+    pub fn add(&mut self, guard: impl Guardrail + Send + Sync + 'static) {
+        self.guards.push(Box::new(guard));
+    }
+
+    /// Checks a decision against every guardrail in order.
+    pub fn check(&self, decision: &Decision) -> Verdict {
+        for guard in &self.guards {
+            if let Verdict::Block(reason) = guard.check(decision) {
+                return Verdict::Block(reason);
+            }
+        }
+        Verdict::Allow
+    }
+
+    /// Number of guardrails installed.
+    pub fn len(&self) -> usize {
+        self.guards.len()
+    }
+
+    /// True when no guardrails are installed.
+    pub fn is_empty(&self) -> bool {
+        self.guards.is_empty()
+    }
+}
+
+/// Per-group fairness report entry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct GroupOutcome {
+    /// Group identifier.
+    pub group: u32,
+    /// Decisions applied to this group.
+    pub decisions: usize,
+    /// Mean relative performance improvement for the group.
+    pub mean_improvement: f64,
+}
+
+/// Batch fairness analysis: "we regularly check that our ML-driven decisions
+/// serve all customers fairly … customers, big or small, do not get
+/// marginalized".
+#[derive(Debug, Clone, Copy)]
+pub struct FairnessCheck {
+    /// Maximum allowed gap between the fleet mean improvement and the
+    /// worst group's mean improvement.
+    pub max_disparity: f64,
+}
+
+impl FairnessCheck {
+    /// Computes per-group outcomes and returns the groups whose improvement
+    /// lags the fleet mean by more than `max_disparity`.
+    pub fn flag_groups(&self, decisions: &[Decision]) -> (Vec<GroupOutcome>, Vec<u32>) {
+        use std::collections::BTreeMap;
+        let mut per_group: BTreeMap<u32, Vec<f64>> = BTreeMap::new();
+        for d in decisions {
+            let improvement = if d.baseline_perf > 0.0 {
+                (d.baseline_perf - d.predicted_perf) / d.baseline_perf
+            } else {
+                0.0
+            };
+            per_group.entry(d.group).or_default().push(improvement);
+        }
+        let outcomes: Vec<GroupOutcome> = per_group
+            .iter()
+            .map(|(&group, imps)| GroupOutcome {
+                group,
+                decisions: imps.len(),
+                mean_improvement: imps.iter().sum::<f64>() / imps.len() as f64,
+            })
+            .collect();
+        let fleet_mean = if outcomes.is_empty() {
+            0.0
+        } else {
+            outcomes.iter().map(|o| o.mean_improvement).sum::<f64>() / outcomes.len() as f64
+        };
+        let flagged = outcomes
+            .iter()
+            .filter(|o| fleet_mean - o.mean_improvement > self.max_disparity)
+            .map(|o| o.group)
+            .collect();
+        (outcomes, flagged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decision(perf: f64, cost: f64) -> Decision {
+        Decision {
+            predicted_perf: perf,
+            baseline_perf: 100.0,
+            predicted_cost: cost,
+            baseline_cost: 10.0,
+            group: 0,
+        }
+    }
+
+    #[test]
+    fn regression_guard_blocks_slowdowns() {
+        let g = RegressionGuard { tolerance: 0.05 };
+        assert_eq!(g.check(&decision(90.0, 10.0)), Verdict::Allow);
+        assert_eq!(g.check(&decision(104.0, 10.0)), Verdict::Allow);
+        assert!(matches!(g.check(&decision(110.0, 10.0)), Verdict::Block(_)));
+    }
+
+    #[test]
+    fn cost_guard_blocks_expensive_solutions() {
+        let g = CostGuard { tolerance: 0.10 };
+        assert_eq!(g.check(&decision(90.0, 10.5)), Verdict::Allow);
+        assert!(matches!(g.check(&decision(90.0, 12.0)), Verdict::Block(_)));
+    }
+
+    #[test]
+    fn set_blocks_on_first_failure() {
+        let set = GuardrailSet::standard();
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.check(&decision(95.0, 10.0)), Verdict::Allow);
+        // Both guards would fail; the regression message comes first.
+        match set.check(&decision(200.0, 50.0)) {
+            Verdict::Block(reason) => assert!(reason.contains("regression")),
+            Verdict::Allow => panic!("should block"),
+        }
+    }
+
+    #[test]
+    fn fairness_flags_marginalized_group() {
+        let mut decisions = Vec::new();
+        // Groups 0 and 1 improve 20%; group 2 regresses 10%.
+        for g in 0..3u32 {
+            for _ in 0..10 {
+                let perf = if g == 2 { 110.0 } else { 80.0 };
+                decisions.push(Decision { group: g, ..decision(perf, 10.0) });
+            }
+        }
+        let check = FairnessCheck { max_disparity: 0.15 };
+        let (outcomes, flagged) = check.flag_groups(&decisions);
+        assert_eq!(outcomes.len(), 3);
+        assert_eq!(flagged, vec![2]);
+        assert!(outcomes[2].mean_improvement < 0.0);
+    }
+
+    #[test]
+    fn fairness_quiet_when_balanced() {
+        let decisions: Vec<Decision> =
+            (0..20).map(|i| Decision { group: i % 4, ..decision(85.0, 10.0) }).collect();
+        let check = FairnessCheck { max_disparity: 0.1 };
+        let (_, flagged) = check.flag_groups(&decisions);
+        assert!(flagged.is_empty());
+    }
+}

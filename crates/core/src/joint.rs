@@ -1,0 +1,186 @@
+//! Joint optimization across components (Direction 3).
+//!
+//! "Sequentially optimizing each individual component is unlikely to yield
+//! optimal overall performance. Conversely, … it is impractical to create a
+//! massive optimization problem that simultaneously optimizes all
+//! components. … Ongoing efforts continue to jointly optimize a selection of
+//! components."
+//!
+//! Each [`Component`] owns a discrete candidate set for its configuration
+//! value (a pool size, a cap, a threshold…). [`sequential_optimize`] tunes
+//! each component once, in ownership order, holding the others fixed — the
+//! per-team status quo. [`joint_optimize`] runs coordinate descent to a
+//! fixpoint, letting components react to each other. On interacting
+//! objectives the joint optimum is strictly better.
+
+use serde::Serialize;
+
+/// One tunable system component.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Component {
+    /// Component name (e.g. `vm-pool-size`).
+    pub name: String,
+    /// Candidate configuration values, in the component owner's preference
+    /// order (the first is the default).
+    pub candidates: Vec<f64>,
+}
+
+impl Component {
+    /// Creates a component.
+    pub fn new(name: &str, candidates: Vec<f64>) -> Self {
+        assert!(!candidates.is_empty(), "component needs at least one candidate");
+        Self { name: name.to_string(), candidates }
+    }
+}
+
+/// Result of an optimization run.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct JointReport {
+    /// Chosen value per component (same order as the input).
+    pub settings: Vec<f64>,
+    /// Objective value at the chosen settings (lower is better).
+    pub objective: f64,
+    /// Coordinate-descent rounds executed (1 for sequential).
+    pub rounds: usize,
+    /// Objective evaluations performed.
+    pub evaluations: usize,
+}
+
+fn best_for_component(
+    idx: usize,
+    settings: &[f64],
+    component: &Component,
+    objective: &dyn Fn(&[f64]) -> f64,
+    evaluations: &mut usize,
+) -> f64 {
+    let mut probe = settings.to_vec();
+    component
+        .candidates
+        .iter()
+        .copied()
+        .map(|c| {
+            probe[idx] = c;
+            *evaluations += 1;
+            (c, objective(&probe))
+        })
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(c, _)| c)
+        .expect("non-empty candidates")
+}
+
+/// One pass: each component optimized once, in order, holding the others at
+/// their current values. This models each product team tuning its own knob
+/// against the deployed state of the rest.
+pub fn sequential_optimize(
+    components: &[Component],
+    objective: impl Fn(&[f64]) -> f64,
+) -> JointReport {
+    let mut settings: Vec<f64> = components.iter().map(|c| c.candidates[0]).collect();
+    let mut evaluations = 0usize;
+    for (i, c) in components.iter().enumerate() {
+        settings[i] = best_for_component(i, &settings, c, &objective, &mut evaluations);
+    }
+    let objective_value = objective(&settings);
+    JointReport { settings, objective: objective_value, rounds: 1, evaluations }
+}
+
+/// Coordinate descent to a fixpoint (or `max_rounds`): components keep
+/// re-optimizing against each other's latest settings.
+pub fn joint_optimize(
+    components: &[Component],
+    objective: impl Fn(&[f64]) -> f64,
+    max_rounds: usize,
+) -> JointReport {
+    let mut settings: Vec<f64> = components.iter().map(|c| c.candidates[0]).collect();
+    let mut evaluations = 0usize;
+    let mut rounds = 0usize;
+    for _ in 0..max_rounds {
+        rounds += 1;
+        let before = settings.clone();
+        for (i, c) in components.iter().enumerate() {
+            settings[i] = best_for_component(i, &settings, c, &objective, &mut evaluations);
+        }
+        if settings == before {
+            break;
+        }
+    }
+    let objective_value = objective(&settings);
+    JointReport { settings, objective: objective_value, rounds, evaluations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A narrow diagonal valley: strong interaction between x and y.
+    fn valley(s: &[f64]) -> f64 {
+        let (x, y) = (s[0], s[1]);
+        (x + y - 10.0).powi(2) + 2.0 * (x - y).powi(2)
+    }
+
+    fn components() -> Vec<Component> {
+        let grid: Vec<f64> = (0..=10).map(|i| i as f64).collect();
+        vec![Component::new("x", grid.clone()), Component::new("y", grid)]
+    }
+
+    #[test]
+    fn joint_beats_sequential_on_interacting_objective() {
+        let comps = components();
+        let seq = sequential_optimize(&comps, valley);
+        let joint = joint_optimize(&comps, valley, 20);
+        assert!(
+            joint.objective <= seq.objective,
+            "joint {} vs sequential {}",
+            joint.objective,
+            seq.objective
+        );
+        // The true optimum is x = y = 5.
+        assert_eq!(joint.settings, vec![5.0, 5.0]);
+        assert_eq!(joint.objective, 0.0);
+        assert!(joint.rounds >= 2, "needed iteration to converge");
+    }
+
+    #[test]
+    fn separable_objective_needs_one_round() {
+        let comps = components();
+        let separable = |s: &[f64]| (s[0] - 3.0).powi(2) + (s[1] - 7.0).powi(2);
+        let seq = sequential_optimize(&comps, separable);
+        let joint = joint_optimize(&comps, separable, 20);
+        assert_eq!(seq.settings, vec![3.0, 7.0]);
+        assert_eq!(joint.settings, seq.settings);
+        assert_eq!(joint.rounds, 2); // one improving round + one fixpoint check
+    }
+
+    #[test]
+    fn three_component_coordination() {
+        let grid: Vec<f64> = (0..=6).map(|i| i as f64).collect();
+        let comps = vec![
+            Component::new("pool", grid.clone()),
+            Component::new("cap", grid.clone()),
+            Component::new("threshold", grid),
+        ];
+        // Total must hit 9 with balanced shares.
+        let f = |s: &[f64]| {
+            let total: f64 = s.iter().sum();
+            let imbalance: f64 = s.windows(2).map(|w| (w[0] - w[1]).powi(2)).sum();
+            (total - 9.0).powi(2) + imbalance
+        };
+        let joint = joint_optimize(&comps, f, 30);
+        assert_eq!(joint.settings, vec![3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn empty_candidates_panic() {
+        let _ = Component::new("bad", vec![]);
+    }
+
+    #[test]
+    fn evaluation_budget_accounted() {
+        let comps = components();
+        let seq = sequential_optimize(&comps, valley);
+        assert_eq!(seq.evaluations, 22); // 11 candidates x 2 components
+        let joint = joint_optimize(&comps, valley, 20);
+        assert!(joint.evaluations >= seq.evaluations);
+    }
+}

@@ -1,0 +1,64 @@
+//! The autonomous data service control plane.
+//!
+//! The paper's individual systems (crates `infra`, `learned`, `checkpoint`,
+//! `reuse`, `pipeline`, `service`) each automate one decision. What makes a
+//! *service* autonomous is the operational machinery around them — the
+//! recurring patterns the paper distils in its Insights and Future
+//! Directions. This crate implements that machinery:
+//!
+//! * [`granularity`] — the global / segment / individual model hierarchy of
+//!   Sec 4.3 and Insight 2 ("One size does not fit all"): route each entity
+//!   to the most specific model that has earned trust.
+//! * [`feedback`] — Insight 3 ("Feedback loop is indispensable"): a
+//!   versioned model registry with live error monitoring, drift detection,
+//!   retrain triggers and fast rollback.
+//! * [`guardrails`] — Direction 4 (Responsible AI): regression guards, cost
+//!   guards, and a fairness check that flags when an autonomous decision
+//!   systematically disadvantages a customer group.
+//! * [`rai`] — the per-project RAI *assessment*: a checklist mixing the
+//!   automated checks above with the manual attestations the paper says
+//!   still require domain experts.
+//! * [`store`] — Direction 1 (Reuse): the *AlgorithmStore*, "a project
+//!   gallery with predefined algorithm templates" with a search interface.
+//! * [`joint`] — Direction 3: coordinate-descent joint optimization across
+//!   components, compared against one-shot sequential tuning.
+
+//! # Example: the guarded-deployment flow
+//!
+//! ```
+//! use adas_core::{AlgorithmStore, Decision, GuardrailSet, Verdict};
+//!
+//! // Direction 1: discover the primitive.
+//! let store = AlgorithmStore::standard();
+//! assert!(!store.search("forecast seasonal").is_empty());
+//!
+//! // Direction 4: gate the decision.
+//! let guards = GuardrailSet::standard();
+//! let decision = Decision {
+//!     predicted_perf: 90.0,
+//!     baseline_perf: 100.0,
+//!     predicted_cost: 10.5,
+//!     baseline_cost: 10.0,
+//!     group: 0,
+//! };
+//! assert_eq!(guards.check(&decision), Verdict::Allow);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod feedback;
+pub mod granularity;
+pub mod guardrails;
+pub mod joint;
+pub mod rai;
+pub mod store;
+
+pub use feedback::{FeedbackLoop, LoopConfig, ModelRegistry, MonitorVerdict};
+pub use granularity::{GranularityRouter, ModelScope};
+pub use guardrails::{
+    CostGuard, Decision, FairnessCheck, Guardrail, GuardrailSet, RegressionGuard, Verdict,
+};
+pub use joint::{joint_optimize, sequential_optimize, Component, JointReport};
+pub use rai::{Assessment, AssessmentStatus};
+pub use store::{AlgorithmEntry, AlgorithmStore, Category};

@@ -1,0 +1,291 @@
+//! Responsible-AI assessment (Direction 4).
+//!
+//! "For the ML-related projects, we perform a comprehensive RAI assessment
+//! which is for now a manual and prolonged process by domain experts.
+//! Several automation tools were developed, however, ad-hoc solutions are
+//! still required for many cases."
+//!
+//! An [`Assessment`] is the per-project checklist: each [`CheckItem`] is
+//! either *manual* (a domain expert attests) or *automated* (a check
+//! function runs against the project's decision batch — wiring the
+//! guardrail and fairness machinery into the assessment). The assessment
+//! reaches [`AssessmentStatus::Approved`] only when every required item
+//! passes — reproducing the gate the paper describes, with the automatable
+//! parts actually automated.
+
+use crate::guardrails::{Decision, FairnessCheck, GuardrailSet, Verdict};
+use serde::Serialize;
+
+/// The RAI principles the paper enumerates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Principle {
+    /// Privacy and security.
+    Privacy,
+    /// Fairness.
+    Fairness,
+    /// Inclusiveness.
+    Inclusiveness,
+    /// Reliability and safety.
+    Reliability,
+    /// Transparency.
+    Transparency,
+    /// Accountability.
+    Accountability,
+}
+
+/// Result of evaluating one checklist item.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum ItemStatus {
+    /// Not yet evaluated.
+    Pending,
+    /// Passed (automated check succeeded or expert attested).
+    Passed,
+    /// Failed, with the reason.
+    Failed(String),
+}
+
+/// One checklist item.
+pub struct CheckItem {
+    /// Short identifier, e.g. `no-regressions`.
+    pub id: String,
+    /// Principle the item belongs to.
+    pub principle: Principle,
+    /// What is being verified.
+    pub description: String,
+    /// Whether approval requires this item.
+    pub required: bool,
+    /// Automated check over the decision batch, if one exists; manual items
+    /// hold `None` and are resolved by [`Assessment::attest`].
+    check: Option<Box<dyn Fn(&[Decision]) -> ItemStatus + Send + Sync>>,
+    status: ItemStatus,
+}
+
+/// Overall assessment state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum AssessmentStatus {
+    /// Some required items are pending.
+    Incomplete,
+    /// Every required item passed.
+    Approved,
+    /// At least one required item failed.
+    Rejected,
+}
+
+/// The per-project RAI assessment.
+pub struct Assessment {
+    /// Project under assessment.
+    pub project: String,
+    items: Vec<CheckItem>,
+}
+
+impl Assessment {
+    /// Creates an empty assessment.
+    pub fn new(project: &str) -> Self {
+        Self { project: project.to_string(), items: Vec::new() }
+    }
+
+    /// The standard assessment the paper's gate implies: automated
+    /// regression/cost and fairness checks, plus the manual attestations
+    /// that remain "ad-hoc".
+    pub fn standard(project: &str) -> Self {
+        let mut a = Self::new(project);
+        a.add_automated(
+            "no-blocked-decisions",
+            Principle::Reliability,
+            "No decision in the evaluation batch trips the regression or cost guardrails",
+            true,
+            |decisions| {
+                let guards = GuardrailSet::standard();
+                for d in decisions {
+                    if let Verdict::Block(reason) = guards.check(d) {
+                        return ItemStatus::Failed(reason);
+                    }
+                }
+                ItemStatus::Passed
+            },
+        );
+        a.add_automated(
+            "group-fairness",
+            Principle::Fairness,
+            "No customer group's mean improvement lags the fleet by more than 20pp",
+            true,
+            |decisions| {
+                let (_, flagged) = FairnessCheck { max_disparity: 0.2 }.flag_groups(decisions);
+                if flagged.is_empty() {
+                    ItemStatus::Passed
+                } else {
+                    ItemStatus::Failed(format!("marginalized groups: {flagged:?}"))
+                }
+            },
+        );
+        a.add_manual(
+            "privacy-review",
+            Principle::Privacy,
+            "Training telemetry contains no customer-identifying content",
+            true,
+        );
+        a.add_manual(
+            "transparency-docs",
+            Principle::Transparency,
+            "Customer-facing decisions have a succinct, intuitive rationale",
+            true,
+        );
+        a.add_manual(
+            "incident-runbook",
+            Principle::Accountability,
+            "An on-call runbook covers rollback of this model",
+            false,
+        );
+        a
+    }
+
+    /// Adds an automated item.
+    pub fn add_automated(
+        &mut self,
+        id: &str,
+        principle: Principle,
+        description: &str,
+        required: bool,
+        check: impl Fn(&[Decision]) -> ItemStatus + Send + Sync + 'static,
+    ) {
+        self.items.push(CheckItem {
+            id: id.to_string(),
+            principle,
+            description: description.to_string(),
+            required,
+            check: Some(Box::new(check)),
+            status: ItemStatus::Pending,
+        });
+    }
+
+    /// Adds a manual item.
+    pub fn add_manual(&mut self, id: &str, principle: Principle, description: &str, required: bool) {
+        self.items.push(CheckItem {
+            id: id.to_string(),
+            principle,
+            description: description.to_string(),
+            required,
+            check: None,
+            status: ItemStatus::Pending,
+        });
+    }
+
+    /// Runs every automated check against the decision batch.
+    pub fn run_automated(&mut self, decisions: &[Decision]) {
+        for item in &mut self.items {
+            if let Some(check) = &item.check {
+                item.status = check(decisions);
+            }
+        }
+    }
+
+    /// Records an expert attestation for a manual item. Returns false when
+    /// the id is unknown or the item is automated.
+    pub fn attest(&mut self, id: &str, passed: bool, note: &str) -> bool {
+        match self.items.iter_mut().find(|i| i.id == id && i.check.is_none()) {
+            Some(item) => {
+                item.status = if passed {
+                    ItemStatus::Passed
+                } else {
+                    ItemStatus::Failed(note.to_string())
+                };
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Current overall status.
+    pub fn status(&self) -> AssessmentStatus {
+        let mut pending = false;
+        for item in self.items.iter().filter(|i| i.required) {
+            match &item.status {
+                ItemStatus::Failed(_) => return AssessmentStatus::Rejected,
+                ItemStatus::Pending => pending = true,
+                ItemStatus::Passed => {}
+            }
+        }
+        if pending {
+            AssessmentStatus::Incomplete
+        } else {
+            AssessmentStatus::Approved
+        }
+    }
+
+    /// `(id, principle, required, status)` rows for reporting.
+    pub fn report(&self) -> Vec<(&str, Principle, bool, &ItemStatus)> {
+        self.items
+            .iter()
+            .map(|i| (i.id.as_str(), i.principle, i.required, &i.status))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn good_decision(group: u32) -> Decision {
+        Decision {
+            predicted_perf: 80.0,
+            baseline_perf: 100.0,
+            predicted_cost: 10.0,
+            baseline_cost: 10.0,
+            group,
+        }
+    }
+
+    #[test]
+    fn approval_requires_everything() {
+        let mut a = Assessment::standard("seagull");
+        assert_eq!(a.status(), AssessmentStatus::Incomplete);
+        let batch: Vec<Decision> = (0..12).map(|i| good_decision(i % 3)).collect();
+        a.run_automated(&batch);
+        assert_eq!(a.status(), AssessmentStatus::Incomplete, "manual items still pending");
+        assert!(a.attest("privacy-review", true, ""));
+        assert!(a.attest("transparency-docs", true, ""));
+        assert_eq!(a.status(), AssessmentStatus::Approved, "optional item may stay pending");
+    }
+
+    #[test]
+    fn guardrail_failure_rejects() {
+        let mut a = Assessment::standard("doppler");
+        let mut batch: Vec<Decision> = (0..5).map(|i| good_decision(i % 2)).collect();
+        batch.push(Decision { predicted_cost: 50.0, ..good_decision(0) }); // cost blowup
+        a.run_automated(&batch);
+        assert_eq!(a.status(), AssessmentStatus::Rejected);
+    }
+
+    #[test]
+    fn fairness_failure_rejects() {
+        let mut a = Assessment::standard("steering");
+        let mut batch = Vec::new();
+        for _ in 0..10 {
+            // Group 0 improves 60%; group 1 mildly regresses (still inside
+            // the 5% regression guard) — a >20pp fairness gap.
+            batch.push(Decision { predicted_perf: 40.0, ..good_decision(0) });
+            batch.push(Decision { predicted_perf: 104.0, ..good_decision(1) });
+        }
+        a.run_automated(&batch);
+        assert_eq!(a.status(), AssessmentStatus::Rejected);
+        let report = a.report();
+        assert!(report
+            .iter()
+            .any(|(id, _, _, s)| *id == "group-fairness" && matches!(s, ItemStatus::Failed(_))));
+    }
+
+    #[test]
+    fn failed_attestation_rejects() {
+        let mut a = Assessment::standard("phoebe");
+        a.run_automated(&[good_decision(0)]);
+        a.attest("privacy-review", false, "telemetry contains query text");
+        assert_eq!(a.status(), AssessmentStatus::Rejected);
+    }
+
+    #[test]
+    fn attest_rejects_unknown_and_automated_items() {
+        let mut a = Assessment::standard("x");
+        assert!(!a.attest("nonexistent", true, ""));
+        assert!(!a.attest("group-fairness", true, ""), "automated items cannot be attested");
+    }
+}

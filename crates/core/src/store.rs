@@ -1,0 +1,227 @@
+//! The AlgorithmStore: function-level reuse (Direction 1).
+//!
+//! "Our proposal is to create a *AlgorithmStore* (analogous to a GitHub for
+//! models), which is a project gallery with predefined algorithm templates.
+//! The previously developed algorithm can be discovered and adapted to
+//! address new scenarios quickly."
+//!
+//! The store is a searchable catalog: entries carry a name, description,
+//! category and tags; [`AlgorithmStore::search`] ranks by simple keyword
+//! relevance. [`AlgorithmStore::standard`] pre-registers every algorithm
+//! this workspace implements, so the catalog is also a usable index into
+//! the codebase.
+
+use serde::{Deserialize, Serialize};
+
+/// Coarse category of an algorithm template.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Category {
+    /// Time-series forecasting.
+    Forecasting,
+    /// Regression models.
+    Regression,
+    /// Classification / clustering.
+    Classification,
+    /// Online decision making (bandits, tuning loops).
+    OnlineDecision,
+    /// Query-plan and workload analysis.
+    WorkloadAnalysis,
+    /// Resource management / scheduling.
+    ResourceManagement,
+}
+
+/// One catalog entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AlgorithmEntry {
+    /// Unique name, e.g. `holt-winters`.
+    pub name: String,
+    /// One-line description.
+    pub description: String,
+    /// Category.
+    pub category: Category,
+    /// Free-form search tags.
+    pub tags: Vec<String>,
+    /// Path to the implementation in this workspace, e.g.
+    /// `adas_ml::forecast::HoltWinters`.
+    pub implementation: String,
+}
+
+/// The searchable catalog.
+#[derive(Debug, Clone, Default)]
+pub struct AlgorithmStore {
+    entries: Vec<AlgorithmEntry>,
+}
+
+impl AlgorithmStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an entry, replacing any entry with the same name.
+    pub fn register(&mut self, entry: AlgorithmEntry) {
+        if let Some(existing) = self.entries.iter_mut().find(|e| e.name == entry.name) {
+            *existing = entry;
+        } else {
+            self.entries.push(entry);
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All entries in a category.
+    pub fn by_category(&self, category: Category) -> Vec<&AlgorithmEntry> {
+        self.entries.iter().filter(|e| e.category == category).collect()
+    }
+
+    /// Keyword search: each whitespace-separated query term scores 3 for a
+    /// name hit, 2 for a tag hit, 1 for a description hit. Results are
+    /// ranked by total score (ties by name) and zero-score entries dropped.
+    pub fn search(&self, query: &str) -> Vec<&AlgorithmEntry> {
+        let terms: Vec<String> = query.split_whitespace().map(str::to_lowercase).collect();
+        let mut scored: Vec<(i64, &AlgorithmEntry)> = self
+            .entries
+            .iter()
+            .map(|e| {
+                let mut score = 0i64;
+                for t in &terms {
+                    if e.name.to_lowercase().contains(t) {
+                        score += 3;
+                    }
+                    if e.tags.iter().any(|tag| tag.to_lowercase().contains(t)) {
+                        score += 2;
+                    }
+                    if e.description.to_lowercase().contains(t) {
+                        score += 1;
+                    }
+                }
+                (score, e)
+            })
+            .filter(|(s, _)| *s > 0)
+            .collect();
+        scored.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.name.cmp(&b.1.name)));
+        scored.into_iter().map(|(_, e)| e).collect()
+    }
+
+    /// The catalog of everything implemented in this workspace.
+    pub fn standard() -> Self {
+        let mut store = Self::new();
+        let entries = [
+            ("seasonal-naive", "Previous-period forecast; the Seagull 96% heuristic", Category::Forecasting,
+             vec!["forecast", "seasonal", "heuristic", "previous-day"], "adas_ml::forecast::SeasonalNaive"),
+            ("holt-winters", "Additive level/trend/seasonal exponential smoothing", Category::Forecasting,
+             vec!["forecast", "seasonal", "trend", "smoothing"], "adas_ml::forecast::HoltWinters"),
+            ("ols-linear", "Ordinary least squares / ridge linear regression", Category::Regression,
+             vec!["linear", "interpretable", "machine-behavior"], "adas_ml::linear::LinearRegression"),
+            ("decision-tree", "CART variance-reduction regression tree", Category::Regression,
+             vec!["tree", "interpretable"], "adas_ml::tree::DecisionTree"),
+            ("random-forest", "Bagged trees with feature subsampling", Category::Regression,
+             vec!["ensemble", "tree"], "adas_ml::forest::RandomForest"),
+            ("gradient-boosting", "Boosted shallow trees, squared loss", Category::Regression,
+             vec!["ensemble", "tree", "cost-model"], "adas_ml::gbm::GradientBoosting"),
+            ("kmeans", "K-means++ clustering for customer segmentation", Category::Classification,
+             vec!["cluster", "segment", "doppler"], "adas_ml::cluster::KMeans"),
+            ("logistic", "Binary logistic regression", Category::Classification,
+             vec!["classifier", "validation-model"], "adas_ml::logistic::LogisticRegression"),
+            ("knn", "Exact k-nearest-neighbour regression/classification", Category::Classification,
+             vec!["similarity", "profile"], "adas_ml::knn::KNearest"),
+            ("epsilon-greedy", "Epsilon-greedy bandit over discrete arms", Category::OnlineDecision,
+             vec!["bandit", "steering", "explore"], "adas_ml::bandit::EpsilonGreedy"),
+            ("linucb", "LinUCB contextual bandit", Category::OnlineDecision,
+             vec!["bandit", "contextual", "steering"], "adas_ml::bandit::LinUcb"),
+            ("hill-climb-tuner", "Iterative config tuning from a global-model start", Category::OnlineDecision,
+             vec!["tuning", "spark", "autotune"], "adas_service::sparktune::tune"),
+            ("plan-signature", "FNV-1a strict/template plan signatures", Category::WorkloadAnalysis,
+             vec!["signature", "subexpression", "cloudviews", "template"], "adas_workload::signature"),
+            ("workload-templatization", "Recurrence, sharing and dependency analysis", Category::WorkloadAnalysis,
+             vec!["peregrine", "template", "recurring"], "adas_workload::analyze::WorkloadAnalysis"),
+            ("cardinality-micromodels", "Per-template learned cardinality with pruning", Category::WorkloadAnalysis,
+             vec!["cardinality", "micromodel", "optimizer"], "adas_learned::cardinality::LearnedCardinality"),
+            ("checkpoint-cuts", "Phoebe stage-DAG checkpoint placement", Category::ResourceManagement,
+             vec!["checkpoint", "dag", "recovery", "temp-storage"], "adas_checkpoint::plan_checkpoints"),
+            ("low-load-window", "Lowest-load window detection for maintenance", Category::ResourceManagement,
+             vec!["backup", "seagull", "window"], "adas_telemetry::window::lowest_load_run"),
+            ("proactive-pool", "Forecast-driven warm-pool sizing", Category::ResourceManagement,
+             vec!["provisioning", "pool", "pareto", "serverless"], "adas_infra::provision"),
+            ("kea-caps", "Model-driven per-SKU container cap tuning", Category::ResourceManagement,
+             vec!["scheduler", "kea", "hotspot"], "adas_infra::kea::tune_caps"),
+            ("mlos-tuner", "Surrogate-model (forest + UCB) parameter search", Category::OnlineDecision,
+             vec!["mlos", "kernel", "surrogate", "bayesian"], "adas_infra::vmtune::mlos_tune"),
+            ("hedged-requests", "Hedge-delay derivation for tail-latency control", Category::ResourceManagement,
+             vec!["tail", "p99", "hedging", "cluster-init"], "adas_infra::initsim::derive_optimal_hedge"),
+            ("power-caps", "Model-driven rack power-budget allocation", Category::ResourceManagement,
+             vec!["power", "rack", "capping"], "adas_infra::power::allocate_power"),
+            ("predictive-autoscaler", "Forecast-ahead capacity scaling", Category::ResourceManagement,
+             vec!["autoscale", "forecast", "sla"], "adas_infra::autoscale::simulate_autoscaler"),
+            ("model-bundle", "Versioned portable model container (ONNX-style)", Category::WorkloadAnalysis,
+             vec!["interchange", "onnx", "deployment", "container"], "adas_ml::bundle::ModelBundle"),
+            ("plan-interchange", "Versioned cross-engine plan document (Substrait-style)", Category::WorkloadAnalysis,
+             vec!["interchange", "substrait", "plan"], "adas_workload::interchange::PlanDocument"),
+        ];
+        for (name, desc, category, tags, implementation) in entries {
+            store.register(AlgorithmEntry {
+                name: name.to_string(),
+                description: desc.to_string(),
+                category,
+                tags: tags.into_iter().map(str::to_string).collect(),
+                implementation: implementation.to_string(),
+            });
+        }
+        store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_catalog_nonempty_and_categorized() {
+        let store = AlgorithmStore::standard();
+        assert!(store.len() >= 15);
+        assert!(!store.by_category(Category::Forecasting).is_empty());
+        assert!(!store.by_category(Category::ResourceManagement).is_empty());
+    }
+
+    #[test]
+    fn search_ranks_name_hits_first() {
+        let store = AlgorithmStore::standard();
+        let results = store.search("bandit");
+        assert!(results.len() >= 2);
+        // Tag hits for both bandits; the description/name mix keeps them on top.
+        assert!(results.iter().any(|e| e.name == "linucb"));
+        assert!(results.iter().any(|e| e.name == "epsilon-greedy"));
+    }
+
+    #[test]
+    fn search_multi_term_and_miss() {
+        let store = AlgorithmStore::standard();
+        let results = store.search("seasonal forecast");
+        assert_eq!(results[0].category, Category::Forecasting);
+        assert!(store.search("quantum-blockchain").is_empty());
+    }
+
+    #[test]
+    fn register_replaces_same_name() {
+        let mut store = AlgorithmStore::new();
+        let entry = |desc: &str| AlgorithmEntry {
+            name: "x".into(),
+            description: desc.into(),
+            category: Category::Regression,
+            tags: vec![],
+            implementation: "y".into(),
+        };
+        store.register(entry("first"));
+        store.register(entry("second"));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.search("second").len(), 1);
+    }
+}

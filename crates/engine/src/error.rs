@@ -1,0 +1,38 @@
+use adas_workload::WorkloadError;
+use std::fmt;
+
+/// Errors produced by the engine simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The underlying workload/plan layer reported an error.
+    Workload(WorkloadError),
+    /// A cluster configuration value was out of range.
+    InvalidCluster(String),
+    /// A stage DAG was malformed (cycle, dangling edge).
+    MalformedDag(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Workload(e) => write!(f, "workload error: {e}"),
+            Self::InvalidCluster(msg) => write!(f, "invalid cluster config: {msg}"),
+            Self::MalformedDag(msg) => write!(f, "malformed stage DAG: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Workload(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WorkloadError> for EngineError {
+    fn from(e: WorkloadError) -> Self {
+        Self::Workload(e)
+    }
+}

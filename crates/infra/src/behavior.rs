@@ -1,0 +1,143 @@
+//! The Fig 1 machine-behaviour models.
+//!
+//! "We employed multiple linear models to predict machine behavior, such as
+//! CPU utilization versus task execution time or the number of running
+//! containers." One [`MachineBehavior`] is fitted per SKU from fleet
+//! telemetry: a container→CPU model and a CPU→task-time model, each with its
+//! R² on the training data. Experiment F1 prints the fitted lines and R²
+//! values — the reproduction of Figure 1.
+
+use crate::machine::MachineTelemetry;
+use adas_ml::dataset::Dataset;
+use adas_ml::linear::LinearRegression;
+use adas_ml::{MlError, Regressor, Result};
+use serde::Serialize;
+
+/// One fitted linear relationship `y = intercept + slope * x`.
+#[derive(Debug, Clone, Serialize)]
+pub struct BehaviorModel {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination on the training data.
+    pub r_squared: f64,
+    #[serde(skip)]
+    model: LinearRegression,
+}
+
+impl BehaviorModel {
+    fn fit(xs: &[f64], ys: &[f64]) -> Result<Self> {
+        let data = Dataset::new(xs.iter().map(|&x| vec![x]).collect(), ys.to_vec())?;
+        let model = LinearRegression::fit(&data)?;
+        Ok(Self {
+            slope: model.coefficients()[0],
+            intercept: model.intercept(),
+            r_squared: model.r_squared(&data),
+            model,
+        })
+    }
+
+    /// Predicts `y` for one `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.model.predict(&[x])
+    }
+}
+
+/// The pair of Fig 1 models for one SKU.
+#[derive(Debug, Clone, Serialize)]
+pub struct MachineBehavior {
+    /// SKU index these models describe.
+    pub sku: usize,
+    /// CPU utilization as a function of running containers.
+    pub cpu_vs_containers: BehaviorModel,
+    /// Task execution seconds as a function of CPU utilization.
+    pub task_time_vs_cpu: BehaviorModel,
+    /// Observations used.
+    pub samples: usize,
+}
+
+/// Fits one [`MachineBehavior`] per SKU present in the telemetry.
+///
+/// SKUs with fewer than 3 observations are skipped (a line through fewer
+/// points is meaningless). Results are ordered by SKU index.
+pub fn fit_behavior_models(telemetry: &[MachineTelemetry]) -> Result<Vec<MachineBehavior>> {
+    if telemetry.is_empty() {
+        return Err(MlError::EmptyDataset);
+    }
+    let max_sku = telemetry.iter().map(|t| t.sku).max().expect("non-empty");
+    let mut out = Vec::new();
+    for sku in 0..=max_sku {
+        let rows: Vec<&MachineTelemetry> = telemetry.iter().filter(|t| t.sku == sku).collect();
+        if rows.len() < 3 {
+            continue;
+        }
+        let containers: Vec<f64> = rows.iter().map(|t| t.containers as f64).collect();
+        let cpus: Vec<f64> = rows.iter().map(|t| t.cpu).collect();
+        let tasks: Vec<f64> = rows.iter().map(|t| t.task_seconds).collect();
+        out.push(MachineBehavior {
+            sku,
+            cpu_vs_containers: BehaviorModel::fit(&containers, &cpus)?,
+            task_time_vs_cpu: BehaviorModel::fit(&cpus, &tasks)?,
+            samples: rows.len(),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{MachineFleet, SkuSpec};
+
+    fn models(noise: f64) -> Vec<MachineBehavior> {
+        let fleet = MachineFleet::new(SkuSpec::standard_fleet(), 8);
+        let telemetry = fleet.generate_telemetry(24 * 7, noise, 11);
+        fit_behavior_models(&telemetry).unwrap()
+    }
+
+    #[test]
+    fn recovers_true_coefficients_under_noise() {
+        let models = models(0.05);
+        let skus = SkuSpec::standard_fleet();
+        assert_eq!(models.len(), 2);
+        for m in &models {
+            let sku = &skus[m.sku];
+            assert!(
+                (m.cpu_vs_containers.slope - sku.cpu_per_container).abs()
+                    < 0.15 * sku.cpu_per_container,
+                "sku {} slope {} vs true {}",
+                m.sku,
+                m.cpu_vs_containers.slope,
+                sku.cpu_per_container
+            );
+            assert!(
+                (m.task_time_vs_cpu.slope - sku.task_seconds_per_cpu).abs()
+                    < 0.15 * sku.task_seconds_per_cpu
+            );
+        }
+    }
+
+    #[test]
+    fn fit_quality_degrades_with_noise() {
+        let clean = models(0.01);
+        let noisy = models(0.30);
+        for (c, n) in clean.iter().zip(&noisy) {
+            assert!(c.cpu_vs_containers.r_squared > n.cpu_vs_containers.r_squared);
+            assert!(c.cpu_vs_containers.r_squared > 0.95);
+        }
+    }
+
+    #[test]
+    fn prediction_matches_line() {
+        let m = &models(0.0)[0];
+        let p = m.cpu_vs_containers.predict(10.0);
+        let expected = m.cpu_vs_containers.intercept + 10.0 * m.cpu_vs_containers.slope;
+        assert!((p - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_telemetry_errors() {
+        assert!(fit_behavior_models(&[]).is_err());
+    }
+}

@@ -1,0 +1,209 @@
+//! Cluster-initialization simulation and request policies (Sec 4.1).
+//!
+//! "For Azure Synapse Spark, we developed a simulator to mimic the cluster
+//! initialization process and derived the optimal policy for sending
+//! requests, reducing its tail latency."
+//!
+//! Cluster creation is a pipeline of stages (VM allocation → image pull →
+//! service bootstrap) whose durations are noisy with occasional stragglers.
+//! The request-sending policy decides how to handle slowness: wait it out,
+//! retry after a timeout, or *hedge* (fire a second request early and take
+//! the first to finish). Hedging is the tail-latency optimum the simulator
+//! derives — at a small duplicate-work cost.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Stage-duration model for one cluster-creation attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InitModel {
+    /// Median VM-allocation seconds.
+    pub alloc_median: f64,
+    /// Median image-pull seconds.
+    pub image_median: f64,
+    /// Median bootstrap seconds.
+    pub bootstrap_median: f64,
+    /// Probability an attempt straggles (one stage runs `straggle_factor`×).
+    pub straggler_prob: f64,
+    /// Multiplier applied to the straggling stage.
+    pub straggle_factor: f64,
+    /// Relative log-ish noise per stage.
+    pub noise: f64,
+}
+
+impl Default for InitModel {
+    fn default() -> Self {
+        Self {
+            alloc_median: 45.0,
+            image_median: 60.0,
+            bootstrap_median: 30.0,
+            straggler_prob: 0.08,
+            straggle_factor: 6.0,
+            noise: 0.25,
+        }
+    }
+}
+
+impl InitModel {
+    /// Samples one attempt's completion time.
+    pub fn sample(&self, rng: &mut StdRng) -> f64 {
+        let jitter = |rng: &mut StdRng| 1.0 + rng.gen_range(-self.noise..=self.noise);
+        let mut stages = [
+            self.alloc_median * jitter(rng),
+            self.image_median * jitter(rng),
+            self.bootstrap_median * jitter(rng),
+        ];
+        if rng.gen::<f64>() < self.straggler_prob {
+            let victim = rng.gen_range(0..3);
+            stages[victim] *= self.straggle_factor;
+        }
+        stages.iter().sum()
+    }
+}
+
+/// Request-sending policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RequestPolicy {
+    /// Send one request and wait for it, however long it takes.
+    Single,
+    /// If the attempt exceeds `timeout_s`, cancel and start over (the
+    /// original work is discarded).
+    RetryAfter {
+        /// Seconds before the retry fires.
+        timeout_s: f64,
+    },
+    /// After `hedge_after_s`, fire a second attempt in parallel and take
+    /// whichever finishes first.
+    Hedged {
+        /// Seconds before the hedge request fires.
+        hedge_after_s: f64,
+    },
+}
+
+/// Tail-latency evaluation of one policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct InitReport {
+    /// Mean completion seconds.
+    pub mean: f64,
+    /// Median.
+    pub p50: f64,
+    /// 99th percentile — the paper's tail-latency target.
+    pub p99: f64,
+    /// Mean attempts issued per request (duplicate-work cost).
+    pub attempts_per_request: f64,
+}
+
+/// Simulates `n` cluster creations under `policy`.
+pub fn simulate_inits(model: &InitModel, policy: RequestPolicy, n: usize, seed: u64) -> InitReport {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut latencies = Vec::with_capacity(n);
+    let mut attempts = 0usize;
+    for _ in 0..n {
+        let latency = match policy {
+            RequestPolicy::Single => {
+                attempts += 1;
+                model.sample(&mut rng)
+            }
+            RequestPolicy::RetryAfter { timeout_s } => {
+                let mut elapsed = 0.0;
+                loop {
+                    attempts += 1;
+                    let t = model.sample(&mut rng);
+                    if t <= timeout_s {
+                        break elapsed + t;
+                    }
+                    elapsed += timeout_s;
+                    // Safety valve: after many retries, accept the attempt.
+                    if elapsed > timeout_s * 20.0 {
+                        break elapsed + t;
+                    }
+                }
+            }
+            RequestPolicy::Hedged { hedge_after_s } => {
+                attempts += 1;
+                let first = model.sample(&mut rng);
+                if first <= hedge_after_s {
+                    first
+                } else {
+                    attempts += 1;
+                    let second = hedge_after_s + model.sample(&mut rng);
+                    first.min(second)
+                }
+            }
+        };
+        latencies.push(latency);
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let pct = |p: f64| latencies[((latencies.len() as f64 * p) as usize).min(latencies.len() - 1)];
+    InitReport {
+        mean: latencies.iter().sum::<f64>() / latencies.len() as f64,
+        p50: pct(0.50),
+        p99: pct(0.99),
+        attempts_per_request: attempts as f64 / n as f64,
+    }
+}
+
+/// Derives the hedge delay minimizing p99 over a candidate grid — the
+/// "optimal policy for sending requests" the simulator exists to find.
+pub fn derive_optimal_hedge(model: &InitModel, n: usize, seed: u64) -> (f64, InitReport) {
+    let base = simulate_inits(model, RequestPolicy::Single, n, seed);
+    let candidates = [1.1, 1.25, 1.5, 2.0, 3.0].map(|f| base.p50 * f);
+    candidates
+        .into_iter()
+        .map(|d| (d, simulate_inits(model, RequestPolicy::Hedged { hedge_after_s: d }, n, seed)))
+        .min_by(|a, b| a.1.p99.partial_cmp(&b.1.p99).unwrap_or(std::cmp::Ordering::Equal))
+        .expect("candidate grid is non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stragglers_fatten_the_tail() {
+        let clean = InitModel { straggler_prob: 0.0, ..Default::default() };
+        let dirty = InitModel::default();
+        let rc = simulate_inits(&clean, RequestPolicy::Single, 4000, 3);
+        let rd = simulate_inits(&dirty, RequestPolicy::Single, 4000, 3);
+        assert!(rd.p99 > rc.p99 * 2.0, "p99 {} vs {}", rd.p99, rc.p99);
+        assert!((rd.p50 - rc.p50).abs() < rc.p50 * 0.2, "medians stay close");
+    }
+
+    #[test]
+    fn hedging_cuts_p99_at_small_cost() {
+        let model = InitModel::default();
+        let single = simulate_inits(&model, RequestPolicy::Single, 4000, 7);
+        let (delay, hedged) = derive_optimal_hedge(&model, 4000, 7);
+        assert!(
+            hedged.p99 < single.p99 * 0.75,
+            "hedged p99 {} vs single {}",
+            hedged.p99,
+            single.p99
+        );
+        assert!(hedged.attempts_per_request < 1.6, "duplicate work bounded");
+        assert!(delay > single.p50, "hedge fires after the median");
+    }
+
+    #[test]
+    fn retry_helps_tail_but_costs_more_attempts() {
+        let model = InitModel::default();
+        let single = simulate_inits(&model, RequestPolicy::Single, 4000, 11);
+        let retry = simulate_inits(
+            &model,
+            RequestPolicy::RetryAfter { timeout_s: single.p50 * 2.0 },
+            4000,
+            11,
+        );
+        assert!(retry.p99 < single.p99);
+        assert!(retry.attempts_per_request > 1.0);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let model = InitModel::default();
+        let a = simulate_inits(&model, RequestPolicy::Hedged { hedge_after_s: 150.0 }, 500, 5);
+        let b = simulate_inits(&model, RequestPolicy::Hedged { hedge_after_s: 150.0 }, 500, 5);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,154 @@
+//! KEA: model-driven scheduler configuration tuning (Sec 4.1, \[53\]).
+//!
+//! "These models were then integrated into an optimizer to balance
+//! workloads by tuning Cosmos scheduler configurations, such as the maximum
+//! running containers for each SKU."
+//!
+//! Given the fitted behaviour models and a fleet, [`tune_caps`] chooses a
+//! per-SKU maximum-container cap so that every SKU runs at (no more than) a
+//! target CPU utilization. [`evaluate_caps`] then measures the resulting
+//! load balance against the naive uniform cap: heterogeneous SKUs under a
+//! uniform cap produce hotspots on the weak SKU while the strong SKU idles.
+
+use crate::behavior::MachineBehavior;
+use crate::machine::MachineFleet;
+use serde::Serialize;
+
+/// Chooses per-SKU container caps so predicted CPU hits `target_cpu`.
+///
+/// Caps are clamped to the SKU's hardware maximum and to at least 1.
+pub fn tune_caps(models: &[MachineBehavior], fleet: &MachineFleet, target_cpu: f64) -> Vec<usize> {
+    fleet
+        .skus()
+        .iter()
+        .enumerate()
+        .map(|(sku_idx, sku)| {
+            let model = models.iter().find(|m| m.sku == sku_idx);
+            let cap = match model {
+                Some(m) if m.cpu_vs_containers.slope > 1e-9 => {
+                    ((target_cpu - m.cpu_vs_containers.intercept) / m.cpu_vs_containers.slope)
+                        .floor() as i64
+                }
+                _ => sku.max_containers as i64,
+            };
+            cap.clamp(1, sku.max_containers as i64) as usize
+        })
+        .collect()
+}
+
+/// Evaluation of a cap configuration under a given total container demand.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct KeaReport {
+    /// Per-SKU caps evaluated.
+    pub caps: Vec<usize>,
+    /// Containers actually placed (≤ demand if capacity ran out).
+    pub placed: usize,
+    /// Highest machine CPU utilization (the hotspot; paper's target).
+    pub hotspot_cpu: f64,
+    /// Mean machine CPU utilization.
+    pub mean_cpu: f64,
+    /// Standard deviation of machine CPU (imbalance measure).
+    pub cpu_std: f64,
+}
+
+/// Places `demand` containers on the fleet honouring per-SKU caps
+/// (water-filling: machines are filled in round-robin up to their cap) and
+/// reports the resulting *true* CPU distribution.
+pub fn evaluate_caps(fleet: &MachineFleet, caps: &[usize], demand: usize) -> KeaReport {
+    let n = fleet.machine_count();
+    let mut per_machine = vec![0usize; n];
+    let mut placed = 0usize;
+    let mut progressed = true;
+    while placed < demand && progressed {
+        progressed = false;
+        for m in 0..n {
+            if placed >= demand {
+                break;
+            }
+            let cap = caps[fleet.sku_of(m)];
+            if per_machine[m] < cap {
+                per_machine[m] += 1;
+                placed += 1;
+                progressed = true;
+            }
+        }
+    }
+    let cpus: Vec<f64> = per_machine
+        .iter()
+        .enumerate()
+        .map(|(m, &c)| fleet.skus()[fleet.sku_of(m)].true_cpu(c))
+        .collect();
+    let mean = cpus.iter().sum::<f64>() / n as f64;
+    let var = cpus.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / n as f64;
+    KeaReport {
+        caps: caps.to_vec(),
+        placed,
+        hotspot_cpu: cpus.iter().copied().fold(0.0, f64::max),
+        mean_cpu: mean,
+        cpu_std: var.sqrt(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavior::fit_behavior_models;
+    use crate::machine::SkuSpec;
+
+    fn setup() -> (MachineFleet, Vec<MachineBehavior>) {
+        let fleet = MachineFleet::new(SkuSpec::standard_fleet(), 10);
+        let telemetry = fleet.generate_telemetry(24 * 7, 0.05, 5);
+        let models = fit_behavior_models(&telemetry).unwrap();
+        (fleet, models)
+    }
+
+    #[test]
+    fn tuned_caps_differ_per_sku() {
+        let (fleet, models) = setup();
+        let caps = tune_caps(&models, &fleet, 0.75);
+        // gen3 has ~1.8x the per-container CPU cost of gen4, so its cap is lower.
+        assert!(caps[0] < caps[1], "caps {caps:?}");
+        for (cap, sku) in caps.iter().zip(fleet.skus()) {
+            assert!(*cap >= 1 && *cap <= sku.max_containers);
+        }
+    }
+
+    #[test]
+    fn tuned_caps_remove_hotspots_vs_uniform() {
+        let (fleet, models) = setup();
+        let demand = 400;
+        // Naive uniform cap: every SKU gets the same limit.
+        let uniform = vec![24, 24];
+        let naive = evaluate_caps(&fleet, &uniform, demand);
+        let tuned_caps = tune_caps(&models, &fleet, 0.75);
+        let tuned = evaluate_caps(&fleet, &tuned_caps, demand);
+        assert_eq!(naive.placed, demand);
+        assert_eq!(tuned.placed, demand);
+        assert!(
+            tuned.hotspot_cpu < naive.hotspot_cpu,
+            "tuned {} vs naive {}",
+            tuned.hotspot_cpu,
+            naive.hotspot_cpu
+        );
+        assert!(tuned.cpu_std <= naive.cpu_std);
+    }
+
+    #[test]
+    fn caps_respect_target_cpu() {
+        let (fleet, models) = setup();
+        let caps = tune_caps(&models, &fleet, 0.6);
+        for (sku_idx, (&cap, sku)) in caps.iter().zip(fleet.skus()).enumerate() {
+            let predicted = models[sku_idx].cpu_vs_containers.predict(cap as f64);
+            assert!(predicted <= 0.65, "sku {sku_idx} cap {cap} predicted {predicted}");
+            let _ = sku;
+        }
+    }
+
+    #[test]
+    fn demand_beyond_capacity_partially_placed() {
+        let (fleet, _) = setup();
+        let caps = vec![2, 2];
+        let report = evaluate_caps(&fleet, &caps, 10_000);
+        assert_eq!(report.placed, 2 * fleet.machine_count());
+    }
+}

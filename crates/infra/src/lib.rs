@@ -1,0 +1,48 @@
+//! Cloud infrastructure layer (Sec 4.1).
+//!
+//! "The cloud infrastructure manages all hardware and software resources for
+//! the life cycle of data services." This crate simulates that layer and
+//! implements the paper's two infrastructure themes:
+//!
+//! * **Modeling system behaviors** — [`machine`] simulates heterogeneous
+//!   machines (SKUs) emitting CPU/container/task-time telemetry;
+//!   [`behavior`] fits the Fig 1 linear models ("multiple linear models to
+//!   predict machine behavior, such as CPU utilization versus task
+//!   execution time or the number of running containers"); [`kea`] plugs
+//!   the models into an optimizer that balances workloads "by tuning Cosmos
+//!   scheduler configurations, such as the maximum running containers for
+//!   each SKU".
+//! * **Modeling user behaviors** — [`provision`] simulates serverless
+//!   cluster-creation demand and compares static pool policies against a
+//!   forecast-driven proactive policy, producing the Fig 2 QoS-vs-cost
+//!   Pareto frontier.
+
+//! # Example: fit the Fig 1 models from fleet telemetry
+//!
+//! ```
+//! use adas_infra::behavior::fit_behavior_models;
+//! use adas_infra::machine::{MachineFleet, SkuSpec};
+//!
+//! let fleet = MachineFleet::new(SkuSpec::standard_fleet(), 4);
+//! let telemetry = fleet.generate_telemetry(24 * 7, 0.05, 1);
+//! let models = fit_behavior_models(&telemetry).unwrap();
+//! assert_eq!(models.len(), 2);
+//! assert!(models[0].cpu_vs_containers.r_squared > 0.9);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod autoscale;
+pub mod behavior;
+pub mod initsim;
+pub mod kea;
+pub mod machine;
+pub mod power;
+pub mod provision;
+pub mod vmtune;
+
+pub use behavior::{fit_behavior_models, BehaviorModel, MachineBehavior};
+pub use kea::{evaluate_caps, tune_caps, KeaReport};
+pub use machine::{MachineFleet, MachineTelemetry, SkuSpec};
+pub use provision::{simulate_provisioning, DemandModel, PoolPolicy, ProvisionConfig, ProvisionReport};

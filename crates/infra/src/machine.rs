@@ -1,0 +1,257 @@
+//! Machine/SKU simulation: the telemetry source for the Fig 1 models.
+//!
+//! Each SKU has a *true* linear response: CPU utilization grows with the
+//! number of running containers, and task execution time grows with CPU
+//! utilization (contention). The simulator emits hourly telemetry with
+//! deterministic noise; the behaviour models in [`behavior`](crate::behavior)
+//! must recover the underlying lines.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A machine SKU with its ground-truth response coefficients.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SkuSpec {
+    /// SKU name, e.g. `gen4`.
+    pub name: String,
+    /// Idle CPU utilization (fraction).
+    pub base_cpu: f64,
+    /// CPU utilization added per running container.
+    pub cpu_per_container: f64,
+    /// Task execution seconds at zero CPU load.
+    pub base_task_seconds: f64,
+    /// Additional task seconds per unit of CPU utilization.
+    pub task_seconds_per_cpu: f64,
+    /// Hard cap on concurrent containers the hardware supports.
+    pub max_containers: usize,
+}
+
+impl SkuSpec {
+    /// The two generations used across the experiments: an older, weaker
+    /// SKU and a newer one that handles more containers per CPU point.
+    pub fn standard_fleet() -> Vec<SkuSpec> {
+        vec![
+            SkuSpec {
+                name: "gen3".into(),
+                base_cpu: 0.08,
+                cpu_per_container: 0.045,
+                base_task_seconds: 20.0,
+                task_seconds_per_cpu: 90.0,
+                max_containers: 24,
+            },
+            SkuSpec {
+                name: "gen4".into(),
+                base_cpu: 0.05,
+                cpu_per_container: 0.025,
+                base_task_seconds: 15.0,
+                task_seconds_per_cpu: 60.0,
+                max_containers: 40,
+            },
+        ]
+    }
+
+    /// Ground-truth CPU utilization for a container count (no noise).
+    pub fn true_cpu(&self, containers: usize) -> f64 {
+        (self.base_cpu + self.cpu_per_container * containers as f64).min(1.0)
+    }
+
+    /// Ground-truth task execution time at a CPU level (no noise).
+    pub fn true_task_seconds(&self, cpu: f64) -> f64 {
+        self.base_task_seconds + self.task_seconds_per_cpu * cpu
+    }
+}
+
+/// One machine-hour observation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MachineTelemetry {
+    /// Index of the machine in the fleet.
+    pub machine: usize,
+    /// Index of the machine's SKU in the fleet's SKU list.
+    pub sku: usize,
+    /// Hour of observation.
+    pub hour: u64,
+    /// Containers running this hour.
+    pub containers: usize,
+    /// Observed CPU utilization (noisy).
+    pub cpu: f64,
+    /// Observed mean task execution time, seconds (noisy).
+    pub task_seconds: f64,
+}
+
+/// A fleet of machines across SKUs, generating telemetry.
+#[derive(Debug, Clone)]
+pub struct MachineFleet {
+    skus: Vec<SkuSpec>,
+    /// `machine index -> sku index`.
+    assignment: Vec<usize>,
+}
+
+impl MachineFleet {
+    /// Creates a fleet with `machines_per_sku` machines of each SKU.
+    pub fn new(skus: Vec<SkuSpec>, machines_per_sku: usize) -> Self {
+        let assignment = (0..skus.len())
+            .flat_map(|s| std::iter::repeat(s).take(machines_per_sku))
+            .collect();
+        Self { skus, assignment }
+    }
+
+    /// The fleet's SKUs.
+    pub fn skus(&self) -> &[SkuSpec] {
+        &self.skus
+    }
+
+    /// Number of machines.
+    pub fn machine_count(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// The SKU index of a machine.
+    pub fn sku_of(&self, machine: usize) -> usize {
+        self.assignment[machine]
+    }
+
+    /// Generates `hours` of telemetry per machine with container loads drawn
+    /// uniformly up to each SKU's cap and multiplicative observation noise
+    /// of ±`noise` (relative).
+    pub fn generate_telemetry(&self, hours: u64, noise: f64, seed: u64) -> Vec<MachineTelemetry> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = Vec::with_capacity(self.assignment.len() * hours as usize);
+        for (machine, &sku_idx) in self.assignment.iter().enumerate() {
+            let sku = &self.skus[sku_idx];
+            for hour in 0..hours {
+                let containers = rng.gen_range(0..=sku.max_containers);
+                let jitter = |rng: &mut StdRng| 1.0 + rng.gen_range(-noise..=noise);
+                let cpu = (sku.true_cpu(containers) * jitter(&mut rng)).clamp(0.0, 1.0);
+                let task_seconds = sku.true_task_seconds(cpu) * jitter(&mut rng);
+                out.push(MachineTelemetry { machine, sku: sku_idx, hour, containers, cpu, task_seconds });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn true_responses_are_monotone() {
+        let sku = &SkuSpec::standard_fleet()[0];
+        assert!(sku.true_cpu(10) > sku.true_cpu(5));
+        assert!(sku.true_task_seconds(0.8) > sku.true_task_seconds(0.2));
+        assert!(sku.true_cpu(1000) <= 1.0, "cpu must saturate");
+    }
+
+    #[test]
+    fn fleet_generates_expected_volume() {
+        let fleet = MachineFleet::new(SkuSpec::standard_fleet(), 5);
+        assert_eq!(fleet.machine_count(), 10);
+        let telemetry = fleet.generate_telemetry(24, 0.05, 1);
+        assert_eq!(telemetry.len(), 240);
+        for t in &telemetry {
+            assert!(t.cpu >= 0.0 && t.cpu <= 1.0);
+            assert!(t.task_seconds > 0.0);
+            assert_eq!(fleet.sku_of(t.machine), t.sku);
+        }
+    }
+
+    #[test]
+    fn telemetry_deterministic_per_seed() {
+        let fleet = MachineFleet::new(SkuSpec::standard_fleet(), 2);
+        let a = fleet.generate_telemetry(24, 0.05, 7);
+        let b = fleet.generate_telemetry(24, 0.05, 7);
+        assert_eq!(a, b);
+        let c = fleet.generate_telemetry(24, 0.05, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn noise_zero_matches_ground_truth() {
+        let fleet = MachineFleet::new(SkuSpec::standard_fleet(), 1);
+        let telemetry = fleet.generate_telemetry(24, 0.0, 3);
+        for t in telemetry {
+            let sku = &fleet.skus()[t.sku];
+            assert!((t.cpu - sku.true_cpu(t.containers)).abs() < 1e-12);
+            assert!((t.task_seconds - sku.true_task_seconds(t.cpu)).abs() < 1e-9);
+        }
+    }
+}
+
+use adas_telemetry::schema::SemanticSchema;
+use adas_telemetry::{ResourceId, TelemetryStore};
+
+impl MachineFleet {
+    /// Emits generated telemetry into a [`TelemetryStore`] under canonical
+    /// metric names, normalizing through the semantic schema (half the
+    /// machines report Windows-style counter names, half Linux-style — the
+    /// Direction 2 scenario).
+    ///
+    /// Returns the number of samples written.
+    pub fn emit_to_store(
+        &self,
+        telemetry: &[MachineTelemetry],
+        schema: &SemanticSchema,
+        store: &TelemetryStore,
+    ) -> adas_telemetry::Result<usize> {
+        let mut written = 0usize;
+        for t in telemetry {
+            let resource = ResourceId::new(format!("machine-{}", t.machine));
+            // Alternate platform-style raw names by machine parity.
+            let (raw_name, raw_value) = if t.machine % 2 == 0 {
+                (r"\Processor(_Total)\% Processor Time", t.cpu * 100.0)
+            } else {
+                ("node_cpu_utilization", t.cpu)
+            };
+            let (metric, value) = schema.normalize(raw_name, raw_value)?;
+            store.append(&resource, &metric, t.hour * 3600, value);
+            let (containers, v) = schema.normalize("running_containers", t.containers as f64)?;
+            store.append(&resource, &containers, t.hour * 3600, v);
+            let (task, v) = schema.normalize("task_execution_seconds", t.task_seconds)?;
+            store.append(&resource, &task, t.hour * 3600, v);
+            written += 3;
+        }
+        Ok(written)
+    }
+}
+
+#[cfg(test)]
+mod telemetry_bridge_tests {
+    use super::*;
+    use adas_telemetry::schema::SemanticSchema;
+    use adas_telemetry::{MetricId, ResourceId, TelemetryStore};
+
+    #[test]
+    fn fleet_counters_normalize_into_the_store() {
+        let fleet = MachineFleet::new(SkuSpec::standard_fleet(), 2);
+        let telemetry = fleet.generate_telemetry(24, 0.05, 3);
+        let store = TelemetryStore::new();
+        let schema = SemanticSchema::standard();
+        let written = fleet.emit_to_store(&telemetry, &schema, &store).unwrap();
+        assert_eq!(written, telemetry.len() * 3);
+        // Windows-named and Linux-named machines land on ONE canonical metric.
+        let cpu = MetricId::new("cpu_utilization");
+        let resources = store.resources_with_metric(&cpu);
+        assert_eq!(resources.len(), fleet.machine_count());
+        // Values are ratios regardless of the platform's raw unit.
+        for r in &resources {
+            let series = store.series(r, &cpu).unwrap();
+            assert!(series.max().unwrap() <= 1.0 + 1e-9);
+            assert_eq!(series.len(), 24);
+        }
+        // Per-machine series retain the simulated correlation: CPU at high
+        // container counts exceeds CPU at zero containers on average.
+        let r0 = ResourceId::new("machine-0");
+        let containers = store.series(&r0, &MetricId::new("running_containers")).unwrap();
+        let cpu0 = store.series(&r0, &cpu).unwrap();
+        let paired: Vec<(f64, f64)> = containers.values().zip(cpu0.values()).collect();
+        let hi: Vec<f64> =
+            paired.iter().filter(|(c, _)| *c > 12.0).map(|(_, u)| *u).collect();
+        let lo: Vec<f64> =
+            paired.iter().filter(|(c, _)| *c <= 4.0).map(|(_, u)| *u).collect();
+        if !hi.is_empty() && !lo.is_empty() {
+            let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+            assert!(mean(&hi) > mean(&lo));
+        }
+    }
+}

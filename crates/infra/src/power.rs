@@ -1,0 +1,280 @@
+//! Rack power capping (Sec 4.1, \[53\]).
+//!
+//! "Similar methods were used to determine the hardware/software
+//! configuration … and to set power limits on Cosmos racks." Machines draw
+//! power roughly linearly in CPU utilization; a rack-level power cap
+//! throttles throughput when the sum of its machines' draws would exceed
+//! it. Given fitted power models and per-rack demand, the optimizer
+//! allocates a fleet-wide power budget across racks so that no rack
+//! throttles while hot racks get headroom — the same
+//! model-into-optimizer pattern as KEA.
+
+use crate::behavior::MachineBehavior;
+use adas_ml::dataset::Dataset;
+use adas_ml::linear::LinearRegression;
+use adas_ml::{MlError, Regressor, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One machine-hour power observation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerSample {
+    /// CPU utilization in `[0, 1]`.
+    pub cpu: f64,
+    /// Measured power draw, watts.
+    pub watts: f64,
+}
+
+/// Ground-truth power response used by the simulator: `idle + span * cpu`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerProfile {
+    /// Idle draw, watts.
+    pub idle_watts: f64,
+    /// Additional draw at 100% CPU, watts.
+    pub span_watts: f64,
+}
+
+impl PowerProfile {
+    /// A contemporary dual-socket server profile.
+    pub fn standard() -> Self {
+        Self { idle_watts: 120.0, span_watts: 280.0 }
+    }
+
+    /// True draw at a CPU level.
+    pub fn draw(&self, cpu: f64) -> f64 {
+        self.idle_watts + self.span_watts * cpu.clamp(0.0, 1.0)
+    }
+
+    /// Generates noisy observations across the utilization range.
+    pub fn observe(&self, n: usize, noise: f64, seed: u64) -> Vec<PowerSample> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let cpu = rng.gen_range(0.0..=1.0);
+                let jitter = 1.0 + rng.gen_range(-noise..=noise);
+                PowerSample { cpu, watts: self.draw(cpu) * jitter }
+            })
+            .collect()
+    }
+}
+
+/// A fitted linear power model (watts as a function of CPU).
+#[derive(Debug, Clone)]
+pub struct PowerModel {
+    model: LinearRegression,
+    /// Fitted idle draw (intercept), watts.
+    pub idle_watts: f64,
+    /// Fitted span (slope), watts per unit CPU.
+    pub span_watts: f64,
+}
+
+impl PowerModel {
+    /// Fits on observations.
+    pub fn fit(samples: &[PowerSample]) -> Result<Self> {
+        if samples.len() < 3 {
+            return Err(MlError::InsufficientData("need >= 3 power samples".into()));
+        }
+        let data = Dataset::new(
+            samples.iter().map(|s| vec![s.cpu]).collect(),
+            samples.iter().map(|s| s.watts).collect(),
+        )?;
+        let model = LinearRegression::fit(&data)?;
+        Ok(Self { idle_watts: model.intercept(), span_watts: model.coefficients()[0], model })
+    }
+
+    /// Predicted draw at a CPU level.
+    pub fn predict(&self, cpu: f64) -> f64 {
+        self.model.predict(&[cpu])
+    }
+
+    /// CPU level sustainable under `watts` per machine (inverse model),
+    /// clamped to `[0, 1]`.
+    pub fn cpu_at(&self, watts: f64) -> f64 {
+        if self.span_watts <= 0.0 {
+            return 1.0;
+        }
+        ((watts - self.idle_watts) / self.span_watts).clamp(0.0, 1.0)
+    }
+}
+
+/// One rack: a machine count and its expected CPU demand.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rack {
+    /// Machines in the rack.
+    pub machines: usize,
+    /// Expected mean CPU utilization from the rack's workload, `[0, 1]`.
+    pub expected_cpu: f64,
+}
+
+/// Result of allocating the fleet power budget.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PowerAllocation {
+    /// Cap per rack, watts (same order as input racks).
+    pub caps: Vec<f64>,
+    /// CPU each rack can actually sustain under its cap.
+    pub sustainable_cpu: Vec<f64>,
+    /// Racks whose demand is throttled by their cap.
+    pub throttled_racks: usize,
+    /// Fraction of fleet CPU demand served.
+    pub demand_served: f64,
+}
+
+/// Splits `budget_watts` across racks.
+///
+/// `Uniform` divides evenly (the pre-KEA status quo); `ModelDriven` gives
+/// each rack its predicted draw at expected demand, then spreads any surplus
+/// proportionally to machine count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CapPolicy {
+    /// Equal watts per rack.
+    Uniform,
+    /// Watts proportional to model-predicted demand.
+    ModelDriven,
+}
+
+/// Allocates the budget and evaluates against the racks' true demand.
+pub fn allocate_power(
+    racks: &[Rack],
+    model: &PowerModel,
+    profile: &PowerProfile,
+    budget_watts: f64,
+    policy: CapPolicy,
+) -> PowerAllocation {
+    let n = racks.len();
+    let caps: Vec<f64> = match policy {
+        CapPolicy::Uniform => vec![budget_watts / n as f64; n],
+        CapPolicy::ModelDriven => {
+            let needs: Vec<f64> = racks
+                .iter()
+                .map(|r| r.machines as f64 * model.predict(r.expected_cpu))
+                .collect();
+            let total_need: f64 = needs.iter().sum();
+            if total_need <= budget_watts {
+                // Fund every need; spread surplus by machine count.
+                let surplus = budget_watts - total_need;
+                let total_machines: f64 = racks.iter().map(|r| r.machines as f64).sum();
+                needs
+                    .iter()
+                    .zip(racks)
+                    .map(|(need, r)| need + surplus * r.machines as f64 / total_machines)
+                    .collect()
+            } else {
+                // Scale down proportionally.
+                needs.iter().map(|need| need * budget_watts / total_need).collect()
+            }
+        }
+    };
+
+    let mut throttled = 0usize;
+    let mut served = 0.0f64;
+    let mut demanded = 0.0f64;
+    let mut sustainable = Vec::with_capacity(n);
+    for (rack, cap) in racks.iter().zip(&caps) {
+        let per_machine = cap / rack.machines as f64;
+        // The rack throttles when true draw at demand exceeds the cap.
+        let true_need = profile.draw(rack.expected_cpu);
+        let cpu = if true_need <= per_machine {
+            rack.expected_cpu
+        } else {
+            throttled += 1;
+            // Invert the *true* profile: what CPU fits under the cap.
+            ((per_machine - profile.idle_watts) / profile.span_watts).clamp(0.0, 1.0)
+        };
+        sustainable.push(cpu);
+        served += cpu * rack.machines as f64;
+        demanded += rack.expected_cpu * rack.machines as f64;
+    }
+    PowerAllocation {
+        caps,
+        sustainable_cpu: sustainable,
+        throttled_racks: throttled,
+        demand_served: if demanded > 0.0 { served / demanded } else { 1.0 },
+    }
+}
+
+/// Convenience: fit the power model from the same fleet telemetry the Fig 1
+/// behaviour models use (hours with known CPU), by synthesizing power draws
+/// from a profile. Returns the model plus the R² of its fit.
+pub fn fit_from_behavior(
+    _behavior: &[MachineBehavior],
+    profile: &PowerProfile,
+    samples: usize,
+    noise: f64,
+    seed: u64,
+) -> Result<PowerModel> {
+    PowerModel::fit(&profile.observe(samples, noise, seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> (PowerModel, PowerProfile) {
+        let profile = PowerProfile::standard();
+        let model = PowerModel::fit(&profile.observe(200, 0.03, 9)).expect("fits");
+        (model, profile)
+    }
+
+    fn racks() -> Vec<Rack> {
+        vec![
+            Rack { machines: 20, expected_cpu: 0.9 }, // hot rack
+            Rack { machines: 20, expected_cpu: 0.5 },
+            Rack { machines: 20, expected_cpu: 0.2 }, // cold rack
+        ]
+    }
+
+    #[test]
+    fn power_model_recovers_profile() {
+        let (model, profile) = model();
+        assert!((model.idle_watts - profile.idle_watts).abs() < 10.0);
+        assert!((model.span_watts - profile.span_watts).abs() < 15.0);
+        // Inverse is consistent with forward.
+        let w = model.predict(0.6);
+        assert!((model.cpu_at(w) - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn model_driven_caps_remove_throttling() {
+        let (model, profile) = model();
+        let racks = racks();
+        // Budget: enough in total, but uniform split starves the hot rack.
+        let budget = 3.0 * 20.0 * profile.draw(0.55);
+        let uniform = allocate_power(&racks, &model, &profile, budget, CapPolicy::Uniform);
+        let driven = allocate_power(&racks, &model, &profile, budget, CapPolicy::ModelDriven);
+        assert!(uniform.throttled_racks >= 1, "uniform should throttle the hot rack");
+        assert_eq!(driven.throttled_racks, 0, "model-driven should fund every rack");
+        assert!(driven.demand_served > uniform.demand_served);
+        assert!((driven.demand_served - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn over_budget_scales_proportionally() {
+        let (model, profile) = model();
+        let racks = racks();
+        let tiny_budget = 1000.0;
+        let driven = allocate_power(&racks, &model, &profile, tiny_budget, CapPolicy::ModelDriven);
+        assert!(driven.throttled_racks == 3);
+        assert!(driven.demand_served < 1.0);
+        let total: f64 = driven.caps.iter().sum();
+        assert!((total - tiny_budget).abs() < 1e-6);
+    }
+
+    #[test]
+    fn insufficient_samples_rejected() {
+        assert!(PowerModel::fit(&[]).is_err());
+        let profile = PowerProfile::standard();
+        assert!(PowerModel::fit(&profile.observe(2, 0.0, 1)).is_err());
+    }
+
+    #[test]
+    fn caps_conserve_budget() {
+        let (model, profile) = model();
+        let racks = racks();
+        for policy in [CapPolicy::Uniform, CapPolicy::ModelDriven] {
+            let alloc = allocate_power(&racks, &model, &profile, 20_000.0, policy);
+            let total: f64 = alloc.caps.iter().sum();
+            assert!(total <= 20_000.0 + 1e-6, "{policy:?} overspends: {total}");
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! MLOS-style VM parameter tuning (Sec 4.1, \[9\]).
+//!
+//! "By using ML to predict the throughput and latency of benchmark
+//! workloads on VMs with various kernel parameters, developed on MLOS, we
+//! refined the parameters of the Azure VM that runs Redis workloads."
+//!
+//! A synthetic Redis-like benchmark exposes a hidden response surface over
+//! three kernel parameters. The MLOS loop alternates between (1) fitting a
+//! surrogate model (random forest) on the configurations observed so far
+//! and (2) probing the surrogate's most promising candidates — spending far
+//! fewer *real* benchmark runs than exhaustive search while closing most of
+//! the gap to the true optimum.
+
+use adas_ml::dataset::Dataset;
+use adas_ml::forest::{ForestConfig, RandomForest};
+use adas_ml::{Regressor, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A kernel-parameter configuration for the benchmark VM.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VmConfig {
+    /// `net.core.somaxconn`-style backlog (64..=4096).
+    pub backlog: u32,
+    /// Dirty-page writeback ratio percent (5..=60).
+    pub dirty_ratio: u32,
+    /// Transparent-hugepage enabled.
+    pub hugepages: bool,
+}
+
+impl VmConfig {
+    /// Feature vector for the surrogate model.
+    pub fn features(&self) -> Vec<f64> {
+        vec![
+            (self.backlog as f64).ln(),
+            self.dirty_ratio as f64,
+            f64::from(u8::from(self.hugepages)),
+        ]
+    }
+
+    /// The discrete candidate grid (7 × 8 × 2 = 112 configurations).
+    pub fn grid() -> Vec<VmConfig> {
+        let mut out = Vec::new();
+        for backlog in [64u32, 128, 256, 512, 1024, 2048, 4096] {
+            for dirty_ratio in [5u32, 10, 15, 20, 30, 40, 50, 60] {
+                for hugepages in [false, true] {
+                    out.push(VmConfig { backlog, dirty_ratio, hugepages });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The hidden benchmark response (requests/second). Peaked at a moderate
+/// backlog and low-ish dirty ratio; hugepages help large backlogs only —
+/// an interaction a linear model would miss (hence the forest surrogate).
+#[derive(Debug, Clone, Copy)]
+pub struct RedisBenchmark {
+    noise: f64,
+    seed: u64,
+}
+
+impl RedisBenchmark {
+    /// Creates the benchmark with relative run-to-run noise.
+    pub fn new(noise: f64, seed: u64) -> Self {
+        Self { noise, seed }
+    }
+
+    /// Noise-free throughput surface.
+    pub fn true_throughput(&self, config: &VmConfig) -> f64 {
+        let b = (config.backlog as f64).ln();
+        // Peak near backlog 1024 (ln ≈ 6.93).
+        let backlog_term = 60_000.0 - 2_500.0 * (b - 6.93).powi(2);
+        let dirty_term = -120.0 * (config.dirty_ratio as f64 - 12.0).powi(2).sqrt() * 40.0 / 12.0;
+        let huge_term = if config.hugepages {
+            if config.backlog >= 1024 {
+                4_000.0
+            } else {
+                -2_000.0
+            }
+        } else {
+            0.0
+        };
+        (backlog_term + dirty_term + huge_term).max(1_000.0)
+    }
+
+    /// One simulated benchmark run (noisy, deterministic per run index).
+    pub fn run(&self, config: &VmConfig, run_index: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(
+            self.seed ^ run_index.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ config.backlog as u64,
+        );
+        let jitter = 1.0 + rng.gen_range(-self.noise..=self.noise);
+        self.true_throughput(config) * jitter
+    }
+
+    /// Exhaustive-search optimum over the grid (the oracle).
+    pub fn oracle(&self) -> (VmConfig, f64) {
+        VmConfig::grid()
+            .into_iter()
+            .map(|c| (c, self.true_throughput(&c)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("grid is non-empty")
+    }
+}
+
+/// Outcome of one tuning session.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TuneReport {
+    /// Best configuration found.
+    pub best: VmConfig,
+    /// Its true throughput.
+    pub best_throughput: f64,
+    /// Oracle throughput for comparison.
+    pub oracle_throughput: f64,
+    /// Fraction of oracle throughput achieved.
+    pub fraction_of_oracle: f64,
+    /// Real benchmark runs spent.
+    pub runs_spent: usize,
+}
+
+/// The MLOS loop: seed with `initial` random configs, then for each round
+/// fit the forest surrogate and benchmark the surrogate's top unseen
+/// candidate.
+pub fn mlos_tune(
+    benchmark: &RedisBenchmark,
+    initial: usize,
+    rounds: usize,
+    seed: u64,
+) -> Result<TuneReport> {
+    let grid = VmConfig::grid();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut observed: Vec<(VmConfig, f64)> = Vec::new();
+    let mut run_index = 0u64;
+    let bench = |c: &VmConfig, run_index: &mut u64| {
+        let t = benchmark.run(c, *run_index);
+        *run_index += 1;
+        t
+    };
+    for _ in 0..initial.max(3) {
+        let c = grid[rng.gen_range(0..grid.len())];
+        let t = bench(&c, &mut run_index);
+        observed.push((c, t));
+    }
+    for _ in 0..rounds {
+        let data = Dataset::new(
+            observed.iter().map(|(c, _)| c.features()).collect(),
+            observed.iter().map(|(_, t)| *t).collect(),
+        )?;
+        let surrogate = RandomForest::fit(
+            &data,
+            ForestConfig { n_trees: 40, seed: rng.gen(), ..Default::default() },
+        )?;
+        // Probe the best unseen candidate by a UCB-style acquisition:
+        // surrogate mean plus the ensemble's disagreement (exploration
+        // bonus), the standard Bayesian-optimization shape MLOS uses.
+        let acquisition = |c: &VmConfig| {
+            let f = c.features();
+            surrogate.predict(&f) + surrogate.prediction_std(&f)
+        };
+        let candidate = grid
+            .iter()
+            .filter(|c| !observed.iter().any(|(o, _)| o == *c))
+            .max_by(|a, b| {
+                acquisition(a)
+                    .partial_cmp(&acquisition(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .copied();
+        let Some(candidate) = candidate else {
+            break; // grid exhausted
+        };
+        let t = bench(&candidate, &mut run_index);
+        observed.push((candidate, t));
+    }
+    let (best, _) = observed
+        .iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .copied()
+        .expect("observed non-empty");
+    let best_throughput = benchmark.true_throughput(&best);
+    let (_, oracle_throughput) = benchmark.oracle();
+    Ok(TuneReport {
+        best,
+        best_throughput,
+        oracle_throughput,
+        fraction_of_oracle: best_throughput / oracle_throughput,
+        runs_spent: observed.len(),
+    })
+}
+
+/// Random-search baseline at the same run budget.
+pub fn random_tune(benchmark: &RedisBenchmark, budget: usize, seed: u64) -> TuneReport {
+    let grid = VmConfig::grid();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut best: Option<(VmConfig, f64)> = None;
+    for run_index in 0..budget as u64 {
+        let c = grid[rng.gen_range(0..grid.len())];
+        let t = benchmark.run(&c, run_index);
+        if best.map_or(true, |(_, bt)| t > bt) {
+            best = Some((c, t));
+        }
+    }
+    let (best, _) = best.expect("budget >= 1");
+    let best_throughput = benchmark.true_throughput(&best);
+    let (_, oracle_throughput) = benchmark.oracle();
+    TuneReport {
+        best,
+        best_throughput,
+        oracle_throughput,
+        fraction_of_oracle: best_throughput / oracle_throughput,
+        runs_spent: budget,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn surface_has_the_designed_structure() {
+        let bench = RedisBenchmark::new(0.0, 1);
+        let (best, _) = bench.oracle();
+        assert_eq!(best.backlog, 1024);
+        assert!(best.hugepages, "hugepages help at the peak backlog");
+        // Hugepages hurt at small backlogs (the interaction).
+        let small_on = VmConfig { backlog: 128, dirty_ratio: 10, hugepages: true };
+        let small_off = VmConfig { hugepages: false, ..small_on };
+        assert!(bench.true_throughput(&small_off) > bench.true_throughput(&small_on));
+    }
+
+    #[test]
+    fn mlos_reaches_near_oracle_cheaply() {
+        let bench = RedisBenchmark::new(0.03, 7);
+        let report = mlos_tune(&bench, 10, 15, 21).expect("tunes");
+        assert!(report.fraction_of_oracle > 0.95, "{}", report.fraction_of_oracle);
+        assert!(report.runs_spent <= 25);
+        assert!(report.runs_spent < VmConfig::grid().len() / 4, "must beat exhaustive search");
+    }
+
+    #[test]
+    fn mlos_beats_random_at_equal_budget() {
+        let bench = RedisBenchmark::new(0.03, 7);
+        let mut mlos_wins = 0;
+        for seed in 0..5 {
+            let mlos = mlos_tune(&bench, 10, 15, seed).expect("tunes");
+            let random = random_tune(&bench, mlos.runs_spent, seed);
+            if mlos.fraction_of_oracle >= random.fraction_of_oracle {
+                mlos_wins += 1;
+            }
+        }
+        assert!(mlos_wins >= 3, "MLOS won only {mlos_wins}/5 seeds");
+    }
+
+    #[test]
+    fn benchmark_is_deterministic_per_run_index() {
+        let bench = RedisBenchmark::new(0.1, 3);
+        let c = VmConfig { backlog: 512, dirty_ratio: 20, hugepages: false };
+        assert_eq!(bench.run(&c, 5), bench.run(&c, 5));
+        assert_ne!(bench.run(&c, 5), bench.run(&c, 6));
+    }
+}

@@ -1,0 +1,172 @@
+//! Portable model containers (Direction 2).
+//!
+//! "To simplify the reuse of models for deployment within a common
+//! infrastructure, we also adopt standard representations for ML models,
+//! such as ONNX. Furthermore, we package an ML model (along with any
+//! additional required code and libraries) into a standard generic
+//! container that can be efficiently reused across systems."
+//!
+//! A [`ModelBundle`] is that container in miniature: a versioned envelope
+//! holding the model kind, free-form metadata (training provenance,
+//! metrics), and the serialized model payload. Any `Serialize +
+//! Deserialize` model in this workspace can be packed, shipped as JSON, and
+//! unpacked by a different service — with version and kind checks at the
+//! boundary so deployment mismatches fail loudly instead of silently.
+
+use crate::{MlError, Result};
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The bundle format identifier + version this crate reads and writes.
+pub const FORMAT: &str = "adas-model/1";
+
+/// What kind of model a bundle holds (consumers dispatch on this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// [`crate::linear::LinearRegression`]
+    LinearRegression,
+    /// [`crate::logistic::LogisticRegression`]
+    LogisticRegression,
+    /// [`crate::tree::DecisionTree`]
+    DecisionTree,
+    /// [`crate::forest::RandomForest`]
+    RandomForest,
+    /// [`crate::gbm::GradientBoosting`]
+    GradientBoosting,
+    /// [`crate::cluster::KMeans`]
+    KMeans,
+    /// [`crate::forecast::SeasonalNaive`]
+    SeasonalNaive,
+    /// [`crate::forecast::HoltWinters`]
+    HoltWinters,
+}
+
+/// A versioned, self-describing model container.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelBundle {
+    /// Format identifier; must equal [`FORMAT`] to unpack.
+    pub format: String,
+    /// The model kind inside.
+    pub kind: ModelKind,
+    /// Human-assigned model name (e.g. `seagull-load-v3`).
+    pub name: String,
+    /// Free-form provenance/metrics metadata.
+    pub metadata: BTreeMap<String, String>,
+    /// The serialized model.
+    payload: serde_json::Value,
+}
+
+impl ModelBundle {
+    /// Packs a model into a bundle.
+    pub fn pack<M: Serialize>(kind: ModelKind, name: &str, model: &M) -> Result<Self> {
+        let payload = serde_json::to_value(model)
+            .map_err(|e| MlError::InvalidParameter(format!("model not serializable: {e}")))?;
+        Ok(Self {
+            format: FORMAT.to_string(),
+            kind,
+            name: name.to_string(),
+            metadata: BTreeMap::new(),
+            payload,
+        })
+    }
+
+    /// Adds a metadata entry (builder style).
+    pub fn with_metadata(mut self, key: &str, value: &str) -> Self {
+        self.metadata.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    /// Unpacks the model, verifying format and kind.
+    pub fn unpack<M: DeserializeOwned>(&self, expected: ModelKind) -> Result<M> {
+        if self.format != FORMAT {
+            return Err(MlError::InvalidParameter(format!(
+                "unsupported bundle format `{}` (this build reads `{FORMAT}`)",
+                self.format
+            )));
+        }
+        if self.kind != expected {
+            return Err(MlError::InvalidParameter(format!(
+                "bundle holds {:?}, caller expected {:?}",
+                self.kind, expected
+            )));
+        }
+        serde_json::from_value(self.payload.clone())
+            .map_err(|e| MlError::InvalidParameter(format!("payload does not decode: {e}")))
+    }
+
+    /// Serializes the whole bundle to JSON (the wire/storage form).
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string(self)
+            .map_err(|e| MlError::InvalidParameter(format!("bundle not serializable: {e}")))
+    }
+
+    /// Parses a bundle from JSON.
+    pub fn from_json(json: &str) -> Result<Self> {
+        serde_json::from_str(json)
+            .map_err(|e| MlError::InvalidParameter(format!("not a model bundle: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+    use crate::forecast::{Forecaster, HoltWinters, HwConfig};
+    use crate::linear::LinearRegression;
+    use crate::Regressor;
+
+    fn fitted_line() -> LinearRegression {
+        let pairs: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 + 2.0 * i as f64)).collect();
+        LinearRegression::fit(&Dataset::from_xy(&pairs).expect("ok")).expect("fits")
+    }
+
+    #[test]
+    fn linear_model_round_trips_through_json() {
+        let model = fitted_line();
+        let bundle = ModelBundle::pack(ModelKind::LinearRegression, "test-line", &model)
+            .expect("packs")
+            .with_metadata("trained_on", "unit-test")
+            .with_metadata("r_squared", "1.0");
+        let json = bundle.to_json().expect("serializes");
+        let restored = ModelBundle::from_json(&json).expect("parses");
+        assert_eq!(restored.metadata["trained_on"], "unit-test");
+        let back: LinearRegression =
+            restored.unpack(ModelKind::LinearRegression).expect("unpacks");
+        assert!((back.predict(&[7.0]) - model.predict(&[7.0])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn forecaster_round_trips() {
+        let values: Vec<f64> = (0..96)
+            .map(|i| if (8..18).contains(&(i % 24)) { 10.0 } else { 2.0 })
+            .collect();
+        let model = HoltWinters::fit(&values, 24, HwConfig::default()).expect("fits");
+        let bundle = ModelBundle::pack(ModelKind::HoltWinters, "hw", &model).expect("packs");
+        let back: HoltWinters = bundle.unpack(ModelKind::HoltWinters).expect("unpacks");
+        assert_eq!(model.forecast(24), back.forecast(24));
+    }
+
+    #[test]
+    fn kind_mismatch_rejected() {
+        let bundle =
+            ModelBundle::pack(ModelKind::LinearRegression, "x", &fitted_line()).expect("packs");
+        let err = bundle.unpack::<LinearRegression>(ModelKind::KMeans).unwrap_err();
+        assert!(err.to_string().contains("expected"));
+    }
+
+    #[test]
+    fn foreign_format_rejected() {
+        let mut bundle =
+            ModelBundle::pack(ModelKind::LinearRegression, "x", &fitted_line()).expect("packs");
+        bundle.format = "adas-model/99".to_string();
+        let err = bundle.unpack::<LinearRegression>(ModelKind::LinearRegression).unwrap_err();
+        assert!(err.to_string().contains("unsupported bundle format"));
+    }
+
+    #[test]
+    fn garbage_json_rejected() {
+        assert!(ModelBundle::from_json("not json").is_err());
+        assert!(ModelBundle::from_json("{\"nope\": 1}").is_err());
+    }
+}

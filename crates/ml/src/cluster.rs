@@ -1,0 +1,200 @@
+//! K-means clustering with k-means++ seeding.
+//!
+//! Doppler segments customers by resource-profile similarity so that "new
+//! customers benefit from the decisions made by customers with similar
+//! characteristics"; this module provides that segmentation primitive.
+
+use crate::{MlError, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A fitted k-means model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KMeans {
+    centroids: Vec<Vec<f64>>,
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum()
+}
+
+impl KMeans {
+    /// Fits `k` clusters on `points` with k-means++ initialization and at
+    /// most `max_iter` Lloyd iterations. Deterministic for a fixed seed.
+    pub fn fit(points: &[Vec<f64>], k: usize, max_iter: usize, seed: u64) -> Result<Self> {
+        if points.is_empty() {
+            return Err(MlError::EmptyDataset);
+        }
+        if k == 0 || k > points.len() {
+            return Err(MlError::InvalidParameter(format!(
+                "k must be in 1..={}, got {k}",
+                points.len()
+            )));
+        }
+        let width = points[0].len();
+        if let Some(bad) = points.iter().find(|p| p.len() != width) {
+            return Err(MlError::RaggedFeatures { expected: width, found: bad.len() });
+        }
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        // k-means++ seeding.
+        let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+        centroids.push(points[rng.gen_range(0..points.len())].clone());
+        while centroids.len() < k {
+            let dists: Vec<f64> = points
+                .iter()
+                .map(|p| {
+                    centroids
+                        .iter()
+                        .map(|c| sq_dist(p, c))
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .collect();
+            let total: f64 = dists.iter().sum();
+            if total <= 0.0 {
+                // All remaining points coincide with a centroid; duplicate one.
+                centroids.push(centroids[0].clone());
+                continue;
+            }
+            let mut target = rng.gen::<f64>() * total;
+            let mut chosen = points.len() - 1;
+            for (i, d) in dists.iter().enumerate() {
+                target -= d;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            centroids.push(points[chosen].clone());
+        }
+
+        // Lloyd iterations.
+        let mut assignment = vec![0usize; points.len()];
+        for _ in 0..max_iter {
+            let mut changed = false;
+            for (i, p) in points.iter().enumerate() {
+                let nearest = Self::nearest(&centroids, p);
+                if assignment[i] != nearest {
+                    assignment[i] = nearest;
+                    changed = true;
+                }
+            }
+            let mut sums = vec![vec![0.0; width]; k];
+            let mut counts = vec![0usize; k];
+            for (p, &a) in points.iter().zip(&assignment) {
+                counts[a] += 1;
+                for (s, v) in sums[a].iter_mut().zip(p) {
+                    *s += v;
+                }
+            }
+            for c in 0..k {
+                if counts[c] > 0 {
+                    for (cv, s) in centroids[c].iter_mut().zip(&sums[c]) {
+                        *cv = s / counts[c] as f64;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        Ok(Self { centroids })
+    }
+
+    fn nearest(centroids: &[Vec<f64>], p: &[f64]) -> usize {
+        centroids
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                sq_dist(p, a).partial_cmp(&sq_dist(p, b)).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(i, _)| i)
+            .expect("k >= 1")
+    }
+
+    /// Index of the cluster whose centroid is closest to `point`.
+    pub fn assign(&self, point: &[f64]) -> usize {
+        Self::nearest(&self.centroids, point)
+    }
+
+    /// The fitted centroids.
+    pub fn centroids(&self) -> &[Vec<f64>] {
+        &self.centroids
+    }
+
+    /// Within-cluster sum of squared distances for `points` (inertia).
+    pub fn inertia(&self, points: &[Vec<f64>]) -> f64 {
+        points
+            .iter()
+            .map(|p| sq_dist(p, &self.centroids[self.assign(p)]))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for center in [[0.0, 0.0], [10.0, 10.0], [0.0, 10.0]] {
+            for i in 0..20 {
+                let jx = (i % 5) as f64 * 0.1;
+                let jy = (i / 5) as f64 * 0.1;
+                pts.push(vec![center[0] + jx, center[1] + jy]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_well_separated_blobs() {
+        let pts = three_blobs();
+        let km = KMeans::fit(&pts, 3, 50, 7).unwrap();
+        // All points in a blob share an assignment; blobs differ.
+        let a0 = km.assign(&pts[0]);
+        let a1 = km.assign(&pts[20]);
+        let a2 = km.assign(&pts[40]);
+        assert!(pts[..20].iter().all(|p| km.assign(p) == a0));
+        assert!(pts[20..40].iter().all(|p| km.assign(p) == a1));
+        assert!(pts[40..].iter().all(|p| km.assign(p) == a2));
+        assert_ne!(a0, a1);
+        assert_ne!(a1, a2);
+        assert_ne!(a0, a2);
+    }
+
+    #[test]
+    fn inertia_decreases_with_k() {
+        let pts = three_blobs();
+        let i1 = KMeans::fit(&pts, 1, 50, 7).unwrap().inertia(&pts);
+        let i3 = KMeans::fit(&pts, 3, 50, 7).unwrap().inertia(&pts);
+        assert!(i3 < i1 * 0.2, "i1={i1}, i3={i3}");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let pts = three_blobs();
+        let a = KMeans::fit(&pts, 3, 50, 7).unwrap();
+        let b = KMeans::fit(&pts, 3, 50, 7).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let pts = three_blobs();
+        assert!(KMeans::fit(&[], 1, 10, 0).is_err());
+        assert!(KMeans::fit(&pts, 0, 10, 0).is_err());
+        assert!(KMeans::fit(&pts, pts.len() + 1, 10, 0).is_err());
+        let ragged = vec![vec![1.0], vec![1.0, 2.0]];
+        assert!(KMeans::fit(&ragged, 1, 10, 0).is_err());
+    }
+
+    #[test]
+    fn identical_points_do_not_loop_forever() {
+        let pts = vec![vec![1.0, 1.0]; 10];
+        let km = KMeans::fit(&pts, 3, 100, 0).unwrap();
+        assert_eq!(km.assign(&[1.0, 1.0]), km.assign(&[1.0, 1.0]));
+        assert_eq!(km.inertia(&pts), 0.0);
+    }
+}

@@ -1,0 +1,233 @@
+//! Feature matrices, deterministic splits and scaling.
+
+use crate::{MlError, Result};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A supervised dataset: feature rows plus one real-valued target per row.
+///
+/// Classification tasks encode the label as `f64` (e.g. `0.0` / `1.0`);
+/// the tree and logistic models document their own conventions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    features: Vec<Vec<f64>>,
+    targets: Vec<f64>,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating shape consistency.
+    pub fn new(features: Vec<Vec<f64>>, targets: Vec<f64>) -> Result<Self> {
+        if features.is_empty() {
+            return Err(MlError::EmptyDataset);
+        }
+        if features.len() != targets.len() {
+            return Err(MlError::LengthMismatch { rows: features.len(), targets: targets.len() });
+        }
+        let width = features[0].len();
+        for row in &features {
+            if row.len() != width {
+                return Err(MlError::RaggedFeatures { expected: width, found: row.len() });
+            }
+        }
+        Ok(Self { features, targets })
+    }
+
+    /// Builds a single-feature dataset from `(x, y)` pairs.
+    pub fn from_xy(pairs: &[(f64, f64)]) -> Result<Self> {
+        let features = pairs.iter().map(|&(x, _)| vec![x]).collect();
+        let targets = pairs.iter().map(|&(_, y)| y).collect();
+        Self::new(features, targets)
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// True when the dataset has no rows (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Number of features per row.
+    pub fn width(&self) -> usize {
+        self.features[0].len()
+    }
+
+    /// Borrow the feature rows.
+    pub fn features(&self) -> &[Vec<f64>] {
+        &self.features
+    }
+
+    /// Borrow the targets.
+    pub fn targets(&self) -> &[f64] {
+        &self.targets
+    }
+
+    /// One row and its target.
+    pub fn row(&self, i: usize) -> (&[f64], f64) {
+        (&self.features[i], self.targets[i])
+    }
+
+    /// Sub-dataset selected by row indices (rows may repeat — used by
+    /// bootstrap sampling).
+    pub fn select(&self, indices: &[usize]) -> Dataset {
+        let features = indices.iter().map(|&i| self.features[i].clone()).collect();
+        let targets = indices.iter().map(|&i| self.targets[i]).collect();
+        Dataset { features, targets }
+    }
+
+    /// Deterministic shuffled train/test split. `train_fraction` must lie in
+    /// `(0, 1)`; both sides are guaranteed non-empty.
+    pub fn split(&self, train_fraction: f64, seed: u64) -> Result<(Dataset, Dataset)> {
+        if !(train_fraction > 0.0 && train_fraction < 1.0) {
+            return Err(MlError::InvalidParameter(format!(
+                "train_fraction must be in (0,1), got {train_fraction}"
+            )));
+        }
+        if self.len() < 2 {
+            return Err(MlError::InsufficientData("need at least 2 rows to split".into()));
+        }
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        indices.shuffle(&mut rng);
+        let cut = ((self.len() as f64 * train_fraction).round() as usize).clamp(1, self.len() - 1);
+        Ok((self.select(&indices[..cut]), self.select(&indices[cut..])))
+    }
+}
+
+/// Per-feature standardization (`(x - mean) / std`), fit on training data
+/// and applied to any compatible rows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fits the scaler to the feature columns of `data`. Constant columns
+    /// get a std of 1 so they pass through centred at zero.
+    pub fn fit(data: &Dataset) -> Self {
+        let width = data.width();
+        let n = data.len() as f64;
+        let mut means = vec![0.0; width];
+        for row in data.features() {
+            for (m, v) in means.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut stds = vec![0.0; width];
+        for row in data.features() {
+            for ((s, v), m) in stds.iter_mut().zip(row).zip(&means) {
+                *s += (v - m).powi(2);
+            }
+        }
+        for s in &mut stds {
+            *s = (*s / n).sqrt();
+            if *s < 1e-12 {
+                *s = 1.0;
+            }
+        }
+        Self { means, stds }
+    }
+
+    /// Transforms one row.
+    pub fn transform_row(&self, row: &[f64]) -> Vec<f64> {
+        row.iter()
+            .zip(&self.means)
+            .zip(&self.stds)
+            .map(|((v, m), s)| (v - m) / s)
+            .collect()
+    }
+
+    /// Transforms an entire dataset, preserving the targets.
+    pub fn transform(&self, data: &Dataset) -> Dataset {
+        Dataset {
+            features: data.features().iter().map(|r| self.transform_row(r)).collect(),
+            targets: data.targets().to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            (0..10).map(|i| vec![i as f64, (i * i) as f64]).collect(),
+            (0..10).map(|i| i as f64).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn shape_validation() {
+        assert_eq!(Dataset::new(vec![], vec![]).unwrap_err(), MlError::EmptyDataset);
+        assert!(matches!(
+            Dataset::new(vec![vec![1.0]], vec![1.0, 2.0]),
+            Err(MlError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            Dataset::new(vec![vec![1.0], vec![1.0, 2.0]], vec![1.0, 2.0]),
+            Err(MlError::RaggedFeatures { .. })
+        ));
+    }
+
+    #[test]
+    fn split_is_deterministic_and_partitions() {
+        let d = toy();
+        let (tr1, te1) = d.split(0.7, 42).unwrap();
+        let (tr2, te2) = d.split(0.7, 42).unwrap();
+        assert_eq!(tr1, tr2);
+        assert_eq!(te1, te2);
+        assert_eq!(tr1.len() + te1.len(), d.len());
+        assert_eq!(tr1.len(), 7);
+        // Different seed, different shuffle (with overwhelming probability).
+        let (tr3, _) = d.split(0.7, 43).unwrap();
+        assert_ne!(tr1, tr3);
+    }
+
+    #[test]
+    fn split_bounds() {
+        let d = toy();
+        assert!(d.split(0.0, 1).is_err());
+        assert!(d.split(1.0, 1).is_err());
+        // Extreme fractions still leave both sides non-empty.
+        let (tr, te) = d.split(0.999, 1).unwrap();
+        assert!(!tr.is_empty() && !te.is_empty());
+    }
+
+    #[test]
+    fn select_with_repeats() {
+        let d = toy();
+        let s = d.select(&[0, 0, 3]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.targets(), &[0.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn scaler_standardizes() {
+        let d = Dataset::new(vec![vec![1.0, 5.0], vec![3.0, 5.0]], vec![0.0, 1.0]).unwrap();
+        let scaler = StandardScaler::fit(&d);
+        let t = scaler.transform(&d);
+        // First column: mean 2, std 1 → values -1, 1.
+        assert_eq!(t.features()[0][0], -1.0);
+        assert_eq!(t.features()[1][0], 1.0);
+        // Constant column passes through centred.
+        assert_eq!(t.features()[0][1], 0.0);
+        assert_eq!(t.targets(), d.targets());
+    }
+
+    #[test]
+    fn from_xy_builds_single_feature() {
+        let d = Dataset::from_xy(&[(1.0, 2.0), (3.0, 4.0)]).unwrap();
+        assert_eq!(d.width(), 1);
+        assert_eq!(d.row(1), (&[3.0][..], 4.0));
+    }
+}

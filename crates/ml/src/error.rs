@@ -1,0 +1,48 @@
+use std::fmt;
+
+/// Errors produced by the ML substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MlError {
+    /// Training data was empty or otherwise unusable.
+    EmptyDataset,
+    /// Feature rows had inconsistent lengths.
+    RaggedFeatures {
+        /// Expected row width (from the first row).
+        expected: usize,
+        /// Offending row width.
+        found: usize,
+    },
+    /// Number of feature rows and targets differ.
+    LengthMismatch {
+        /// Number of feature rows.
+        rows: usize,
+        /// Number of targets.
+        targets: usize,
+    },
+    /// The normal-equation (or other linear) system was singular.
+    SingularMatrix,
+    /// A hyper-parameter was out of its valid range.
+    InvalidParameter(String),
+    /// Not enough data for the requested operation (e.g. k-means with more
+    /// clusters than points, forecasting without a full season).
+    InsufficientData(String),
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyDataset => write!(f, "training data is empty"),
+            Self::RaggedFeatures { expected, found } => {
+                write!(f, "feature rows have inconsistent widths: expected {expected}, found {found}")
+            }
+            Self::LengthMismatch { rows, targets } => {
+                write!(f, "{rows} feature rows but {targets} targets")
+            }
+            Self::SingularMatrix => write!(f, "linear system is singular or ill-conditioned"),
+            Self::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            Self::InsufficientData(msg) => write!(f, "insufficient data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MlError {}

@@ -1,0 +1,263 @@
+//! Time-series forecasting: seasonal naive, previous-period heuristic,
+//! simple and Holt-Winters exponential smoothing.
+//!
+//! Seagull found that "a simple heuristic that predicts the load of a server
+//! based on that of the previous day was already sufficient to generate 96%
+//! accuracy" — the [`SeasonalNaive`] forecaster *is* that heuristic.
+//! Moneyball and the proactive provisioning policies use [`HoltWinters`]
+//! when trend/level adaptation matters.
+
+use crate::{MlError, Result};
+use serde::{Deserialize, Serialize};
+
+/// A fitted forecaster over a univariate, evenly spaced series.
+pub trait Forecaster {
+    /// Forecast `horizon` steps past the end of the training series.
+    fn forecast(&self, horizon: usize) -> Vec<f64>;
+}
+
+/// Seasonal-naive: the forecast for step `t` is the observation one season
+/// earlier. With `period` equal to one day of samples this is exactly the
+/// paper's previous-day heuristic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeasonalNaive {
+    last_season: Vec<f64>,
+}
+
+impl SeasonalNaive {
+    /// Fits on `values`, keeping the final `period` observations.
+    pub fn fit(values: &[f64], period: usize) -> Result<Self> {
+        if period == 0 {
+            return Err(MlError::InvalidParameter("period must be >= 1".into()));
+        }
+        if values.len() < period {
+            return Err(MlError::InsufficientData(format!(
+                "need at least one full period ({period}), got {} samples",
+                values.len()
+            )));
+        }
+        Ok(Self { last_season: values[values.len() - period..].to_vec() })
+    }
+}
+
+impl Forecaster for SeasonalNaive {
+    fn forecast(&self, horizon: usize) -> Vec<f64> {
+        (0..horizon)
+            .map(|h| self.last_season[h % self.last_season.len()])
+            .collect()
+    }
+}
+
+/// Simple exponential smoothing (level only).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimpleSmoothing {
+    level: f64,
+}
+
+impl SimpleSmoothing {
+    /// Fits with smoothing factor `alpha` in `(0, 1]`.
+    pub fn fit(values: &[f64], alpha: f64) -> Result<Self> {
+        if values.is_empty() {
+            return Err(MlError::EmptyDataset);
+        }
+        if !(alpha > 0.0 && alpha <= 1.0) {
+            return Err(MlError::InvalidParameter(format!("alpha must be in (0,1], got {alpha}")));
+        }
+        let mut level = values[0];
+        for &v in &values[1..] {
+            level = alpha * v + (1.0 - alpha) * level;
+        }
+        Ok(Self { level })
+    }
+
+    /// The smoothed level.
+    pub fn level(&self) -> f64 {
+        self.level
+    }
+}
+
+impl Forecaster for SimpleSmoothing {
+    fn forecast(&self, horizon: usize) -> Vec<f64> {
+        vec![self.level; horizon]
+    }
+}
+
+/// Additive Holt-Winters: level + trend + seasonal components.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HoltWinters {
+    level: f64,
+    trend: f64,
+    seasonal: Vec<f64>,
+    period: usize,
+}
+
+/// Smoothing factors for [`HoltWinters`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HwConfig {
+    /// Level smoothing, in `(0, 1)`.
+    pub alpha: f64,
+    /// Trend smoothing, in `(0, 1)`.
+    pub beta: f64,
+    /// Seasonal smoothing, in `(0, 1)`.
+    pub gamma: f64,
+}
+
+impl Default for HwConfig {
+    fn default() -> Self {
+        Self { alpha: 0.3, beta: 0.05, gamma: 0.2 }
+    }
+}
+
+impl HoltWinters {
+    /// Fits on `values` with seasonality `period`; requires at least two
+    /// full periods.
+    pub fn fit(values: &[f64], period: usize, config: HwConfig) -> Result<Self> {
+        for (name, v) in [("alpha", config.alpha), ("beta", config.beta), ("gamma", config.gamma)] {
+            if !(v > 0.0 && v < 1.0) {
+                return Err(MlError::InvalidParameter(format!("{name} must be in (0,1), got {v}")));
+            }
+        }
+        if period < 2 {
+            return Err(MlError::InvalidParameter("period must be >= 2".into()));
+        }
+        if values.len() < 2 * period {
+            return Err(MlError::InsufficientData(format!(
+                "need >= 2 periods ({}) of data, got {}",
+                2 * period,
+                values.len()
+            )));
+        }
+        // Initialize level/trend from the first two periods, seasonal from
+        // deviations of the first period.
+        let first_mean: f64 = values[..period].iter().sum::<f64>() / period as f64;
+        let second_mean: f64 = values[period..2 * period].iter().sum::<f64>() / period as f64;
+        let mut level = first_mean;
+        let mut trend = (second_mean - first_mean) / period as f64;
+        let mut seasonal: Vec<f64> = values[..period].iter().map(|v| v - first_mean).collect();
+
+        for (i, &v) in values.iter().enumerate().skip(period) {
+            let s_idx = i % period;
+            let prev_level = level;
+            level = config.alpha * (v - seasonal[s_idx]) + (1.0 - config.alpha) * (level + trend);
+            trend = config.beta * (level - prev_level) + (1.0 - config.beta) * trend;
+            seasonal[s_idx] = config.gamma * (v - level) + (1.0 - config.gamma) * seasonal[s_idx];
+        }
+        // Rotate seasonal so index 0 corresponds to the first forecast step.
+        let offset = values.len() % period;
+        let rotated: Vec<f64> = (0..period).map(|i| seasonal[(offset + i) % period]).collect();
+        Ok(Self { level, trend, seasonal: rotated, period })
+    }
+}
+
+impl Forecaster for HoltWinters {
+    fn forecast(&self, horizon: usize) -> Vec<f64> {
+        (0..horizon)
+            .map(|h| self.level + (h + 1) as f64 * self.trend + self.seasonal[h % self.period])
+            .collect()
+    }
+}
+
+/// Forecast-accuracy helper used by the experiment harness: fraction of
+/// forecasts within `tolerance` (relative) of the actuals, i.e. the
+/// "accuracy" metric Seagull and the SKU recommender report.
+pub fn within_tolerance_accuracy(actual: &[f64], forecast: &[f64], tolerance: f64) -> f64 {
+    assert_eq!(actual.len(), forecast.len(), "series lengths must match");
+    if actual.is_empty() {
+        return 0.0;
+    }
+    let hits = actual
+        .iter()
+        .zip(forecast)
+        .filter(|(a, f)| {
+            let scale = a.abs().max(1e-9);
+            ((*a - *f).abs() / scale) <= tolerance
+        })
+        .count();
+    hits as f64 / actual.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn daily(days: usize) -> Vec<f64> {
+        (0..days * 24)
+            .map(|i| if (8..18).contains(&(i % 24)) { 10.0 } else { 2.0 })
+            .collect()
+    }
+
+    #[test]
+    fn seasonal_naive_repeats_last_period() {
+        let values = daily(3);
+        let f = SeasonalNaive::fit(&values, 24).unwrap();
+        let fc = f.forecast(48);
+        assert_eq!(fc.len(), 48);
+        assert_eq!(&fc[..24], &values[48..72]);
+        assert_eq!(&fc[24..], &values[48..72]);
+    }
+
+    #[test]
+    fn seasonal_naive_perfect_on_pure_seasonality() {
+        let values = daily(4);
+        let f = SeasonalNaive::fit(&values[..72], 24).unwrap();
+        let acc = within_tolerance_accuracy(&values[72..], &f.forecast(24), 0.01);
+        assert_eq!(acc, 1.0);
+    }
+
+    #[test]
+    fn seasonal_naive_validation() {
+        assert!(SeasonalNaive::fit(&[1.0], 0).is_err());
+        assert!(SeasonalNaive::fit(&[1.0, 2.0], 3).is_err());
+    }
+
+    #[test]
+    fn simple_smoothing_converges_to_constant() {
+        let values = vec![5.0; 50];
+        let f = SimpleSmoothing::fit(&values, 0.5).unwrap();
+        assert_eq!(f.level(), 5.0);
+        assert_eq!(f.forecast(3), vec![5.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn simple_smoothing_tracks_level_shift() {
+        let mut values = vec![0.0; 20];
+        values.extend(vec![10.0; 20]);
+        let f = SimpleSmoothing::fit(&values, 0.3).unwrap();
+        assert!(f.level() > 9.0);
+    }
+
+    #[test]
+    fn holt_winters_captures_trend_and_season() {
+        // Upward trend + daily seasonality.
+        let values: Vec<f64> = (0..24 * 6)
+            .map(|i| 0.05 * i as f64 + if (8..18).contains(&(i % 24)) { 10.0 } else { 2.0 })
+            .collect();
+        let f = HoltWinters::fit(&values, 24, HwConfig::default()).unwrap();
+        let fc = f.forecast(24);
+        // Forecast for a peak hour should exceed forecast for a trough hour.
+        // Training ends at i = 143 (hour 23); forecast step h corresponds to hour h.
+        assert!(fc[12] > fc[2] + 4.0, "peak {} vs trough {}", fc[12], fc[2]);
+        // Trend continues upward: next-day mean above last-day mean.
+        let last_day_mean: f64 = values[24 * 5..].iter().sum::<f64>() / 24.0;
+        let fc_mean: f64 = fc.iter().sum::<f64>() / 24.0;
+        assert!(fc_mean > last_day_mean);
+    }
+
+    #[test]
+    fn holt_winters_validation() {
+        let values = daily(3);
+        assert!(HoltWinters::fit(&values, 1, HwConfig::default()).is_err());
+        assert!(HoltWinters::fit(&values[..24], 24, HwConfig::default()).is_err());
+        let bad = HwConfig { alpha: 0.0, ..Default::default() };
+        assert!(HoltWinters::fit(&values, 24, bad).is_err());
+    }
+
+    #[test]
+    fn tolerance_accuracy_counts_hits() {
+        let actual = [10.0, 10.0, 10.0, 10.0];
+        let forecast = [10.5, 12.0, 9.8, 20.0];
+        // 5% tolerance: hits at 10.5? |0.5|/10 = 0.05 ≤ 0.05 yes; 12 no; 9.8 yes; 20 no.
+        assert_eq!(within_tolerance_accuracy(&actual, &forecast, 0.05), 0.5);
+        assert_eq!(within_tolerance_accuracy(&[], &[], 0.1), 0.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! K-nearest-neighbour regression and classification.
+//!
+//! Doppler's "compare new customers to existing segments of Azure customers"
+//! is at heart a nearest-neighbour lookup over customer profiles; this
+//! module provides the brute-force (exact) primitive.
+
+use crate::dataset::Dataset;
+use crate::{Classifier, MlError, Regressor, Result};
+use serde::{Deserialize, Serialize};
+
+/// A fitted (memorized) k-NN model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KNearest {
+    k: usize,
+    points: Vec<Vec<f64>>,
+    targets: Vec<f64>,
+}
+
+impl KNearest {
+    /// Memorizes the dataset. `k` must be in `1..=len`.
+    pub fn fit(data: &Dataset, k: usize) -> Result<Self> {
+        if k == 0 || k > data.len() {
+            return Err(MlError::InvalidParameter(format!(
+                "k must be in 1..={}, got {k}",
+                data.len()
+            )));
+        }
+        Ok(Self { k, points: data.features().to_vec(), targets: data.targets().to_vec() })
+    }
+
+    /// Indices of the `k` nearest training points to `query` (squared
+    /// Euclidean distance, ties broken by index order).
+    pub fn neighbors(&self, query: &[f64]) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.points.len()).collect();
+        let dist = |i: usize| -> f64 {
+            self.points[i]
+                .iter()
+                .zip(query)
+                .map(|(a, b)| (a - b).powi(2))
+                .sum()
+        };
+        order.sort_by(|&a, &b| {
+            dist(a)
+                .partial_cmp(&dist(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        order.truncate(self.k);
+        order
+    }
+}
+
+impl Regressor for KNearest {
+    /// Mean target over the k nearest neighbours.
+    fn predict(&self, features: &[f64]) -> f64 {
+        let nn = self.neighbors(features);
+        nn.iter().map(|&i| self.targets[i]).sum::<f64>() / nn.len() as f64
+    }
+}
+
+impl Classifier for KNearest {
+    /// Majority label (targets are rounded to `usize`), smallest label wins
+    /// ties for determinism.
+    fn classify(&self, features: &[f64]) -> usize {
+        let nn = self.neighbors(features);
+        let mut counts: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
+        for &i in &nn {
+            *counts.entry(self.targets[i].round() as usize).or_insert(0) += 1;
+        }
+        counts
+            .into_iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .map(|(label, _)| label)
+            .expect("k >= 1")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Dataset {
+        // Two clusters of labels: left half 0, right half 1.
+        let features: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let targets: Vec<f64> = (0..10).map(|i| f64::from(i >= 5)).collect();
+        Dataset::new(features, targets).unwrap()
+    }
+
+    #[test]
+    fn regression_averages_neighbors() {
+        let data = Dataset::from_xy(&[(0.0, 0.0), (1.0, 10.0), (2.0, 20.0)]).unwrap();
+        let knn = KNearest::fit(&data, 2).unwrap();
+        // Nearest to 0.9 are x=1 (10.0) and x=0 (0.0).
+        assert_eq!(knn.predict(&[0.9]), 5.0);
+    }
+
+    #[test]
+    fn classification_majority() {
+        let knn = KNearest::fit(&grid(), 3).unwrap();
+        assert_eq!(knn.classify(&[1.0]), 0);
+        assert_eq!(knn.classify(&[8.0]), 1);
+    }
+
+    #[test]
+    fn k_validation() {
+        let data = grid();
+        assert!(KNearest::fit(&data, 0).is_err());
+        assert!(KNearest::fit(&data, 11).is_err());
+        assert!(KNearest::fit(&data, 10).is_ok());
+    }
+
+    #[test]
+    fn neighbors_sorted_by_distance_then_index() {
+        let data =
+            Dataset::new(vec![vec![0.0], vec![2.0], vec![2.0]], vec![0.0, 1.0, 2.0]).unwrap();
+        let knn = KNearest::fit(&data, 3).unwrap();
+        // Query at 2.0: the two equidistant points at index 1 and 2 come first.
+        assert_eq!(knn.neighbors(&[2.0]), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn exact_match_dominates() {
+        let knn = KNearest::fit(&grid(), 1).unwrap();
+        for i in 0..10 {
+            assert_eq!(knn.predict(&[i as f64]), f64::from(i >= 5));
+        }
+    }
+}

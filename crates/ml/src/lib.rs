@@ -1,0 +1,94 @@
+//! From-scratch machine-learning substrate for the autonomous data services
+//! reproduction.
+//!
+//! The paper's Insight 1 ("Simplicity rules") observes that in production,
+//! "simple heuristics tend to overrule ML and simple ML models, like linear
+//! models and tree-based models, tend to overrule complex deep learning
+//! models". This crate therefore implements exactly that family, natively in
+//! Rust with no external ML dependencies:
+//!
+//! * [`linear`] — ordinary least squares and ridge regression (the Fig 1
+//!   machine-behaviour models, KEA, AutoToken).
+//! * [`logistic`] — logistic regression for binary decisions.
+//! * [`tree`], [`forest`], [`gbm`] — CART decision trees, random forests and
+//!   gradient-boosted trees (cardinality/cost micromodels).
+//! * [`cluster`] — k-means with k-means++ seeding (Doppler's customer
+//!   segmentation).
+//! * [`knn`] — k-nearest-neighbour regression/classification.
+//! * [`bandit`] — epsilon-greedy and LinUCB contextual bandits (query
+//!   optimizer steering).
+//! * [`forecast`] — seasonal-naive, previous-period heuristic, simple and
+//!   Holt-Winters exponential smoothing (Seagull, Moneyball, proactive
+//!   provisioning).
+//! * [`metrics`] — MAE/RMSE/MAPE, q-error, R², classification metrics.
+//! * [`dataset`] — feature matrices, deterministic train/test splits,
+//!   standard scaling.
+//! * [`bundle`] — versioned portable model containers (the paper's
+//!   Direction 2: standard model representations for cross-system reuse).
+//!
+//! Everything is deterministic: all stochastic components take an explicit
+//! seed.
+//!
+//! # Example: fitting the Fig 1-style linear model
+//!
+//! ```
+//! use adas_ml::dataset::Dataset;
+//! use adas_ml::linear::LinearRegression;
+//! use adas_ml::Regressor;
+//!
+//! // CPU utilization as a function of running containers.
+//! let xs: Vec<Vec<f64>> = (0..20).map(|c| vec![c as f64]).collect();
+//! let ys: Vec<f64> = (0..20).map(|c| 0.05 + 0.03 * c as f64).collect();
+//! let data = Dataset::new(xs, ys).unwrap();
+//! let model = LinearRegression::fit(&data).unwrap();
+//! assert!((model.predict(&[10.0]) - 0.35).abs() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bandit;
+pub mod bundle;
+pub mod cluster;
+pub mod dataset;
+mod error;
+pub mod forecast;
+pub mod forest;
+pub mod gbm;
+pub mod knn;
+pub mod linalg;
+pub mod linear;
+pub mod logistic;
+pub mod metrics;
+pub mod tree;
+
+pub use error::MlError;
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, MlError>;
+
+/// A fitted model that maps a feature vector to a real-valued prediction.
+pub trait Regressor {
+    /// Predicts the target for one feature vector.
+    ///
+    /// Implementations must accept any slice whose length equals the number
+    /// of features the model was fitted on; behaviour for other lengths is
+    /// a panic (programmer error, not data error).
+    fn predict(&self, features: &[f64]) -> f64;
+
+    /// Predicts targets for a batch of feature vectors.
+    fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        rows.iter().map(|r| self.predict(r)).collect()
+    }
+}
+
+/// A fitted model that maps a feature vector to a discrete class label.
+pub trait Classifier {
+    /// Predicts the class label for one feature vector.
+    fn classify(&self, features: &[f64]) -> usize;
+
+    /// Predicts labels for a batch of feature vectors.
+    fn classify_batch(&self, rows: &[Vec<f64>]) -> Vec<usize> {
+        rows.iter().map(|r| self.classify(r)).collect()
+    }
+}

@@ -1,0 +1,255 @@
+//! Minimal dense linear algebra: just enough to solve the small normal
+//! equation systems produced by [`linear`](crate::linear) and
+//! [`bandit`](crate::bandit).
+//!
+//! Matrices are row-major `Vec<f64>` with explicit dimensions; systems here
+//! have at most a few dozen unknowns, so an `O(n^3)` Gaussian elimination
+//! with partial pivoting is the right tool (see the perf-book guidance on
+//! not reaching for heavyweight dependencies when n is tiny).
+
+use crate::{MlError, Result};
+
+/// A dense, row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates an identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from rows; all rows must share one width.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
+        let Some(first) = rows.first() else {
+            return Err(MlError::EmptyDataset);
+        };
+        let cols = first.len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            if row.len() != cols {
+                return Err(MlError::RaggedFeatures { expected: cols, found: row.len() });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Self { rows: rows.len(), cols, data })
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// `self^T * self` (Gram matrix), the core of the normal equations.
+    pub fn gram(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.cols);
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for i in 0..self.cols {
+                // Exploit symmetry: fill upper triangle then mirror.
+                for j in i..self.cols {
+                    out[(i, j)] += row[i] * row[j];
+                }
+            }
+        }
+        for i in 0..self.cols {
+            for j in 0..i {
+                out[(i, j)] = out[(j, i)];
+            }
+        }
+        out
+    }
+
+    /// `self^T * v` for a vector with one entry per row.
+    pub fn transpose_mul_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.rows, "vector length must equal row count");
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (o, x) in out.iter_mut().zip(row) {
+                *o += x * v[r];
+            }
+        }
+        out
+    }
+
+    /// Adds `lambda` to each diagonal entry (ridge regularization).
+    pub fn add_diagonal(&mut self, lambda: f64) {
+        let n = self.rows.min(self.cols);
+        for i in 0..n {
+            self[(i, i)] += lambda;
+        }
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+/// Solves the square system `a * x = b` in place via Gaussian elimination
+/// with partial pivoting.
+///
+/// Returns [`MlError::SingularMatrix`] when a pivot collapses below
+/// `1e-12`.
+pub fn solve(mut a: Matrix, mut b: Vec<f64>) -> Result<Vec<f64>> {
+    let n = a.nrows();
+    if a.ncols() != n || b.len() != n {
+        return Err(MlError::InvalidParameter(format!(
+            "solve requires square system, got {}x{} with rhs {}",
+            a.nrows(),
+            a.ncols(),
+            b.len()
+        )));
+    }
+    for col in 0..n {
+        // Partial pivot: largest |value| in this column at or below the diagonal.
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| {
+                a[(i, col)]
+                    .abs()
+                    .partial_cmp(&a[(j, col)].abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("non-empty range");
+        if a[(pivot_row, col)].abs() < 1e-12 {
+            return Err(MlError::SingularMatrix);
+        }
+        if pivot_row != col {
+            for c in 0..n {
+                let tmp = a[(col, c)];
+                a[(col, c)] = a[(pivot_row, c)];
+                a[(pivot_row, c)] = tmp;
+            }
+            b.swap(col, pivot_row);
+        }
+        let pivot = a[(col, col)];
+        for row in col + 1..n {
+            let factor = a[(row, col)] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                let v = a[(col, c)];
+                a[(row, c)] -= factor * v;
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for c in row + 1..n {
+            acc -= a[(row, c)] * x[c];
+        }
+        x[row] = acc / a[(row, row)];
+    }
+    Ok(x)
+}
+
+/// Dot product of two equal-length slices.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solve_returns_rhs() {
+        let a = Matrix::identity(3);
+        let x = solve(a, vec![1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // 2x + y = 5; x + 3y = 10 → x = 1, y = 3
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]).unwrap();
+        let x = solve(a, vec![5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero in the (0,0) position forces a row swap.
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let x = solve(a, vec![2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        assert_eq!(solve(a, vec![1.0, 2.0]).unwrap_err(), MlError::SingularMatrix);
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(solve(a, vec![0.0, 0.0]), Err(MlError::InvalidParameter(_))));
+    }
+
+    #[test]
+    fn gram_is_symmetric_psd_diagonal() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        let g = m.gram();
+        assert_eq!(g[(0, 1)], g[(1, 0)]);
+        assert_eq!(g[(0, 0)], 1.0 + 9.0 + 25.0);
+        assert_eq!(g[(1, 1)], 4.0 + 16.0 + 36.0);
+        assert_eq!(g[(0, 1)], 2.0 + 12.0 + 30.0);
+    }
+
+    #[test]
+    fn transpose_mul_vec_matches_manual() {
+        let m = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 2.0]]).unwrap();
+        assert_eq!(m.transpose_mul_vec(&[3.0, 4.0]), vec![3.0, 8.0]);
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        assert!(matches!(
+            Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]),
+            Err(MlError::RaggedFeatures { expected: 1, found: 2 })
+        ));
+    }
+
+    #[test]
+    fn add_diagonal_ridge() {
+        let mut m = Matrix::zeros(2, 2);
+        m.add_diagonal(0.5);
+        assert_eq!(m[(0, 0)], 0.5);
+        assert_eq!(m[(1, 1)], 0.5);
+        assert_eq!(m[(0, 1)], 0.0);
+    }
+}

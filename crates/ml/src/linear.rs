@@ -1,0 +1,158 @@
+//! Ordinary least squares and ridge regression.
+//!
+//! These are the workhorse models of the paper: the Fig 1 machine-behaviour
+//! models ("we employed multiple linear models to predict machine behavior"),
+//! KEA's scheduler tuning, and AutoToken's resource predictor are all linear
+//! models chosen for interpretability (Insight 1).
+
+use crate::dataset::Dataset;
+use crate::linalg::{dot, solve, Matrix};
+use crate::{Regressor, Result};
+use serde::{Deserialize, Serialize};
+
+/// A fitted linear regression `y = intercept + coefficients · x`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearRegression {
+    coefficients: Vec<f64>,
+    intercept: f64,
+}
+
+impl LinearRegression {
+    /// Fits by ordinary least squares via the normal equations.
+    pub fn fit(data: &Dataset) -> Result<Self> {
+        Self::fit_ridge(data, 0.0)
+    }
+
+    /// Fits ridge regression with L2 penalty `lambda >= 0` (the intercept is
+    /// not penalized).
+    pub fn fit_ridge(data: &Dataset, lambda: f64) -> Result<Self> {
+        // Augment each row with a leading 1 for the intercept.
+        let rows: Vec<Vec<f64>> = data
+            .features()
+            .iter()
+            .map(|r| {
+                let mut row = Vec::with_capacity(r.len() + 1);
+                row.push(1.0);
+                row.extend_from_slice(r);
+                row
+            })
+            .collect();
+        let x = Matrix::from_rows(&rows)?;
+        let mut gram = x.gram();
+        if lambda > 0.0 {
+            gram.add_diagonal(lambda);
+            // Undo the penalty on the intercept term.
+            gram[(0, 0)] -= lambda;
+        }
+        let rhs = x.transpose_mul_vec(data.targets());
+        let beta = solve(gram, rhs)?;
+        Ok(Self { coefficients: beta[1..].to_vec(), intercept: beta[0] })
+    }
+
+    /// Fitted slope coefficients, one per feature.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// Fitted intercept.
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+
+    /// Coefficient of determination on a dataset.
+    pub fn r_squared(&self, data: &Dataset) -> f64 {
+        let predictions = self.predict_batch(data.features());
+        crate::metrics::r_squared(data.targets(), &predictions)
+    }
+}
+
+impl Regressor for LinearRegression {
+    fn predict(&self, features: &[f64]) -> f64 {
+        assert_eq!(
+            features.len(),
+            self.coefficients.len(),
+            "feature width must match fitted model"
+        );
+        self.intercept + dot(&self.coefficients, features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn recovers_exact_line() {
+        let data = Dataset::from_xy(&[(0.0, 1.0), (1.0, 3.0), (2.0, 5.0)]).unwrap();
+        let m = LinearRegression::fit(&data).unwrap();
+        assert!((m.intercept() - 1.0).abs() < 1e-10);
+        assert!((m.coefficients()[0] - 2.0).abs() < 1e-10);
+        assert!((m.r_squared(&data) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovers_multivariate_plane() {
+        // y = 1 + 2a - 3b
+        let features: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![(i % 5) as f64, (i / 5) as f64])
+            .collect();
+        let targets: Vec<f64> = features.iter().map(|r| 1.0 + 2.0 * r[0] - 3.0 * r[1]).collect();
+        let data = Dataset::new(features, targets).unwrap();
+        let m = LinearRegression::fit(&data).unwrap();
+        assert!((m.predict(&[2.0, 1.0]) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn collinear_features_are_singular_but_ridge_works() {
+        // Second feature is a copy of the first → singular normal equations.
+        let features: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, i as f64]).collect();
+        let targets: Vec<f64> = (0..10).map(|i| 2.0 * i as f64).collect();
+        let data = Dataset::new(features, targets).unwrap();
+        assert!(LinearRegression::fit(&data).is_err());
+        let ridge = LinearRegression::fit_ridge(&data, 0.1).unwrap();
+        // Ridge splits the weight between the duplicates; prediction stays good.
+        assert!((ridge.predict(&[5.0, 5.0]) - 10.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn ridge_shrinks_coefficients() {
+        let data = Dataset::from_xy(&[(0.0, 0.1), (1.0, 2.1), (2.0, 3.9), (3.0, 6.1)]).unwrap();
+        let ols = LinearRegression::fit(&data).unwrap();
+        let ridge = LinearRegression::fit_ridge(&data, 10.0).unwrap();
+        assert!(ridge.coefficients()[0].abs() < ols.coefficients()[0].abs());
+    }
+
+    #[test]
+    #[should_panic(expected = "feature width")]
+    fn wrong_width_panics() {
+        let data = Dataset::from_xy(&[(0.0, 0.0), (1.0, 1.0)]).unwrap();
+        let m = LinearRegression::fit(&data).unwrap();
+        let _ = m.predict(&[1.0, 2.0]);
+    }
+
+    proptest! {
+        /// OLS recovers any noiseless affine function of one variable.
+        #[test]
+        fn prop_recovers_affine(slope in -100.0f64..100.0, intercept in -100.0f64..100.0) {
+            let pairs: Vec<(f64, f64)> =
+                (0..10).map(|i| (i as f64, intercept + slope * i as f64)).collect();
+            let data = Dataset::from_xy(&pairs).unwrap();
+            let m = LinearRegression::fit(&data).unwrap();
+            prop_assert!((m.coefficients()[0] - slope).abs() < 1e-6);
+            prop_assert!((m.intercept() - intercept).abs() < 1e-6);
+        }
+
+        /// Predictions are translation-equivariant: shifting targets by c
+        /// shifts predictions by c.
+        #[test]
+        fn prop_translation_equivariance(c in -50.0f64..50.0) {
+            let pairs: Vec<(f64, f64)> =
+                (0..8).map(|i| (i as f64, (i * i) as f64 * 0.3)).collect();
+            let shifted: Vec<(f64, f64)> = pairs.iter().map(|&(x, y)| (x, y + c)).collect();
+            let m1 = LinearRegression::fit(&Dataset::from_xy(&pairs).unwrap()).unwrap();
+            let m2 = LinearRegression::fit(&Dataset::from_xy(&shifted).unwrap()).unwrap();
+            prop_assert!((m1.predict(&[3.5]) + c - m2.predict(&[3.5])).abs() < 1e-6);
+        }
+    }
+}

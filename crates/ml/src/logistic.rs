@@ -1,0 +1,148 @@
+//! Binary logistic regression trained by batch gradient descent.
+//!
+//! Used where the paper's systems need calibrated probabilities for a binary
+//! decision — e.g. the steering validation model's "will this hint regress
+//! the plan?" gate and Moneyball's pause/no-pause decisions.
+
+use crate::dataset::Dataset;
+use crate::linalg::dot;
+use crate::{Classifier, MlError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Training configuration for [`LogisticRegression`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogisticConfig {
+    /// Gradient-descent learning rate.
+    pub learning_rate: f64,
+    /// Number of full-batch iterations.
+    pub iterations: usize,
+    /// L2 regularization strength (0 disables).
+    pub l2: f64,
+}
+
+impl Default for LogisticConfig {
+    fn default() -> Self {
+        Self { learning_rate: 0.1, iterations: 500, l2: 1e-4 }
+    }
+}
+
+/// A fitted binary logistic regression; targets must be `0.0` or `1.0`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogisticRegression {
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+impl LogisticRegression {
+    /// Fits the model. Targets outside `{0, 1}` are rejected.
+    pub fn fit(data: &Dataset, config: LogisticConfig) -> Result<Self> {
+        if config.learning_rate <= 0.0 || config.iterations == 0 {
+            return Err(MlError::InvalidParameter(
+                "learning_rate must be > 0 and iterations > 0".into(),
+            ));
+        }
+        if data.targets().iter().any(|&t| t != 0.0 && t != 1.0) {
+            return Err(MlError::InvalidParameter(
+                "logistic regression targets must be 0.0 or 1.0".into(),
+            ));
+        }
+        let n = data.len() as f64;
+        let width = data.width();
+        let mut weights = vec![0.0; width];
+        let mut bias = 0.0;
+        for _ in 0..config.iterations {
+            let mut grad_w = vec![0.0; width];
+            let mut grad_b = 0.0;
+            for (row, &target) in data.features().iter().zip(data.targets()) {
+                let err = sigmoid(bias + dot(&weights, row)) - target;
+                for (g, x) in grad_w.iter_mut().zip(row) {
+                    *g += err * x;
+                }
+                grad_b += err;
+            }
+            for (w, g) in weights.iter_mut().zip(&grad_w) {
+                *w -= config.learning_rate * (g / n + config.l2 * *w);
+            }
+            bias -= config.learning_rate * grad_b / n;
+        }
+        Ok(Self { weights, bias })
+    }
+
+    /// Probability that the label is 1.
+    pub fn predict_proba(&self, features: &[f64]) -> f64 {
+        assert_eq!(features.len(), self.weights.len(), "feature width must match fitted model");
+        sigmoid(self.bias + dot(&self.weights, features))
+    }
+
+    /// Fitted weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn classify(&self, features: &[f64]) -> usize {
+        usize::from(self.predict_proba(features) >= 0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn separable() -> Dataset {
+        // Class 1 iff x > 2.
+        let features: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 * 0.25]).collect();
+        let targets: Vec<f64> = features.iter().map(|r| f64::from(r[0] > 2.0)).collect();
+        Dataset::new(features, targets).unwrap()
+    }
+
+    #[test]
+    fn learns_separable_threshold() {
+        let m = LogisticRegression::fit(&separable(), LogisticConfig::default()).unwrap();
+        assert_eq!(m.classify(&[0.5]), 0);
+        assert_eq!(m.classify(&[4.0]), 1);
+        assert!(m.predict_proba(&[4.5]) > 0.8);
+        assert!(m.predict_proba(&[0.0]) < 0.2);
+    }
+
+    #[test]
+    fn probabilities_monotone_in_feature() {
+        let m = LogisticRegression::fit(&separable(), LogisticConfig::default()).unwrap();
+        let ps: Vec<f64> = (0..10).map(|i| m.predict_proba(&[i as f64 * 0.5])).collect();
+        assert!(ps.windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    #[test]
+    fn rejects_bad_targets_and_params() {
+        let bad = Dataset::from_xy(&[(0.0, 2.0), (1.0, 0.0)]).unwrap();
+        assert!(LogisticRegression::fit(&bad, LogisticConfig::default()).is_err());
+        let good = separable();
+        let cfg = LogisticConfig { learning_rate: 0.0, ..Default::default() };
+        assert!(LogisticRegression::fit(&good, cfg).is_err());
+        let cfg = LogisticConfig { iterations: 0, ..Default::default() };
+        assert!(LogisticRegression::fit(&good, cfg).is_err());
+    }
+
+    #[test]
+    fn two_feature_decision_boundary() {
+        // Class 1 iff a + b > 3.
+        let mut features = Vec::new();
+        let mut targets = Vec::new();
+        for a in 0..5 {
+            for b in 0..5 {
+                features.push(vec![a as f64, b as f64]);
+                targets.push(f64::from(a + b > 3));
+            }
+        }
+        let data = Dataset::new(features, targets).unwrap();
+        let cfg = LogisticConfig { iterations: 2000, ..Default::default() };
+        let m = LogisticRegression::fit(&data, cfg).unwrap();
+        assert_eq!(m.classify(&[0.0, 0.0]), 0);
+        assert_eq!(m.classify(&[4.0, 4.0]), 1);
+    }
+}

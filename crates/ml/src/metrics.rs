@@ -1,0 +1,219 @@
+//! Evaluation metrics for regression, classification and cardinality
+//! estimation (q-error).
+
+/// Mean absolute error.
+pub fn mae(actual: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(actual.len(), predicted.len(), "lengths must match");
+    if actual.is_empty() {
+        return 0.0;
+    }
+    actual.iter().zip(predicted).map(|(a, p)| (a - p).abs()).sum::<f64>() / actual.len() as f64
+}
+
+/// Root mean squared error.
+pub fn rmse(actual: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(actual.len(), predicted.len(), "lengths must match");
+    if actual.is_empty() {
+        return 0.0;
+    }
+    (actual.iter().zip(predicted).map(|(a, p)| (a - p).powi(2)).sum::<f64>()
+        / actual.len() as f64)
+        .sqrt()
+}
+
+/// Mean absolute percentage error; zero actuals are skipped. Returns 0 when
+/// no valid points exist.
+pub fn mape(actual: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(actual.len(), predicted.len(), "lengths must match");
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (a, p) in actual.iter().zip(predicted) {
+        if a.abs() > f64::EPSILON {
+            total += ((a - p) / a).abs();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+/// Coefficient of determination R². Returns 0 for constant actuals.
+pub fn r_squared(actual: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(actual.len(), predicted.len(), "lengths must match");
+    if actual.is_empty() {
+        return 0.0;
+    }
+    let mean = actual.iter().sum::<f64>() / actual.len() as f64;
+    let ss_tot: f64 = actual.iter().map(|a| (a - mean).powi(2)).sum();
+    if ss_tot == 0.0 {
+        return 0.0;
+    }
+    let ss_res: f64 = actual.iter().zip(predicted).map(|(a, p)| (a - p).powi(2)).sum();
+    1.0 - ss_res / ss_tot
+}
+
+/// Q-error of one cardinality estimate: `max(actual/est, est/actual)` with
+/// both clamped to at least 1 row (the standard convention in the learned
+/// cardinality literature the paper cites).
+pub fn q_error(actual: f64, estimated: f64) -> f64 {
+    let a = actual.max(1.0);
+    let e = estimated.max(1.0);
+    (a / e).max(e / a)
+}
+
+/// Median q-error over paired actual/estimated cardinalities.
+pub fn median_q_error(actual: &[f64], estimated: &[f64]) -> f64 {
+    assert_eq!(actual.len(), estimated.len(), "lengths must match");
+    if actual.is_empty() {
+        return 1.0;
+    }
+    let mut qs: Vec<f64> = actual.iter().zip(estimated).map(|(a, e)| q_error(*a, *e)).collect();
+    qs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mid = qs.len() / 2;
+    if qs.len() % 2 == 1 {
+        qs[mid]
+    } else {
+        (qs[mid - 1] + qs[mid]) / 2.0
+    }
+}
+
+/// Fraction of label pairs that match.
+pub fn accuracy(actual: &[usize], predicted: &[usize]) -> f64 {
+    assert_eq!(actual.len(), predicted.len(), "lengths must match");
+    if actual.is_empty() {
+        return 0.0;
+    }
+    let hits = actual.iter().zip(predicted).filter(|(a, p)| a == p).count();
+    hits as f64 / actual.len() as f64
+}
+
+/// Precision, recall and F1 for binary labels (positive class = 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BinaryReport {
+    /// True-positive precision `tp / (tp + fp)`; 0 when undefined.
+    pub precision: f64,
+    /// Recall `tp / (tp + fn)`; 0 when undefined.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall; 0 when undefined.
+    pub f1: f64,
+}
+
+/// Computes a binary classification report; labels must be 0 or 1.
+pub fn binary_report(actual: &[usize], predicted: &[usize]) -> BinaryReport {
+    assert_eq!(actual.len(), predicted.len(), "lengths must match");
+    let mut tp = 0.0;
+    let mut fp = 0.0;
+    let mut fn_ = 0.0;
+    for (&a, &p) in actual.iter().zip(predicted) {
+        match (a, p) {
+            (1, 1) => tp += 1.0,
+            (0, 1) => fp += 1.0,
+            (1, 0) => fn_ += 1.0,
+            _ => {}
+        }
+    }
+    let precision = if tp + fp > 0.0 { tp / (tp + fp) } else { 0.0 };
+    let recall = if tp + fn_ > 0.0 { tp / (tp + fn_) } else { 0.0 };
+    let f1 = if precision + recall > 0.0 {
+        2.0 * precision * recall / (precision + recall)
+    } else {
+        0.0
+    };
+    BinaryReport { precision, recall, f1 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn regression_metrics_on_perfect_fit() {
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(mae(&y, &y), 0.0);
+        assert_eq!(rmse(&y, &y), 0.0);
+        assert_eq!(mape(&y, &y), 0.0);
+        assert_eq!(r_squared(&y, &y), 1.0);
+    }
+
+    #[test]
+    fn regression_metrics_known_values() {
+        let a = [0.0, 0.0];
+        let p = [3.0, 4.0];
+        assert_eq!(mae(&a, &p), 3.5);
+        assert_eq!(rmse(&a, &p), (12.5f64).sqrt());
+        // MAPE skips zero actuals entirely.
+        assert_eq!(mape(&a, &p), 0.0);
+    }
+
+    #[test]
+    fn r_squared_zero_for_constant_actual() {
+        assert_eq!(r_squared(&[2.0, 2.0], &[1.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn q_error_symmetry_and_floor() {
+        assert_eq!(q_error(100.0, 10.0), 10.0);
+        assert_eq!(q_error(10.0, 100.0), 10.0);
+        assert_eq!(q_error(0.0, 0.5), 1.0); // clamped to 1 row each
+        assert_eq!(q_error(5.0, 5.0), 1.0);
+    }
+
+    #[test]
+    fn median_q_error_odd_even() {
+        assert_eq!(median_q_error(&[10.0, 10.0, 10.0], &[10.0, 20.0, 40.0]), 2.0);
+        assert_eq!(median_q_error(&[10.0, 10.0], &[20.0, 40.0]), 3.0);
+        assert_eq!(median_q_error(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn classification_metrics() {
+        let actual = [1, 1, 0, 0, 1];
+        let pred = [1, 0, 0, 1, 1];
+        assert_eq!(accuracy(&actual, &pred), 0.6);
+        let report = binary_report(&actual, &pred);
+        assert!((report.precision - 2.0 / 3.0).abs() < 1e-12);
+        assert!((report.recall - 2.0 / 3.0).abs() < 1e-12);
+        assert!((report.f1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binary_report_degenerate() {
+        let r = binary_report(&[0, 0], &[0, 0]);
+        assert_eq!(r.precision, 0.0);
+        assert_eq!(r.recall, 0.0);
+        assert_eq!(r.f1, 0.0);
+    }
+
+    proptest! {
+        /// Q-error is always >= 1 and symmetric.
+        #[test]
+        fn prop_q_error(a in 0.0f64..1e9, e in 0.0f64..1e9) {
+            let q = q_error(a, e);
+            prop_assert!(q >= 1.0);
+            prop_assert!((q - q_error(e, a)).abs() < 1e-9 * q);
+        }
+
+        /// RMSE >= MAE (power-mean inequality).
+        #[test]
+        fn prop_rmse_dominates_mae(
+            pairs in proptest::collection::vec((-1e6f64..1e6, -1e6f64..1e6), 1..50)
+        ) {
+            let a: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let p: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            prop_assert!(rmse(&a, &p) >= mae(&a, &p) - 1e-9);
+        }
+
+        /// Accuracy is in \[0, 1\].
+        #[test]
+        fn prop_accuracy_bounds(labels in proptest::collection::vec((0usize..5, 0usize..5), 1..100)) {
+            let a: Vec<usize> = labels.iter().map(|l| l.0).collect();
+            let p: Vec<usize> = labels.iter().map(|l| l.1).collect();
+            let acc = accuracy(&a, &p);
+            prop_assert!((0.0..=1.0).contains(&acc));
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! CART regression trees (variance-reduction splits).
+//!
+//! Tree models are the second family the paper's Insight 1 endorses for
+//! production use. They back the cardinality and cost micromodels in the
+//! `learned` crate, where a handful of plan features predict row counts or
+//! stage costs.
+
+use crate::dataset::Dataset;
+use crate::{MlError, Regressor, Result};
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters for [`DecisionTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Maximum tree depth (root = depth 0). Must be >= 1.
+    pub max_depth: usize,
+    /// Minimum number of samples a leaf may hold. Must be >= 1.
+    pub min_samples_leaf: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self { max_depth: 8, min_samples_leaf: 2 }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A fitted CART regression tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTree {
+    root: Node,
+    width: usize,
+}
+
+/// Best split found for a node: `(feature, threshold, score_gain)`.
+fn best_split(
+    data: &Dataset,
+    indices: &[usize],
+    features: &[usize],
+    min_leaf: usize,
+) -> Option<(usize, f64)> {
+    let total_sum: f64 = indices.iter().map(|&i| data.targets()[i]).sum();
+    let total_sq: f64 = indices.iter().map(|&i| data.targets()[i].powi(2)).sum();
+    let n = indices.len() as f64;
+    let parent_sse = total_sq - total_sum * total_sum / n;
+
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
+    let mut order: Vec<usize> = indices.to_vec();
+    for &f in features {
+        order.sort_by(|&a, &b| {
+            data.features()[a][f]
+                .partial_cmp(&data.features()[b][f])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        // Scan split points between consecutive distinct feature values.
+        let mut left_sum = 0.0;
+        let mut left_sq = 0.0;
+        for (k, &i) in order.iter().enumerate().take(order.len() - 1) {
+            let y = data.targets()[i];
+            left_sum += y;
+            left_sq += y * y;
+            let left_n = (k + 1) as f64;
+            let right_n = n - left_n;
+            if (k + 1) < min_leaf || (order.len() - k - 1) < min_leaf {
+                continue;
+            }
+            let x_here = data.features()[i][f];
+            let x_next = data.features()[order[k + 1]][f];
+            if x_here == x_next {
+                continue;
+            }
+            let right_sum = total_sum - left_sum;
+            let right_sq = total_sq - left_sq;
+            let sse = (left_sq - left_sum * left_sum / left_n)
+                + (right_sq - right_sum * right_sum / right_n);
+            if best.map_or(sse < parent_sse - 1e-12, |(_, _, b)| sse < b) {
+                best = Some((f, (x_here + x_next) / 2.0, sse));
+            }
+        }
+    }
+    best.map(|(f, t, _)| (f, t))
+}
+
+fn build(
+    data: &Dataset,
+    indices: &[usize],
+    features: &[usize],
+    depth: usize,
+    config: TreeConfig,
+) -> Node {
+    let mean =
+        indices.iter().map(|&i| data.targets()[i]).sum::<f64>() / indices.len() as f64;
+    if depth >= config.max_depth || indices.len() < 2 * config.min_samples_leaf {
+        return Node::Leaf { value: mean };
+    }
+    let Some((feature, threshold)) = best_split(data, indices, features, config.min_samples_leaf)
+    else {
+        return Node::Leaf { value: mean };
+    };
+    let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+        .iter()
+        .partition(|&&i| data.features()[i][feature] <= threshold);
+    if left_idx.is_empty() || right_idx.is_empty() {
+        return Node::Leaf { value: mean };
+    }
+    Node::Split {
+        feature,
+        threshold,
+        left: Box::new(build(data, &left_idx, features, depth + 1, config)),
+        right: Box::new(build(data, &right_idx, features, depth + 1, config)),
+    }
+}
+
+impl DecisionTree {
+    /// Fits a tree on all rows and all features.
+    pub fn fit(data: &Dataset, config: TreeConfig) -> Result<Self> {
+        let indices: Vec<usize> = (0..data.len()).collect();
+        let features: Vec<usize> = (0..data.width()).collect();
+        Self::fit_subset(data, &indices, &features, config)
+    }
+
+    /// Fits a tree on a row subset and feature subset — the entry point used
+    /// by bagging ensembles.
+    pub fn fit_subset(
+        data: &Dataset,
+        indices: &[usize],
+        features: &[usize],
+        config: TreeConfig,
+    ) -> Result<Self> {
+        if indices.is_empty() || features.is_empty() {
+            return Err(MlError::EmptyDataset);
+        }
+        if config.max_depth == 0 || config.min_samples_leaf == 0 {
+            return Err(MlError::InvalidParameter(
+                "max_depth and min_samples_leaf must be >= 1".into(),
+            ));
+        }
+        Ok(Self { root: build(data, indices, features, 0, config), width: data.width() })
+    }
+
+    /// Number of leaves (model-size diagnostic).
+    pub fn leaf_count(&self) -> usize {
+        fn count(node: &Node) -> usize {
+            match node {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => count(left) + count(right),
+            }
+        }
+        count(&self.root)
+    }
+
+    /// Maximum depth actually reached.
+    pub fn depth(&self) -> usize {
+        fn depth_of(node: &Node) -> usize {
+            match node {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + depth_of(left).max(depth_of(right)),
+            }
+        }
+        depth_of(&self.root)
+    }
+}
+
+impl Regressor for DecisionTree {
+    fn predict(&self, features: &[f64]) -> f64 {
+        assert_eq!(features.len(), self.width, "feature width must match fitted model");
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { value } => return *value,
+                Node::Split { feature, threshold, left, right } => {
+                    node = if features[*feature] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn step_data() -> Dataset {
+        // y = 1 for x < 5, y = 9 for x >= 5.
+        let pairs: Vec<(f64, f64)> =
+            (0..20).map(|i| (i as f64 * 0.5, if i < 10 { 1.0 } else { 9.0 })).collect();
+        Dataset::from_xy(&pairs).unwrap()
+    }
+
+    #[test]
+    fn learns_step_function() {
+        let t = DecisionTree::fit(&step_data(), TreeConfig::default()).unwrap();
+        assert_eq!(t.predict(&[1.0]), 1.0);
+        assert_eq!(t.predict(&[8.0]), 9.0);
+    }
+
+    #[test]
+    fn depth_limit_respected() {
+        let pairs: Vec<(f64, f64)> = (0..64).map(|i| (i as f64, (i % 7) as f64)).collect();
+        let data = Dataset::from_xy(&pairs).unwrap();
+        let t = DecisionTree::fit(&data, TreeConfig { max_depth: 3, min_samples_leaf: 1 }).unwrap();
+        assert!(t.depth() <= 3);
+        assert!(t.leaf_count() <= 8);
+    }
+
+    #[test]
+    fn min_samples_leaf_respected() {
+        let data = step_data();
+        let t =
+            DecisionTree::fit(&data, TreeConfig { max_depth: 10, min_samples_leaf: 10 }).unwrap();
+        // With min leaf 10 on 20 samples only the single perfect split fits.
+        assert_eq!(t.leaf_count(), 2);
+    }
+
+    #[test]
+    fn constant_target_gives_single_leaf() {
+        let pairs: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 4.2)).collect();
+        let data = Dataset::from_xy(&pairs).unwrap();
+        let t = DecisionTree::fit(&data, TreeConfig::default()).unwrap();
+        assert_eq!(t.leaf_count(), 1);
+        assert!((t.predict(&[3.0]) - 4.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let data = step_data();
+        assert!(DecisionTree::fit(&data, TreeConfig { max_depth: 0, min_samples_leaf: 1 }).is_err());
+        assert!(DecisionTree::fit(&data, TreeConfig { max_depth: 1, min_samples_leaf: 0 }).is_err());
+    }
+
+    #[test]
+    fn two_dimensional_split() {
+        // y depends only on the second feature.
+        let features: Vec<Vec<f64>> =
+            (0..30).map(|i| vec![(i % 3) as f64, i as f64]).collect();
+        let targets: Vec<f64> = (0..30).map(|i| if i < 15 { 0.0 } else { 10.0 }).collect();
+        let data = Dataset::new(features, targets).unwrap();
+        let t = DecisionTree::fit(&data, TreeConfig::default()).unwrap();
+        assert_eq!(t.predict(&[0.0, 3.0]), 0.0);
+        assert_eq!(t.predict(&[0.0, 25.0]), 10.0);
+    }
+
+    proptest! {
+        /// Tree predictions are always within the range of training targets.
+        #[test]
+        fn prop_predictions_within_target_range(
+            targets in proptest::collection::vec(-100.0f64..100.0, 4..40),
+            query in -10.0f64..10.0,
+        ) {
+            let pairs: Vec<(f64, f64)> = targets
+                .iter()
+                .enumerate()
+                .map(|(i, &y)| (i as f64, y))
+                .collect();
+            let data = Dataset::from_xy(&pairs).unwrap();
+            let t = DecisionTree::fit(&data, TreeConfig::default()).unwrap();
+            let lo = targets.iter().cloned().fold(f64::MAX, f64::min);
+            let hi = targets.iter().cloned().fold(f64::MIN, f64::max);
+            let p = t.predict(&[query]);
+            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+        }
+    }
+}

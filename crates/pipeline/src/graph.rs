@@ -1,0 +1,204 @@
+//! Inter-job dependency graphs and pipeline-aware statistics.
+
+use adas_workload::job::Trace;
+use adas_workload::{DatasetId, JobId};
+use serde::Serialize;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// The dependency graph over one trace's jobs.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineGraph {
+    /// Edges `(producer, consumer)`.
+    edges: Vec<(JobId, JobId)>,
+    /// Downstream adjacency.
+    downstream: HashMap<JobId, Vec<JobId>>,
+    /// Upstream adjacency.
+    upstream: HashMap<JobId, Vec<JobId>>,
+    /// Pipeline (weakly connected component with >= 2 jobs) membership.
+    pipelines: Vec<Vec<JobId>>,
+}
+
+impl PipelineGraph {
+    /// Builds the graph by matching produced to consumed datasets.
+    pub fn build(trace: &Trace) -> Self {
+        let mut producer_of: HashMap<DatasetId, JobId> = HashMap::new();
+        for job in trace.jobs() {
+            for out in &job.outputs {
+                producer_of.insert(*out, job.id);
+            }
+        }
+        let mut edges = Vec::new();
+        let mut downstream: HashMap<JobId, Vec<JobId>> = HashMap::new();
+        let mut upstream: HashMap<JobId, Vec<JobId>> = HashMap::new();
+        for job in trace.jobs() {
+            for input in &job.inputs {
+                if let Some(&producer) = producer_of.get(input) {
+                    edges.push((producer, job.id));
+                    downstream.entry(producer).or_default().push(job.id);
+                    upstream.entry(job.id).or_default().push(producer);
+                }
+            }
+        }
+
+        // Weakly connected components via union-find over job ids.
+        let mut parent: BTreeMap<JobId, JobId> =
+            trace.jobs().iter().map(|j| (j.id, j.id)).collect();
+        fn find(parent: &mut BTreeMap<JobId, JobId>, x: JobId) -> JobId {
+            let mut root = x;
+            while parent[&root] != root {
+                root = parent[&root];
+            }
+            let mut cur = x;
+            while parent[&cur] != root {
+                let next = parent[&cur];
+                parent.insert(cur, root);
+                cur = next;
+            }
+            root
+        }
+        for &(a, b) in &edges {
+            let ra = find(&mut parent, a);
+            let rb = find(&mut parent, b);
+            if ra != rb {
+                parent.insert(ra, rb);
+            }
+        }
+        let mut components: BTreeMap<JobId, Vec<JobId>> = BTreeMap::new();
+        let ids: Vec<JobId> = parent.keys().copied().collect();
+        for id in ids {
+            let root = find(&mut parent, id);
+            components.entry(root).or_default().push(id);
+        }
+        let pipelines: Vec<Vec<JobId>> =
+            components.into_values().filter(|c| c.len() >= 2).collect();
+
+        Self { edges, downstream, upstream, pipelines }
+    }
+
+    /// Dependency edges `(producer, consumer)`.
+    pub fn edges(&self) -> &[(JobId, JobId)] {
+        &self.edges
+    }
+
+    /// Jobs directly consuming `job`'s outputs.
+    pub fn consumers(&self, job: JobId) -> &[JobId] {
+        self.downstream.get(&job).map_or(&[], Vec::as_slice)
+    }
+
+    /// Jobs whose outputs `job` consumes.
+    pub fn producers(&self, job: JobId) -> &[JobId] {
+        self.upstream.get(&job).map_or(&[], Vec::as_slice)
+    }
+
+    /// The pipelines (components with >= 2 jobs), deterministic order.
+    pub fn pipelines(&self) -> &[Vec<JobId>] {
+        &self.pipelines
+    }
+
+    /// Pipeline-aware statistics for a trace.
+    pub fn stats(&self, trace: &Trace) -> PipelineStats {
+        let in_pipeline: HashSet<JobId> =
+            self.pipelines.iter().flatten().copied().collect();
+        let total = trace.len();
+        PipelineStats {
+            total_jobs: total,
+            pipelined_jobs: in_pipeline.len(),
+            pipelined_fraction: if total == 0 {
+                0.0
+            } else {
+                in_pipeline.len() as f64 / total as f64
+            },
+            pipeline_count: self.pipelines.len(),
+            max_pipeline_len: self.pipelines.iter().map(Vec::len).max().unwrap_or(0),
+            edge_count: self.edges.len(),
+        }
+    }
+}
+
+/// Headline pipeline statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct PipelineStats {
+    /// Jobs in the trace.
+    pub total_jobs: usize,
+    /// Jobs belonging to some pipeline.
+    pub pipelined_jobs: usize,
+    /// Fraction of jobs in pipelines (paper: 0.7).
+    pub pipelined_fraction: f64,
+    /// Number of pipelines.
+    pub pipeline_count: usize,
+    /// Largest pipeline (jobs).
+    pub max_pipeline_len: usize,
+    /// Total dependency edges.
+    pub edge_count: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adas_workload::gen::{GeneratorConfig, WorkloadGenerator};
+    use adas_workload::job::Job;
+    use adas_workload::plan::LogicalPlan;
+    use adas_workload::TemplateId;
+
+    fn job(id: u64, inputs: Vec<u64>, outputs: Vec<u64>) -> Job {
+        Job {
+            id: JobId(id),
+            template: TemplateId(0),
+            plan: LogicalPlan::scan("events"),
+            submit_time: id * 10,
+            inputs: inputs.into_iter().map(DatasetId).collect(),
+            outputs: outputs.into_iter().map(DatasetId).collect(),
+        }
+    }
+
+    #[test]
+    fn chain_forms_one_pipeline() {
+        let trace = Trace::new(vec![
+            job(0, vec![], vec![100]),
+            job(1, vec![100], vec![101]),
+            job(2, vec![101], vec![]),
+            job(3, vec![], vec![]), // loner
+        ]);
+        let g = PipelineGraph::build(&trace);
+        assert_eq!(g.edges().len(), 2);
+        assert_eq!(g.pipelines().len(), 1);
+        assert_eq!(g.pipelines()[0].len(), 3);
+        let stats = g.stats(&trace);
+        assert_eq!(stats.pipelined_jobs, 3);
+        assert_eq!(stats.max_pipeline_len, 3);
+        assert!((stats.pipelined_fraction - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fan_out_consumers() {
+        let trace = Trace::new(vec![
+            job(0, vec![], vec![100]),
+            job(1, vec![100], vec![]),
+            job(2, vec![100], vec![]),
+        ]);
+        let g = PipelineGraph::build(&trace);
+        assert_eq!(g.consumers(JobId(0)), &[JobId(1), JobId(2)]);
+        assert_eq!(g.producers(JobId(1)), &[JobId(0)]);
+        assert_eq!(g.pipelines().len(), 1);
+    }
+
+    #[test]
+    fn generated_workload_hits_dependency_target() {
+        let w = WorkloadGenerator::new(GeneratorConfig::default()).unwrap().generate().unwrap();
+        let g = PipelineGraph::build(&w.trace);
+        let stats = g.stats(&w.trace);
+        assert!(
+            (0.6..=0.8).contains(&stats.pipelined_fraction),
+            "pipelined fraction {}",
+            stats.pipelined_fraction
+        );
+        assert!(stats.pipeline_count > 0);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let g = PipelineGraph::build(&Trace::default());
+        assert!(g.pipelines().is_empty());
+        assert_eq!(g.stats(&Trace::default()).pipelined_fraction, 0.0);
+    }
+}

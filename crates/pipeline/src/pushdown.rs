@@ -1,0 +1,309 @@
+//! The Pipemizer transformation: pushing common subexpressions across
+//! consumer jobs into their producer job.
+//!
+//! When several consumers of one producer each compute the same
+//! subexpression, the optimized pipeline computes it once — the producer
+//! gains the subexpression as an extra output (materialized to a new
+//! dataset), and each consumer replaces its copy with a scan of that
+//! dataset. Savings are measured in true work units.
+
+use crate::graph::PipelineGraph;
+use adas_engine::cardinality::{CardinalityModel, TrueCardinality};
+use adas_engine::cost::CostModel;
+use adas_engine::Result;
+use adas_workload::catalog::{Catalog, TableMeta};
+use adas_workload::job::{Job, Trace};
+use adas_workload::plan::LogicalPlan;
+use adas_workload::signature::{strict_signature, Signature};
+use adas_workload::JobId;
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// Result of optimizing a trace's pipelines.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PushdownReport {
+    /// Producers that gained at least one pushed subexpression.
+    pub producers_extended: usize,
+    /// Subexpressions pushed (each shared by >= 2 consumers).
+    pub subexpressions_pushed: usize,
+    /// Consumer plan rewrites applied.
+    pub consumer_rewrites: usize,
+    /// Total true work before optimization.
+    pub baseline_work: f64,
+    /// Total true work after optimization (incl. one-time computation of
+    /// each pushed subexpression).
+    pub optimized_work: f64,
+    /// Relative work reduction.
+    pub work_reduction: f64,
+}
+
+fn replace_subplan(plan: &LogicalPlan, target: Signature, table: &str, hits: &mut usize) -> LogicalPlan {
+    if plan.node_count() >= 2 && strict_signature(plan) == target {
+        *hits += 1;
+        return LogicalPlan::scan(table);
+    }
+    LogicalPlan {
+        kind: plan.kind.clone(),
+        children: plan
+            .children
+            .iter()
+            .map(|c| replace_subplan(c, target, table, hits))
+            .collect(),
+    }
+}
+
+/// Optimizes all pipelines in a trace. Returns the rewritten jobs, the
+/// catalog extended with the pushed datasets, and the report.
+pub fn optimize_pipelines(
+    trace: &Trace,
+    catalog: &Catalog,
+) -> Result<(Vec<Job>, Catalog, PushdownReport)> {
+    let graph = PipelineGraph::build(trace);
+    let truth = TrueCardinality::new(catalog);
+    let cost_model = CostModel::default();
+    let by_id: HashMap<JobId, &Job> = trace.jobs().iter().map(|j| (j.id, j)).collect();
+
+    let mut rewritten: HashMap<JobId, Job> =
+        trace.jobs().iter().map(|j| (j.id, j.clone())).collect();
+    let mut extended = catalog.clone();
+    let mut producers_extended = 0usize;
+    let mut subexpressions_pushed = 0usize;
+    let mut consumer_rewrites = 0usize;
+    let mut pushed_extra_work = 0.0f64;
+
+    // Examine every producer with >= 2 consumers.
+    let mut producer_ids: Vec<JobId> = trace
+        .jobs()
+        .iter()
+        .map(|j| j.id)
+        .filter(|&id| graph.consumers(id).len() >= 2)
+        .collect();
+    producer_ids.sort();
+    for producer in producer_ids {
+        let consumers = graph.consumers(producer);
+        // Count non-trivial subplans shared across distinct consumers.
+        let mut counts: HashMap<Signature, (usize, LogicalPlan)> = HashMap::new();
+        for &cid in consumers {
+            let job = by_id[&cid];
+            let mut seen: Vec<Signature> = Vec::new();
+            for sub in job.plan.subplans() {
+                if sub.node_count() < 2 {
+                    continue;
+                }
+                let sig = strict_signature(sub);
+                if seen.contains(&sig) {
+                    continue;
+                }
+                seen.push(sig);
+                counts.entry(sig).or_insert_with(|| (0, sub.clone())).0 += 1;
+            }
+        }
+        // Deterministic order: by signature.
+        let mut shared: Vec<(Signature, usize, LogicalPlan)> = counts
+            .into_iter()
+            .filter(|(_, (n, _))| *n >= 2)
+            .map(|(sig, (n, plan))| (sig, n, plan))
+            .collect();
+        shared.sort_by_key(|(sig, _, _)| *sig);
+        // Keep only maximal subexpressions (not contained in another pushed one).
+        let maximal: Vec<(Signature, usize, LogicalPlan)> = shared
+            .iter()
+            .filter(|(sig, _, plan)| {
+                !shared.iter().any(|(other_sig, _, other_plan)| {
+                    other_sig != sig
+                        && other_plan.node_count() > plan.node_count()
+                        && other_plan
+                            .subplans()
+                            .iter()
+                            .any(|s| s.node_count() >= 2 && strict_signature(s) == *sig)
+                })
+            })
+            .cloned()
+            .collect();
+        if maximal.is_empty() {
+            continue;
+        }
+        producers_extended += 1;
+        for (sig, _, sub) in maximal {
+            subexpressions_pushed += 1;
+            let rows = truth.estimate(&sub)?;
+            let build = cost_model.total_cost(&sub, &truth)?;
+            pushed_extra_work += build;
+            let table_name = format!("pushed_{:016x}", sig.0);
+            let columns = sub
+                .base_table()
+                .and_then(|t| catalog.table(t).ok())
+                .map(|t| t.columns.clone())
+                .unwrap_or_default();
+            extended.add_table(TableMeta {
+                name: table_name.clone(),
+                rows: rows.max(1.0) as u64,
+                columns,
+            });
+            for &cid in consumers {
+                let job = rewritten.get_mut(&cid).expect("job present");
+                let mut hits = 0usize;
+                job.plan = replace_subplan(&job.plan, sig, &table_name, &mut hits);
+                consumer_rewrites += hits;
+            }
+        }
+    }
+
+    // Work accounting.
+    let mut baseline_work = 0.0;
+    for job in trace.jobs() {
+        baseline_work += cost_model.total_cost(&job.plan, &truth)?;
+    }
+    let mut optimized_work = pushed_extra_work;
+    let truth_ext = TrueCardinality::new(&extended);
+    let mut jobs: Vec<Job> = rewritten.into_values().collect();
+    jobs.sort_by_key(|j| j.id);
+    for job in &jobs {
+        optimized_work += cost_model.total_cost(&job.plan, &truth_ext)?;
+    }
+    let work_reduction = if baseline_work > 0.0 {
+        (baseline_work - optimized_work) / baseline_work
+    } else {
+        0.0
+    };
+    Ok((
+        jobs,
+        extended,
+        PushdownReport {
+            producers_extended,
+            subexpressions_pushed,
+            consumer_rewrites,
+            baseline_work,
+            optimized_work,
+            work_reduction,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adas_workload::plan::{CmpOp, Predicate};
+    use adas_workload::{DatasetId, TemplateId};
+
+    fn shared_expr() -> LogicalPlan {
+        LogicalPlan::join(
+            LogicalPlan::scan("events").filter(Predicate::single(1, CmpOp::Eq, 3)),
+            LogicalPlan::scan("users"),
+            0,
+            0,
+        )
+    }
+
+    /// Producer feeding two consumers that both compute `shared_expr`.
+    fn pipeline_trace() -> Trace {
+        let producer = Job {
+            id: JobId(0),
+            template: TemplateId(0),
+            plan: LogicalPlan::scan("sessions").aggregate(vec![1]),
+            submit_time: 0,
+            inputs: vec![],
+            outputs: vec![DatasetId(1)],
+        };
+        let consumer = |id: u64, group: usize| Job {
+            id: JobId(id),
+            template: TemplateId(id),
+            plan: shared_expr().aggregate(vec![group]),
+            submit_time: 10 * id,
+            inputs: vec![DatasetId(1)],
+            outputs: vec![],
+        };
+        Trace::new(vec![producer, consumer(1, 0), consumer(2, 1)])
+    }
+
+    #[test]
+    fn shared_consumer_subexpression_pushed() {
+        let catalog = Catalog::standard();
+        let (jobs, extended, report) = optimize_pipelines(&pipeline_trace(), &catalog).unwrap();
+        assert_eq!(report.producers_extended, 1);
+        assert!(report.subexpressions_pushed >= 1);
+        assert_eq!(report.consumer_rewrites, 2);
+        assert!(report.work_reduction > 0.0, "{report:?}");
+        // Consumers now scan the pushed dataset.
+        let pushed_tables: Vec<&str> = extended
+            .tables()
+            .iter()
+            .map(|t| t.name.as_str())
+            .filter(|n| n.starts_with("pushed_"))
+            .collect();
+        assert!(!pushed_tables.is_empty());
+        for job in &jobs[1..] {
+            assert!(job
+                .plan
+                .iter()
+                .any(|n| matches!(&n.kind,
+                    adas_workload::plan::PlanKind::Scan { table } if table.starts_with("pushed_"))));
+        }
+    }
+
+    #[test]
+    fn maximal_subexpression_preferred() {
+        // The whole shared_expr (join) contains the filter subtree; only the
+        // join (maximal) should be pushed, not both.
+        let catalog = Catalog::standard();
+        let (_, _, report) = optimize_pipelines(&pipeline_trace(), &catalog).unwrap();
+        assert_eq!(report.subexpressions_pushed, 1);
+    }
+
+    #[test]
+    fn single_consumer_pipelines_untouched() {
+        let producer = Job {
+            id: JobId(0),
+            template: TemplateId(0),
+            plan: LogicalPlan::scan("sessions").aggregate(vec![1]),
+            submit_time: 0,
+            inputs: vec![],
+            outputs: vec![DatasetId(1)],
+        };
+        let consumer = Job {
+            id: JobId(1),
+            template: TemplateId(1),
+            plan: shared_expr().aggregate(vec![0]),
+            submit_time: 10,
+            inputs: vec![DatasetId(1)],
+            outputs: vec![],
+        };
+        let catalog = Catalog::standard();
+        let (_, _, report) =
+            optimize_pipelines(&Trace::new(vec![producer, consumer]), &catalog).unwrap();
+        assert_eq!(report.producers_extended, 0);
+        assert_eq!(report.work_reduction, 0.0);
+    }
+
+    #[test]
+    fn disjoint_consumers_share_nothing() {
+        let producer = Job {
+            id: JobId(0),
+            template: TemplateId(0),
+            plan: LogicalPlan::scan("sessions").aggregate(vec![1]),
+            submit_time: 0,
+            inputs: vec![],
+            outputs: vec![DatasetId(1)],
+        };
+        let c1 = Job {
+            id: JobId(1),
+            template: TemplateId(1),
+            plan: LogicalPlan::scan("events").filter(Predicate::single(1, CmpOp::Eq, 1)).aggregate(vec![0]),
+            submit_time: 10,
+            inputs: vec![DatasetId(1)],
+            outputs: vec![],
+        };
+        let c2 = Job {
+            id: JobId(2),
+            template: TemplateId(2),
+            plan: LogicalPlan::scan("events").filter(Predicate::single(1, CmpOp::Eq, 2)).aggregate(vec![0]),
+            submit_time: 20,
+            inputs: vec![DatasetId(1)],
+            outputs: vec![],
+        };
+        let catalog = Catalog::standard();
+        let (_, _, report) =
+            optimize_pipelines(&Trace::new(vec![producer, c1, c2]), &catalog).unwrap();
+        assert_eq!(report.subexpressions_pushed, 0);
+    }
+}

@@ -1,0 +1,54 @@
+//! CloudViews: computation reuse for recurring analytics workloads.
+//!
+//! "CloudViews was developed to detect and reuse common computations on
+//! Cosmos and Spark. It relies on a lightweight subexpression hash, called a
+//! signature, for scalable materialized view selection and efficient view
+//! matching. Deployed on Cosmos, we have observed 34% improvement on the
+//! accumulative job latency, and 37% reduced total processing time." It was
+//! later extended "from the syntactically equivalent subexpressions detected
+//! by the signatures to semantically equivalent and contained
+//! subexpressions". (Sec 4.2, \[21, 22, 43\])
+//!
+//! * [`normalize`] — canonical plan forms, so semantically equal plans that
+//!   differ syntactically (filter order, merged vs stacked filters,
+//!   commuted unions) share one *normalized signature*.
+//! * [`views`] — candidate enumeration over a training workload and
+//!   utility/byte greedy selection under a storage budget.
+//! * [`rewrite`] — view matching (syntactic, semantic, and predicate
+//!   containment with a compensating filter) and plan rewriting.
+//! * [mod@replay] — the end-to-end experiment: train a view catalog on one
+//!   window, replay the next on the cluster simulator with and without
+//!   reuse, and report cumulative-latency and processing-time savings.
+
+//! # Example: select and match a view
+//!
+//! ```
+//! use adas_reuse::{rewrite_plan, MatchPolicy, SelectionConfig, ViewCatalog};
+//! use adas_workload::catalog::Catalog;
+//! use adas_workload::plan::{CmpOp, LogicalPlan, Predicate};
+//!
+//! let catalog = Catalog::standard();
+//! let shared = LogicalPlan::join(
+//!     LogicalPlan::scan("events").filter(Predicate::single(1, CmpOp::Eq, 3)),
+//!     LogicalPlan::scan("users"),
+//!     0,
+//!     0,
+//! );
+//! let training: Vec<_> = (0..4).map(|i| shared.clone().aggregate(vec![i % 3])).collect();
+//! let views = ViewCatalog::select(&training, &catalog, &SelectionConfig::default());
+//! let query = shared.aggregate(vec![0, 1]);
+//! let outcome = rewrite_plan(&query, &views, MatchPolicy::full());
+//! assert!(outcome.hits >= 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod normalize;
+pub mod replay;
+pub mod rewrite;
+pub mod views;
+
+pub use replay::{replay, CloudViewsReport, ReplayConfig};
+pub use rewrite::{rewrite_plan, MatchPolicy, RewriteOutcome};
+pub use views::{MaterializedView, SelectionConfig, ViewCatalog};

@@ -1,0 +1,113 @@
+//! Canonical plan forms for semantic matching.
+//!
+//! Two plans are *semantically equivalent* for our algebra when they reduce
+//! to the same canonical form:
+//!
+//! * adjacent filters are merged and their clauses sorted,
+//! * union children are ordered by signature (bag union commutes),
+//! * everything else is preserved structurally.
+//!
+//! Hashing the canonical form gives the *normalized signature* that extends
+//! CloudViews matching beyond syntactic identity.
+
+use adas_workload::plan::{LogicalPlan, PlanKind, Predicate};
+use adas_workload::signature::{strict_signature, Signature};
+
+/// Rewrites a plan into canonical form.
+pub fn canonicalize(plan: &LogicalPlan) -> LogicalPlan {
+    let children: Vec<LogicalPlan> = plan.children.iter().map(canonicalize).collect();
+    match &plan.kind {
+        PlanKind::Filter { predicate } => {
+            let child = children.into_iter().next().expect("filter has one child");
+            // Merge with an immediately-below filter.
+            let (mut clauses, grand) = match child {
+                LogicalPlan { kind: PlanKind::Filter { predicate: inner }, children: mut gc } => {
+                    let grand = gc.pop().expect("filter has one child");
+                    (inner.clauses.clone(), grand)
+                }
+                other => (Vec::new(), other),
+            };
+            clauses.extend(predicate.clauses.iter().copied());
+            clauses.sort_by_key(|c| (c.column, c.op.discriminant(), c.value));
+            clauses.dedup();
+            grand.filter(Predicate::new(clauses))
+        }
+        PlanKind::Union => {
+            let mut kids = children;
+            kids.sort_by_key(strict_signature);
+            let mut it = kids.into_iter();
+            let (a, b) = (it.next().expect("two children"), it.next().expect("two children"));
+            LogicalPlan::union(a, b)
+        }
+        kind => LogicalPlan { kind: kind.clone(), children },
+    }
+}
+
+/// Signature of the canonical form.
+pub fn normalized_signature(plan: &LogicalPlan) -> Signature {
+    strict_signature(&canonicalize(plan))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adas_workload::plan::{CmpOp, Comparison};
+
+    #[test]
+    fn stacked_filters_equal_merged_filter() {
+        let stacked = LogicalPlan::scan("events")
+            .filter(Predicate::single(1, CmpOp::Eq, 3))
+            .filter(Predicate::single(2, CmpOp::Le, 10));
+        let merged = LogicalPlan::scan("events").filter(Predicate::new(vec![
+            Comparison::new(2, CmpOp::Le, 10),
+            Comparison::new(1, CmpOp::Eq, 3),
+        ]));
+        assert_ne!(strict_signature(&stacked), strict_signature(&merged));
+        assert_eq!(normalized_signature(&stacked), normalized_signature(&merged));
+    }
+
+    #[test]
+    fn union_commutation_normalizes() {
+        let a = LogicalPlan::union(LogicalPlan::scan("events"), LogicalPlan::scan("users"));
+        let b = LogicalPlan::union(LogicalPlan::scan("users"), LogicalPlan::scan("events"));
+        assert_eq!(normalized_signature(&a), normalized_signature(&b));
+    }
+
+    #[test]
+    fn different_predicates_stay_different() {
+        let a = LogicalPlan::scan("events").filter(Predicate::single(1, CmpOp::Eq, 3));
+        let b = LogicalPlan::scan("events").filter(Predicate::single(1, CmpOp::Eq, 4));
+        assert_ne!(normalized_signature(&a), normalized_signature(&b));
+    }
+
+    #[test]
+    fn duplicate_clauses_deduped() {
+        let doubled = LogicalPlan::scan("events")
+            .filter(Predicate::single(1, CmpOp::Eq, 3))
+            .filter(Predicate::single(1, CmpOp::Eq, 3));
+        let single = LogicalPlan::scan("events").filter(Predicate::single(1, CmpOp::Eq, 3));
+        assert_eq!(normalized_signature(&doubled), normalized_signature(&single));
+    }
+
+    #[test]
+    fn canonicalization_is_idempotent() {
+        let plan = LogicalPlan::union(
+            LogicalPlan::scan("users").filter(Predicate::single(0, CmpOp::Ge, 2)),
+            LogicalPlan::scan("events")
+                .filter(Predicate::single(1, CmpOp::Eq, 3))
+                .filter(Predicate::single(2, CmpOp::Lt, 9)),
+        )
+        .aggregate(vec![0]);
+        let once = canonicalize(&plan);
+        let twice = canonicalize(&once);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn join_structure_preserved() {
+        // Joins do not commute under normalization (key roles differ).
+        let a = LogicalPlan::join(LogicalPlan::scan("events"), LogicalPlan::scan("users"), 0, 0);
+        let b = LogicalPlan::join(LogicalPlan::scan("users"), LogicalPlan::scan("events"), 0, 0);
+        assert_ne!(normalized_signature(&a), normalized_signature(&b));
+    }
+}

@@ -1,0 +1,240 @@
+//! View matching and plan rewriting.
+//!
+//! Matching proceeds top-down over the query plan, replacing the largest
+//! matching subtree first. Three match levels, each subsuming the previous:
+//!
+//! 1. **Syntactic** — strict-signature equality (original CloudViews).
+//! 2. **Semantic** — normalized-signature equality (stacked vs merged
+//!    filters, commuted unions).
+//! 3. **Containment** — a `Filter(p, X)` query node can be answered from a
+//!    view `Filter(q, X)` when `p ⊆ q`, by re-applying `p` as a
+//!    compensating filter on the view scan ("enabling a query to partially
+//!    take advantage of a view").
+
+use crate::normalize::normalized_signature;
+use crate::views::ViewCatalog;
+use adas_workload::plan::{LogicalPlan, PlanKind};
+use adas_workload::signature::strict_signature;
+use serde::Serialize;
+
+/// Which matching levels are enabled (the A4 ablation knob).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct MatchPolicy {
+    /// Strict-signature matches.
+    pub syntactic: bool,
+    /// Normalized-signature matches.
+    pub semantic: bool,
+    /// Predicate-containment matches with compensation.
+    pub containment: bool,
+}
+
+impl MatchPolicy {
+    /// Original CloudViews: signatures only.
+    pub fn syntactic_only() -> Self {
+        Self { syntactic: true, semantic: false, containment: false }
+    }
+
+    /// The full extension described in the paper.
+    pub fn full() -> Self {
+        Self { syntactic: true, semantic: true, containment: true }
+    }
+}
+
+/// Result of rewriting one plan.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RewriteOutcome {
+    /// The rewritten plan (identical to the input when no view matched).
+    pub plan: LogicalPlan,
+    /// Number of subtrees replaced by view scans.
+    pub hits: usize,
+    /// Hits that required predicate compensation.
+    pub containment_hits: usize,
+}
+
+fn match_node(
+    node: &LogicalPlan,
+    views: &ViewCatalog,
+    policy: MatchPolicy,
+) -> Option<(LogicalPlan, bool)> {
+    if node.node_count() < 2 {
+        return None; // never replace bare scans
+    }
+    if policy.syntactic {
+        if let Some(view) = views.by_signature(strict_signature(node)) {
+            return Some((LogicalPlan::scan(&view.name), false));
+        }
+    }
+    if policy.semantic {
+        if let Some(view) = views.by_normalized(normalized_signature(node)) {
+            return Some((LogicalPlan::scan(&view.name), false));
+        }
+    }
+    if policy.containment {
+        // Filter(p, X) matched against view Filter(q, X) with p ⊆ q.
+        if let PlanKind::Filter { predicate } = &node.kind {
+            let child_norm = normalized_signature(&node.children[0]);
+            for view in views.views() {
+                if let PlanKind::Filter { predicate: view_pred } = &view.plan.kind {
+                    if normalized_signature(&view.plan.children[0]) == child_norm
+                        && predicate.contained_in(view_pred)
+                    {
+                        return Some((
+                            LogicalPlan::scan(&view.name).filter(predicate.clone()),
+                            true,
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+fn rewrite_rec(
+    node: &LogicalPlan,
+    views: &ViewCatalog,
+    policy: MatchPolicy,
+    hits: &mut usize,
+    containment_hits: &mut usize,
+) -> LogicalPlan {
+    if let Some((replacement, compensated)) = match_node(node, views, policy) {
+        *hits += 1;
+        if compensated {
+            *containment_hits += 1;
+        }
+        return replacement;
+    }
+    LogicalPlan {
+        kind: node.kind.clone(),
+        children: node
+            .children
+            .iter()
+            .map(|c| rewrite_rec(c, views, policy, hits, containment_hits))
+            .collect(),
+    }
+}
+
+/// Rewrites a plan against the view catalog, largest subtree first.
+pub fn rewrite_plan(plan: &LogicalPlan, views: &ViewCatalog, policy: MatchPolicy) -> RewriteOutcome {
+    let mut hits = 0;
+    let mut containment_hits = 0;
+    let rewritten = rewrite_rec(plan, views, policy, &mut hits, &mut containment_hits);
+    RewriteOutcome { plan: rewritten, hits, containment_hits }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::views::SelectionConfig;
+    use adas_workload::catalog::Catalog;
+    use adas_workload::plan::{CmpOp, Predicate};
+
+    fn shared() -> LogicalPlan {
+        LogicalPlan::join(
+            LogicalPlan::scan("events").filter(Predicate::single(1, CmpOp::Eq, 3)),
+            LogicalPlan::scan("users"),
+            0,
+            0,
+        )
+    }
+
+    fn catalog_with_view() -> (Catalog, ViewCatalog) {
+        let catalog = Catalog::standard();
+        let plans: Vec<LogicalPlan> = (0..4).map(|i| shared().aggregate(vec![i % 3])).collect();
+        let vc = ViewCatalog::select(&plans, &catalog, &SelectionConfig::default());
+        assert!(!vc.is_empty());
+        (catalog, vc)
+    }
+
+    #[test]
+    fn syntactic_match_replaces_subtree() {
+        let (_, vc) = catalog_with_view();
+        // Aggregate over a group column never seen in training, so only the
+        // shared join subtree (not the whole query) matches.
+        let query = shared().aggregate(vec![0, 1]);
+        let out = rewrite_plan(&query, &vc, MatchPolicy::syntactic_only());
+        assert_eq!(out.hits, 1);
+        assert_eq!(out.containment_hits, 0);
+        assert!(out.plan.node_count() < query.node_count());
+        // The replacement root is the aggregate over a view scan.
+        assert!(matches!(out.plan.children[0].kind, PlanKind::Scan { .. }));
+    }
+
+    #[test]
+    fn no_match_returns_identical_plan() {
+        let (_, vc) = catalog_with_view();
+        let query = LogicalPlan::scan("sessions").aggregate(vec![0]);
+        let out = rewrite_plan(&query, &vc, MatchPolicy::full());
+        assert_eq!(out.hits, 0);
+        assert_eq!(out.plan, query);
+    }
+
+    #[test]
+    fn semantic_match_catches_reordered_filters() {
+        let catalog = Catalog::standard();
+        // Train with a two-clause merged filter feeding an aggregate (so the
+        // filter subtree itself is a view candidate).
+        let merged = LogicalPlan::scan("events")
+            .filter(Predicate::new(vec![
+                adas_workload::plan::Comparison::new(1, CmpOp::Eq, 3),
+                adas_workload::plan::Comparison::new(2, CmpOp::Le, 10),
+            ]));
+        let plans: Vec<LogicalPlan> = (0..4).map(|i| merged.clone().aggregate(vec![i % 3])).collect();
+        let vc = ViewCatalog::select(&plans, &catalog, &SelectionConfig::default());
+        // Query stacks the filters in the opposite order.
+        let query = LogicalPlan::scan("events")
+            .filter(Predicate::single(2, CmpOp::Le, 10))
+            .filter(Predicate::single(1, CmpOp::Eq, 3))
+            .aggregate(vec![0]);
+        let syntactic = rewrite_plan(&query, &vc, MatchPolicy::syntactic_only());
+        assert_eq!(syntactic.hits, 0, "literal order differs syntactically");
+        let semantic = rewrite_plan(&query, &vc, MatchPolicy::full());
+        assert_eq!(semantic.hits, 1);
+    }
+
+    #[test]
+    fn containment_match_compensates() {
+        let catalog = Catalog::standard();
+        let wide = LogicalPlan::scan("events").filter(Predicate::single(2, CmpOp::Le, 500));
+        let plans: Vec<LogicalPlan> = (0..4).map(|i| wide.clone().aggregate(vec![i % 3])).collect();
+        let vc = ViewCatalog::select(&plans, &catalog, &SelectionConfig::default());
+        // Narrower query predicate: contained in the view predicate.
+        let query = LogicalPlan::scan("events")
+            .filter(Predicate::single(2, CmpOp::Le, 100))
+            .aggregate(vec![0]);
+        let without = rewrite_plan(&query, &vc, MatchPolicy::syntactic_only());
+        assert_eq!(without.hits, 0);
+        let with = rewrite_plan(&query, &vc, MatchPolicy::full());
+        assert_eq!(with.hits, 1);
+        assert_eq!(with.containment_hits, 1);
+        // The compensating filter is re-applied above the view scan.
+        match &with.plan.children[0].kind {
+            PlanKind::Filter { predicate } => {
+                assert_eq!(predicate.clauses[0].value, 100);
+            }
+            other => panic!("expected compensating filter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wider_query_not_answered_by_narrow_view() {
+        let catalog = Catalog::standard();
+        let narrow = LogicalPlan::scan("events").filter(Predicate::single(2, CmpOp::Le, 100));
+        let plans: Vec<LogicalPlan> =
+            (0..4).map(|i| narrow.clone().aggregate(vec![i % 3])).collect();
+        let vc = ViewCatalog::select(&plans, &catalog, &SelectionConfig::default());
+        let query = LogicalPlan::scan("events")
+            .filter(Predicate::single(2, CmpOp::Le, 500))
+            .aggregate(vec![0]);
+        let out = rewrite_plan(&query, &vc, MatchPolicy::full());
+        assert_eq!(out.hits, 0, "containment must not run backwards");
+    }
+
+    #[test]
+    fn multiple_hits_in_one_plan() {
+        let (_, vc) = catalog_with_view();
+        let query = LogicalPlan::union(shared().aggregate(vec![0]), shared().aggregate(vec![1]));
+        let out = rewrite_plan(&query, &vc, MatchPolicy::syntactic_only());
+        assert_eq!(out.hits, 2);
+    }
+}

@@ -1,0 +1,298 @@
+//! Materialized-view candidate enumeration and selection.
+//!
+//! Candidates are non-trivial subplans whose signature recurs across jobs.
+//! Each candidate's *utility* is the true compute it would save over the
+//! window (occurrences beyond the first × subplan cost, minus the cost of
+//! scanning the view instead); its *price* is the storage it occupies.
+//! Selection is greedy by utility density under a byte budget — the
+//! "scalable materialized view selection" role of CloudViews' signatures.
+
+use crate::normalize::normalized_signature;
+use adas_engine::cardinality::{CardinalityModel, TrueCardinality};
+use adas_engine::cost::CostModel;
+use adas_engine::physical::BYTES_PER_ROW;
+use adas_workload::catalog::{Catalog, TableMeta};
+use adas_workload::plan::LogicalPlan;
+use adas_workload::signature::{strict_signature, Signature};
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// One selected materialized view.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MaterializedView {
+    /// View-table name registered in the extended catalog.
+    pub name: String,
+    /// Strict signature of the materialized subplan.
+    pub signature: Signature,
+    /// Normalized signature (for semantic matching).
+    pub normalized: Signature,
+    /// The subplan this view materializes.
+    pub plan: LogicalPlan,
+    /// True row count of the view.
+    pub rows: f64,
+    /// Storage footprint in bytes.
+    pub bytes: f64,
+    /// One-time materialization cost (true work units).
+    pub build_cost: f64,
+    /// Times the subplan occurred in the training window.
+    pub occurrences: usize,
+}
+
+/// Selection parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SelectionConfig {
+    /// Storage budget across all views, bytes.
+    pub storage_budget_bytes: f64,
+    /// Minimum occurrences for a candidate.
+    pub min_occurrences: usize,
+    /// Minimum subplan size (nodes); bare scans are never materialized.
+    pub min_nodes: usize,
+}
+
+impl Default for SelectionConfig {
+    fn default() -> Self {
+        Self { storage_budget_bytes: 50.0 * 1e9, min_occurrences: 2, min_nodes: 2 }
+    }
+}
+
+/// The selected views plus lookup indexes.
+#[derive(Debug, Clone, Default)]
+pub struct ViewCatalog {
+    views: Vec<MaterializedView>,
+    by_signature: HashMap<Signature, usize>,
+    by_normalized: HashMap<Signature, usize>,
+}
+
+impl ViewCatalog {
+    /// Enumerates candidates from the training jobs and selects greedily by
+    /// utility density under the byte budget.
+    pub fn select(plans: &[LogicalPlan], catalog: &Catalog, config: &SelectionConfig) -> Self {
+        let truth = TrueCardinality::new(catalog);
+        let cost_model = CostModel::default();
+
+        // Count occurrences per strict signature; one job contributes each
+        // distinct subplan once (self-overlap within a job is not reuse).
+        #[derive(Default)]
+        struct Candidate {
+            plan: Option<LogicalPlan>,
+            occurrences: usize,
+        }
+        let mut candidates: HashMap<Signature, Candidate> = HashMap::new();
+        for plan in plans {
+            let mut seen_in_job: Vec<Signature> = Vec::new();
+            for sub in plan.subplans() {
+                if sub.node_count() < config.min_nodes {
+                    continue;
+                }
+                let sig = strict_signature(sub);
+                if seen_in_job.contains(&sig) {
+                    continue;
+                }
+                seen_in_job.push(sig);
+                let entry = candidates.entry(sig).or_default();
+                entry.occurrences += 1;
+                if entry.plan.is_none() {
+                    entry.plan = Some(sub.clone());
+                }
+            }
+        }
+
+        // Score candidates.
+        struct Scored {
+            view: MaterializedView,
+            utility: f64,
+        }
+        let mut scored: Vec<Scored> = candidates
+            .into_iter()
+            .filter(|(_, c)| c.occurrences >= config.min_occurrences)
+            .filter_map(|(sig, c)| {
+                let plan = c.plan?;
+                let rows = truth.estimate(&plan).ok()?;
+                let build_cost = cost_model.total_cost(&plan, &truth).ok()?;
+                let bytes = rows * BYTES_PER_ROW;
+                // Savings per hit: recompute cost minus the view scan cost.
+                let scan_cost = rows; // scan weight is 1.0 per row
+                let per_hit = (build_cost - scan_cost).max(0.0);
+                let utility = per_hit * (c.occurrences as f64 - 1.0);
+                if utility <= 0.0 {
+                    return None;
+                }
+                Some(Scored {
+                    view: MaterializedView {
+                        name: format!("view_{:016x}", sig.0),
+                        signature: sig,
+                        normalized: normalized_signature(&plan),
+                        plan,
+                        rows,
+                        bytes,
+                        build_cost,
+                        occurrences: c.occurrences,
+                    },
+                    utility,
+                })
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            let da = a.utility / a.view.bytes.max(1.0);
+            let db = b.utility / b.view.bytes.max(1.0);
+            db.partial_cmp(&da)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.view.signature.cmp(&b.view.signature))
+        });
+
+        let mut out = Self::default();
+        let mut used = 0.0;
+        for s in scored {
+            if used + s.view.bytes > config.storage_budget_bytes {
+                continue;
+            }
+            // Skip views semantically identical to an already-selected one.
+            if out.by_normalized.contains_key(&s.view.normalized) {
+                continue;
+            }
+            used += s.view.bytes;
+            out.push(s.view);
+        }
+        out
+    }
+
+    fn push(&mut self, view: MaterializedView) {
+        let idx = self.views.len();
+        self.by_signature.insert(view.signature, idx);
+        self.by_normalized.insert(view.normalized, idx);
+        self.views.push(view);
+    }
+
+    /// The selected views.
+    pub fn views(&self) -> &[MaterializedView] {
+        &self.views
+    }
+
+    /// Number of selected views.
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    /// True when no views were selected.
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+
+    /// Looks up a view by strict signature.
+    pub fn by_signature(&self, sig: Signature) -> Option<&MaterializedView> {
+        self.by_signature.get(&sig).map(|&i| &self.views[i])
+    }
+
+    /// Looks up a view by normalized signature.
+    pub fn by_normalized(&self, sig: Signature) -> Option<&MaterializedView> {
+        self.by_normalized.get(&sig).map(|&i| &self.views[i])
+    }
+
+    /// Total storage consumed.
+    pub fn total_bytes(&self) -> f64 {
+        self.views.iter().map(|v| v.bytes).sum()
+    }
+
+    /// Total one-time materialization cost.
+    pub fn total_build_cost(&self) -> f64 {
+        self.views.iter().map(|v| v.build_cost).sum()
+    }
+
+    /// Extends a catalog with one table per view. The view table inherits
+    /// the column metadata of the view plan's base table (so predicates
+    /// above the replaced subtree still resolve) with the view's row count.
+    pub fn extend_catalog(&self, catalog: &Catalog) -> Catalog {
+        let mut extended = catalog.clone();
+        for view in &self.views {
+            let columns = view
+                .plan
+                .base_table()
+                .and_then(|t| catalog.table(t).ok())
+                .map(|t| t.columns.clone())
+                .unwrap_or_default();
+            extended.add_table(TableMeta {
+                name: view.name.clone(),
+                rows: view.rows.max(1.0) as u64,
+                columns,
+            });
+        }
+        extended
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adas_workload::plan::{CmpOp, Predicate};
+
+    fn shared_subplan() -> LogicalPlan {
+        LogicalPlan::join(
+            LogicalPlan::scan("events").filter(Predicate::single(1, CmpOp::Eq, 3)),
+            LogicalPlan::scan("users"),
+            0,
+            0,
+        )
+    }
+
+    fn workload_with_overlap(n: usize) -> Vec<LogicalPlan> {
+        (0..n)
+            .map(|i| shared_subplan().aggregate(vec![i % 3]))
+            .collect()
+    }
+
+    #[test]
+    fn recurring_subplan_selected() {
+        let catalog = Catalog::standard();
+        let plans = workload_with_overlap(5);
+        let vc = ViewCatalog::select(&plans, &catalog, &SelectionConfig::default());
+        assert!(!vc.is_empty());
+        let sig = strict_signature(&shared_subplan());
+        let view = vc.by_signature(sig).expect("shared join selected");
+        assert_eq!(view.occurrences, 5);
+        assert!(view.bytes > 0.0);
+        assert!(view.build_cost > 0.0);
+    }
+
+    #[test]
+    fn unique_plans_select_nothing() {
+        let catalog = Catalog::standard();
+        let plans: Vec<LogicalPlan> = (0..5)
+            .map(|i| LogicalPlan::scan("events").filter(Predicate::single(1, CmpOp::Eq, i)))
+            .collect();
+        let vc = ViewCatalog::select(&plans, &catalog, &SelectionConfig::default());
+        assert!(vc.is_empty());
+    }
+
+    #[test]
+    fn budget_limits_selection() {
+        let catalog = Catalog::standard();
+        let plans = workload_with_overlap(5);
+        let tight = SelectionConfig { storage_budget_bytes: 1.0, ..Default::default() };
+        let vc = ViewCatalog::select(&plans, &catalog, &tight);
+        assert!(vc.is_empty());
+    }
+
+    #[test]
+    fn extend_catalog_registers_views() {
+        let catalog = Catalog::standard();
+        let plans = workload_with_overlap(4);
+        let vc = ViewCatalog::select(&plans, &catalog, &SelectionConfig::default());
+        let extended = vc.extend_catalog(&catalog);
+        assert_eq!(extended.len(), catalog.len() + vc.len());
+        for view in vc.views() {
+            let t = extended.table(&view.name).unwrap();
+            assert_eq!(t.rows, view.rows.max(1.0) as u64);
+            assert!(!t.columns.is_empty());
+        }
+    }
+
+    #[test]
+    fn min_occurrences_respected() {
+        let catalog = Catalog::standard();
+        let mut plans = workload_with_overlap(2);
+        plans.push(LogicalPlan::scan("regions").aggregate(vec![0]));
+        let strict = SelectionConfig { min_occurrences: 3, ..Default::default() };
+        let vc = ViewCatalog::select(&plans, &catalog, &strict);
+        assert!(vc.is_empty());
+    }
+}

@@ -1,0 +1,284 @@
+//! Spark configuration auto-tuning (Sec 4.3, \[45\]).
+//!
+//! "Another example involves auto-tuning configurations for Spark, built on
+//! top of the resource usage predictor. We use iterative tuning algorithms
+//! to replace the manual process for customers. We start with a global model
+//! trained using data from multiple benchmark queries. While the global
+//! model may not be highly accurate, it serves as a reasonable starting
+//! point and is fine-tuned for each application as more observational data
+//! becomes available."
+//!
+//! Applications have a hidden response surface over `(executors, memory)`;
+//! running a configuration observes its cost (latency + resource price).
+//! The tuner hill-climbs from a starting point; the experiment compares a
+//! cold start against the global-model start (AutoToken-style executor
+//! prediction from application features).
+
+use adas_ml::dataset::Dataset;
+use adas_ml::linear::LinearRegression;
+use adas_ml::{Regressor, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A Spark configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SparkConfig {
+    /// Number of executors (1..=64).
+    pub executors: u32,
+    /// Memory per executor, GB (2..=64, powers of two in practice).
+    pub memory_gb: u32,
+}
+
+impl SparkConfig {
+    /// Clamps into the valid range.
+    pub fn clamped(self) -> Self {
+        Self {
+            executors: self.executors.clamp(1, 64),
+            memory_gb: self.memory_gb.clamp(2, 64),
+        }
+    }
+
+    /// The 4-neighbourhood in config space (±4 executors, ±2x memory-ish
+    /// steps), clamped.
+    pub fn neighbors(self) -> Vec<SparkConfig> {
+        vec![
+            Self { executors: self.executors.saturating_add(4), ..self }.clamped(),
+            Self { executors: self.executors.saturating_sub(4).max(1), ..self }.clamped(),
+            Self { memory_gb: self.memory_gb.saturating_add(4), ..self }.clamped(),
+            Self { memory_gb: self.memory_gb.saturating_sub(4).max(2), ..self }.clamped(),
+        ]
+    }
+}
+
+/// An application with a hidden response surface.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparkApp {
+    /// Observable feature: input size, GB.
+    pub input_gb: f64,
+    /// Observable feature: number of stages.
+    pub stages: f64,
+    /// Hidden: total work units.
+    work: f64,
+    /// Hidden: parallelism beyond this wastes executors.
+    parallelism_cap: f64,
+    /// Hidden: memory (GB/executor) below which spill slows the app.
+    memory_need: f64,
+}
+
+impl SparkApp {
+    /// Generates `n` heterogeneous applications.
+    pub fn generate(n: usize, seed: u64) -> Vec<SparkApp> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let input_gb = rng.gen_range(5.0..500.0);
+                let stages = rng.gen_range(4.0..60.0f64);
+                SparkApp {
+                    input_gb,
+                    stages,
+                    work: input_gb * rng.gen_range(8.0..12.0),
+                    parallelism_cap: (input_gb / 8.0 + stages / 4.0).clamp(2.0, 64.0),
+                    memory_need: (input_gb / 16.0).clamp(2.0, 48.0),
+                }
+            })
+            .collect()
+    }
+
+    /// True cost of running a configuration: latency plus resource price.
+    /// Deterministic (the tuner's observations are noise-free; production
+    /// noise only slows convergence without changing the comparison).
+    pub fn cost(&self, config: SparkConfig) -> f64 {
+        let config = config.clamped();
+        let effective = (config.executors as f64).min(self.parallelism_cap);
+        let mut latency = self.work / effective + 5.0;
+        if (config.memory_gb as f64) < self.memory_need {
+            // Spill penalty grows with the shortfall.
+            latency *= 1.0 + 1.5 * (self.memory_need - config.memory_gb as f64) / self.memory_need;
+        }
+        let price = config.executors as f64 * (1.0 + config.memory_gb as f64 / 32.0);
+        latency + 0.8 * price
+    }
+
+    /// Exhaustive-search optimum over the config grid (the oracle).
+    pub fn oracle(&self) -> (SparkConfig, f64) {
+        let mut best = (SparkConfig { executors: 1, memory_gb: 2 }, f64::INFINITY);
+        for executors in (1..=64u32).step_by(1) {
+            for memory_gb in (2..=64u32).step_by(2) {
+                let c = SparkConfig { executors, memory_gb };
+                let cost = self.cost(c);
+                if cost < best.1 {
+                    best = (c, cost);
+                }
+            }
+        }
+        best
+    }
+}
+
+/// The global model: predicts a starting configuration from observable
+/// features, trained on benchmark apps whose best configs were found by
+/// exhaustive search ("data from multiple benchmark queries").
+pub struct GlobalModel {
+    executors_model: LinearRegression,
+    memory_model: LinearRegression,
+}
+
+impl GlobalModel {
+    /// Trains on a benchmark population.
+    pub fn train(benchmarks: &[SparkApp]) -> Result<Self> {
+        let features: Vec<Vec<f64>> =
+            benchmarks.iter().map(|a| vec![a.input_gb, a.stages]).collect();
+        let best: Vec<(SparkConfig, f64)> = benchmarks.iter().map(SparkApp::oracle).collect();
+        let executors_model = LinearRegression::fit(&Dataset::new(
+            features.clone(),
+            best.iter().map(|(c, _)| c.executors as f64).collect(),
+        )?)?;
+        let memory_model = LinearRegression::fit(&Dataset::new(
+            features,
+            best.iter().map(|(c, _)| c.memory_gb as f64).collect(),
+        )?)?;
+        Ok(Self { executors_model, memory_model })
+    }
+
+    /// Suggested starting configuration for an application.
+    pub fn suggest(&self, app: &SparkApp) -> SparkConfig {
+        let f = vec![app.input_gb, app.stages];
+        SparkConfig {
+            executors: self.executors_model.predict(&f).round().max(1.0) as u32,
+            memory_gb: self.memory_model.predict(&f).round().max(2.0) as u32,
+        }
+        .clamped()
+    }
+}
+
+/// Iterative per-application tuner: greedy hill climbing over the config
+/// neighbourhood, one observation per iteration.
+///
+/// Returns the best cost observed after each iteration (the convergence
+/// curve of experiment C11).
+pub fn tune(app: &SparkApp, start: SparkConfig, iterations: usize) -> Vec<f64> {
+    let mut current = start.clamped();
+    let mut current_cost = app.cost(current);
+    let mut curve = Vec::with_capacity(iterations);
+    for _ in 0..iterations {
+        let (best_neighbor, best_cost) = current
+            .neighbors()
+            .into_iter()
+            .map(|c| (c, app.cost(c)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("neighbourhood is non-empty");
+        if best_cost < current_cost {
+            current = best_neighbor;
+            current_cost = best_cost;
+        }
+        curve.push(current_cost);
+    }
+    curve
+}
+
+/// Comparison of cold-start vs global-model-start tuning (experiment C11).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SparkTuneReport {
+    /// Applications tuned.
+    pub apps: usize,
+    /// Mean relative regret (cost/oracle − 1) after `iterations` of
+    /// cold-start tuning.
+    pub cold_regret: f64,
+    /// Mean relative regret with the global-model start.
+    pub global_regret: f64,
+    /// Mean regret of running the global suggestion with no tuning at all.
+    pub global_start_regret: f64,
+}
+
+/// Runs the comparison over a set of applications.
+pub fn compare_starts(
+    apps: &[SparkApp],
+    model: &GlobalModel,
+    iterations: usize,
+) -> SparkTuneReport {
+    let cold = SparkConfig { executors: 8, memory_gb: 8 };
+    let mut cold_sum = 0.0;
+    let mut global_sum = 0.0;
+    let mut start_sum = 0.0;
+    for app in apps {
+        let (_, oracle_cost) = app.oracle();
+        let cold_curve = tune(app, cold, iterations);
+        let suggestion = model.suggest(app);
+        let global_curve = tune(app, suggestion, iterations);
+        cold_sum += cold_curve.last().expect("iterations >= 1") / oracle_cost - 1.0;
+        global_sum += global_curve.last().expect("iterations >= 1") / oracle_cost - 1.0;
+        start_sum += app.cost(suggestion) / oracle_cost - 1.0;
+    }
+    let n = apps.len().max(1) as f64;
+    SparkTuneReport {
+        apps: apps.len(),
+        cold_regret: cold_sum / n,
+        global_regret: global_sum / n,
+        global_start_regret: start_sum / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_surface_sensible() {
+        let app = &SparkApp::generate(1, 5)[0];
+        // More executors help until the cap, then price dominates.
+        let few = app.cost(SparkConfig { executors: 1, memory_gb: 32 });
+        let cap = app.parallelism_cap as u32;
+        let at_cap = app.cost(SparkConfig { executors: cap.max(2), memory_gb: 32 });
+        let way_over = app.cost(SparkConfig { executors: 64, memory_gb: 32 });
+        assert!(at_cap < few);
+        assert!(way_over > at_cap);
+        // Starving memory hurts.
+        let starved = app.cost(SparkConfig { executors: cap.max(2), memory_gb: 2 });
+        assert!(starved > at_cap);
+    }
+
+    #[test]
+    fn tuning_monotonically_improves() {
+        let app = &SparkApp::generate(1, 5)[0];
+        let curve = tune(app, SparkConfig { executors: 1, memory_gb: 2 }, 30);
+        assert!(curve.windows(2).all(|w| w[1] <= w[0] + 1e-9));
+        let (_, oracle) = app.oracle();
+        assert!(curve.last().unwrap() / oracle < 1.3);
+    }
+
+    #[test]
+    fn global_start_converges_faster_than_cold() {
+        let benchmarks = SparkApp::generate(60, 1);
+        let model = GlobalModel::train(&benchmarks).unwrap();
+        let apps = SparkApp::generate(30, 2);
+        let few_iters = compare_starts(&apps, &model, 3);
+        assert!(
+            few_iters.global_regret <= few_iters.cold_regret,
+            "global {} vs cold {}",
+            few_iters.global_regret,
+            few_iters.cold_regret
+        );
+        // The untouched global suggestion is already reasonable.
+        assert!(few_iters.global_start_regret < 1.0);
+    }
+
+    #[test]
+    fn more_iterations_reduce_regret() {
+        let benchmarks = SparkApp::generate(60, 1);
+        let model = GlobalModel::train(&benchmarks).unwrap();
+        let apps = SparkApp::generate(20, 9);
+        let short = compare_starts(&apps, &model, 2);
+        let long = compare_starts(&apps, &model, 25);
+        assert!(long.cold_regret <= short.cold_regret);
+        assert!(long.global_regret <= short.global_regret + 1e-9);
+    }
+
+    #[test]
+    fn config_clamping() {
+        let c = SparkConfig { executors: 1000, memory_gb: 1 }.clamped();
+        assert_eq!(c.executors, 64);
+        assert_eq!(c.memory_gb, 2);
+        assert!(c.neighbors().iter().all(|n| n.executors >= 1 && n.memory_gb >= 2));
+    }
+}

@@ -1,0 +1,59 @@
+use std::fmt;
+
+/// Errors produced by the telemetry substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TelemetryError {
+    /// A series was requested for a `(resource, metric)` pair that has no
+    /// recorded samples.
+    UnknownSeries {
+        /// Resource component of the missing key.
+        resource: String,
+        /// Metric component of the missing key.
+        metric: String,
+    },
+    /// Samples must be appended in non-decreasing timestamp order.
+    OutOfOrderSample {
+        /// Timestamp of the last stored sample.
+        last: u64,
+        /// Offending timestamp.
+        attempted: u64,
+    },
+    /// An operation required a non-empty series.
+    EmptySeries,
+    /// A window or resample specification was invalid (e.g. zero width).
+    InvalidWindow(String),
+    /// A metric name could not be normalized against the semantic schema.
+    UnknownMetricName(String),
+    /// The requested seasonal period does not divide into the series.
+    InvalidPeriod {
+        /// Requested period length in samples.
+        period: usize,
+        /// Number of samples available.
+        len: usize,
+    },
+}
+
+impl fmt::Display for TelemetryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownSeries { resource, metric } => {
+                write!(f, "no series recorded for resource `{resource}` metric `{metric}`")
+            }
+            Self::OutOfOrderSample { last, attempted } => write!(
+                f,
+                "sample timestamp {attempted} precedes last stored timestamp {last}"
+            ),
+            Self::EmptySeries => write!(f, "operation requires a non-empty series"),
+            Self::InvalidWindow(msg) => write!(f, "invalid window specification: {msg}"),
+            Self::UnknownMetricName(name) => {
+                write!(f, "metric name `{name}` is not registered in the semantic schema")
+            }
+            Self::InvalidPeriod { period, len } => write!(
+                f,
+                "seasonal period {period} is invalid for a series of {len} samples"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TelemetryError {}

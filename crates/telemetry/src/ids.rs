@@ -1,0 +1,89 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifier of a monitored resource (VM, container, database, cluster…).
+///
+/// Cheap to clone: the name is reference-counted.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ResourceId(Arc<str>);
+
+impl ResourceId {
+    /// Creates a resource identifier from any string-like value.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Self(Arc::from(name.as_ref()))
+    }
+
+    /// Returns the identifier as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ResourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for ResourceId {
+    fn from(value: &str) -> Self {
+        Self::new(value)
+    }
+}
+
+/// Identifier of a metric, e.g. `cpu_utilization`.
+///
+/// Metric identifiers should be *canonical* names; use
+/// [`schema::SemanticSchema`](crate::schema::SemanticSchema) to normalize
+/// platform-specific names before storing.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MetricId(Arc<str>);
+
+impl MetricId {
+    /// Creates a metric identifier from any string-like value.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Self(Arc::from(name.as_ref()))
+    }
+
+    /// Returns the identifier as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for MetricId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for MetricId {
+    fn from(value: &str) -> Self {
+        Self::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn resource_id_round_trips() {
+        let id = ResourceId::new("vm-1");
+        assert_eq!(id.as_str(), "vm-1");
+        assert_eq!(id.to_string(), "vm-1");
+        assert_eq!(ResourceId::from("vm-1"), id);
+    }
+
+    #[test]
+    fn metric_id_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(MetricId::new("cpu"));
+        set.insert(MetricId::new("cpu"));
+        set.insert(MetricId::new("mem"));
+        assert_eq!(set.len(), 2);
+        assert!(MetricId::new("cpu") < MetricId::new("mem"));
+    }
+}

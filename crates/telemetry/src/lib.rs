@@ -1,0 +1,54 @@
+//! Time-series telemetry substrate for autonomous data services.
+//!
+//! The paper ("Towards Building Autonomous Data Services on Azure",
+//! SIGMOD-Companion 2023) repeatedly stresses that the cloud's key enabler
+//! for autonomy is *telemetry*: "We have never before had access to such
+//! detailed workload traces and system telemetries." This crate provides the
+//! substrate every other crate in the workspace builds on:
+//!
+//! * [`TimeSeries`] — an ordered sequence of `(timestamp, value)` samples
+//!   with resampling, windowed aggregation, and gap handling.
+//! * [`TelemetryStore`] — a concurrent in-memory metric store keyed by
+//!   `(resource, metric)` pairs, the stand-in for Kusto/SQL telemetry sinks
+//!   named in the paper's Direction 1.
+//! * [`schema`] — semantic metric normalization (the paper's Direction 2:
+//!   "CPU utilization metrics on Windows and Linux VMs possess the same
+//!   meaning even though they may have different names").
+//! * [`seasonal`] — seasonality detection and decomposition used by the
+//!   service-layer forecasters (Seagull, Moneyball).
+//!
+//! # Example
+//!
+//! ```
+//! use adas_telemetry::{TimeSeries, TelemetryStore, MetricId, ResourceId};
+//!
+//! let store = TelemetryStore::new();
+//! let res = ResourceId::new("vm-42");
+//! let cpu = MetricId::new("cpu_utilization");
+//! for t in 0..10 {
+//!     store.append(&res, &cpu, t * 60, 0.5 + 0.01 * t as f64);
+//! }
+//! let series = store.series(&res, &cpu).expect("series exists");
+//! assert_eq!(series.len(), 10);
+//! assert!(series.mean().unwrap() > 0.5);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod error;
+mod ids;
+pub mod schema;
+pub mod seasonal;
+mod series;
+mod store;
+pub mod window;
+
+pub use error::TelemetryError;
+pub use ids::{MetricId, ResourceId};
+pub use series::{Sample, TimeSeries};
+pub use store::TelemetryStore;
+pub use window::{Aggregate, WindowSpec};
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, TelemetryError>;

@@ -1,0 +1,225 @@
+//! Semantic metric normalization (the paper's Direction 2).
+//!
+//! > "CPU utilization metrics on Windows and Linux VMs possess the same
+//! > meaning even though they may have different names."
+//!
+//! A [`SemanticSchema`] maps platform-specific metric names (e.g.
+//! `\Processor(_Total)\% Processor Time` on Windows, `node_cpu_utilization`
+//! on Linux) to canonical [`MetricId`]s so that models trained on one
+//! platform's telemetry transfer to another — the prerequisite for the
+//! paper's component-level reuse.
+
+use crate::{MetricId, Result, TelemetryError};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The unit a canonical metric is expressed in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MetricUnit {
+    /// Dimensionless ratio in `[0, 1]`.
+    Ratio,
+    /// A count of discrete items (containers, requests, …).
+    Count,
+    /// Bytes.
+    Bytes,
+    /// Seconds.
+    Seconds,
+    /// Operations (or requests) per second.
+    PerSecond,
+}
+
+/// Description of one canonical metric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CanonicalMetric {
+    /// Canonical identifier, e.g. `cpu_utilization`.
+    pub id: MetricId,
+    /// Unit of the canonical form.
+    pub unit: MetricUnit,
+    /// Human-readable meaning.
+    pub description: String,
+}
+
+/// A registered alias: platform-specific name plus an affine conversion into
+/// the canonical unit (`canonical = raw * scale + offset`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Alias {
+    canonical: MetricId,
+    scale: f64,
+    offset: f64,
+}
+
+/// Registry mapping platform-specific metric names to canonical metrics.
+#[derive(Debug, Clone, Default)]
+pub struct SemanticSchema {
+    canonical: HashMap<MetricId, CanonicalMetric>,
+    aliases: HashMap<String, Alias>,
+}
+
+impl SemanticSchema {
+    /// Creates an empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates the schema used throughout the workspace, covering the
+    /// counters the simulators emit with Windows- and Linux-style aliases.
+    pub fn standard() -> Self {
+        let mut schema = Self::new();
+        schema.register(
+            "cpu_utilization",
+            MetricUnit::Ratio,
+            "Fraction of CPU busy time across all cores",
+        );
+        schema.register(
+            "running_containers",
+            MetricUnit::Count,
+            "Number of concurrently running containers on a machine",
+        );
+        schema.register(
+            "task_execution_seconds",
+            MetricUnit::Seconds,
+            "Wall-clock execution time of a task",
+        );
+        schema.register("temp_storage_bytes", MetricUnit::Bytes, "Local temp storage in use");
+        schema.register("memory_utilization", MetricUnit::Ratio, "Fraction of RAM in use");
+        schema.register("request_rate", MetricUnit::PerSecond, "Incoming request rate");
+
+        // Windows-style names report percentages; scale into ratios.
+        schema
+            .alias(r"\Processor(_Total)\% Processor Time", "cpu_utilization", 0.01, 0.0)
+            .expect("canonical registered");
+        schema
+            .alias(r"\Memory\% Committed Bytes In Use", "memory_utilization", 0.01, 0.0)
+            .expect("canonical registered");
+        // Linux/node-exporter style names are already ratios.
+        schema
+            .alias("node_cpu_utilization", "cpu_utilization", 1.0, 0.0)
+            .expect("canonical registered");
+        schema
+            .alias("node_memory_utilization", "memory_utilization", 1.0, 0.0)
+            .expect("canonical registered");
+        schema
+    }
+
+    /// Registers a canonical metric.
+    pub fn register(&mut self, id: &str, unit: MetricUnit, description: &str) {
+        let id = MetricId::new(id);
+        self.canonical.insert(
+            id.clone(),
+            CanonicalMetric { id, unit, description: description.to_string() },
+        );
+    }
+
+    /// Registers a platform-specific alias with an affine unit conversion.
+    ///
+    /// Fails if the canonical metric has not been registered.
+    pub fn alias(&mut self, raw_name: &str, canonical: &str, scale: f64, offset: f64) -> Result<()> {
+        let canonical = MetricId::new(canonical);
+        if !self.canonical.contains_key(&canonical) {
+            return Err(TelemetryError::UnknownMetricName(canonical.to_string()));
+        }
+        self.aliases
+            .insert(raw_name.to_string(), Alias { canonical, scale, offset });
+        Ok(())
+    }
+
+    /// Normalizes a platform-specific `(name, value)` observation into its
+    /// canonical `(metric, value)` form.
+    ///
+    /// Canonical names pass through unchanged.
+    pub fn normalize(&self, raw_name: &str, raw_value: f64) -> Result<(MetricId, f64)> {
+        if let Some(alias) = self.aliases.get(raw_name) {
+            return Ok((alias.canonical.clone(), raw_value * alias.scale + alias.offset));
+        }
+        let id = MetricId::new(raw_name);
+        if self.canonical.contains_key(&id) {
+            return Ok((id, raw_value));
+        }
+        Err(TelemetryError::UnknownMetricName(raw_name.to_string()))
+    }
+
+    /// Looks up a canonical metric description.
+    pub fn describe(&self, id: &MetricId) -> Option<&CanonicalMetric> {
+        self.canonical.get(id)
+    }
+
+    /// Number of canonical metrics registered.
+    pub fn canonical_count(&self) -> usize {
+        self.canonical.len()
+    }
+
+    /// Number of aliases registered.
+    pub fn alias_count(&self) -> usize {
+        self.aliases.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_percentage_normalizes_to_ratio() {
+        let schema = SemanticSchema::standard();
+        let (id, v) = schema
+            .normalize(r"\Processor(_Total)\% Processor Time", 85.0)
+            .unwrap();
+        assert_eq!(id.as_str(), "cpu_utilization");
+        assert!((v - 0.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linux_ratio_passes_through_alias() {
+        let schema = SemanticSchema::standard();
+        let (id, v) = schema.normalize("node_cpu_utilization", 0.4).unwrap();
+        assert_eq!(id.as_str(), "cpu_utilization");
+        assert_eq!(v, 0.4);
+    }
+
+    #[test]
+    fn canonical_names_pass_through() {
+        let schema = SemanticSchema::standard();
+        let (id, v) = schema.normalize("cpu_utilization", 0.7).unwrap();
+        assert_eq!(id.as_str(), "cpu_utilization");
+        assert_eq!(v, 0.7);
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        let schema = SemanticSchema::standard();
+        assert!(matches!(
+            schema.normalize("mystery_metric", 1.0),
+            Err(TelemetryError::UnknownMetricName(_))
+        ));
+    }
+
+    #[test]
+    fn alias_requires_canonical() {
+        let mut schema = SemanticSchema::new();
+        assert!(schema.alias("x", "nonexistent", 1.0, 0.0).is_err());
+        schema.register("m", MetricUnit::Count, "a metric");
+        assert!(schema.alias("x", "m", 2.0, 1.0).is_ok());
+        let (_, v) = schema.normalize("x", 3.0).unwrap();
+        assert_eq!(v, 7.0);
+    }
+
+    #[test]
+    fn windows_and_linux_cpu_agree_after_normalization() {
+        // The Direction-2 property: same physical reading, same canonical value.
+        let schema = SemanticSchema::standard();
+        let (_, windows) = schema
+            .normalize(r"\Processor(_Total)\% Processor Time", 64.0)
+            .unwrap();
+        let (_, linux) = schema.normalize("node_cpu_utilization", 0.64).unwrap();
+        assert!((windows - linux).abs() < 1e-12);
+    }
+
+    #[test]
+    fn standard_schema_inventory() {
+        let schema = SemanticSchema::standard();
+        assert_eq!(schema.canonical_count(), 6);
+        assert_eq!(schema.alias_count(), 4);
+        assert!(schema.describe(&MetricId::new("cpu_utilization")).is_some());
+        assert!(schema.describe(&MetricId::new("nope")).is_none());
+    }
+}

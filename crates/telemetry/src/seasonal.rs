@@ -1,0 +1,223 @@
+//! Seasonality detection and decomposition.
+//!
+//! Seagull's backup-window scheduling and Moneyball's pause/resume both rest
+//! on one empirical fact the paper highlights: most server load "follows a
+//! stable daily or a weekly pattern". This module detects that structure and
+//! decomposes a series into trend + seasonal + residual, a lightweight
+//! additive variant of STL.
+
+use crate::{Result, TelemetryError, TimeSeries};
+use serde::{Deserialize, Serialize};
+
+/// Result of an additive seasonal decomposition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Decomposition {
+    /// Smoothed trend component (same length as input).
+    pub trend: Vec<f64>,
+    /// Repeating seasonal profile of length `period` (mean-centered).
+    pub seasonal_profile: Vec<f64>,
+    /// Residuals: `value - trend - seasonal` (same length as input).
+    pub residual: Vec<f64>,
+    /// The period used, in samples.
+    pub period: usize,
+}
+
+impl Decomposition {
+    /// Seasonal component aligned with the input series (profile tiled).
+    pub fn seasonal(&self) -> Vec<f64> {
+        (0..self.trend.len())
+            .map(|i| self.seasonal_profile[i % self.period])
+            .collect()
+    }
+
+    /// Seasonal strength in `[0, 1]`: `max(0, 1 - var(residual) /
+    /// var(seasonal + residual))`, per Hyndman's definition.
+    pub fn seasonal_strength(&self) -> f64 {
+        let seasonal = self.seasonal();
+        let detrended: Vec<f64> = seasonal
+            .iter()
+            .zip(&self.residual)
+            .map(|(s, r)| s + r)
+            .collect();
+        let var = |xs: &[f64]| {
+            let m = xs.iter().sum::<f64>() / xs.len() as f64;
+            xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64
+        };
+        let vr = var(&self.residual);
+        let vd = var(&detrended);
+        if vd == 0.0 {
+            0.0
+        } else {
+            (1.0 - vr / vd).max(0.0)
+        }
+    }
+}
+
+/// Additively decomposes `series` assuming a fixed `period` (in samples).
+///
+/// Requires at least two full periods of data. The trend is a centered
+/// moving average of width `period` (rounded up to odd); the seasonal
+/// profile is the per-phase mean of the detrended values, re-centered to
+/// zero mean.
+pub fn decompose(series: &TimeSeries, period: usize) -> Result<Decomposition> {
+    let n = series.len();
+    if period < 2 || n < 2 * period {
+        return Err(TelemetryError::InvalidPeriod { period, len: n });
+    }
+    let window = if period % 2 == 0 { period + 1 } else { period };
+    let trend: Vec<f64> = series.moving_average(window)?.values().collect();
+    let values: Vec<f64> = series.values().collect();
+
+    let mut phase_sums = vec![0.0f64; period];
+    let mut phase_counts = vec![0usize; period];
+    for i in 0..n {
+        let detrended = values[i] - trend[i];
+        phase_sums[i % period] += detrended;
+        phase_counts[i % period] += 1;
+    }
+    let mut profile: Vec<f64> = phase_sums
+        .iter()
+        .zip(&phase_counts)
+        .map(|(&s, &c)| s / c as f64)
+        .collect();
+    let profile_mean = profile.iter().sum::<f64>() / period as f64;
+    for p in &mut profile {
+        *p -= profile_mean;
+    }
+
+    let residual: Vec<f64> = (0..n)
+        .map(|i| values[i] - trend[i] - profile[i % period])
+        .collect();
+    Ok(Decomposition { trend, seasonal_profile: profile, residual, period })
+}
+
+/// Detects the dominant period among `candidates` (sample counts) using
+/// autocorrelation, returning the candidate with the highest lag-k
+/// autocorrelation if it exceeds `threshold`.
+pub fn detect_period(series: &TimeSeries, candidates: &[usize], threshold: f64) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for &k in candidates {
+        if let Some(ac) = series.autocorrelation(k) {
+            if ac >= threshold && best.map_or(true, |(_, b)| ac > b) {
+                best = Some((k, ac));
+            }
+        }
+    }
+    best.map(|(k, _)| k)
+}
+
+/// Classification of a series' temporal structure, used by Moneyball to
+/// decide which usage patterns are forecastable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Pattern {
+    /// Strong periodicity at the detected period (in samples).
+    Seasonal {
+        /// Detected period length in samples.
+        period: usize,
+    },
+    /// No significant periodicity but low variance around the mean.
+    Stable,
+    /// Neither periodic nor stable.
+    Irregular,
+}
+
+/// Classifies the temporal pattern of `series`.
+///
+/// A series is `Seasonal` if some candidate period has autocorrelation at
+/// least `season_threshold`; otherwise `Stable` if its coefficient of
+/// variation is below `stability_cv`; otherwise `Irregular`.
+pub fn classify_pattern(
+    series: &TimeSeries,
+    candidates: &[usize],
+    season_threshold: f64,
+    stability_cv: f64,
+) -> Pattern {
+    if let Some(period) = detect_period(series, candidates, season_threshold) {
+        return Pattern::Seasonal { period };
+    }
+    match (series.mean(), series.std_dev()) {
+        (Some(mean), Some(sd)) if mean.abs() > f64::EPSILON && sd / mean.abs() < stability_cv => {
+            Pattern::Stable
+        }
+        _ => Pattern::Irregular,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn daily_series(days: usize, noise: impl Fn(usize) -> f64) -> TimeSeries {
+        // 24 samples per "day": load high during hours 8-18, low otherwise.
+        let values = (0..days * 24).map(|i| {
+            let hour = i % 24;
+            let base = if (8..18).contains(&hour) { 10.0 } else { 2.0 };
+            base + noise(i)
+        });
+        TimeSeries::evenly_spaced(0, 3600, values)
+    }
+
+    #[test]
+    fn decompose_recovers_daily_profile() {
+        let s = daily_series(7, |_| 0.0);
+        let d = decompose(&s, 24).unwrap();
+        // Peak phase minus trough phase should be near 8.0.
+        let max = d.seasonal_profile.iter().cloned().fold(f64::MIN, f64::max);
+        let min = d.seasonal_profile.iter().cloned().fold(f64::MAX, f64::min);
+        assert!((max - min) > 6.0, "profile amplitude {:.2}", max - min);
+        assert!(d.seasonal_strength() > 0.9);
+    }
+
+    #[test]
+    fn decompose_validates_period() {
+        let s = daily_series(1, |_| 0.0);
+        assert!(decompose(&s, 24).is_err()); // only one period of data
+        assert!(decompose(&s, 1).is_err()); // period too small
+    }
+
+    #[test]
+    fn profile_is_mean_centered() {
+        let s = daily_series(5, |i| (i % 3) as f64 * 0.1);
+        let d = decompose(&s, 24).unwrap();
+        let mean: f64 = d.seasonal_profile.iter().sum::<f64>() / 24.0;
+        assert!(mean.abs() < 1e-9);
+    }
+
+    #[test]
+    fn detect_period_prefers_true_period() {
+        let s = daily_series(7, |_| 0.0);
+        let p = detect_period(&s, &[12, 24, 48], 0.3);
+        assert_eq!(p, Some(24));
+    }
+
+    #[test]
+    fn detect_period_none_for_noise() {
+        // Deterministic pseudo-noise with no period.
+        let values = (0..200).map(|i| ((i * 2654435761u64) % 1000) as f64);
+        let s = TimeSeries::evenly_spaced(0, 60, values);
+        assert_eq!(detect_period(&s, &[24, 168], 0.5), None);
+    }
+
+    #[test]
+    fn classify_patterns() {
+        let seasonal = daily_series(7, |_| 0.0);
+        assert_eq!(
+            classify_pattern(&seasonal, &[24], 0.3, 0.1),
+            Pattern::Seasonal { period: 24 }
+        );
+
+        let stable = TimeSeries::evenly_spaced(0, 60, (0..100).map(|i| 10.0 + 0.01 * (i % 2) as f64));
+        assert_eq!(classify_pattern(&stable, &[24], 0.99, 0.1), Pattern::Stable);
+
+        let irregular =
+            TimeSeries::evenly_spaced(0, 60, (0..100).map(|i| ((i * 2654435761u64) % 1000) as f64));
+        assert_eq!(classify_pattern(&irregular, &[24], 0.6, 0.05), Pattern::Irregular);
+    }
+
+    #[test]
+    fn seasonal_strength_zero_for_flat() {
+        let s = TimeSeries::evenly_spaced(0, 60, std::iter::repeat(5.0).take(96));
+        let d = decompose(&s, 24).unwrap();
+        assert!(d.seasonal_strength() < 1e-9);
+    }
+}

@@ -1,0 +1,473 @@
+use crate::{Result, TelemetryError};
+use serde::{Deserialize, Serialize};
+
+/// A single telemetry observation: a Unix-style timestamp (seconds) and a
+/// floating-point value.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Observation time, in seconds since the simulation epoch.
+    pub timestamp: u64,
+    /// Observed value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// Creates a sample.
+    pub fn new(timestamp: u64, value: f64) -> Self {
+        Self { timestamp, value }
+    }
+}
+
+/// An append-only, timestamp-ordered sequence of samples.
+///
+/// All analytical helpers (mean, percentiles, resampling, differencing) are
+/// defined here so downstream crates can treat telemetry uniformly.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    samples: Vec<Sample>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a series from `(timestamp, value)` pairs, which must already
+    /// be in non-decreasing timestamp order.
+    pub fn from_pairs<I>(pairs: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = (u64, f64)>,
+    {
+        let mut series = Self::new();
+        for (t, v) in pairs {
+            series.push(t, v)?;
+        }
+        Ok(series)
+    }
+
+    /// Creates a series of evenly spaced samples starting at `start`,
+    /// `step` seconds apart, taking values from `values`.
+    pub fn evenly_spaced<I>(start: u64, step: u64, values: I) -> Self
+    where
+        I: IntoIterator<Item = f64>,
+    {
+        let samples = values
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| Sample::new(start + i as u64 * step, v))
+            .collect();
+        Self { samples }
+    }
+
+    /// Appends a sample; timestamps must be non-decreasing.
+    pub fn push(&mut self, timestamp: u64, value: f64) -> Result<()> {
+        if let Some(last) = self.samples.last() {
+            if timestamp < last.timestamp {
+                return Err(TelemetryError::OutOfOrderSample {
+                    last: last.timestamp,
+                    attempted: timestamp,
+                });
+            }
+        }
+        self.samples.push(Sample::new(timestamp, value));
+        Ok(())
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if the series has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Borrow the raw samples.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Iterator over the values only.
+    pub fn values(&self) -> impl Iterator<Item = f64> + '_ {
+        self.samples.iter().map(|s| s.value)
+    }
+
+    /// Iterator over the timestamps only.
+    pub fn timestamps(&self) -> impl Iterator<Item = u64> + '_ {
+        self.samples.iter().map(|s| s.timestamp)
+    }
+
+    /// First sample, if any.
+    pub fn first(&self) -> Option<Sample> {
+        self.samples.first().copied()
+    }
+
+    /// Last sample, if any.
+    pub fn last(&self) -> Option<Sample> {
+        self.samples.last().copied()
+    }
+
+    /// Arithmetic mean of the values, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.values().sum::<f64>() / self.len() as f64)
+        }
+    }
+
+    /// Population standard deviation, or `None` when empty.
+    pub fn std_dev(&self) -> Option<f64> {
+        let mean = self.mean()?;
+        let var = self.values().map(|v| (v - mean).powi(2)).sum::<f64>() / self.len() as f64;
+        Some(var.sqrt())
+    }
+
+    /// Minimum value, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        self.values().fold(None, |acc, v| match acc {
+            None => Some(v),
+            Some(m) => Some(m.min(v)),
+        })
+    }
+
+    /// Maximum value, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        self.values().fold(None, |acc, v| match acc {
+            None => Some(v),
+            Some(m) => Some(m.max(v)),
+        })
+    }
+
+    /// Linear-interpolated percentile of the values (`p` in `[0, 1]`).
+    ///
+    /// Returns `None` when the series is empty or `p` is out of range.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        if self.is_empty() || !(0.0..=1.0).contains(&p) {
+            return None;
+        }
+        let mut values: Vec<f64> = self.values().collect();
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let rank = p * (values.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        if lo == hi {
+            Some(values[lo])
+        } else {
+            let frac = rank - lo as f64;
+            Some(values[lo] * (1.0 - frac) + values[hi] * frac)
+        }
+    }
+
+    /// Sub-series of samples with `start <= timestamp < end`.
+    pub fn slice(&self, start: u64, end: u64) -> TimeSeries {
+        let lo = self.samples.partition_point(|s| s.timestamp < start);
+        let hi = self.samples.partition_point(|s| s.timestamp < end);
+        TimeSeries {
+            samples: self.samples[lo..hi].to_vec(),
+        }
+    }
+
+    /// Resamples onto a regular grid of `step`-second buckets anchored at the
+    /// first timestamp, averaging the samples that fall into each bucket.
+    /// Empty buckets are filled by carrying the previous bucket forward.
+    pub fn resample(&self, step: u64) -> Result<TimeSeries> {
+        if step == 0 {
+            return Err(TelemetryError::InvalidWindow("resample step must be > 0".into()));
+        }
+        let Some(first) = self.first() else {
+            return Ok(TimeSeries::new());
+        };
+        let last = self.last().expect("non-empty");
+        let buckets = (last.timestamp - first.timestamp) / step + 1;
+        let mut sums = vec![0.0f64; buckets as usize];
+        let mut counts = vec![0u32; buckets as usize];
+        for s in &self.samples {
+            let idx = ((s.timestamp - first.timestamp) / step) as usize;
+            sums[idx] += s.value;
+            counts[idx] += 1;
+        }
+        let mut out = TimeSeries::new();
+        let mut carry = first.value;
+        for (i, (&sum, &count)) in sums.iter().zip(&counts).enumerate() {
+            let v = if count > 0 { sum / f64::from(count) } else { carry };
+            carry = v;
+            out.push(first.timestamp + i as u64 * step, v)?;
+        }
+        Ok(out)
+    }
+
+    /// First difference of the series: `v[i] - v[i-1]` stamped at `t[i]`.
+    pub fn diff(&self) -> TimeSeries {
+        let samples = self
+            .samples
+            .windows(2)
+            .map(|w| Sample::new(w[1].timestamp, w[1].value - w[0].value))
+            .collect();
+        TimeSeries { samples }
+    }
+
+    /// Centered moving average with the given odd window length.
+    ///
+    /// Edges use a truncated window. Returns an error for an even or zero
+    /// window.
+    pub fn moving_average(&self, window: usize) -> Result<TimeSeries> {
+        if window == 0 || window % 2 == 0 {
+            return Err(TelemetryError::InvalidWindow(format!(
+                "moving average window must be odd and positive, got {window}"
+            )));
+        }
+        let half = window / 2;
+        let n = self.samples.len();
+        let mut out = TimeSeries::new();
+        for i in 0..n {
+            let lo = i.saturating_sub(half);
+            let hi = (i + half + 1).min(n);
+            let mean =
+                self.samples[lo..hi].iter().map(|s| s.value).sum::<f64>() / (hi - lo) as f64;
+            out.push(self.samples[i].timestamp, mean)?;
+        }
+        Ok(out)
+    }
+
+    /// Lag-`k` autocorrelation of the values (Pearson, mean-centered).
+    ///
+    /// Returns `None` if fewer than `k + 2` samples or zero variance.
+    pub fn autocorrelation(&self, k: usize) -> Option<f64> {
+        let n = self.len();
+        if n < k + 2 {
+            return None;
+        }
+        let mean = self.mean()?;
+        let var: f64 = self.values().map(|v| (v - mean).powi(2)).sum();
+        if var == 0.0 {
+            return None;
+        }
+        let cov: f64 = (0..n - k)
+            .map(|i| (self.samples[i].value - mean) * (self.samples[i + k].value - mean))
+            .sum();
+        Some(cov / var)
+    }
+
+    /// Pointwise combination of two series sharing identical timestamps.
+    ///
+    /// Returns `None` if the timestamp grids differ.
+    pub fn zip_with(&self, other: &TimeSeries, f: impl Fn(f64, f64) -> f64) -> Option<TimeSeries> {
+        if self.len() != other.len() {
+            return None;
+        }
+        let mut out = TimeSeries::new();
+        for (a, b) in self.samples.iter().zip(&other.samples) {
+            if a.timestamp != b.timestamp {
+                return None;
+            }
+            out.push(a.timestamp, f(a.value, b.value)).ok()?;
+        }
+        Some(out)
+    }
+}
+
+impl FromIterator<Sample> for TimeSeries {
+    /// Collects samples, silently sorting them by timestamp first so the
+    /// ordering invariant holds.
+    fn from_iter<T: IntoIterator<Item = Sample>>(iter: T) -> Self {
+        let mut samples: Vec<Sample> = iter.into_iter().collect();
+        samples.sort_by_key(|s| s.timestamp);
+        Self { samples }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(values: &[f64]) -> TimeSeries {
+        TimeSeries::evenly_spaced(0, 60, values.iter().copied())
+    }
+
+    #[test]
+    fn push_rejects_out_of_order() {
+        let mut s = TimeSeries::new();
+        s.push(10, 1.0).unwrap();
+        let err = s.push(5, 2.0).unwrap_err();
+        assert_eq!(
+            err,
+            TelemetryError::OutOfOrderSample { last: 10, attempted: 5 }
+        );
+        // Equal timestamps are allowed.
+        s.push(10, 3.0).unwrap();
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn basic_statistics() {
+        let s = series(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.mean(), Some(2.5));
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(4.0));
+        let sd = s.std_dev().unwrap();
+        assert!((sd - 1.118).abs() < 1e-3);
+    }
+
+    #[test]
+    fn empty_statistics_are_none() {
+        let s = TimeSeries::new();
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.std_dev(), None);
+        assert_eq!(s.percentile(0.5), None);
+        assert_eq!(s.min(), None);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let s = series(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.percentile(0.0), Some(1.0));
+        assert_eq!(s.percentile(1.0), Some(4.0));
+        assert_eq!(s.percentile(0.5), Some(2.5));
+        assert_eq!(s.percentile(1.5), None);
+    }
+
+    #[test]
+    fn slice_is_half_open() {
+        let s = series(&[1.0, 2.0, 3.0, 4.0]); // at t = 0, 60, 120, 180
+        let sub = s.slice(60, 180);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.first().unwrap().timestamp, 60);
+        assert_eq!(sub.last().unwrap().timestamp, 120);
+    }
+
+    #[test]
+    fn resample_averages_and_fills() {
+        let s = TimeSeries::from_pairs([(0, 1.0), (30, 3.0), (180, 5.0)]).unwrap();
+        let r = s.resample(60).unwrap();
+        // Buckets: [0,60) avg=2, [60,120) carry=2, [120,180) carry=2, [180,240) =5
+        assert_eq!(r.len(), 4);
+        let vals: Vec<f64> = r.values().collect();
+        assert_eq!(vals, vec![2.0, 2.0, 2.0, 5.0]);
+    }
+
+    #[test]
+    fn resample_zero_step_errors() {
+        let s = series(&[1.0]);
+        assert!(matches!(s.resample(0), Err(TelemetryError::InvalidWindow(_))));
+    }
+
+    #[test]
+    fn diff_shortens_by_one() {
+        let s = series(&[1.0, 4.0, 9.0]);
+        let d = s.diff();
+        let vals: Vec<f64> = d.values().collect();
+        assert_eq!(vals, vec![3.0, 5.0]);
+    }
+
+    #[test]
+    fn moving_average_smooths() {
+        let s = series(&[0.0, 10.0, 0.0, 10.0, 0.0]);
+        let ma = s.moving_average(3).unwrap();
+        let vals: Vec<f64> = ma.values().collect();
+        assert_eq!(vals[1], 10.0 / 3.0);
+        assert_eq!(vals[2], 20.0 / 3.0);
+        assert!(s.moving_average(2).is_err());
+        assert!(s.moving_average(0).is_err());
+    }
+
+    #[test]
+    fn autocorrelation_detects_period() {
+        // Strong period-2 alternation → high lag-2 autocorrelation, negative lag-1.
+        let s = series(&[1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0]);
+        assert!(s.autocorrelation(2).unwrap() > 0.5);
+        assert!(s.autocorrelation(1).unwrap() < -0.5);
+        assert_eq!(s.autocorrelation(100), None);
+    }
+
+    #[test]
+    fn zip_with_requires_matching_grid() {
+        let a = series(&[1.0, 2.0]);
+        let b = series(&[3.0, 4.0]);
+        let sum = a.zip_with(&b, |x, y| x + y).unwrap();
+        assert_eq!(sum.values().collect::<Vec<_>>(), vec![4.0, 6.0]);
+        let c = TimeSeries::evenly_spaced(1, 60, [1.0, 2.0]);
+        assert!(a.zip_with(&c, |x, y| x + y).is_none());
+    }
+
+    #[test]
+    fn from_iterator_sorts() {
+        let s: TimeSeries = [Sample::new(100, 2.0), Sample::new(0, 1.0)].into_iter().collect();
+        assert_eq!(s.first().unwrap().timestamp, 0);
+    }
+}
+
+#[cfg(test)]
+mod property_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_series() -> impl Strategy<Value = TimeSeries> {
+        proptest::collection::vec(-1e6f64..1e6, 1..80)
+            .prop_map(|values| TimeSeries::evenly_spaced(0, 60, values))
+    }
+
+    proptest! {
+        /// Percentiles are monotone in p and bracketed by min/max.
+        #[test]
+        fn percentile_monotone(series in arb_series(), a in 0.0f64..1.0, b in 0.0f64..1.0) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            let pl = series.percentile(lo).expect("non-empty");
+            let ph = series.percentile(hi).expect("non-empty");
+            prop_assert!(pl <= ph + 1e-9);
+            prop_assert!(series.min().expect("non-empty") <= pl + 1e-9);
+            prop_assert!(ph <= series.max().expect("non-empty") + 1e-9);
+        }
+
+        /// Moving average preserves the mean up to edge effects bounds and
+        /// stays within [min, max].
+        #[test]
+        fn moving_average_bounded(series in arb_series(), half in 0usize..4) {
+            let window = 2 * half + 1;
+            let smoothed = series.moving_average(window).expect("odd window");
+            let (lo, hi) = (series.min().expect("non-empty"), series.max().expect("non-empty"));
+            for v in smoothed.values() {
+                prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+            }
+            prop_assert_eq!(smoothed.len(), series.len());
+        }
+
+        /// Resampling conserves sample count mapping: every output bucket is
+        /// inside [first, last] and values are within the input range.
+        #[test]
+        fn resample_bounded(series in arb_series(), step in 1u64..500) {
+            let resampled = series.resample(step).expect("step > 0");
+            let (lo, hi) = (series.min().expect("non-empty"), series.max().expect("non-empty"));
+            for v in resampled.values() {
+                prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+            }
+            if let (Some(first), Some(last)) = (resampled.first(), series.last()) {
+                prop_assert!(first.timestamp <= last.timestamp);
+            }
+        }
+
+        /// diff then cumulative-sum recovers the original series tail.
+        #[test]
+        fn diff_inverts(series in arb_series()) {
+            let d = series.diff();
+            prop_assert_eq!(d.len(), series.len().saturating_sub(1));
+            let first = series.first().expect("non-empty").value;
+            let mut acc = first;
+            for (dv, orig) in d.values().zip(series.values().skip(1)) {
+                acc += dv;
+                prop_assert!((acc - orig).abs() < 1e-6);
+            }
+        }
+
+        /// Slicing never yields samples outside the requested range.
+        #[test]
+        fn slice_in_range(series in arb_series(), start in 0u64..5000, width in 0u64..5000) {
+            let sub = series.slice(start, start + width);
+            for s in sub.samples() {
+                prop_assert!(s.timestamp >= start && s.timestamp < start + width);
+            }
+        }
+    }
+}

@@ -1,0 +1,163 @@
+use crate::{MetricId, ResourceId, Result, TelemetryError, TimeSeries};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+
+/// Concurrent in-memory telemetry store keyed by `(resource, metric)`.
+///
+/// This is the workspace's stand-in for the telemetry sinks the paper names
+/// (Kusto, SQL Server): simulators append counters, learned components read
+/// series back out. A `BTreeMap` keeps enumeration deterministic, which the
+/// experiment harness relies on for reproducible output.
+#[derive(Debug, Default)]
+pub struct TelemetryStore {
+    inner: RwLock<BTreeMap<(ResourceId, MetricId), TimeSeries>>,
+}
+
+impl TelemetryStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a sample for `(resource, metric)`.
+    ///
+    /// Out-of-order timestamps within one series are rejected, matching the
+    /// append-only semantics of production telemetry pipelines.
+    pub fn append(&self, resource: &ResourceId, metric: &MetricId, timestamp: u64, value: f64) {
+        let mut inner = self.inner.write();
+        let series = inner
+            .entry((resource.clone(), metric.clone()))
+            .or_default();
+        // Out-of-order appends indicate a simulator bug; drop them silently
+        // would hide it, so keep the invariant but surface via debug assert.
+        let pushed = series.push(timestamp, value);
+        debug_assert!(pushed.is_ok(), "out-of-order telemetry append: {pushed:?}");
+    }
+
+    /// Returns a clone of the series for `(resource, metric)`.
+    pub fn series(&self, resource: &ResourceId, metric: &MetricId) -> Result<TimeSeries> {
+        self.inner
+            .read()
+            .get(&(resource.clone(), metric.clone()))
+            .cloned()
+            .ok_or_else(|| TelemetryError::UnknownSeries {
+                resource: resource.to_string(),
+                metric: metric.to_string(),
+            })
+    }
+
+    /// Returns the resources that have at least one sample for `metric`,
+    /// in deterministic (sorted) order.
+    pub fn resources_with_metric(&self, metric: &MetricId) -> Vec<ResourceId> {
+        self.inner
+            .read()
+            .keys()
+            .filter(|(_, m)| m == metric)
+            .map(|(r, _)| r.clone())
+            .collect()
+    }
+
+    /// Returns all metrics recorded for `resource`, in deterministic order.
+    pub fn metrics_for_resource(&self, resource: &ResourceId) -> Vec<MetricId> {
+        self.inner
+            .read()
+            .keys()
+            .filter(|(r, _)| r == resource)
+            .map(|(_, m)| m.clone())
+            .collect()
+    }
+
+    /// Total number of `(resource, metric)` series stored.
+    pub fn series_count(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Total number of samples across all series.
+    pub fn sample_count(&self) -> usize {
+        self.inner.read().values().map(TimeSeries::len).sum()
+    }
+
+    /// Applies `f` to every `(resource, metric, series)` triple in
+    /// deterministic order without cloning the series.
+    pub fn for_each(&self, mut f: impl FnMut(&ResourceId, &MetricId, &TimeSeries)) {
+        for ((r, m), s) in self.inner.read().iter() {
+            f(r, m, s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn append_and_read_back() {
+        let store = TelemetryStore::new();
+        let r = ResourceId::new("vm-1");
+        let m = MetricId::new("cpu");
+        store.append(&r, &m, 0, 0.5);
+        store.append(&r, &m, 60, 0.6);
+        let s = store.series(&r, &m).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.mean(), Some(0.55));
+    }
+
+    #[test]
+    fn unknown_series_errors() {
+        let store = TelemetryStore::new();
+        let err = store
+            .series(&ResourceId::new("vm-x"), &MetricId::new("cpu"))
+            .unwrap_err();
+        assert!(matches!(err, TelemetryError::UnknownSeries { .. }));
+    }
+
+    #[test]
+    fn enumeration_is_sorted() {
+        let store = TelemetryStore::new();
+        let m = MetricId::new("cpu");
+        for name in ["vm-3", "vm-1", "vm-2"] {
+            store.append(&ResourceId::new(name), &m, 0, 1.0);
+        }
+        let names: Vec<String> = store
+            .resources_with_metric(&m)
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        assert_eq!(names, vec!["vm-1", "vm-2", "vm-3"]);
+    }
+
+    #[test]
+    fn metrics_for_resource_filters() {
+        let store = TelemetryStore::new();
+        let r = ResourceId::new("vm-1");
+        store.append(&r, &MetricId::new("cpu"), 0, 1.0);
+        store.append(&r, &MetricId::new("mem"), 0, 1.0);
+        store.append(&ResourceId::new("vm-2"), &MetricId::new("cpu"), 0, 1.0);
+        assert_eq!(store.metrics_for_resource(&r).len(), 2);
+        assert_eq!(store.series_count(), 3);
+        assert_eq!(store.sample_count(), 3);
+    }
+
+    #[test]
+    fn concurrent_appends_to_distinct_series() {
+        let store = Arc::new(TelemetryStore::new());
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let store = Arc::clone(&store);
+                std::thread::spawn(move || {
+                    let r = ResourceId::new(format!("vm-{i}"));
+                    let m = MetricId::new("cpu");
+                    for t in 0..100 {
+                        store.append(&r, &m, t, t as f64);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.series_count(), 8);
+        assert_eq!(store.sample_count(), 800);
+    }
+}

@@ -1,0 +1,206 @@
+//! Windowed aggregation over time series.
+//!
+//! The service-layer components (Seagull's low-load windows, Moneyball's
+//! pause candidates) reason about fixed-width windows of telemetry; this
+//! module provides the shared machinery.
+
+use crate::{Result, TelemetryError, TimeSeries};
+use serde::{Deserialize, Serialize};
+
+/// How to reduce the samples inside a window to a single value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Aggregate {
+    /// Arithmetic mean of samples in the window.
+    Mean,
+    /// Minimum sample.
+    Min,
+    /// Maximum sample.
+    Max,
+    /// Sum of samples.
+    Sum,
+    /// Number of samples (as `f64`).
+    Count,
+}
+
+impl Aggregate {
+    fn apply(self, values: &[f64]) -> f64 {
+        match self {
+            Self::Mean => values.iter().sum::<f64>() / values.len() as f64,
+            Self::Min => values.iter().copied().fold(f64::INFINITY, f64::min),
+            Self::Max => values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            Self::Sum => values.iter().sum(),
+            Self::Count => values.len() as f64,
+        }
+    }
+}
+
+/// A tumbling-window specification: contiguous `width`-second windows
+/// starting at `origin`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowSpec {
+    /// Timestamp at which the first window opens.
+    pub origin: u64,
+    /// Window width in seconds; must be positive.
+    pub width: u64,
+}
+
+impl WindowSpec {
+    /// Creates a window spec, validating the width.
+    pub fn new(origin: u64, width: u64) -> Result<Self> {
+        if width == 0 {
+            return Err(TelemetryError::InvalidWindow("window width must be > 0".into()));
+        }
+        Ok(Self { origin, width })
+    }
+
+    /// Index of the window containing `timestamp`, or `None` if it precedes
+    /// the origin.
+    pub fn index_of(&self, timestamp: u64) -> Option<u64> {
+        timestamp.checked_sub(self.origin).map(|d| d / self.width)
+    }
+
+    /// Start timestamp of window `index`.
+    pub fn start_of(&self, index: u64) -> u64 {
+        self.origin + index * self.width
+    }
+}
+
+/// One aggregated window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WindowValue {
+    /// Window index relative to the spec origin.
+    pub index: u64,
+    /// Window start timestamp.
+    pub start: u64,
+    /// Aggregated value.
+    pub value: f64,
+}
+
+/// Aggregates `series` into tumbling windows, skipping empty windows.
+///
+/// Samples before the spec origin are ignored.
+pub fn aggregate_windows(
+    series: &TimeSeries,
+    spec: WindowSpec,
+    agg: Aggregate,
+) -> Vec<WindowValue> {
+    let mut out: Vec<WindowValue> = Vec::new();
+    let mut current: Option<(u64, Vec<f64>)> = None;
+    for s in series.samples() {
+        let Some(idx) = spec.index_of(s.timestamp) else {
+            continue;
+        };
+        match &mut current {
+            Some((cur_idx, values)) if *cur_idx == idx => values.push(s.value),
+            _ => {
+                if let Some((cur_idx, values)) = current.take() {
+                    out.push(WindowValue {
+                        index: cur_idx,
+                        start: spec.start_of(cur_idx),
+                        value: agg.apply(&values),
+                    });
+                }
+                current = Some((idx, vec![s.value]));
+            }
+        }
+    }
+    if let Some((cur_idx, values)) = current {
+        out.push(WindowValue {
+            index: cur_idx,
+            start: spec.start_of(cur_idx),
+            value: agg.apply(&values),
+        });
+    }
+    out
+}
+
+/// Finds the contiguous run of `k` windows with the smallest aggregate sum —
+/// the "lowest-load window" primitive behind Seagull's backup scheduling.
+///
+/// Returns the starting position in `windows` of the best run, or `None`
+/// when fewer than `k` windows exist or `k == 0`. Non-contiguous window
+/// indices (gaps from empty windows) are allowed; the run is over the given
+/// slice positions.
+pub fn lowest_load_run(windows: &[WindowValue], k: usize) -> Option<usize> {
+    if k == 0 || windows.len() < k {
+        return None;
+    }
+    let mut best_start = 0usize;
+    let mut best_sum = f64::INFINITY;
+    let mut run_sum: f64 = windows[..k].iter().map(|w| w.value).sum();
+    best_sum = best_sum.min(run_sum);
+    for start in 1..=(windows.len() - k) {
+        run_sum += windows[start + k - 1].value - windows[start - 1].value;
+        if run_sum < best_sum {
+            best_sum = run_sum;
+            best_start = start;
+        }
+    }
+    Some(best_start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn windows(values: &[f64]) -> Vec<WindowValue> {
+        values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| WindowValue { index: i as u64, start: i as u64 * 3600, value: v })
+            .collect()
+    }
+
+    #[test]
+    fn spec_validates_width() {
+        assert!(WindowSpec::new(0, 0).is_err());
+        let spec = WindowSpec::new(100, 60).unwrap();
+        assert_eq!(spec.index_of(50), None);
+        assert_eq!(spec.index_of(100), Some(0));
+        assert_eq!(spec.index_of(159), Some(0));
+        assert_eq!(spec.index_of(160), Some(1));
+        assert_eq!(spec.start_of(2), 220);
+    }
+
+    #[test]
+    fn aggregate_mean_and_skip_empty() {
+        let series = TimeSeries::from_pairs([(0, 2.0), (30, 4.0), (120, 8.0)]).unwrap();
+        let spec = WindowSpec::new(0, 60).unwrap();
+        let agg = aggregate_windows(&series, spec, Aggregate::Mean);
+        assert_eq!(agg.len(), 2); // window 1 is empty and skipped
+        assert_eq!(agg[0].index, 0);
+        assert_eq!(agg[0].value, 3.0);
+        assert_eq!(agg[1].index, 2);
+        assert_eq!(agg[1].value, 8.0);
+    }
+
+    #[test]
+    fn aggregate_variants() {
+        let series = TimeSeries::from_pairs([(0, 2.0), (10, 6.0)]).unwrap();
+        let spec = WindowSpec::new(0, 60).unwrap();
+        let one = |a| aggregate_windows(&series, spec, a)[0].value;
+        assert_eq!(one(Aggregate::Min), 2.0);
+        assert_eq!(one(Aggregate::Max), 6.0);
+        assert_eq!(one(Aggregate::Sum), 8.0);
+        assert_eq!(one(Aggregate::Count), 2.0);
+    }
+
+    #[test]
+    fn lowest_load_run_finds_trough() {
+        let w = windows(&[5.0, 4.0, 1.0, 1.0, 6.0, 7.0]);
+        assert_eq!(lowest_load_run(&w, 2), Some(2));
+        assert_eq!(lowest_load_run(&w, 1), Some(2));
+        assert_eq!(lowest_load_run(&w, 6), Some(0));
+        assert_eq!(lowest_load_run(&w, 7), None);
+        assert_eq!(lowest_load_run(&w, 0), None);
+    }
+
+    #[test]
+    fn samples_before_origin_ignored() {
+        let series = TimeSeries::from_pairs([(0, 100.0), (200, 1.0)]).unwrap();
+        let spec = WindowSpec::new(100, 60).unwrap();
+        let agg = aggregate_windows(&series, spec, Aggregate::Sum);
+        assert_eq!(agg.len(), 1);
+        assert_eq!(agg[0].value, 1.0);
+    }
+}

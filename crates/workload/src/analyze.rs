@@ -1,0 +1,318 @@
+//! Peregrine-style workload analysis.
+//!
+//! "Our first step is to combine this information. … queries or
+//! subexpressions of queries are categorized into templates based on their
+//! recurrence and similarity, and the dependencies of queries/jobs … in
+//! pipelines are captured. Furthermore, workloads evolve over time, and as
+//! such, we also learn the evolving nature of the historical workloads to
+//! forecast future workloads." (Sec 4.2)
+//!
+//! [`WorkloadAnalysis::analyze`] re-discovers, from plans alone:
+//!
+//! * recurring templates (grouping by [`template_signature`]),
+//! * cross-job subexpression sharing (grouping non-trivial subplans by
+//!   [`strict_signature`]),
+//! * the inter-job dependency graph (matching produced to consumed
+//!   datasets),
+//! * per-template arrival counts, from which [`WorkloadAnalysis::
+//!   forecast_next_day`] projects the next day's load.
+
+use crate::job::Trace;
+use crate::signature::{strict_signature, template_signature, Signature};
+use crate::JobId;
+use adas_ml::forecast::{Forecaster, SeasonalNaive};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+const SECONDS_PER_DAY: u64 = 86_400;
+
+/// Summary of one discovered template.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TemplateInfo {
+    /// The template signature that groups the instances.
+    pub signature: Signature,
+    /// Instance job ids, in submit order.
+    pub instances: Vec<JobId>,
+    /// Number of distinct days on which an instance ran.
+    pub active_days: usize,
+}
+
+impl TemplateInfo {
+    /// A template is *recurring* when it ran on at least two distinct days —
+    /// the "periodic runs of scripts" criterion.
+    pub fn is_recurring(&self) -> bool {
+        self.active_days >= 2
+    }
+}
+
+/// Headline workload statistics (the paper's calibration targets).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadStats {
+    /// Total jobs analyzed.
+    pub total_jobs: usize,
+    /// Number of distinct template signatures.
+    pub distinct_templates: usize,
+    /// Fraction of jobs that belong to a recurring template.
+    pub recurring_fraction: f64,
+    /// Fraction of jobs sharing a non-trivial subexpression with at least
+    /// one *other* job.
+    pub shared_subexpression_fraction: f64,
+    /// Fraction of jobs with at least one inter-job dependency (either
+    /// direction).
+    pub dependent_fraction: f64,
+}
+
+/// The full analysis result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadAnalysis {
+    templates: Vec<TemplateInfo>,
+    /// Dependency edges `(producer, consumer)`.
+    edges: Vec<(JobId, JobId)>,
+    stats: WorkloadStats,
+    /// Per-template daily instance counts: `template index -> counts[day]`.
+    daily_counts: Vec<Vec<f64>>,
+    days: usize,
+}
+
+impl WorkloadAnalysis {
+    /// Analyzes a trace.
+    pub fn analyze(trace: &Trace) -> Self {
+        let total = trace.len();
+        let days = if total == 0 {
+            0
+        } else {
+            (trace.jobs().last().expect("non-empty").submit_time / SECONDS_PER_DAY + 1) as usize
+        };
+
+        // --- Templatization.
+        let mut groups: BTreeMap<Signature, TemplateInfo> = BTreeMap::new();
+        for job in trace.jobs() {
+            let sig = template_signature(&job.plan);
+            let entry = groups.entry(sig).or_insert_with(|| TemplateInfo {
+                signature: sig,
+                instances: Vec::new(),
+                active_days: 0,
+            });
+            entry.instances.push(job.id);
+        }
+        let mut daily_counts: Vec<Vec<f64>> = Vec::with_capacity(groups.len());
+        let day_of: HashMap<JobId, usize> = trace
+            .jobs()
+            .iter()
+            .map(|j| (j.id, (j.submit_time / SECONDS_PER_DAY) as usize))
+            .collect();
+        for info in groups.values_mut() {
+            let mut counts = vec![0.0f64; days];
+            let mut seen_days = HashSet::new();
+            for id in &info.instances {
+                let d = day_of[id];
+                counts[d] += 1.0;
+                seen_days.insert(d);
+            }
+            info.active_days = seen_days.len();
+            daily_counts.push(counts);
+        }
+        let templates: Vec<TemplateInfo> = groups.into_values().collect();
+        let recurring_jobs: usize = templates
+            .iter()
+            .filter(|t| t.is_recurring())
+            .map(|t| t.instances.len())
+            .sum();
+
+        // --- Subexpression sharing (non-trivial subplans only).
+        let mut subexpr_jobs: HashMap<Signature, HashSet<JobId>> = HashMap::new();
+        for job in trace.jobs() {
+            for sub in job.plan.subplans() {
+                if sub.node_count() >= 2 {
+                    subexpr_jobs
+                        .entry(strict_signature(sub))
+                        .or_default()
+                        .insert(job.id);
+                }
+            }
+        }
+        let mut sharing_jobs: HashSet<JobId> = HashSet::new();
+        for jobs in subexpr_jobs.values() {
+            if jobs.len() >= 2 {
+                sharing_jobs.extend(jobs.iter().copied());
+            }
+        }
+
+        // --- Dependency graph.
+        let mut producer_of: HashMap<crate::DatasetId, JobId> = HashMap::new();
+        for job in trace.jobs() {
+            for out in &job.outputs {
+                producer_of.insert(*out, job.id);
+            }
+        }
+        let mut edges = Vec::new();
+        let mut dependent: HashSet<JobId> = HashSet::new();
+        for job in trace.jobs() {
+            for input in &job.inputs {
+                if let Some(&producer) = producer_of.get(input) {
+                    edges.push((producer, job.id));
+                    dependent.insert(producer);
+                    dependent.insert(job.id);
+                }
+            }
+        }
+
+        let frac = |n: usize| if total == 0 { 0.0 } else { n as f64 / total as f64 };
+        let stats = WorkloadStats {
+            total_jobs: total,
+            distinct_templates: templates.len(),
+            recurring_fraction: frac(recurring_jobs),
+            shared_subexpression_fraction: frac(sharing_jobs.len()),
+            dependent_fraction: frac(dependent.len()),
+        };
+        Self { templates, edges, stats, daily_counts, days }
+    }
+
+    /// The headline statistics.
+    pub fn stats(&self) -> WorkloadStats {
+        self.stats
+    }
+
+    /// Discovered templates, ordered by signature.
+    pub fn templates(&self) -> &[TemplateInfo] {
+        &self.templates
+    }
+
+    /// Templates that recur (ran on >= 2 distinct days), largest first.
+    pub fn recurring_templates(&self) -> Vec<&TemplateInfo> {
+        let mut v: Vec<&TemplateInfo> = self.templates.iter().filter(|t| t.is_recurring()).collect();
+        v.sort_by(|a, b| b.instances.len().cmp(&a.instances.len()));
+        v
+    }
+
+    /// Dependency edges `(producer, consumer)`.
+    pub fn dependency_edges(&self) -> &[(JobId, JobId)] {
+        &self.edges
+    }
+
+    /// Forecasts the number of instances of each recurring template expected
+    /// tomorrow, using a seasonal-naive (previous-day) forecaster over the
+    /// observed daily counts. Returns `(signature, expected_instances)`
+    /// pairs for recurring templates only.
+    pub fn forecast_next_day(&self) -> Vec<(Signature, f64)> {
+        self.templates
+            .iter()
+            .zip(&self.daily_counts)
+            .filter(|(t, _)| t.is_recurring())
+            .filter_map(|(t, counts)| {
+                // Period 1 (daily cadence at day granularity).
+                SeasonalNaive::fit(counts, 1)
+                    .ok()
+                    .map(|f| (t.signature, f.forecast(1)[0]))
+            })
+            .collect()
+    }
+
+    /// Number of days the analyzed trace spans.
+    pub fn days(&self) -> usize {
+        self.days
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{GeneratorConfig, WorkloadGenerator};
+    use crate::job::{Job, Trace};
+    use crate::plan::{CmpOp, LogicalPlan, Predicate};
+    use crate::{DatasetId, TemplateId};
+
+    fn mk_job(id: u64, day: u64, literal: i64) -> Job {
+        Job {
+            id: JobId(id),
+            template: TemplateId(0),
+            plan: LogicalPlan::scan("events").filter(Predicate::single(0, CmpOp::Le, literal)),
+            submit_time: day * SECONDS_PER_DAY + 100,
+            inputs: vec![],
+            outputs: vec![],
+        }
+    }
+
+    #[test]
+    fn recurrence_requires_multiple_days() {
+        // Same template on days 0 and 1 → recurring; a one-off on day 0 → not.
+        let one_off = Job {
+            plan: LogicalPlan::scan("users").aggregate(vec![0]),
+            ..mk_job(99, 0, 0)
+        };
+        let trace = Trace::new(vec![mk_job(0, 0, 5), mk_job(1, 1, 9), one_off]);
+        let a = WorkloadAnalysis::analyze(&trace);
+        assert_eq!(a.stats().distinct_templates, 2);
+        assert!((a.stats().recurring_fraction - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(a.recurring_templates().len(), 1);
+        assert_eq!(a.days(), 2);
+    }
+
+    #[test]
+    fn sharing_detected_via_identical_subplans() {
+        // Two jobs with the same (literal-identical) filter share; a third
+        // with a different literal does not share with them.
+        let trace = Trace::new(vec![mk_job(0, 0, 5), mk_job(1, 0, 5), mk_job(2, 0, 6)]);
+        let a = WorkloadAnalysis::analyze(&trace);
+        assert!((a.stats().shared_subexpression_fraction - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dependencies_matched_by_dataset() {
+        let mut producer = mk_job(0, 0, 1);
+        producer.outputs.push(DatasetId(7));
+        let mut consumer = mk_job(1, 0, 2);
+        consumer.inputs.push(DatasetId(7));
+        let loner = mk_job(2, 0, 3);
+        let a = WorkloadAnalysis::analyze(&Trace::new(vec![producer, consumer, loner]));
+        assert_eq!(a.dependency_edges(), &[(JobId(0), JobId(1))]);
+        assert!((a.stats().dependent_fraction - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_analysis() {
+        let a = WorkloadAnalysis::analyze(&Trace::default());
+        assert_eq!(a.stats().total_jobs, 0);
+        assert_eq!(a.stats().recurring_fraction, 0.0);
+        assert!(a.forecast_next_day().is_empty());
+    }
+
+    #[test]
+    fn analysis_recovers_generator_calibration() {
+        // The C1 experiment in miniature: analyzer statistics should land on
+        // the paper's numbers (>60% recurring, ~40% sharing, ~70% dependent).
+        let w = WorkloadGenerator::new(GeneratorConfig::default()).unwrap().generate().unwrap();
+        let a = WorkloadAnalysis::analyze(&w.trace);
+        let s = a.stats();
+        assert!(s.recurring_fraction > 0.60, "recurring {}", s.recurring_fraction);
+        assert!(
+            (0.30..=0.55).contains(&s.shared_subexpression_fraction),
+            "sharing {}",
+            s.shared_subexpression_fraction
+        );
+        assert!(
+            (0.60..=0.80).contains(&s.dependent_fraction),
+            "dependent {}",
+            s.dependent_fraction
+        );
+    }
+
+    #[test]
+    fn forecast_projects_previous_day() {
+        // Template runs 3x on day 0, 5x on day 1 → previous-day forecast = 5.
+        let mut jobs = Vec::new();
+        let mut id = 0;
+        for _ in 0..3 {
+            jobs.push(mk_job(id, 0, id as i64));
+            id += 1;
+        }
+        for _ in 0..5 {
+            jobs.push(mk_job(id, 1, id as i64));
+            id += 1;
+        }
+        let a = WorkloadAnalysis::analyze(&Trace::new(jobs));
+        let forecast = a.forecast_next_day();
+        assert_eq!(forecast.len(), 1);
+        assert_eq!(forecast[0].1, 5.0);
+    }
+}

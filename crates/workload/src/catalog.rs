@@ -1,0 +1,196 @@
+//! Table and column metadata with basic statistics.
+//!
+//! The default (non-learned) cardinality estimator in the engine crate uses
+//! these statistics — row counts, distinct-value counts and min/max ranges —
+//! exactly the inputs a classical optimizer has before any learning.
+
+use crate::{Result, WorkloadError};
+use serde::{Deserialize, Serialize};
+
+/// Statistics for one column. Values are modelled as integers drawn
+/// uniformly from `[min, max]` with `distinct` distinct values; the *true*
+/// data distribution used by the execution simulator may be skewed, which
+/// is precisely what makes the default estimator err and learned models
+/// valuable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnMeta {
+    /// Column name.
+    pub name: String,
+    /// Number of distinct values.
+    pub distinct: u64,
+    /// Minimum value.
+    pub min: i64,
+    /// Maximum value.
+    pub max: i64,
+    /// Skew exponent of the true value distribution (0 = uniform; larger
+    /// values concentrate mass on small keys, Zipf-style).
+    pub skew: f64,
+}
+
+impl ColumnMeta {
+    /// Creates a uniform column.
+    pub fn uniform(name: &str, distinct: u64, min: i64, max: i64) -> Self {
+        Self { name: name.to_string(), distinct, min, max, skew: 0.0 }
+    }
+
+    /// Creates a skewed column.
+    pub fn skewed(name: &str, distinct: u64, min: i64, max: i64, skew: f64) -> Self {
+        Self { name: name.to_string(), distinct, min, max, skew }
+    }
+}
+
+/// Metadata for one table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableMeta {
+    /// Table name.
+    pub name: String,
+    /// Row count.
+    pub rows: u64,
+    /// Column metadata, indexed by ordinal.
+    pub columns: Vec<ColumnMeta>,
+}
+
+impl TableMeta {
+    /// Column metadata by ordinal, with a descriptive error.
+    pub fn column(&self, index: usize) -> Result<&ColumnMeta> {
+        self.columns.get(index).ok_or_else(|| WorkloadError::UnknownColumn {
+            table: self.name.clone(),
+            column: index,
+        })
+    }
+}
+
+/// A catalog of tables, looked up by name.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Catalog {
+    tables: Vec<TableMeta>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a table, replacing any previous table with the same name.
+    pub fn add_table(&mut self, table: TableMeta) {
+        if let Some(existing) = self.tables.iter_mut().find(|t| t.name == table.name) {
+            *existing = table;
+        } else {
+            self.tables.push(table);
+        }
+    }
+
+    /// Looks a table up by name.
+    pub fn table(&self, name: &str) -> Result<&TableMeta> {
+        self.tables
+            .iter()
+            .find(|t| t.name == name)
+            .ok_or_else(|| WorkloadError::UnknownTable(name.to_string()))
+    }
+
+    /// All tables in insertion order.
+    pub fn tables(&self) -> &[TableMeta] {
+        &self.tables
+    }
+
+    /// Number of tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True when the catalog has no tables.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// The catalog used across the workspace's experiments: a star-schema
+    /// flavoured set of fact and dimension tables with a mix of uniform and
+    /// skewed columns, loosely shaped like a telemetry warehouse.
+    pub fn standard() -> Self {
+        let mut catalog = Self::new();
+        catalog.add_table(TableMeta {
+            name: "events".into(),
+            rows: 50_000_000,
+            columns: vec![
+                ColumnMeta::skewed("user_id", 1_000_000, 0, 999_999, 1.1),
+                ColumnMeta::uniform("event_type", 50, 0, 49),
+                ColumnMeta::uniform("ts_hour", 720, 0, 719),
+                ColumnMeta::skewed("region_id", 60, 0, 59, 0.8),
+            ],
+        });
+        catalog.add_table(TableMeta {
+            name: "sessions".into(),
+            rows: 8_000_000,
+            columns: vec![
+                ColumnMeta::skewed("user_id", 1_000_000, 0, 999_999, 1.1),
+                ColumnMeta::uniform("duration_s", 10_000, 0, 9_999),
+                ColumnMeta::uniform("ts_hour", 720, 0, 719),
+            ],
+        });
+        catalog.add_table(TableMeta {
+            name: "users".into(),
+            rows: 1_000_000,
+            columns: vec![
+                ColumnMeta::uniform("user_id", 1_000_000, 0, 999_999),
+                ColumnMeta::uniform("segment", 8, 0, 7),
+                ColumnMeta::skewed("country_id", 120, 0, 119, 0.9),
+            ],
+        });
+        catalog.add_table(TableMeta {
+            name: "regions".into(),
+            rows: 60,
+            columns: vec![
+                ColumnMeta::uniform("region_id", 60, 0, 59),
+                ColumnMeta::uniform("tier", 3, 0, 2),
+            ],
+        });
+        catalog.add_table(TableMeta {
+            name: "telemetry".into(),
+            rows: 200_000_000,
+            columns: vec![
+                ColumnMeta::skewed("machine_id", 100_000, 0, 99_999, 1.2),
+                ColumnMeta::uniform("counter_id", 200, 0, 199),
+                ColumnMeta::uniform("ts_hour", 720, 0, 719),
+                ColumnMeta::uniform("value_bucket", 1000, 0, 999),
+            ],
+        });
+        catalog
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_catalog_contents() {
+        let c = Catalog::standard();
+        assert_eq!(c.len(), 5);
+        assert!(!c.is_empty());
+        let events = c.table("events").unwrap();
+        assert_eq!(events.rows, 50_000_000);
+        assert_eq!(events.columns.len(), 4);
+        assert_eq!(events.column(0).unwrap().name, "user_id");
+    }
+
+    #[test]
+    fn unknown_lookups_error() {
+        let c = Catalog::standard();
+        assert!(matches!(c.table("nope"), Err(WorkloadError::UnknownTable(_))));
+        let events = c.table("events").unwrap();
+        assert!(matches!(
+            events.column(99),
+            Err(WorkloadError::UnknownColumn { column: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn add_table_replaces_same_name() {
+        let mut c = Catalog::new();
+        c.add_table(TableMeta { name: "t".into(), rows: 1, columns: vec![] });
+        c.add_table(TableMeta { name: "t".into(), rows: 2, columns: vec![] });
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.table("t").unwrap().rows, 2);
+    }
+}

@@ -1,0 +1,34 @@
+use std::fmt;
+
+/// Errors produced by the workload crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadError {
+    /// A plan referenced a table missing from the catalog.
+    UnknownTable(String),
+    /// A plan referenced a column index outside a table's width.
+    UnknownColumn {
+        /// Table name.
+        table: String,
+        /// Offending column index.
+        column: usize,
+    },
+    /// A generator configuration value was out of range.
+    InvalidConfig(String),
+    /// A plan failed structural validation (e.g. wrong child count).
+    MalformedPlan(String),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownTable(name) => write!(f, "unknown table `{name}`"),
+            Self::UnknownColumn { table, column } => {
+                write!(f, "table `{table}` has no column index {column}")
+            }
+            Self::InvalidConfig(msg) => write!(f, "invalid generator config: {msg}"),
+            Self::MalformedPlan(msg) => write!(f, "malformed plan: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}

@@ -1,0 +1,250 @@
+//! Workload evolution and forecasting (Sec 4.2).
+//!
+//! "Workloads evolve over time, and as such, we also learn the evolving
+//! nature of the historical workloads to forecast future workloads."
+//!
+//! [`EvolutionReport`] extends the static analysis with the time dimension:
+//! a fleet-volume trend, per-template growth classification (emerging /
+//! stable / receding), and multi-day forecasts of per-template arrivals —
+//! the inputs proactive provisioning and model-retraining schedules consume.
+
+use crate::analyze::WorkloadAnalysis;
+use crate::job::Trace;
+use crate::signature::Signature;
+use adas_ml::dataset::Dataset;
+use adas_ml::forecast::{Forecaster, SeasonalNaive};
+use adas_ml::linear::LinearRegression;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+const SECONDS_PER_DAY: u64 = 86_400;
+
+/// Growth classification of one template's arrival series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Growth {
+    /// Daily arrivals trend upward beyond the threshold.
+    Emerging,
+    /// No significant trend.
+    Stable,
+    /// Daily arrivals trend downward beyond the threshold.
+    Receding,
+}
+
+/// One template's evolution summary.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TemplateEvolution {
+    /// Template signature.
+    pub signature: Signature,
+    /// Daily arrival counts across the trace.
+    pub daily: Vec<f64>,
+    /// Fitted linear trend, jobs/day per day.
+    pub trend_per_day: f64,
+    /// Growth class at the given threshold.
+    pub growth: Growth,
+    /// Forecast arrivals for the next `horizon` days (seasonal-naive over
+    /// the daily series, i.e. previous-day carried forward when period=1).
+    pub forecast: Vec<f64>,
+}
+
+/// The full evolution report.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct EvolutionReport {
+    /// Days covered by the trace.
+    pub days: usize,
+    /// Total jobs per day.
+    pub daily_volume: Vec<f64>,
+    /// Fleet volume trend, jobs/day per day.
+    pub volume_trend_per_day: f64,
+    /// Per-template evolution, ordered by signature.
+    pub templates: Vec<TemplateEvolution>,
+}
+
+impl EvolutionReport {
+    /// Templates in a growth class, largest daily volume first.
+    pub fn in_class(&self, growth: Growth) -> Vec<&TemplateEvolution> {
+        let mut v: Vec<&TemplateEvolution> =
+            self.templates.iter().filter(|t| t.growth == growth).collect();
+        v.sort_by(|a, b| {
+            let sa: f64 = a.daily.iter().sum();
+            let sb: f64 = b.daily.iter().sum();
+            sb.partial_cmp(&sa).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        v
+    }
+
+    /// Forecast total fleet volume for the next `horizon` days: the linear
+    /// trend extrapolated from the daily totals.
+    pub fn forecast_volume(&self, horizon: usize) -> Vec<f64> {
+        let n = self.daily_volume.len() as f64;
+        let last = *self.daily_volume.last().unwrap_or(&0.0);
+        (1..=horizon)
+            .map(|h| (last + self.volume_trend_per_day * h as f64).max(0.0))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|v| if n == 0.0 { 0.0 } else { v })
+            .collect()
+    }
+}
+
+fn linear_trend(series: &[f64]) -> f64 {
+    if series.len() < 2 {
+        return 0.0;
+    }
+    let pairs: Vec<(f64, f64)> =
+        series.iter().enumerate().map(|(i, &v)| (i as f64, v)).collect();
+    Dataset::from_xy(&pairs)
+        .ok()
+        .and_then(|d| LinearRegression::fit(&d).ok())
+        .map_or(0.0, |m| m.coefficients()[0])
+}
+
+/// Analyzes workload evolution over a trace.
+///
+/// A template is `Emerging`/`Receding` when its fitted daily trend exceeds
+/// `trend_threshold` (jobs/day per day) in magnitude relative to its mean
+/// volume; templates below `min_instances` arrivals are skipped.
+pub fn analyze_evolution(
+    trace: &Trace,
+    min_instances: usize,
+    trend_threshold: f64,
+    horizon: usize,
+) -> EvolutionReport {
+    let analysis = WorkloadAnalysis::analyze(trace);
+    let days = analysis.days().max(1);
+
+    // Fleet daily volume.
+    let mut daily_volume = vec![0.0f64; days];
+    for job in trace.jobs() {
+        daily_volume[(job.submit_time / SECONDS_PER_DAY) as usize] += 1.0;
+    }
+
+    // Per-template daily series, rebuilt from the analysis's instances.
+    let day_of: BTreeMap<crate::JobId, usize> = trace
+        .jobs()
+        .iter()
+        .map(|j| (j.id, (j.submit_time / SECONDS_PER_DAY) as usize))
+        .collect();
+    let mut templates = Vec::new();
+    for info in analysis.templates() {
+        if info.instances.len() < min_instances {
+            continue;
+        }
+        let mut daily = vec![0.0f64; days];
+        for id in &info.instances {
+            daily[day_of[id]] += 1.0;
+        }
+        let trend = linear_trend(&daily);
+        let mean = daily.iter().sum::<f64>() / days as f64;
+        let rel = if mean > 0.0 { trend / mean } else { 0.0 };
+        let growth = if rel > trend_threshold {
+            Growth::Emerging
+        } else if rel < -trend_threshold {
+            Growth::Receding
+        } else {
+            Growth::Stable
+        };
+        let forecast = SeasonalNaive::fit(&daily, 1)
+            .map(|m| m.forecast(horizon))
+            .unwrap_or_else(|_| vec![0.0; horizon]);
+        templates.push(TemplateEvolution {
+            signature: info.signature,
+            daily,
+            trend_per_day: trend,
+            growth,
+            forecast,
+        });
+    }
+    EvolutionReport {
+        days,
+        volume_trend_per_day: linear_trend(&daily_volume),
+        daily_volume,
+        templates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Job;
+    use crate::plan::{CmpOp, LogicalPlan, Predicate};
+    use crate::{JobId, TemplateId};
+
+    /// `counts[d]` instances of a template (identified by `tag`) on day `d`.
+    fn jobs_with_counts(tag: i64, counts: &[usize], next_id: &mut u64) -> Vec<Job> {
+        let mut out = Vec::new();
+        for (day, &n) in counts.iter().enumerate() {
+            for k in 0..n {
+                out.push(Job {
+                    id: JobId(*next_id),
+                    template: TemplateId(tag as u64),
+                    // Literal varies per instance; column choice tags the template.
+                    plan: LogicalPlan::scan("events")
+                        .filter(Predicate::single(0, CmpOp::Le, *next_id as i64))
+                        .aggregate(vec![(tag as usize) % 4])
+                        .project(vec![(tag as usize) % 4]),
+                    submit_time: day as u64 * SECONDS_PER_DAY + 100 + k as u64,
+                    inputs: vec![],
+                    outputs: vec![],
+                });
+                *next_id += 1;
+            }
+        }
+        out
+    }
+
+    fn trace() -> Trace {
+        let mut id = 0;
+        let mut jobs = Vec::new();
+        jobs.extend(jobs_with_counts(0, &[2, 4, 6, 8, 10, 12], &mut id)); // emerging
+        jobs.extend(jobs_with_counts(1, &[7, 7, 7, 7, 7, 7], &mut id)); // stable
+        jobs.extend(jobs_with_counts(2, &[12, 10, 8, 6, 4, 2], &mut id)); // receding
+        Trace::new(jobs)
+    }
+
+    #[test]
+    fn growth_classes_recovered() {
+        let report = analyze_evolution(&trace(), 5, 0.1, 2);
+        assert_eq!(report.days, 6);
+        assert_eq!(report.templates.len(), 3);
+        assert_eq!(report.in_class(Growth::Emerging).len(), 1);
+        assert_eq!(report.in_class(Growth::Stable).len(), 1);
+        assert_eq!(report.in_class(Growth::Receding).len(), 1);
+        let emerging = &report.in_class(Growth::Emerging)[0];
+        assert!(emerging.trend_per_day > 1.5);
+        // Previous-day forecast carries the last day forward.
+        assert_eq!(emerging.forecast, vec![12.0, 12.0]);
+    }
+
+    #[test]
+    fn fleet_volume_trend_detected() {
+        let report = analyze_evolution(&trace(), 5, 0.1, 3);
+        // Totals: 21 per day, flat (2+7+12, 4+7+10, ...).
+        assert!(report.volume_trend_per_day.abs() < 1e-9);
+        assert_eq!(report.forecast_volume(3), vec![21.0, 21.0, 21.0]);
+    }
+
+    #[test]
+    fn growing_fleet_extrapolates() {
+        let mut id = 0;
+        let jobs = jobs_with_counts(0, &[10, 14, 18, 22], &mut id);
+        let report = analyze_evolution(&Trace::new(jobs), 5, 0.1, 2);
+        assert!((report.volume_trend_per_day - 4.0).abs() < 1e-9);
+        assert_eq!(report.forecast_volume(2), vec![26.0, 30.0]);
+    }
+
+    #[test]
+    fn small_templates_skipped() {
+        let mut id = 0;
+        let jobs = jobs_with_counts(0, &[1, 1], &mut id);
+        let report = analyze_evolution(&Trace::new(jobs), 5, 0.1, 1);
+        assert!(report.templates.is_empty());
+        assert_eq!(report.days, 2);
+    }
+
+    #[test]
+    fn empty_trace_safe() {
+        let report = analyze_evolution(&Trace::default(), 1, 0.1, 2);
+        assert!(report.templates.is_empty());
+        assert_eq!(report.daily_volume, vec![0.0]);
+    }
+}

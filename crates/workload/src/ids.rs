@@ -1,0 +1,60 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// Returns the raw numeric identifier.
+            pub fn raw(self) -> u64 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a submitted job within a trace.
+    JobId,
+    "job-"
+);
+id_type!(
+    /// Identifier of a recurring job template (shared by all its instances).
+    TemplateId,
+    "tpl-"
+);
+id_type!(
+    /// Identifier of a named dataset consumed/produced by jobs; matching
+    /// producer outputs to consumer inputs yields the pipeline graph.
+    DatasetId,
+    "ds-"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_has_prefix() {
+        assert_eq!(JobId(7).to_string(), "job-7");
+        assert_eq!(TemplateId(1).to_string(), "tpl-1");
+        assert_eq!(DatasetId(3).to_string(), "ds-3");
+    }
+
+    #[test]
+    fn ordering_follows_raw() {
+        assert!(JobId(1) < JobId(2));
+        assert_eq!(JobId(5).raw(), 5);
+    }
+}

@@ -1,0 +1,120 @@
+//! Cross-engine plan interchange (Direction 2).
+//!
+//! "At the query engine level, we require standardization for representing
+//! workloads and query plans. … We are now exploring the use of
+//! cross-language query plan specification, such as Substrait, as a
+//! standard plan representation across our engines."
+//!
+//! [`PlanDocument`] is that specification in miniature: a versioned JSON
+//! envelope around a [`LogicalPlan`], with the producing engine recorded
+//! and strict version checking at the consuming side. Because the plan IR
+//! in this workspace is already engine-agnostic, interchange is exact:
+//! round-tripping preserves the plan bit-for-bit, including both signature
+//! flavours.
+
+use crate::plan::LogicalPlan;
+use crate::{Result, WorkloadError};
+use serde::{Deserialize, Serialize};
+
+/// The interchange format identifier + version.
+pub const FORMAT: &str = "adas-plan/1";
+
+/// A versioned plan document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanDocument {
+    /// Format identifier; must equal [`FORMAT`] to load.
+    pub format: String,
+    /// Engine that produced the plan (informational).
+    pub producer: String,
+    /// The plan itself.
+    pub plan: LogicalPlan,
+}
+
+impl PlanDocument {
+    /// Wraps a plan for interchange.
+    pub fn new(producer: &str, plan: LogicalPlan) -> Self {
+        Self { format: FORMAT.to_string(), producer: producer.to_string(), plan }
+    }
+
+    /// Serializes to the JSON wire form.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string(self)
+            .map_err(|e| WorkloadError::MalformedPlan(format!("plan not serializable: {e}")))
+    }
+
+    /// Parses and version-checks a document.
+    pub fn from_json(json: &str) -> Result<Self> {
+        let doc: PlanDocument = serde_json::from_str(json)
+            .map_err(|e| WorkloadError::MalformedPlan(format!("not a plan document: {e}")))?;
+        if doc.format != FORMAT {
+            return Err(WorkloadError::MalformedPlan(format!(
+                "unsupported plan format `{}` (this build reads `{FORMAT}`)",
+                doc.format
+            )));
+        }
+        Ok(doc)
+    }
+}
+
+/// Convenience: plan → JSON in one call.
+pub fn export_plan(producer: &str, plan: &LogicalPlan) -> Result<String> {
+    PlanDocument::new(producer, plan.clone()).to_json()
+}
+
+/// Convenience: JSON → plan in one call.
+pub fn import_plan(json: &str) -> Result<LogicalPlan> {
+    Ok(PlanDocument::from_json(json)?.plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+    use crate::plan::{CmpOp, LogicalPlan, Predicate};
+    use crate::signature::{strict_signature, template_signature};
+
+    fn sample() -> LogicalPlan {
+        LogicalPlan::join(
+            LogicalPlan::scan("events").filter(Predicate::single(2, CmpOp::Le, 120)),
+            LogicalPlan::scan("users"),
+            0,
+            0,
+        )
+        .aggregate(vec![1])
+        .project(vec![0, 1])
+    }
+
+    #[test]
+    fn round_trip_preserves_plan_and_signatures() {
+        let plan = sample();
+        let json = export_plan("adas-engine", &plan).expect("exports");
+        let back = import_plan(&json).expect("imports");
+        assert_eq!(back, plan);
+        assert_eq!(strict_signature(&back), strict_signature(&plan));
+        assert_eq!(template_signature(&back), template_signature(&plan));
+        back.validate(&Catalog::standard()).expect("still validates");
+    }
+
+    #[test]
+    fn document_records_producer() {
+        let doc = PlanDocument::new("synapse-spark", sample());
+        let parsed = PlanDocument::from_json(&doc.to_json().expect("exports")).expect("imports");
+        assert_eq!(parsed.producer, "synapse-spark");
+        assert_eq!(parsed.format, FORMAT);
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut doc = PlanDocument::new("x", sample());
+        doc.format = "adas-plan/2".to_string();
+        let json = serde_json::to_string(&doc).expect("serializes");
+        let err = PlanDocument::from_json(&json).unwrap_err();
+        assert!(err.to_string().contains("unsupported plan format"));
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(import_plan("nope").is_err());
+        assert!(import_plan("{\"format\": \"adas-plan/1\"}").is_err());
+    }
+}

@@ -1,0 +1,120 @@
+//! Jobs and traces.
+
+use crate::plan::LogicalPlan;
+use crate::signature::{strict_signature, template_signature, Signature};
+use crate::{DatasetId, JobId, TemplateId};
+use serde::{Deserialize, Serialize};
+
+/// One submitted job: a logical plan plus scheduling metadata and the
+/// datasets it consumes/produces (the edges of the pipeline graph).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Unique job identifier.
+    pub id: JobId,
+    /// The template this job instantiates (ground truth from the generator;
+    /// the analyzer must *re-discover* it from the plan alone).
+    pub template: TemplateId,
+    /// The logical plan.
+    pub plan: LogicalPlan,
+    /// Submission time (seconds since trace epoch).
+    pub submit_time: u64,
+    /// Datasets read, beyond base tables. Non-empty input lists create
+    /// inter-job dependencies when another job produces the dataset.
+    pub inputs: Vec<DatasetId>,
+    /// Datasets written.
+    pub outputs: Vec<DatasetId>,
+}
+
+impl Job {
+    /// Strict signature of the job's plan.
+    pub fn strict_signature(&self) -> Signature {
+        strict_signature(&self.plan)
+    }
+
+    /// Template signature of the job's plan.
+    pub fn template_signature(&self) -> Signature {
+        template_signature(&self.plan)
+    }
+}
+
+/// An ordered collection of jobs (by submit time).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    jobs: Vec<Job>,
+}
+
+impl Trace {
+    /// Creates a trace, sorting jobs by submit time (stable, so equal times
+    /// keep generation order).
+    pub fn new(mut jobs: Vec<Job>) -> Self {
+        jobs.sort_by_key(|j| j.submit_time);
+        Self { jobs }
+    }
+
+    /// The jobs in submit-time order.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True when the trace has no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Jobs submitted in `[start, end)`.
+    pub fn between(&self, start: u64, end: u64) -> impl Iterator<Item = &Job> {
+        self.jobs.iter().filter(move |j| j.submit_time >= start && j.submit_time < end)
+    }
+
+    /// Duration covered by the trace (0 when empty).
+    pub fn span(&self) -> u64 {
+        match (self.jobs.first(), self.jobs.last()) {
+            (Some(first), Some(last)) => last.submit_time - first.submit_time,
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::LogicalPlan;
+
+    fn job(id: u64, t: u64) -> Job {
+        Job {
+            id: JobId(id),
+            template: TemplateId(0),
+            plan: LogicalPlan::scan("events"),
+            submit_time: t,
+            inputs: vec![],
+            outputs: vec![],
+        }
+    }
+
+    #[test]
+    fn trace_sorts_by_submit_time() {
+        let trace = Trace::new(vec![job(0, 50), job(1, 10), job(2, 30)]);
+        let ids: Vec<u64> = trace.jobs().iter().map(|j| j.id.raw()).collect();
+        assert_eq!(ids, vec![1, 2, 0]);
+        assert_eq!(trace.span(), 40);
+    }
+
+    #[test]
+    fn between_filters_half_open() {
+        let trace = Trace::new(vec![job(0, 0), job(1, 10), job(2, 20)]);
+        let picked: Vec<u64> = trace.between(10, 20).map(|j| j.id.raw()).collect();
+        assert_eq!(picked, vec![1]);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let trace = Trace::default();
+        assert!(trace.is_empty());
+        assert_eq!(trace.span(), 0);
+    }
+}

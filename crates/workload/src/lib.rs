@@ -1,0 +1,72 @@
+//! Engine-agnostic workload representation, synthetic SCOPE-like trace
+//! generation, and Peregrine-style workload analysis.
+//!
+//! The paper's query-engine layer starts "from workload analysis": queries
+//! and subexpressions are "categorized into templates based on their
+//! recurrence and similarity, and the dependencies of queries/jobs … in
+//! pipelines are captured" (Sec 4.2, citing the Peregrine platform). Its
+//! headline workload statistics — **over 60% of SCOPE jobs are recurring,
+//! nearly 40% of daily jobs share common subexpressions with at least one
+//! other job, and 70% of daily jobs have inter-job dependencies** — are the
+//! calibration targets for the generator in [`gen`], verified by experiment
+//! C1.
+//!
+//! Contents:
+//!
+//! * [`plan`] — a small relational-algebra IR (`Scan`/`Filter`/`Project`/
+//!   `Join`/`Aggregate`/`Union`) shared by every engine-layer crate; this is
+//!   the "engine-agnostic workload representation" of Direction 2.
+//! * [`catalog`] — table/column metadata with the statistics the default
+//!   cardinality estimator uses.
+//! * [`signature`] — stable 64-bit plan signatures, both *strict* (literals
+//!   included; CloudViews view matching) and *template* (literals
+//!   abstracted; recurrence detection and micromodel keying).
+//! * [`job`] — jobs (a plan + submit time + input/output datasets) and
+//!   traces.
+//! * [`gen`] — the calibrated synthetic workload generator.
+//! * [`analyze`] — templatization, subexpression-overlap and dependency
+//!   analysis, and per-template arrival forecasting.
+//! * [`interchange`] — a versioned, Substrait-flavoured JSON plan
+//!   interchange format (Direction 2 standardization).
+//! * [`evolution`] — workload-evolution analysis: fleet volume trends,
+//!   emerging/receding template detection, multi-day arrival forecasts.
+
+//! # Example
+//!
+//! ```
+//! use adas_workload::analyze::WorkloadAnalysis;
+//! use adas_workload::gen::{GeneratorConfig, WorkloadGenerator};
+//!
+//! let workload = WorkloadGenerator::new(GeneratorConfig {
+//!     days: 2,
+//!     jobs_per_day: 50,
+//!     n_templates: 8,
+//!     ..Default::default()
+//! })
+//! .unwrap()
+//! .generate()
+//! .unwrap();
+//! let stats = WorkloadAnalysis::analyze(&workload.trace).stats();
+//! assert_eq!(stats.total_jobs, 100);
+//! assert!(stats.recurring_fraction > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod analyze;
+pub mod catalog;
+mod error;
+pub mod evolution;
+pub mod gen;
+mod ids;
+pub mod interchange;
+pub mod job;
+pub mod plan;
+pub mod signature;
+
+pub use error::WorkloadError;
+pub use ids::{DatasetId, JobId, TemplateId};
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, WorkloadError>;

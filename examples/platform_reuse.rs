@@ -1,0 +1,106 @@
+//! The platform layer: the paper's Future Directions made concrete.
+//!
+//! Walks through Direction 1 (the AlgorithmStore), Direction 2
+//! (standardized plan and model interchange), Direction 4 (the RAI
+//! assessment gate), and the workload-evolution forecasting that feeds
+//! proactive decisions.
+//!
+//! Run with: `cargo run --release --example platform_reuse`
+
+use autonomous_data_services::core::rai::AssessmentStatus;
+use autonomous_data_services::core::{AlgorithmStore, Assessment, Decision};
+use autonomous_data_services::ml::bundle::{ModelBundle, ModelKind};
+use autonomous_data_services::ml::dataset::Dataset;
+use autonomous_data_services::ml::linear::LinearRegression;
+use autonomous_data_services::ml::Regressor;
+use autonomous_data_services::workload::evolution::{analyze_evolution, Growth};
+use autonomous_data_services::workload::gen::{GeneratorConfig, WorkloadGenerator};
+use autonomous_data_services::workload::interchange::{export_plan, import_plan};
+
+fn main() {
+    // --- Direction 1: discover an algorithm template before writing code.
+    let store = AlgorithmStore::standard();
+    println!("== AlgorithmStore (Direction 1) ==");
+    for query in ["tail latency", "power rack", "interchange"] {
+        let top = store.search(query);
+        let hit = top.first().map_or("(no hit)", |e| e.name.as_str());
+        println!("  search '{query}' -> {hit}");
+    }
+
+    // --- Direction 2a: ship a query plan across engines.
+    let workload = WorkloadGenerator::new(GeneratorConfig {
+        days: 6,
+        jobs_per_day: 120,
+        n_templates: 12,
+        ..Default::default()
+    })
+    .expect("valid config")
+    .generate()
+    .expect("generates");
+    let plan = &workload.trace.jobs()[0].plan;
+    let wire = export_plan("adas-engine", plan).expect("exports");
+    let received = import_plan(&wire).expect("imports");
+    println!("\n== Plan interchange (Direction 2) ==");
+    println!(
+        "  exported {} bytes of JSON; round-trip identical: {}",
+        wire.len(),
+        received == *plan
+    );
+
+    // --- Direction 2b: package a model for cross-system deployment.
+    let pairs: Vec<(f64, f64)> = (0..24).map(|h| (h as f64, 50.0 + 3.0 * h as f64)).collect();
+    let model =
+        LinearRegression::fit(&Dataset::from_xy(&pairs).expect("shape")).expect("fits");
+    let bundle = ModelBundle::pack(ModelKind::LinearRegression, "load-predictor-v1", &model)
+        .expect("packs")
+        .with_metadata("trained_on", "fleet-telemetry-2026-07")
+        .with_metadata("owner", "gsl");
+    let json = bundle.to_json().expect("serializes");
+    let restored: LinearRegression = ModelBundle::from_json(&json)
+        .expect("parses")
+        .unpack(ModelKind::LinearRegression)
+        .expect("unpacks");
+    println!("  model bundle {} bytes; prediction preserved: {}", json.len(), {
+        (restored.predict(&[12.0]) - model.predict(&[12.0])).abs() < 1e-12
+    });
+
+    // --- Workload evolution: what to provision for tomorrow.
+    let evolution = analyze_evolution(&workload.trace, 12, 0.1, 3);
+    println!("\n== Workload evolution (Sec 4.2) ==");
+    println!(
+        "  {} templates tracked over {} days; volume trend {:+.1} jobs/day/day",
+        evolution.templates.len(),
+        evolution.days,
+        evolution.volume_trend_per_day
+    );
+    println!(
+        "  emerging: {}, stable: {}, receding: {}",
+        evolution.in_class(Growth::Emerging).len(),
+        evolution.in_class(Growth::Stable).len(),
+        evolution.in_class(Growth::Receding).len()
+    );
+
+    // --- Direction 4: the RAI gate before the model ships.
+    let mut assessment = Assessment::standard("load-predictor-v1");
+    let batch: Vec<Decision> = (0..30)
+        .map(|i| Decision {
+            predicted_perf: 85.0,
+            baseline_perf: 100.0,
+            predicted_cost: 10.0,
+            baseline_cost: 10.0,
+            group: i % 3,
+        })
+        .collect();
+    assessment.run_automated(&batch);
+    assessment.attest("privacy-review", true, "telemetry is counters only");
+    assessment.attest("transparency-docs", true, "rationale string shipped with decisions");
+    println!("\n== RAI assessment (Direction 4) ==");
+    for (id, principle, required, status) in assessment.report() {
+        println!("  [{}] {id} ({principle:?}) -> {status:?}", if required { "required" } else { "optional" });
+    }
+    println!(
+        "  verdict: {:?} -> deployment {}",
+        assessment.status(),
+        if assessment.status() == AssessmentStatus::Approved { "unblocked" } else { "blocked" }
+    );
+}

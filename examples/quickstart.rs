@@ -1,0 +1,93 @@
+//! Quickstart: the autonomy loop in one file.
+//!
+//! Generates a SCOPE-like workload, analyzes it (Peregrine), trains
+//! cardinality micromodels on the history (CLEO), wires the learned model
+//! into a guarded deployment with a live feedback loop, and shows a
+//! rollback firing when the world drifts.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use autonomous_data_services::core::{
+    Decision, FeedbackLoop, GuardrailSet, LoopConfig, ModelRegistry, MonitorVerdict, Verdict,
+};
+use autonomous_data_services::engine::cardinality::{CardinalityModel, TrueCardinality};
+use autonomous_data_services::learned::cardinality::{LearnedCardinality, TrainConfig};
+use autonomous_data_services::workload::analyze::WorkloadAnalysis;
+use autonomous_data_services::workload::gen::{GeneratorConfig, WorkloadGenerator};
+
+fn main() {
+    // 1. A week of synthetic SCOPE-like workload, calibrated to the paper's
+    //    published statistics.
+    let workload = WorkloadGenerator::new(GeneratorConfig::default())
+        .expect("default config is valid")
+        .generate()
+        .expect("generation succeeds");
+    println!("generated {} jobs over {} days", workload.trace.len(), 7);
+
+    // 2. Workload analysis: recurrence, sharing, dependencies.
+    let analysis = WorkloadAnalysis::analyze(&workload.trace);
+    let stats = analysis.stats();
+    println!(
+        "analysis: {:.0}% recurring, {:.0}% share subexpressions, {:.0}% in pipelines",
+        stats.recurring_fraction * 100.0,
+        stats.shared_subexpression_fraction * 100.0,
+        stats.dependent_fraction * 100.0
+    );
+
+    // 3. Train per-template cardinality micromodels on the history.
+    let plans: Vec<_> = workload.trace.jobs().iter().map(|j| j.plan.clone()).collect();
+    let (model, report) =
+        LearnedCardinality::train(&workload.catalog, &plans, TrainConfig::default());
+    println!(
+        "micromodels: kept {}/{} trained; median q-error {:.2} -> {:.2}",
+        report.models_kept, report.templates_trained, report.default_q_error, report.learned_q_error
+    );
+
+    // 4. Deploy behind guardrails with a monitored feedback loop.
+    let guards = GuardrailSet::standard();
+    let decision = Decision {
+        predicted_perf: 82.0,
+        baseline_perf: 100.0,
+        predicted_cost: 10.2,
+        baseline_cost: 10.0,
+        group: 0,
+    };
+    match guards.check(&decision) {
+        Verdict::Allow => println!("guardrails: deployment allowed"),
+        Verdict::Block(reason) => println!("guardrails: blocked ({reason})"),
+    }
+
+    let mut registry = ModelRegistry::new();
+    registry.deploy("learned-cardinality-v1", report.learned_q_error);
+    let mut feedback = FeedbackLoop::new(LoopConfig { window: 20, ..Default::default() });
+
+    // Healthy phase: live predictions track the truth.
+    let truth = TrueCardinality::new(&workload.catalog);
+    let mut last_verdict = MonitorVerdict::Warming;
+    for job in workload.trace.jobs().iter().take(40) {
+        let predicted = model.estimate(&job.plan).expect("plan validates").ln();
+        let actual = truth.estimate(&job.plan).expect("plan validates").ln();
+        last_verdict = feedback.observe(
+            predicted,
+            actual,
+            registry.current().expect("deployed").deployment_error,
+        );
+    }
+    println!("feedback loop (healthy phase): {last_verdict:?}");
+
+    // Drift phase: the world changes; errors explode; the loop rolls back.
+    registry.deploy("learned-cardinality-v2", report.learned_q_error);
+    feedback.reset();
+    for i in 0..40 {
+        let verdict = feedback.observe(0.0, 10.0 + i as f64, 0.05);
+        if verdict == MonitorVerdict::Rollback {
+            registry.rollback();
+            println!(
+                "feedback loop (drift phase): rolled back to `{}`",
+                registry.current().expect("deployed").model
+            );
+            break;
+        }
+    }
+    println!("model versions deployed over the session: {}", registry.version_count());
+}

@@ -1,0 +1,136 @@
+//! Engine-layer tour over a recurring workload: computation reuse
+//! (CloudViews), rule-hint steering, and checkpoint optimization (Phoebe)
+//! applied to the same SCOPE-like trace.
+//!
+//! Run with: `cargo run --release --example recurring_jobs`
+
+use autonomous_data_services::checkpoint::{
+    evaluate, plan_checkpoints, PhoebeConfig, StagePredictor,
+};
+use autonomous_data_services::engine::cardinality::{DefaultEstimator, TrueCardinality};
+use autonomous_data_services::engine::cost::CostModel;
+use autonomous_data_services::engine::exec::{ClusterConfig, SimOptions, Simulator};
+use autonomous_data_services::engine::physical::StageDag;
+use autonomous_data_services::engine::rules::{Optimizer, RuleSet};
+use autonomous_data_services::learned::steering::{SteeringConfig, SteeringController};
+use autonomous_data_services::reuse::{replay, ReplayConfig};
+use autonomous_data_services::workload::gen::{GeneratorConfig, WorkloadGenerator};
+use autonomous_data_services::workload::plan::{CmpOp, LogicalPlan, Predicate};
+use autonomous_data_services::workload::signature::template_signature;
+use std::collections::HashMap;
+
+fn main() {
+    let workload = WorkloadGenerator::new(GeneratorConfig {
+        days: 6,
+        jobs_per_day: 120,
+        n_templates: 20,
+        shared_template_fraction: 0.7,
+        ..Default::default()
+    })
+    .expect("valid config")
+    .generate()
+    .expect("generation succeeds");
+    println!("== workload: {} jobs ==", workload.trace.len());
+
+    // --- CloudViews: train views on the first half, replay the second.
+    let report = replay(
+        &workload.trace,
+        &workload.catalog,
+        &ReplayConfig { train_fraction: 0.3, ..Default::default() },
+    )
+    .expect("replay runs");
+    println!(
+        "cloudviews: {} views; latency -{:.0}%, processing time -{:.0}% ({} hits, {} via containment)",
+        report.views_selected,
+        report.latency_improvement * 100.0,
+        report.cpu_reduction * 100.0,
+        report.total_hits,
+        report.containment_hits
+    );
+
+    // --- Steering: bandit over rule hints for the most frequent template.
+    let est = DefaultEstimator::new(&workload.catalog);
+    let truth = TrueCardinality::new(&workload.catalog);
+    let cost_model = CostModel::default();
+    let optimizer = Optimizer::default();
+    let mut by_template: HashMap<_, Vec<_>> = HashMap::new();
+    for job in workload.trace.jobs() {
+        by_template.entry(template_signature(&job.plan)).or_default().push(&job.plan);
+    }
+    by_template.retain(|_, v| v.len() >= 10);
+    let mut controller = SteeringController::new(RuleSet::all(), SteeringConfig::default());
+    let true_cost = |plan: &LogicalPlan, rules: RuleSet| {
+        let optimized = optimizer.optimize(plan, rules, &est).expect("plan validates");
+        cost_model.total_cost(&optimized.plan, &truth).expect("plan validates")
+    };
+    for round in 0..60 {
+        for (&sig, instances) in &by_template {
+            let plan = instances[round % instances.len()];
+            let chosen = controller.choose(sig);
+            let deployed = controller.deployed(sig);
+            let c = true_cost(plan, chosen);
+            let d = if chosen == deployed { c } else { true_cost(plan, deployed) };
+            controller.observe(sig, chosen, c, d);
+        }
+    }
+    let stats = controller.stats();
+    println!(
+        "steering: {} of {} recurring templates steered off the default config \
+({} promotions, {} candidates blocked by the validation model, mean reward {:.3})",
+        stats.templates_steered,
+        stats.templates,
+        stats.promotions,
+        stats.rejected_by_validation,
+        stats.mean_reward
+    );
+
+    // --- Phoebe: checkpoint a large recurring job.
+    let big = {
+        let branch = |i: i64| {
+            LogicalPlan::join(
+                LogicalPlan::scan("events").filter(Predicate::single(2, CmpOp::Le, 200 + i * 9)),
+                LogicalPlan::scan("users"),
+                0,
+                0,
+            )
+            .aggregate(vec![1])
+        };
+        let mut plan = branch(0);
+        for i in 1..24 {
+            plan = LogicalPlan::union(plan, branch(i));
+        }
+        plan.aggregate(vec![1])
+    };
+    let cluster = ClusterConfig { machines: 32, ..Default::default() };
+    let sim = Simulator::new(cluster).expect("valid cluster");
+    let dag = StageDag::compile(&big, &workload.catalog, &cost_model).expect("plan validates");
+    let history: Vec<_> = [100i64, 300, 500]
+        .iter()
+        .map(|&v| {
+            let small = LogicalPlan::join(
+                LogicalPlan::scan("events").filter(Predicate::single(2, CmpOp::Le, v)),
+                LogicalPlan::scan("users"),
+                0,
+                0,
+            )
+            .aggregate(vec![1]);
+            let d = StageDag::compile(&small, &workload.catalog, &cost_model).expect("validates");
+            let r = sim.run(&d, &SimOptions::default()).expect("simulates");
+            (d, r)
+        })
+        .collect();
+    let refs: Vec<_> = history.iter().map(|(d, r)| (d, r)).collect();
+    let predictor = StagePredictor::train(&refs).expect("enough stages");
+    let forecast = predictor.forecast(&dag);
+    let config = PhoebeConfig { max_cuts: 3, hotspot_threshold: 0.05, ..Default::default() };
+    let plan = plan_checkpoints(&dag, &forecast, &config);
+    let phoebe = evaluate(&dag, &plan, cluster, 0.85).expect("simulates");
+    println!(
+        "phoebe: {} of {} stages checkpointed; hotspot temp -{:.0}%, restart -{:.0}%, slowdown {:.1}%",
+        plan.stages.len(),
+        dag.len(),
+        phoebe.hotspot_reduction * 100.0,
+        phoebe.restart_speedup * 100.0,
+        phoebe.slowdown * 100.0
+    );
+}

@@ -1,0 +1,62 @@
+//! Doppler walk-through: migrating on-prem databases to the cloud with
+//! segment models plus a per-customer price-performance ranking.
+//!
+//! Run with: `cargo run --release --example sku_migration`
+
+use autonomous_data_services::core::{AlgorithmStore, Category};
+use autonomous_data_services::service::doppler::{
+    evaluate, generate_customers, standard_skus, true_best_sku, Doppler,
+};
+
+fn main() {
+    // The AlgorithmStore is how a new team would discover this capability.
+    let store = AlgorithmStore::standard();
+    let hits = store.search("segment cluster");
+    println!("AlgorithmStore search for 'segment cluster':");
+    for entry in hits.iter().take(3) {
+        println!("  {} — {} ({})", entry.name, entry.description, entry.implementation);
+    }
+    println!("  ({} classification templates total)\n", store.by_category(Category::Classification).len());
+
+    // Train on the existing Azure customer population, evaluate on new
+    // migrating customers.
+    let skus = standard_skus();
+    let train = generate_customers(1600, 8, 0.12, 3);
+    let migrating = generate_customers(12, 8, 0.12, 99);
+    let doppler = Doppler::train(&train, skus.clone(), 8, 7).expect("k <= population");
+
+    println!("{:<10} {:>10} {:>10} {:>9} {:>9} {:>8}", "customer", "obs vcores", "obs mem", "truth", "doppler", "naive");
+    for (i, customer) in migrating.iter().enumerate() {
+        let truth = true_best_sku(&skus, customer).map(|s| skus[s].name.clone());
+        let rec = doppler.recommend(customer).map(|s| skus[s].name.clone());
+        let naive = doppler.naive(customer).map(|s| skus[s].name.clone());
+        println!(
+            "{:<10} {:>10.1} {:>10.1} {:>9} {:>9} {:>8}",
+            format!("cust-{i}"),
+            customer.observed_vcores,
+            customer.observed_memory_gb,
+            truth.unwrap_or_default(),
+            rec.unwrap_or_default(),
+            naive.unwrap_or_default()
+        );
+    }
+
+    // The price-performance curve for one customer: the "customized rank of
+    // all SKU options" the paper describes.
+    let customer = &migrating[0];
+    println!("\nprice-performance rank for cust-0 (cheapest fitting first):");
+    for idx in doppler.price_performance_rank(customer).iter().take(4) {
+        let sku = &skus[*idx];
+        println!("  {} — {} vcores, {} GB, ${}/mo", sku.name, sku.vcores, sku.memory_gb, sku.price);
+    }
+
+    // Fleet-level accuracy.
+    let test = generate_customers(400, 8, 0.12, 4);
+    let report = evaluate(&doppler, &test);
+    println!(
+        "\naccuracy over {} customers: Doppler {:.1}% vs naive profile rule {:.1}% (paper: >95%)",
+        report.customers,
+        report.doppler_accuracy * 100.0,
+        report.naive_accuracy * 100.0
+    );
+}

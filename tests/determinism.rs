@@ -1,0 +1,89 @@
+//! Determinism guarantees: every stochastic component is seed-driven, so
+//! whole subsystem runs must be bit-identical across invocations — the
+//! property the experiment harness and EXPERIMENTS.md rely on.
+
+use autonomous_data_services::engine::cost::CostModel;
+use autonomous_data_services::engine::exec::{ClusterConfig, SimOptions, Simulator};
+use autonomous_data_services::engine::physical::StageDag;
+use autonomous_data_services::infra::machine::{MachineFleet, SkuSpec};
+use autonomous_data_services::infra::provision::{
+    simulate_provisioning, DemandModel, PoolPolicy, ProvisionConfig,
+};
+use autonomous_data_services::service::moneyball::{generate_usage, simulate_policy, PausePolicy};
+use autonomous_data_services::service::seagull::{generate_fleet, schedule_fleet, BackupForecaster};
+use autonomous_data_services::workload::gen::{GeneratorConfig, WorkloadGenerator};
+
+#[test]
+fn workload_generation_is_reproducible() {
+    let mk = || {
+        WorkloadGenerator::new(GeneratorConfig::default())
+            .expect("valid")
+            .generate()
+            .expect("generates")
+    };
+    let (a, b) = (mk(), mk());
+    assert_eq!(a.trace, b.trace);
+    assert_eq!(a.catalog, b.catalog);
+}
+
+#[test]
+fn execution_simulation_is_reproducible() {
+    let w = WorkloadGenerator::new(GeneratorConfig {
+        days: 2,
+        jobs_per_day: 30,
+        ..Default::default()
+    })
+    .expect("valid")
+    .generate()
+    .expect("generates");
+    let sim = Simulator::new(ClusterConfig::default()).expect("valid");
+    let cm = CostModel::default();
+    for job in w.trace.jobs().iter().take(10) {
+        let dag = StageDag::compile(&job.plan, &w.catalog, &cm).expect("compiles");
+        let r1 = sim.run(&dag, &SimOptions::default()).expect("simulates");
+        let r2 = sim.run(&dag, &SimOptions::default()).expect("simulates");
+        assert_eq!(r1, r2);
+    }
+}
+
+#[test]
+fn service_layer_simulations_are_reproducible() {
+    let f1 = generate_fleet(50, 14, 0.6, 0.3, 5);
+    let f2 = generate_fleet(50, 14, 0.6, 0.3, 5);
+    assert_eq!(f1, f2);
+    let s1 = schedule_fleet(&f1, BackupForecaster::MlModel, 2, 0.25);
+    let s2 = schedule_fleet(&f2, BackupForecaster::MlModel, 2, 0.25);
+    assert_eq!(s1, s2);
+
+    let u1 = generate_usage(100, 14, 0.77, 3);
+    let u2 = generate_usage(100, 14, 0.77, 3);
+    assert_eq!(u1, u2);
+    let p = PausePolicy::Proactive { idle_hours: 2, threshold: 0.4 };
+    assert_eq!(simulate_policy(&u1, p), simulate_policy(&u2, p));
+}
+
+#[test]
+fn infra_simulations_are_reproducible() {
+    let fleet = MachineFleet::new(SkuSpec::standard_fleet(), 4);
+    assert_eq!(fleet.generate_telemetry(48, 0.1, 9), fleet.generate_telemetry(48, 0.1, 9));
+    let demand = DemandModel::default();
+    let config = ProvisionConfig::default();
+    let policy = PoolPolicy::Forecast { headroom: 1.2 };
+    assert_eq!(
+        simulate_provisioning(&demand, policy, &config),
+        simulate_provisioning(&demand, policy, &config)
+    );
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = WorkloadGenerator::new(GeneratorConfig { seed: 1, ..Default::default() })
+        .expect("valid")
+        .generate()
+        .expect("generates");
+    let b = WorkloadGenerator::new(GeneratorConfig { seed: 2, ..Default::default() })
+        .expect("valid")
+        .generate()
+        .expect("generates");
+    assert_ne!(a.trace, b.trace);
+}

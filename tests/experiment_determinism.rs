@@ -1,0 +1,31 @@
+//! The experiment harness itself is deterministic: rerunning an experiment
+//! yields bit-identical rows (the property EXPERIMENTS.md relies on).
+
+use adas_bench::experiments;
+
+fn rows_json(run: fn() -> Vec<adas_bench::Row>) -> String {
+    serde_json::to_string(&run()).expect("rows serialize")
+}
+
+#[test]
+fn figure_experiments_are_deterministic() {
+    assert_eq!(rows_json(experiments::fig1::run), rows_json(experiments::fig1::run));
+    assert_eq!(rows_json(experiments::fig2::run), rows_json(experiments::fig2::run));
+}
+
+#[test]
+fn service_experiments_are_deterministic() {
+    assert_eq!(rows_json(experiments::doppler::run), rows_json(experiments::doppler::run));
+    assert_eq!(rows_json(experiments::moneyball::run), rows_json(experiments::moneyball::run));
+}
+
+#[test]
+fn registry_names_are_unique_and_runnable() {
+    let registry = experiments::registry();
+    let mut names: Vec<&str> = registry.iter().map(|(n, _)| *n).collect();
+    let total = names.len();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), total, "duplicate experiment names");
+    assert!(total >= 21);
+}
