@@ -6,12 +6,15 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
+use std::collections::HashSet;
+
 use adas_checkpoint::{plan_checkpoints, PhoebeConfig, StagePredictor};
 use adas_engine::cardinality::DefaultEstimator;
 use adas_engine::cost::CostModel;
 use adas_engine::exec::{ClusterConfig, SimOptions, Simulator};
 use adas_engine::physical::StageDag;
 use adas_engine::rules::{Optimizer, RuleSet};
+use adas_faultsim::{ChaosRunner, FaultConfig, FaultInjector};
 use adas_ml::bandit::{BanditPolicy, EpsilonGreedy, LinUcb};
 use adas_ml::forecast::{HoltWinters, HwConfig, SeasonalNaive};
 use adas_reuse::{rewrite_plan, MatchPolicy, SelectionConfig, ViewCatalog};
@@ -29,7 +32,9 @@ fn deep_plan(depth: usize) -> LogicalPlan {
         0,
     );
     for i in 0..depth {
-        plan = plan.filter(Predicate::single(1, CmpOp::Le, i as i64)).project(vec![0, 1]);
+        plan = plan
+            .filter(Predicate::single(1, CmpOp::Le, i as i64))
+            .project(vec![0, 1]);
     }
     plan.aggregate(vec![1])
 }
@@ -54,7 +59,11 @@ fn bench_optimizer(c: &mut Criterion) {
     let optimizer = Optimizer::default();
     let plan = deep_plan(8);
     c.bench_function("optimizer/full_ruleset_pass", |b| {
-        b.iter(|| optimizer.optimize(black_box(&plan), RuleSet::all(), &est).unwrap())
+        b.iter(|| {
+            optimizer
+                .optimize(black_box(&plan), RuleSet::all(), &est)
+                .unwrap()
+        })
     });
 }
 
@@ -66,8 +75,9 @@ fn bench_view_matching(c: &mut Criterion) {
         0,
         0,
     );
-    let training: Vec<LogicalPlan> =
-        (0..64).map(|i| shared.clone().aggregate(vec![i % 3])).collect();
+    let training: Vec<LogicalPlan> = (0..64)
+        .map(|i| shared.clone().aggregate(vec![i % 3]))
+        .collect();
     let views = ViewCatalog::select(&training, &catalog, &SelectionConfig::default());
     let query = shared.aggregate(vec![0, 1]);
     c.bench_function("reuse/rewrite_full_policy", |b| {
@@ -97,7 +107,13 @@ fn bench_bandits(c: &mut Criterion) {
 
 fn bench_forecasters(c: &mut Criterion) {
     let values: Vec<f64> = (0..24 * 28)
-        .map(|i| if (8..18).contains(&(i % 24)) { 10.0 } else { 2.0 })
+        .map(|i| {
+            if (8..18).contains(&(i % 24)) {
+                10.0
+            } else {
+                2.0
+            }
+        })
         .collect();
     c.bench_function("forecast/seasonal_naive_fit", |b| {
         b.iter(|| SeasonalNaive::fit(black_box(&values), 24).unwrap())
@@ -146,6 +162,19 @@ fn bench_checkpoint_planning(c: &mut Criterion) {
     });
     c.bench_function("exec/simulate_dag", |b| {
         b.iter(|| sim.run(black_box(&dag), &SimOptions::default()).unwrap())
+    });
+
+    // Disabled-path fault injection: must track exec/simulate_dag within 5%.
+    let runner = ChaosRunner::new(ClusterConfig::default(), f64::INFINITY).unwrap();
+    let injector = FaultInjector::new(42, FaultConfig::disabled());
+    let schedule = injector.schedule_for(0, ClusterConfig::default().machines);
+    let no_checkpoints: HashSet<adas_engine::physical::StageId> = HashSet::new();
+    c.bench_function("faultsim/chaos_run_disabled", |b| {
+        b.iter(|| {
+            runner
+                .run_job(black_box(&dag), &no_checkpoints, &schedule)
+                .unwrap()
+        })
     });
 }
 

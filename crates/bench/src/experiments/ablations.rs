@@ -29,13 +29,36 @@ pub fn pruning() -> Vec<Row> {
     let (_, unpruned) = LearnedCardinality::train(
         &w.catalog,
         &plans,
-        TrainConfig { prune_ratio: f64::INFINITY, ..Default::default() },
+        TrainConfig {
+            prune_ratio: f64::INFINITY,
+            ..Default::default()
+        },
     );
     vec![
-        Row::measured_only("A1", "models kept (pruning on)", pruned.models_kept as f64, "models"),
-        Row::measured_only("A1", "models kept (pruning off)", unpruned.models_kept as f64, "models"),
-        Row::measured_only("A1", "learned q-error (pruning on)", pruned.learned_q_error, "q-error"),
-        Row::measured_only("A1", "learned q-error (pruning off)", unpruned.learned_q_error, "q-error"),
+        Row::measured_only(
+            "A1",
+            "models kept (pruning on)",
+            pruned.models_kept as f64,
+            "models",
+        ),
+        Row::measured_only(
+            "A1",
+            "models kept (pruning off)",
+            unpruned.models_kept as f64,
+            "models",
+        ),
+        Row::measured_only(
+            "A1",
+            "learned q-error (pruning on)",
+            pruned.learned_q_error,
+            "q-error",
+        ),
+        Row::measured_only(
+            "A1",
+            "learned q-error (pruning off)",
+            unpruned.learned_q_error,
+            "q-error",
+        ),
         Row::measured_only(
             "A1",
             "model-count reduction",
@@ -53,7 +76,12 @@ pub fn ensemble() -> Vec<Row> {
     let plans: Vec<_> = w.trace.jobs().iter().map(|j| j.plan.clone()).collect();
     let (_, report) = CostEnsemble::train(&w.catalog, &plans, CostTrainConfig::default());
     vec![
-        Row::measured_only("A2", "micromodel coverage (no ensemble)", report.micromodel_coverage, "fraction"),
+        Row::measured_only(
+            "A2",
+            "micromodel coverage (no ensemble)",
+            report.micromodel_coverage,
+            "fraction",
+        ),
         Row::measured_only("A2", "ensemble coverage", 1.0, "fraction"),
         Row::measured_only("A2", "micro-only MAPE", report.micro_only_mape, "mape"),
         Row::measured_only("A2", "ensemble MAPE", report.ensemble_mape, "mape"),
@@ -68,14 +96,31 @@ pub fn steering() -> Vec<Row> {
     let guarded = super::steering::run_with(40, SteeringConfig::default());
     let unguarded = super::steering::run_with(
         40,
-        SteeringConfig { validation_win_rate: 0.0, improvement_margin: 0.0, ..Default::default() },
+        SteeringConfig {
+            validation_win_rate: 0.0,
+            improvement_margin: 0.0,
+            ..Default::default()
+        },
     );
     let pick = |rows: &[Row], name: &str| -> f64 {
-        rows.iter().find(|r| r.metric.starts_with(name)).expect("metric present").measured
+        rows.iter()
+            .find(|r| r.metric.starts_with(name))
+            .expect("metric present")
+            .measured
     };
     vec![
-        Row::measured_only("A3", "promotions (validation on)", pick(&guarded, "promotions"), "steps"),
-        Row::measured_only("A3", "promotions (validation off)", pick(&unguarded, "promotions"), "steps"),
+        Row::measured_only(
+            "A3",
+            "promotions (validation on)",
+            pick(&guarded, "promotions"),
+            "steps",
+        ),
+        Row::measured_only(
+            "A3",
+            "promotions (validation off)",
+            pick(&unguarded, "promotions"),
+            "steps",
+        ),
         Row::measured_only(
             "A3",
             "deployed regressions (validation on)",
@@ -112,16 +157,44 @@ pub fn reuse() -> Vec<Row> {
     let syntactic = replay(
         &w.trace,
         &w.catalog,
-        &ReplayConfig { policy: MatchPolicy::syntactic_only(), ..Default::default() },
+        &ReplayConfig {
+            policy: MatchPolicy::syntactic_only(),
+            ..Default::default()
+        },
     )
     .expect("replay runs");
     let full = replay(&w.trace, &w.catalog, &ReplayConfig::default()).expect("replay runs");
     vec![
-        Row::measured_only("A4", "view hits (syntactic)", syntactic.total_hits as f64, "hits"),
-        Row::measured_only("A4", "view hits (semantic+containment)", full.total_hits as f64, "hits"),
-        Row::measured_only("A4", "containment hits", full.containment_hits as f64, "hits"),
-        Row::measured_only("A4", "latency improvement (syntactic)", syntactic.latency_improvement, "fraction"),
-        Row::measured_only("A4", "latency improvement (full)", full.latency_improvement, "fraction"),
+        Row::measured_only(
+            "A4",
+            "view hits (syntactic)",
+            syntactic.total_hits as f64,
+            "hits",
+        ),
+        Row::measured_only(
+            "A4",
+            "view hits (semantic+containment)",
+            full.total_hits as f64,
+            "hits",
+        ),
+        Row::measured_only(
+            "A4",
+            "containment hits",
+            full.containment_hits as f64,
+            "hits",
+        ),
+        Row::measured_only(
+            "A4",
+            "latency improvement (syntactic)",
+            syntactic.latency_improvement,
+            "fraction",
+        ),
+        Row::measured_only(
+            "A4",
+            "latency improvement (full)",
+            full.latency_improvement,
+            "fraction",
+        ),
     ]
 }
 

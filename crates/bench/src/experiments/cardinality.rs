@@ -21,22 +21,57 @@ pub fn run() -> Vec<Row> {
         .expect("valid config")
         .generate()
         .expect("generation succeeds");
-    let plans: Vec<_> = workload.trace.jobs().iter().map(|j| j.plan.clone()).collect();
+    let plans: Vec<_> = workload
+        .trace
+        .jobs()
+        .iter()
+        .map(|j| j.plan.clone())
+        .collect();
     let (model, report) =
         LearnedCardinality::train(&workload.catalog, &plans, TrainConfig::default());
     vec![
-        Row::measured_only("C2", "templates seen", report.templates_seen as f64, "templates"),
-        Row::measured_only("C2", "templates trained", report.templates_trained as f64, "templates"),
-        Row::measured_only("C2", "micromodels kept after pruning", report.models_kept as f64, "models"),
-        Row::measured_only("C2", "default median q-error", report.default_q_error, "q-error"),
-        Row::measured_only("C2", "learned median q-error", report.learned_q_error, "q-error"),
+        Row::measured_only(
+            "C2",
+            "templates seen",
+            report.templates_seen as f64,
+            "templates",
+        ),
+        Row::measured_only(
+            "C2",
+            "templates trained",
+            report.templates_trained as f64,
+            "templates",
+        ),
+        Row::measured_only(
+            "C2",
+            "micromodels kept after pruning",
+            report.models_kept as f64,
+            "models",
+        ),
+        Row::measured_only(
+            "C2",
+            "default median q-error",
+            report.default_q_error,
+            "q-error",
+        ),
+        Row::measured_only(
+            "C2",
+            "learned median q-error",
+            report.learned_q_error,
+            "q-error",
+        ),
         Row::measured_only(
             "C2",
             "q-error improvement factor",
             report.default_q_error / report.learned_q_error.max(1.0),
             "x",
         ),
-        Row::measured_only("C2", "deployed model count", model.model_count() as f64, "models"),
+        Row::measured_only(
+            "C2",
+            "deployed model count",
+            model.model_count() as f64,
+            "models",
+        ),
     ]
 }
 

@@ -20,15 +20,35 @@ pub fn run() -> Vec<Row> {
         .expect("valid config")
         .generate()
         .expect("generation succeeds");
-    let plans: Vec<_> = workload.trace.jobs().iter().map(|j| j.plan.clone()).collect();
+    let plans: Vec<_> = workload
+        .trace
+        .jobs()
+        .iter()
+        .map(|j| j.plan.clone())
+        .collect();
     let (ensemble, report) =
         CostEnsemble::train(&workload.catalog, &plans, CostTrainConfig::default());
     vec![
-        Row::measured_only("C3", "micromodel coverage", report.micromodel_coverage, "fraction"),
+        Row::measured_only(
+            "C3",
+            "micromodel coverage",
+            report.micromodel_coverage,
+            "fraction",
+        ),
         Row::measured_only("C3", "default cost MAPE", report.default_mape, "mape"),
-        Row::measured_only("C3", "micromodels-only MAPE", report.micro_only_mape, "mape"),
+        Row::measured_only(
+            "C3",
+            "micromodels-only MAPE",
+            report.micro_only_mape,
+            "mape",
+        ),
         Row::measured_only("C3", "meta-ensemble MAPE", report.ensemble_mape, "mape"),
-        Row::measured_only("C3", "micromodel count", ensemble.micromodel_count() as f64, "models"),
+        Row::measured_only(
+            "C3",
+            "micromodel count",
+            ensemble.micromodel_count() as f64,
+            "models",
+        ),
         Row::measured_only(
             "C3",
             "ensemble coverage",

@@ -13,15 +13,31 @@ pub fn run() -> Vec<Row> {
     let doppler = Doppler::train(&train, standard_skus(), 8, 7).expect("k <= population");
     let report = evaluate(&doppler, &test);
     vec![
-        Row::with_paper("C10", "Doppler recommendation accuracy", 0.95, report.doppler_accuracy, "fraction (paper: >0.95)"),
-        Row::measured_only("C10", "naive cheapest-covering accuracy", report.naive_accuracy, "fraction"),
+        Row::with_paper(
+            "C10",
+            "Doppler recommendation accuracy",
+            0.95,
+            report.doppler_accuracy,
+            "fraction (paper: >0.95)",
+        ),
+        Row::measured_only(
+            "C10",
+            "naive cheapest-covering accuracy",
+            report.naive_accuracy,
+            "fraction",
+        ),
         Row::measured_only(
             "C10",
             "accuracy lift over naive",
             report.doppler_accuracy - report.naive_accuracy,
             "fraction",
         ),
-        Row::measured_only("C10", "customers evaluated", report.customers as f64, "customers"),
+        Row::measured_only(
+            "C10",
+            "customers evaluated",
+            report.customers as f64,
+            "customers",
+        ),
         Row::measured_only("C10", "SKUs ranked", standard_skus().len() as f64, "skus"),
     ]
 }

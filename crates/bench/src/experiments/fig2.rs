@@ -7,9 +7,7 @@
 //! final dominance indicator.
 
 use crate::Row;
-use adas_infra::provision::{
-    simulate_provisioning, DemandModel, PoolPolicy, ProvisionConfig,
-};
+use adas_infra::provision::{simulate_provisioning, DemandModel, PoolPolicy, ProvisionConfig};
 
 /// Runs the experiment.
 pub fn run() -> Vec<Row> {
@@ -35,9 +33,13 @@ pub fn run() -> Vec<Row> {
         static_points.push(report);
     }
 
-    let forecast =
-        simulate_provisioning(&demand, PoolPolicy::Forecast { headroom: 1.2 }, &config);
-    rows.push(Row::measured_only("F2", "forecast: mean wait", forecast.mean_wait, "seconds"));
+    let forecast = simulate_provisioning(&demand, PoolPolicy::Forecast { headroom: 1.2 }, &config);
+    rows.push(Row::measured_only(
+        "F2",
+        "forecast: mean wait",
+        forecast.mean_wait,
+        "seconds",
+    ));
     rows.push(Row::measured_only(
         "F2",
         "forecast: idle cost",
@@ -70,7 +72,10 @@ mod tests {
     #[test]
     fn fig2_forecast_dominates() {
         let rows = super::run();
-        let dom = rows.iter().find(|r| r.metric.contains("dominates")).expect("dominance row");
+        let dom = rows
+            .iter()
+            .find(|r| r.metric.contains("dominates"))
+            .expect("dominance row");
         assert_eq!(dom.measured, 1.0);
         // The static frontier is monotone: larger pools → lower wait.
         let waits: Vec<f64> = rows

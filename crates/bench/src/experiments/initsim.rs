@@ -16,7 +16,9 @@ pub fn run() -> Vec<Row> {
     let single = simulate_inits(&model, RequestPolicy::Single, n, 77);
     let retry = simulate_inits(
         &model,
-        RequestPolicy::RetryAfter { timeout_s: single.p50 * 2.0 },
+        RequestPolicy::RetryAfter {
+            timeout_s: single.p50 * 2.0,
+        },
         n,
         77,
     );
@@ -25,10 +27,20 @@ pub fn run() -> Vec<Row> {
         Row::measured_only("C13", "single-request p50", single.p50, "seconds"),
         Row::measured_only("C13", "single-request p99", single.p99, "seconds"),
         Row::measured_only("C13", "retry p99", retry.p99, "seconds"),
-        Row::measured_only("C13", "retry attempts/request", retry.attempts_per_request, "attempts"),
+        Row::measured_only(
+            "C13",
+            "retry attempts/request",
+            retry.attempts_per_request,
+            "attempts",
+        ),
         Row::measured_only("C13", "derived hedge delay", hedge_delay, "seconds"),
         Row::measured_only("C13", "hedged p99", hedged.p99, "seconds"),
-        Row::measured_only("C13", "hedged attempts/request", hedged.attempts_per_request, "attempts"),
+        Row::measured_only(
+            "C13",
+            "hedged attempts/request",
+            hedged.attempts_per_request,
+            "attempts",
+        ),
         Row::measured_only(
             "C13",
             "tail latency reduction (p99)",

@@ -23,14 +23,44 @@ pub fn run() -> Vec<Row> {
 
     vec![
         Row::measured_only("C12", "machines", fleet.machine_count() as f64, "machines"),
-        Row::measured_only("C12", "demand placed (uniform)", naive.placed as f64, "containers"),
-        Row::measured_only("C12", "demand placed (tuned)", tuned.placed as f64, "containers"),
+        Row::measured_only(
+            "C12",
+            "demand placed (uniform)",
+            naive.placed as f64,
+            "containers",
+        ),
+        Row::measured_only(
+            "C12",
+            "demand placed (tuned)",
+            tuned.placed as f64,
+            "containers",
+        ),
         Row::measured_only("C12", "gen3 tuned cap", caps[0] as f64, "containers"),
         Row::measured_only("C12", "gen4 tuned cap", caps[1] as f64, "containers"),
-        Row::measured_only("C12", "hotspot CPU (uniform caps)", naive.hotspot_cpu, "utilization"),
-        Row::measured_only("C12", "hotspot CPU (tuned caps)", tuned.hotspot_cpu, "utilization"),
-        Row::measured_only("C12", "CPU imbalance std (uniform)", naive.cpu_std, "utilization"),
-        Row::measured_only("C12", "CPU imbalance std (tuned)", tuned.cpu_std, "utilization"),
+        Row::measured_only(
+            "C12",
+            "hotspot CPU (uniform caps)",
+            naive.hotspot_cpu,
+            "utilization",
+        ),
+        Row::measured_only(
+            "C12",
+            "hotspot CPU (tuned caps)",
+            tuned.hotspot_cpu,
+            "utilization",
+        ),
+        Row::measured_only(
+            "C12",
+            "CPU imbalance std (uniform)",
+            naive.cpu_std,
+            "utilization",
+        ),
+        Row::measured_only(
+            "C12",
+            "CPU imbalance std (tuned)",
+            tuned.cpu_std,
+            "utilization",
+        ),
         Row::measured_only(
             "C12",
             "hotspot reduction",

@@ -21,10 +21,13 @@ pub mod workload_stats;
 
 use crate::Row;
 
+/// One experiment's runner function.
+pub type Runner = fn() -> Vec<Row>;
+
 /// Name → runner for every experiment (deterministic order).
-pub fn registry() -> Vec<(&'static str, fn() -> Vec<Row>)> {
+pub fn registry() -> Vec<(&'static str, Runner)> {
     vec![
-        ("fig1", fig1::run as fn() -> Vec<Row>),
+        ("fig1", fig1::run as Runner),
         ("fig2", fig2::run),
         ("workload-stats", workload_stats::run),
         ("cardinality", cardinality::run),

@@ -13,8 +13,13 @@ pub fn run() -> Vec<Row> {
     let fleet = generate_usage(1000, 21, 0.77, 71);
     let always_on = simulate_policy(&fleet, PausePolicy::AlwaysOn);
     let reactive = simulate_policy(&fleet, PausePolicy::Reactive { idle_hours: 2 });
-    let proactive =
-        simulate_policy(&fleet, PausePolicy::Proactive { idle_hours: 2, threshold: 0.4 });
+    let proactive = simulate_policy(
+        &fleet,
+        PausePolicy::Proactive {
+            idle_hours: 2,
+            threshold: 0.4,
+        },
+    );
 
     vec![
         Row::with_paper(
@@ -24,17 +29,42 @@ pub fn run() -> Vec<Row> {
             proactive.predictable_fraction,
             "fraction",
         ),
-        Row::measured_only("C8", "classifier accuracy", proactive.classifier_accuracy, "fraction"),
-        Row::measured_only("C8", "always-on idle hours/db-day", always_on.idle_hours_per_db, "hours"),
-        Row::measured_only("C8", "reactive cold resumes/db-day", reactive.cold_resumes_per_db, "resumes"),
-        Row::measured_only("C8", "reactive idle hours/db-day", reactive.idle_hours_per_db, "hours"),
+        Row::measured_only(
+            "C8",
+            "classifier accuracy",
+            proactive.classifier_accuracy,
+            "fraction",
+        ),
+        Row::measured_only(
+            "C8",
+            "always-on idle hours/db-day",
+            always_on.idle_hours_per_db,
+            "hours",
+        ),
+        Row::measured_only(
+            "C8",
+            "reactive cold resumes/db-day",
+            reactive.cold_resumes_per_db,
+            "resumes",
+        ),
+        Row::measured_only(
+            "C8",
+            "reactive idle hours/db-day",
+            reactive.idle_hours_per_db,
+            "hours",
+        ),
         Row::measured_only(
             "C8",
             "proactive cold resumes/db-day",
             proactive.cold_resumes_per_db,
             "resumes",
         ),
-        Row::measured_only("C8", "proactive idle hours/db-day", proactive.idle_hours_per_db, "hours"),
+        Row::measured_only(
+            "C8",
+            "proactive idle hours/db-day",
+            proactive.idle_hours_per_db,
+            "hours",
+        ),
         Row::measured_only(
             "C8",
             "cold-resume reduction vs reactive",

@@ -39,16 +39,21 @@ pub fn big_job(branches: usize, literal: i64) -> LogicalPlan {
 pub fn run() -> Vec<Row> {
     let catalog = Catalog::standard();
     let cost_model = CostModel::default();
-    let cluster = ClusterConfig { machines: 32, ..Default::default() };
+    let cluster = ClusterConfig {
+        machines: 32,
+        ..Default::default()
+    };
     let sim = Simulator::new(cluster).expect("valid cluster");
 
     // History: smaller jobs with varying literals.
     let history: Vec<(StageDag, ExecReport)> = [(8usize, 100i64), (10, 250), (12, 400), (8, 550)]
         .iter()
         .map(|&(b, v)| {
-            let dag = StageDag::compile(&big_job(b, v), &catalog, &cost_model)
-                .expect("plan validates");
-            let report = sim.run(&dag, &SimOptions::default()).expect("simulation succeeds");
+            let dag =
+                StageDag::compile(&big_job(b, v), &catalog, &cost_model).expect("plan validates");
+            let report = sim
+                .run(&dag, &SimOptions::default())
+                .expect("simulation succeeds");
             (dag, report)
         })
         .collect();
@@ -58,20 +63,67 @@ pub fn run() -> Vec<Row> {
     // Evaluation job: 40 branches ≈ 240 stages.
     let dag = StageDag::compile(&big_job(40, 320), &catalog, &cost_model).expect("plan validates");
     let forecast = predictor.forecast(&dag);
-    let config = PhoebeConfig { max_cuts: 3, hotspot_threshold: 0.05, ..Default::default() };
+    let config = PhoebeConfig {
+        max_cuts: 3,
+        hotspot_threshold: 0.05,
+        ..Default::default()
+    };
     let plan = plan_checkpoints(&dag, &forecast, &config);
     let report = evaluate(&dag, &plan, cluster, 0.85).expect("simulation succeeds");
 
     vec![
         Row::measured_only("C5", "evaluation DAG stages", dag.len() as f64, "stages"),
-        Row::measured_only("C5", "stages checkpointed", plan.stages.len() as f64, "stages"),
-        Row::with_paper("C5", "hotspot temp freed", 0.70, report.hotspot_reduction, "fraction (paper: >0.70)"),
-        Row::with_paper("C5", "restart speedup", 0.68, report.restart_speedup, "fraction"),
-        Row::with_paper("C5", "runtime slowdown (paper: minimal)", 0.0, report.slowdown, "fraction"),
-        Row::measured_only("C5", "baseline hotspot", report.baseline_hotspot / 1e9, "GB"),
-        Row::measured_only("C5", "checkpointed hotspot", report.ckpt_hotspot / 1e9, "GB"),
-        Row::measured_only("C5", "baseline recovery", report.baseline_recovery, "seconds"),
-        Row::measured_only("C5", "checkpointed recovery", report.ckpt_recovery, "seconds"),
+        Row::measured_only(
+            "C5",
+            "stages checkpointed",
+            plan.stages.len() as f64,
+            "stages",
+        ),
+        Row::with_paper(
+            "C5",
+            "hotspot temp freed",
+            0.70,
+            report.hotspot_reduction,
+            "fraction (paper: >0.70)",
+        ),
+        Row::with_paper(
+            "C5",
+            "restart speedup",
+            0.68,
+            report.restart_speedup,
+            "fraction",
+        ),
+        Row::with_paper(
+            "C5",
+            "runtime slowdown (paper: minimal)",
+            0.0,
+            report.slowdown,
+            "fraction",
+        ),
+        Row::measured_only(
+            "C5",
+            "baseline hotspot",
+            report.baseline_hotspot / 1e9,
+            "GB",
+        ),
+        Row::measured_only(
+            "C5",
+            "checkpointed hotspot",
+            report.ckpt_hotspot / 1e9,
+            "GB",
+        ),
+        Row::measured_only(
+            "C5",
+            "baseline recovery",
+            report.baseline_recovery,
+            "seconds",
+        ),
+        Row::measured_only(
+            "C5",
+            "checkpointed recovery",
+            report.ckpt_recovery,
+            "seconds",
+        ),
     ]
 }
 
@@ -80,10 +132,23 @@ mod tests {
     #[test]
     fn c5_phoebe_shape_holds() {
         let rows = super::run();
-        let get = |m: &str| rows.iter().find(|r| r.metric.starts_with(m)).unwrap().measured;
+        let get = |m: &str| {
+            rows.iter()
+                .find(|r| r.metric.starts_with(m))
+                .unwrap()
+                .measured
+        };
         assert!(get("evaluation DAG stages") >= 200.0);
-        assert!(get("hotspot temp freed") > 0.5, "hotspot freed {}", get("hotspot temp freed"));
-        assert!(get("restart speedup") > 0.4, "restart speedup {}", get("restart speedup"));
+        assert!(
+            get("hotspot temp freed") > 0.5,
+            "hotspot freed {}",
+            get("hotspot temp freed")
+        );
+        assert!(
+            get("restart speedup") > 0.4,
+            "restart speedup {}",
+            get("restart speedup")
+        );
         assert!(get("runtime slowdown") < 0.1);
     }
 }

@@ -7,7 +7,7 @@
 //! cluster.
 
 use crate::Row;
-use adas_pipeline::{optimize_pipelines, schedule, Policy, PipelineGraph};
+use adas_pipeline::{optimize_pipelines, schedule, PipelineGraph, Policy};
 use adas_workload::catalog::Catalog;
 use adas_workload::job::{Job, Trace};
 use adas_workload::plan::{CmpOp, LogicalPlan, Predicate};
@@ -18,10 +18,8 @@ use adas_workload::{DatasetId, JobId, TemplateId};
 pub fn pipeline_trace(n_pipelines: usize, consumers: usize) -> Trace {
     let mut jobs = Vec::new();
     let mut next_id = 0u64;
-    let mut next_ds = 0u64;
     for p in 0..n_pipelines {
-        let ds = DatasetId(next_ds);
-        next_ds += 1;
+        let ds = DatasetId(p as u64);
         let literal = 100 + (p as i64 % 6) * 90;
         jobs.push(Job {
             id: JobId(next_id),
@@ -72,16 +70,46 @@ pub fn run() -> Vec<Row> {
     let fifo = schedule(&trace, &catalog, slots, speed, Policy::Fifo).expect("schedules");
     let cp = schedule(&trace, &catalog, slots, speed, Policy::CriticalPath).expect("schedules");
     let optimized_trace = Trace::new(optimized_jobs);
-    let optimized_cp =
-        schedule(&optimized_trace, &extended, slots, speed, Policy::CriticalPath)
-            .expect("schedules");
+    let optimized_cp = schedule(
+        &optimized_trace,
+        &extended,
+        slots,
+        speed,
+        Policy::CriticalPath,
+    )
+    .expect("schedules");
 
     vec![
-        Row::measured_only("C7", "pipelines in trace", stats.pipeline_count as f64, "pipelines"),
-        Row::measured_only("C7", "jobs in pipelines", stats.pipelined_fraction, "fraction"),
-        Row::measured_only("C7", "subexpressions pushed", push.subexpressions_pushed as f64, "subexprs"),
-        Row::measured_only("C7", "consumer rewrites", push.consumer_rewrites as f64, "rewrites"),
-        Row::measured_only("C7", "pipeline work reduction", push.work_reduction, "fraction"),
+        Row::measured_only(
+            "C7",
+            "pipelines in trace",
+            stats.pipeline_count as f64,
+            "pipelines",
+        ),
+        Row::measured_only(
+            "C7",
+            "jobs in pipelines",
+            stats.pipelined_fraction,
+            "fraction",
+        ),
+        Row::measured_only(
+            "C7",
+            "subexpressions pushed",
+            push.subexpressions_pushed as f64,
+            "subexprs",
+        ),
+        Row::measured_only(
+            "C7",
+            "consumer rewrites",
+            push.consumer_rewrites as f64,
+            "rewrites",
+        ),
+        Row::measured_only(
+            "C7",
+            "pipeline work reduction",
+            push.work_reduction,
+            "fraction",
+        ),
         Row::measured_only("C7", "FIFO makespan", fifo.makespan, "seconds"),
         Row::measured_only("C7", "critical-path makespan", cp.makespan, "seconds"),
         Row::measured_only(
@@ -112,7 +140,11 @@ mod tests {
         let rows = super::run();
         let get = |m: &str| rows.iter().find(|r| r.metric == m).unwrap().measured;
         assert!(get("subexpressions pushed") >= 20.0);
-        assert!(get("pipeline work reduction") > 0.2, "{}", get("pipeline work reduction"));
+        assert!(
+            get("pipeline work reduction") > 0.2,
+            "{}",
+            get("pipeline work reduction")
+        );
         assert!(get("end-to-end makespan reduction") > 0.1);
         assert!(get("critical-path makespan") <= get("FIFO makespan") + 1e-9);
     }

@@ -12,10 +12,22 @@ pub fn run() -> Vec<Row> {
     let profile = PowerProfile::standard();
     let model = PowerModel::fit(&profile.observe(500, 0.04, 91)).expect("fits");
     let racks = vec![
-        Rack { machines: 24, expected_cpu: 0.92 },
-        Rack { machines: 24, expected_cpu: 0.75 },
-        Rack { machines: 24, expected_cpu: 0.45 },
-        Rack { machines: 24, expected_cpu: 0.20 },
+        Rack {
+            machines: 24,
+            expected_cpu: 0.92,
+        },
+        Rack {
+            machines: 24,
+            expected_cpu: 0.75,
+        },
+        Rack {
+            machines: 24,
+            expected_cpu: 0.45,
+        },
+        Rack {
+            machines: 24,
+            expected_cpu: 0.20,
+        },
     ];
     // Budget sized to total true need + 2% headroom: feasible overall,
     // infeasible under an even split.
@@ -30,10 +42,30 @@ pub fn run() -> Vec<Row> {
         Row::measured_only("C15", "fitted idle watts", model.idle_watts, "watts"),
         Row::measured_only("C15", "fitted span watts", model.span_watts, "watts"),
         Row::measured_only("C15", "fleet power budget", budget / 1000.0, "kW"),
-        Row::measured_only("C15", "throttled racks (uniform caps)", uniform.throttled_racks as f64, "racks"),
-        Row::measured_only("C15", "throttled racks (model caps)", driven.throttled_racks as f64, "racks"),
-        Row::measured_only("C15", "demand served (uniform caps)", uniform.demand_served, "fraction"),
-        Row::measured_only("C15", "demand served (model caps)", driven.demand_served, "fraction"),
+        Row::measured_only(
+            "C15",
+            "throttled racks (uniform caps)",
+            uniform.throttled_racks as f64,
+            "racks",
+        ),
+        Row::measured_only(
+            "C15",
+            "throttled racks (model caps)",
+            driven.throttled_racks as f64,
+            "racks",
+        ),
+        Row::measured_only(
+            "C15",
+            "demand served (uniform caps)",
+            uniform.demand_served,
+            "fraction",
+        ),
+        Row::measured_only(
+            "C15",
+            "demand served (model caps)",
+            driven.demand_served,
+            "fraction",
+        ),
     ]
 }
 

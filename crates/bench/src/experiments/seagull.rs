@@ -21,9 +21,25 @@ pub fn run() -> Vec<Row> {
     let heuristic_stable = schedule_fleet(&stable, BackupForecaster::PreviousDay, 2, 0.25);
 
     vec![
-        Row::with_paper("C9", "ML low-load window accuracy", 0.99, ml.accuracy, "fraction"),
-        Row::measured_only("C9", "ML mean chosen/optimal load ratio", ml.mean_load_ratio, "ratio"),
-        Row::measured_only("C9", "previous-day heuristic accuracy (mixed fleet)", heuristic.accuracy, "fraction"),
+        Row::with_paper(
+            "C9",
+            "ML low-load window accuracy",
+            0.99,
+            ml.accuracy,
+            "fraction",
+        ),
+        Row::measured_only(
+            "C9",
+            "ML mean chosen/optimal load ratio",
+            ml.mean_load_ratio,
+            "ratio",
+        ),
+        Row::measured_only(
+            "C9",
+            "previous-day heuristic accuracy (mixed fleet)",
+            heuristic.accuracy,
+            "fraction",
+        ),
         Row::with_paper(
             "C9",
             "previous-day heuristic accuracy (stable servers)",

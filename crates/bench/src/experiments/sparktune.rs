@@ -37,7 +37,12 @@ pub fn run() -> Vec<Row> {
         untouched.global_start_regret,
         "fraction over oracle",
     ));
-    rows.push(Row::measured_only("C11", "applications tuned", apps.len() as f64, "apps"));
+    rows.push(Row::measured_only(
+        "C11",
+        "applications tuned",
+        apps.len() as f64,
+        "apps",
+    ));
     rows
 }
 

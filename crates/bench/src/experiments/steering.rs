@@ -48,8 +48,12 @@ pub fn run_with(epochs: usize, config: SteeringConfig) -> Vec<Row> {
     by_template.retain(|_, v| v.len() >= 10);
 
     let true_cost = |plan: &LogicalPlan, rules: RuleSet| -> f64 {
-        let optimized = optimizer.optimize(plan, rules, &est).expect("plans validate");
-        cost_model.total_cost(&optimized.plan, &truth).expect("plans validate")
+        let optimized = optimizer
+            .optimize(plan, rules, &est)
+            .expect("plans validate");
+        cost_model
+            .total_cost(&optimized.plan, &truth)
+            .expect("plans validate")
     };
 
     let mut controller = SteeringController::new(RuleSet::all(), config);
@@ -59,8 +63,11 @@ pub fn run_with(epochs: usize, config: SteeringConfig) -> Vec<Row> {
             let chosen = controller.choose(sig);
             let deployed = controller.deployed(sig);
             let chosen_cost = true_cost(plan, chosen);
-            let deployed_cost =
-                if chosen == deployed { chosen_cost } else { true_cost(plan, deployed) };
+            let deployed_cost = if chosen == deployed {
+                chosen_cost
+            } else {
+                true_cost(plan, deployed)
+            };
             controller.observe(sig, chosen, chosen_cost, deployed_cost);
         }
     }
@@ -90,9 +97,24 @@ pub fn run_with(epochs: usize, config: SteeringConfig) -> Vec<Row> {
     };
 
     vec![
-        Row::measured_only("C4", "recurring templates managed", stats.templates as f64, "templates"),
-        Row::measured_only("C4", "templates steered off default", stats.templates_steered as f64, "templates"),
-        Row::measured_only("C4", "promotions (incremental steps)", stats.promotions as f64, "steps"),
+        Row::measured_only(
+            "C4",
+            "recurring templates managed",
+            stats.templates as f64,
+            "templates",
+        ),
+        Row::measured_only(
+            "C4",
+            "templates steered off default",
+            stats.templates_steered as f64,
+            "templates",
+        ),
+        Row::measured_only(
+            "C4",
+            "promotions (incremental steps)",
+            stats.promotions as f64,
+            "steps",
+        ),
         Row::measured_only(
             "C4",
             "candidates blocked by validation model",
@@ -125,7 +147,12 @@ mod tests {
     #[test]
     fn c4_steering_improves_without_regressions() {
         let rows = super::run();
-        let get = |m: &str| rows.iter().find(|r| r.metric.starts_with(m)).unwrap().measured;
+        let get = |m: &str| {
+            rows.iter()
+                .find(|r| r.metric.starts_with(m))
+                .unwrap()
+                .measured
+        };
         assert_eq!(get("deployed regressions"), 0.0);
         assert!(get("recurring templates managed") >= 10.0);
         // Steering should find at least one template to improve, and the

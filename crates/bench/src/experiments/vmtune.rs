@@ -16,9 +16,24 @@ pub fn run() -> Vec<Row> {
     let mlos = mlos_tune(&bench, 10, 15, 21).expect("tuning succeeds");
     let random = random_tune(&bench, mlos.runs_spent, 21);
     vec![
-        Row::measured_only("C14", "configuration grid size", grid_size as f64, "configs"),
-        Row::measured_only("C14", "benchmark runs spent (MLOS)", mlos.runs_spent as f64, "runs"),
-        Row::measured_only("C14", "MLOS throughput vs oracle", mlos.fraction_of_oracle, "fraction"),
+        Row::measured_only(
+            "C14",
+            "configuration grid size",
+            grid_size as f64,
+            "configs",
+        ),
+        Row::measured_only(
+            "C14",
+            "benchmark runs spent (MLOS)",
+            mlos.runs_spent as f64,
+            "runs",
+        ),
+        Row::measured_only(
+            "C14",
+            "MLOS throughput vs oracle",
+            mlos.fraction_of_oracle,
+            "fraction",
+        ),
         Row::measured_only(
             "C14",
             "random search vs oracle (equal budget)",
@@ -31,8 +46,18 @@ pub fn run() -> Vec<Row> {
             1.0 - mlos.runs_spent as f64 / grid_size as f64,
             "fraction",
         ),
-        Row::measured_only("C14", "tuned backlog", mlos.best.backlog as f64, "connections"),
-        Row::measured_only("C14", "tuned dirty ratio", mlos.best.dirty_ratio as f64, "percent"),
+        Row::measured_only(
+            "C14",
+            "tuned backlog",
+            mlos.best.backlog as f64,
+            "connections",
+        ),
+        Row::measured_only(
+            "C14",
+            "tuned dirty ratio",
+            mlos.best.dirty_ratio as f64,
+            "percent",
+        ),
     ]
 }
 
@@ -44,6 +69,9 @@ mod tests {
         let get = |m: &str| rows.iter().find(|r| r.metric == m).unwrap().measured;
         assert!(get("MLOS throughput vs oracle") > 0.95);
         assert!(get("run-budget saving vs exhaustive") > 0.7);
-        assert!(get("MLOS throughput vs oracle") >= get("random search vs oracle (equal budget)") - 0.02);
+        assert!(
+            get("MLOS throughput vs oracle")
+                >= get("random search vs oracle (equal budget)") - 0.02
+        );
     }
 }

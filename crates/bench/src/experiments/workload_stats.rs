@@ -12,7 +12,11 @@ use adas_workload::gen::{GeneratorConfig, WorkloadGenerator};
 
 /// Runs the experiment.
 pub fn run() -> Vec<Row> {
-    let config = GeneratorConfig { days: 10, jobs_per_day: 1000, ..Default::default() };
+    let config = GeneratorConfig {
+        days: 10,
+        jobs_per_day: 1000,
+        ..Default::default()
+    };
     let workload = WorkloadGenerator::new(config)
         .expect("default-based config is valid")
         .generate()
@@ -20,7 +24,13 @@ pub fn run() -> Vec<Row> {
     let analysis = WorkloadAnalysis::analyze(&workload.trace);
     let stats = analysis.stats();
     vec![
-        Row::with_paper("C1", "recurring job fraction", 0.60, stats.recurring_fraction, "fraction (paper: >0.60)"),
+        Row::with_paper(
+            "C1",
+            "recurring job fraction",
+            0.60,
+            stats.recurring_fraction,
+            "fraction (paper: >0.60)",
+        ),
         Row::with_paper(
             "C1",
             "jobs sharing a subexpression",
@@ -36,7 +46,12 @@ pub fn run() -> Vec<Row> {
             "fraction",
         ),
         Row::measured_only("C1", "total jobs", stats.total_jobs as f64, "jobs"),
-        Row::measured_only("C1", "distinct templates", stats.distinct_templates as f64, "templates"),
+        Row::measured_only(
+            "C1",
+            "distinct templates",
+            stats.distinct_templates as f64,
+            "templates",
+        ),
         Row::measured_only(
             "C1",
             "recurring templates forecastable",

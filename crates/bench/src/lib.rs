@@ -41,7 +41,13 @@ impl Row {
         measured: f64,
         unit: &'static str,
     ) -> Self {
-        Self { experiment, metric: metric.into(), paper: Some(paper), measured, unit }
+        Self {
+            experiment,
+            metric: metric.into(),
+            paper: Some(paper),
+            measured,
+            unit,
+        }
     }
 
     /// Creates a row the paper has no direct number for (shape-only).
@@ -51,7 +57,13 @@ impl Row {
         measured: f64,
         unit: &'static str,
     ) -> Self {
-        Self { experiment, metric: metric.into(), paper: None, measured, unit }
+        Self {
+            experiment,
+            metric: metric.into(),
+            paper: None,
+            measured,
+            unit,
+        }
     }
 }
 

@@ -66,7 +66,11 @@ impl CheckpointPlan {
 
     /// An empty plan (no checkpoints) for baseline comparisons.
     pub fn empty() -> Self {
-        Self { stages: Vec::new(), predicted_bytes: 0.0, cut_times: Vec::new() }
+        Self {
+            stages: Vec::new(),
+            predicted_bytes: 0.0,
+            cut_times: Vec::new(),
+        }
     }
 }
 
@@ -170,7 +174,11 @@ pub fn plan_checkpoints(
     let mut stages: Vec<StageId> = chosen_stages.into_iter().collect();
     stages.sort();
     let predicted_bytes = stages.iter().map(|s| forecast.output_bytes[s.0]).sum();
-    CheckpointPlan { stages, predicted_bytes, cut_times }
+    CheckpointPlan {
+        stages,
+        predicted_bytes,
+        cut_times,
+    }
 }
 
 /// Evaluation of a checkpoint plan against the no-checkpoint baseline
@@ -229,7 +237,13 @@ pub fn evaluate(
 
     let charged = charge_ckpt_io(dag, plan, plan_cost_rate(plan))?;
     let ckpt_set = plan.stage_set();
-    let ckpt = sim.run(&charged, &SimOptions { checkpointed: ckpt_set.clone(), precomputed: HashSet::new() })?;
+    let ckpt = sim.run(
+        &charged,
+        &SimOptions {
+            checkpointed: ckpt_set.clone(),
+            precomputed: HashSet::new(),
+        },
+    )?;
     let (_, ckpt_recovery) = sim.run_with_failure(&charged, &ckpt_set, failure_at)?;
 
     let rel = |from: f64, to: f64| if from > 0.0 { (from - to) / from } else { 0.0 };
@@ -302,7 +316,10 @@ mod tests {
     fn plan_selects_nonempty_cut_in_window() {
         let (dag, forecast) = setup();
         // Disable hotspot relief so only the temporal cut remains.
-        let config = PhoebeConfig { hotspot_threshold: 2.0, ..Default::default() };
+        let config = PhoebeConfig {
+            hotspot_threshold: 2.0,
+            ..Default::default()
+        };
         let plan = plan_checkpoints(&dag, &forecast, &config);
         assert!(!plan.stages.is_empty());
         assert!(plan.predicted_bytes > 0.0);
@@ -312,7 +329,9 @@ mod tests {
         let consumers = dag.consumers();
         for id in &plan.stages {
             assert!(forecast.end[id.0] <= plan.cut_times[0] + 1e-9);
-            assert!(consumers[id.0].iter().any(|c| forecast.end[c.0] > plan.cut_times[0]));
+            assert!(consumers[id.0]
+                .iter()
+                .any(|c| forecast.end[c.0] > plan.cut_times[0]));
         }
     }
 
@@ -322,12 +341,19 @@ mod tests {
         let one = plan_checkpoints(
             &dag,
             &forecast,
-            &PhoebeConfig { hotspot_threshold: 2.0, ..Default::default() },
+            &PhoebeConfig {
+                hotspot_threshold: 2.0,
+                ..Default::default()
+            },
         );
         let two = plan_checkpoints(
             &dag,
             &forecast,
-            &PhoebeConfig { max_cuts: 2, hotspot_threshold: 2.0, ..Default::default() },
+            &PhoebeConfig {
+                max_cuts: 2,
+                hotspot_threshold: 2.0,
+                ..Default::default()
+            },
         );
         assert!(two.stages.len() >= one.stages.len());
     }
@@ -338,7 +364,10 @@ mod tests {
         let plan = plan_checkpoints(
             &dag,
             &forecast,
-            &PhoebeConfig { max_cuts: 0, ..Default::default() },
+            &PhoebeConfig {
+                max_cuts: 0,
+                ..Default::default()
+            },
         );
         assert_eq!(plan, CheckpointPlan::empty());
     }
@@ -357,10 +386,15 @@ mod tests {
     #[test]
     fn empty_plan_is_a_noop() {
         let (dag, _) = setup();
-        let report = evaluate(&dag, &CheckpointPlan::empty(), ClusterConfig::default(), 0.8).unwrap();
+        let report = evaluate(
+            &dag,
+            &CheckpointPlan::empty(),
+            ClusterConfig::default(),
+            0.8,
+        )
+        .unwrap();
         assert_eq!(report.hotspot_reduction, 0.0);
         assert_eq!(report.slowdown, 0.0);
         assert!(report.restart_speedup.abs() < 1e-9);
     }
 }
-

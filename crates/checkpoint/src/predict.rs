@@ -71,9 +71,7 @@ impl StagePredictor {
             for stage in dag.stages() {
                 let idx = stage.id.0;
                 features.push(stage_features(stage));
-                durations.push(
-                    (report.stage_finish[idx] - report.stage_start[idx]).max(0.0),
-                );
+                durations.push((report.stage_finish[idx] - report.stage_start[idx]).max(0.0));
                 bytes.push(stage.output_bytes.max(1.0).ln());
             }
         }
@@ -89,7 +87,10 @@ impl StagePredictor {
         )?;
         let bytes_model =
             GradientBoosting::fit(&Dataset::new(features, bytes)?, GbmConfig::default())?;
-        Ok(Self { duration_model, bytes_model })
+        Ok(Self {
+            duration_model,
+            bytes_model,
+        })
     }
 
     /// Forecasts a DAG: per-stage duration and output size from the models,
@@ -112,7 +113,12 @@ impl StagePredictor {
             start[idx] = ready;
             end[idx] = ready + duration[idx];
         }
-        StageForecast { duration, output_bytes, start, end }
+        StageForecast {
+            duration,
+            output_bytes,
+            start,
+            end,
+        }
     }
 }
 
@@ -147,8 +153,7 @@ mod tests {
     #[test]
     fn predictor_learns_duration_scale() {
         let material = training_material();
-        let refs: Vec<(&StageDag, &ExecReport)> =
-            material.iter().map(|(d, r)| (d, r)).collect();
+        let refs: Vec<(&StageDag, &ExecReport)> = material.iter().map(|(d, r)| (d, r)).collect();
         let predictor = StagePredictor::train(&refs).unwrap();
         let (dag, report) = &material[2];
         let forecast = predictor.forecast(dag);
@@ -161,8 +166,7 @@ mod tests {
     #[test]
     fn forecast_respects_dependencies() {
         let material = training_material();
-        let refs: Vec<(&StageDag, &ExecReport)> =
-            material.iter().map(|(d, r)| (d, r)).collect();
+        let refs: Vec<(&StageDag, &ExecReport)> = material.iter().map(|(d, r)| (d, r)).collect();
         let predictor = StagePredictor::train(&refs).unwrap();
         let (dag, _) = &material[0];
         let f = predictor.forecast(dag);
@@ -182,8 +186,7 @@ mod tests {
     #[test]
     fn output_bytes_positive() {
         let material = training_material();
-        let refs: Vec<(&StageDag, &ExecReport)> =
-            material.iter().map(|(d, r)| (d, r)).collect();
+        let refs: Vec<(&StageDag, &ExecReport)> = material.iter().map(|(d, r)| (d, r)).collect();
         let predictor = StagePredictor::train(&refs).unwrap();
         let f = predictor.forecast(&material[4].0);
         assert!(f.output_bytes.iter().all(|&b| b >= 0.0));

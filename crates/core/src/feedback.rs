@@ -34,13 +34,19 @@ pub struct ModelRegistry<M> {
 impl<M: Clone> ModelRegistry<M> {
     /// Creates an empty registry.
     pub fn new() -> Self {
-        Self { versions: Vec::new() }
+        Self {
+            versions: Vec::new(),
+        }
     }
 
     /// Deploys a new version; returns its version number.
     pub fn deploy(&mut self, model: M, deployment_error: f64) -> u64 {
         let version = self.versions.last().map_or(1, |v| v.version + 1);
-        self.versions.push(ModelVersion { version, model, deployment_error });
+        self.versions.push(ModelVersion {
+            version,
+            model,
+            deployment_error,
+        });
         version
     }
 
@@ -102,7 +108,11 @@ pub struct LoopConfig {
 
 impl Default for LoopConfig {
     fn default() -> Self {
-        Self { window: 50, retrain_factor: 1.5, rollback_factor: 3.0 }
+        Self {
+            window: 50,
+            retrain_factor: 1.5,
+            rollback_factor: 3.0,
+        }
     }
 }
 
@@ -116,12 +126,20 @@ pub struct FeedbackLoop {
 impl FeedbackLoop {
     /// Creates a loop with the given configuration.
     pub fn new(config: LoopConfig) -> Self {
-        Self { config, recent: VecDeque::with_capacity(config.window) }
+        Self {
+            config,
+            recent: VecDeque::with_capacity(config.window),
+        }
     }
 
     /// Records one `(prediction, actual)` pair and returns the verdict
     /// against the deployed version's `deployment_error`.
-    pub fn observe(&mut self, prediction: f64, actual: f64, deployment_error: f64) -> MonitorVerdict {
+    pub fn observe(
+        &mut self,
+        prediction: f64,
+        actual: f64,
+        deployment_error: f64,
+    ) -> MonitorVerdict {
         let err = (prediction - actual).abs();
         if self.recent.len() == self.config.window {
             self.recent.pop_front();
@@ -190,7 +208,10 @@ mod tests {
 
     #[test]
     fn loop_warms_then_judges() {
-        let mut fl = FeedbackLoop::new(LoopConfig { window: 5, ..Default::default() });
+        let mut fl = FeedbackLoop::new(LoopConfig {
+            window: 5,
+            ..Default::default()
+        });
         for _ in 0..4 {
             assert_eq!(fl.observe(1.0, 1.05, 0.05), MonitorVerdict::Warming);
         }
@@ -200,7 +221,11 @@ mod tests {
 
     #[test]
     fn drift_escalates_to_retrain_then_rollback() {
-        let config = LoopConfig { window: 5, retrain_factor: 1.5, rollback_factor: 3.0 };
+        let config = LoopConfig {
+            window: 5,
+            retrain_factor: 1.5,
+            rollback_factor: 3.0,
+        };
         let mut fl = FeedbackLoop::new(config);
         // Deployment error 0.1; live error 0.2 → retrain zone.
         for _ in 0..4 {
@@ -222,14 +247,16 @@ mod tests {
         let mut reg = ModelRegistry::new();
         reg.deploy(1.0f64, 0.02); // model = constant predictor value
         reg.deploy(5.0f64, 0.02); // bad model deployed with optimistic error
-        let mut fl = FeedbackLoop::new(LoopConfig { window: 10, ..Default::default() });
+        let mut fl = FeedbackLoop::new(LoopConfig {
+            window: 10,
+            ..Default::default()
+        });
         let mut rolled_back = false;
         for _ in 0..20 {
             let current = reg.current().unwrap();
             let prediction = current.model;
             let actual = 1.0; // the world still looks like v1
-            if fl.observe(prediction, actual, current.deployment_error)
-                == MonitorVerdict::Rollback
+            if fl.observe(prediction, actual, current.deployment_error) == MonitorVerdict::Rollback
             {
                 reg.rollback();
                 fl.reset();

@@ -98,12 +98,14 @@ where
     /// Predicts for `(entity, segment)` and reports which scope served it.
     pub fn predict(&self, entity: u64, segment: u64, features: &[f64]) -> (f64, ModelScope) {
         match self.scope_for(entity, segment) {
-            ModelScope::Individual => {
-                (self.individuals[&entity].predict(features), ModelScope::Individual)
-            }
-            ModelScope::Segment => {
-                (self.segments[&segment].predict(features), ModelScope::Segment)
-            }
+            ModelScope::Individual => (
+                self.individuals[&entity].predict(features),
+                ModelScope::Individual,
+            ),
+            ModelScope::Segment => (
+                self.segments[&segment].predict(features),
+                ModelScope::Segment,
+            ),
             ModelScope::Global => (self.global.predict(features), ModelScope::Global),
         }
     }
@@ -201,7 +203,12 @@ pub struct HierarchicalTrainer {
 impl HierarchicalTrainer {
     /// Creates a trainer with the given promotion thresholds.
     pub fn new(min_segment: usize, min_individual: usize) -> Self {
-        Self { observations: Vec::new(), router: None, min_segment, min_individual }
+        Self {
+            observations: Vec::new(),
+            router: None,
+            min_segment,
+            min_individual,
+        }
     }
 
     /// Records one observation (call [`Self::refit`] to rebuild models).
@@ -266,8 +273,15 @@ impl HierarchicalTrainer {
 
     /// Predicts for `(entity, segment)` using the most specific trained
     /// scope; `None` until the first successful [`Self::refit`].
-    pub fn predict(&self, entity: u64, segment: u64, features: &[f64]) -> Option<(f64, ModelScope)> {
-        self.router.as_ref().map(|r| r.predict(entity, segment, features))
+    pub fn predict(
+        &self,
+        entity: u64,
+        segment: u64,
+        features: &[f64],
+    ) -> Option<(f64, ModelScope)> {
+        self.router
+            .as_ref()
+            .map(|r| r.predict(entity, segment, features))
     }
 }
 
@@ -295,7 +309,12 @@ mod trainer_tests {
         }
         for i in 0..12 {
             let x = i as f64 + 1.0;
-            out.push(Observation { entity: 99, segment: 0, features: vec![x], target: 10.0 * x });
+            out.push(Observation {
+                entity: 99,
+                segment: 0,
+                features: vec![x],
+                target: 10.0 * x,
+            });
         }
         out
     }
@@ -344,7 +363,10 @@ mod trainer_tests {
             });
         }
         trainer.refit();
-        assert_eq!(trainer.predict(1, 1, &[1.0]).expect("fitted").1, ModelScope::Global);
+        assert_eq!(
+            trainer.predict(1, 1, &[1.0]).expect("fitted").1,
+            ModelScope::Global
+        );
         // 7 more: segment appears (>= 6), then individual (>= 10).
         for i in 3..10 {
             trainer.observe(Observation {
@@ -355,6 +377,9 @@ mod trainer_tests {
             });
         }
         trainer.refit();
-        assert_eq!(trainer.predict(1, 1, &[1.0]).expect("fitted").1, ModelScope::Individual);
+        assert_eq!(
+            trainer.predict(1, 1, &[1.0]).expect("fitted").1,
+            ModelScope::Individual
+        );
     }
 }

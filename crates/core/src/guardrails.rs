@@ -54,9 +54,7 @@ pub struct RegressionGuard {
 
 impl Guardrail for RegressionGuard {
     fn check(&self, d: &Decision) -> Verdict {
-        if d.baseline_perf > 0.0
-            && d.predicted_perf > d.baseline_perf * (1.0 + self.tolerance)
-        {
+        if d.baseline_perf > 0.0 && d.predicted_perf > d.baseline_perf * (1.0 + self.tolerance) {
             Verdict::Block(format!(
                 "regression guard: predicted perf {:.3} exceeds baseline {:.3} by more than {:.0}%",
                 d.predicted_perf,
@@ -246,10 +244,15 @@ mod tests {
         for g in 0..3u32 {
             for _ in 0..10 {
                 let perf = if g == 2 { 110.0 } else { 80.0 };
-                decisions.push(Decision { group: g, ..decision(perf, 10.0) });
+                decisions.push(Decision {
+                    group: g,
+                    ..decision(perf, 10.0)
+                });
             }
         }
-        let check = FairnessCheck { max_disparity: 0.15 };
+        let check = FairnessCheck {
+            max_disparity: 0.15,
+        };
         let (outcomes, flagged) = check.flag_groups(&decisions);
         assert_eq!(outcomes.len(), 3);
         assert_eq!(flagged, vec![2]);
@@ -258,8 +261,12 @@ mod tests {
 
     #[test]
     fn fairness_quiet_when_balanced() {
-        let decisions: Vec<Decision> =
-            (0..20).map(|i| Decision { group: i % 4, ..decision(85.0, 10.0) }).collect();
+        let decisions: Vec<Decision> = (0..20)
+            .map(|i| Decision {
+                group: i % 4,
+                ..decision(85.0, 10.0)
+            })
+            .collect();
         let check = FairnessCheck { max_disparity: 0.1 };
         let (_, flagged) = check.flag_groups(&decisions);
         assert!(flagged.is_empty());

@@ -28,8 +28,14 @@ pub struct Component {
 impl Component {
     /// Creates a component.
     pub fn new(name: &str, candidates: Vec<f64>) -> Self {
-        assert!(!candidates.is_empty(), "component needs at least one candidate");
-        Self { name: name.to_string(), candidates }
+        assert!(
+            !candidates.is_empty(),
+            "component needs at least one candidate"
+        );
+        Self {
+            name: name.to_string(),
+            candidates,
+        }
     }
 }
 
@@ -81,7 +87,12 @@ pub fn sequential_optimize(
         settings[i] = best_for_component(i, &settings, c, &objective, &mut evaluations);
     }
     let objective_value = objective(&settings);
-    JointReport { settings, objective: objective_value, rounds: 1, evaluations }
+    JointReport {
+        settings,
+        objective: objective_value,
+        rounds: 1,
+        evaluations,
+    }
 }
 
 /// Coordinate descent to a fixpoint (or `max_rounds`): components keep
@@ -105,7 +116,12 @@ pub fn joint_optimize(
         }
     }
     let objective_value = objective(&settings);
-    JointReport { settings, objective: objective_value, rounds, evaluations }
+    JointReport {
+        settings,
+        objective: objective_value,
+        rounds,
+        evaluations,
+    }
 }
 
 #[cfg(test)]

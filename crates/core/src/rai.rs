@@ -56,9 +56,12 @@ pub struct CheckItem {
     pub required: bool,
     /// Automated check over the decision batch, if one exists; manual items
     /// hold `None` and are resolved by [`Assessment::attest`].
-    check: Option<Box<dyn Fn(&[Decision]) -> ItemStatus + Send + Sync>>,
+    check: Option<BatchCheck>,
     status: ItemStatus,
 }
+
+/// An automated check over a decision batch.
+type BatchCheck = Box<dyn Fn(&[Decision]) -> ItemStatus + Send + Sync>;
 
 /// Overall assessment state.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize)]
@@ -81,7 +84,10 @@ pub struct Assessment {
 impl Assessment {
     /// Creates an empty assessment.
     pub fn new(project: &str) -> Self {
-        Self { project: project.to_string(), items: Vec::new() }
+        Self {
+            project: project.to_string(),
+            items: Vec::new(),
+        }
     }
 
     /// The standard assessment the paper's gate implies: automated
@@ -159,7 +165,13 @@ impl Assessment {
     }
 
     /// Adds a manual item.
-    pub fn add_manual(&mut self, id: &str, principle: Principle, description: &str, required: bool) {
+    pub fn add_manual(
+        &mut self,
+        id: &str,
+        principle: Principle,
+        description: &str,
+        required: bool,
+    ) {
         self.items.push(CheckItem {
             id: id.to_string(),
             principle,
@@ -182,7 +194,11 @@ impl Assessment {
     /// Records an expert attestation for a manual item. Returns false when
     /// the id is unknown or the item is automated.
     pub fn attest(&mut self, id: &str, passed: bool, note: &str) -> bool {
-        match self.items.iter_mut().find(|i| i.id == id && i.check.is_none()) {
+        match self
+            .items
+            .iter_mut()
+            .find(|i| i.id == id && i.check.is_none())
+        {
             Some(item) => {
                 item.status = if passed {
                     ItemStatus::Passed
@@ -241,17 +257,28 @@ mod tests {
         assert_eq!(a.status(), AssessmentStatus::Incomplete);
         let batch: Vec<Decision> = (0..12).map(|i| good_decision(i % 3)).collect();
         a.run_automated(&batch);
-        assert_eq!(a.status(), AssessmentStatus::Incomplete, "manual items still pending");
+        assert_eq!(
+            a.status(),
+            AssessmentStatus::Incomplete,
+            "manual items still pending"
+        );
         assert!(a.attest("privacy-review", true, ""));
         assert!(a.attest("transparency-docs", true, ""));
-        assert_eq!(a.status(), AssessmentStatus::Approved, "optional item may stay pending");
+        assert_eq!(
+            a.status(),
+            AssessmentStatus::Approved,
+            "optional item may stay pending"
+        );
     }
 
     #[test]
     fn guardrail_failure_rejects() {
         let mut a = Assessment::standard("doppler");
         let mut batch: Vec<Decision> = (0..5).map(|i| good_decision(i % 2)).collect();
-        batch.push(Decision { predicted_cost: 50.0, ..good_decision(0) }); // cost blowup
+        batch.push(Decision {
+            predicted_cost: 50.0,
+            ..good_decision(0)
+        }); // cost blowup
         a.run_automated(&batch);
         assert_eq!(a.status(), AssessmentStatus::Rejected);
     }
@@ -263,8 +290,14 @@ mod tests {
         for _ in 0..10 {
             // Group 0 improves 60%; group 1 mildly regresses (still inside
             // the 5% regression guard) — a >20pp fairness gap.
-            batch.push(Decision { predicted_perf: 40.0, ..good_decision(0) });
-            batch.push(Decision { predicted_perf: 104.0, ..good_decision(1) });
+            batch.push(Decision {
+                predicted_perf: 40.0,
+                ..good_decision(0)
+            });
+            batch.push(Decision {
+                predicted_perf: 104.0,
+                ..good_decision(1)
+            });
         }
         a.run_automated(&batch);
         assert_eq!(a.status(), AssessmentStatus::Rejected);
@@ -286,6 +319,9 @@ mod tests {
     fn attest_rejects_unknown_and_automated_items() {
         let mut a = Assessment::standard("x");
         assert!(!a.attest("nonexistent", true, ""));
-        assert!(!a.attest("group-fairness", true, ""), "automated items cannot be attested");
+        assert!(
+            !a.attest("group-fairness", true, ""),
+            "automated items cannot be attested"
+        );
     }
 }

@@ -79,7 +79,10 @@ impl AlgorithmStore {
 
     /// All entries in a category.
     pub fn by_category(&self, category: Category) -> Vec<&AlgorithmEntry> {
-        self.entries.iter().filter(|e| e.category == category).collect()
+        self.entries
+            .iter()
+            .filter(|e| e.category == category)
+            .collect()
     }
 
     /// Keyword search: each whitespace-separated query term scores 3 for a
@@ -115,56 +118,181 @@ impl AlgorithmStore {
     pub fn standard() -> Self {
         let mut store = Self::new();
         let entries = [
-            ("seasonal-naive", "Previous-period forecast; the Seagull 96% heuristic", Category::Forecasting,
-             vec!["forecast", "seasonal", "heuristic", "previous-day"], "adas_ml::forecast::SeasonalNaive"),
-            ("holt-winters", "Additive level/trend/seasonal exponential smoothing", Category::Forecasting,
-             vec!["forecast", "seasonal", "trend", "smoothing"], "adas_ml::forecast::HoltWinters"),
-            ("ols-linear", "Ordinary least squares / ridge linear regression", Category::Regression,
-             vec!["linear", "interpretable", "machine-behavior"], "adas_ml::linear::LinearRegression"),
-            ("decision-tree", "CART variance-reduction regression tree", Category::Regression,
-             vec!["tree", "interpretable"], "adas_ml::tree::DecisionTree"),
-            ("random-forest", "Bagged trees with feature subsampling", Category::Regression,
-             vec!["ensemble", "tree"], "adas_ml::forest::RandomForest"),
-            ("gradient-boosting", "Boosted shallow trees, squared loss", Category::Regression,
-             vec!["ensemble", "tree", "cost-model"], "adas_ml::gbm::GradientBoosting"),
-            ("kmeans", "K-means++ clustering for customer segmentation", Category::Classification,
-             vec!["cluster", "segment", "doppler"], "adas_ml::cluster::KMeans"),
-            ("logistic", "Binary logistic regression", Category::Classification,
-             vec!["classifier", "validation-model"], "adas_ml::logistic::LogisticRegression"),
-            ("knn", "Exact k-nearest-neighbour regression/classification", Category::Classification,
-             vec!["similarity", "profile"], "adas_ml::knn::KNearest"),
-            ("epsilon-greedy", "Epsilon-greedy bandit over discrete arms", Category::OnlineDecision,
-             vec!["bandit", "steering", "explore"], "adas_ml::bandit::EpsilonGreedy"),
-            ("linucb", "LinUCB contextual bandit", Category::OnlineDecision,
-             vec!["bandit", "contextual", "steering"], "adas_ml::bandit::LinUcb"),
-            ("hill-climb-tuner", "Iterative config tuning from a global-model start", Category::OnlineDecision,
-             vec!["tuning", "spark", "autotune"], "adas_service::sparktune::tune"),
-            ("plan-signature", "FNV-1a strict/template plan signatures", Category::WorkloadAnalysis,
-             vec!["signature", "subexpression", "cloudviews", "template"], "adas_workload::signature"),
-            ("workload-templatization", "Recurrence, sharing and dependency analysis", Category::WorkloadAnalysis,
-             vec!["peregrine", "template", "recurring"], "adas_workload::analyze::WorkloadAnalysis"),
-            ("cardinality-micromodels", "Per-template learned cardinality with pruning", Category::WorkloadAnalysis,
-             vec!["cardinality", "micromodel", "optimizer"], "adas_learned::cardinality::LearnedCardinality"),
-            ("checkpoint-cuts", "Phoebe stage-DAG checkpoint placement", Category::ResourceManagement,
-             vec!["checkpoint", "dag", "recovery", "temp-storage"], "adas_checkpoint::plan_checkpoints"),
-            ("low-load-window", "Lowest-load window detection for maintenance", Category::ResourceManagement,
-             vec!["backup", "seagull", "window"], "adas_telemetry::window::lowest_load_run"),
-            ("proactive-pool", "Forecast-driven warm-pool sizing", Category::ResourceManagement,
-             vec!["provisioning", "pool", "pareto", "serverless"], "adas_infra::provision"),
-            ("kea-caps", "Model-driven per-SKU container cap tuning", Category::ResourceManagement,
-             vec!["scheduler", "kea", "hotspot"], "adas_infra::kea::tune_caps"),
-            ("mlos-tuner", "Surrogate-model (forest + UCB) parameter search", Category::OnlineDecision,
-             vec!["mlos", "kernel", "surrogate", "bayesian"], "adas_infra::vmtune::mlos_tune"),
-            ("hedged-requests", "Hedge-delay derivation for tail-latency control", Category::ResourceManagement,
-             vec!["tail", "p99", "hedging", "cluster-init"], "adas_infra::initsim::derive_optimal_hedge"),
-            ("power-caps", "Model-driven rack power-budget allocation", Category::ResourceManagement,
-             vec!["power", "rack", "capping"], "adas_infra::power::allocate_power"),
-            ("predictive-autoscaler", "Forecast-ahead capacity scaling", Category::ResourceManagement,
-             vec!["autoscale", "forecast", "sla"], "adas_infra::autoscale::simulate_autoscaler"),
-            ("model-bundle", "Versioned portable model container (ONNX-style)", Category::WorkloadAnalysis,
-             vec!["interchange", "onnx", "deployment", "container"], "adas_ml::bundle::ModelBundle"),
-            ("plan-interchange", "Versioned cross-engine plan document (Substrait-style)", Category::WorkloadAnalysis,
-             vec!["interchange", "substrait", "plan"], "adas_workload::interchange::PlanDocument"),
+            (
+                "seasonal-naive",
+                "Previous-period forecast; the Seagull 96% heuristic",
+                Category::Forecasting,
+                vec!["forecast", "seasonal", "heuristic", "previous-day"],
+                "adas_ml::forecast::SeasonalNaive",
+            ),
+            (
+                "holt-winters",
+                "Additive level/trend/seasonal exponential smoothing",
+                Category::Forecasting,
+                vec!["forecast", "seasonal", "trend", "smoothing"],
+                "adas_ml::forecast::HoltWinters",
+            ),
+            (
+                "ols-linear",
+                "Ordinary least squares / ridge linear regression",
+                Category::Regression,
+                vec!["linear", "interpretable", "machine-behavior"],
+                "adas_ml::linear::LinearRegression",
+            ),
+            (
+                "decision-tree",
+                "CART variance-reduction regression tree",
+                Category::Regression,
+                vec!["tree", "interpretable"],
+                "adas_ml::tree::DecisionTree",
+            ),
+            (
+                "random-forest",
+                "Bagged trees with feature subsampling",
+                Category::Regression,
+                vec!["ensemble", "tree"],
+                "adas_ml::forest::RandomForest",
+            ),
+            (
+                "gradient-boosting",
+                "Boosted shallow trees, squared loss",
+                Category::Regression,
+                vec!["ensemble", "tree", "cost-model"],
+                "adas_ml::gbm::GradientBoosting",
+            ),
+            (
+                "kmeans",
+                "K-means++ clustering for customer segmentation",
+                Category::Classification,
+                vec!["cluster", "segment", "doppler"],
+                "adas_ml::cluster::KMeans",
+            ),
+            (
+                "logistic",
+                "Binary logistic regression",
+                Category::Classification,
+                vec!["classifier", "validation-model"],
+                "adas_ml::logistic::LogisticRegression",
+            ),
+            (
+                "knn",
+                "Exact k-nearest-neighbour regression/classification",
+                Category::Classification,
+                vec!["similarity", "profile"],
+                "adas_ml::knn::KNearest",
+            ),
+            (
+                "epsilon-greedy",
+                "Epsilon-greedy bandit over discrete arms",
+                Category::OnlineDecision,
+                vec!["bandit", "steering", "explore"],
+                "adas_ml::bandit::EpsilonGreedy",
+            ),
+            (
+                "linucb",
+                "LinUCB contextual bandit",
+                Category::OnlineDecision,
+                vec!["bandit", "contextual", "steering"],
+                "adas_ml::bandit::LinUcb",
+            ),
+            (
+                "hill-climb-tuner",
+                "Iterative config tuning from a global-model start",
+                Category::OnlineDecision,
+                vec!["tuning", "spark", "autotune"],
+                "adas_service::sparktune::tune",
+            ),
+            (
+                "plan-signature",
+                "FNV-1a strict/template plan signatures",
+                Category::WorkloadAnalysis,
+                vec!["signature", "subexpression", "cloudviews", "template"],
+                "adas_workload::signature",
+            ),
+            (
+                "workload-templatization",
+                "Recurrence, sharing and dependency analysis",
+                Category::WorkloadAnalysis,
+                vec!["peregrine", "template", "recurring"],
+                "adas_workload::analyze::WorkloadAnalysis",
+            ),
+            (
+                "cardinality-micromodels",
+                "Per-template learned cardinality with pruning",
+                Category::WorkloadAnalysis,
+                vec!["cardinality", "micromodel", "optimizer"],
+                "adas_learned::cardinality::LearnedCardinality",
+            ),
+            (
+                "checkpoint-cuts",
+                "Phoebe stage-DAG checkpoint placement",
+                Category::ResourceManagement,
+                vec!["checkpoint", "dag", "recovery", "temp-storage"],
+                "adas_checkpoint::plan_checkpoints",
+            ),
+            (
+                "low-load-window",
+                "Lowest-load window detection for maintenance",
+                Category::ResourceManagement,
+                vec!["backup", "seagull", "window"],
+                "adas_telemetry::window::lowest_load_run",
+            ),
+            (
+                "proactive-pool",
+                "Forecast-driven warm-pool sizing",
+                Category::ResourceManagement,
+                vec!["provisioning", "pool", "pareto", "serverless"],
+                "adas_infra::provision",
+            ),
+            (
+                "kea-caps",
+                "Model-driven per-SKU container cap tuning",
+                Category::ResourceManagement,
+                vec!["scheduler", "kea", "hotspot"],
+                "adas_infra::kea::tune_caps",
+            ),
+            (
+                "mlos-tuner",
+                "Surrogate-model (forest + UCB) parameter search",
+                Category::OnlineDecision,
+                vec!["mlos", "kernel", "surrogate", "bayesian"],
+                "adas_infra::vmtune::mlos_tune",
+            ),
+            (
+                "hedged-requests",
+                "Hedge-delay derivation for tail-latency control",
+                Category::ResourceManagement,
+                vec!["tail", "p99", "hedging", "cluster-init"],
+                "adas_infra::initsim::derive_optimal_hedge",
+            ),
+            (
+                "power-caps",
+                "Model-driven rack power-budget allocation",
+                Category::ResourceManagement,
+                vec!["power", "rack", "capping"],
+                "adas_infra::power::allocate_power",
+            ),
+            (
+                "predictive-autoscaler",
+                "Forecast-ahead capacity scaling",
+                Category::ResourceManagement,
+                vec!["autoscale", "forecast", "sla"],
+                "adas_infra::autoscale::simulate_autoscaler",
+            ),
+            (
+                "model-bundle",
+                "Versioned portable model container (ONNX-style)",
+                Category::WorkloadAnalysis,
+                vec!["interchange", "onnx", "deployment", "container"],
+                "adas_ml::bundle::ModelBundle",
+            ),
+            (
+                "plan-interchange",
+                "Versioned cross-engine plan document (Substrait-style)",
+                Category::WorkloadAnalysis,
+                vec!["interchange", "substrait", "plan"],
+                "adas_workload::interchange::PlanDocument",
+            ),
         ];
         for (name, desc, category, tags, implementation) in entries {
             store.register(AlgorithmEntry {

@@ -12,7 +12,7 @@
 use crate::Result;
 use adas_workload::catalog::{Catalog, ColumnMeta};
 use adas_workload::plan::{CmpOp, LogicalPlan, PlanKind, Predicate};
-use adas_workload::signature::{template_signature, Fnv1a};
+use adas_workload::signature::{template_signature_in, Fnv1a};
 
 /// A model that annotates every node of a plan with an output-row estimate.
 pub trait CardinalityModel {
@@ -63,8 +63,7 @@ fn true_selectivity(meta: &ColumnMeta, op: CmpOp, value: i64) -> f64 {
         CmpOp::Le => mass_below(frac_below_incl),
         CmpOp::Gt => 1.0 - mass_below(frac_below_incl),
         CmpOp::Ge => 1.0 - mass_below(frac_below),
-        CmpOp::Eq => (mass_below(frac_below_incl) - mass_below(frac_below))
-            .max(1e-12 / span),
+        CmpOp::Eq => (mass_below(frac_below_incl) - mass_below(frac_below)).max(1e-12 / span),
     }
     .clamp(0.0, 1.0)
 }
@@ -89,12 +88,14 @@ fn predicate_selectivity(
 }
 
 /// Deterministic per-subplan correlation multiplier in `[1/6, 6.0]`,
-/// keyed by the subplan's template signature. Stands in for the data
-/// correlations (cross-predicate, join-key) that break the independence
-/// assumption in real workloads, while staying identical across instances
-/// of one template.
-fn correlation_factor(plan: &LogicalPlan) -> f64 {
-    let sig = template_signature(plan).0;
+/// keyed by the subplan's template signature (with view scans expanded to
+/// the plans they materialize, so the factor — and hence "true" cost — is
+/// invariant under view rewrites). Stands in for the data correlations
+/// (cross-predicate, join-key) that break the independence assumption in
+/// real workloads, while staying identical across instances of one
+/// template.
+fn correlation_factor(plan: &LogicalPlan, catalog: &Catalog) -> f64 {
+    let sig = template_signature_in(plan, catalog).0;
     let mut h = Fnv1a::new();
     h.write_u64(sig);
     h.write(b"corr");
@@ -117,15 +118,13 @@ fn annotate_node(
             let child_slot = out.len();
             annotate_node(catalog, &plan.children[0], truth, out)?;
             let child_rows = out[child_slot];
-            let table = plan
-                .base_table()
-                .ok_or_else(|| adas_workload::WorkloadError::MalformedPlan(
-                    "filter without base table".into(),
-                ))?;
+            let table = plan.base_table().ok_or_else(|| {
+                adas_workload::WorkloadError::MalformedPlan("filter without base table".into())
+            })?;
             let sel = predicate_selectivity(catalog, table, predicate, truth)?;
             let mut rows = child_rows * sel;
             if truth {
-                rows *= correlation_factor(plan);
+                rows *= correlation_factor(plan, catalog);
             }
             rows.min(child_rows)
         }
@@ -134,7 +133,10 @@ fn annotate_node(
             annotate_node(catalog, &plan.children[0], truth, out)?;
             out[child_slot]
         }
-        PlanKind::Join { left_key, right_key } => {
+        PlanKind::Join {
+            left_key,
+            right_key,
+        } => {
             let left_slot = out.len();
             annotate_node(catalog, &plan.children[0], truth, out)?;
             let right_slot = out.len();
@@ -146,7 +148,9 @@ fn annotate_node(
             // rewrites that rebind columns.
             let side_ndv = |side: usize, key: usize| -> Result<f64> {
                 let table = plan.children[side].base_table().ok_or_else(|| {
-                    adas_workload::WorkloadError::MalformedPlan("join side without base table".into())
+                    adas_workload::WorkloadError::MalformedPlan(
+                        "join side without base table".into(),
+                    )
                 })?;
                 Ok(catalog.table(table)?.column(key)?.distinct as f64)
             };
@@ -154,7 +158,7 @@ fn annotate_node(
             let r_ndv = side_ndv(1, *right_key)?;
             let mut rows = l * r / l_ndv.max(r_ndv).max(1.0);
             if truth {
-                rows *= correlation_factor(plan);
+                rows *= correlation_factor(plan, catalog);
             }
             rows.min(l * r)
         }
@@ -241,8 +245,14 @@ mod tests {
     fn scan_estimates_table_rows() {
         let c = catalog();
         let plan = LogicalPlan::scan("events");
-        assert_eq!(DefaultEstimator::new(&c).estimate(&plan).unwrap(), 50_000_000.0);
-        assert_eq!(TrueCardinality::new(&c).estimate(&plan).unwrap(), 50_000_000.0);
+        assert_eq!(
+            DefaultEstimator::new(&c).estimate(&plan).unwrap(),
+            50_000_000.0
+        );
+        assert_eq!(
+            TrueCardinality::new(&c).estimate(&plan).unwrap(),
+            50_000_000.0
+        );
     }
 
     #[test]
@@ -333,10 +343,44 @@ mod tests {
 
     #[test]
     fn correlation_factor_bounded_and_deterministic() {
+        let c = catalog();
         let plan = LogicalPlan::scan("events").filter(Predicate::single(1, CmpOp::Eq, 3));
-        let f1 = correlation_factor(&plan);
-        let f2 = correlation_factor(&plan);
+        let f1 = correlation_factor(&plan, &c);
+        let f2 = correlation_factor(&plan, &c);
         assert_eq!(f1, f2);
         assert!((1.0 / 6.0..=6.0).contains(&f1));
+    }
+
+    #[test]
+    fn truth_invariant_under_view_rewrite() {
+        // Replacing a subtree with a scan of a view registered for it must
+        // not change the true cardinality of enclosing nodes.
+        let c = catalog();
+        let subtree = LogicalPlan::scan("telemetry").filter(Predicate::single(2, CmpOp::Le, 100));
+        let original = LogicalPlan::join(subtree.clone(), LogicalPlan::scan("telemetry"), 1, 0);
+        let original_rows = TrueCardinality::new(&c).estimate(&original).unwrap();
+
+        let mut extended = c.clone();
+        let view_rows = TrueCardinality::new(&c).estimate(&subtree).unwrap();
+        extended.add_table(adas_workload::catalog::TableMeta {
+            name: "view_t".into(),
+            rows: view_rows as u64,
+            columns: c.table("telemetry").unwrap().columns.clone(),
+        });
+        extended.register_view("view_t", subtree);
+        let rewritten = LogicalPlan::join(
+            LogicalPlan::scan("view_t"),
+            LogicalPlan::scan("telemetry"),
+            1,
+            0,
+        );
+        let rewritten_rows = TrueCardinality::new(&extended)
+            .estimate(&rewritten)
+            .unwrap();
+        let rel = (rewritten_rows - original_rows).abs() / original_rows;
+        assert!(
+            rel < 1e-6,
+            "view rewrite changed truth: {original_rows} vs {rewritten_rows}"
+        );
     }
 }

@@ -48,7 +48,7 @@ impl Default for CostWeights {
 }
 
 /// Cost model parameterized by unit weights and a cardinality model.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct CostModel {
     weights: CostWeights,
 }
@@ -60,12 +60,6 @@ pub struct CostBreakdown {
     pub per_node: Vec<f64>,
     /// Sum of per-node costs.
     pub total: f64,
-}
-
-impl Default for CostModel {
-    fn default() -> Self {
-        Self { weights: CostWeights::default() }
-    }
 }
 
 impl CostModel {
@@ -124,10 +118,7 @@ impl CostModel {
                 // *estimated* cardinalities, which is exactly the decision
                 // rule-hint steering learns to overrule when the estimates
                 // mislead.
-                w.join_build * l
-                    + w.join_probe * r
-                    + w.join_output * out_rows
-                    + w.shuffle * (l + r)
+                w.join_build * l + w.join_probe * r + w.join_output * out_rows + w.shuffle * (l + r)
             }
             PlanKind::Aggregate { .. } => {
                 let input = rows[child_indices[0]];
@@ -152,8 +143,12 @@ mod tests {
         let c = Catalog::standard();
         let model = CostModel::default();
         let est = DefaultEstimator::new(&c);
-        let small = model.total_cost(&LogicalPlan::scan("regions"), &est).unwrap();
-        let large = model.total_cost(&LogicalPlan::scan("events"), &est).unwrap();
+        let small = model
+            .total_cost(&LogicalPlan::scan("regions"), &est)
+            .unwrap();
+        let large = model
+            .total_cost(&LogicalPlan::scan("events"), &est)
+            .unwrap();
         assert!((small - 60.0).abs() < 1e-9);
         assert!((large - 50_000_000.0).abs() < 1e-3);
     }
@@ -163,8 +158,12 @@ mod tests {
         let c = Catalog::standard();
         let model = CostModel::default();
         let est = DefaultEstimator::new(&c);
-        let unfiltered =
-            LogicalPlan::join(LogicalPlan::scan("events"), LogicalPlan::scan("users"), 0, 0);
+        let unfiltered = LogicalPlan::join(
+            LogicalPlan::scan("events"),
+            LogicalPlan::scan("users"),
+            0,
+            0,
+        );
         let filtered = LogicalPlan::join(
             LogicalPlan::scan("events").filter(Predicate::single(1, CmpOp::Eq, 3)),
             LogicalPlan::scan("users"),
@@ -172,7 +171,8 @@ mod tests {
             0,
         );
         assert!(
-            model.total_cost(&filtered, &est).unwrap() < model.total_cost(&unfiltered, &est).unwrap()
+            model.total_cost(&filtered, &est).unwrap()
+                < model.total_cost(&unfiltered, &est).unwrap()
         );
     }
 
@@ -214,12 +214,23 @@ mod tests {
         let c = Catalog::standard();
         let model = CostModel::default();
         let est = DefaultEstimator::new(&c);
-        let build_big =
-            LogicalPlan::join(LogicalPlan::scan("events"), LogicalPlan::scan("regions"), 3, 0);
-        let build_small =
-            LogicalPlan::join(LogicalPlan::scan("regions"), LogicalPlan::scan("events"), 0, 3);
+        let build_big = LogicalPlan::join(
+            LogicalPlan::scan("events"),
+            LogicalPlan::scan("regions"),
+            3,
+            0,
+        );
+        let build_small = LogicalPlan::join(
+            LogicalPlan::scan("regions"),
+            LogicalPlan::scan("events"),
+            0,
+            3,
+        );
         let big = model.total_cost(&build_big, &est).unwrap();
         let small = model.total_cost(&build_small, &est).unwrap();
-        assert!(small < big, "build-small {small} should beat build-big {big}");
+        assert!(
+            small < big,
+            "build-small {small} should beat build-big {big}"
+        );
     }
 }

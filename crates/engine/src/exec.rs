@@ -26,7 +26,12 @@ pub struct ClusterConfig {
 
 impl Default for ClusterConfig {
     fn default() -> Self {
-        Self { machines: 16, slots_per_machine: 4, work_per_second: 1_000_000.0, task_overhead: 0.5 }
+        Self {
+            machines: 16,
+            slots_per_machine: 4,
+            work_per_second: 1_000_000.0,
+            task_overhead: 0.5,
+        }
     }
 }
 
@@ -38,7 +43,9 @@ impl ClusterConfig {
             ));
         }
         if self.work_per_second <= 0.0 {
-            return Err(EngineError::InvalidCluster("work_per_second must be > 0".into()));
+            return Err(EngineError::InvalidCluster(
+                "work_per_second must be > 0".into(),
+            ));
         }
         Ok(())
     }
@@ -68,6 +75,10 @@ pub struct ExecReport {
     pub stage_finish: Vec<f64>,
     /// Per-machine peak local temp storage, bytes.
     pub machine_temp_peak: Vec<f64>,
+    /// Per-stage flag: did the stage actually execute in this run (false
+    /// for precomputed stages and stages fully shielded by them)? Fault
+    /// harnesses assert on this to prove checkpointed work is never redone.
+    pub executed: Vec<bool>,
 }
 
 impl ExecReport {
@@ -122,7 +133,11 @@ impl Simulator {
     /// Internal scheduler: returns the report plus, for each stage, the
     /// machines its tasks ran on (the temp-output placement machine-failure
     /// analysis needs).
-    fn schedule(&self, dag: &StageDag, options: &SimOptions) -> Result<(ExecReport, Vec<Vec<usize>>)> {
+    fn schedule(
+        &self,
+        dag: &StageDag,
+        options: &SimOptions,
+    ) -> Result<(ExecReport, Vec<Vec<usize>>)> {
         let n = dag.len();
         let required = Self::required_stages(dag, options);
         let total_slots = self.config.machines * self.config.slots_per_machine;
@@ -170,11 +185,31 @@ impl Simulator {
         }
 
         let latency = stage_finish.iter().copied().fold(0.0, f64::max);
-        let machine_temp_peak = self.temp_peaks(dag, options, &stage_finish, &stage_machines, latency);
+        let machine_temp_peak =
+            self.temp_peaks(dag, options, &stage_finish, &stage_machines, latency);
         Ok((
-            ExecReport { latency, total_cpu_seconds: total_cpu, stage_start, stage_finish, machine_temp_peak },
+            ExecReport {
+                latency,
+                total_cpu_seconds: total_cpu,
+                stage_start,
+                stage_finish,
+                machine_temp_peak,
+                executed: required,
+            },
             stage_machines,
         ))
+    }
+
+    /// Like [`Simulator::run`], additionally returning the machines each
+    /// stage's tasks ran on (temp-output placement). Fault-injection
+    /// harnesses use the placement to decide which outputs a machine loss
+    /// destroys.
+    pub fn run_with_placement(
+        &self,
+        dag: &StageDag,
+        options: &SimOptions,
+    ) -> Result<(ExecReport, Vec<Vec<usize>>)> {
+        self.schedule(dag, options)
     }
 
     /// Simulates a *machine* failure: at `failure_at` of the baseline
@@ -195,8 +230,10 @@ impl Simulator {
                 self.config.machines
             )));
         }
-        let options =
-            SimOptions { checkpointed: checkpointed.clone(), precomputed: HashSet::new() };
+        let options = SimOptions {
+            checkpointed: checkpointed.clone(),
+            precomputed: HashSet::new(),
+        };
         let (original, stage_machines) = self.schedule(dag, &options)?;
         let failure_time = original.latency * failure_at.clamp(0.0, 1.0);
         let surviving: HashSet<StageId> = dag
@@ -204,15 +241,17 @@ impl Simulator {
             .iter()
             .filter(|s| original.stage_finish[s.id.0] <= failure_time)
             .filter(|s| {
-                checkpointed.contains(&s.id)
-                    || !stage_machines[s.id.0].contains(&failed_machine)
+                checkpointed.contains(&s.id) || !stage_machines[s.id.0].contains(&failed_machine)
             })
             .map(|s| s.id)
             .collect();
-        let recovery = self.run(dag, &SimOptions {
-            checkpointed: checkpointed.clone(),
-            precomputed: surviving,
-        })?;
+        let recovery = self.run(
+            dag,
+            &SimOptions {
+                checkpointed: checkpointed.clone(),
+                precomputed: surviving,
+            },
+        )?;
         Ok((original, recovery))
     }
 
@@ -274,10 +313,13 @@ impl Simulator {
         checkpointed: &HashSet<StageId>,
         failure_at: f64,
     ) -> Result<(ExecReport, ExecReport)> {
-        let original = self.run(dag, &SimOptions {
-            checkpointed: checkpointed.clone(),
-            precomputed: HashSet::new(),
-        })?;
+        let original = self.run(
+            dag,
+            &SimOptions {
+                checkpointed: checkpointed.clone(),
+                precomputed: HashSet::new(),
+            },
+        )?;
         let mut order: Vec<usize> = (0..dag.len()).collect();
         order.sort_by(|&a, &b| {
             original.stage_finish[a]
@@ -290,10 +332,13 @@ impl Simulator {
             .map(|&i| StageId(i))
             .filter(|id| checkpointed.contains(id))
             .collect();
-        let recovery = self.run(dag, &SimOptions {
-            checkpointed: checkpointed.clone(),
-            precomputed: surviving,
-        })?;
+        let recovery = self.run(
+            dag,
+            &SimOptions {
+                checkpointed: checkpointed.clone(),
+                precomputed: surviving,
+            },
+        )?;
         Ok((original, recovery))
     }
 }
@@ -345,14 +390,20 @@ mod tests {
             plan = LogicalPlan::union(plan, LogicalPlan::scan("events").aggregate(vec![1]));
         }
         let dag = dag_for(&plan);
-        let small = Simulator::new(ClusterConfig { machines: 1, ..Default::default() })
-            .unwrap()
-            .run(&dag, &SimOptions::default())
-            .unwrap();
-        let large = Simulator::new(ClusterConfig { machines: 32, ..Default::default() })
-            .unwrap()
-            .run(&dag, &SimOptions::default())
-            .unwrap();
+        let small = Simulator::new(ClusterConfig {
+            machines: 1,
+            ..Default::default()
+        })
+        .unwrap()
+        .run(&dag, &SimOptions::default())
+        .unwrap();
+        let large = Simulator::new(ClusterConfig {
+            machines: 32,
+            ..Default::default()
+        })
+        .unwrap()
+        .run(&dag, &SimOptions::default())
+        .unwrap();
         assert!(large.latency < small.latency);
         // CPU time is conserved (same work, same overheads).
         assert!((large.total_cpu_seconds - small.total_cpu_seconds).abs() < 1e-6);
@@ -373,7 +424,13 @@ mod tests {
         let mut checkpointed = HashSet::new();
         checkpointed.insert(biggest);
         let ckpt = sim
-            .run(&dag, &SimOptions { checkpointed, precomputed: HashSet::new() })
+            .run(
+                &dag,
+                &SimOptions {
+                    checkpointed,
+                    precomputed: HashSet::new(),
+                },
+            )
             .unwrap();
         assert!(ckpt.hotspot_peak() < plain.hotspot_peak());
         // Latency is unchanged in this model (checkpoint I/O is free here;
@@ -386,8 +443,7 @@ mod tests {
         let dag = dag_for(&big_plan());
         let sim = Simulator::new(ClusterConfig::default()).unwrap();
         // No checkpoints: recovery re-runs everything.
-        let (orig, recovery_none) =
-            sim.run_with_failure(&dag, &HashSet::new(), 0.8).unwrap();
+        let (orig, recovery_none) = sim.run_with_failure(&dag, &HashSet::new(), 0.8).unwrap();
         assert!((recovery_none.latency - orig.latency).abs() < 1e-9);
         // Checkpoint everything: recovery skips all completed stages.
         let all: HashSet<StageId> = dag.stages().iter().map(|s| s.id).collect();
@@ -401,17 +457,35 @@ mod tests {
         let sim = Simulator::new(ClusterConfig::default()).unwrap();
         let mut precomputed = HashSet::new();
         precomputed.insert(StageId(0));
-        let r = sim.run(&dag, &SimOptions { checkpointed: HashSet::new(), precomputed }).unwrap();
+        let r = sim
+            .run(
+                &dag,
+                &SimOptions {
+                    checkpointed: HashSet::new(),
+                    precomputed,
+                },
+            )
+            .unwrap();
         assert_eq!(r.stage_finish[0], 0.0);
     }
 
     #[test]
     fn invalid_cluster_rejected() {
-        assert!(Simulator::new(ClusterConfig { machines: 0, ..Default::default() }).is_err());
-        assert!(Simulator::new(ClusterConfig { slots_per_machine: 0, ..Default::default() }).is_err());
-        assert!(
-            Simulator::new(ClusterConfig { work_per_second: 0.0, ..Default::default() }).is_err()
-        );
+        assert!(Simulator::new(ClusterConfig {
+            machines: 0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(Simulator::new(ClusterConfig {
+            slots_per_machine: 0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(Simulator::new(ClusterConfig {
+            work_per_second: 0.0,
+            ..Default::default()
+        })
+        .is_err());
     }
 
     #[test]
@@ -449,8 +523,9 @@ mod machine_failure_tests {
     fn machine_failure_recovery_bounded_by_full_rerun() {
         let dag = dag();
         let sim = Simulator::new(ClusterConfig::default()).unwrap();
-        let (orig, recovery) =
-            sim.run_with_machine_failure(&dag, &HashSet::new(), 0, 0.9).unwrap();
+        let (orig, recovery) = sim
+            .run_with_machine_failure(&dag, &HashSet::new(), 0, 0.9)
+            .unwrap();
         // Recovery never exceeds a full re-run, and losing one machine of 16
         // late in the job should leave some work salvageable... unless every
         // early stage touched machine 0 — either way the bound holds.
@@ -463,8 +538,9 @@ mod machine_failure_tests {
         let sim = Simulator::new(ClusterConfig::default()).unwrap();
         let all: HashSet<StageId> = dag.stages().iter().map(|s| s.id).collect();
         let (_, ckpt_recovery) = sim.run_with_machine_failure(&dag, &all, 0, 0.9).unwrap();
-        let (_, bare_recovery) =
-            sim.run_with_machine_failure(&dag, &HashSet::new(), 0, 0.9).unwrap();
+        let (_, bare_recovery) = sim
+            .run_with_machine_failure(&dag, &HashSet::new(), 0, 0.9)
+            .unwrap();
         assert!(
             ckpt_recovery.latency <= bare_recovery.latency + 1e-9,
             "checkpoints must not hurt machine-failure recovery"
@@ -478,15 +554,21 @@ mod machine_failure_tests {
     fn out_of_range_machine_rejected() {
         let dag = dag();
         let sim = Simulator::new(ClusterConfig::default()).unwrap();
-        assert!(sim.run_with_machine_failure(&dag, &HashSet::new(), 999, 0.5).is_err());
+        assert!(sim
+            .run_with_machine_failure(&dag, &HashSet::new(), 999, 0.5)
+            .is_err());
     }
 
     #[test]
     fn early_failure_loses_more_than_late_failure() {
         let dag = dag();
         let sim = Simulator::new(ClusterConfig::default()).unwrap();
-        let (_, early) = sim.run_with_machine_failure(&dag, &HashSet::new(), 0, 0.1).unwrap();
-        let (_, late) = sim.run_with_machine_failure(&dag, &HashSet::new(), 0, 0.95).unwrap();
+        let (_, early) = sim
+            .run_with_machine_failure(&dag, &HashSet::new(), 0, 0.1)
+            .unwrap();
+        let (_, late) = sim
+            .run_with_machine_failure(&dag, &HashSet::new(), 0, 0.95)
+            .unwrap();
         assert!(late.latency <= early.latency + 1e-9);
     }
 }

@@ -118,10 +118,16 @@ mod tests {
         let catalog = Catalog::standard();
         let mut store = FeedbackStore::new();
         for v in [100, 200, 300] {
-            store.record_execution(&plan(v), &catalog, None).expect("records");
+            store
+                .record_execution(&plan(v), &catalog, None)
+                .expect("records");
         }
         store
-            .record_execution(&LogicalPlan::scan("users").aggregate(vec![1]), &catalog, None)
+            .record_execution(
+                &LogicalPlan::scan("users").aggregate(vec![1]),
+                &catalog,
+                None,
+            )
             .expect("records");
         assert_eq!(store.len(), 4);
         assert_eq!(store.templates().len(), 2);
@@ -140,7 +146,9 @@ mod tests {
         let dag = StageDag::compile(&p, &catalog, &CostModel::default()).expect("compiles");
         let report = sim.run(&dag, &SimOptions::default()).expect("simulates");
         let mut store = FeedbackStore::new();
-        store.record_execution(&p, &catalog, Some(&report)).expect("records");
+        store
+            .record_execution(&p, &catalog, Some(&report))
+            .expect("records");
         let sig = template_signature(&p);
         assert!(store.observations(sig)[0].latency > 0.0);
         assert!(store.observations(sig)[0].actual_cost > 0.0);

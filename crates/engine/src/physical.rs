@@ -215,8 +215,9 @@ mod tests {
 
     #[test]
     fn stage_annotations_positive() {
-        let plan =
-            LogicalPlan::scan("events").filter(Predicate::single(2, CmpOp::Le, 100)).aggregate(vec![1]);
+        let plan = LogicalPlan::scan("events")
+            .filter(Predicate::single(2, CmpOp::Le, 100))
+            .aggregate(vec![1]);
         let dag = compile(&plan);
         for s in dag.stages() {
             assert!(s.work >= 0.0);

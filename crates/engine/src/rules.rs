@@ -70,7 +70,10 @@ impl Rule {
     fn apply_here(self, plan: &LogicalPlan) -> Option<LogicalPlan> {
         match self {
             Rule::FilterMerge => match (&plan.kind, plan.children.first().map(|c| &c.kind)) {
-                (PlanKind::Filter { predicate: outer }, Some(PlanKind::Filter { predicate: inner })) => {
+                (
+                    PlanKind::Filter { predicate: outer },
+                    Some(PlanKind::Filter { predicate: inner }),
+                ) => {
                     let mut clauses = inner.clauses.clone();
                     clauses.extend(outer.clauses.iter().copied());
                     Some(
@@ -83,7 +86,10 @@ impl Rule {
             },
             Rule::FilterPushJoinLeft => match &plan.kind {
                 PlanKind::Filter { predicate } => match &plan.children[0].kind {
-                    PlanKind::Join { left_key, right_key } => {
+                    PlanKind::Join {
+                        left_key,
+                        right_key,
+                    } => {
                         let join = &plan.children[0];
                         Some(LogicalPlan::join(
                             join.children[0].clone().filter(predicate.clone()),
@@ -135,7 +141,9 @@ impl Rule {
             },
             Rule::ProjectMerge => match (&plan.kind, plan.children.first().map(|c| &c.kind)) {
                 (PlanKind::Project { columns }, Some(PlanKind::Project { .. })) => Some(
-                    plan.children[0].children[0].clone().project(columns.clone()),
+                    plan.children[0].children[0]
+                        .clone()
+                        .project(columns.clone()),
                 ),
                 _ => None,
             },
@@ -153,7 +161,10 @@ impl Rule {
                 _ => None,
             },
             Rule::JoinCommute => match &plan.kind {
-                PlanKind::Join { left_key, right_key } => Some(LogicalPlan::join(
+                PlanKind::Join {
+                    left_key,
+                    right_key,
+                } => Some(LogicalPlan::join(
                     plan.children[1].clone(),
                     plan.children[0].clone(),
                     *right_key,
@@ -202,21 +213,20 @@ impl Rule {
                 _ => None,
             },
             Rule::UnionFilterHoist => match &plan.kind {
-                PlanKind::Union => {
-                    match (&plan.children[0].kind, &plan.children[1].kind) {
-                        (
-                            PlanKind::Filter { predicate: pa },
-                            PlanKind::Filter { predicate: pb },
-                        ) if pa == pb => Some(
+                PlanKind::Union => match (&plan.children[0].kind, &plan.children[1].kind) {
+                    (PlanKind::Filter { predicate: pa }, PlanKind::Filter { predicate: pb })
+                        if pa == pb =>
+                    {
+                        Some(
                             LogicalPlan::union(
                                 plan.children[0].children[0].clone(),
                                 plan.children[1].children[0].clone(),
                             )
                             .filter(pa.clone()),
-                        ),
-                        _ => None,
+                        )
                     }
-                }
+                    _ => None,
+                },
                 _ => None,
             },
         }
@@ -231,7 +241,10 @@ impl Rule {
             if let Some(new_child) = self.apply_once(child) {
                 let mut children = plan.children.clone();
                 children[i] = new_child;
-                return Some(LogicalPlan { kind: plan.kind.clone(), children });
+                return Some(LogicalPlan {
+                    kind: plan.kind.clone(),
+                    children,
+                });
             }
         }
         None
@@ -302,14 +315,20 @@ pub struct Optimized {
 
 impl Default for Optimizer {
     fn default() -> Self {
-        Self { cost_model: CostModel::default(), max_passes: 32 }
+        Self {
+            cost_model: CostModel::default(),
+            max_passes: 32,
+        }
     }
 }
 
 impl Optimizer {
     /// Creates an optimizer with an explicit cost model and pass budget.
     pub fn new(cost_model: CostModel, max_passes: usize) -> Self {
-        Self { cost_model, max_passes }
+        Self {
+            cost_model,
+            max_passes,
+        }
     }
 
     /// Greedy first-improvement rewriting: on each pass, the first enabled
@@ -352,7 +371,11 @@ impl Optimizer {
                 break;
             }
         }
-        Ok(Optimized { plan: current, estimated_cost: current_cost, applied })
+        Ok(Optimized {
+            plan: current,
+            estimated_cost: current_cost,
+            applied,
+        })
     }
 }
 
@@ -522,6 +545,9 @@ mod tests {
             let true_cost = cm.total_cost(&r.plan, &truth).unwrap();
             costs.insert((true_cost * 1000.0) as u64);
         }
-        assert!(costs.len() >= 2, "rule configs should differentiate true cost");
+        assert!(
+            costs.len() >= 2,
+            "rule configs should differentiate true cost"
+        );
     }
 }

@@ -1,0 +1,296 @@
+//! Driving a [`FaultSchedule`] through the cluster simulator.
+//!
+//! [`ChaosRunner`] replays a job's [`StageDag`](adas_engine::physical::StageDag)
+//! under a schedule of crashes and machine losses, restarting after each
+//! fault with exactly the outputs that genuinely survive: checkpointed
+//! stages always, temp outputs only when their machine is intact. The
+//! runner never panics on any schedule — indices and fractions are
+//! clamped, and a fault that cannot fire (temp exhaustion below capacity)
+//! is simply skipped.
+
+use crate::schedule::{FaultEvent, FaultSchedule};
+use adas_engine::exec::{ClusterConfig, ExecReport, SimOptions, Simulator};
+use adas_engine::physical::{StageDag, StageId};
+use adas_engine::Result;
+use serde::Serialize;
+use std::collections::HashSet;
+
+/// The outcome of one chaos run: the final successful report plus the
+/// fault-handling bookkeeping the chaos suite asserts on.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ChaosOutcome {
+    /// Report of the final (successful) attempt.
+    pub final_report: ExecReport,
+    /// Runs started, including the successful one (= faults fired + 1).
+    pub attempts: usize,
+    /// Faults that actually fired (a temp-exhaustion event below capacity
+    /// does not fire).
+    pub injected: usize,
+    /// Checkpointed stages that completed before a fault and were executed
+    /// again afterwards. Structurally zero: persisted checkpoints feed the
+    /// restart's precomputed set, which is what the chaos suite proves.
+    pub recomputed_checkpointed: usize,
+    /// Wall-clock across all attempts: each aborted run contributes the
+    /// latency fraction it reached, the final run its full latency.
+    pub total_latency: f64,
+}
+
+/// Replays jobs through [`Simulator`] under fault schedules.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosRunner {
+    sim: Simulator,
+    machines: usize,
+    temp_capacity: f64,
+}
+
+impl ChaosRunner {
+    /// Creates a runner over a cluster. `temp_capacity_bytes` is the local
+    /// temp capacity a [`FaultEvent::TempExhaustion`] tests against
+    /// (`f64::INFINITY` means exhaustion never fires).
+    pub fn new(cluster: ClusterConfig, temp_capacity_bytes: f64) -> Result<Self> {
+        Ok(Self {
+            sim: Simulator::new(cluster)?,
+            machines: cluster.machines,
+            temp_capacity: temp_capacity_bytes,
+        })
+    }
+
+    /// The underlying simulator (for fault-free baselines).
+    pub fn simulator(&self) -> &Simulator {
+        &self.sim
+    }
+
+    /// Runs `dag` to completion under `schedule`, restarting after every
+    /// fault that fires. Checkpointed outputs persist in the global store
+    /// and are never executed twice; non-checkpointed temp outputs survive
+    /// a machine loss only when they avoided the dead machine.
+    pub fn run_job(
+        &self,
+        dag: &StageDag,
+        checkpointed: &HashSet<StageId>,
+        schedule: &FaultSchedule,
+    ) -> Result<ChaosOutcome> {
+        let mut precomputed: HashSet<StageId> = HashSet::new();
+        // Checkpointed stages whose output is known to be persisted; if a
+        // later attempt executes one of these, that's a recomputation bug.
+        let mut persisted: HashSet<StageId> = HashSet::new();
+        let mut attempts = 0usize;
+        let mut injected = 0usize;
+        let mut recomputed_checkpointed = 0usize;
+        let mut total_latency = 0.0f64;
+
+        for event in &schedule.events {
+            let options = SimOptions {
+                checkpointed: checkpointed.clone(),
+                precomputed: precomputed.clone(),
+            };
+            let (report, placement) = self.sim.run_with_placement(dag, &options)?;
+            recomputed_checkpointed += persisted.iter().filter(|id| report.executed[id.0]).count();
+
+            let at = event.strike_fraction().clamp(0.0, 1.0);
+            let survivors: Option<HashSet<StageId>> = match *event {
+                FaultEvent::TaskCrash { .. } => {
+                    // The job dies after `at` of its stages (by finish
+                    // order) completed; only globally-stored outputs
+                    // (checkpointed or already precomputed) survive.
+                    let mut order: Vec<usize> = (0..dag.len()).collect();
+                    order.sort_by(|&a, &b| {
+                        report.stage_finish[a]
+                            .partial_cmp(&report.stage_finish[b])
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    });
+                    let completed = ((dag.len() as f64) * at).floor() as usize;
+                    Some(
+                        order[..completed.min(dag.len())]
+                            .iter()
+                            .map(|&i| StageId(i))
+                            .filter(|id| checkpointed.contains(id) || precomputed.contains(id))
+                            .collect(),
+                    )
+                }
+                FaultEvent::MachineLoss { machine, .. } => Some(self.machine_loss_survivors(
+                    dag,
+                    checkpointed,
+                    &precomputed,
+                    &report,
+                    &placement,
+                    machine,
+                    at,
+                )),
+                FaultEvent::TempExhaustion { .. } => {
+                    if report.hotspot_peak() > self.temp_capacity {
+                        // The hotspot machine spills past capacity and is
+                        // taken out of service.
+                        let hotspot = report
+                            .machine_temp_peak
+                            .iter()
+                            .enumerate()
+                            .max_by(|a, b| {
+                                a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal)
+                            })
+                            .map(|(m, _)| m)
+                            .unwrap_or(0);
+                        Some(self.machine_loss_survivors(
+                            dag,
+                            checkpointed,
+                            &precomputed,
+                            &report,
+                            &placement,
+                            hotspot,
+                            at,
+                        ))
+                    } else {
+                        None
+                    }
+                }
+            };
+
+            if let Some(survivors) = survivors {
+                injected += 1;
+                attempts += 1;
+                total_latency += report.latency * at;
+                persisted.extend(survivors.iter().filter(|id| checkpointed.contains(*id)));
+                precomputed.extend(survivors);
+            }
+        }
+
+        let options = SimOptions {
+            checkpointed: checkpointed.clone(),
+            precomputed,
+        };
+        let (final_report, _) = self.sim.run_with_placement(dag, &options)?;
+        recomputed_checkpointed += persisted
+            .iter()
+            .filter(|id| final_report.executed[id.0])
+            .count();
+        total_latency += final_report.latency;
+        attempts += 1;
+
+        Ok(ChaosOutcome {
+            final_report,
+            attempts,
+            injected,
+            recomputed_checkpointed,
+            total_latency,
+        })
+    }
+
+    /// Survivors of losing `machine` at latency fraction `at`: stages that
+    /// finished in time AND whose output is either globally stored or held
+    /// entirely off the dead machine. The index is clamped so arbitrary
+    /// schedules cannot panic.
+    #[allow(clippy::too_many_arguments)]
+    fn machine_loss_survivors(
+        &self,
+        dag: &StageDag,
+        checkpointed: &HashSet<StageId>,
+        precomputed: &HashSet<StageId>,
+        report: &ExecReport,
+        placement: &[Vec<usize>],
+        machine: usize,
+        at: f64,
+    ) -> HashSet<StageId> {
+        let machine = machine.min(self.machines.saturating_sub(1));
+        let failure_time = report.latency * at;
+        dag.stages()
+            .iter()
+            .filter(|s| report.stage_finish[s.id.0] <= failure_time)
+            .filter(|s| {
+                checkpointed.contains(&s.id)
+                    || precomputed.contains(&s.id)
+                    || !placement[s.id.0].contains(&machine)
+            })
+            .map(|s| s.id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adas_engine::cost::CostModel;
+    use adas_workload::catalog::Catalog;
+    use adas_workload::plan::{CmpOp, LogicalPlan, Predicate};
+
+    fn dag() -> StageDag {
+        let plan = LogicalPlan::join(
+            LogicalPlan::scan("events").filter(Predicate::single(2, CmpOp::Le, 300)),
+            LogicalPlan::scan("users"),
+            0,
+            0,
+        )
+        .aggregate(vec![1]);
+        StageDag::compile(&plan, &Catalog::standard(), &CostModel::default()).unwrap()
+    }
+
+    fn runner() -> ChaosRunner {
+        ChaosRunner::new(ClusterConfig::default(), f64::INFINITY).unwrap()
+    }
+
+    #[test]
+    fn empty_schedule_matches_plain_run() {
+        let dag = dag();
+        let r = runner();
+        let outcome = r
+            .run_job(&dag, &HashSet::new(), &FaultSchedule::none())
+            .unwrap();
+        let plain = r.simulator().run(&dag, &SimOptions::default()).unwrap();
+        assert_eq!(outcome.final_report, plain);
+        assert_eq!(outcome.attempts, 1);
+        assert_eq!(outcome.injected, 0);
+        assert!((outcome.total_latency - plain.latency).abs() < 1e-9);
+    }
+
+    #[test]
+    fn task_crash_restarts_and_checkpoints_survive() {
+        let dag = dag();
+        let r = runner();
+        let all: HashSet<StageId> = dag.stages().iter().map(|s| s.id).collect();
+        let schedule = FaultSchedule {
+            events: vec![FaultEvent::TaskCrash { at: 0.8 }],
+        };
+        let ckpt = r.run_job(&dag, &all, &schedule).unwrap();
+        let bare = r.run_job(&dag, &HashSet::new(), &schedule).unwrap();
+        assert_eq!(ckpt.attempts, 2);
+        assert_eq!(ckpt.recomputed_checkpointed, 0);
+        assert!(ckpt.total_latency <= bare.total_latency + 1e-9);
+    }
+
+    #[test]
+    fn out_of_range_machine_is_clamped_not_fatal() {
+        let dag = dag();
+        let r = runner();
+        let schedule = FaultSchedule {
+            events: vec![FaultEvent::MachineLoss {
+                machine: usize::MAX,
+                at: 2.5,
+            }],
+        };
+        let outcome = r.run_job(&dag, &HashSet::new(), &schedule).unwrap();
+        assert_eq!(outcome.attempts, 2);
+    }
+
+    #[test]
+    fn temp_exhaustion_fires_only_past_capacity() {
+        let dag = dag();
+        let schedule = FaultSchedule {
+            events: vec![FaultEvent::TempExhaustion { at: 0.9 }],
+        };
+        let roomy = ChaosRunner::new(ClusterConfig::default(), f64::INFINITY).unwrap();
+        assert_eq!(
+            roomy
+                .run_job(&dag, &HashSet::new(), &schedule)
+                .unwrap()
+                .injected,
+            0
+        );
+        let cramped = ChaosRunner::new(ClusterConfig::default(), 1.0).unwrap();
+        assert_eq!(
+            cramped
+                .run_job(&dag, &HashSet::new(), &schedule)
+                .unwrap()
+                .injected,
+            1
+        );
+    }
+}

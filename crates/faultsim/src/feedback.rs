@@ -1,0 +1,91 @@
+//! Feedback-delivery delay: observations reach the monitor late.
+//!
+//! In production the `(prediction, actual)` pairs feeding
+//! [`FeedbackLoop`](adas_core::feedback::FeedbackLoop) arrive through a
+//! telemetry pipeline with its own lag; a drifting model therefore keeps
+//! serving bad answers for a while before the monitor can react.
+//! [`DelayedFeedback`] models that lag as a fixed-length FIFO queue:
+//! `push` returns the observation that is `delay` submissions old (or
+//! `None` while the pipe is still filling). Delay 0 is a transparent
+//! pass-through, preserving the disabled-path-is-free property.
+
+use std::collections::VecDeque;
+
+/// A fixed-delay FIFO for `(prediction, actual)` observations.
+#[derive(Debug, Clone, Default)]
+pub struct DelayedFeedback {
+    delay: usize,
+    pipe: VecDeque<(f64, f64)>,
+}
+
+impl DelayedFeedback {
+    /// Creates a queue delaying observations by `delay` submissions.
+    pub fn new(delay: usize) -> Self {
+        Self {
+            delay,
+            pipe: VecDeque::with_capacity(delay + 1),
+        }
+    }
+
+    /// The configured delay.
+    pub fn delay(&self) -> usize {
+        self.delay
+    }
+
+    /// Submits one observation; returns the observation due for delivery,
+    /// which lags the input by exactly `delay` submissions.
+    pub fn push(&mut self, prediction: f64, actual: f64) -> Option<(f64, f64)> {
+        if self.delay == 0 {
+            return Some((prediction, actual));
+        }
+        self.pipe.push_back((prediction, actual));
+        if self.pipe.len() > self.delay {
+            self.pipe.pop_front()
+        } else {
+            None
+        }
+    }
+
+    /// Delivers everything still in flight (e.g. at end of an epoch), in
+    /// submission order. The queue is empty afterwards.
+    pub fn drain(&mut self) -> Vec<(f64, f64)> {
+        self.pipe.drain(..).collect()
+    }
+
+    /// Observations submitted but not yet delivered.
+    pub fn in_flight(&self) -> usize {
+        self.pipe.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_delay_is_pass_through() {
+        let mut q = DelayedFeedback::new(0);
+        assert_eq!(q.push(1.0, 2.0), Some((1.0, 2.0)));
+        assert_eq!(q.in_flight(), 0);
+    }
+
+    #[test]
+    fn delivery_lags_by_exactly_delay() {
+        let mut q = DelayedFeedback::new(3);
+        assert_eq!(q.push(1.0, 1.0), None);
+        assert_eq!(q.push(2.0, 2.0), None);
+        assert_eq!(q.push(3.0, 3.0), None);
+        assert_eq!(q.push(4.0, 4.0), Some((1.0, 1.0)));
+        assert_eq!(q.push(5.0, 5.0), Some((2.0, 2.0)));
+        assert_eq!(q.in_flight(), 3);
+    }
+
+    #[test]
+    fn drain_flushes_in_order() {
+        let mut q = DelayedFeedback::new(2);
+        q.push(1.0, 1.0);
+        q.push(2.0, 2.0);
+        assert_eq!(q.drain(), vec![(1.0, 1.0), (2.0, 2.0)]);
+        assert_eq!(q.in_flight(), 0);
+    }
+}

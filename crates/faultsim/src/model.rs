@@ -1,0 +1,160 @@
+//! Model-serving faults: staleness, timeouts, poisoning.
+//!
+//! Wraps any learned predictor's scalar output (the cost ensemble, stage
+//! predictors, behaviour models) with the serving-path failures the
+//! guardrail layer must absorb: answers from a previous input (stale
+//! cache), no answer at all (timeout — the caller must fall back to a
+//! default), and a systematically biased ("poisoned") model that
+//! [`GuardrailSet::check`](adas_core::guardrails::GuardrailSet::check) is
+//! expected to block at deployment time.
+
+use crate::seed::{channel_rng, Channel};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::Serialize;
+
+/// One served prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum Served {
+    /// The model answered with the current input's prediction.
+    Fresh(f64),
+    /// The serving cache returned the *previous* input's prediction.
+    Stale(f64),
+    /// The serving call timed out; the caller must degrade gracefully
+    /// (default cost, last known good, …) rather than fail.
+    Timeout,
+}
+
+impl Served {
+    /// The served value, or `fallback` on timeout — the graceful
+    /// degradation path callers are expected to take.
+    pub fn value_or(self, fallback: f64) -> f64 {
+        match self {
+            Served::Fresh(v) | Served::Stale(v) => v,
+            Served::Timeout => fallback,
+        }
+    }
+}
+
+/// Seeded serving-fault source for scalar predictions.
+#[derive(Debug, Clone)]
+pub struct ModelFaults {
+    rng: StdRng,
+    staleness: f64,
+    timeout_rate: f64,
+    poison_factor: f64,
+    last: Option<f64>,
+}
+
+impl ModelFaults {
+    /// Creates a fault source. `staleness` and `timeout_rate` are per-call
+    /// probabilities; `poison_factor` is the multiplicative bias
+    /// [`ModelFaults::poisoned`] applies.
+    pub fn new(seed: u64, staleness: f64, timeout_rate: f64, poison_factor: f64) -> Self {
+        Self {
+            rng: channel_rng(seed, Channel::Model),
+            staleness,
+            timeout_rate,
+            poison_factor,
+            last: None,
+        }
+    }
+
+    /// Serves one prediction, possibly degraded. The first call can never
+    /// be stale (there is no previous answer to return).
+    pub fn serve(&mut self, clean: f64) -> Served {
+        if self.timeout_rate > 0.0 && self.rng.gen_bool(self.timeout_rate) {
+            // A timed-out call still advances `last`: the model *computed*
+            // the answer, the caller just never received it.
+            self.last = Some(clean);
+            return Served::Timeout;
+        }
+        let served = match self.last {
+            Some(prev) if self.staleness > 0.0 && self.rng.gen_bool(self.staleness) => {
+                Served::Stale(prev)
+            }
+            _ => Served::Fresh(clean),
+        };
+        self.last = Some(clean);
+        served
+    }
+
+    /// A poisoned model's answer: the clean prediction under systematic
+    /// multiplicative bias. Deterministic (no RNG draw) so guardrail tests
+    /// can reason about it exactly.
+    pub fn poisoned(&self, clean: f64) -> f64 {
+        clean * self.poison_factor
+    }
+
+    /// The configured poison bias.
+    pub fn poison_factor(&self) -> f64 {
+        self.poison_factor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serving_is_deterministic_per_seed() {
+        let mut a = ModelFaults::new(3, 0.3, 0.1, 2.0);
+        let mut b = ModelFaults::new(3, 0.3, 0.1, 2.0);
+        for i in 0..200 {
+            let x = i as f64;
+            assert_eq!(a.serve(x), b.serve(x));
+        }
+    }
+
+    #[test]
+    fn no_faults_means_always_fresh() {
+        let mut m = ModelFaults::new(4, 0.0, 0.0, 1.0);
+        for i in 0..50 {
+            assert_eq!(m.serve(i as f64), Served::Fresh(i as f64));
+        }
+    }
+
+    #[test]
+    fn stale_answers_repeat_previous_input() {
+        let mut m = ModelFaults::new(5, 0.5, 0.0, 1.0);
+        let mut prev = None;
+        let mut stale_seen = false;
+        for i in 0..200 {
+            let x = i as f64;
+            match m.serve(x) {
+                Served::Fresh(v) => assert_eq!(v, x),
+                Served::Stale(v) => {
+                    stale_seen = true;
+                    assert_eq!(Some(v), prev, "stale answer must be the previous input's");
+                }
+                Served::Timeout => unreachable!("timeout_rate is 0"),
+            }
+            prev = Some(x);
+        }
+        assert!(stale_seen);
+    }
+
+    #[test]
+    fn timeouts_fall_back_gracefully() {
+        let mut m = ModelFaults::new(6, 0.0, 0.4, 1.0);
+        let mut timeouts = 0usize;
+        for i in 0..200 {
+            let served = m.serve(i as f64);
+            if served == Served::Timeout {
+                timeouts += 1;
+                assert_eq!(served.value_or(99.0), 99.0);
+            }
+        }
+        assert!(
+            timeouts > 20,
+            "40% timeout rate should fire often: {timeouts}"
+        );
+    }
+
+    #[test]
+    fn poisoning_is_exact_bias() {
+        let m = ModelFaults::new(7, 0.0, 0.0, 2.5);
+        assert_eq!(m.poisoned(4.0), 10.0);
+        assert_eq!(m.poison_factor(), 2.5);
+    }
+}

@@ -1,0 +1,160 @@
+//! Execution-fault schedules: what goes wrong during one job, and when.
+
+use crate::seed::{channel_rng, Channel};
+use crate::FaultConfig;
+use rand::Rng;
+use serde::Serialize;
+
+/// One injected execution fault. `at` is the fraction of the baseline run
+/// (stage-completion fraction for task crashes, latency fraction for
+/// machine loss) at which the fault strikes; always in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum FaultEvent {
+    /// A task crashes, killing the job; it restarts with surviving
+    /// checkpoints after `at` of the stages (by finish order) completed.
+    TaskCrash {
+        /// Completed-stage fraction at the moment of the crash.
+        at: f64,
+    },
+    /// Machine `machine` dies at `at` of the baseline latency, losing every
+    /// non-checkpointed temp output it holds.
+    MachineLoss {
+        /// Index of the machine that dies.
+        machine: usize,
+        /// Latency fraction at the moment of loss.
+        at: f64,
+    },
+    /// Local temp storage fills up: if the run's hotspot peak exceeds the
+    /// configured capacity, the hotspot machine is lost at `at`.
+    TempExhaustion {
+        /// Latency fraction at the moment of exhaustion.
+        at: f64,
+    },
+}
+
+impl FaultEvent {
+    /// The fraction of the baseline run at which the fault strikes.
+    pub fn strike_fraction(&self) -> f64 {
+        match *self {
+            FaultEvent::TaskCrash { at }
+            | FaultEvent::MachineLoss { at, .. }
+            | FaultEvent::TempExhaustion { at } => at,
+        }
+    }
+}
+
+/// The ordered fault schedule for one job.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FaultSchedule {
+    /// Events sorted by their strike fraction.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule (no faults).
+    pub fn none() -> Self {
+        Self { events: Vec::new() }
+    }
+
+    /// Expands a derived seed into a schedule under `config`, for a cluster
+    /// of `machines` machines. Deterministic in `(seed, config, machines)`.
+    pub fn generate(seed: u64, config: &FaultConfig, machines: usize) -> Self {
+        if !config.enabled {
+            return Self::none();
+        }
+        let mut rng = channel_rng(seed, Channel::Execution);
+        let mut events = Vec::new();
+        for _ in 0..config.max_task_crashes {
+            if rng.gen_bool(config.task_crash_rate) {
+                events.push(FaultEvent::TaskCrash {
+                    at: rng.gen_range(0.05..0.95),
+                });
+            }
+        }
+        if machines > 0 && rng.gen_bool(config.machine_loss_rate) {
+            events.push(FaultEvent::MachineLoss {
+                machine: rng.gen_range(0..machines),
+                at: rng.gen_range(0.05..0.95),
+            });
+        }
+        if config.temp_capacity_bytes.is_finite() {
+            events.push(FaultEvent::TempExhaustion {
+                at: rng.gen_range(0.05..0.95),
+            });
+        }
+        events.sort_by(|a, b| {
+            a.strike_fraction()
+                .partial_cmp(&b.strike_fraction())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        Self { events }
+    }
+
+    /// Whether the schedule injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = FaultConfig::standard();
+        assert_eq!(
+            FaultSchedule::generate(5, &cfg, 16),
+            FaultSchedule::generate(5, &cfg, 16)
+        );
+    }
+
+    #[test]
+    fn events_are_sorted_and_bounded() {
+        let cfg = FaultConfig {
+            machine_loss_rate: 1.0,
+            task_crash_rate: 1.0,
+            ..FaultConfig::standard()
+        };
+        for seed in 0..64 {
+            let s = FaultSchedule::generate(seed, &cfg, 16);
+            assert!(!s.is_empty());
+            let mut prev = 0.0;
+            for e in &s.events {
+                let at = e.strike_fraction();
+                assert!((0.0..=1.0).contains(&at));
+                assert!(at >= prev);
+                prev = at;
+                if let FaultEvent::MachineLoss { machine, .. } = e {
+                    assert!(*machine < 16);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disabled_and_zero_rates_inject_nothing() {
+        assert!(FaultSchedule::generate(1, &FaultConfig::disabled(), 16).is_empty());
+        let silent = FaultConfig {
+            enabled: true,
+            task_crash_rate: 0.0,
+            machine_loss_rate: 0.0,
+            temp_capacity_bytes: f64::INFINITY,
+            ..FaultConfig::standard()
+        };
+        assert!(FaultSchedule::generate(1, &silent, 16).is_empty());
+    }
+
+    #[test]
+    fn temp_exhaustion_emitted_when_capacity_finite() {
+        let cfg = FaultConfig {
+            temp_capacity_bytes: 1.0,
+            ..FaultConfig::standard()
+        };
+        let s = FaultSchedule::generate(3, &cfg, 16);
+        assert!(s
+            .events
+            .iter()
+            .any(|e| matches!(e, FaultEvent::TempExhaustion { .. })));
+    }
+}

@@ -1,0 +1,101 @@
+//! Per-channel seed derivation.
+//!
+//! All randomness in the fault layer derives from one master `u64`. Each
+//! channel mixes the master seed with a fixed salt through SplitMix64
+//! before seeding its own [`StdRng`], so the channels are statistically
+//! independent streams *and* insensitive to how many draws the other
+//! channels make — the key property behind the chaos suite's same-seed ⇒
+//! same-report assertions.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The independent fault channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Channel {
+    /// Task crashes, machine loss, temp-storage exhaustion.
+    Execution,
+    /// Telemetry dropouts and outlier bursts.
+    Telemetry,
+    /// Model staleness, serving timeouts, poisoning.
+    Model,
+    /// Feedback delivery delay.
+    Feedback,
+}
+
+impl Channel {
+    /// Fixed per-channel salt mixed into the master seed. Arbitrary
+    /// distinct odd constants; changing them changes every schedule, so
+    /// they are part of the format (documented in `DESIGN.md`).
+    pub fn salt(self) -> u64 {
+        match self {
+            Channel::Execution => 0xE1EC_7104_F417_0001,
+            Channel::Telemetry => 0x7E1E_3E72_F417_0003,
+            Channel::Model => 0x30DE_15E7_F417_0005,
+            Channel::Feedback => 0xFEED_BACC_F417_0007,
+        }
+    }
+}
+
+/// SplitMix64 finalizer: one full avalanche step over `x`.
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Derives a sub-seed from a master seed and an index (job number, epoch,
+/// …). `derive(s, a) == derive(s, a)` always; collisions across distinct
+/// `(seed, index)` pairs are as unlikely as SplitMix64 allows.
+pub fn derive(master: u64, index: u64) -> u64 {
+    mix(mix(master) ^ mix(index.wrapping_mul(0xA24B_AED4_963E_E407)))
+}
+
+/// A seeded RNG for one channel of a master seed.
+pub fn channel_rng(master: u64, channel: Channel) -> StdRng {
+    StdRng::seed_from_u64(derive(master, channel.salt()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn channels_are_independent_streams() {
+        let mut exec = channel_rng(1, Channel::Execution);
+        let mut tel = channel_rng(1, Channel::Telemetry);
+        let a: Vec<u64> = (0..8).map(|_| exec.gen::<u64>()).collect();
+        let b: Vec<u64> = (0..8).map(|_| tel.gen::<u64>()).collect();
+        assert_ne!(a, b);
+        // Re-deriving reproduces the stream exactly.
+        let mut exec2 = channel_rng(1, Channel::Execution);
+        let a2: Vec<u64> = (0..8).map(|_| exec2.gen::<u64>()).collect();
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn derive_spreads_indices() {
+        let seeds: Vec<u64> = (0..64).map(|i| derive(7, i)).collect();
+        let mut uniq = seeds.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), seeds.len(), "no collisions over small indices");
+    }
+
+    #[test]
+    fn salts_are_distinct() {
+        let salts = [
+            Channel::Execution.salt(),
+            Channel::Telemetry.salt(),
+            Channel::Model.salt(),
+            Channel::Feedback.salt(),
+        ];
+        let mut uniq = salts.to_vec();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), salts.len());
+    }
+}

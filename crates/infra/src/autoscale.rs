@@ -30,7 +30,12 @@ pub struct LoadModel {
 
 impl Default for LoadModel {
     fn default() -> Self {
-        Self { peak: 100.0, offpeak: 15.0, noise: 0.1, seed: 29 }
+        Self {
+            peak: 100.0,
+            offpeak: 15.0,
+            noise: 0.1,
+            seed: 29,
+        }
     }
 }
 
@@ -41,7 +46,11 @@ impl LoadModel {
         (0..hours)
             .map(|h| {
                 let hour = h % 24;
-                let base = if (8..20).contains(&hour) { self.peak } else { self.offpeak };
+                let base = if (8..20).contains(&hour) {
+                    self.peak
+                } else {
+                    self.offpeak
+                };
                 base * (1.0 + rng.gen_range(-self.noise..=self.noise))
             })
             .collect()
@@ -126,7 +135,11 @@ pub fn simulate_autoscaler(
     ScaleReport {
         unserved,
         idle,
-        served_fraction: if demand_total > 0.0 { 1.0 - unserved / demand_total } else { 1.0 },
+        served_fraction: if demand_total > 0.0 {
+            1.0 - unserved / demand_total
+        } else {
+            1.0
+        },
     }
 }
 
@@ -138,7 +151,8 @@ mod tests {
     fn predictive_scaling_cuts_violations() {
         let load = LoadModel::default().generate(24 * 14);
         let lag = 2;
-        let reactive = simulate_autoscaler(&load, ScalePolicy::Reactive { headroom: 1.15 }, lag, 48);
+        let reactive =
+            simulate_autoscaler(&load, ScalePolicy::Reactive { headroom: 1.15 }, lag, 48);
         let predictive =
             simulate_autoscaler(&load, ScalePolicy::Predictive { headroom: 1.15 }, lag, 48);
         assert!(

@@ -55,7 +55,7 @@ impl InitModel {
             self.bootstrap_median * jitter(rng),
         ];
         if rng.gen::<f64>() < self.straggler_prob {
-            let victim = rng.gen_range(0..3);
+            let victim = rng.gen_range(0..3usize);
             stages[victim] *= self.straggle_factor;
         }
         stages.iter().sum()
@@ -151,8 +151,17 @@ pub fn derive_optimal_hedge(model: &InitModel, n: usize, seed: u64) -> (f64, Ini
     let candidates = [1.1, 1.25, 1.5, 2.0, 3.0].map(|f| base.p50 * f);
     candidates
         .into_iter()
-        .map(|d| (d, simulate_inits(model, RequestPolicy::Hedged { hedge_after_s: d }, n, seed)))
-        .min_by(|a, b| a.1.p99.partial_cmp(&b.1.p99).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|d| {
+            (
+                d,
+                simulate_inits(model, RequestPolicy::Hedged { hedge_after_s: d }, n, seed),
+            )
+        })
+        .min_by(|a, b| {
+            a.1.p99
+                .partial_cmp(&b.1.p99)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
         .expect("candidate grid is non-empty")
 }
 
@@ -162,7 +171,10 @@ mod tests {
 
     #[test]
     fn stragglers_fatten_the_tail() {
-        let clean = InitModel { straggler_prob: 0.0, ..Default::default() };
+        let clean = InitModel {
+            straggler_prob: 0.0,
+            ..Default::default()
+        };
         let dirty = InitModel::default();
         let rc = simulate_inits(&clean, RequestPolicy::Single, 4000, 3);
         let rd = simulate_inits(&dirty, RequestPolicy::Single, 4000, 3);
@@ -191,7 +203,9 @@ mod tests {
         let single = simulate_inits(&model, RequestPolicy::Single, 4000, 11);
         let retry = simulate_inits(
             &model,
-            RequestPolicy::RetryAfter { timeout_s: single.p50 * 2.0 },
+            RequestPolicy::RetryAfter {
+                timeout_s: single.p50 * 2.0,
+            },
             4000,
             11,
         );
@@ -202,8 +216,22 @@ mod tests {
     #[test]
     fn simulation_is_deterministic() {
         let model = InitModel::default();
-        let a = simulate_inits(&model, RequestPolicy::Hedged { hedge_after_s: 150.0 }, 500, 5);
-        let b = simulate_inits(&model, RequestPolicy::Hedged { hedge_after_s: 150.0 }, 500, 5);
+        let a = simulate_inits(
+            &model,
+            RequestPolicy::Hedged {
+                hedge_after_s: 150.0,
+            },
+            500,
+            5,
+        );
+        let b = simulate_inits(
+            &model,
+            RequestPolicy::Hedged {
+                hedge_after_s: 150.0,
+            },
+            500,
+            5,
+        );
         assert_eq!(a, b);
     }
 }

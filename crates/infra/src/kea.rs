@@ -139,7 +139,10 @@ mod tests {
         let caps = tune_caps(&models, &fleet, 0.6);
         for (sku_idx, (&cap, sku)) in caps.iter().zip(fleet.skus()).enumerate() {
             let predicted = models[sku_idx].cpu_vs_containers.predict(cap as f64);
-            assert!(predicted <= 0.65, "sku {sku_idx} cap {cap} predicted {predicted}");
+            assert!(
+                predicted <= 0.65,
+                "sku {sku_idx} cap {cap} predicted {predicted}"
+            );
             let _ = sku;
         }
     }

@@ -45,4 +45,6 @@ pub mod vmtune;
 pub use behavior::{fit_behavior_models, BehaviorModel, MachineBehavior};
 pub use kea::{evaluate_caps, tune_caps, KeaReport};
 pub use machine::{MachineFleet, MachineTelemetry, SkuSpec};
-pub use provision::{simulate_provisioning, DemandModel, PoolPolicy, ProvisionConfig, ProvisionReport};
+pub use provision::{
+    simulate_provisioning, DemandModel, PoolPolicy, ProvisionConfig, ProvisionReport,
+};

@@ -124,7 +124,14 @@ impl MachineFleet {
                 let jitter = |rng: &mut StdRng| 1.0 + rng.gen_range(-noise..=noise);
                 let cpu = (sku.true_cpu(containers) * jitter(&mut rng)).clamp(0.0, 1.0);
                 let task_seconds = sku.true_task_seconds(cpu) * jitter(&mut rng);
-                out.push(MachineTelemetry { machine, sku: sku_idx, hour, containers, cpu, task_seconds });
+                out.push(MachineTelemetry {
+                    machine,
+                    sku: sku_idx,
+                    hour,
+                    containers,
+                    cpu,
+                    task_seconds,
+                });
             }
         }
         out
@@ -242,13 +249,21 @@ mod telemetry_bridge_tests {
         // Per-machine series retain the simulated correlation: CPU at high
         // container counts exceeds CPU at zero containers on average.
         let r0 = ResourceId::new("machine-0");
-        let containers = store.series(&r0, &MetricId::new("running_containers")).unwrap();
+        let containers = store
+            .series(&r0, &MetricId::new("running_containers"))
+            .unwrap();
         let cpu0 = store.series(&r0, &cpu).unwrap();
         let paired: Vec<(f64, f64)> = containers.values().zip(cpu0.values()).collect();
-        let hi: Vec<f64> =
-            paired.iter().filter(|(c, _)| *c > 12.0).map(|(_, u)| *u).collect();
-        let lo: Vec<f64> =
-            paired.iter().filter(|(c, _)| *c <= 4.0).map(|(_, u)| *u).collect();
+        let hi: Vec<f64> = paired
+            .iter()
+            .filter(|(c, _)| *c > 12.0)
+            .map(|(_, u)| *u)
+            .collect();
+        let lo: Vec<f64> = paired
+            .iter()
+            .filter(|(c, _)| *c <= 4.0)
+            .map(|(_, u)| *u)
+            .collect();
         if !hi.is_empty() && !lo.is_empty() {
             let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
             assert!(mean(&hi) > mean(&lo));

@@ -38,7 +38,10 @@ pub struct PowerProfile {
 impl PowerProfile {
     /// A contemporary dual-socket server profile.
     pub fn standard() -> Self {
-        Self { idle_watts: 120.0, span_watts: 280.0 }
+        Self {
+            idle_watts: 120.0,
+            span_watts: 280.0,
+        }
     }
 
     /// True draw at a CPU level.
@@ -53,7 +56,10 @@ impl PowerProfile {
             .map(|_| {
                 let cpu = rng.gen_range(0.0..=1.0);
                 let jitter = 1.0 + rng.gen_range(-noise..=noise);
-                PowerSample { cpu, watts: self.draw(cpu) * jitter }
+                PowerSample {
+                    cpu,
+                    watts: self.draw(cpu) * jitter,
+                }
             })
             .collect()
     }
@@ -80,7 +86,11 @@ impl PowerModel {
             samples.iter().map(|s| s.watts).collect(),
         )?;
         let model = LinearRegression::fit(&data)?;
-        Ok(Self { idle_watts: model.intercept(), span_watts: model.coefficients()[0], model })
+        Ok(Self {
+            idle_watts: model.intercept(),
+            span_watts: model.coefficients()[0],
+            model,
+        })
     }
 
     /// Predicted draw at a CPU level.
@@ -161,7 +171,10 @@ pub fn allocate_power(
                     .collect()
             } else {
                 // Scale down proportionally.
-                needs.iter().map(|need| need * budget_watts / total_need).collect()
+                needs
+                    .iter()
+                    .map(|need| need * budget_watts / total_need)
+                    .collect()
             }
         }
     };
@@ -189,7 +202,11 @@ pub fn allocate_power(
         caps,
         sustainable_cpu: sustainable,
         throttled_racks: throttled,
-        demand_served: if demanded > 0.0 { served / demanded } else { 1.0 },
+        demand_served: if demanded > 0.0 {
+            served / demanded
+        } else {
+            1.0
+        },
     }
 }
 
@@ -218,9 +235,18 @@ mod tests {
 
     fn racks() -> Vec<Rack> {
         vec![
-            Rack { machines: 20, expected_cpu: 0.9 }, // hot rack
-            Rack { machines: 20, expected_cpu: 0.5 },
-            Rack { machines: 20, expected_cpu: 0.2 }, // cold rack
+            Rack {
+                machines: 20,
+                expected_cpu: 0.9,
+            }, // hot rack
+            Rack {
+                machines: 20,
+                expected_cpu: 0.5,
+            },
+            Rack {
+                machines: 20,
+                expected_cpu: 0.2,
+            }, // cold rack
         ]
     }
 
@@ -242,8 +268,14 @@ mod tests {
         let budget = 3.0 * 20.0 * profile.draw(0.55);
         let uniform = allocate_power(&racks, &model, &profile, budget, CapPolicy::Uniform);
         let driven = allocate_power(&racks, &model, &profile, budget, CapPolicy::ModelDriven);
-        assert!(uniform.throttled_racks >= 1, "uniform should throttle the hot rack");
-        assert_eq!(driven.throttled_racks, 0, "model-driven should fund every rack");
+        assert!(
+            uniform.throttled_racks >= 1,
+            "uniform should throttle the hot rack"
+        );
+        assert_eq!(
+            driven.throttled_racks, 0,
+            "model-driven should fund every rack"
+        );
         assert!(driven.demand_served > uniform.demand_served);
         assert!((driven.demand_served - 1.0).abs() < 1e-9);
     }
@@ -253,7 +285,13 @@ mod tests {
         let (model, profile) = model();
         let racks = racks();
         let tiny_budget = 1000.0;
-        let driven = allocate_power(&racks, &model, &profile, tiny_budget, CapPolicy::ModelDriven);
+        let driven = allocate_power(
+            &racks,
+            &model,
+            &profile,
+            tiny_budget,
+            CapPolicy::ModelDriven,
+        );
         assert!(driven.throttled_racks == 3);
         assert!(driven.demand_served < 1.0);
         let total: f64 = driven.caps.iter().sum();

@@ -31,7 +31,12 @@ pub struct DemandModel {
 
 impl Default for DemandModel {
     fn default() -> Self {
-        Self { peak_per_hour: 40.0, offpeak_per_hour: 6.0, noise: 0.2, seed: 13 }
+        Self {
+            peak_per_hour: 40.0,
+            offpeak_per_hour: 6.0,
+            noise: 0.2,
+            seed: 13,
+        }
     }
 }
 
@@ -84,7 +89,11 @@ pub struct ProvisionConfig {
 
 impl Default for ProvisionConfig {
     fn default() -> Self {
-        Self { warm_seconds: 10.0, cold_seconds: 240.0, hours: 24 * 7 }
+        Self {
+            warm_seconds: 10.0,
+            cold_seconds: 240.0,
+            hours: 24 * 7,
+        }
     }
 }
 
@@ -145,7 +154,11 @@ pub fn simulate_provisioning(
 
     waits.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let requests = waits.len();
-    let mean_wait = if requests == 0 { 0.0 } else { waits.iter().sum::<f64>() / requests as f64 };
+    let mean_wait = if requests == 0 {
+        0.0
+    } else {
+        waits.iter().sum::<f64>() / requests as f64
+    };
     let p95_wait = if requests == 0 {
         0.0
     } else {
@@ -155,7 +168,11 @@ pub fn simulate_provisioning(
         mean_wait,
         p95_wait,
         idle_cluster_hours: idle_hours,
-        warm_fraction: if requests == 0 { 0.0 } else { warm as f64 / requests as f64 },
+        warm_fraction: if requests == 0 {
+            0.0
+        } else {
+            warm as f64 / requests as f64
+        },
         requests,
     }
 }
@@ -200,7 +217,10 @@ mod tests {
                 dominated = true;
             }
         }
-        assert!(dominated, "forecast policy should dominate some static point");
+        assert!(
+            dominated,
+            "forecast policy should dominate some static point"
+        );
         assert!(forecast.warm_fraction > 0.8);
     }
 

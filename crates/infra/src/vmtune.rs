@@ -45,7 +45,11 @@ impl VmConfig {
         for backlog in [64u32, 128, 256, 512, 1024, 2048, 4096] {
             for dirty_ratio in [5u32, 10, 15, 20, 30, 40, 50, 60] {
                 for hugepages in [false, true] {
-                    out.push(VmConfig { backlog, dirty_ratio, hugepages });
+                    out.push(VmConfig {
+                        backlog,
+                        dirty_ratio,
+                        hugepages,
+                    });
                 }
             }
         }
@@ -150,7 +154,11 @@ pub fn mlos_tune(
         )?;
         let surrogate = RandomForest::fit(
             &data,
-            ForestConfig { n_trees: 40, seed: rng.gen(), ..Default::default() },
+            ForestConfig {
+                n_trees: 40,
+                seed: rng.gen(),
+                ..Default::default()
+            },
         )?;
         // Probe the best unseen candidate by a UCB-style acquisition:
         // surrogate mean plus the ensemble's disagreement (exploration
@@ -225,8 +233,15 @@ mod tests {
         assert_eq!(best.backlog, 1024);
         assert!(best.hugepages, "hugepages help at the peak backlog");
         // Hugepages hurt at small backlogs (the interaction).
-        let small_on = VmConfig { backlog: 128, dirty_ratio: 10, hugepages: true };
-        let small_off = VmConfig { hugepages: false, ..small_on };
+        let small_on = VmConfig {
+            backlog: 128,
+            dirty_ratio: 10,
+            hugepages: true,
+        };
+        let small_off = VmConfig {
+            hugepages: false,
+            ..small_on
+        };
         assert!(bench.true_throughput(&small_off) > bench.true_throughput(&small_on));
     }
 
@@ -234,9 +249,16 @@ mod tests {
     fn mlos_reaches_near_oracle_cheaply() {
         let bench = RedisBenchmark::new(0.03, 7);
         let report = mlos_tune(&bench, 10, 15, 21).expect("tunes");
-        assert!(report.fraction_of_oracle > 0.95, "{}", report.fraction_of_oracle);
+        assert!(
+            report.fraction_of_oracle > 0.95,
+            "{}",
+            report.fraction_of_oracle
+        );
         assert!(report.runs_spent <= 25);
-        assert!(report.runs_spent < VmConfig::grid().len() / 4, "must beat exhaustive search");
+        assert!(
+            report.runs_spent < VmConfig::grid().len() / 4,
+            "must beat exhaustive search"
+        );
     }
 
     #[test]
@@ -256,7 +278,11 @@ mod tests {
     #[test]
     fn benchmark_is_deterministic_per_run_index() {
         let bench = RedisBenchmark::new(0.1, 3);
-        let c = VmConfig { backlog: 512, dirty_ratio: 20, hugepages: false };
+        let c = VmConfig {
+            backlog: 512,
+            dirty_ratio: 20,
+            hugepages: false,
+        };
         assert_eq!(bench.run(&c, 5), bench.run(&c, 5));
         assert_ne!(bench.run(&c, 5), bench.run(&c, 6));
     }

@@ -44,7 +44,11 @@ pub struct CostTrainConfig {
 
 impl Default for CostTrainConfig {
     fn default() -> Self {
-        Self { min_instances: 8, train_fraction: 0.7, seed: 23 }
+        Self {
+            min_instances: 8,
+            train_fraction: 0.7,
+            seed: 23,
+        }
     }
 }
 
@@ -123,13 +127,22 @@ impl<'a> CostEnsemble<'a> {
 
         // Deterministic split by index hash.
         let is_train = |i: usize| (i * 2654435761) % 100 < (config.train_fraction * 100.0) as usize;
-        let train: Vec<&(Signature, Vec<f64>, f64)> =
-            featurized.iter().enumerate().filter(|(i, _)| is_train(*i)).map(|(_, x)| x).collect();
-        let test: Vec<&(Signature, Vec<f64>, f64)> =
-            featurized.iter().enumerate().filter(|(i, _)| !is_train(*i)).map(|(_, x)| x).collect();
+        let train: Vec<&(Signature, Vec<f64>, f64)> = featurized
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| is_train(*i))
+            .map(|(_, x)| x)
+            .collect();
+        let test: Vec<&(Signature, Vec<f64>, f64)> = featurized
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !is_train(*i))
+            .map(|(_, x)| x)
+            .collect();
 
         // Per-template micromodels.
-        let mut by_template: HashMap<Signature, Vec<&(Signature, Vec<f64>, f64)>> = HashMap::new();
+        type LabeledRow = (Signature, Vec<f64>, f64);
+        let mut by_template: HashMap<Signature, Vec<&LabeledRow>> = HashMap::new();
         for row in &train {
             by_template.entry(row.0).or_default().push(row);
         }
@@ -157,7 +170,12 @@ impl<'a> CostEnsemble<'a> {
         .ok()
         .and_then(|d| GradientBoosting::fit(&d, GbmConfig::default()).ok());
 
-        let ensemble = Self { catalog, cost_model, micro, global };
+        let ensemble = Self {
+            catalog,
+            cost_model,
+            micro,
+            global,
+        };
 
         // Held-out evaluation.
         let mut actual = Vec::with_capacity(test.len());
@@ -176,7 +194,11 @@ impl<'a> CostEnsemble<'a> {
             ensemble_pred.push(ensemble.predict_features(sig, f));
         }
         let report = CostEnsembleReport {
-            micromodel_coverage: if test.is_empty() { 0.0 } else { covered as f64 / test.len() as f64 },
+            micromodel_coverage: if test.is_empty() {
+                0.0
+            } else {
+                covered as f64 / test.len() as f64
+            },
             default_mape: mape(&actual, &default_pred),
             micro_only_mape: mape(&actual, &micro_pred),
             ensemble_mape: mape(&actual, &ensemble_pred),
@@ -256,8 +278,14 @@ mod tests {
     fn ensemble_covers_everything_micro_does_not() {
         let (catalog, plans) = history();
         let (ensemble, report) = CostEnsemble::train(&catalog, &plans, CostTrainConfig::default());
-        assert!(report.micromodel_coverage < 1.0, "ad-hoc jobs cannot be covered");
-        assert!(report.micromodel_coverage > 0.3, "recurring templates should be covered");
+        assert!(
+            report.micromodel_coverage < 1.0,
+            "ad-hoc jobs cannot be covered"
+        );
+        assert!(
+            report.micromodel_coverage > 0.3,
+            "recurring templates should be covered"
+        );
         // The ensemble still predicts for an unseen plan (global fallback).
         let fresh = LogicalPlan::scan("regions").aggregate(vec![1]);
         assert!(ensemble.predict(&fresh) > 0.0);

@@ -276,11 +276,17 @@ mod tests {
         let mut last = start;
         for _ in 0..1000 {
             let chosen = c.choose(t);
-            assert!(chosen.hamming(c.deployed(t)) <= 1, "exploration beyond Hamming 1");
+            assert!(
+                chosen.hamming(c.deployed(t)) <= 1,
+                "exploration beyond Hamming 1"
+            );
             let baseline = c.deployed(t);
             c.observe(t, chosen, env_cost(chosen), env_cost(baseline));
             let now = c.deployed(t);
-            assert!(now.hamming(last) <= 1, "promotion jumped more than one step");
+            assert!(
+                now.hamming(last) <= 1,
+                "promotion jumped more than one step"
+            );
             last = now;
         }
     }
@@ -291,7 +297,10 @@ mod tests {
         // mean = (7*0.5 + 1*6.0)/8 = 1.19 > margin, win rate = 0.125 < 0.75.
         let mut c = SteeringController::new(
             RuleSet::all(),
-            SteeringConfig { epsilon: 0.0, ..Default::default() },
+            SteeringConfig {
+                epsilon: 0.0,
+                ..Default::default()
+            },
         );
         let t = sig(9);
         let target = RuleSet::all().toggled(2);

@@ -112,10 +112,14 @@ impl LinUcb {
     /// contexts and exploration weight `alpha >= 0`.
     pub fn new(n_arms: usize, dim: usize, alpha: f64) -> Result<Self> {
         if n_arms == 0 || dim == 0 {
-            return Err(MlError::InvalidParameter("n_arms and dim must be >= 1".into()));
+            return Err(MlError::InvalidParameter(
+                "n_arms and dim must be >= 1".into(),
+            ));
         }
         if alpha < 0.0 {
-            return Err(MlError::InvalidParameter(format!("alpha must be >= 0, got {alpha}")));
+            return Err(MlError::InvalidParameter(format!(
+                "alpha must be >= 0, got {alpha}"
+            )));
         }
         Ok(Self {
             alpha,
@@ -127,7 +131,11 @@ impl LinUcb {
 
     /// The UCB score of one arm for a context.
     pub fn score(&self, arm: usize, context: &[f64]) -> f64 {
-        assert_eq!(context.len(), self.dim, "context width must match policy dim");
+        assert_eq!(
+            context.len(),
+            self.dim,
+            "context width must match policy dim"
+        );
         let theta = solve(self.a[arm].clone(), self.b[arm].clone())
             .expect("A is positive definite by construction");
         let z = solve(self.a[arm].clone(), context.to_vec())
@@ -148,7 +156,11 @@ impl BanditPolicy for LinUcb {
     }
 
     fn update(&mut self, arm: usize, context: &[f64], reward: f64) {
-        assert_eq!(context.len(), self.dim, "context width must match policy dim");
+        assert_eq!(
+            context.len(),
+            self.dim,
+            "context width must match policy dim"
+        );
         for i in 0..self.dim {
             for j in 0..self.dim {
                 self.a[arm][(i, j)] += context[i] * context[j];
@@ -186,7 +198,10 @@ mod tests {
         assert!(policy.mean_reward(2) > 0.9);
         // After convergence the greedy pick is arm 2.
         let greedy = (0..3).max_by(|&a, &b| {
-            policy.mean_reward(a).partial_cmp(&policy.mean_reward(b)).unwrap()
+            policy
+                .mean_reward(a)
+                .partial_cmp(&policy.mean_reward(b))
+                .unwrap()
         });
         assert_eq!(greedy, Some(2));
         assert_eq!(policy.total_plays(), 500);

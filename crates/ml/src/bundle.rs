@@ -131,15 +131,22 @@ mod tests {
         let json = bundle.to_json().expect("serializes");
         let restored = ModelBundle::from_json(&json).expect("parses");
         assert_eq!(restored.metadata["trained_on"], "unit-test");
-        let back: LinearRegression =
-            restored.unpack(ModelKind::LinearRegression).expect("unpacks");
+        let back: LinearRegression = restored
+            .unpack(ModelKind::LinearRegression)
+            .expect("unpacks");
         assert!((back.predict(&[7.0]) - model.predict(&[7.0])).abs() < 1e-12);
     }
 
     #[test]
     fn forecaster_round_trips() {
         let values: Vec<f64> = (0..96)
-            .map(|i| if (8..18).contains(&(i % 24)) { 10.0 } else { 2.0 })
+            .map(|i| {
+                if (8..18).contains(&(i % 24)) {
+                    10.0
+                } else {
+                    2.0
+                }
+            })
             .collect();
         let model = HoltWinters::fit(&values, 24, HwConfig::default()).expect("fits");
         let bundle = ModelBundle::pack(ModelKind::HoltWinters, "hw", &model).expect("packs");
@@ -151,7 +158,9 @@ mod tests {
     fn kind_mismatch_rejected() {
         let bundle =
             ModelBundle::pack(ModelKind::LinearRegression, "x", &fitted_line()).expect("packs");
-        let err = bundle.unpack::<LinearRegression>(ModelKind::KMeans).unwrap_err();
+        let err = bundle
+            .unpack::<LinearRegression>(ModelKind::KMeans)
+            .unwrap_err();
         assert!(err.to_string().contains("expected"));
     }
 
@@ -160,7 +169,9 @@ mod tests {
         let mut bundle =
             ModelBundle::pack(ModelKind::LinearRegression, "x", &fitted_line()).expect("packs");
         bundle.format = "adas-model/99".to_string();
-        let err = bundle.unpack::<LinearRegression>(ModelKind::LinearRegression).unwrap_err();
+        let err = bundle
+            .unpack::<LinearRegression>(ModelKind::LinearRegression)
+            .unwrap_err();
         assert!(err.to_string().contains("unsupported bundle format"));
     }
 

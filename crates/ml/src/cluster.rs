@@ -34,7 +34,10 @@ impl KMeans {
         }
         let width = points[0].len();
         if let Some(bad) = points.iter().find(|p| p.len() != width) {
-            return Err(MlError::RaggedFeatures { expected: width, found: bad.len() });
+            return Err(MlError::RaggedFeatures {
+                expected: width,
+                found: bad.len(),
+            });
         }
 
         let mut rng = StdRng::seed_from_u64(seed);
@@ -107,7 +110,9 @@ impl KMeans {
             .iter()
             .enumerate()
             .min_by(|(_, a), (_, b)| {
-                sq_dist(p, a).partial_cmp(&sq_dist(p, b)).unwrap_or(std::cmp::Ordering::Equal)
+                sq_dist(p, a)
+                    .partial_cmp(&sq_dist(p, b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
             })
             .map(|(i, _)| i)
             .expect("k >= 1")

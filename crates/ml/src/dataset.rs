@@ -23,12 +23,18 @@ impl Dataset {
             return Err(MlError::EmptyDataset);
         }
         if features.len() != targets.len() {
-            return Err(MlError::LengthMismatch { rows: features.len(), targets: targets.len() });
+            return Err(MlError::LengthMismatch {
+                rows: features.len(),
+                targets: targets.len(),
+            });
         }
         let width = features[0].len();
         for row in &features {
             if row.len() != width {
-                return Err(MlError::RaggedFeatures { expected: width, found: row.len() });
+                return Err(MlError::RaggedFeatures {
+                    expected: width,
+                    found: row.len(),
+                });
             }
         }
         Ok(Self { features, targets })
@@ -88,7 +94,9 @@ impl Dataset {
             )));
         }
         if self.len() < 2 {
-            return Err(MlError::InsufficientData("need at least 2 rows to split".into()));
+            return Err(MlError::InsufficientData(
+                "need at least 2 rows to split".into(),
+            ));
         }
         let mut indices: Vec<usize> = (0..self.len()).collect();
         let mut rng = StdRng::seed_from_u64(seed);
@@ -148,7 +156,11 @@ impl StandardScaler {
     /// Transforms an entire dataset, preserving the targets.
     pub fn transform(&self, data: &Dataset) -> Dataset {
         Dataset {
-            features: data.features().iter().map(|r| self.transform_row(r)).collect(),
+            features: data
+                .features()
+                .iter()
+                .map(|r| self.transform_row(r))
+                .collect(),
             targets: data.targets().to_vec(),
         }
     }
@@ -168,7 +180,10 @@ mod tests {
 
     #[test]
     fn shape_validation() {
-        assert_eq!(Dataset::new(vec![], vec![]).unwrap_err(), MlError::EmptyDataset);
+        assert_eq!(
+            Dataset::new(vec![], vec![]).unwrap_err(),
+            MlError::EmptyDataset
+        );
         assert!(matches!(
             Dataset::new(vec![vec![1.0]], vec![1.0, 2.0]),
             Err(MlError::LengthMismatch { .. })

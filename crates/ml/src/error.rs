@@ -33,7 +33,10 @@ impl fmt::Display for MlError {
         match self {
             Self::EmptyDataset => write!(f, "training data is empty"),
             Self::RaggedFeatures { expected, found } => {
-                write!(f, "feature rows have inconsistent widths: expected {expected}, found {found}")
+                write!(
+                    f,
+                    "feature rows have inconsistent widths: expected {expected}, found {found}"
+                )
             }
             Self::LengthMismatch { rows, targets } => {
                 write!(f, "{rows} feature rows but {targets} targets")

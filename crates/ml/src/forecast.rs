@@ -36,7 +36,9 @@ impl SeasonalNaive {
                 values.len()
             )));
         }
-        Ok(Self { last_season: values[values.len() - period..].to_vec() })
+        Ok(Self {
+            last_season: values[values.len() - period..].to_vec(),
+        })
     }
 }
 
@@ -61,7 +63,9 @@ impl SimpleSmoothing {
             return Err(MlError::EmptyDataset);
         }
         if !(alpha > 0.0 && alpha <= 1.0) {
-            return Err(MlError::InvalidParameter(format!("alpha must be in (0,1], got {alpha}")));
+            return Err(MlError::InvalidParameter(format!(
+                "alpha must be in (0,1], got {alpha}"
+            )));
         }
         let mut level = values[0];
         for &v in &values[1..] {
@@ -104,7 +108,11 @@ pub struct HwConfig {
 
 impl Default for HwConfig {
     fn default() -> Self {
-        Self { alpha: 0.3, beta: 0.05, gamma: 0.2 }
+        Self {
+            alpha: 0.3,
+            beta: 0.05,
+            gamma: 0.2,
+        }
     }
 }
 
@@ -112,9 +120,15 @@ impl HoltWinters {
     /// Fits on `values` with seasonality `period`; requires at least two
     /// full periods.
     pub fn fit(values: &[f64], period: usize, config: HwConfig) -> Result<Self> {
-        for (name, v) in [("alpha", config.alpha), ("beta", config.beta), ("gamma", config.gamma)] {
+        for (name, v) in [
+            ("alpha", config.alpha),
+            ("beta", config.beta),
+            ("gamma", config.gamma),
+        ] {
             if !(v > 0.0 && v < 1.0) {
-                return Err(MlError::InvalidParameter(format!("{name} must be in (0,1), got {v}")));
+                return Err(MlError::InvalidParameter(format!(
+                    "{name} must be in (0,1), got {v}"
+                )));
             }
         }
         if period < 2 {
@@ -144,8 +158,15 @@ impl HoltWinters {
         }
         // Rotate seasonal so index 0 corresponds to the first forecast step.
         let offset = values.len() % period;
-        let rotated: Vec<f64> = (0..period).map(|i| seasonal[(offset + i) % period]).collect();
-        Ok(Self { level, trend, seasonal: rotated, period })
+        let rotated: Vec<f64> = (0..period)
+            .map(|i| seasonal[(offset + i) % period])
+            .collect();
+        Ok(Self {
+            level,
+            trend,
+            seasonal: rotated,
+            period,
+        })
     }
 }
 
@@ -182,7 +203,13 @@ mod tests {
 
     fn daily(days: usize) -> Vec<f64> {
         (0..days * 24)
-            .map(|i| if (8..18).contains(&(i % 24)) { 10.0 } else { 2.0 })
+            .map(|i| {
+                if (8..18).contains(&(i % 24)) {
+                    10.0
+                } else {
+                    2.0
+                }
+            })
             .collect()
     }
 
@@ -230,7 +257,14 @@ mod tests {
     fn holt_winters_captures_trend_and_season() {
         // Upward trend + daily seasonality.
         let values: Vec<f64> = (0..24 * 6)
-            .map(|i| 0.05 * i as f64 + if (8..18).contains(&(i % 24)) { 10.0 } else { 2.0 })
+            .map(|i| {
+                0.05 * i as f64
+                    + if (8..18).contains(&(i % 24)) {
+                        10.0
+                    } else {
+                        2.0
+                    }
+            })
             .collect();
         let f = HoltWinters::fit(&values, 24, HwConfig::default()).unwrap();
         let fc = f.forecast(24);
@@ -248,7 +282,10 @@ mod tests {
         let values = daily(3);
         assert!(HoltWinters::fit(&values, 1, HwConfig::default()).is_err());
         assert!(HoltWinters::fit(&values[..24], 24, HwConfig::default()).is_err());
-        let bad = HwConfig { alpha: 0.0, ..Default::default() };
+        let bad = HwConfig {
+            alpha: 0.0,
+            ..Default::default()
+        };
         assert!(HoltWinters::fit(&values, 24, bad).is_err());
     }
 

@@ -23,7 +23,12 @@ pub struct ForestConfig {
 
 impl Default for ForestConfig {
     fn default() -> Self {
-        Self { n_trees: 30, tree: TreeConfig::default(), feature_fraction: 0.7, seed: 0 }
+        Self {
+            n_trees: 30,
+            tree: TreeConfig::default(),
+            feature_fraction: 0.7,
+            seed: 0,
+        }
     }
 }
 
@@ -58,7 +63,12 @@ impl RandomForest {
             features.shuffle(&mut rng);
             features.truncate(n_features);
             features.sort_unstable();
-            trees.push(DecisionTree::fit_subset(data, &indices, &features, config.tree)?);
+            trees.push(DecisionTree::fit_subset(
+                data,
+                &indices,
+                &features,
+                config.tree,
+            )?);
         }
         Ok(Self { trees })
     }
@@ -113,8 +123,14 @@ mod tests {
         let a = RandomForest::fit(&data, ForestConfig::default()).unwrap();
         let b = RandomForest::fit(&data, ForestConfig::default()).unwrap();
         assert_eq!(a.predict(&[3.3]), b.predict(&[3.3]));
-        let c =
-            RandomForest::fit(&data, ForestConfig { seed: 99, ..Default::default() }).unwrap();
+        let c = RandomForest::fit(
+            &data,
+            ForestConfig {
+                seed: 99,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         // Different seed almost surely differs somewhere.
         assert_ne!(a, c);
     }
@@ -122,15 +138,28 @@ mod tests {
     #[test]
     fn config_validation() {
         let data = noisy_quadratic();
-        assert!(RandomForest::fit(&data, ForestConfig { n_trees: 0, ..Default::default() }).is_err());
         assert!(RandomForest::fit(
             &data,
-            ForestConfig { feature_fraction: 0.0, ..Default::default() }
+            ForestConfig {
+                n_trees: 0,
+                ..Default::default()
+            }
         )
         .is_err());
         assert!(RandomForest::fit(
             &data,
-            ForestConfig { feature_fraction: 1.5, ..Default::default() }
+            ForestConfig {
+                feature_fraction: 0.0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(RandomForest::fit(
+            &data,
+            ForestConfig {
+                feature_fraction: 1.5,
+                ..Default::default()
+            }
         )
         .is_err());
     }

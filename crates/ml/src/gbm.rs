@@ -25,7 +25,10 @@ impl Default for GbmConfig {
         Self {
             n_rounds: 50,
             learning_rate: 0.2,
-            tree: TreeConfig { max_depth: 3, min_samples_leaf: 2 },
+            tree: TreeConfig {
+                max_depth: 3,
+                min_samples_leaf: 2,
+            },
         }
     }
 }
@@ -67,7 +70,11 @@ impl GradientBoosting {
             }
             trees.push(tree);
         }
-        Ok(Self { base, learning_rate: config.learning_rate, trees })
+        Ok(Self {
+            base,
+            learning_rate: config.learning_rate,
+            trees,
+        })
     }
 
     /// Number of boosting rounds fitted.
@@ -100,8 +107,9 @@ mod tests {
     use crate::metrics::rmse;
 
     fn sine_data() -> Dataset {
-        let pairs: Vec<(f64, f64)> =
-            (0..200).map(|i| (i as f64 * 0.05, (i as f64 * 0.05).sin() * 10.0)).collect();
+        let pairs: Vec<(f64, f64)> = (0..200)
+            .map(|i| (i as f64 * 0.05, (i as f64 * 0.05).sin() * 10.0))
+            .collect();
         Dataset::from_xy(&pairs).unwrap()
     }
 
@@ -132,16 +140,28 @@ mod tests {
     #[test]
     fn config_validation() {
         let data = sine_data();
-        assert!(GradientBoosting::fit(&data, GbmConfig { n_rounds: 0, ..Default::default() })
-            .is_err());
         assert!(GradientBoosting::fit(
             &data,
-            GbmConfig { learning_rate: 0.0, ..Default::default() }
+            GbmConfig {
+                n_rounds: 0,
+                ..Default::default()
+            }
         )
         .is_err());
         assert!(GradientBoosting::fit(
             &data,
-            GbmConfig { learning_rate: 1.5, ..Default::default() }
+            GbmConfig {
+                learning_rate: 0.0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(GradientBoosting::fit(
+            &data,
+            GbmConfig {
+                learning_rate: 1.5,
+                ..Default::default()
+            }
         )
         .is_err());
     }

@@ -25,7 +25,11 @@ impl KNearest {
                 data.len()
             )));
         }
-        Ok(Self { k, points: data.features().to_vec(), targets: data.targets().to_vec() })
+        Ok(Self {
+            k,
+            points: data.features().to_vec(),
+            targets: data.targets().to_vec(),
+        })
     }
 
     /// Indices of the `k` nearest training points to `query` (squared
@@ -63,7 +67,8 @@ impl Classifier for KNearest {
     /// ties for determinism.
     fn classify(&self, features: &[f64]) -> usize {
         let nn = self.neighbors(features);
-        let mut counts: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
+        let mut counts: std::collections::BTreeMap<usize, usize> =
+            std::collections::BTreeMap::new();
         for &i in &nn {
             *counts.entry(self.targets[i].round() as usize).or_insert(0) += 1;
         }

@@ -20,7 +20,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates an identity matrix.
@@ -41,11 +45,18 @@ impl Matrix {
         let mut data = Vec::with_capacity(rows.len() * cols);
         for row in rows {
             if row.len() != cols {
-                return Err(MlError::RaggedFeatures { expected: cols, found: row.len() });
+                return Err(MlError::RaggedFeatures {
+                    expected: cols,
+                    found: row.len(),
+                });
             }
             data.extend_from_slice(row);
         }
-        Ok(Self { rows: rows.len(), cols, data })
+        Ok(Self {
+            rows: rows.len(),
+            cols,
+            data,
+        })
     }
 
     /// Number of rows.
@@ -82,10 +93,9 @@ impl Matrix {
     pub fn transpose_mul_vec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.rows, "vector length must equal row count");
         let mut out = vec![0.0; self.cols];
-        for r in 0..self.rows {
-            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+        for (row, &scale) in self.data.chunks_exact(self.cols).zip(v) {
             for (o, x) in out.iter_mut().zip(row) {
-                *o += x * v[r];
+                *o += x * scale;
             }
         }
         out
@@ -211,13 +221,19 @@ mod tests {
     #[test]
     fn singular_matrix_detected() {
         let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
-        assert_eq!(solve(a, vec![1.0, 2.0]).unwrap_err(), MlError::SingularMatrix);
+        assert_eq!(
+            solve(a, vec![1.0, 2.0]).unwrap_err(),
+            MlError::SingularMatrix
+        );
     }
 
     #[test]
     fn non_square_rejected() {
         let a = Matrix::zeros(2, 3);
-        assert!(matches!(solve(a, vec![0.0, 0.0]), Err(MlError::InvalidParameter(_))));
+        assert!(matches!(
+            solve(a, vec![0.0, 0.0]),
+            Err(MlError::InvalidParameter(_))
+        ));
     }
 
     #[test]
@@ -240,7 +256,10 @@ mod tests {
     fn ragged_rows_rejected() {
         assert!(matches!(
             Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]),
-            Err(MlError::RaggedFeatures { expected: 1, found: 2 })
+            Err(MlError::RaggedFeatures {
+                expected: 1,
+                found: 2
+            })
         ));
     }
 

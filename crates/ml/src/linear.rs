@@ -46,7 +46,10 @@ impl LinearRegression {
         }
         let rhs = x.transpose_mul_vec(data.targets());
         let beta = solve(gram, rhs)?;
-        Ok(Self { coefficients: beta[1..].to_vec(), intercept: beta[0] })
+        Ok(Self {
+            coefficients: beta[1..].to_vec(),
+            intercept: beta[0],
+        })
     }
 
     /// Fitted slope coefficients, one per feature.
@@ -97,7 +100,10 @@ mod tests {
         let features: Vec<Vec<f64>> = (0..20)
             .map(|i| vec![(i % 5) as f64, (i / 5) as f64])
             .collect();
-        let targets: Vec<f64> = features.iter().map(|r| 1.0 + 2.0 * r[0] - 3.0 * r[1]).collect();
+        let targets: Vec<f64> = features
+            .iter()
+            .map(|r| 1.0 + 2.0 * r[0] - 3.0 * r[1])
+            .collect();
         let data = Dataset::new(features, targets).unwrap();
         let m = LinearRegression::fit(&data).unwrap();
         assert!((m.predict(&[2.0, 1.0]) - 2.0).abs() < 1e-9);

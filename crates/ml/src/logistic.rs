@@ -22,7 +22,11 @@ pub struct LogisticConfig {
 
 impl Default for LogisticConfig {
     fn default() -> Self {
-        Self { learning_rate: 0.1, iterations: 500, l2: 1e-4 }
+        Self {
+            learning_rate: 0.1,
+            iterations: 500,
+            l2: 1e-4,
+        }
     }
 }
 
@@ -74,7 +78,11 @@ impl LogisticRegression {
 
     /// Probability that the label is 1.
     pub fn predict_proba(&self, features: &[f64]) -> f64 {
-        assert_eq!(features.len(), self.weights.len(), "feature width must match fitted model");
+        assert_eq!(
+            features.len(),
+            self.weights.len(),
+            "feature width must match fitted model"
+        );
         sigmoid(self.bias + dot(&self.weights, features))
     }
 
@@ -113,7 +121,9 @@ mod tests {
     #[test]
     fn probabilities_monotone_in_feature() {
         let m = LogisticRegression::fit(&separable(), LogisticConfig::default()).unwrap();
-        let ps: Vec<f64> = (0..10).map(|i| m.predict_proba(&[i as f64 * 0.5])).collect();
+        let ps: Vec<f64> = (0..10)
+            .map(|i| m.predict_proba(&[i as f64 * 0.5]))
+            .collect();
         assert!(ps.windows(2).all(|w| w[1] >= w[0]));
     }
 
@@ -122,9 +132,15 @@ mod tests {
         let bad = Dataset::from_xy(&[(0.0, 2.0), (1.0, 0.0)]).unwrap();
         assert!(LogisticRegression::fit(&bad, LogisticConfig::default()).is_err());
         let good = separable();
-        let cfg = LogisticConfig { learning_rate: 0.0, ..Default::default() };
+        let cfg = LogisticConfig {
+            learning_rate: 0.0,
+            ..Default::default()
+        };
         assert!(LogisticRegression::fit(&good, cfg).is_err());
-        let cfg = LogisticConfig { iterations: 0, ..Default::default() };
+        let cfg = LogisticConfig {
+            iterations: 0,
+            ..Default::default()
+        };
         assert!(LogisticRegression::fit(&good, cfg).is_err());
     }
 
@@ -140,7 +156,10 @@ mod tests {
             }
         }
         let data = Dataset::new(features, targets).unwrap();
-        let cfg = LogisticConfig { iterations: 2000, ..Default::default() };
+        let cfg = LogisticConfig {
+            iterations: 2000,
+            ..Default::default()
+        };
         let m = LogisticRegression::fit(&data, cfg).unwrap();
         assert_eq!(m.classify(&[0.0, 0.0]), 0);
         assert_eq!(m.classify(&[4.0, 4.0]), 1);

@@ -7,7 +7,12 @@ pub fn mae(actual: &[f64], predicted: &[f64]) -> f64 {
     if actual.is_empty() {
         return 0.0;
     }
-    actual.iter().zip(predicted).map(|(a, p)| (a - p).abs()).sum::<f64>() / actual.len() as f64
+    actual
+        .iter()
+        .zip(predicted)
+        .map(|(a, p)| (a - p).abs())
+        .sum::<f64>()
+        / actual.len() as f64
 }
 
 /// Root mean squared error.
@@ -16,7 +21,11 @@ pub fn rmse(actual: &[f64], predicted: &[f64]) -> f64 {
     if actual.is_empty() {
         return 0.0;
     }
-    (actual.iter().zip(predicted).map(|(a, p)| (a - p).powi(2)).sum::<f64>()
+    (actual
+        .iter()
+        .zip(predicted)
+        .map(|(a, p)| (a - p).powi(2))
+        .sum::<f64>()
         / actual.len() as f64)
         .sqrt()
 }
@@ -51,7 +60,11 @@ pub fn r_squared(actual: &[f64], predicted: &[f64]) -> f64 {
     if ss_tot == 0.0 {
         return 0.0;
     }
-    let ss_res: f64 = actual.iter().zip(predicted).map(|(a, p)| (a - p).powi(2)).sum();
+    let ss_res: f64 = actual
+        .iter()
+        .zip(predicted)
+        .map(|(a, p)| (a - p).powi(2))
+        .sum();
     1.0 - ss_res / ss_tot
 }
 
@@ -70,7 +83,11 @@ pub fn median_q_error(actual: &[f64], estimated: &[f64]) -> f64 {
     if actual.is_empty() {
         return 1.0;
     }
-    let mut qs: Vec<f64> = actual.iter().zip(estimated).map(|(a, e)| q_error(*a, *e)).collect();
+    let mut qs: Vec<f64> = actual
+        .iter()
+        .zip(estimated)
+        .map(|(a, e)| q_error(*a, *e))
+        .collect();
     qs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let mid = qs.len() / 2;
     if qs.len() % 2 == 1 {
@@ -122,7 +139,11 @@ pub fn binary_report(actual: &[usize], predicted: &[usize]) -> BinaryReport {
     } else {
         0.0
     };
-    BinaryReport { precision, recall, f1 }
+    BinaryReport {
+        precision,
+        recall,
+        f1,
+    }
 }
 
 #[cfg(test)]
@@ -164,7 +185,10 @@ mod tests {
 
     #[test]
     fn median_q_error_odd_even() {
-        assert_eq!(median_q_error(&[10.0, 10.0, 10.0], &[10.0, 20.0, 40.0]), 2.0);
+        assert_eq!(
+            median_q_error(&[10.0, 10.0, 10.0], &[10.0, 20.0, 40.0]),
+            2.0
+        );
         assert_eq!(median_q_error(&[10.0, 10.0], &[20.0, 40.0]), 3.0);
         assert_eq!(median_q_error(&[], &[]), 1.0);
     }

@@ -20,7 +20,10 @@ pub struct TreeConfig {
 
 impl Default for TreeConfig {
     fn default() -> Self {
-        Self { max_depth: 8, min_samples_leaf: 2 }
+        Self {
+            max_depth: 8,
+            min_samples_leaf: 2,
+        }
     }
 }
 
@@ -100,8 +103,7 @@ fn build(
     depth: usize,
     config: TreeConfig,
 ) -> Node {
-    let mean =
-        indices.iter().map(|&i| data.targets()[i]).sum::<f64>() / indices.len() as f64;
+    let mean = indices.iter().map(|&i| data.targets()[i]).sum::<f64>() / indices.len() as f64;
     if depth >= config.max_depth || indices.len() < 2 * config.min_samples_leaf {
         return Node::Leaf { value: mean };
     }
@@ -147,7 +149,10 @@ impl DecisionTree {
                 "max_depth and min_samples_leaf must be >= 1".into(),
             ));
         }
-        Ok(Self { root: build(data, indices, features, 0, config), width: data.width() })
+        Ok(Self {
+            root: build(data, indices, features, 0, config),
+            width: data.width(),
+        })
     }
 
     /// Number of leaves (model-size diagnostic).
@@ -175,13 +180,26 @@ impl DecisionTree {
 
 impl Regressor for DecisionTree {
     fn predict(&self, features: &[f64]) -> f64 {
-        assert_eq!(features.len(), self.width, "feature width must match fitted model");
+        assert_eq!(
+            features.len(),
+            self.width,
+            "feature width must match fitted model"
+        );
         let mut node = &self.root;
         loop {
             match node {
                 Node::Leaf { value } => return *value,
-                Node::Split { feature, threshold, left, right } => {
-                    node = if features[*feature] <= *threshold { left } else { right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if features[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -195,8 +213,9 @@ mod tests {
 
     fn step_data() -> Dataset {
         // y = 1 for x < 5, y = 9 for x >= 5.
-        let pairs: Vec<(f64, f64)> =
-            (0..20).map(|i| (i as f64 * 0.5, if i < 10 { 1.0 } else { 9.0 })).collect();
+        let pairs: Vec<(f64, f64)> = (0..20)
+            .map(|i| (i as f64 * 0.5, if i < 10 { 1.0 } else { 9.0 }))
+            .collect();
         Dataset::from_xy(&pairs).unwrap()
     }
 
@@ -211,7 +230,14 @@ mod tests {
     fn depth_limit_respected() {
         let pairs: Vec<(f64, f64)> = (0..64).map(|i| (i as f64, (i % 7) as f64)).collect();
         let data = Dataset::from_xy(&pairs).unwrap();
-        let t = DecisionTree::fit(&data, TreeConfig { max_depth: 3, min_samples_leaf: 1 }).unwrap();
+        let t = DecisionTree::fit(
+            &data,
+            TreeConfig {
+                max_depth: 3,
+                min_samples_leaf: 1,
+            },
+        )
+        .unwrap();
         assert!(t.depth() <= 3);
         assert!(t.leaf_count() <= 8);
     }
@@ -219,8 +245,14 @@ mod tests {
     #[test]
     fn min_samples_leaf_respected() {
         let data = step_data();
-        let t =
-            DecisionTree::fit(&data, TreeConfig { max_depth: 10, min_samples_leaf: 10 }).unwrap();
+        let t = DecisionTree::fit(
+            &data,
+            TreeConfig {
+                max_depth: 10,
+                min_samples_leaf: 10,
+            },
+        )
+        .unwrap();
         // With min leaf 10 on 20 samples only the single perfect split fits.
         assert_eq!(t.leaf_count(), 2);
     }
@@ -237,15 +269,28 @@ mod tests {
     #[test]
     fn invalid_config_rejected() {
         let data = step_data();
-        assert!(DecisionTree::fit(&data, TreeConfig { max_depth: 0, min_samples_leaf: 1 }).is_err());
-        assert!(DecisionTree::fit(&data, TreeConfig { max_depth: 1, min_samples_leaf: 0 }).is_err());
+        assert!(DecisionTree::fit(
+            &data,
+            TreeConfig {
+                max_depth: 0,
+                min_samples_leaf: 1
+            }
+        )
+        .is_err());
+        assert!(DecisionTree::fit(
+            &data,
+            TreeConfig {
+                max_depth: 1,
+                min_samples_leaf: 0
+            }
+        )
+        .is_err());
     }
 
     #[test]
     fn two_dimensional_split() {
         // y depends only on the second feature.
-        let features: Vec<Vec<f64>> =
-            (0..30).map(|i| vec![(i % 3) as f64, i as f64]).collect();
+        let features: Vec<Vec<f64>> = (0..30).map(|i| vec![(i % 3) as f64, i as f64]).collect();
         let targets: Vec<f64> = (0..30).map(|i| if i < 15 { 0.0 } else { 10.0 }).collect();
         let data = Dataset::new(features, targets).unwrap();
         let t = DecisionTree::fit(&data, TreeConfig::default()).unwrap();

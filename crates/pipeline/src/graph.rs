@@ -72,7 +72,12 @@ impl PipelineGraph {
         let pipelines: Vec<Vec<JobId>> =
             components.into_values().filter(|c| c.len() >= 2).collect();
 
-        Self { edges, downstream, upstream, pipelines }
+        Self {
+            edges,
+            downstream,
+            upstream,
+            pipelines,
+        }
     }
 
     /// Dependency edges `(producer, consumer)`.
@@ -97,8 +102,7 @@ impl PipelineGraph {
 
     /// Pipeline-aware statistics for a trace.
     pub fn stats(&self, trace: &Trace) -> PipelineStats {
-        let in_pipeline: HashSet<JobId> =
-            self.pipelines.iter().flatten().copied().collect();
+        let in_pipeline: HashSet<JobId> = self.pipelines.iter().flatten().copied().collect();
         let total = trace.len();
         PipelineStats {
             total_jobs: total,
@@ -184,7 +188,10 @@ mod tests {
 
     #[test]
     fn generated_workload_hits_dependency_target() {
-        let w = WorkloadGenerator::new(GeneratorConfig::default()).unwrap().generate().unwrap();
+        let w = WorkloadGenerator::new(GeneratorConfig::default())
+            .unwrap()
+            .generate()
+            .unwrap();
         let g = PipelineGraph::build(&w.trace);
         let stats = g.stats(&w.trace);
         assert!(

@@ -37,7 +37,12 @@ pub struct PushdownReport {
     pub work_reduction: f64,
 }
 
-fn replace_subplan(plan: &LogicalPlan, target: Signature, table: &str, hits: &mut usize) -> LogicalPlan {
+fn replace_subplan(
+    plan: &LogicalPlan,
+    target: Signature,
+    table: &str,
+    hits: &mut usize,
+) -> LogicalPlan {
     if plan.node_count() >= 2 && strict_signature(plan) == target {
         *hits += 1;
         return LogicalPlan::scan(table);
@@ -140,6 +145,7 @@ pub fn optimize_pipelines(
                 rows: rows.max(1.0) as u64,
                 columns,
             });
+            extended.register_view(&table_name, sub.clone());
             for &cid in consumers {
                 let job = rewritten.get_mut(&cid).expect("job present");
                 let mut hits = 0usize;
@@ -233,11 +239,10 @@ mod tests {
             .collect();
         assert!(!pushed_tables.is_empty());
         for job in &jobs[1..] {
-            assert!(job
-                .plan
-                .iter()
-                .any(|n| matches!(&n.kind,
-                    adas_workload::plan::PlanKind::Scan { table } if table.starts_with("pushed_"))));
+            assert!(
+                job.plan.iter().any(|n| matches!(&n.kind,
+                    adas_workload::plan::PlanKind::Scan { table } if table.starts_with("pushed_")))
+            );
         }
     }
 
@@ -288,7 +293,9 @@ mod tests {
         let c1 = Job {
             id: JobId(1),
             template: TemplateId(1),
-            plan: LogicalPlan::scan("events").filter(Predicate::single(1, CmpOp::Eq, 1)).aggregate(vec![0]),
+            plan: LogicalPlan::scan("events")
+                .filter(Predicate::single(1, CmpOp::Eq, 1))
+                .aggregate(vec![0]),
             submit_time: 10,
             inputs: vec![DatasetId(1)],
             outputs: vec![],
@@ -296,7 +303,9 @@ mod tests {
         let c2 = Job {
             id: JobId(2),
             template: TemplateId(2),
-            plan: LogicalPlan::scan("events").filter(Predicate::single(1, CmpOp::Eq, 2)).aggregate(vec![0]),
+            plan: LogicalPlan::scan("events")
+                .filter(Predicate::single(1, CmpOp::Eq, 2))
+                .aggregate(vec![0]),
             submit_time: 20,
             inputs: vec![DatasetId(1)],
             outputs: vec![],

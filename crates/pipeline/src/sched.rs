@@ -83,8 +83,11 @@ pub fn schedule(
         .map(|j| (j.id, downstream_work(j.id, &graph, &work, &mut memo)))
         .collect();
 
-    let submit: HashMap<JobId, f64> =
-        trace.jobs().iter().map(|j| (j.id, j.submit_time as f64)).collect();
+    let submit: HashMap<JobId, f64> = trace
+        .jobs()
+        .iter()
+        .map(|j| (j.id, j.submit_time as f64))
+        .collect();
     let mut finish: HashMap<JobId, f64> = HashMap::new();
     let mut slot_free = vec![0.0f64; job_slots];
     let mut pending: Vec<JobId> = trace.jobs().iter().map(|j| j.id).collect();
@@ -148,7 +151,11 @@ pub fn schedule(
     } else {
         finish.iter().map(|(id, f)| f - submit[id]).sum::<f64>() / finish.len() as f64
     };
-    Ok(ScheduleReport { makespan, mean_completion, finish })
+    Ok(ScheduleReport {
+        makespan,
+        mean_completion,
+        finish,
+    })
 }
 
 #[cfg(test)]
@@ -222,7 +229,10 @@ mod tests {
             v.sort_by(|a, b| a.partial_cmp(b).unwrap());
             v
         };
-        assert!(f[1] >= 2.0 * f[0] - 1e-6, "jobs must not overlap on one slot");
+        assert!(
+            f[1] >= 2.0 * f[0] - 1e-6,
+            "jobs must not overlap on one slot"
+        );
     }
 
     #[test]

@@ -21,7 +21,10 @@ pub fn canonicalize(plan: &LogicalPlan) -> LogicalPlan {
             let child = children.into_iter().next().expect("filter has one child");
             // Merge with an immediately-below filter.
             let (mut clauses, grand) = match child {
-                LogicalPlan { kind: PlanKind::Filter { predicate: inner }, children: mut gc } => {
+                LogicalPlan {
+                    kind: PlanKind::Filter { predicate: inner },
+                    children: mut gc,
+                } => {
                     let grand = gc.pop().expect("filter has one child");
                     (inner.clauses.clone(), grand)
                 }
@@ -36,10 +39,16 @@ pub fn canonicalize(plan: &LogicalPlan) -> LogicalPlan {
             let mut kids = children;
             kids.sort_by_key(strict_signature);
             let mut it = kids.into_iter();
-            let (a, b) = (it.next().expect("two children"), it.next().expect("two children"));
+            let (a, b) = (
+                it.next().expect("two children"),
+                it.next().expect("two children"),
+            );
             LogicalPlan::union(a, b)
         }
-        kind => LogicalPlan { kind: kind.clone(), children },
+        kind => LogicalPlan {
+            kind: kind.clone(),
+            children,
+        },
     }
 }
 
@@ -63,7 +72,10 @@ mod tests {
             Comparison::new(1, CmpOp::Eq, 3),
         ]));
         assert_ne!(strict_signature(&stacked), strict_signature(&merged));
-        assert_eq!(normalized_signature(&stacked), normalized_signature(&merged));
+        assert_eq!(
+            normalized_signature(&stacked),
+            normalized_signature(&merged)
+        );
     }
 
     #[test]
@@ -86,7 +98,10 @@ mod tests {
             .filter(Predicate::single(1, CmpOp::Eq, 3))
             .filter(Predicate::single(1, CmpOp::Eq, 3));
         let single = LogicalPlan::scan("events").filter(Predicate::single(1, CmpOp::Eq, 3));
-        assert_eq!(normalized_signature(&doubled), normalized_signature(&single));
+        assert_eq!(
+            normalized_signature(&doubled),
+            normalized_signature(&single)
+        );
     }
 
     #[test]
@@ -106,8 +121,18 @@ mod tests {
     #[test]
     fn join_structure_preserved() {
         // Joins do not commute under normalization (key roles differ).
-        let a = LogicalPlan::join(LogicalPlan::scan("events"), LogicalPlan::scan("users"), 0, 0);
-        let b = LogicalPlan::join(LogicalPlan::scan("users"), LogicalPlan::scan("events"), 0, 0);
+        let a = LogicalPlan::join(
+            LogicalPlan::scan("events"),
+            LogicalPlan::scan("users"),
+            0,
+            0,
+        );
+        let b = LogicalPlan::join(
+            LogicalPlan::scan("users"),
+            LogicalPlan::scan("events"),
+            0,
+            0,
+        );
         assert_ne!(normalized_signature(&a), normalized_signature(&b));
     }
 }

@@ -31,12 +31,20 @@ pub struct MatchPolicy {
 impl MatchPolicy {
     /// Original CloudViews: signatures only.
     pub fn syntactic_only() -> Self {
-        Self { syntactic: true, semantic: false, containment: false }
+        Self {
+            syntactic: true,
+            semantic: false,
+            containment: false,
+        }
     }
 
     /// The full extension described in the paper.
     pub fn full() -> Self {
-        Self { syntactic: true, semantic: true, containment: true }
+        Self {
+            syntactic: true,
+            semantic: true,
+            containment: true,
+        }
     }
 }
 
@@ -74,7 +82,10 @@ fn match_node(
         if let PlanKind::Filter { predicate } = &node.kind {
             let child_norm = normalized_signature(&node.children[0]);
             for view in views.views() {
-                if let PlanKind::Filter { predicate: view_pred } = &view.plan.kind {
+                if let PlanKind::Filter {
+                    predicate: view_pred,
+                } = &view.plan.kind
+                {
                     if normalized_signature(&view.plan.children[0]) == child_norm
                         && predicate.contained_in(view_pred)
                     {
@@ -115,11 +126,19 @@ fn rewrite_rec(
 }
 
 /// Rewrites a plan against the view catalog, largest subtree first.
-pub fn rewrite_plan(plan: &LogicalPlan, views: &ViewCatalog, policy: MatchPolicy) -> RewriteOutcome {
+pub fn rewrite_plan(
+    plan: &LogicalPlan,
+    views: &ViewCatalog,
+    policy: MatchPolicy,
+) -> RewriteOutcome {
     let mut hits = 0;
     let mut containment_hits = 0;
     let rewritten = rewrite_rec(plan, views, policy, &mut hits, &mut containment_hits);
-    RewriteOutcome { plan: rewritten, hits, containment_hits }
+    RewriteOutcome {
+        plan: rewritten,
+        hits,
+        containment_hits,
+    }
 }
 
 #[cfg(test)]
@@ -174,12 +193,13 @@ mod tests {
         let catalog = Catalog::standard();
         // Train with a two-clause merged filter feeding an aggregate (so the
         // filter subtree itself is a view candidate).
-        let merged = LogicalPlan::scan("events")
-            .filter(Predicate::new(vec![
-                adas_workload::plan::Comparison::new(1, CmpOp::Eq, 3),
-                adas_workload::plan::Comparison::new(2, CmpOp::Le, 10),
-            ]));
-        let plans: Vec<LogicalPlan> = (0..4).map(|i| merged.clone().aggregate(vec![i % 3])).collect();
+        let merged = LogicalPlan::scan("events").filter(Predicate::new(vec![
+            adas_workload::plan::Comparison::new(1, CmpOp::Eq, 3),
+            adas_workload::plan::Comparison::new(2, CmpOp::Le, 10),
+        ]));
+        let plans: Vec<LogicalPlan> = (0..4)
+            .map(|i| merged.clone().aggregate(vec![i % 3]))
+            .collect();
         let vc = ViewCatalog::select(&plans, &catalog, &SelectionConfig::default());
         // Query stacks the filters in the opposite order.
         let query = LogicalPlan::scan("events")
@@ -196,7 +216,9 @@ mod tests {
     fn containment_match_compensates() {
         let catalog = Catalog::standard();
         let wide = LogicalPlan::scan("events").filter(Predicate::single(2, CmpOp::Le, 500));
-        let plans: Vec<LogicalPlan> = (0..4).map(|i| wide.clone().aggregate(vec![i % 3])).collect();
+        let plans: Vec<LogicalPlan> = (0..4)
+            .map(|i| wide.clone().aggregate(vec![i % 3]))
+            .collect();
         let vc = ViewCatalog::select(&plans, &catalog, &SelectionConfig::default());
         // Narrower query predicate: contained in the view predicate.
         let query = LogicalPlan::scan("events")
@@ -220,8 +242,9 @@ mod tests {
     fn wider_query_not_answered_by_narrow_view() {
         let catalog = Catalog::standard();
         let narrow = LogicalPlan::scan("events").filter(Predicate::single(2, CmpOp::Le, 100));
-        let plans: Vec<LogicalPlan> =
-            (0..4).map(|i| narrow.clone().aggregate(vec![i % 3])).collect();
+        let plans: Vec<LogicalPlan> = (0..4)
+            .map(|i| narrow.clone().aggregate(vec![i % 3]))
+            .collect();
         let vc = ViewCatalog::select(&plans, &catalog, &SelectionConfig::default());
         let query = LogicalPlan::scan("events")
             .filter(Predicate::single(2, CmpOp::Le, 500))

@@ -51,7 +51,11 @@ pub struct SelectionConfig {
 
 impl Default for SelectionConfig {
     fn default() -> Self {
-        Self { storage_budget_bytes: 50.0 * 1e9, min_occurrences: 2, min_nodes: 2 }
+        Self {
+            storage_budget_bytes: 50.0 * 1e9,
+            min_occurrences: 2,
+            min_nodes: 2,
+        }
     }
 }
 
@@ -215,6 +219,7 @@ impl ViewCatalog {
                 rows: view.rows.max(1.0) as u64,
                 columns,
             });
+            extended.register_view(&view.name, view.plan.clone());
         }
         extended
     }
@@ -267,7 +272,10 @@ mod tests {
     fn budget_limits_selection() {
         let catalog = Catalog::standard();
         let plans = workload_with_overlap(5);
-        let tight = SelectionConfig { storage_budget_bytes: 1.0, ..Default::default() };
+        let tight = SelectionConfig {
+            storage_budget_bytes: 1.0,
+            ..Default::default()
+        };
         let vc = ViewCatalog::select(&plans, &catalog, &tight);
         assert!(vc.is_empty());
     }
@@ -291,7 +299,10 @@ mod tests {
         let catalog = Catalog::standard();
         let mut plans = workload_with_overlap(2);
         plans.push(LogicalPlan::scan("regions").aggregate(vec![0]));
-        let strict = SelectionConfig { min_occurrences: 3, ..Default::default() };
+        let strict = SelectionConfig {
+            min_occurrences: 3,
+            ..Default::default()
+        };
         let vc = ViewCatalog::select(&plans, &catalog, &strict);
         assert!(vc.is_empty());
     }

@@ -80,7 +80,11 @@ pub fn cheapest_covering(skus: &[Sku], vcores: f64, memory_gb: f64) -> Option<us
     skus.iter()
         .enumerate()
         .filter(|(_, s)| s.vcores >= vcores && s.memory_gb >= memory_gb)
-        .min_by(|a, b| a.1.price.partial_cmp(&b.1.price).unwrap_or(std::cmp::Ordering::Equal))
+        .min_by(|a, b| {
+            a.1.price
+                .partial_cmp(&b.1.price)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
         .map(|(i, _)| i)
 }
 
@@ -112,7 +116,13 @@ pub fn generate_customers(n: usize, segments: usize, noise: f64, seed: u64) -> V
             let true_memory_gb = cm * (1.0 + rng.gen_range(-0.1..=0.1));
             let observed_vcores = true_vcores * (1.0 + rng.gen_range(-noise..=noise));
             let observed_memory_gb = true_memory_gb * (1.0 + rng.gen_range(-noise..=noise));
-            Customer { segment_truth: segment, true_vcores, true_memory_gb, observed_vcores, observed_memory_gb }
+            Customer {
+                segment_truth: segment,
+                true_vcores,
+                true_memory_gb,
+                observed_vcores,
+                observed_memory_gb,
+            }
         })
         .collect()
 }
@@ -153,7 +163,11 @@ impl Doppler {
                 )
             })
             .collect();
-        Ok(Self { skus, kmeans, cluster_requirements })
+        Ok(Self {
+            skus,
+            kmeans,
+            cluster_requirements,
+        })
     }
 
     /// Recommends a SKU index for a new customer: segment knowledge blended
@@ -172,7 +186,11 @@ impl Doppler {
 
     /// The naive baseline: cheapest SKU covering the raw noisy profile.
     pub fn naive(&self, customer: &Customer) -> Option<usize> {
-        cheapest_covering(&self.skus, customer.observed_vcores, customer.observed_memory_gb)
+        cheapest_covering(
+            &self.skus,
+            customer.observed_vcores,
+            customer.observed_memory_gb,
+        )
     }
 
     /// Price-performance curve for one customer: all SKUs that cover the
@@ -243,7 +261,11 @@ mod tests {
     fn doppler_hits_paper_accuracy() {
         let (doppler, test) = setup();
         let report = evaluate(&doppler, &test);
-        assert!(report.doppler_accuracy > 0.95, "doppler {}", report.doppler_accuracy);
+        assert!(
+            report.doppler_accuracy > 0.95,
+            "doppler {}",
+            report.doppler_accuracy
+        );
         assert!(
             report.doppler_accuracy > report.naive_accuracy,
             "doppler {} vs naive {}",
@@ -260,7 +282,10 @@ mod tests {
         // Nothing cheaper fits.
         for (i, s) in skus.iter().enumerate() {
             if s.price < skus[idx].price {
-                assert!(s.vcores < 2.5 || s.memory_gb < 10.0, "sku {i} should not fit");
+                assert!(
+                    s.vcores < 2.5 || s.memory_gb < 10.0,
+                    "sku {i} should not fit"
+                );
             }
         }
         assert_eq!(cheapest_covering(&skus, 1e9, 1.0), None);

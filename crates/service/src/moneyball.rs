@@ -60,7 +60,11 @@ pub fn generate_usage(n: usize, days: usize, predictable_frac: f64, seed: u64) -
                 for _ in 0..days {
                     history.extend(gen_day(&mut rng));
                 }
-                DbUsage { predictable_truth: true, history, next_day: (0..HOURS).map(active).collect() }
+                DbUsage {
+                    predictable_truth: true,
+                    history,
+                    next_day: (0..HOURS).map(active).collect(),
+                }
             } else {
                 let p = rng.gen_range(0.1..0.6);
                 let gen_day = |rng: &mut StdRng| -> Vec<bool> {
@@ -71,7 +75,11 @@ pub fn generate_usage(n: usize, days: usize, predictable_frac: f64, seed: u64) -
                     history.extend(gen_day(&mut rng));
                 }
                 let next_day = gen_day(&mut rng);
-                DbUsage { predictable_truth: false, history, next_day }
+                DbUsage {
+                    predictable_truth: false,
+                    history,
+                    next_day,
+                }
             }
         })
         .collect()
@@ -148,12 +156,7 @@ pub fn simulate_policy(fleet: &[DbUsage], policy: PausePolicy) -> MoneyballRepor
         }
 
         // Hour-by-hour next-day walk. `on` = database is provisioned.
-        let mut consecutive_idle = db
-            .history
-            .iter()
-            .rev()
-            .take_while(|&&a| !a)
-            .count();
+        let mut consecutive_idle = db.history.iter().rev().take_while(|&&a| !a).count();
         let yesterday = &db.history[db.history.len() - HOURS..];
         for (h, &active) in db.next_day.iter().enumerate() {
             let on = match policy {
@@ -204,14 +207,21 @@ mod tests {
         let fleet = fleet();
         let report = simulate_policy(
             &fleet,
-            PausePolicy::Proactive { idle_hours: 2, threshold: 0.4 },
+            PausePolicy::Proactive {
+                idle_hours: 2,
+                threshold: 0.4,
+            },
         );
         assert!(
             (report.predictable_fraction - 0.77).abs() < 0.06,
             "predictable fraction {}",
             report.predictable_fraction
         );
-        assert!(report.classifier_accuracy > 0.9, "{}", report.classifier_accuracy);
+        assert!(
+            report.classifier_accuracy > 0.9,
+            "{}",
+            report.classifier_accuracy
+        );
     }
 
     #[test]
@@ -228,7 +238,10 @@ mod tests {
         let reactive = simulate_policy(&fleet, PausePolicy::Reactive { idle_hours: 2 });
         let proactive = simulate_policy(
             &fleet,
-            PausePolicy::Proactive { idle_hours: 2, threshold: 0.4 },
+            PausePolicy::Proactive {
+                idle_hours: 2,
+                threshold: 0.4,
+            },
         );
         // Fewer QoS failures at comparable or lower cost.
         assert!(

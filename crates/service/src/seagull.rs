@@ -73,9 +73,10 @@ pub fn generate_fleet(
             let scale = rng.gen_range(50.0..500.0);
             let profile = |hour: usize, weekend: bool| -> f64 {
                 let busy = (9..18).contains(&hour);
-                let near_trough = (hour as i64 - trough as i64).rem_euclid(24).min(
-                    (trough as i64 - hour as i64).rem_euclid(24),
-                ) <= 1;
+                let near_trough = (hour as i64 - trough as i64)
+                    .rem_euclid(24)
+                    .min((trough as i64 - hour as i64).rem_euclid(24))
+                    <= 1;
                 let mut load = if busy { 1.0 } else { 0.35 };
                 if near_trough {
                     load = 0.05;
@@ -85,7 +86,7 @@ pub fn generate_fleet(
                 }
                 load * scale
             };
-            let noise_level = match pattern {
+            let noise_level: f64 = match pattern {
                 LoadPattern::Daily | LoadPattern::Weekly => 0.08,
                 LoadPattern::Noisy => 0.9,
             };
@@ -100,7 +101,11 @@ pub fn generate_fleet(
             }
             let next_weekend = days % 7 >= 5;
             let truth_next_day: Vec<f64> = (0..HOURS).map(|h| profile(h, next_weekend)).collect();
-            ServerLoad { pattern, history, truth_next_day }
+            ServerLoad {
+                pattern,
+                history,
+                truth_next_day,
+            }
         })
         .collect()
 }
@@ -128,7 +133,10 @@ pub fn forecast_next_day(server: &ServerLoad, method: BackupForecaster) -> Vec<f
 
 /// Index of the lowest-load contiguous `window` hours (non-wrapping).
 pub fn lowest_window(loads: &[f64], window: usize) -> usize {
-    assert!(window >= 1 && window <= loads.len(), "window must fit in the day");
+    assert!(
+        window >= 1 && window <= loads.len(),
+        "window must fit in the day"
+    );
     let mut best = 0;
     let mut best_sum = f64::INFINITY;
     for start in 0..=(loads.len() - window) {
@@ -172,7 +180,9 @@ pub fn schedule_fleet(
         let chosen = lowest_window(&forecast, window_hours);
         let best = lowest_window(&server.truth_next_day, window_hours);
         let load_of = |start: usize| -> f64 {
-            server.truth_next_day[start..start + window_hours].iter().sum()
+            server.truth_next_day[start..start + window_hours]
+                .iter()
+                .sum()
         };
         let chosen_load = load_of(chosen);
         let best_load = load_of(best);
@@ -183,12 +193,24 @@ pub fn schedule_fleet(
         if ok {
             hits += 1;
         }
-        ratio_sum += if best_load > 0.0 { chosen_load / best_load } else { 1.0 };
+        ratio_sum += if best_load > 0.0 {
+            chosen_load / best_load
+        } else {
+            1.0
+        };
     }
     SeagullReport {
         servers: fleet.len(),
-        accuracy: if fleet.is_empty() { 0.0 } else { hits as f64 / fleet.len() as f64 },
-        mean_load_ratio: if fleet.is_empty() { 1.0 } else { ratio_sum / fleet.len() as f64 },
+        accuracy: if fleet.is_empty() {
+            0.0
+        } else {
+            hits as f64 / fleet.len() as f64
+        },
+        mean_load_ratio: if fleet.is_empty() {
+            1.0
+        } else {
+            ratio_sum / fleet.len() as f64
+        },
     }
 }
 
@@ -210,7 +232,11 @@ mod tests {
     #[test]
     fn previous_day_heuristic_close_behind() {
         let heuristic = schedule_fleet(&fleet(), BackupForecaster::PreviousDay, 2, 0.25);
-        assert!(heuristic.accuracy >= 0.90, "heuristic accuracy {}", heuristic.accuracy);
+        assert!(
+            heuristic.accuracy >= 0.90,
+            "heuristic accuracy {}",
+            heuristic.accuracy
+        );
         let ml = schedule_fleet(&fleet(), BackupForecaster::MlModel, 2, 0.25);
         assert!(ml.accuracy >= heuristic.accuracy - 0.02);
     }
@@ -272,7 +298,10 @@ pub fn schedule_fleet_coordinated(
     window_hours: usize,
     capacity_per_hour: usize,
 ) -> CoordinatedSchedule {
-    assert!(capacity_per_hour >= 1, "capacity must admit at least one backup per hour");
+    assert!(
+        capacity_per_hour >= 1,
+        "capacity must admit at least one backup per hour"
+    );
     let mut per_hour = vec![0usize; HOURS];
     let mut starts = Vec::with_capacity(fleet.len());
     let mut ratio_sum = 0.0f64;
@@ -283,7 +312,9 @@ pub fn schedule_fleet_coordinated(
         candidates.sort_by(|&a, &b| {
             let la: f64 = forecast[a..a + window_hours].iter().sum();
             let lb: f64 = forecast[b..b + window_hours].iter().sum();
-            la.partial_cmp(&lb).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+            la.partial_cmp(&lb)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
         });
         let chosen = candidates
             .iter()
@@ -300,16 +331,26 @@ pub fn schedule_fleet_coordinated(
         starts.push(chosen);
 
         let load_of = |start: usize| -> f64 {
-            server.truth_next_day[start..start + window_hours].iter().sum()
+            server.truth_next_day[start..start + window_hours]
+                .iter()
+                .sum()
         };
         let best = lowest_window(&server.truth_next_day, window_hours);
         let (chosen_load, best_load) = (load_of(chosen), load_of(best));
-        ratio_sum += if best_load > 0.0 { chosen_load / best_load } else { 1.0 };
+        ratio_sum += if best_load > 0.0 {
+            chosen_load / best_load
+        } else {
+            1.0
+        };
     }
     CoordinatedSchedule {
         starts,
         per_hour,
-        mean_load_ratio: if fleet.is_empty() { 1.0 } else { ratio_sum / fleet.len() as f64 },
+        mean_load_ratio: if fleet.is_empty() {
+            1.0
+        } else {
+            ratio_sum / fleet.len() as f64
+        },
     }
 }
 
@@ -324,7 +365,11 @@ mod coordination_tests {
         // 0..6), so capacity 30 keeps the night windows sufficient for the
         // whole fleet while still forcing some spreading.
         let tight = schedule_fleet_coordinated(&fleet, BackupForecaster::MlModel, 2, 30);
-        assert!(tight.per_hour.iter().all(|&n| n <= 30), "{:?}", tight.per_hour);
+        assert!(
+            tight.per_hour.iter().all(|&n| n <= 30),
+            "{:?}",
+            tight.per_hour
+        );
         assert_eq!(tight.starts.len(), 200);
         // Quality: bounded degradation versus the uncoordinated ideal.
         let free = schedule_fleet_coordinated(&fleet, BackupForecaster::MlModel, 2, 200);
@@ -352,7 +397,11 @@ mod coordination_tests {
         let coordinated = schedule_fleet_coordinated(&fleet, BackupForecaster::MlModel, 2, 4);
         let distinct: std::collections::HashSet<usize> =
             coordinated.starts.iter().copied().collect();
-        assert!(distinct.len() >= 60 / 4, "only {} distinct starts", distinct.len());
+        assert!(
+            distinct.len() >= 60 / 4,
+            "only {} distinct starts",
+            distinct.len()
+        );
     }
 
     #[test]

@@ -43,10 +43,26 @@ impl SparkConfig {
     /// steps), clamped.
     pub fn neighbors(self) -> Vec<SparkConfig> {
         vec![
-            Self { executors: self.executors.saturating_add(4), ..self }.clamped(),
-            Self { executors: self.executors.saturating_sub(4).max(1), ..self }.clamped(),
-            Self { memory_gb: self.memory_gb.saturating_add(4), ..self }.clamped(),
-            Self { memory_gb: self.memory_gb.saturating_sub(4).max(2), ..self }.clamped(),
+            Self {
+                executors: self.executors.saturating_add(4),
+                ..self
+            }
+            .clamped(),
+            Self {
+                executors: self.executors.saturating_sub(4).max(1),
+                ..self
+            }
+            .clamped(),
+            Self {
+                memory_gb: self.memory_gb.saturating_add(4),
+                ..self
+            }
+            .clamped(),
+            Self {
+                memory_gb: self.memory_gb.saturating_sub(4).max(2),
+                ..self
+            }
+            .clamped(),
         ]
     }
 }
@@ -102,10 +118,19 @@ impl SparkApp {
 
     /// Exhaustive-search optimum over the config grid (the oracle).
     pub fn oracle(&self) -> (SparkConfig, f64) {
-        let mut best = (SparkConfig { executors: 1, memory_gb: 2 }, f64::INFINITY);
+        let mut best = (
+            SparkConfig {
+                executors: 1,
+                memory_gb: 2,
+            },
+            f64::INFINITY,
+        );
         for executors in (1..=64u32).step_by(1) {
             for memory_gb in (2..=64u32).step_by(2) {
-                let c = SparkConfig { executors, memory_gb };
+                let c = SparkConfig {
+                    executors,
+                    memory_gb,
+                };
                 let cost = self.cost(c);
                 if cost < best.1 {
                     best = (c, cost);
@@ -127,8 +152,10 @@ pub struct GlobalModel {
 impl GlobalModel {
     /// Trains on a benchmark population.
     pub fn train(benchmarks: &[SparkApp]) -> Result<Self> {
-        let features: Vec<Vec<f64>> =
-            benchmarks.iter().map(|a| vec![a.input_gb, a.stages]).collect();
+        let features: Vec<Vec<f64>> = benchmarks
+            .iter()
+            .map(|a| vec![a.input_gb, a.stages])
+            .collect();
         let best: Vec<(SparkConfig, f64)> = benchmarks.iter().map(SparkApp::oracle).collect();
         let executors_model = LinearRegression::fit(&Dataset::new(
             features.clone(),
@@ -138,7 +165,10 @@ impl GlobalModel {
             features,
             best.iter().map(|(c, _)| c.memory_gb as f64).collect(),
         )?)?;
-        Ok(Self { executors_model, memory_model })
+        Ok(Self {
+            executors_model,
+            memory_model,
+        })
     }
 
     /// Suggested starting configuration for an application.
@@ -197,7 +227,10 @@ pub fn compare_starts(
     model: &GlobalModel,
     iterations: usize,
 ) -> SparkTuneReport {
-    let cold = SparkConfig { executors: 8, memory_gb: 8 };
+    let cold = SparkConfig {
+        executors: 8,
+        memory_gb: 8,
+    };
     let mut cold_sum = 0.0;
     let mut global_sum = 0.0;
     let mut start_sum = 0.0;
@@ -227,21 +260,40 @@ mod tests {
     fn cost_surface_sensible() {
         let app = &SparkApp::generate(1, 5)[0];
         // More executors help until the cap, then price dominates.
-        let few = app.cost(SparkConfig { executors: 1, memory_gb: 32 });
+        let few = app.cost(SparkConfig {
+            executors: 1,
+            memory_gb: 32,
+        });
         let cap = app.parallelism_cap as u32;
-        let at_cap = app.cost(SparkConfig { executors: cap.max(2), memory_gb: 32 });
-        let way_over = app.cost(SparkConfig { executors: 64, memory_gb: 32 });
+        let at_cap = app.cost(SparkConfig {
+            executors: cap.max(2),
+            memory_gb: 32,
+        });
+        let way_over = app.cost(SparkConfig {
+            executors: 64,
+            memory_gb: 32,
+        });
         assert!(at_cap < few);
         assert!(way_over > at_cap);
         // Starving memory hurts.
-        let starved = app.cost(SparkConfig { executors: cap.max(2), memory_gb: 2 });
+        let starved = app.cost(SparkConfig {
+            executors: cap.max(2),
+            memory_gb: 2,
+        });
         assert!(starved > at_cap);
     }
 
     #[test]
     fn tuning_monotonically_improves() {
         let app = &SparkApp::generate(1, 5)[0];
-        let curve = tune(app, SparkConfig { executors: 1, memory_gb: 2 }, 30);
+        let curve = tune(
+            app,
+            SparkConfig {
+                executors: 1,
+                memory_gb: 2,
+            },
+            30,
+        );
         assert!(curve.windows(2).all(|w| w[1] <= w[0] + 1e-9));
         let (_, oracle) = app.oracle();
         assert!(curve.last().unwrap() / oracle < 1.3);
@@ -276,9 +328,16 @@ mod tests {
 
     #[test]
     fn config_clamping() {
-        let c = SparkConfig { executors: 1000, memory_gb: 1 }.clamped();
+        let c = SparkConfig {
+            executors: 1000,
+            memory_gb: 1,
+        }
+        .clamped();
         assert_eq!(c.executors, 64);
         assert_eq!(c.memory_gb, 2);
-        assert!(c.neighbors().iter().all(|n| n.executors >= 1 && n.memory_gb >= 2));
+        assert!(c
+            .neighbors()
+            .iter()
+            .all(|n| n.executors >= 1 && n.memory_gb >= 2));
     }
 }

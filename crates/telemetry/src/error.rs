@@ -37,7 +37,10 @@ impl fmt::Display for TelemetryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::UnknownSeries { resource, metric } => {
-                write!(f, "no series recorded for resource `{resource}` metric `{metric}`")
+                write!(
+                    f,
+                    "no series recorded for resource `{resource}` metric `{metric}`"
+                )
             }
             Self::OutOfOrderSample { last, attempted } => write!(
                 f,
@@ -46,7 +49,10 @@ impl fmt::Display for TelemetryError {
             Self::EmptySeries => write!(f, "operation requires a non-empty series"),
             Self::InvalidWindow(msg) => write!(f, "invalid window specification: {msg}"),
             Self::UnknownMetricName(name) => {
-                write!(f, "metric name `{name}` is not registered in the semantic schema")
+                write!(
+                    f,
+                    "metric name `{name}` is not registered in the semantic schema"
+                )
             }
             Self::InvalidPeriod { period, len } => write!(
                 f,

@@ -80,16 +80,38 @@ impl SemanticSchema {
             MetricUnit::Seconds,
             "Wall-clock execution time of a task",
         );
-        schema.register("temp_storage_bytes", MetricUnit::Bytes, "Local temp storage in use");
-        schema.register("memory_utilization", MetricUnit::Ratio, "Fraction of RAM in use");
-        schema.register("request_rate", MetricUnit::PerSecond, "Incoming request rate");
+        schema.register(
+            "temp_storage_bytes",
+            MetricUnit::Bytes,
+            "Local temp storage in use",
+        );
+        schema.register(
+            "memory_utilization",
+            MetricUnit::Ratio,
+            "Fraction of RAM in use",
+        );
+        schema.register(
+            "request_rate",
+            MetricUnit::PerSecond,
+            "Incoming request rate",
+        );
 
         // Windows-style names report percentages; scale into ratios.
         schema
-            .alias(r"\Processor(_Total)\% Processor Time", "cpu_utilization", 0.01, 0.0)
+            .alias(
+                r"\Processor(_Total)\% Processor Time",
+                "cpu_utilization",
+                0.01,
+                0.0,
+            )
             .expect("canonical registered");
         schema
-            .alias(r"\Memory\% Committed Bytes In Use", "memory_utilization", 0.01, 0.0)
+            .alias(
+                r"\Memory\% Committed Bytes In Use",
+                "memory_utilization",
+                0.01,
+                0.0,
+            )
             .expect("canonical registered");
         // Linux/node-exporter style names are already ratios.
         schema
@@ -106,20 +128,36 @@ impl SemanticSchema {
         let id = MetricId::new(id);
         self.canonical.insert(
             id.clone(),
-            CanonicalMetric { id, unit, description: description.to_string() },
+            CanonicalMetric {
+                id,
+                unit,
+                description: description.to_string(),
+            },
         );
     }
 
     /// Registers a platform-specific alias with an affine unit conversion.
     ///
     /// Fails if the canonical metric has not been registered.
-    pub fn alias(&mut self, raw_name: &str, canonical: &str, scale: f64, offset: f64) -> Result<()> {
+    pub fn alias(
+        &mut self,
+        raw_name: &str,
+        canonical: &str,
+        scale: f64,
+        offset: f64,
+    ) -> Result<()> {
         let canonical = MetricId::new(canonical);
         if !self.canonical.contains_key(&canonical) {
             return Err(TelemetryError::UnknownMetricName(canonical.to_string()));
         }
-        self.aliases
-            .insert(raw_name.to_string(), Alias { canonical, scale, offset });
+        self.aliases.insert(
+            raw_name.to_string(),
+            Alias {
+                canonical,
+                scale,
+                offset,
+            },
+        );
         Ok(())
     }
 
@@ -129,7 +167,10 @@ impl SemanticSchema {
     /// Canonical names pass through unchanged.
     pub fn normalize(&self, raw_name: &str, raw_value: f64) -> Result<(MetricId, f64)> {
         if let Some(alias) = self.aliases.get(raw_name) {
-            return Ok((alias.canonical.clone(), raw_value * alias.scale + alias.offset));
+            return Ok((
+                alias.canonical.clone(),
+                raw_value * alias.scale + alias.offset,
+            ));
         }
         let id = MetricId::new(raw_name);
         if self.canonical.contains_key(&id) {

@@ -88,7 +88,12 @@ pub fn decompose(series: &TimeSeries, period: usize) -> Result<Decomposition> {
     let residual: Vec<f64> = (0..n)
         .map(|i| values[i] - trend[i] - profile[i % period])
         .collect();
-    Ok(Decomposition { trend, seasonal_profile: profile, residual, period })
+    Ok(Decomposition {
+        trend,
+        seasonal_profile: profile,
+        residual,
+        period,
+    })
 }
 
 /// Detects the dominant period among `candidates` (sample counts) using
@@ -206,12 +211,16 @@ mod tests {
             Pattern::Seasonal { period: 24 }
         );
 
-        let stable = TimeSeries::evenly_spaced(0, 60, (0..100).map(|i| 10.0 + 0.01 * (i % 2) as f64));
+        let stable =
+            TimeSeries::evenly_spaced(0, 60, (0..100).map(|i| 10.0 + 0.01 * (i % 2) as f64));
         assert_eq!(classify_pattern(&stable, &[24], 0.99, 0.1), Pattern::Stable);
 
         let irregular =
             TimeSeries::evenly_spaced(0, 60, (0..100).map(|i| ((i * 2654435761u64) % 1000) as f64));
-        assert_eq!(classify_pattern(&irregular, &[24], 0.6, 0.05), Pattern::Irregular);
+        assert_eq!(
+            classify_pattern(&irregular, &[24], 0.6, 0.05),
+            Pattern::Irregular
+        );
     }
 
     #[test]

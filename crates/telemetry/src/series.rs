@@ -175,7 +175,9 @@ impl TimeSeries {
     /// Empty buckets are filled by carrying the previous bucket forward.
     pub fn resample(&self, step: u64) -> Result<TimeSeries> {
         if step == 0 {
-            return Err(TelemetryError::InvalidWindow("resample step must be > 0".into()));
+            return Err(TelemetryError::InvalidWindow(
+                "resample step must be > 0".into(),
+            ));
         }
         let Some(first) = self.first() else {
             return Ok(TimeSeries::new());
@@ -192,7 +194,11 @@ impl TimeSeries {
         let mut out = TimeSeries::new();
         let mut carry = first.value;
         for (i, (&sum, &count)) in sums.iter().zip(&counts).enumerate() {
-            let v = if count > 0 { sum / f64::from(count) } else { carry };
+            let v = if count > 0 {
+                sum / f64::from(count)
+            } else {
+                carry
+            };
             carry = v;
             out.push(first.timestamp + i as u64 * step, v)?;
         }
@@ -225,8 +231,7 @@ impl TimeSeries {
         for i in 0..n {
             let lo = i.saturating_sub(half);
             let hi = (i + half + 1).min(n);
-            let mean =
-                self.samples[lo..hi].iter().map(|s| s.value).sum::<f64>() / (hi - lo) as f64;
+            let mean = self.samples[lo..hi].iter().map(|s| s.value).sum::<f64>() / (hi - lo) as f64;
             out.push(self.samples[i].timestamp, mean)?;
         }
         Ok(out)
@@ -294,7 +299,10 @@ mod tests {
         let err = s.push(5, 2.0).unwrap_err();
         assert_eq!(
             err,
-            TelemetryError::OutOfOrderSample { last: 10, attempted: 5 }
+            TelemetryError::OutOfOrderSample {
+                last: 10,
+                attempted: 5
+            }
         );
         // Equal timestamps are allowed.
         s.push(10, 3.0).unwrap();
@@ -351,7 +359,10 @@ mod tests {
     #[test]
     fn resample_zero_step_errors() {
         let s = series(&[1.0]);
-        assert!(matches!(s.resample(0), Err(TelemetryError::InvalidWindow(_))));
+        assert!(matches!(
+            s.resample(0),
+            Err(TelemetryError::InvalidWindow(_))
+        ));
     }
 
     #[test]
@@ -394,7 +405,9 @@ mod tests {
 
     #[test]
     fn from_iterator_sorts() {
-        let s: TimeSeries = [Sample::new(100, 2.0), Sample::new(0, 1.0)].into_iter().collect();
+        let s: TimeSeries = [Sample::new(100, 2.0), Sample::new(0, 1.0)]
+            .into_iter()
+            .collect();
         assert_eq!(s.first().unwrap().timestamp, 0);
     }
 }

@@ -25,9 +25,7 @@ impl TelemetryStore {
     /// append-only semantics of production telemetry pipelines.
     pub fn append(&self, resource: &ResourceId, metric: &MetricId, timestamp: u64, value: f64) {
         let mut inner = self.inner.write();
-        let series = inner
-            .entry((resource.clone(), metric.clone()))
-            .or_default();
+        let series = inner.entry((resource.clone(), metric.clone())).or_default();
         // Out-of-order appends indicate a simulator bug; drop them silently
         // would hide it, so keep the invariant but surface via debug assert.
         let pushed = series.push(timestamp, value);

@@ -48,7 +48,9 @@ impl WindowSpec {
     /// Creates a window spec, validating the width.
     pub fn new(origin: u64, width: u64) -> Result<Self> {
         if width == 0 {
-            return Err(TelemetryError::InvalidWindow("window width must be > 0".into()));
+            return Err(TelemetryError::InvalidWindow(
+                "window width must be > 0".into(),
+            ));
         }
         Ok(Self { origin, width })
     }
@@ -147,7 +149,11 @@ mod tests {
         values
             .iter()
             .enumerate()
-            .map(|(i, &v)| WindowValue { index: i as u64, start: i as u64 * 3600, value: v })
+            .map(|(i, &v)| WindowValue {
+                index: i as u64,
+                start: i as u64 * 3600,
+                value: v,
+            })
             .collect()
     }
 

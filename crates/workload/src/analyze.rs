@@ -157,7 +157,13 @@ impl WorkloadAnalysis {
             }
         }
 
-        let frac = |n: usize| if total == 0 { 0.0 } else { n as f64 / total as f64 };
+        let frac = |n: usize| {
+            if total == 0 {
+                0.0
+            } else {
+                n as f64 / total as f64
+            }
+        };
         let stats = WorkloadStats {
             total_jobs: total,
             distinct_templates: templates.len(),
@@ -165,7 +171,13 @@ impl WorkloadAnalysis {
             shared_subexpression_fraction: frac(sharing_jobs.len()),
             dependent_fraction: frac(dependent.len()),
         };
-        Self { templates, edges, stats, daily_counts, days }
+        Self {
+            templates,
+            edges,
+            stats,
+            daily_counts,
+            days,
+        }
     }
 
     /// The headline statistics.
@@ -180,8 +192,9 @@ impl WorkloadAnalysis {
 
     /// Templates that recur (ran on >= 2 distinct days), largest first.
     pub fn recurring_templates(&self) -> Vec<&TemplateInfo> {
-        let mut v: Vec<&TemplateInfo> = self.templates.iter().filter(|t| t.is_recurring()).collect();
-        v.sort_by(|a, b| b.instances.len().cmp(&a.instances.len()));
+        let mut v: Vec<&TemplateInfo> =
+            self.templates.iter().filter(|t| t.is_recurring()).collect();
+        v.sort_by_key(|t| std::cmp::Reverse(t.instances.len()));
         v
     }
 
@@ -281,10 +294,17 @@ mod tests {
     fn analysis_recovers_generator_calibration() {
         // The C1 experiment in miniature: analyzer statistics should land on
         // the paper's numbers (>60% recurring, ~40% sharing, ~70% dependent).
-        let w = WorkloadGenerator::new(GeneratorConfig::default()).unwrap().generate().unwrap();
+        let w = WorkloadGenerator::new(GeneratorConfig::default())
+            .unwrap()
+            .generate()
+            .unwrap();
         let a = WorkloadAnalysis::analyze(&w.trace);
         let s = a.stats();
-        assert!(s.recurring_fraction > 0.60, "recurring {}", s.recurring_fraction);
+        assert!(
+            s.recurring_fraction > 0.60,
+            "recurring {}",
+            s.recurring_fraction
+        );
         assert!(
             (0.30..=0.55).contains(&s.shared_subexpression_fraction),
             "sharing {}",

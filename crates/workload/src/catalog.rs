@@ -4,6 +4,7 @@
 //! these statistics — row counts, distinct-value counts and min/max ranges —
 //! exactly the inputs a classical optimizer has before any learning.
 
+use crate::plan::LogicalPlan;
 use crate::{Result, WorkloadError};
 use serde::{Deserialize, Serialize};
 
@@ -30,12 +31,24 @@ pub struct ColumnMeta {
 impl ColumnMeta {
     /// Creates a uniform column.
     pub fn uniform(name: &str, distinct: u64, min: i64, max: i64) -> Self {
-        Self { name: name.to_string(), distinct, min, max, skew: 0.0 }
+        Self {
+            name: name.to_string(),
+            distinct,
+            min,
+            max,
+            skew: 0.0,
+        }
     }
 
     /// Creates a skewed column.
     pub fn skewed(name: &str, distinct: u64, min: i64, max: i64, skew: f64) -> Self {
-        Self { name: name.to_string(), distinct, min, max, skew }
+        Self {
+            name: name.to_string(),
+            distinct,
+            min,
+            max,
+            skew,
+        }
     }
 }
 
@@ -53,10 +66,12 @@ pub struct TableMeta {
 impl TableMeta {
     /// Column metadata by ordinal, with a descriptive error.
     pub fn column(&self, index: usize) -> Result<&ColumnMeta> {
-        self.columns.get(index).ok_or_else(|| WorkloadError::UnknownColumn {
-            table: self.name.clone(),
-            column: index,
-        })
+        self.columns
+            .get(index)
+            .ok_or_else(|| WorkloadError::UnknownColumn {
+                table: self.name.clone(),
+                column: index,
+            })
     }
 }
 
@@ -64,6 +79,11 @@ impl TableMeta {
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Catalog {
     tables: Vec<TableMeta>,
+    /// Definitions of tables that materialize a logical plan (views,
+    /// pushed subexpressions). Signature hashing expands these scans to
+    /// the defining plan so "true" cardinalities stay invariant under
+    /// semantics-preserving rewrites.
+    views: Vec<(String, LogicalPlan)>,
 }
 
 impl Catalog {
@@ -92,6 +112,22 @@ impl Catalog {
     /// All tables in insertion order.
     pub fn tables(&self) -> &[TableMeta] {
         &self.tables
+    }
+
+    /// Records that `name` materializes `plan` (replacing any previous
+    /// definition under the same name). Call alongside `add_table` when
+    /// registering a view or pushed-subexpression table.
+    pub fn register_view(&mut self, name: &str, plan: LogicalPlan) {
+        if let Some(existing) = self.views.iter_mut().find(|(n, _)| n == name) {
+            existing.1 = plan;
+        } else {
+            self.views.push((name.to_string(), plan));
+        }
+    }
+
+    /// The plan materialized by `name`, when it was registered as a view.
+    pub fn view_definition(&self, name: &str) -> Option<&LogicalPlan> {
+        self.views.iter().find(|(n, _)| n == name).map(|(_, p)| p)
     }
 
     /// Number of tables.
@@ -177,7 +213,10 @@ mod tests {
     #[test]
     fn unknown_lookups_error() {
         let c = Catalog::standard();
-        assert!(matches!(c.table("nope"), Err(WorkloadError::UnknownTable(_))));
+        assert!(matches!(
+            c.table("nope"),
+            Err(WorkloadError::UnknownTable(_))
+        ));
         let events = c.table("events").unwrap();
         assert!(matches!(
             events.column(99),
@@ -188,8 +227,16 @@ mod tests {
     #[test]
     fn add_table_replaces_same_name() {
         let mut c = Catalog::new();
-        c.add_table(TableMeta { name: "t".into(), rows: 1, columns: vec![] });
-        c.add_table(TableMeta { name: "t".into(), rows: 2, columns: vec![] });
+        c.add_table(TableMeta {
+            name: "t".into(),
+            rows: 1,
+            columns: vec![],
+        });
+        c.add_table(TableMeta {
+            name: "t".into(),
+            rows: 2,
+            columns: vec![],
+        });
         assert_eq!(c.len(), 1);
         assert_eq!(c.table("t").unwrap().rows, 2);
     }

@@ -62,8 +62,11 @@ pub struct EvolutionReport {
 impl EvolutionReport {
     /// Templates in a growth class, largest daily volume first.
     pub fn in_class(&self, growth: Growth) -> Vec<&TemplateEvolution> {
-        let mut v: Vec<&TemplateEvolution> =
-            self.templates.iter().filter(|t| t.growth == growth).collect();
+        let mut v: Vec<&TemplateEvolution> = self
+            .templates
+            .iter()
+            .filter(|t| t.growth == growth)
+            .collect();
         v.sort_by(|a, b| {
             let sa: f64 = a.daily.iter().sum();
             let sb: f64 = b.daily.iter().sum();
@@ -90,8 +93,11 @@ fn linear_trend(series: &[f64]) -> f64 {
     if series.len() < 2 {
         return 0.0;
     }
-    let pairs: Vec<(f64, f64)> =
-        series.iter().enumerate().map(|(i, &v)| (i as f64, v)).collect();
+    let pairs: Vec<(f64, f64)> = series
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (i as f64, v))
+        .collect();
     Dataset::from_xy(&pairs)
         .ok()
         .and_then(|d| LinearRegression::fit(&d).ok())

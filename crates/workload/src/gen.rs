@@ -89,7 +89,9 @@ impl GeneratorConfig {
             ));
         }
         if self.n_templates == 0 {
-            return Err(WorkloadError::InvalidConfig("n_templates must be >= 1".into()));
+            return Err(WorkloadError::InvalidConfig(
+                "n_templates must be >= 1".into(),
+            ));
         }
         Ok(())
     }
@@ -180,7 +182,7 @@ impl WorkloadGenerator {
             member_idx.shuffle(&mut rng);
             let mut i = 0;
             while i + 1 < member_idx.len() {
-                let chain_len = rng.gen_range(2..=4).min(member_idx.len() - i);
+                let chain_len = rng.gen_range(2..=4usize).min(member_idx.len() - i);
                 if chain_len < 2 {
                     break;
                 }
@@ -221,11 +223,8 @@ impl WorkloadGenerator {
                 let col = rng.gen_range(0..t1.columns.len());
                 let meta = &t1.columns[col];
                 let lit = rng.gen_range(meta.min..=meta.max);
-                let base = LogicalPlan::scan(&t1.name).filter(Predicate::single(
-                    col,
-                    CmpOp::Le,
-                    lit,
-                ));
+                let base =
+                    LogicalPlan::scan(&t1.name).filter(Predicate::single(col, CmpOp::Le, lit));
                 if rng.gen_bool(0.5) {
                     let t2 = &tables[rng.gen_range(0..tables.len())];
                     LogicalPlan::join(
@@ -288,15 +287,25 @@ impl WorkloadGenerator {
                     // exceeds the input and estimator error survives the
                     // aggregate.
                     let mut by_width: Vec<usize> = (0..t.columns.len()).collect();
-                    by_width.sort_by_key(|&c| std::cmp::Reverse(t.columns[c].max - t.columns[c].min));
+                    by_width
+                        .sort_by_key(|&c| std::cmp::Reverse(t.columns[c].max - t.columns[c].min));
                     by_width.truncate(2);
                     varying.aggregate(by_width)
                 };
                 // A distinguishing projection makes template signatures
                 // unique even when two templates pick the same table/column.
                 let width = t.columns.len();
-                let cols = vec![i % width, (i / width) % width, (i / (width * width)) % width];
-                Template { id: TemplateId(i as u64), plan: body.project(cols), literal_range, literal_range2 }
+                let cols = vec![
+                    i % width,
+                    (i / width) % width,
+                    (i / (width * width)) % width,
+                ];
+                Template {
+                    id: TemplateId(i as u64),
+                    plan: body.project(cols),
+                    literal_range,
+                    literal_range2,
+                }
             })
             .collect()
     }
@@ -333,7 +342,14 @@ impl WorkloadGenerator {
             }
             _ => old,
         });
-        Job { id, template: template.id, plan, submit_time: submit, inputs: vec![], outputs: vec![] }
+        Job {
+            id,
+            template: template.id,
+            plan,
+            submit_time: submit,
+            inputs: vec![],
+            outputs: vec![],
+        }
     }
 
     fn adhoc_job(
@@ -350,14 +366,14 @@ impl WorkloadGenerator {
         *next_adhoc_table += 1;
         catalog.add_table(TableMeta {
             name: table_name.clone(),
-            rows: rng.gen_range(10_000..10_000_000),
+            rows: rng.gen_range(10_000u64..10_000_000),
             columns: vec![
                 ColumnMeta::uniform("key", 10_000, 0, 9_999),
                 ColumnMeta::uniform("value", 1_000, 0, 999),
             ],
         });
         let plan = LogicalPlan::scan(&table_name)
-            .filter(Predicate::single(0, CmpOp::Le, rng.gen_range(0..10_000)))
+            .filter(Predicate::single(0, CmpOp::Le, rng.gen_range(0i64..10_000)))
             .aggregate(vec![1]);
         Job {
             id,
@@ -375,12 +391,20 @@ mod tests {
     use super::*;
 
     fn small_config() -> GeneratorConfig {
-        GeneratorConfig { days: 3, jobs_per_day: 100, n_templates: 20, ..Default::default() }
+        GeneratorConfig {
+            days: 3,
+            jobs_per_day: 100,
+            n_templates: 20,
+            ..Default::default()
+        }
     }
 
     #[test]
     fn generates_requested_volume() {
-        let w = WorkloadGenerator::new(small_config()).unwrap().generate().unwrap();
+        let w = WorkloadGenerator::new(small_config())
+            .unwrap()
+            .generate()
+            .unwrap();
         assert_eq!(w.trace.len(), 300);
         // Every plan validates against the returned catalog.
         for job in w.trace.jobs() {
@@ -390,26 +414,41 @@ mod tests {
 
     #[test]
     fn deterministic_for_seed() {
-        let a = WorkloadGenerator::new(small_config()).unwrap().generate().unwrap();
-        let b = WorkloadGenerator::new(small_config()).unwrap().generate().unwrap();
-        assert_eq!(a.trace, b.trace);
-        let c = WorkloadGenerator::new(GeneratorConfig { seed: 99, ..small_config() })
+        let a = WorkloadGenerator::new(small_config())
             .unwrap()
             .generate()
             .unwrap();
+        let b = WorkloadGenerator::new(small_config())
+            .unwrap()
+            .generate()
+            .unwrap();
+        assert_eq!(a.trace, b.trace);
+        let c = WorkloadGenerator::new(GeneratorConfig {
+            seed: 99,
+            ..small_config()
+        })
+        .unwrap()
+        .generate()
+        .unwrap();
         assert_ne!(a.trace, c.trace);
     }
 
     #[test]
     fn recurring_share_near_target() {
-        let w = WorkloadGenerator::new(GeneratorConfig::default()).unwrap().generate().unwrap();
+        let w = WorkloadGenerator::new(GeneratorConfig::default())
+            .unwrap()
+            .generate()
+            .unwrap();
         let share = w.recurring_jobs as f64 / w.trace.len() as f64;
         assert!((share - 0.65).abs() < 0.05, "recurring share {share}");
     }
 
     #[test]
     fn pipeline_share_near_target() {
-        let w = WorkloadGenerator::new(GeneratorConfig::default()).unwrap().generate().unwrap();
+        let w = WorkloadGenerator::new(GeneratorConfig::default())
+            .unwrap()
+            .generate()
+            .unwrap();
         let share = w.pipelined_jobs as f64 / w.trace.len() as f64;
         // Chain packing can drop a trailing singleton per day, so allow slack below 0.7.
         assert!(share > 0.6 && share < 0.8, "pipeline share {share}");
@@ -417,7 +456,10 @@ mod tests {
 
     #[test]
     fn pipeline_edges_resolve_within_trace() {
-        let w = WorkloadGenerator::new(small_config()).unwrap().generate().unwrap();
+        let w = WorkloadGenerator::new(small_config())
+            .unwrap()
+            .generate()
+            .unwrap();
         let produced: std::collections::HashSet<_> = w
             .trace
             .jobs()
@@ -426,19 +468,29 @@ mod tests {
             .collect();
         for job in w.trace.jobs() {
             for input in &job.inputs {
-                assert!(produced.contains(input), "dangling input {input} on {}", job.id);
+                assert!(
+                    produced.contains(input),
+                    "dangling input {input} on {}",
+                    job.id
+                );
             }
         }
     }
 
     #[test]
     fn template_instances_share_template_signature() {
-        let w = WorkloadGenerator::new(small_config()).unwrap().generate().unwrap();
+        let w = WorkloadGenerator::new(small_config())
+            .unwrap()
+            .generate()
+            .unwrap();
         use std::collections::HashMap;
         let mut by_template: HashMap<TemplateId, Vec<crate::signature::Signature>> = HashMap::new();
         for job in w.trace.jobs() {
             if job.template != TemplateId(u64::MAX) {
-                by_template.entry(job.template).or_default().push(job.template_signature());
+                by_template
+                    .entry(job.template)
+                    .or_default()
+                    .push(job.template_signature());
             }
         }
         for (tpl, sigs) in by_template {
@@ -451,11 +503,20 @@ mod tests {
 
     #[test]
     fn config_validation() {
-        let bad = GeneratorConfig { recurring_fraction: 1.5, ..Default::default() };
+        let bad = GeneratorConfig {
+            recurring_fraction: 1.5,
+            ..Default::default()
+        };
         assert!(WorkloadGenerator::new(bad).is_err());
-        let bad = GeneratorConfig { days: 0, ..Default::default() };
+        let bad = GeneratorConfig {
+            days: 0,
+            ..Default::default()
+        };
         assert!(WorkloadGenerator::new(bad).is_err());
-        let bad = GeneratorConfig { n_templates: 0, ..Default::default() };
+        let bad = GeneratorConfig {
+            n_templates: 0,
+            ..Default::default()
+        };
         assert!(WorkloadGenerator::new(bad).is_err());
     }
 }

@@ -33,7 +33,11 @@ pub struct PlanDocument {
 impl PlanDocument {
     /// Wraps a plan for interchange.
     pub fn new(producer: &str, plan: LogicalPlan) -> Self {
-        Self { format: FORMAT.to_string(), producer: producer.to_string(), plan }
+        Self {
+            format: FORMAT.to_string(),
+            producer: producer.to_string(),
+            plan,
+        }
     }
 
     /// Serializes to the JSON wire form.
@@ -92,7 +96,8 @@ mod tests {
         assert_eq!(back, plan);
         assert_eq!(strict_signature(&back), strict_signature(&plan));
         assert_eq!(template_signature(&back), template_signature(&plan));
-        back.validate(&Catalog::standard()).expect("still validates");
+        back.validate(&Catalog::standard())
+            .expect("still validates");
     }
 
     #[test]

@@ -68,7 +68,9 @@ impl Trace {
 
     /// Jobs submitted in `[start, end)`.
     pub fn between(&self, start: u64, end: u64) -> impl Iterator<Item = &Job> {
-        self.jobs.iter().filter(move |j| j.submit_time >= start && j.submit_time < end)
+        self.jobs
+            .iter()
+            .filter(move |j| j.submit_time >= start && j.submit_time < end)
     }
 
     /// Duration covered by the trace (0 when empty).

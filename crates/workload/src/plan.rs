@@ -84,7 +84,9 @@ impl Predicate {
 
     /// Single-clause convenience constructor.
     pub fn single(column: usize, op: CmpOp, value: i64) -> Self {
-        Self { clauses: vec![Comparison::new(column, op, value)] }
+        Self {
+            clauses: vec![Comparison::new(column, op, value)],
+        }
     }
 
     /// True when `self` is implied by every row satisfying `other` being a
@@ -186,42 +188,74 @@ pub struct LogicalPlan {
 impl LogicalPlan {
     /// Leaf scan.
     pub fn scan(table: &str) -> Self {
-        Self { kind: PlanKind::Scan { table: table.to_string() }, children: vec![] }
+        Self {
+            kind: PlanKind::Scan {
+                table: table.to_string(),
+            },
+            children: vec![],
+        }
     }
 
     /// Wraps `self` in a filter.
     pub fn filter(self, predicate: Predicate) -> Self {
-        Self { kind: PlanKind::Filter { predicate }, children: vec![self] }
+        Self {
+            kind: PlanKind::Filter { predicate },
+            children: vec![self],
+        }
     }
 
     /// Wraps `self` in a projection.
     pub fn project(self, columns: Vec<usize>) -> Self {
-        Self { kind: PlanKind::Project { columns }, children: vec![self] }
+        Self {
+            kind: PlanKind::Project { columns },
+            children: vec![self],
+        }
     }
 
     /// Joins two plans on key ordinals.
     pub fn join(left: LogicalPlan, right: LogicalPlan, left_key: usize, right_key: usize) -> Self {
-        Self { kind: PlanKind::Join { left_key, right_key }, children: vec![left, right] }
+        Self {
+            kind: PlanKind::Join {
+                left_key,
+                right_key,
+            },
+            children: vec![left, right],
+        }
     }
 
     /// Wraps `self` in a group-by aggregate.
     pub fn aggregate(self, group_by: Vec<usize>) -> Self {
-        Self { kind: PlanKind::Aggregate { group_by }, children: vec![self] }
+        Self {
+            kind: PlanKind::Aggregate { group_by },
+            children: vec![self],
+        }
     }
 
     /// Bag union of two plans.
     pub fn union(left: LogicalPlan, right: LogicalPlan) -> Self {
-        Self { kind: PlanKind::Union, children: vec![left, right] }
+        Self {
+            kind: PlanKind::Union,
+            children: vec![left, right],
+        }
     }
 
     /// Total number of nodes.
     pub fn node_count(&self) -> usize {
-        1 + self.children.iter().map(LogicalPlan::node_count).sum::<usize>()
+        1 + self
+            .children
+            .iter()
+            .map(LogicalPlan::node_count)
+            .sum::<usize>()
     }
 
     /// Height of the tree (a leaf has height 1).
     pub fn height(&self) -> usize {
-        1 + self.children.iter().map(LogicalPlan::height).max().unwrap_or(0)
+        1 + self
+            .children
+            .iter()
+            .map(LogicalPlan::height)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Pre-order iterator over all nodes.
@@ -297,7 +331,10 @@ impl LogicalPlan {
                     meta.column(c)?;
                 }
             }
-            PlanKind::Join { left_key, right_key } => {
+            PlanKind::Join {
+                left_key,
+                right_key,
+            } => {
                 for (side, key) in [(0usize, *left_key), (1, *right_key)] {
                     let table = self.children[side].base_table().ok_or_else(|| {
                         WorkloadError::MalformedPlan("join side without base table".into())
@@ -339,7 +376,9 @@ mod tests {
     fn sample_plan() -> LogicalPlan {
         let left = LogicalPlan::scan("events").filter(Predicate::single(1, CmpOp::Eq, 7));
         let right = LogicalPlan::scan("users");
-        LogicalPlan::join(left, right, 0, 0).aggregate(vec![1]).project(vec![0])
+        LogicalPlan::join(left, right, 0, 0)
+            .aggregate(vec![1])
+            .project(vec![0])
     }
 
     #[test]
@@ -354,14 +393,20 @@ mod tests {
     fn preorder_iteration() {
         let p = sample_plan();
         let names: Vec<&str> = p.iter().map(|n| n.kind.name()).collect();
-        assert_eq!(names, vec!["Project", "Aggregate", "Join", "Filter", "Scan", "Scan"]);
+        assert_eq!(
+            names,
+            vec!["Project", "Aggregate", "Join", "Filter", "Scan", "Scan"]
+        );
     }
 
     #[test]
     fn base_table_is_leftmost() {
         let p = sample_plan();
         assert_eq!(p.base_table(), Some("events"));
-        assert_eq!(p.children[0].children[0].children[1].base_table(), Some("users"));
+        assert_eq!(
+            p.children[0].children[0].children[1].base_table(),
+            Some("users")
+        );
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! Hashing is FNV-1a, implemented here so signatures are stable across Rust
 //! versions and processes (std's `DefaultHasher` makes no such guarantee).
 
+use crate::catalog::Catalog;
 use crate::plan::{LogicalPlan, PlanKind};
 use serde::{Deserialize, Serialize};
 
@@ -70,9 +71,22 @@ impl Fnv1a {
     }
 }
 
-fn hash_node(plan: &LogicalPlan, hasher: &mut Fnv1a, include_literals: bool) {
+fn hash_node(
+    plan: &LogicalPlan,
+    hasher: &mut Fnv1a,
+    include_literals: bool,
+    expand: Option<&Catalog>,
+) {
     match &plan.kind {
         PlanKind::Scan { table } => {
+            // A scan of a registered view hashes as the plan it
+            // materializes, so signatures (and everything keyed on them,
+            // like the truth oracle's correlation factors) are invariant
+            // under semantics-preserving view rewrites.
+            if let Some(def) = expand.and_then(|c| c.view_definition(table)) {
+                hash_node(def, hasher, include_literals, expand);
+                return;
+            }
             hasher.write(&[0]);
             hasher.write(table.as_bytes());
         }
@@ -93,7 +107,10 @@ fn hash_node(plan: &LogicalPlan, hasher: &mut Fnv1a, include_literals: bool) {
                 hasher.write_u64(c as u64);
             }
         }
-        PlanKind::Join { left_key, right_key } => {
+        PlanKind::Join {
+            left_key,
+            right_key,
+        } => {
             hasher.write(&[3]);
             hasher.write_u64(*left_key as u64);
             hasher.write_u64(*right_key as u64);
@@ -108,14 +125,14 @@ fn hash_node(plan: &LogicalPlan, hasher: &mut Fnv1a, include_literals: bool) {
     }
     hasher.write_u64(plan.children.len() as u64);
     for child in &plan.children {
-        hash_node(child, hasher, include_literals);
+        hash_node(child, hasher, include_literals, expand);
     }
 }
 
 /// Full signature, literals included: equality ⇒ syntactic identity.
 pub fn strict_signature(plan: &LogicalPlan) -> Signature {
     let mut hasher = Fnv1a::new();
-    hash_node(plan, &mut hasher, true);
+    hash_node(plan, &mut hasher, true, None);
     Signature(hasher.finish())
 }
 
@@ -123,7 +140,16 @@ pub fn strict_signature(plan: &LogicalPlan) -> Signature {
 /// template.
 pub fn template_signature(plan: &LogicalPlan) -> Signature {
     let mut hasher = Fnv1a::new();
-    hash_node(plan, &mut hasher, false);
+    hash_node(plan, &mut hasher, false, None);
+    Signature(hasher.finish())
+}
+
+/// Template signature with view scans expanded to their definitions in
+/// `catalog` (see [`Catalog::register_view`]). For a plan without view
+/// scans this equals [`template_signature`].
+pub fn template_signature_in(plan: &LogicalPlan, catalog: &Catalog) -> Signature {
+    let mut hasher = Fnv1a::new();
+    hash_node(plan, &mut hasher, false, Some(catalog));
     Signature(hasher.finish())
 }
 
@@ -145,7 +171,10 @@ mod tests {
 
     #[test]
     fn strict_distinguishes_literals() {
-        assert_ne!(strict_signature(&plan_with_literal(1)), strict_signature(&plan_with_literal(2)));
+        assert_ne!(
+            strict_signature(&plan_with_literal(1)),
+            strict_signature(&plan_with_literal(2))
+        );
     }
 
     #[test]
@@ -171,7 +200,10 @@ mod tests {
     fn signature_stable_known_value() {
         // Pin one signature so accidental hash-algorithm changes are caught.
         let plan = LogicalPlan::scan("events");
-        assert_eq!(strict_signature(&plan), strict_signature(&LogicalPlan::scan("events")));
+        assert_eq!(
+            strict_signature(&plan),
+            strict_signature(&LogicalPlan::scan("events"))
+        );
         let mut h = Fnv1a::new();
         h.write(b"a");
         assert_eq!(h.finish(), 0xaf63dc4c8601ec8c); // FNV-1a("a"), published test vector

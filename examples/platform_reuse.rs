@@ -49,8 +49,7 @@ fn main() {
 
     // --- Direction 2b: package a model for cross-system deployment.
     let pairs: Vec<(f64, f64)> = (0..24).map(|h| (h as f64, 50.0 + 3.0 * h as f64)).collect();
-    let model =
-        LinearRegression::fit(&Dataset::from_xy(&pairs).expect("shape")).expect("fits");
+    let model = LinearRegression::fit(&Dataset::from_xy(&pairs).expect("shape")).expect("fits");
     let bundle = ModelBundle::pack(ModelKind::LinearRegression, "load-predictor-v1", &model)
         .expect("packs")
         .with_metadata("trained_on", "fleet-telemetry-2026-07")
@@ -60,9 +59,11 @@ fn main() {
         .expect("parses")
         .unpack(ModelKind::LinearRegression)
         .expect("unpacks");
-    println!("  model bundle {} bytes; prediction preserved: {}", json.len(), {
-        (restored.predict(&[12.0]) - model.predict(&[12.0])).abs() < 1e-12
-    });
+    println!(
+        "  model bundle {} bytes; prediction preserved: {}",
+        json.len(),
+        { (restored.predict(&[12.0]) - model.predict(&[12.0])).abs() < 1e-12 }
+    );
 
     // --- Workload evolution: what to provision for tomorrow.
     let evolution = analyze_evolution(&workload.trace, 12, 0.1, 3);
@@ -93,14 +94,25 @@ fn main() {
         .collect();
     assessment.run_automated(&batch);
     assessment.attest("privacy-review", true, "telemetry is counters only");
-    assessment.attest("transparency-docs", true, "rationale string shipped with decisions");
+    assessment.attest(
+        "transparency-docs",
+        true,
+        "rationale string shipped with decisions",
+    );
     println!("\n== RAI assessment (Direction 4) ==");
     for (id, principle, required, status) in assessment.report() {
-        println!("  [{}] {id} ({principle:?}) -> {status:?}", if required { "required" } else { "optional" });
+        println!(
+            "  [{}] {id} ({principle:?}) -> {status:?}",
+            if required { "required" } else { "optional" }
+        );
     }
     println!(
         "  verdict: {:?} -> deployment {}",
         assessment.status(),
-        if assessment.status() == AssessmentStatus::Approved { "unblocked" } else { "blocked" }
+        if assessment.status() == AssessmentStatus::Approved {
+            "unblocked"
+        } else {
+            "blocked"
+        }
     );
 }

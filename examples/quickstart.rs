@@ -35,12 +35,20 @@ fn main() {
     );
 
     // 3. Train per-template cardinality micromodels on the history.
-    let plans: Vec<_> = workload.trace.jobs().iter().map(|j| j.plan.clone()).collect();
+    let plans: Vec<_> = workload
+        .trace
+        .jobs()
+        .iter()
+        .map(|j| j.plan.clone())
+        .collect();
     let (model, report) =
         LearnedCardinality::train(&workload.catalog, &plans, TrainConfig::default());
     println!(
         "micromodels: kept {}/{} trained; median q-error {:.2} -> {:.2}",
-        report.models_kept, report.templates_trained, report.default_q_error, report.learned_q_error
+        report.models_kept,
+        report.templates_trained,
+        report.default_q_error,
+        report.learned_q_error
     );
 
     // 4. Deploy behind guardrails with a monitored feedback loop.
@@ -59,7 +67,10 @@ fn main() {
 
     let mut registry = ModelRegistry::new();
     registry.deploy("learned-cardinality-v1", report.learned_q_error);
-    let mut feedback = FeedbackLoop::new(LoopConfig { window: 20, ..Default::default() });
+    let mut feedback = FeedbackLoop::new(LoopConfig {
+        window: 20,
+        ..Default::default()
+    });
 
     // Healthy phase: live predictions track the truth.
     let truth = TrueCardinality::new(&workload.catalog);
@@ -89,5 +100,8 @@ fn main() {
             break;
         }
     }
-    println!("model versions deployed over the session: {}", registry.version_count());
+    println!(
+        "model versions deployed over the session: {}",
+        registry.version_count()
+    );
 }

@@ -36,7 +36,10 @@ fn main() {
     let report = replay(
         &workload.trace,
         &workload.catalog,
-        &ReplayConfig { train_fraction: 0.3, ..Default::default() },
+        &ReplayConfig {
+            train_fraction: 0.3,
+            ..Default::default()
+        },
     )
     .expect("replay runs");
     println!(
@@ -55,13 +58,20 @@ fn main() {
     let optimizer = Optimizer::default();
     let mut by_template: HashMap<_, Vec<_>> = HashMap::new();
     for job in workload.trace.jobs() {
-        by_template.entry(template_signature(&job.plan)).or_default().push(&job.plan);
+        by_template
+            .entry(template_signature(&job.plan))
+            .or_default()
+            .push(&job.plan);
     }
     by_template.retain(|_, v| v.len() >= 10);
     let mut controller = SteeringController::new(RuleSet::all(), SteeringConfig::default());
     let true_cost = |plan: &LogicalPlan, rules: RuleSet| {
-        let optimized = optimizer.optimize(plan, rules, &est).expect("plan validates");
-        cost_model.total_cost(&optimized.plan, &truth).expect("plan validates")
+        let optimized = optimizer
+            .optimize(plan, rules, &est)
+            .expect("plan validates");
+        cost_model
+            .total_cost(&optimized.plan, &truth)
+            .expect("plan validates")
     };
     for round in 0..60 {
         for (&sig, instances) in &by_template {
@@ -69,7 +79,11 @@ fn main() {
             let chosen = controller.choose(sig);
             let deployed = controller.deployed(sig);
             let c = true_cost(plan, chosen);
-            let d = if chosen == deployed { c } else { true_cost(plan, deployed) };
+            let d = if chosen == deployed {
+                c
+            } else {
+                true_cost(plan, deployed)
+            };
             controller.observe(sig, chosen, c, d);
         }
     }
@@ -101,7 +115,10 @@ fn main() {
         }
         plan.aggregate(vec![1])
     };
-    let cluster = ClusterConfig { machines: 32, ..Default::default() };
+    let cluster = ClusterConfig {
+        machines: 32,
+        ..Default::default()
+    };
     let sim = Simulator::new(cluster).expect("valid cluster");
     let dag = StageDag::compile(&big, &workload.catalog, &cost_model).expect("plan validates");
     let history: Vec<_> = [100i64, 300, 500]
@@ -122,7 +139,11 @@ fn main() {
     let refs: Vec<_> = history.iter().map(|(d, r)| (d, r)).collect();
     let predictor = StagePredictor::train(&refs).expect("enough stages");
     let forecast = predictor.forecast(&dag);
-    let config = PhoebeConfig { max_cuts: 3, hotspot_threshold: 0.05, ..Default::default() };
+    let config = PhoebeConfig {
+        max_cuts: 3,
+        hotspot_threshold: 0.05,
+        ..Default::default()
+    };
     let plan = plan_checkpoints(&dag, &forecast, &config);
     let phoebe = evaluate(&dag, &plan, cluster, 0.85).expect("simulates");
     println!(

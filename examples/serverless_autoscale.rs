@@ -6,29 +6,47 @@
 use autonomous_data_services::infra::provision::{
     simulate_provisioning, DemandModel, PoolPolicy, ProvisionConfig,
 };
-use autonomous_data_services::service::moneyball::{
-    generate_usage, simulate_policy, PausePolicy,
-};
+use autonomous_data_services::service::moneyball::{generate_usage, simulate_policy, PausePolicy};
 
 fn main() {
     // --- Moneyball: a fleet of 800 serverless databases, 77% with
     //     predictable usage (the paper's measured share).
     let fleet = generate_usage(800, 21, 0.77, 7);
-    println!("== Moneyball: pause/resume over {} databases ==", fleet.len());
+    println!(
+        "== Moneyball: pause/resume over {} databases ==",
+        fleet.len()
+    );
     println!(
         "{:<28} {:>18} {:>18}",
         "policy", "cold resumes/db-day", "idle hours/db-day"
     );
     for (name, policy) in [
         ("always-on", PausePolicy::AlwaysOn),
-        ("reactive (2h idle)", PausePolicy::Reactive { idle_hours: 2 }),
-        ("proactive (Moneyball)", PausePolicy::Proactive { idle_hours: 2, threshold: 0.4 }),
+        (
+            "reactive (2h idle)",
+            PausePolicy::Reactive { idle_hours: 2 },
+        ),
+        (
+            "proactive (Moneyball)",
+            PausePolicy::Proactive {
+                idle_hours: 2,
+                threshold: 0.4,
+            },
+        ),
     ] {
         let r = simulate_policy(&fleet, policy);
-        println!("{:<28} {:>18.2} {:>18.2}", name, r.cold_resumes_per_db, r.idle_hours_per_db);
+        println!(
+            "{:<28} {:>18.2} {:>18.2}",
+            name, r.cold_resumes_per_db, r.idle_hours_per_db
+        );
     }
-    let proactive =
-        simulate_policy(&fleet, PausePolicy::Proactive { idle_hours: 2, threshold: 0.4 });
+    let proactive = simulate_policy(
+        &fleet,
+        PausePolicy::Proactive {
+            idle_hours: 2,
+            threshold: 0.4,
+        },
+    );
     println!(
         "classifier found {:.0}% of usage predictable ({:.0}% accuracy vs ground truth)\n",
         proactive.predictable_fraction * 100.0,
@@ -39,7 +57,10 @@ fn main() {
     let demand = DemandModel::default();
     let config = ProvisionConfig::default();
     println!("== Cluster provisioning: QoS vs cost (Fig 2) ==");
-    println!("{:<22} {:>12} {:>12} {:>14}", "policy", "mean wait s", "p95 wait s", "idle clus-hrs");
+    println!(
+        "{:<22} {:>12} {:>12} {:>14}",
+        "policy", "mean wait s", "p95 wait s", "idle clus-hrs"
+    );
     for size in [0usize, 5, 10, 20, 30, 40, 60] {
         let r = simulate_provisioning(&demand, PoolPolicy::Static { size }, &config);
         println!(

@@ -14,9 +14,15 @@ fn main() {
     let hits = store.search("segment cluster");
     println!("AlgorithmStore search for 'segment cluster':");
     for entry in hits.iter().take(3) {
-        println!("  {} — {} ({})", entry.name, entry.description, entry.implementation);
+        println!(
+            "  {} — {} ({})",
+            entry.name, entry.description, entry.implementation
+        );
     }
-    println!("  ({} classification templates total)\n", store.by_category(Category::Classification).len());
+    println!(
+        "  ({} classification templates total)\n",
+        store.by_category(Category::Classification).len()
+    );
 
     // Train on the existing Azure customer population, evaluate on new
     // migrating customers.
@@ -25,7 +31,10 @@ fn main() {
     let migrating = generate_customers(12, 8, 0.12, 99);
     let doppler = Doppler::train(&train, skus.clone(), 8, 7).expect("k <= population");
 
-    println!("{:<10} {:>10} {:>10} {:>9} {:>9} {:>8}", "customer", "obs vcores", "obs mem", "truth", "doppler", "naive");
+    println!(
+        "{:<10} {:>10} {:>10} {:>9} {:>9} {:>8}",
+        "customer", "obs vcores", "obs mem", "truth", "doppler", "naive"
+    );
     for (i, customer) in migrating.iter().enumerate() {
         let truth = true_best_sku(&skus, customer).map(|s| skus[s].name.clone());
         let rec = doppler.recommend(customer).map(|s| skus[s].name.clone());
@@ -47,7 +56,10 @@ fn main() {
     println!("\nprice-performance rank for cust-0 (cheapest fitting first):");
     for idx in doppler.price_performance_rank(customer).iter().take(4) {
         let sku = &skus[*idx];
-        println!("  {} — {} vcores, {} GB, ${}/mo", sku.name, sku.vcores, sku.memory_gb, sku.price);
+        println!(
+            "  {} — {} vcores, {} GB, ${}/mo",
+            sku.name, sku.vcores, sku.memory_gb, sku.price
+        );
     }
 
     // Fleet-level accuracy.

@@ -33,12 +33,14 @@
 //! | Service | Seagull, Moneyball, Doppler, Spark auto-tuning | [`service`] |
 //! | Cross-cutting | model hierarchy, feedback loop, guardrails, AlgorithmStore, joint optimization | [`core`] |
 //! | Substrates | telemetry store & seasonal analysis | [`telemetry`]; ML models: [`ml`] |
+//! | Validation | deterministic fault injection & chaos testing | [`faultsim`] |
 
 #![warn(missing_docs)]
 
 pub use adas_checkpoint as checkpoint;
 pub use adas_core as core;
 pub use adas_engine as engine;
+pub use adas_faultsim as faultsim;
 pub use adas_infra as infra;
 pub use adas_learned as learned;
 pub use adas_ml as ml;

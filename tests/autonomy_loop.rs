@@ -14,7 +14,9 @@ use autonomous_data_services::service::doppler::{
 };
 
 fn line(slope: f64, intercept: f64) -> LinearRegression {
-    let pairs: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, intercept + slope * i as f64)).collect();
+    let pairs: Vec<(f64, f64)> = (0..10)
+        .map(|i| (i as f64, intercept + slope * i as f64))
+        .collect();
     LinearRegression::fit(&Dataset::from_xy(&pairs).expect("shape ok")).expect("fits")
 }
 
@@ -47,21 +49,23 @@ fn feedback_loop_rolls_back_drifted_service_model() {
     let mut registry = ModelRegistry::new();
     registry.deploy(line(1.0, 0.0), 0.1); // matches the world
     registry.deploy(line(4.0, 0.0), 0.1); // deployed with an optimistic error
-    let mut feedback = FeedbackLoop::new(LoopConfig { window: 16, ..Default::default() });
+    let mut feedback = FeedbackLoop::new(LoopConfig {
+        window: 16,
+        ..Default::default()
+    });
     let mut rolled_back = false;
     for i in 0..64 {
         let x = (i % 8) as f64;
         let current = registry.current().expect("deployed");
         let prediction = current.model.predict(&[x]);
         let actual = x; // the world is still y = x
-        match feedback.observe(prediction, actual, current.deployment_error) {
-            MonitorVerdict::Rollback => {
-                registry.rollback();
-                feedback.reset();
-                rolled_back = true;
-                break;
-            }
-            _ => {}
+        if feedback.observe(prediction, actual, current.deployment_error)
+            == MonitorVerdict::Rollback
+        {
+            registry.rollback();
+            feedback.reset();
+            rolled_back = true;
+            break;
         }
     }
     assert!(rolled_back, "drifted model must trigger rollback");
@@ -103,7 +107,10 @@ fn guardrails_and_fairness_on_doppler_decisions() {
     }
     assert!(!decisions.is_empty());
     // Guardrails may block some boundary decisions but not the majority.
-    assert!(blocked < decisions.len(), "guardrails blocked too much: {blocked}");
+    assert!(
+        blocked < decisions.len(),
+        "guardrails blocked too much: {blocked}"
+    );
     // Fairness: no customer group is systematically disadvantaged.
     let (outcomes, flagged) = FairnessCheck { max_disparity: 0.2 }.flag_groups(&decisions);
     assert_eq!(outcomes.len(), 3);

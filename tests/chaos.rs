@@ -1,0 +1,339 @@
+//! Cross-crate chaos suite: the system under seeded fault injection.
+//!
+//! Four properties, per ISSUE 2:
+//! 1. determinism — the same fault seed produces byte-identical outcomes;
+//! 2. checkpoint safety — checkpointed stages never recompute after
+//!    injected restarts;
+//! 3. guardrail safety — `GuardrailSet::check` blocks regressions coming
+//!    from poisoned models;
+//! 4. graceful degradation — no fault schedule, however hostile or
+//!    malformed, panics the stack.
+
+use autonomous_data_services::core::feedback::{
+    FeedbackLoop, LoopConfig, ModelRegistry, MonitorVerdict,
+};
+use autonomous_data_services::core::guardrails::{Decision, GuardrailSet, Verdict};
+use autonomous_data_services::engine::cost::CostModel;
+use autonomous_data_services::engine::exec::ClusterConfig;
+use autonomous_data_services::engine::physical::{StageDag, StageId};
+use autonomous_data_services::faultsim::{
+    ChaosRunner, DelayedFeedback, FaultConfig, FaultEvent, FaultInjector, FaultSchedule,
+    ModelFaults, Served,
+};
+use autonomous_data_services::infra::machine::{MachineFleet, SkuSpec};
+use autonomous_data_services::learned::cost::{CostEnsemble, CostTrainConfig};
+use autonomous_data_services::telemetry::schema::SemanticSchema;
+use autonomous_data_services::telemetry::TelemetryStore;
+use autonomous_data_services::workload::gen::{GeneratorConfig, WorkloadGenerator};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn workload() -> autonomous_data_services::workload::gen::GeneratedWorkload {
+    WorkloadGenerator::new(GeneratorConfig {
+        days: 2,
+        jobs_per_day: 40,
+        ..Default::default()
+    })
+    .expect("valid config")
+    .generate()
+    .expect("generates")
+}
+
+fn dags(w: &autonomous_data_services::workload::gen::GeneratedWorkload, n: usize) -> Vec<StageDag> {
+    let cm = CostModel::default();
+    w.trace
+        .jobs()
+        .iter()
+        .take(n)
+        .map(|j| StageDag::compile(&j.plan, &w.catalog, &cm).expect("compiles"))
+        .collect()
+}
+
+// ---------------------------------------------------------------- property 1
+
+/// Same seed ⇒ identical `ExecReport`s, down to the serialized bytes; a
+/// different seed diverges somewhere across the job set.
+#[test]
+fn chaos_same_seed_produces_identical_exec_reports() {
+    let w = workload();
+    let dags = dags(&w, 12);
+    let cluster = ClusterConfig::default();
+    let runner = ChaosRunner::new(cluster, f64::INFINITY).expect("valid cluster");
+
+    let run_all = |seed: u64| -> Vec<String> {
+        let injector = FaultInjector::new(seed, FaultConfig::standard());
+        dags.iter()
+            .enumerate()
+            .map(|(i, dag)| {
+                let schedule = injector.schedule_for(i as u64, cluster.machines);
+                let checkpointed: HashSet<StageId> = dag.stages().iter().map(|s| s.id).collect();
+                let outcome = runner.run_job(dag, &checkpointed, &schedule).expect("runs");
+                serde_json::to_string(&outcome).expect("serializes")
+            })
+            .collect()
+    };
+
+    let a = run_all(42);
+    let b = run_all(42);
+    assert_eq!(a, b, "same seed must replay byte-identically");
+    let c = run_all(43);
+    assert_ne!(a, c, "different seeds must diverge over 12 jobs");
+}
+
+// ---------------------------------------------------------------- property 2
+
+/// A checkpointed stage that completed before a fault is never executed
+/// again — across every seed, schedule and checkpoint subset tried.
+#[test]
+fn chaos_checkpointed_stages_never_recompute_after_restarts() {
+    let w = workload();
+    let dags = dags(&w, 8);
+    let cluster = ClusterConfig::default();
+    // Make faults certain so every job actually restarts.
+    let config = FaultConfig {
+        task_crash_rate: 1.0,
+        machine_loss_rate: 1.0,
+        ..FaultConfig::standard()
+    };
+    let runner = ChaosRunner::new(cluster, f64::INFINITY).expect("valid cluster");
+    for seed in 0..8u64 {
+        let injector = FaultInjector::new(seed, config);
+        for (i, dag) in dags.iter().enumerate() {
+            let schedule = injector.schedule_for(i as u64, cluster.machines);
+            // All checkpointed, half checkpointed, none checkpointed.
+            let all: HashSet<StageId> = dag.stages().iter().map(|s| s.id).collect();
+            let half: HashSet<StageId> = dag
+                .stages()
+                .iter()
+                .map(|s| s.id)
+                .filter(|id| id.0 % 2 == 0)
+                .collect();
+            for ckpt in [&all, &half, &HashSet::new()] {
+                let outcome = runner.run_job(dag, ckpt, &schedule).expect("runs");
+                assert_eq!(
+                    outcome.recomputed_checkpointed, 0,
+                    "seed {seed} job {i}: checkpointed stage recomputed"
+                );
+                if !schedule.is_empty() {
+                    assert!(outcome.attempts >= 2, "faults must actually fire");
+                }
+            }
+        }
+    }
+}
+
+/// With everything checkpointed, recovery is never slower than with
+/// nothing checkpointed — the paper's reason to checkpoint at all.
+#[test]
+fn chaos_full_checkpointing_never_hurts_under_faults() {
+    let w = workload();
+    let dags = dags(&w, 6);
+    let cluster = ClusterConfig::default();
+    let runner = ChaosRunner::new(cluster, f64::INFINITY).expect("valid cluster");
+    let injector = FaultInjector::new(
+        5,
+        FaultConfig {
+            task_crash_rate: 1.0,
+            ..FaultConfig::standard()
+        },
+    );
+    for (i, dag) in dags.iter().enumerate() {
+        let schedule = injector.schedule_for(i as u64, cluster.machines);
+        let all: HashSet<StageId> = dag.stages().iter().map(|s| s.id).collect();
+        let ckpt = runner.run_job(dag, &all, &schedule).expect("runs");
+        let bare = runner
+            .run_job(dag, &HashSet::new(), &schedule)
+            .expect("runs");
+        assert!(ckpt.total_latency <= bare.total_latency + 1e-9, "job {i}");
+    }
+}
+
+// ---------------------------------------------------------------- property 3
+
+/// A poisoned cost model inflates predicted performance; `GuardrailSet`
+/// blocks every decision the poison pushes past tolerance, while the same
+/// decisions under the clean model pass.
+#[test]
+fn chaos_guardrails_block_poisoned_model_regressions() {
+    let w = workload();
+    let history: Vec<_> = w
+        .trace
+        .jobs()
+        .iter()
+        .take(60)
+        .map(|j| j.plan.clone())
+        .collect();
+    let (ensemble, _) = CostEnsemble::train(&w.catalog, &history, CostTrainConfig::default());
+    let guards = GuardrailSet::standard();
+    let faults = ModelFaults::new(3, 0.0, 0.0, FaultConfig::standard().poison_factor);
+    assert!(
+        faults.poison_factor() > 1.05,
+        "poison must exceed regression tolerance"
+    );
+
+    let mut clean_allowed = 0usize;
+    let mut poisoned_blocked = 0usize;
+    let mut evaluated = 0usize;
+    for job in w.trace.jobs().iter().skip(60).take(40) {
+        let clean = ensemble.predict(&job.plan);
+        let baseline = clean; // an honest model predicts the baseline
+        let decision = |predicted: f64| Decision {
+            predicted_perf: predicted,
+            baseline_perf: baseline,
+            predicted_cost: 1.0,
+            baseline_cost: 1.0,
+            group: 0,
+        };
+        evaluated += 1;
+        if guards.check(&decision(clean)) == Verdict::Allow {
+            clean_allowed += 1;
+        }
+        match guards.check(&decision(faults.poisoned(clean))) {
+            Verdict::Block(reason) => {
+                poisoned_blocked += 1;
+                assert!(reason.contains("regression"), "wrong guard fired: {reason}");
+            }
+            Verdict::Allow => panic!("poisoned regression slipped past the guardrails"),
+        }
+    }
+    assert_eq!(clean_allowed, evaluated, "clean predictions must all pass");
+    assert_eq!(poisoned_blocked, evaluated);
+}
+
+/// The feedback loop detects a poisoned deployment even when observations
+/// arrive late, and rolls back to the clean version.
+#[test]
+fn chaos_delayed_feedback_still_rolls_back_poisoned_model() {
+    let poison = 3.5f64;
+    let mut registry = ModelRegistry::new();
+    registry.deploy(1.0f64, 0.02); // clean multiplier
+    registry.deploy(poison, 0.02); // poisoned deployment with optimistic error
+    let mut monitor = FeedbackLoop::new(LoopConfig {
+        window: 10,
+        ..Default::default()
+    });
+    let mut pipe = DelayedFeedback::new(FaultConfig::standard().feedback_delay);
+
+    let mut rolled_back_at = None;
+    for step in 0..200usize {
+        let current = registry.current().expect("deployed");
+        let actual = 1.0; // ground truth unchanged
+        let prediction = current.model * actual;
+        if let Some((p, a)) = pipe.push(prediction, actual) {
+            if monitor.observe(p, a, current.deployment_error) == MonitorVerdict::Rollback {
+                registry.rollback();
+                monitor.reset();
+                rolled_back_at = Some(step);
+                break;
+            }
+        }
+    }
+    let step = rolled_back_at.expect("monitor must catch the poisoned model");
+    // Delay postpones detection past the bare window but cannot prevent it.
+    assert!(step >= 10, "rollback cannot precede a full window");
+    assert_eq!(registry.current().expect("deployed").model, 1.0);
+}
+
+// ---------------------------------------------------------------- property 4
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any schedule — including machine indices far out of range and strike
+    /// fractions outside [0, 1] — completes without panicking, fires at
+    /// most its own length, and still produces a positive-latency report.
+    #[test]
+    fn chaos_arbitrary_schedules_never_panic(
+        seed in 0u64..1_000,
+        events in proptest::collection::vec(
+            prop_oneof![
+                (0.0f64..1.5).prop_map(|at| FaultEvent::TaskCrash { at }),
+                (0usize..64, -0.2f64..1.2)
+                    .prop_map(|(machine, at)| FaultEvent::MachineLoss { machine, at }),
+                (0.0f64..1.0).prop_map(|at| FaultEvent::TempExhaustion { at }),
+            ],
+            0..6,
+        ),
+        capacity_exp in 0u32..12,
+    ) {
+        let w = WorkloadGenerator::new(GeneratorConfig {
+            days: 1,
+            jobs_per_day: 10,
+            seed,
+            ..Default::default()
+        })
+        .expect("valid config")
+        .generate()
+        .expect("generates");
+        let cm = CostModel::default();
+        let job = &w.trace.jobs()[(seed % 10) as usize];
+        let dag = StageDag::compile(&job.plan, &w.catalog, &cm).expect("compiles");
+        let runner = ChaosRunner::new(ClusterConfig::default(), 10f64.powi(capacity_exp as i32))
+            .expect("valid cluster");
+        let schedule = FaultSchedule { events: events.clone() };
+        let half: HashSet<StageId> =
+            dag.stages().iter().map(|s| s.id).filter(|id| id.0 % 2 == 0).collect();
+        let outcome = runner.run_job(&dag, &half, &schedule).expect("never errors");
+        prop_assert!(outcome.injected <= events.len());
+        prop_assert_eq!(outcome.attempts, outcome.injected + 1);
+        prop_assert_eq!(outcome.recomputed_checkpointed, 0);
+        // A fault striking at fraction >= 1.0 hits a job that already
+        // finished, so the final attempt may legitimately run nothing —
+        // but some attempt always did real work.
+        prop_assert!(outcome.total_latency > 0.0);
+        prop_assert!(outcome.final_report.latency >= 0.0);
+        prop_assert!(outcome.total_latency >= outcome.final_report.latency - 1e-9);
+    }
+
+    /// Telemetry perturbed under any rate still flows through the semantic
+    /// schema into the store without violating its ordering contract, and
+    /// the dropout rate observed matches the configured one loosely.
+    #[test]
+    fn chaos_perturbed_telemetry_always_ingestible(
+        seed in 0u64..1_000,
+        dropout in 0.0f64..0.9,
+        burst_rate in 0.0f64..0.3,
+        burst_len in 0usize..8,
+    ) {
+        let fleet = MachineFleet::new(SkuSpec::standard_fleet(), 3);
+        let clean = fleet.generate_telemetry(24, 0.05, seed);
+        let injector = FaultInjector::new(
+            seed,
+            FaultConfig {
+                telemetry_dropout: dropout,
+                outlier_burst_rate: burst_rate,
+                outlier_burst_len: burst_len,
+                ..FaultConfig::standard()
+            },
+        );
+        let (perturbed, stats) = injector.telemetry_faults().perturb(&clean, 0);
+        prop_assert_eq!(stats.dropped + stats.corrupted + stats.clean, clean.len());
+        let store = TelemetryStore::new();
+        let written = fleet
+            .emit_to_store(&perturbed, &SemanticSchema::standard(), &store)
+            .expect("perturbed telemetry must stay ingestible");
+        prop_assert_eq!(written, perturbed.len() * 3);
+    }
+
+    /// Model serving under any staleness/timeout mix degrades gracefully:
+    /// every call yields a usable value via the fallback path, and the
+    /// fresh-path values are exact.
+    #[test]
+    fn chaos_model_serving_always_yields_usable_values(
+        seed in 0u64..1_000,
+        staleness in 0.0f64..1.0,
+        timeout in 0.0f64..1.0,
+    ) {
+        let mut faults = ModelFaults::new(seed, staleness, timeout, 1.0);
+        let fallback = 123.0;
+        for i in 0..100 {
+            let clean = 1.0 + i as f64;
+            let served = faults.serve(clean);
+            let value = served.value_or(fallback);
+            prop_assert!(value.is_finite() && value > 0.0);
+            if let Served::Fresh(v) = served {
+                prop_assert_eq!(v, clean);
+            }
+        }
+    }
+}

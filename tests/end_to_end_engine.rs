@@ -11,7 +11,9 @@ use autonomous_data_services::engine::rules::{Optimizer, RuleSet};
 use autonomous_data_services::learned::cardinality::{LearnedCardinality, TrainConfig};
 use autonomous_data_services::learned::cost::{CostEnsemble, CostTrainConfig};
 use autonomous_data_services::workload::analyze::WorkloadAnalysis;
-use autonomous_data_services::workload::gen::{GeneratedWorkload, GeneratorConfig, WorkloadGenerator};
+use autonomous_data_services::workload::gen::{
+    GeneratedWorkload, GeneratorConfig, WorkloadGenerator,
+};
 
 fn workload() -> GeneratedWorkload {
     WorkloadGenerator::new(GeneratorConfig {
@@ -33,14 +35,21 @@ fn every_generated_plan_compiles_optimizes_and_executes() {
     let cost_model = CostModel::default();
     let sim = Simulator::new(ClusterConfig::default()).expect("valid cluster");
     for job in w.trace.jobs().iter().take(100) {
-        job.plan.validate(&w.catalog).expect("generated plans validate");
+        job.plan
+            .validate(&w.catalog)
+            .expect("generated plans validate");
         let optimized = optimizer
             .optimize(&job.plan, RuleSet::all(), &est)
             .expect("optimization succeeds");
-        optimized.plan.validate(&w.catalog).expect("optimized plans stay valid");
+        optimized
+            .plan
+            .validate(&w.catalog)
+            .expect("optimized plans stay valid");
         let dag = StageDag::compile(&optimized.plan, &w.catalog, &cost_model)
             .expect("compilation succeeds");
-        let report = sim.run(&dag, &SimOptions::default()).expect("execution succeeds");
+        let report = sim
+            .run(&dag, &SimOptions::default())
+            .expect("execution succeeds");
         assert!(report.latency > 0.0);
         assert!(report.total_cpu_seconds > 0.0);
     }
@@ -53,9 +62,12 @@ fn optimizer_never_worsens_estimated_cost() {
     let optimizer = Optimizer::default();
     let cost_model = CostModel::default();
     for job in w.trace.jobs().iter().take(100) {
-        let before = cost_model.total_cost(&job.plan, &est).expect("plan validates");
-        let optimized =
-            optimizer.optimize(&job.plan, RuleSet::all(), &est).expect("optimization succeeds");
+        let before = cost_model
+            .total_cost(&job.plan, &est)
+            .expect("plan validates");
+        let optimized = optimizer
+            .optimize(&job.plan, RuleSet::all(), &est)
+            .expect("optimization succeeds");
         assert!(
             optimized.estimated_cost <= before + 1e-6,
             "optimization regressed estimated cost: {} -> {}",
@@ -91,8 +103,12 @@ fn learned_components_train_on_analyzed_workload() {
         }
         covered += 1;
         let actual = truth.estimate(&job.plan).expect("plan validates");
-        let learned_err = (cardinality.estimate(&job.plan).expect("plan validates") / actual).ln().abs();
-        let default_err = (default.estimate(&job.plan).expect("plan validates") / actual).ln().abs();
+        let learned_err = (cardinality.estimate(&job.plan).expect("plan validates") / actual)
+            .ln()
+            .abs();
+        let default_err = (default.estimate(&job.plan).expect("plan validates") / actual)
+            .ln()
+            .abs();
         if learned_err <= default_err + 1e-9 {
             learned_better += 1;
         }
@@ -118,14 +134,21 @@ fn steered_ruleset_reduces_true_cost_when_promoted() {
     let optimizer = Optimizer::default();
     let mut by_template: HashMap<_, Vec<_>> = HashMap::new();
     for job in w.trace.jobs() {
-        by_template.entry(template_signature(&job.plan)).or_default().push(&job.plan);
+        by_template
+            .entry(template_signature(&job.plan))
+            .or_default()
+            .push(&job.plan);
     }
     by_template.retain(|_, v| v.len() >= 10);
 
     let true_cost = |plan: &autonomous_data_services::workload::plan::LogicalPlan,
                      rules: RuleSet| {
-        let o = optimizer.optimize(plan, rules, &est).expect("plan validates");
-        cost_model.total_cost(&o.plan, &truth).expect("plan validates")
+        let o = optimizer
+            .optimize(plan, rules, &est)
+            .expect("plan validates");
+        cost_model
+            .total_cost(&o.plan, &truth)
+            .expect("plan validates")
     };
     let mut controller = SteeringController::new(RuleSet::all(), SteeringConfig::default());
     for round in 0..50 {
@@ -134,7 +157,11 @@ fn steered_ruleset_reduces_true_cost_when_promoted() {
             let chosen = controller.choose(sig);
             let deployed = controller.deployed(sig);
             let c = true_cost(plan, chosen);
-            let d = if chosen == deployed { c } else { true_cost(plan, deployed) };
+            let d = if chosen == deployed {
+                c
+            } else {
+                true_cost(plan, deployed)
+            };
             controller.observe(sig, chosen, c, d);
         }
     }

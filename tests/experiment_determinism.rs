@@ -9,14 +9,26 @@ fn rows_json(run: fn() -> Vec<adas_bench::Row>) -> String {
 
 #[test]
 fn figure_experiments_are_deterministic() {
-    assert_eq!(rows_json(experiments::fig1::run), rows_json(experiments::fig1::run));
-    assert_eq!(rows_json(experiments::fig2::run), rows_json(experiments::fig2::run));
+    assert_eq!(
+        rows_json(experiments::fig1::run),
+        rows_json(experiments::fig1::run)
+    );
+    assert_eq!(
+        rows_json(experiments::fig2::run),
+        rows_json(experiments::fig2::run)
+    );
 }
 
 #[test]
 fn service_experiments_are_deterministic() {
-    assert_eq!(rows_json(experiments::doppler::run), rows_json(experiments::doppler::run));
-    assert_eq!(rows_json(experiments::moneyball::run), rows_json(experiments::moneyball::run));
+    assert_eq!(
+        rows_json(experiments::doppler::run),
+        rows_json(experiments::doppler::run)
+    );
+    assert_eq!(
+        rows_json(experiments::moneyball::run),
+        rows_json(experiments::moneyball::run)
+    );
 }
 
 #[test]

@@ -1,0 +1,150 @@
+//! Guardrail behaviour at the edges, under faulted inputs (ISSUE 2
+//! satellite): `RegressionGuard`/`CostGuard` boundary and degenerate
+//! baselines, and `FairnessCheck::flag_groups` on empty, single-group and
+//! all-flagged batches.
+
+use autonomous_data_services::core::guardrails::{
+    CostGuard, Decision, FairnessCheck, Guardrail, GuardrailSet, RegressionGuard, Verdict,
+};
+use autonomous_data_services::faultsim::{FaultConfig, ModelFaults};
+
+fn decision(perf: f64, cost: f64, group: u32) -> Decision {
+    Decision {
+        predicted_perf: perf,
+        baseline_perf: 100.0,
+        predicted_cost: cost,
+        baseline_cost: 10.0,
+        group,
+    }
+}
+
+#[test]
+fn regression_guard_boundary_is_inclusive() {
+    let g = RegressionGuard { tolerance: 0.05 };
+    // Exactly at tolerance: allowed (strict > comparison).
+    assert_eq!(g.check(&decision(105.0, 10.0, 0)), Verdict::Allow);
+    assert!(matches!(
+        g.check(&decision(105.0 + 1e-9, 10.0, 0)),
+        Verdict::Block(_)
+    ));
+}
+
+#[test]
+fn guards_ignore_degenerate_baselines() {
+    // A zero or negative baseline (e.g. a telemetry gap zeroed the
+    // measurement) must not divide-by-zero or spuriously block.
+    let reg = RegressionGuard { tolerance: 0.05 };
+    let cost = CostGuard { tolerance: 0.10 };
+    let zero_baseline = Decision {
+        predicted_perf: 50.0,
+        baseline_perf: 0.0,
+        predicted_cost: 50.0,
+        baseline_cost: 0.0,
+        group: 0,
+    };
+    assert_eq!(reg.check(&zero_baseline), Verdict::Allow);
+    assert_eq!(cost.check(&zero_baseline), Verdict::Allow);
+    let negative = Decision {
+        baseline_perf: -1.0,
+        baseline_cost: -1.0,
+        ..zero_baseline
+    };
+    assert_eq!(reg.check(&negative), Verdict::Allow);
+    assert_eq!(cost.check(&negative), Verdict::Allow);
+}
+
+#[test]
+fn cost_guard_blocks_poison_scaled_costs() {
+    let guards = GuardrailSet::standard();
+    let faults = ModelFaults::new(1, 0.0, 0.0, FaultConfig::standard().poison_factor);
+    // Honest cost estimate passes; the poisoned one trips the cost guard
+    // (perf is kept clean so the *cost* guard must be the one that fires).
+    let honest = decision(100.0, 10.0, 0);
+    assert_eq!(guards.check(&honest), Verdict::Allow);
+    let poisoned = Decision {
+        predicted_cost: faults.poisoned(honest.predicted_cost),
+        ..honest
+    };
+    match guards.check(&poisoned) {
+        Verdict::Block(reason) => assert!(reason.contains("cost"), "{reason}"),
+        Verdict::Allow => panic!("poison-inflated cost slipped through"),
+    }
+}
+
+#[test]
+fn fairness_on_empty_batch_is_quiet() {
+    let check = FairnessCheck { max_disparity: 0.1 };
+    let (outcomes, flagged) = check.flag_groups(&[]);
+    assert!(outcomes.is_empty());
+    assert!(flagged.is_empty());
+}
+
+#[test]
+fn fairness_single_group_never_flagged() {
+    // One group IS the fleet; it cannot lag itself.
+    let check = FairnessCheck { max_disparity: 0.0 };
+    let decisions: Vec<Decision> = (0..10)
+        .map(|i| decision(80.0 + i as f64, 10.0, 7))
+        .collect();
+    let (outcomes, flagged) = check.flag_groups(&decisions);
+    assert_eq!(outcomes.len(), 1);
+    assert_eq!(outcomes[0].group, 7);
+    assert_eq!(outcomes[0].decisions, 10);
+    assert!(flagged.is_empty());
+}
+
+#[test]
+fn fairness_uniform_regression_flags_no_one() {
+    // Every group regresses identically (a fleet-wide poisoned model):
+    // that is a guardrail problem, not a fairness disparity — nobody lags
+    // the (equally bad) fleet mean.
+    let check = FairnessCheck {
+        max_disparity: 0.05,
+    };
+    let decisions: Vec<Decision> = (0..30).map(|i| decision(150.0, 10.0, i % 3)).collect();
+    let (outcomes, flagged) = check.flag_groups(&decisions);
+    assert_eq!(outcomes.len(), 3);
+    for o in &outcomes {
+        assert!(o.mean_improvement < 0.0);
+    }
+    assert!(flagged.is_empty(), "uniform badness is not disparity");
+}
+
+#[test]
+fn fairness_flags_every_lagging_group() {
+    // Two favoured groups, two marginalized ones: both laggards flagged.
+    let mut decisions = Vec::new();
+    for g in 0..4u32 {
+        let perf = if g >= 2 { 120.0 } else { 60.0 };
+        for _ in 0..5 {
+            decisions.push(decision(perf, 10.0, g));
+        }
+    }
+    let check = FairnessCheck {
+        max_disparity: 0.15,
+    };
+    let (outcomes, flagged) = check.flag_groups(&decisions);
+    assert_eq!(outcomes.len(), 4);
+    assert_eq!(flagged, vec![2, 3]);
+}
+
+#[test]
+fn fairness_zero_baseline_groups_count_as_unimproved() {
+    // Decisions whose baseline is zero contribute 0 improvement instead of
+    // NaN/inf — the batch still evaluates.
+    let mut decisions: Vec<Decision> = (0..5).map(|_| decision(60.0, 10.0, 0)).collect();
+    decisions.extend((0..5).map(|_| Decision {
+        predicted_perf: 60.0,
+        baseline_perf: 0.0,
+        predicted_cost: 10.0,
+        baseline_cost: 10.0,
+        group: 1,
+    }));
+    let check = FairnessCheck {
+        max_disparity: 0.15,
+    };
+    let (outcomes, flagged) = check.flag_groups(&decisions);
+    assert!(outcomes.iter().all(|o| o.mean_improvement.is_finite()));
+    // Group 1 (0% improvement) lags group 0 (40%) by more than 15%.
+    assert_eq!(flagged, vec![1]);
+}

@@ -48,7 +48,9 @@ fn execute_record_train_loop_beats_default() {
             .expect("records");
     }
     for job in train_jobs.iter().skip(120) {
-        store.record_execution(&job.plan, &w.catalog, None).expect("records");
+        store
+            .record_execution(&job.plan, &w.catalog, None)
+            .expect("records");
     }
 
     let (model, report) =
@@ -65,8 +67,12 @@ fn execute_record_train_loop_beats_default() {
         }
         covered += 1;
         let actual = truth.estimate(&job.plan).expect("validates");
-        let learned_err = (model.estimate(&job.plan).expect("validates") / actual).ln().abs();
-        let default_err = (default.estimate(&job.plan).expect("validates") / actual).ln().abs();
+        let learned_err = (model.estimate(&job.plan).expect("validates") / actual)
+            .ln()
+            .abs();
+        let default_err = (default.estimate(&job.plan).expect("validates") / actual)
+            .ln()
+            .abs();
         if learned_err <= default_err + 1e-9 {
             learned_wins += 1;
         }
@@ -90,7 +96,10 @@ fn plan_travels_between_engines_with_model_bundle() {
     .expect("generates");
     let plans: Vec<_> = w.trace.jobs().iter().map(|j| j.plan.clone()).collect();
     let (model, _) = LearnedCardinality::train(&w.catalog, &plans, TrainConfig::default());
-    let covered = plans.iter().find(|p| model.covers(p)).expect("a covered plan exists");
+    let covered = plans
+        .iter()
+        .find(|p| model.covers(p))
+        .expect("a covered plan exists");
 
     // Export the plan across the wire.
     let wire = export_plan("engine-a", covered).expect("exports");

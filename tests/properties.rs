@@ -20,14 +20,17 @@ fn arb_plan() -> impl Strategy<Value = LogicalPlan> {
         prop_oneof![
             // Filter: clause columns constrained to the narrowest table (2
             // columns) so the plan validates regardless of base table.
-            (inner.clone(), 0usize..2, prop_oneof![Just(CmpOp::Le), Just(CmpOp::Ge), Just(CmpOp::Eq)], -5i64..1000)
-                .prop_map(|(child, col, op, v)| child.filter(Predicate::new(vec![
-                    Comparison::new(col, op, v)
-                ]))),
+            (
+                inner.clone(),
+                0usize..2,
+                prop_oneof![Just(CmpOp::Le), Just(CmpOp::Ge), Just(CmpOp::Eq)],
+                -5i64..1000
+            )
+                .prop_map(|(child, col, op, v)| child
+                    .filter(Predicate::new(vec![Comparison::new(col, op, v)]))),
             (inner.clone()).prop_map(|child| child.project(vec![0, 1])),
             (inner.clone()).prop_map(|child| child.aggregate(vec![0])),
-            (inner.clone(), inner.clone())
-                .prop_map(|(l, r)| LogicalPlan::join(l, r, 0, 0)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| LogicalPlan::join(l, r, 0, 0)),
             (inner.clone(), inner).prop_map(|(l, r)| LogicalPlan::union(l, r)),
         ]
     })

@@ -1,0 +1,591 @@
+//! Offline stand-in for `serde_derive`, written against the vendored
+//! value-model `serde` (see `crates/vendor/README.md`).
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this workspace uses, with no `syn`/`quote` dependency — the item
+//! is parsed directly from the `proc_macro` token stream and code is
+//! generated as source text:
+//!
+//! - structs with named fields (including one or more plain type
+//!   parameters, which receive `Serialize`/`Deserialize` bounds);
+//! - tuple structs (single-field newtypes serialize transparently, like
+//!   real serde);
+//! - unit structs;
+//! - enums with unit, tuple, and struct variants, encoded externally
+//!   tagged exactly like serde_json (`"Variant"` / `{"Variant": ...}`);
+//! - the `#[serde(skip)]` field attribute (omitted on serialize, filled
+//!   from `Default::default()` on deserialize).
+//!
+//! Anything outside that surface fails the build with a descriptive panic
+//! rather than silently mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field.
+struct Field {
+    /// Named-field name; `None` in tuple position.
+    name: Option<String>,
+    /// Marked `#[serde(skip)]`.
+    skip: bool,
+}
+
+/// The body shape of a struct or one enum variant.
+enum Shape {
+    Unit,
+    Tuple(Vec<Field>),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        generics: Vec<String>,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        generics: Vec<String>,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives `serde::Serialize` via the vendored value model.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` via the vendored value model.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Self {
+            tokens: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Consumes attributes (`#[...]`), returning whether any was
+    /// `#[serde(skip)]`.
+    fn skip_attrs(&mut self) -> bool {
+        let mut skip = false;
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.next();
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    if attr_is_serde_skip(g.stream()) {
+                        skip = true;
+                    }
+                }
+                other => panic!("serde_derive: expected [...] after #, got {other:?}"),
+            }
+        }
+        skip
+    }
+
+    /// Consumes `pub`, `pub(...)` if present.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.next();
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.next();
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected {what}, got {other:?}"),
+        }
+    }
+
+    /// Consumes tokens until a `,` at angle-bracket depth 0, or the end.
+    /// `->` is recognized so its `>` does not disturb the depth count.
+    fn skip_until_comma(&mut self) {
+        let mut depth = 0i32;
+        while let Some(tok) = self.peek() {
+            match tok {
+                TokenTree::Punct(p) => {
+                    let c = p.as_char();
+                    if c == ',' && depth == 0 {
+                        self.next();
+                        return;
+                    }
+                    if c == '<' {
+                        depth += 1;
+                    } else if c == '>' {
+                        depth -= 1;
+                    } else if c == '-' {
+                        // Possible `->`: swallow the pair as one unit.
+                        self.next();
+                        if let Some(TokenTree::Punct(q)) = self.peek() {
+                            if q.as_char() == '>' {
+                                self.next();
+                            }
+                        }
+                        continue;
+                    }
+                    self.next();
+                }
+                _ => {
+                    self.next();
+                }
+            }
+        }
+    }
+}
+
+fn attr_is_serde_skip(stream: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match tokens.as_slice() {
+        [TokenTree::Ident(name), TokenTree::Group(args)] if name.to_string() == "serde" => args
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_visibility();
+    let kw = c.expect_ident("`struct` or `enum`");
+    let name = c.expect_ident("type name");
+    let generics = parse_generics(&mut c);
+
+    match kw.as_str() {
+        "struct" => {
+            let shape = match c.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let g = g.stream();
+                    c.next();
+                    Shape::Named(parse_named_fields(g))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let g = g.stream();
+                    c.next();
+                    Shape::Tuple(parse_tuple_fields(g))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                other => panic!("serde_derive: unsupported struct body: {other:?}"),
+            };
+            Item::Struct {
+                name,
+                generics,
+                shape,
+            }
+        }
+        "enum" => {
+            let body = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive: expected enum body, got {other:?}"),
+            };
+            Item::Enum {
+                name,
+                generics,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+/// Parses `<A, B: Bound, ...>` into plain parameter names. Lifetimes and
+/// const generics are rejected — nothing in this workspace derives with
+/// them, and silently mishandling them would be worse than a build error.
+fn parse_generics(c: &mut Cursor) -> Vec<String> {
+    let mut params = Vec::new();
+    match c.peek() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            c.next();
+        }
+        _ => return params,
+    }
+    // Expect `IDENT (: bounds)?` separated by commas, closed by `>`.
+    loop {
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => continue,
+            Some(TokenTree::Ident(id)) => {
+                let id = id.to_string();
+                if id == "const" {
+                    panic!("serde_derive: const generics are not supported");
+                }
+                params.push(id);
+                // Skip optional bounds until `,` or the closing `>`.
+                let mut depth = 0i32;
+                while let Some(tok) = c.peek() {
+                    match tok {
+                        TokenTree::Punct(p) if p.as_char() == '<' => {
+                            depth += 1;
+                            c.next();
+                        }
+                        TokenTree::Punct(p) if p.as_char() == '>' && depth > 0 => {
+                            depth -= 1;
+                            c.next();
+                        }
+                        TokenTree::Punct(p) if p.as_char() == '>' => break,
+                        TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                        _ => {
+                            c.next();
+                        }
+                    }
+                }
+            }
+            other => panic!("serde_derive: unsupported generic parameter: {other:?}"),
+        }
+    }
+    params
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(body);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        let skip = c.skip_attrs();
+        if c.at_end() {
+            break;
+        }
+        c.skip_visibility();
+        let name = c.expect_ident("field name");
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        c.skip_until_comma();
+        fields.push(Field {
+            name: Some(name),
+            skip,
+        });
+    }
+    fields
+}
+
+fn parse_tuple_fields(body: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(body);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        let skip = c.skip_attrs();
+        if c.at_end() {
+            break;
+        }
+        c.skip_visibility();
+        c.skip_until_comma();
+        fields.push(Field { name: None, skip });
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(body);
+    let mut variants = Vec::new();
+    while !c.at_end() {
+        c.skip_attrs();
+        if c.at_end() {
+            break;
+        }
+        let name = c.expect_ident("variant name");
+        let shape = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                c.next();
+                Shape::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                c.next();
+                Shape::Tuple(parse_tuple_fields(g))
+            }
+            _ => Shape::Unit,
+        };
+        // Consume a trailing comma (and any explicit discriminant).
+        c.skip_until_comma();
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn impl_header(trait_name: &str, name: &str, generics: &[String]) -> String {
+    if generics.is_empty() {
+        format!("impl ::serde::{trait_name} for {name} ")
+    } else {
+        let bounded: Vec<String> = generics
+            .iter()
+            .map(|g| format!("{g}: ::serde::{trait_name}"))
+            .collect();
+        format!(
+            "impl<{}> ::serde::{trait_name} for {name}<{}> ",
+            bounded.join(", "),
+            generics.join(", ")
+        )
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct {
+            name,
+            generics,
+            shape,
+        } => {
+            let body = match shape {
+                Shape::Unit => "::serde::Value::Null".to_string(),
+                Shape::Tuple(fields) => ser_tuple_body(fields, "self.", ""),
+                Shape::Named(fields) => ser_named_body(fields, "&self."),
+            };
+            format!(
+                "{}{{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}",
+                impl_header("Serialize", name, generics)
+            )
+        }
+        Item::Enum {
+            name,
+            generics,
+            variants,
+        } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),"
+                        ));
+                    }
+                    Shape::Tuple(fields) => {
+                        let binders: Vec<String> =
+                            (0..fields.len()).map(|i| format!("__b{i}")).collect();
+                        let payload = if fields.len() == 1 {
+                            "::serde::Serialize::to_value(__b0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(vec![{}])", elems.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({binds}) => ::serde::Value::Map(vec![(\"{vname}\".to_string(), {payload})]),",
+                            binds = binders.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let names: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_deref().unwrap()).collect();
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                let fname = f.name.as_deref().unwrap();
+                                format!(
+                                    "(\"{fname}\".to_string(), ::serde::Serialize::to_value({fname}))"
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => ::serde::Value::Map(vec![(\"{vname}\".to_string(), ::serde::Value::Map(vec![{pushes}]))]),",
+                            binds = names.join(", "),
+                            pushes = pushes.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "{}{{ fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }} }}",
+                impl_header("Serialize", name, generics)
+            )
+        }
+    }
+}
+
+fn ser_named_body(fields: &[Field], accessor_prefix: &str) -> String {
+    let pushes: Vec<String> = fields
+        .iter()
+        .filter(|f| !f.skip)
+        .map(|f| {
+            let fname = f.name.as_deref().unwrap();
+            format!(
+                "(\"{fname}\".to_string(), ::serde::Serialize::to_value({accessor_prefix}{fname}))"
+            )
+        })
+        .collect();
+    format!("::serde::Value::Map(vec![{}])", pushes.join(", "))
+}
+
+fn ser_tuple_body(fields: &[Field], prefix: &str, _suffix: &str) -> String {
+    if fields.len() == 1 {
+        // Newtype structs are transparent, matching real serde.
+        format!("::serde::Serialize::to_value(&{prefix}0)")
+    } else {
+        let elems: Vec<String> = (0..fields.len())
+            .map(|i| format!("::serde::Serialize::to_value(&{prefix}{i})"))
+            .collect();
+        format!("::serde::Value::Seq(vec![{}])", elems.join(", "))
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct {
+            name,
+            generics,
+            shape,
+        } => {
+            let body = match shape {
+                Shape::Unit => format!("{{ let _ = __v; Ok({name}) }}"),
+                Shape::Tuple(fields) => {
+                    if fields.len() == 1 {
+                        format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+                    } else {
+                        let elems: Vec<String> = (0..fields.len())
+                            .map(|i| {
+                                format!(
+                                    "::serde::Deserialize::from_value(__seq.get({i}).ok_or_else(|| ::serde::Error::custom(\"sequence too short for {name}\"))?)?"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{{ let __seq = __v.as_seq().ok_or_else(|| ::serde::Error::custom(\"expected sequence for {name}\"))?; Ok({name}({})) }}",
+                            elems.join(", ")
+                        )
+                    }
+                }
+                Shape::Named(fields) => {
+                    let inits = de_named_inits(fields, "__map");
+                    format!(
+                        "{{ let __map = __v.as_map().ok_or_else(|| ::serde::Error::custom(\"expected map for {name}\"))?; Ok({name} {{ {inits} }}) }}"
+                    )
+                }
+            };
+            format!(
+                "{}{{ fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }} }}",
+                impl_header("Deserialize", name, generics)
+            )
+        }
+        Item::Enum {
+            name,
+            generics,
+            variants,
+        } => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        unit_arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),"));
+                    }
+                    Shape::Tuple(fields) => {
+                        let build = if fields.len() == 1 {
+                            format!(
+                                "Ok({name}::{vname}(::serde::Deserialize::from_value(__payload)?))"
+                            )
+                        } else {
+                            let elems: Vec<String> = (0..fields.len())
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(__seq.get({i}).ok_or_else(|| ::serde::Error::custom(\"sequence too short for {name}::{vname}\"))?)?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{{ let __seq = __payload.as_seq().ok_or_else(|| ::serde::Error::custom(\"expected sequence for {name}::{vname}\"))?; Ok({name}::{vname}({})) }}",
+                                elems.join(", ")
+                            )
+                        };
+                        payload_arms.push_str(&format!("\"{vname}\" => {build},"));
+                    }
+                    Shape::Named(fields) => {
+                        let inits = de_named_inits(fields, "__vmap");
+                        payload_arms.push_str(&format!(
+                            "\"{vname}\" => {{ let __vmap = __payload.as_map().ok_or_else(|| ::serde::Error::custom(\"expected map for {name}::{vname}\"))?; Ok({name}::{vname} {{ {inits} }}) }},"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "{}{{ fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ \
+                    match __v {{ \
+                        ::serde::Value::Str(__s) => match __s.as_str() {{ {unit_arms} __other => Err(::serde::Error::custom(format!(\"unknown {name} variant `{{__other}}`\"))) }}, \
+                        ::serde::Value::Map(__m) if __m.len() == 1 => {{ \
+                            let (__tag, __payload) = &__m[0]; \
+                            match __tag.as_str() {{ {payload_arms} __other => Err(::serde::Error::custom(format!(\"unknown {name} variant `{{__other}}`\"))) }} \
+                        }}, \
+                        __other => Err(::serde::Error::custom(format!(\"expected {name} variant, got {{__other:?}}\"))) \
+                    }} \
+                }} }}",
+                impl_header("Deserialize", name, generics)
+            )
+        }
+    }
+}
+
+fn de_named_inits(fields: &[Field], map_var: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            let fname = f.name.as_deref().unwrap();
+            if f.skip {
+                format!("{fname}: ::std::default::Default::default()")
+            } else {
+                format!(
+                    "{fname}: ::serde::Deserialize::from_value(::serde::__field({map_var}, \"{fname}\"))?"
+                )
+            }
+        })
+        .collect();
+    inits.join(", ")
+}
