@@ -1,19 +1,32 @@
 //! Experiment runner: regenerates every figure and quantitative claim.
 //!
 //! ```text
-//! experiments                # run everything
+//! experiments                # run everything, streaming JSON lines
 //! experiments list           # list experiment names
 //! experiments phoebe seagull # run a subset
+//! experiments --table …      # human-readable aligned tables instead
 //! experiments --json out.json …  # also dump rows as JSON
 //! ```
+//!
+//! Progress and results stream as machine-parseable JSON lines through the
+//! obs exporter: one `experiment_started` / `experiment_finished` event per
+//! experiment plus every [`Row`] as JSON. `--table` restores the aligned
+//! text tables recorded in `EXPERIMENTS.md`.
 
 use adas_bench::experiments::registry;
 use adas_bench::{render_table, Row};
+use adas_obs::Obs;
 use std::time::Instant;
+
+fn emit(obs: &Obs, name: &str, fields: &[(&str, &str)]) {
+    obs.event("bench.experiments", name, 0.0, fields);
+    println!("{}", obs.last_event_json().expect("recording"));
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json_path: Option<String> = None;
+    let mut table = false;
     let mut selected: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -25,6 +38,7 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+            "--table" => table = true,
             other => selected.push(other.to_string()),
         }
     }
@@ -46,13 +60,32 @@ fn main() {
         std::process::exit(2);
     }
 
+    let obs = Obs::recording();
     let mut all_rows: Vec<Row> = Vec::new();
     for (name, runner) in runs {
+        if !table {
+            emit(&obs, "experiment_started", &[("experiment", name)]);
+        }
         let start = Instant::now();
         let rows = runner();
         let elapsed = start.elapsed();
-        println!("== {name} ({elapsed:.2?}) ==");
-        println!("{}", render_table(&rows));
+        if table {
+            println!("== {name} ({elapsed:.2?}) ==");
+            println!("{}", render_table(&rows));
+        } else {
+            for row in &rows {
+                println!("{}", serde_json::to_string(row).expect("rows serialize"));
+            }
+            emit(
+                &obs,
+                "experiment_finished",
+                &[
+                    ("experiment", name),
+                    ("rows", &rows.len().to_string()),
+                    ("elapsed_ms", &elapsed.as_millis().to_string()),
+                ],
+            );
+        }
         all_rows.extend(rows);
     }
 
@@ -62,6 +95,14 @@ fn main() {
             eprintln!("failed to write {path}: {e}");
             std::process::exit(1);
         });
-        println!("wrote {} rows to {path}", all_rows.len());
+        if table {
+            println!("wrote {} rows to {path}", all_rows.len());
+        } else {
+            emit(
+                &obs,
+                "rows_written",
+                &[("rows", &all_rows.len().to_string()), ("path", &path)],
+            );
+        }
     }
 }

@@ -1,0 +1,129 @@
+//! Executor-throughput overhead of the observability layer.
+//!
+//! Replays a generated workload through the execution simulator three ways —
+//! through [`Simulator::run_unobserved`] (no observability branch at all),
+//! through [`Simulator::run`] with [`Obs::disabled`] (the always-on
+//! production configuration: one branch per instrumentation point), and with
+//! [`Obs::recording`] (full spans, metrics and flight recording) — and
+//! records jobs/second for each into `BENCH_obs.json` at the repo root. The
+//! contract this baseline tracks: the disabled path must cost < 5% versus
+//! the raw simulator.
+
+use std::time::Instant;
+
+use adas_engine::cost::CostModel;
+use adas_engine::exec::{ClusterConfig, SimOptions, Simulator};
+use adas_engine::physical::StageDag;
+use adas_obs::Obs;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ObsBench {
+    jobs: usize,
+    rounds: usize,
+    plain_jobs_per_sec: f64,
+    disabled_jobs_per_sec: f64,
+    recording_jobs_per_sec: f64,
+    /// Relative cost of the disabled-obs path vs. the unobserved simulator
+    /// (`disabled_time / plain_time - 1`, best-of-rounds). Must stay < 0.05.
+    disabled_overhead: f64,
+    disabled_overhead_ok: bool,
+    /// Relative cost of full recording vs. the unobserved simulator
+    /// (informational; recording is expected to cost real time).
+    recording_overhead: f64,
+}
+
+fn best_secs(rounds: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let workload =
+        adas_workload::gen::WorkloadGenerator::new(adas_workload::gen::GeneratorConfig {
+            days: 2,
+            jobs_per_day: 60,
+            ..Default::default()
+        })
+        .expect("valid config")
+        .generate()
+        .expect("generates");
+    let cost_model = CostModel::default();
+    let dags: Vec<StageDag> = workload
+        .trace
+        .jobs()
+        .iter()
+        .map(|j| StageDag::compile(&j.plan, &workload.catalog, &cost_model).expect("compiles"))
+        .collect();
+
+    let cluster = ClusterConfig::default();
+    let disabled_sim = Simulator::new(cluster).expect("valid cluster");
+
+    const ROUNDS: usize = 7;
+    // Replay the whole job set this many times per timed round so each
+    // measurement spans tens of milliseconds; a single pass is ~1ms and
+    // best-of-rounds over that is dominated by scheduler noise.
+    const PASSES_PER_ROUND: usize = 50;
+    // Warm-up pass so allocators and caches settle before timing.
+    for dag in &dags {
+        disabled_sim
+            .run_unobserved(dag, &SimOptions::default())
+            .expect("simulates");
+    }
+
+    let plain = best_secs(ROUNDS, || {
+        for _ in 0..PASSES_PER_ROUND {
+            for dag in &dags {
+                disabled_sim
+                    .run_unobserved(dag, &SimOptions::default())
+                    .expect("simulates");
+            }
+        }
+    });
+    let disabled_secs = best_secs(ROUNDS, || {
+        for _ in 0..PASSES_PER_ROUND {
+            for dag in &dags {
+                disabled_sim
+                    .run(dag, &SimOptions::default())
+                    .expect("simulates");
+            }
+        }
+    });
+    // A fresh recorder per round keeps the trace from growing unboundedly
+    // across rounds while still amortizing allocation over a full pass set.
+    let recording_secs = best_secs(ROUNDS, || {
+        let sim = Simulator::with_obs(cluster, Obs::recording()).expect("valid cluster");
+        for _ in 0..PASSES_PER_ROUND {
+            for dag in &dags {
+                sim.run(dag, &SimOptions::default()).expect("simulates");
+            }
+        }
+    });
+
+    let n = (dags.len() * PASSES_PER_ROUND) as f64;
+    let overhead = disabled_secs / plain - 1.0;
+    let report = ObsBench {
+        jobs: dags.len(),
+        rounds: ROUNDS,
+        plain_jobs_per_sec: n / plain,
+        disabled_jobs_per_sec: n / disabled_secs,
+        recording_jobs_per_sec: n / recording_secs,
+        disabled_overhead: overhead,
+        disabled_overhead_ok: overhead < 0.05,
+        recording_overhead: recording_secs / plain - 1.0,
+    };
+
+    let json = serde_json::to_string_pretty(&report).expect("serializes");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
+    std::fs::write(path, format!("{json}\n")).expect("writes baseline");
+    println!("{json}");
+    if !report.disabled_overhead_ok {
+        eprintln!("disabled-path overhead {overhead:.4} exceeds the 5% budget");
+        std::process::exit(1);
+    }
+}

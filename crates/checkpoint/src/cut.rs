@@ -12,6 +12,7 @@ use crate::predict::StageForecast;
 use adas_engine::exec::{ClusterConfig, SimOptions, Simulator};
 use adas_engine::physical::{Stage, StageDag, StageId};
 use adas_engine::Result;
+use adas_obs::Obs;
 use serde::Serialize;
 use std::collections::HashSet;
 
@@ -98,6 +99,51 @@ fn frontier(dag: &StageDag, forecast: &StageForecast, t: f64) -> Vec<StageId> {
 /// per-byte write charge bound the overhead (the trade-off Phoebe's LP
 /// balances).
 pub fn plan_checkpoints(
+    dag: &StageDag,
+    forecast: &StageForecast,
+    config: &PhoebeConfig,
+) -> CheckpointPlan {
+    plan_checkpoints_with_obs(dag, forecast, config, &Obs::disabled())
+}
+
+/// Like [`plan_checkpoints`], recording the selection into `obs`: a
+/// `plan_checkpoints` span, one `cut_selected` event per chosen cut time,
+/// and gauges for the persisted stage count and predicted bytes.
+pub fn plan_checkpoints_with_obs(
+    dag: &StageDag,
+    forecast: &StageForecast,
+    config: &PhoebeConfig,
+    obs: &Obs,
+) -> CheckpointPlan {
+    let span = obs.span_enter("checkpoint.cut", "plan_checkpoints", 0.0);
+    let plan = plan_checkpoints_inner(dag, forecast, config);
+    if obs.is_enabled() {
+        for t in &plan.cut_times {
+            obs.event(
+                "checkpoint.cut",
+                "cut_selected",
+                *t,
+                &[("predicted_time", &format!("{t:.6}"))],
+            );
+        }
+        obs.gauge_set(
+            "checkpoint.cut",
+            "stages_checkpointed",
+            &[],
+            plan.stages.len() as f64,
+        );
+        obs.gauge_set(
+            "checkpoint.cut",
+            "predicted_bytes",
+            &[],
+            plan.predicted_bytes,
+        );
+    }
+    obs.span_exit(span, plan.cut_times.last().copied().unwrap_or(0.0));
+    plan
+}
+
+fn plan_checkpoints_inner(
     dag: &StageDag,
     forecast: &StageForecast,
     config: &PhoebeConfig,
@@ -231,7 +277,20 @@ pub fn evaluate(
     cluster: ClusterConfig,
     failure_at: f64,
 ) -> Result<PhoebeReport> {
-    let sim = Simulator::new(cluster)?;
+    evaluate_with_obs(dag, plan, cluster, failure_at, &Obs::disabled())
+}
+
+/// Like [`evaluate`], running the comparison on an obs-instrumented
+/// [`Simulator`] (so exec spans land in the trace) and recording the
+/// headline Phoebe gauges: hotspot reduction, slowdown and restart speedup.
+pub fn evaluate_with_obs(
+    dag: &StageDag,
+    plan: &CheckpointPlan,
+    cluster: ClusterConfig,
+    failure_at: f64,
+    obs: &Obs,
+) -> Result<PhoebeReport> {
+    let sim = Simulator::with_obs(cluster, obs.clone())?;
     let baseline = sim.run(dag, &SimOptions::default())?;
     let (_, baseline_recovery) = sim.run_with_failure(dag, &HashSet::new(), failure_at)?;
 
@@ -247,6 +306,26 @@ pub fn evaluate(
     let (_, ckpt_recovery) = sim.run_with_failure(&charged, &ckpt_set, failure_at)?;
 
     let rel = |from: f64, to: f64| if from > 0.0 { (from - to) / from } else { 0.0 };
+    if obs.is_enabled() {
+        obs.gauge_set(
+            "checkpoint.cut",
+            "hotspot_reduction",
+            &[],
+            rel(baseline.hotspot_peak(), ckpt.hotspot_peak()),
+        );
+        obs.gauge_set(
+            "checkpoint.cut",
+            "slowdown",
+            &[],
+            rel(ckpt.latency, baseline.latency).abs(),
+        );
+        obs.gauge_set(
+            "checkpoint.cut",
+            "restart_speedup",
+            &[],
+            rel(baseline_recovery.latency, ckpt_recovery.latency),
+        );
+    }
     Ok(PhoebeReport {
         baseline_hotspot: baseline.hotspot_peak(),
         ckpt_hotspot: ckpt.hotspot_peak(),

@@ -11,6 +11,7 @@
 //! deployed version showed at deployment time, and either requests a
 //! retrain or rolls back to the best previous version.
 
+use adas_obs::{Obs, Provenance};
 use serde::Serialize;
 use std::collections::VecDeque;
 
@@ -29,6 +30,7 @@ pub struct ModelVersion<M> {
 #[derive(Debug, Clone, Default)]
 pub struct ModelRegistry<M> {
     versions: Vec<ModelVersion<M>>,
+    obs: Obs,
 }
 
 impl<M: Clone> ModelRegistry<M> {
@@ -36,6 +38,19 @@ impl<M: Clone> ModelRegistry<M> {
     pub fn new() -> Self {
         Self {
             versions: Vec::new(),
+            obs: Obs::disabled(),
+        }
+    }
+
+    /// Creates an empty registry that emits `model_deployed` /
+    /// `model_rolled_back` trace events into `obs`. The registry has no
+    /// simulated clock of its own, so events carry `sim_time` 0; their
+    /// sequence numbers still totally order them against the rest of the
+    /// trace.
+    pub fn with_obs(obs: Obs) -> Self {
+        Self {
+            versions: Vec::new(),
+            obs,
         }
     }
 
@@ -47,6 +62,15 @@ impl<M: Clone> ModelRegistry<M> {
             model,
             deployment_error,
         });
+        self.obs.event(
+            "core.feedback",
+            "model_deployed",
+            0.0,
+            &[
+                ("version", &version.to_string()),
+                ("deployment_error", &format!("{deployment_error}")),
+            ],
+        );
         version
     }
 
@@ -71,6 +95,12 @@ impl<M: Clone> ModelRegistry<M> {
             })
             .expect("at least one earlier version")
             .clone();
+        self.obs.event(
+            "core.feedback",
+            "model_rolled_back",
+            0.0,
+            &[("restored_version", &best.version.to_string())],
+        );
         Some(self.deploy(best.model, best.deployment_error))
     }
 
@@ -121,14 +151,22 @@ impl Default for LoopConfig {
 pub struct FeedbackLoop {
     config: LoopConfig,
     recent: VecDeque<f64>,
+    obs: Obs,
 }
 
 impl FeedbackLoop {
     /// Creates a loop with the given configuration.
     pub fn new(config: LoopConfig) -> Self {
+        Self::with_obs(config, Obs::disabled())
+    }
+
+    /// Creates a loop whose [`FeedbackLoop::observe_recorded`] logs monitor
+    /// verdicts into `obs`.
+    pub fn with_obs(config: LoopConfig, obs: Obs) -> Self {
         Self {
             config,
             recent: VecDeque::with_capacity(config.window),
+            obs,
         }
     }
 
@@ -157,6 +195,52 @@ impl FeedbackLoop {
         } else {
             MonitorVerdict::Healthy
         }
+    }
+
+    /// Like [`FeedbackLoop::observe`], additionally recording the
+    /// observation as a flight-recorder decision: the model's provenance,
+    /// predicted vs. observed value, the monitor verdict, and the feedback
+    /// latency in simulated ticks (how long the outcome took to arrive).
+    /// A `Rollback` verdict is recorded as a veto.
+    #[allow(clippy::too_many_arguments)]
+    pub fn observe_recorded(
+        &mut self,
+        prediction: f64,
+        actual: f64,
+        deployment_error: f64,
+        provenance: &Provenance<'_>,
+        feedback_latency_ticks: u64,
+        sim_time: f64,
+    ) -> MonitorVerdict {
+        let verdict = self.observe(prediction, actual, deployment_error);
+        if self.obs.is_enabled() {
+            let verdict_str = match verdict {
+                MonitorVerdict::Healthy => "healthy",
+                MonitorVerdict::Retrain => "retrain",
+                MonitorVerdict::Rollback => "rollback",
+                MonitorVerdict::Warming => "warming",
+            };
+            self.obs
+                .counter_add("core.feedback", "verdicts", &[("verdict", verdict_str)], 1);
+            self.obs.histogram_observe(
+                "core.feedback",
+                "feedback_latency_ticks",
+                &[],
+                feedback_latency_ticks as f64,
+            );
+            self.obs.record_decision(
+                "core.feedback",
+                "monitor_verdict",
+                provenance,
+                prediction,
+                Some(actual),
+                verdict_str,
+                verdict == MonitorVerdict::Rollback,
+                feedback_latency_ticks,
+                sim_time,
+            );
+        }
+        verdict
     }
 
     /// Clears the window (call after a rollback or redeploy so the new

@@ -9,6 +9,7 @@
 //! failure. [`FairnessCheck`] operates on a *batch* of decisions, flagging
 //! customer groups whose outcomes systematically lag the fleet.
 
+use adas_obs::{Obs, Provenance};
 use serde::Serialize;
 
 /// A proposed autonomous decision, described by its predicted effects
@@ -102,6 +103,7 @@ impl Guardrail for CostGuard {
 #[derive(Default)]
 pub struct GuardrailSet {
     guards: Vec<Box<dyn Guardrail + Send + Sync>>,
+    obs: Obs,
 }
 
 impl GuardrailSet {
@@ -113,6 +115,14 @@ impl GuardrailSet {
         set
     }
 
+    /// Attaches an observability handle; [`GuardrailSet::check_recorded`]
+    /// logs every verdict — and in particular every veto — into its flight
+    /// recorder.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// Adds a guardrail.
     pub fn add(&mut self, guard: impl Guardrail + Send + Sync + 'static) {
         self.guards.push(Box::new(guard));
@@ -120,12 +130,57 @@ impl GuardrailSet {
 
     /// Checks a decision against every guardrail in order.
     pub fn check(&self, decision: &Decision) -> Verdict {
+        self.evaluate(decision).0
+    }
+
+    /// Like [`GuardrailSet::check`], but also writes a flight-recorder
+    /// [`DecisionRecord`](adas_obs::DecisionRecord): the model's provenance,
+    /// the predicted performance, the measured baseline it was judged
+    /// against (as the observed outcome), and the verdict. Vetoes increment
+    /// a per-guard `vetoes` counter.
+    pub fn check_recorded(
+        &self,
+        decision: &Decision,
+        provenance: &Provenance<'_>,
+        sim_time: f64,
+    ) -> Verdict {
+        let (verdict, guard_name) = self.evaluate(decision);
+        if self.obs.is_enabled() {
+            let (verdict_str, vetoed) = match &verdict {
+                Verdict::Allow => ("allow".to_string(), false),
+                Verdict::Block(reason) => (format!("block: {reason}"), true),
+            };
+            self.obs.counter_add("core.guardrails", "checks", &[], 1);
+            if vetoed {
+                self.obs.counter_add(
+                    "core.guardrails",
+                    "vetoes",
+                    &[("guard", guard_name.unwrap_or("unknown"))],
+                    1,
+                );
+            }
+            self.obs.record_decision(
+                "core.guardrails",
+                "autonomy_decision",
+                provenance,
+                decision.predicted_perf,
+                Some(decision.baseline_perf),
+                &verdict_str,
+                vetoed,
+                0,
+                sim_time,
+            );
+        }
+        verdict
+    }
+
+    fn evaluate(&self, decision: &Decision) -> (Verdict, Option<&str>) {
         for guard in &self.guards {
             if let Verdict::Block(reason) = guard.check(decision) {
-                return Verdict::Block(reason);
+                return (Verdict::Block(reason), Some(guard.name()));
             }
         }
-        Verdict::Allow
+        (Verdict::Allow, None)
     }
 
     /// Number of guardrails installed.

@@ -8,6 +8,7 @@
 
 use crate::physical::{StageDag, StageId};
 use crate::{EngineError, Result};
+use adas_obs::Obs;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
@@ -89,16 +90,28 @@ impl ExecReport {
 }
 
 /// The execution simulator.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Simulator {
     config: ClusterConfig,
+    obs: Obs,
 }
 
 impl Simulator {
     /// Creates a simulator after validating the cluster configuration.
+    /// Observability is disabled; see [`Simulator::with_obs`].
     pub fn new(config: ClusterConfig) -> Result<Self> {
+        Self::with_obs(config, Obs::disabled())
+    }
+
+    /// Creates a simulator that records spans and metrics into `obs`.
+    pub fn with_obs(config: ClusterConfig, obs: Obs) -> Result<Self> {
         config.validate()?;
-        Ok(Self { config })
+        Ok(Self { config, obs })
+    }
+
+    /// The observability handle this simulator records into.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Stages that actually have to execute: a stage is required when it is
@@ -127,7 +140,60 @@ impl Simulator {
 
     /// Runs the DAG to completion and reports the schedule.
     pub fn run(&self, dag: &StageDag, options: &SimOptions) -> Result<ExecReport> {
+        let report = self.schedule(dag, options)?.0;
+        self.record_run(&report);
+        Ok(report)
+    }
+
+    /// Raw scheduling path with no observability branch at all — the
+    /// baseline `obs_bench` measures the disabled-obs [`Simulator::run`]
+    /// path against. Not for production use; it skips trace recording even
+    /// when a recording handle is attached.
+    pub fn run_unobserved(&self, dag: &StageDag, options: &SimOptions) -> Result<ExecReport> {
         Ok(self.schedule(dag, options)?.0)
+    }
+
+    /// Replays a finished schedule into the trace: one `run` span over the
+    /// whole DAG, a child span per executed stage (timestamped with the
+    /// stage's simulated start/finish), plus execution counters, the
+    /// hotspot gauge and a stage-latency histogram.
+    fn record_run(&self, report: &ExecReport) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        let root = self.obs.span_enter("engine.exec", "run", 0.0);
+        let mut executed = 0u64;
+        let mut skipped = 0u64;
+        for (idx, ran) in report.executed.iter().enumerate() {
+            if !ran {
+                skipped += 1;
+                continue;
+            }
+            executed += 1;
+            let span = self.obs.span_enter(
+                "engine.exec",
+                &format!("stage_{idx}"),
+                report.stage_start[idx],
+            );
+            self.obs.span_exit(span, report.stage_finish[idx]);
+            self.obs.histogram_observe(
+                "engine.exec",
+                "stage_latency_seconds",
+                &[],
+                report.stage_finish[idx] - report.stage_start[idx],
+            );
+        }
+        self.obs
+            .counter_add("engine.exec", "stages_executed", &[], executed);
+        self.obs
+            .counter_add("engine.exec", "stages_skipped", &[], skipped);
+        self.obs.gauge_set(
+            "engine.exec",
+            "hotspot_peak_bytes",
+            &[],
+            report.hotspot_peak(),
+        );
+        self.obs.span_exit(root, report.latency);
     }
 
     /// Internal scheduler: returns the report plus, for each stage, the
@@ -235,6 +301,7 @@ impl Simulator {
             precomputed: HashSet::new(),
         };
         let (original, stage_machines) = self.schedule(dag, &options)?;
+        self.record_run(&original);
         let failure_time = original.latency * failure_at.clamp(0.0, 1.0);
         let surviving: HashSet<StageId> = dag
             .stages()
@@ -245,6 +312,16 @@ impl Simulator {
             })
             .map(|s| s.id)
             .collect();
+        self.obs.event(
+            "engine.exec",
+            "machine_failure",
+            failure_time,
+            &[
+                ("machine", &failed_machine.to_string()),
+                ("surviving_stages", &surviving.len().to_string()),
+            ],
+        );
+        self.obs.counter_add("engine.exec", "restarts", &[], 1);
         let recovery = self.run(
             dag,
             &SimOptions {
@@ -332,6 +409,16 @@ impl Simulator {
             .map(|&i| StageId(i))
             .filter(|id| checkpointed.contains(id))
             .collect();
+        self.obs.event(
+            "engine.exec",
+            "job_failure",
+            original.latency * failure_at.clamp(0.0, 1.0),
+            &[
+                ("completed_stages", &completed_count.to_string()),
+                ("surviving_stages", &surviving.len().to_string()),
+            ],
+        );
+        self.obs.counter_add("engine.exec", "restarts", &[], 1);
         let recovery = self.run(
             dag,
             &SimOptions {

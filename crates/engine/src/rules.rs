@@ -13,6 +13,7 @@
 use crate::cardinality::CardinalityModel;
 use crate::cost::CostModel;
 use crate::Result;
+use adas_obs::Obs;
 use adas_workload::plan::{LogicalPlan, PlanKind, Predicate};
 use serde::{Deserialize, Serialize};
 
@@ -66,6 +67,24 @@ pub const ALL_RULES: [Rule; 12] = [
 ];
 
 impl Rule {
+    /// Stable name for metrics labels and steering provenance.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::FilterMerge => "filter_merge",
+            Rule::FilterPushJoinLeft => "filter_push_join_left",
+            Rule::FilterPushUnion => "filter_push_union",
+            Rule::FilterPushProject => "filter_push_project",
+            Rule::FilterPushAggregate => "filter_push_aggregate",
+            Rule::ProjectMerge => "project_merge",
+            Rule::ProjectPushUnion => "project_push_union",
+            Rule::JoinCommute => "join_commute",
+            Rule::UnionCommute => "union_commute",
+            Rule::PartialAggregation => "partial_aggregation",
+            Rule::FilterSplit => "filter_split",
+            Rule::UnionFilterHoist => "union_filter_hoist",
+        }
+    }
+
     /// Attempts the rewrite at this exact node.
     fn apply_here(self, plan: &LogicalPlan) -> Option<LogicalPlan> {
         match self {
@@ -296,10 +315,11 @@ impl RuleSet {
 }
 
 /// The cost-guided rewrite optimizer.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Optimizer {
     cost_model: CostModel,
     max_passes: usize,
+    obs: Obs,
 }
 
 /// Result of an optimization run.
@@ -318,16 +338,24 @@ impl Default for Optimizer {
         Self {
             cost_model: CostModel::default(),
             max_passes: 32,
+            obs: Obs::disabled(),
         }
     }
 }
 
 impl Optimizer {
     /// Creates an optimizer with an explicit cost model and pass budget.
+    /// Observability is disabled; see [`Optimizer::with_obs`].
     pub fn new(cost_model: CostModel, max_passes: usize) -> Self {
+        Self::with_obs(cost_model, max_passes, Obs::disabled())
+    }
+
+    /// Creates an optimizer that records rule firings into `obs`.
+    pub fn with_obs(cost_model: CostModel, max_passes: usize, obs: Obs) -> Self {
         Self {
             cost_model,
             max_passes,
+            obs,
         }
     }
 
@@ -340,8 +368,10 @@ impl Optimizer {
         rules: RuleSet,
         cards: &dyn CardinalityModel,
     ) -> Result<Optimized> {
+        let span = self.obs.span_enter("engine.rules", "optimize", 0.0);
         let mut current = plan.clone();
         let mut current_cost = self.cost_model.total_cost(&current, cards)?;
+        let initial_cost = current_cost;
         let mut applied = Vec::new();
         for _ in 0..self.max_passes {
             let mut improved = false;
@@ -356,9 +386,17 @@ impl Optimizer {
                     // semantically invalid: reject the rewrite rather than
                     // failing the whole optimization.
                     let Ok(cost) = self.cost_model.total_cost(&candidate, cards) else {
+                        self.obs
+                            .counter_add("engine.rules", "rewrite_invalid", &[], 1);
                         continue;
                     };
                     if cost < current_cost - 1e-9 {
+                        self.obs.counter_add(
+                            "engine.rules",
+                            "rule_fired",
+                            &[("rule", rule.name())],
+                            1,
+                        );
                         current = candidate;
                         current_cost = cost;
                         applied.push(*rule);
@@ -371,6 +409,19 @@ impl Optimizer {
                 break;
             }
         }
+        if self.obs.is_enabled() {
+            self.obs.gauge_set(
+                "engine.rules",
+                "cost_reduction_ratio",
+                &[],
+                if initial_cost > 0.0 {
+                    current_cost / initial_cost
+                } else {
+                    1.0
+                },
+            );
+        }
+        self.obs.span_exit(span, 0.0);
         Ok(Optimized {
             plan: current,
             estimated_cost: current_cost,

@@ -12,8 +12,55 @@ use crate::schedule::{FaultEvent, FaultSchedule};
 use adas_engine::exec::{ClusterConfig, ExecReport, SimOptions, Simulator};
 use adas_engine::physical::{StageDag, StageId};
 use adas_engine::Result;
+use adas_obs::Obs;
 use serde::Serialize;
 use std::collections::HashSet;
+
+/// The resolved cause of one aborted attempt. Unlike the scheduled
+/// [`FaultEvent`], this records what *actually* struck: a temp-exhaustion
+/// event resolves to the hotspot machine it took down, and machine indices
+/// are the clamped, in-range values the runner used.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum FaultCause {
+    /// The job's tasks crashed mid-run.
+    TaskCrash,
+    /// A specific machine died, losing its temp outputs.
+    MachineLoss {
+        /// The (clamped) machine that died.
+        machine: usize,
+    },
+    /// Local temp filled past capacity; the hotspot machine was lost.
+    TempExhaustion {
+        /// The hotspot machine taken out of service.
+        hotspot: usize,
+    },
+}
+
+impl FaultCause {
+    /// Stable kind name for metrics labels and trace events.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FaultCause::TaskCrash => "task_crash",
+            FaultCause::MachineLoss { .. } => "machine_loss",
+            FaultCause::TempExhaustion { .. } => "temp_exhaustion",
+        }
+    }
+}
+
+/// One aborted attempt: which run failed, why, and what survived. Earlier
+/// versions of the runner swallowed the per-attempt cause entirely — the
+/// chaos suite now asserts it is surfaced.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct AttemptFailure {
+    /// 1-based index of the aborted attempt.
+    pub attempt: usize,
+    /// What struck.
+    pub cause: FaultCause,
+    /// Latency/stage fraction of the attempt at which it struck.
+    pub at: f64,
+    /// Stages whose outputs survived into the next attempt.
+    pub surviving_stages: usize,
+}
 
 /// The outcome of one chaos run: the final successful report plus the
 /// fault-handling bookkeeping the chaos suite asserts on.
@@ -33,25 +80,40 @@ pub struct ChaosOutcome {
     /// Wall-clock across all attempts: each aborted run contributes the
     /// latency fraction it reached, the final run its full latency.
     pub total_latency: f64,
+    /// Per-attempt failure causes, in firing order (one entry per injected
+    /// fault).
+    pub attempt_failures: Vec<AttemptFailure>,
 }
 
 /// Replays jobs through [`Simulator`] under fault schedules.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ChaosRunner {
     sim: Simulator,
     machines: usize,
     temp_capacity: f64,
+    obs: Obs,
 }
 
 impl ChaosRunner {
     /// Creates a runner over a cluster. `temp_capacity_bytes` is the local
     /// temp capacity a [`FaultEvent::TempExhaustion`] tests against
-    /// (`f64::INFINITY` means exhaustion never fires).
+    /// (`f64::INFINITY` means exhaustion never fires). Observability is
+    /// disabled; see [`ChaosRunner::with_obs`].
     pub fn new(cluster: ClusterConfig, temp_capacity_bytes: f64) -> Result<Self> {
+        Self::with_obs(cluster, temp_capacity_bytes, Obs::disabled())
+    }
+
+    /// Creates a runner whose fault injections and final-run execution spans
+    /// land in the same trace: the runner emits `fault_injected` events and
+    /// restart counters into `obs`, and hands the same handle to the inner
+    /// [`Simulator`] so the consequences (per-stage spans, restart counters)
+    /// are correlated with their causes.
+    pub fn with_obs(cluster: ClusterConfig, temp_capacity_bytes: f64, obs: Obs) -> Result<Self> {
         Ok(Self {
-            sim: Simulator::new(cluster)?,
+            sim: Simulator::with_obs(cluster, obs.clone())?,
             machines: cluster.machines,
             temp_capacity: temp_capacity_bytes,
+            obs,
         })
     }
 
@@ -78,6 +140,8 @@ impl ChaosRunner {
         let mut injected = 0usize;
         let mut recomputed_checkpointed = 0usize;
         let mut total_latency = 0.0f64;
+        let mut attempt_failures: Vec<AttemptFailure> = Vec::new();
+        let job_span = self.obs.span_enter("faultsim.chaos", "run_job", 0.0);
 
         for event in &schedule.events {
             let options = SimOptions {
@@ -88,7 +152,7 @@ impl ChaosRunner {
             recomputed_checkpointed += persisted.iter().filter(|id| report.executed[id.0]).count();
 
             let at = event.strike_fraction().clamp(0.0, 1.0);
-            let survivors: Option<HashSet<StageId>> = match *event {
+            let survivors: Option<(HashSet<StageId>, FaultCause)> = match *event {
                 FaultEvent::TaskCrash { .. } => {
                     // The job dies after `at` of its stages (by finish
                     // order) completed; only globally-stored outputs
@@ -100,23 +164,30 @@ impl ChaosRunner {
                             .unwrap_or(std::cmp::Ordering::Equal)
                     });
                     let completed = ((dag.len() as f64) * at).floor() as usize;
-                    Some(
+                    Some((
                         order[..completed.min(dag.len())]
                             .iter()
                             .map(|&i| StageId(i))
                             .filter(|id| checkpointed.contains(id) || precomputed.contains(id))
                             .collect(),
-                    )
+                        FaultCause::TaskCrash,
+                    ))
                 }
-                FaultEvent::MachineLoss { machine, .. } => Some(self.machine_loss_survivors(
-                    dag,
-                    checkpointed,
-                    &precomputed,
-                    &report,
-                    &placement,
-                    machine,
-                    at,
-                )),
+                FaultEvent::MachineLoss { machine, .. } => {
+                    let clamped = machine.min(self.machines.saturating_sub(1));
+                    Some((
+                        self.machine_loss_survivors(
+                            dag,
+                            checkpointed,
+                            &precomputed,
+                            &report,
+                            &placement,
+                            clamped,
+                            at,
+                        ),
+                        FaultCause::MachineLoss { machine: clamped },
+                    ))
+                }
                 FaultEvent::TempExhaustion { .. } => {
                     if report.hotspot_peak() > self.temp_capacity {
                         // The hotspot machine spills past capacity and is
@@ -130,14 +201,17 @@ impl ChaosRunner {
                             })
                             .map(|(m, _)| m)
                             .unwrap_or(0);
-                        Some(self.machine_loss_survivors(
-                            dag,
-                            checkpointed,
-                            &precomputed,
-                            &report,
-                            &placement,
-                            hotspot,
-                            at,
+                        Some((
+                            self.machine_loss_survivors(
+                                dag,
+                                checkpointed,
+                                &precomputed,
+                                &report,
+                                &placement,
+                                hotspot,
+                                at,
+                            ),
+                            FaultCause::TempExhaustion { hotspot },
                         ))
                     } else {
                         None
@@ -145,10 +219,34 @@ impl ChaosRunner {
                 }
             };
 
-            if let Some(survivors) = survivors {
+            if let Some((survivors, cause)) = survivors {
                 injected += 1;
                 attempts += 1;
                 total_latency += report.latency * at;
+                attempt_failures.push(AttemptFailure {
+                    attempt: attempts,
+                    cause,
+                    at,
+                    surviving_stages: survivors.len(),
+                });
+                self.obs.event(
+                    "faultsim.chaos",
+                    "fault_injected",
+                    total_latency,
+                    &[
+                        ("kind", cause.kind()),
+                        ("attempt", &attempts.to_string()),
+                        ("at", &format!("{at:.6}")),
+                        ("surviving_stages", &survivors.len().to_string()),
+                    ],
+                );
+                self.obs.counter_add(
+                    "faultsim.chaos",
+                    "faults_injected",
+                    &[("kind", cause.kind())],
+                    1,
+                );
+                self.obs.counter_add("faultsim.chaos", "restarts", &[], 1);
                 persisted.extend(survivors.iter().filter(|id| checkpointed.contains(*id)));
                 precomputed.extend(survivors);
             }
@@ -158,13 +256,16 @@ impl ChaosRunner {
             checkpointed: checkpointed.clone(),
             precomputed,
         };
-        let (final_report, _) = self.sim.run_with_placement(dag, &options)?;
+        // The final (successful) run goes through `Simulator::run` so its
+        // per-stage spans land in the same trace as the fault events above.
+        let final_report = self.sim.run(dag, &options)?;
         recomputed_checkpointed += persisted
             .iter()
             .filter(|id| final_report.executed[id.0])
             .count();
         total_latency += final_report.latency;
         attempts += 1;
+        self.obs.span_exit(job_span, total_latency);
 
         Ok(ChaosOutcome {
             final_report,
@@ -172,6 +273,7 @@ impl ChaosRunner {
             injected,
             recomputed_checkpointed,
             total_latency,
+            attempt_failures,
         })
     }
 

@@ -41,7 +41,7 @@ pub mod schedule;
 pub mod seed;
 pub mod telemetry;
 
-pub use chaos::{ChaosOutcome, ChaosRunner};
+pub use chaos::{AttemptFailure, ChaosOutcome, ChaosRunner, FaultCause};
 pub use feedback::DelayedFeedback;
 pub use model::{ModelFaults, Served};
 pub use schedule::{FaultEvent, FaultSchedule};

@@ -14,6 +14,7 @@
 
 use adas_engine::rules::RuleSet;
 use adas_ml::bandit::{BanditPolicy, EpsilonGreedy};
+use adas_obs::{digest_f64, Obs, Provenance};
 use adas_workload::signature::Signature;
 use serde::Serialize;
 use std::collections::HashMap;
@@ -122,18 +123,28 @@ pub struct SteeringController {
     default_rules: RuleSet,
     observations: Vec<f64>,
     steered: HashMap<Signature, usize>,
+    obs: Obs,
 }
 
 impl SteeringController {
     /// Creates a controller whose templates all start at `default_rules`
     /// (typically [`RuleSet::all`], the engine default).
     pub fn new(default_rules: RuleSet, config: SteeringConfig) -> Self {
+        Self::with_obs(default_rules, config, Obs::disabled())
+    }
+
+    /// Creates a controller that records every steering observation as a
+    /// flight-recorder decision (model `steering-bandit`, versioned by the
+    /// template's promotion count), plus `hint_promoted` /
+    /// `hint_rejected_by_validation` provenance events.
+    pub fn with_obs(default_rules: RuleSet, config: SteeringConfig, obs: Obs) -> Self {
         Self {
             config,
             templates: HashMap::new(),
             default_rules,
             observations: Vec::new(),
             steered: HashMap::new(),
+            obs,
         }
     }
 
@@ -189,6 +200,34 @@ impl SteeringController {
         state.bandit.update(arm, &[], reward);
         state.history[arm].rewards.push(reward);
 
+        if self.obs.is_enabled() {
+            // The hint's prediction is the deployed baseline's cost (what
+            // steering expects to at least match); the observed outcome is
+            // the chosen configuration's measured cost.
+            let provenance = Provenance::new(
+                "steering-bandit",
+                state.promotions as u64 + 1,
+                digest_f64([template.0 as f64, chosen.0 as f64]),
+            );
+            self.obs.record_decision(
+                "learned.steering",
+                "rule_hint",
+                &provenance,
+                cost_with_deployed,
+                Some(cost_with_chosen),
+                if reward >= 1.0 {
+                    "improved"
+                } else {
+                    "regressed"
+                },
+                false,
+                0,
+                0.0,
+            );
+            self.obs
+                .counter_add("learned.steering", "hints_observed", &[], 1);
+        }
+
         // Promotion check: skip arm 0 (the deployed config itself).
         if arm != 0 && state.history[arm].rewards.len() >= self.config.min_trials {
             let mean = state.history[arm].mean();
@@ -204,12 +243,36 @@ impl SteeringController {
                     state.promotions = promotions;
                     state.rejected = rejected;
                     *self.steered.entry(template).or_insert(0) += 1;
+                    self.obs.event(
+                        "learned.steering",
+                        "hint_promoted",
+                        0.0,
+                        &[
+                            ("template", &template.0.to_string()),
+                            ("rules", &new_deployed.0.to_string()),
+                            ("mean_reward", &format!("{mean:.6}")),
+                        ],
+                    );
+                    self.obs
+                        .counter_add("learned.steering", "promotions", &[], 1);
                 } else {
                     // Raw mean looked good but wins were inconsistent: the
                     // validation model blocks the promotion. Clear the arm's
                     // history so it must re-qualify.
                     state.rejected += 1;
                     state.history[arm].rewards.clear();
+                    self.obs.event(
+                        "learned.steering",
+                        "hint_rejected_by_validation",
+                        0.0,
+                        &[
+                            ("template", &template.0.to_string()),
+                            ("rules", &chosen.0.to_string()),
+                            ("win_rate", &format!("{win_rate:.6}")),
+                        ],
+                    );
+                    self.obs
+                        .counter_add("learned.steering", "rejected_by_validation", &[], 1);
                 }
             }
         }

@@ -1,0 +1,134 @@
+//! Exporters: canonical JSON and Prometheus text exposition.
+
+use crate::metrics::{MetricKey, MetricValue, MetricsRegistry};
+use crate::trace::Trace;
+use std::fmt::Write as _;
+
+/// Serializes a trace to canonical JSON.
+///
+/// All containers iterate in deterministic order, so two traces of the same
+/// seeded run serialize to byte-identical strings — the property the
+/// determinism suite asserts.
+pub fn to_json(trace: &Trace) -> String {
+    serde_json::to_string(trace).expect("trace serialization is infallible")
+}
+
+/// Pretty-printed variant of [`to_json`], for human eyes.
+pub fn to_json_pretty(trace: &Trace) -> String {
+    serde_json::to_string_pretty(trace).expect("trace serialization is infallible")
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+fn render_labels(labels: &[(String, String)], extra: Option<(&str, String)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", sanitize(k), v.replace('"', "\\\"")))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Renders the registry in the Prometheus text exposition format.
+///
+/// Metric names are `<component>_<name>` with non-alphanumerics folded to
+/// `_`; histograms expand to `_bucket{le=…}` / `_sum` / `_count` series
+/// with a trailing `+Inf` bucket, exactly as scrapers expect.
+pub fn to_prometheus(registry: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    for (key, value) in &registry.metrics {
+        let MetricKey {
+            component,
+            name,
+            labels,
+        } = key;
+        let base = format!("{}_{}", sanitize(component), sanitize(name));
+        match value {
+            MetricValue::Counter(c) => {
+                let _ = writeln!(out, "# TYPE {base} counter");
+                let _ = writeln!(out, "{base}{} {c}", render_labels(labels, None));
+            }
+            MetricValue::Gauge(g) => {
+                let _ = writeln!(out, "# TYPE {base} gauge");
+                let _ = writeln!(out, "{base}{} {g}", render_labels(labels, None));
+            }
+            MetricValue::Histogram(h) => {
+                let _ = writeln!(out, "# TYPE {base} histogram");
+                let mut cumulative = 0u64;
+                for (bound, count) in h.bounds.iter().zip(&h.counts) {
+                    cumulative += count;
+                    let _ = writeln!(
+                        out,
+                        "{base}_bucket{} {cumulative}",
+                        render_labels(labels, Some(("le", format!("{bound}"))))
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "{base}_bucket{} {}",
+                    render_labels(labels, Some(("le", "+Inf".to_string()))),
+                    h.count
+                );
+                let _ = writeln!(out, "{base}_sum{} {}", render_labels(labels, None), h.sum);
+                let _ = writeln!(
+                    out,
+                    "{base}_count{} {}",
+                    render_labels(labels, None),
+                    h.count
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricKey;
+
+    #[test]
+    fn prometheus_renders_all_kinds() {
+        let mut reg = MetricsRegistry::default();
+        reg.counter_add(MetricKey::new("engine.exec", "restarts", &[]), 3);
+        reg.gauge_set(
+            MetricKey::new("engine.exec", "hotspot_peak", &[("machine", "0")]),
+            12.5,
+        );
+        reg.histogram_observe(
+            MetricKey::new("engine.exec", "stage_latency", &[]),
+            &[1.0, 10.0],
+            0.5,
+        );
+        let text = to_prometheus(&reg);
+        assert!(text.contains("# TYPE engine_exec_restarts counter"));
+        assert!(text.contains("engine_exec_restarts 3"));
+        assert!(text.contains("engine_exec_hotspot_peak{machine=\"0\"} 12.5"));
+        assert!(text.contains("engine_exec_stage_latency_bucket{le=\"1\"} 1"));
+        assert!(text.contains("engine_exec_stage_latency_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("engine_exec_stage_latency_count 1"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let mut reg = MetricsRegistry::default();
+        let key = || MetricKey::new("c", "h", &[]);
+        for v in [0.5, 0.6, 5.0, 50.0] {
+            reg.histogram_observe(key(), &[1.0, 10.0], v);
+        }
+        let text = to_prometheus(&reg);
+        assert!(text.contains("c_h_bucket{le=\"1\"} 2"));
+        assert!(text.contains("c_h_bucket{le=\"10\"} 3"));
+        assert!(text.contains("c_h_bucket{le=\"+Inf\"} 4"));
+    }
+}

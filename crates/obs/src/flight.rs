@@ -1,0 +1,143 @@
+//! The flight recorder: decision provenance for the autonomy loop.
+//!
+//! Every autonomous decision — a guardrail check, a monitor verdict, a
+//! steering hint, a forecast-driven schedule — is logged with the identity
+//! of the model that made it, a digest of the inputs it saw, what it
+//! predicted, what was later observed, and how the guardrails ruled. This is
+//! the audit trail that makes learned-system regressions debuggable: "which
+//! model version made which decision, and why".
+
+use crate::span::SpanId;
+use serde::{Deserialize, Serialize};
+
+/// Identity of the model behind one decision, supplied by the call site.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Provenance<'a> {
+    /// Stable model identifier (e.g. `cost-ensemble`, `steering-bandit`).
+    pub model_id: &'a str,
+    /// Deployed version number (from the model registry).
+    pub model_version: u64,
+    /// Digest of the input features the model saw (see [`digest_f64`]).
+    pub features_digest: u64,
+}
+
+impl<'a> Provenance<'a> {
+    /// Builds a provenance tag.
+    pub fn new(model_id: &'a str, model_version: u64, features_digest: u64) -> Self {
+        Self {
+            model_id,
+            model_version,
+            features_digest,
+        }
+    }
+}
+
+/// One autonomy-loop decision, as recorded.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionRecord {
+    /// Logical sequence number (total order within the trace).
+    pub seq: u64,
+    /// Enclosing span, if the decision was made inside one.
+    pub span: Option<SpanId>,
+    /// Simulated time of the decision, seconds.
+    pub sim_time: f64,
+    /// Deciding subsystem (e.g. `core.guardrails`).
+    pub component: String,
+    /// What was decided (e.g. `autonomy_decision`, `backup_window`).
+    pub decision: String,
+    /// Model identifier.
+    pub model_id: String,
+    /// Model version that produced the prediction.
+    pub model_version: u64,
+    /// Digest of the input features.
+    pub features_digest: u64,
+    /// The model's predicted outcome.
+    pub predicted: f64,
+    /// The observed outcome, when one exists at record time.
+    pub observed: Option<f64>,
+    /// Guardrail or monitor verdict, verbatim (e.g. `allow`,
+    /// `block: regression guard: …`, `rollback`).
+    pub verdict: String,
+    /// True when the verdict vetoed the decision.
+    pub vetoed: bool,
+    /// Simulated ticks between the prediction being made and its outcome
+    /// being observed (0 when feedback was immediate or absent).
+    pub feedback_latency_ticks: u64,
+}
+
+impl DecisionRecord {
+    /// Ratio of predicted to observed outcome, as a symmetric error factor
+    /// `>= 1` (2.0 means the prediction was off by 2x in either direction).
+    /// `None` when no outcome was observed or either side is non-positive.
+    pub fn error_factor(&self) -> Option<f64> {
+        let observed = self.observed?;
+        if self.predicted <= 0.0 || observed <= 0.0 {
+            return None;
+        }
+        Some((self.predicted / observed).max(observed / self.predicted))
+    }
+}
+
+/// FNV-1a digest over the bit patterns of a feature vector — the cheap,
+/// deterministic input fingerprint decision records carry.
+pub fn digest_f64(features: impl IntoIterator<Item = f64>) -> u64 {
+    let mut hash = 0xcbf29ce484222325u64;
+    for f in features {
+        for byte in f.to_bits().to_le_bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x100000001b3);
+        }
+    }
+    hash
+}
+
+/// FNV-1a digest over raw bytes (for string-shaped features such as
+/// template signatures or plan fingerprints).
+pub fn digest_bytes(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf29ce484222325u64;
+    for &byte in bytes {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_deterministic_and_input_sensitive() {
+        let a = digest_f64([1.0, 2.0, 3.0]);
+        let b = digest_f64([1.0, 2.0, 3.0]);
+        let c = digest_f64([1.0, 2.0, 3.0000001]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(digest_bytes(b"events"), digest_bytes(b"users"));
+    }
+
+    #[test]
+    fn error_factor_is_symmetric() {
+        let mut d = DecisionRecord {
+            seq: 0,
+            span: None,
+            sim_time: 0.0,
+            component: "t".into(),
+            decision: "t".into(),
+            model_id: "m".into(),
+            model_version: 1,
+            features_digest: 0,
+            predicted: 10.0,
+            observed: Some(5.0),
+            verdict: "allow".into(),
+            vetoed: false,
+            feedback_latency_ticks: 0,
+        };
+        assert!((d.error_factor().unwrap() - 2.0).abs() < 1e-12);
+        d.predicted = 5.0;
+        d.observed = Some(10.0);
+        assert!((d.error_factor().unwrap() - 2.0).abs() < 1e-12);
+        d.observed = None;
+        assert!(d.error_factor().is_none());
+    }
+}

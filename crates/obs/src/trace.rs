@@ -1,0 +1,140 @@
+//! Trace snapshots and the query API over them.
+
+use crate::flight::DecisionRecord;
+use crate::metrics::MetricsRegistry;
+use crate::span::{SpanId, SpanRecord};
+use serde::{Deserialize, Serialize};
+
+/// A free-form event attached to the trace (fault injections, deploys,
+/// rollbacks, progress marks).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventRecord {
+    /// Logical sequence number.
+    pub seq: u64,
+    /// Enclosing span, if any.
+    pub span: Option<SpanId>,
+    /// Simulated time, seconds.
+    pub sim_time: f64,
+    /// Emitting subsystem.
+    pub component: String,
+    /// Event name (e.g. `fault_injected`).
+    pub name: String,
+    /// Key/value payload, in emission order.
+    pub fields: Vec<(String, String)>,
+}
+
+impl EventRecord {
+    /// The value of field `key`, if present.
+    pub fn field(&self, key: &str) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// An immutable snapshot of everything a recorder captured.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Trace {
+    /// Completed and open spans, in id order.
+    pub spans: Vec<SpanRecord>,
+    /// Free-form events, in sequence order.
+    pub events: Vec<EventRecord>,
+    /// Flight-recorder decision records, in sequence order.
+    pub decisions: Vec<DecisionRecord>,
+    /// Metrics at snapshot time.
+    pub metrics: MetricsRegistry,
+}
+
+impl Trace {
+    /// Starts a query over this trace.
+    pub fn query(&self) -> TraceQuery<'_> {
+        TraceQuery {
+            trace: self,
+            component: None,
+            model_id: None,
+            vetoed_only: false,
+            min_error_factor: None,
+        }
+    }
+
+    /// Spans belonging to `component`.
+    pub fn spans_of<'a>(&'a self, component: &'a str) -> impl Iterator<Item = &'a SpanRecord> {
+        self.spans.iter().filter(move |s| s.component == component)
+    }
+
+    /// Direct children of span `parent`.
+    pub fn children_of(&self, parent: SpanId) -> impl Iterator<Item = &SpanRecord> {
+        self.spans.iter().filter(move |s| s.parent == Some(parent))
+    }
+
+    /// Events named `name`, across all components.
+    pub fn events_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a EventRecord> {
+        self.events.iter().filter(move |e| e.name == name)
+    }
+}
+
+/// A filter-builder over a trace's decision records.
+///
+/// ```
+/// use adas_obs::Obs;
+///
+/// let obs = Obs::recording();
+/// // … run instrumented subsystems …
+/// let trace = obs.snapshot();
+/// let suspect = trace
+///     .query()
+///     .min_error_factor(2.0) // predicted/observed off by >= 2x
+///     .decisions();
+/// assert!(suspect.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceQuery<'a> {
+    trace: &'a Trace,
+    component: Option<String>,
+    model_id: Option<String>,
+    vetoed_only: bool,
+    min_error_factor: Option<f64>,
+}
+
+impl<'a> TraceQuery<'a> {
+    /// Keep only decisions from `component`.
+    pub fn component(mut self, component: &str) -> Self {
+        self.component = Some(component.to_string());
+        self
+    }
+
+    /// Keep only decisions made by `model_id`.
+    pub fn model(mut self, model_id: &str) -> Self {
+        self.model_id = Some(model_id.to_string());
+        self
+    }
+
+    /// Keep only vetoed decisions (guardrail blocks, rollbacks).
+    pub fn vetoed(mut self) -> Self {
+        self.vetoed_only = true;
+        self
+    }
+
+    /// Keep only decisions whose predicted/observed error factor is at
+    /// least `factor` (decisions without an observed outcome are dropped).
+    pub fn min_error_factor(mut self, factor: f64) -> Self {
+        self.min_error_factor = Some(factor);
+        self
+    }
+
+    /// Runs the query.
+    pub fn decisions(&self) -> Vec<&'a DecisionRecord> {
+        self.trace
+            .decisions
+            .iter()
+            .filter(|d| self.component.as_deref().map_or(true, |c| d.component == c))
+            .filter(|d| self.model_id.as_deref().map_or(true, |m| d.model_id == m))
+            .filter(|d| !self.vetoed_only || d.vetoed)
+            .filter(|d| {
+                self.min_error_factor
+                    .map_or(true, |f| d.error_factor().is_some_and(|e| e >= f))
+            })
+            .collect()
+    }
+}

@@ -14,6 +14,7 @@ use crate::graph::PipelineGraph;
 use adas_engine::cardinality::TrueCardinality;
 use adas_engine::cost::CostModel;
 use adas_engine::Result;
+use adas_obs::Obs;
 use adas_workload::catalog::Catalog;
 use adas_workload::job::Trace;
 use adas_workload::JobId;
@@ -27,6 +28,16 @@ pub enum Policy {
     Fifo,
     /// Largest transitive downstream work first.
     CriticalPath,
+}
+
+impl Policy {
+    /// Stable name for metrics labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Policy::Fifo => "fifo",
+            Policy::CriticalPath => "critical_path",
+        }
+    }
 }
 
 /// Outcome of one scheduling run.
@@ -66,6 +77,28 @@ pub fn schedule(
     job_slots: usize,
     work_per_second: f64,
     policy: Policy,
+) -> Result<ScheduleReport> {
+    schedule_with_obs(
+        trace,
+        catalog,
+        job_slots,
+        work_per_second,
+        policy,
+        &Obs::disabled(),
+    )
+}
+
+/// Like [`schedule`], recording the run into `obs`: a `schedule` span over
+/// the makespan with one child span per job (at its simulated dispatch and
+/// finish times, in job-id order), a `jobs_scheduled` counter labelled by
+/// policy, the makespan gauge and a completion-time histogram.
+pub fn schedule_with_obs(
+    trace: &Trace,
+    catalog: &Catalog,
+    job_slots: usize,
+    work_per_second: f64,
+    policy: Policy,
+    obs: &Obs,
 ) -> Result<ScheduleReport> {
     assert!(job_slots >= 1, "need at least one job slot");
     assert!(work_per_second > 0.0, "work_per_second must be positive");
@@ -151,6 +184,38 @@ pub fn schedule(
     } else {
         finish.iter().map(|(id, f)| f - submit[id]).sum::<f64>() / finish.len() as f64
     };
+
+    if obs.is_enabled() {
+        let root = obs.span_enter("pipeline.sched", "schedule", 0.0);
+        let mut ids: Vec<JobId> = finish.keys().copied().collect();
+        ids.sort();
+        for id in &ids {
+            let end = finish[id];
+            let start = end - work[id] / work_per_second;
+            let span = obs.span_enter("pipeline.sched", &format!("job_{}", id.0), start);
+            obs.span_exit(span, end);
+            obs.histogram_observe(
+                "pipeline.sched",
+                "completion_seconds",
+                &[("policy", policy.name())],
+                end - submit[id],
+            );
+        }
+        obs.counter_add(
+            "pipeline.sched",
+            "jobs_scheduled",
+            &[("policy", policy.name())],
+            ids.len() as u64,
+        );
+        obs.gauge_set(
+            "pipeline.sched",
+            "makespan_seconds",
+            &[("policy", policy.name())],
+            makespan,
+        );
+        obs.span_exit(root, makespan);
+    }
+
     Ok(ScheduleReport {
         makespan,
         mean_completion,

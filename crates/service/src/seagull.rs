@@ -15,6 +15,7 @@
 //! window's load.
 
 use adas_ml::forecast::{Forecaster, HoltWinters, HwConfig, SeasonalNaive};
+use adas_obs::{digest_f64, Obs, Provenance};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -119,6 +120,16 @@ pub enum BackupForecaster {
     MlModel,
 }
 
+impl BackupForecaster {
+    /// Stable model identifier for flight-recorder provenance.
+    pub fn model_id(self) -> &'static str {
+        match self {
+            BackupForecaster::PreviousDay => "seagull-previous-day",
+            BackupForecaster::MlModel => "seagull-holt-winters",
+        }
+    }
+}
+
 /// Forecasts the next day's 24 hourly loads for a server.
 pub fn forecast_next_day(server: &ServerLoad, method: BackupForecaster) -> Vec<f64> {
     match method {
@@ -173,6 +184,21 @@ pub fn schedule_fleet(
     window_hours: usize,
     tolerance: f64,
 ) -> SeagullReport {
+    schedule_fleet_with_obs(fleet, method, window_hours, tolerance, &Obs::disabled())
+}
+
+/// Like [`schedule_fleet`], recording one flight-recorder decision per
+/// server: the forecaster's identity, a digest of the load history it saw,
+/// the *forecast* load of the chosen window (predicted) vs. its *true* load
+/// (observed), and whether the placement met the accuracy bar.
+pub fn schedule_fleet_with_obs(
+    fleet: &[ServerLoad],
+    method: BackupForecaster,
+    window_hours: usize,
+    tolerance: f64,
+    obs: &Obs,
+) -> SeagullReport {
+    let span = obs.span_enter("service.seagull", "schedule_fleet", 0.0);
     let mut hits = 0usize;
     let mut ratio_sum = 0.0f64;
     for server in fleet {
@@ -198,7 +224,49 @@ pub fn schedule_fleet(
         } else {
             1.0
         };
+        if obs.is_enabled() {
+            let predicted_load: f64 = forecast[chosen..chosen + window_hours].iter().sum();
+            let provenance = Provenance::new(
+                method.model_id(),
+                1,
+                digest_f64(server.history.iter().copied()),
+            );
+            obs.record_decision(
+                "service.seagull",
+                "backup_window",
+                &provenance,
+                predicted_load,
+                Some(chosen_load),
+                if ok { "accurate" } else { "inaccurate" },
+                false,
+                HOURS as u64, // outcome observed one simulated day later
+                chosen as f64,
+            );
+            obs.counter_add(
+                "service.seagull",
+                "placements",
+                &[("method", method.model_id())],
+                1,
+            );
+            if ok {
+                obs.counter_add(
+                    "service.seagull",
+                    "accurate_placements",
+                    &[("method", method.model_id())],
+                    1,
+                );
+            }
+        }
     }
+    if obs.is_enabled() && !fleet.is_empty() {
+        obs.gauge_set(
+            "service.seagull",
+            "accuracy",
+            &[("method", method.model_id())],
+            hits as f64 / fleet.len() as f64,
+        );
+    }
+    obs.span_exit(span, HOURS as f64);
     SeagullReport {
         servers: fleet.len(),
         accuracy: if fleet.is_empty() {

@@ -1,9 +1,13 @@
-//! Chaos tour: deterministic fault injection end to end.
+//! Chaos tour: deterministic fault injection end to end, narrated by the
+//! flight recorder.
 //!
 //! Expands one master seed into per-job fault schedules, replays a batch of
 //! generated jobs through the cluster simulator with crashes and machine
 //! losses firing, shows checkpointing containing the damage, and finishes
-//! with a poisoned model being stopped by the guardrails.
+//! with a poisoned model being stopped by the guardrails. Every fault, every
+//! restart and every guardrail verdict lands in one [`Obs`] trace, so the
+//! whole tour can be queried back afterwards — and progress is printed as
+//! machine-parseable JSON event lines instead of free-form text.
 //!
 //! Run with: `cargo run --release --example chaos_run`
 
@@ -14,9 +18,19 @@ use autonomous_data_services::engine::cost::CostModel;
 use autonomous_data_services::engine::exec::ClusterConfig;
 use autonomous_data_services::engine::physical::{StageDag, StageId};
 use autonomous_data_services::faultsim::{ChaosRunner, FaultConfig, FaultInjector};
+use autonomous_data_services::obs::{digest_f64, Obs, Provenance};
 use autonomous_data_services::workload::gen::{GeneratorConfig, WorkloadGenerator};
 
+/// Records a progress event and prints it as one JSON line.
+fn emit(obs: &Obs, name: &str, fields: &[(&str, &str)]) {
+    obs.event("example.chaos_run", name, 0.0, fields);
+    println!("{}", obs.last_event_json().expect("recording"));
+}
+
 fn main() {
+    // Everything below records into one flight-recorder trace.
+    let obs = Obs::recording();
+
     // 1. A workload and a cluster, exactly as the clean-path examples use.
     let workload = WorkloadGenerator::new(GeneratorConfig {
         days: 1,
@@ -30,9 +44,9 @@ fn main() {
     let cost_model = CostModel::default();
 
     // 2. One master seed expands into a per-job fault schedule. Same seed,
-    //    same faults — rerun this binary and every number is identical.
+    //    same faults — rerun this binary and every line is identical.
     let injector = FaultInjector::new(42, FaultConfig::standard());
-    let runner = ChaosRunner::new(cluster, f64::INFINITY).expect("valid cluster");
+    let runner = ChaosRunner::with_obs(cluster, f64::INFINITY, obs.clone()).expect("valid cluster");
 
     let mut injected = 0usize;
     let mut restarts = 0usize;
@@ -49,16 +63,23 @@ fn main() {
         injected += outcome.injected;
         restarts += outcome.attempts - 1;
     }
-    println!(
-        "replayed {} jobs under seed 42: {injected} faults fired, {restarts} restarts, \
-         0 checkpointed stages recomputed",
-        workload.trace.len()
+    emit(
+        &obs,
+        "chaos_replayed",
+        &[
+            ("seed", "42"),
+            ("jobs", &workload.trace.len().to_string()),
+            ("faults_injected", &injected.to_string()),
+            ("restarts", &restarts.to_string()),
+            ("checkpointed_recomputed", "0"),
+        ],
     );
 
     // 3. The model channel: a poisoned cost model inflates predictions by
-    //    the configured factor; the RAI guardrails refuse the regression.
+    //    the configured factor; the RAI guardrails refuse the regression,
+    //    and both verdicts go to the flight recorder with full provenance.
     let faults = injector.model_faults();
-    let guards = GuardrailSet::standard();
+    let guards = GuardrailSet::standard().with_obs(obs.clone());
     let honest = Decision {
         predicted_perf: 100.0,
         baseline_perf: 100.0,
@@ -70,10 +91,54 @@ fn main() {
         predicted_cost: faults.poisoned(honest.predicted_cost),
         ..honest
     };
-    match (guards.check(&honest), guards.check(&poisoned)) {
+    let provenance = |d: &Decision, version: u64| {
+        Provenance::new(
+            "chaos-cost-model",
+            version,
+            digest_f64([
+                d.predicted_perf,
+                d.baseline_perf,
+                d.predicted_cost,
+                d.baseline_cost,
+            ]),
+        )
+    };
+    match (
+        guards.check_recorded(&honest, &provenance(&honest, 1), 0.0),
+        guards.check_recorded(&poisoned, &provenance(&poisoned, 2), 0.0),
+    ) {
         (Verdict::Allow, Verdict::Block(reason)) => {
-            println!("honest decision allowed; poisoned decision blocked: {reason}");
+            let blocked = format!("block: {reason}");
+            emit(
+                &obs,
+                "guardrail_outcome",
+                &[("honest", "allow"), ("poisoned", &blocked)],
+            );
         }
         other => panic!("guardrails misbehaved: {other:?}"),
     }
+
+    // 4. The payoff: the fault events, their downstream restarts and the
+    //    guardrail veto all live in the same trace. Query it back.
+    let trace = obs.snapshot();
+    assert_eq!(trace.events_named("fault_injected").count(), injected);
+    let vetoed = trace
+        .query()
+        .component("core.guardrails")
+        .vetoed()
+        .decisions();
+    assert_eq!(vetoed.len(), 1, "exactly the poisoned decision was vetoed");
+    for decision in &vetoed {
+        println!("{}", serde_json::to_string(decision).expect("serializes"));
+    }
+    emit(
+        &obs,
+        "trace_summary",
+        &[
+            ("spans", &trace.spans.len().to_string()),
+            ("events", &trace.events.len().to_string()),
+            ("decisions", &trace.decisions.len().to_string()),
+            ("vetoes", &vetoed.len().to_string()),
+        ],
+    );
 }

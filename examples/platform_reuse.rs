@@ -3,7 +3,8 @@
 //! Walks through Direction 1 (the AlgorithmStore), Direction 2
 //! (standardized plan and model interchange), Direction 4 (the RAI
 //! assessment gate), and the workload-evolution forecasting that feeds
-//! proactive decisions.
+//! proactive decisions. Progress is recorded as obs events and printed as
+//! machine-parseable JSON lines.
 //!
 //! Run with: `cargo run --release --example platform_reuse`
 
@@ -13,18 +14,30 @@ use autonomous_data_services::ml::bundle::{ModelBundle, ModelKind};
 use autonomous_data_services::ml::dataset::Dataset;
 use autonomous_data_services::ml::linear::LinearRegression;
 use autonomous_data_services::ml::Regressor;
+use autonomous_data_services::obs::Obs;
 use autonomous_data_services::workload::evolution::{analyze_evolution, Growth};
 use autonomous_data_services::workload::gen::{GeneratorConfig, WorkloadGenerator};
 use autonomous_data_services::workload::interchange::{export_plan, import_plan};
 
+/// Records a progress event and prints it as one JSON line.
+fn emit(obs: &Obs, name: &str, fields: &[(&str, &str)]) {
+    obs.event("example.platform_reuse", name, 0.0, fields);
+    println!("{}", obs.last_event_json().expect("recording"));
+}
+
 fn main() {
+    let obs = Obs::recording();
+
     // --- Direction 1: discover an algorithm template before writing code.
     let store = AlgorithmStore::standard();
-    println!("== AlgorithmStore (Direction 1) ==");
     for query in ["tail latency", "power rack", "interchange"] {
         let top = store.search(query);
         let hit = top.first().map_or("(no hit)", |e| e.name.as_str());
-        println!("  search '{query}' -> {hit}");
+        emit(
+            &obs,
+            "algorithm_store_search",
+            &[("query", query), ("top_hit", hit)],
+        );
     }
 
     // --- Direction 2a: ship a query plan across engines.
@@ -40,11 +53,13 @@ fn main() {
     let plan = &workload.trace.jobs()[0].plan;
     let wire = export_plan("adas-engine", plan).expect("exports");
     let received = import_plan(&wire).expect("imports");
-    println!("\n== Plan interchange (Direction 2) ==");
-    println!(
-        "  exported {} bytes of JSON; round-trip identical: {}",
-        wire.len(),
-        received == *plan
+    emit(
+        &obs,
+        "plan_interchange",
+        &[
+            ("wire_bytes", &wire.len().to_string()),
+            ("round_trip_identical", &(received == *plan).to_string()),
+        ],
     );
 
     // --- Direction 2b: package a model for cross-system deployment.
@@ -59,26 +74,41 @@ fn main() {
         .expect("parses")
         .unpack(ModelKind::LinearRegression)
         .expect("unpacks");
-    println!(
-        "  model bundle {} bytes; prediction preserved: {}",
-        json.len(),
-        { (restored.predict(&[12.0]) - model.predict(&[12.0])).abs() < 1e-12 }
+    let preserved = (restored.predict(&[12.0]) - model.predict(&[12.0])).abs() < 1e-12;
+    emit(
+        &obs,
+        "model_bundle_roundtrip",
+        &[
+            ("bundle_bytes", &json.len().to_string()),
+            ("prediction_preserved", &preserved.to_string()),
+        ],
     );
 
     // --- Workload evolution: what to provision for tomorrow.
     let evolution = analyze_evolution(&workload.trace, 12, 0.1, 3);
-    println!("\n== Workload evolution (Sec 4.2) ==");
-    println!(
-        "  {} templates tracked over {} days; volume trend {:+.1} jobs/day/day",
-        evolution.templates.len(),
-        evolution.days,
-        evolution.volume_trend_per_day
-    );
-    println!(
-        "  emerging: {}, stable: {}, receding: {}",
-        evolution.in_class(Growth::Emerging).len(),
-        evolution.in_class(Growth::Stable).len(),
-        evolution.in_class(Growth::Receding).len()
+    emit(
+        &obs,
+        "workload_evolution",
+        &[
+            ("templates", &evolution.templates.len().to_string()),
+            ("days", &evolution.days.to_string()),
+            (
+                "volume_trend_jobs_per_day_per_day",
+                &format!("{:+.1}", evolution.volume_trend_per_day),
+            ),
+            (
+                "emerging",
+                &evolution.in_class(Growth::Emerging).len().to_string(),
+            ),
+            (
+                "stable",
+                &evolution.in_class(Growth::Stable).len().to_string(),
+            ),
+            (
+                "receding",
+                &evolution.in_class(Growth::Receding).len().to_string(),
+            ),
+        ],
     );
 
     // --- Direction 4: the RAI gate before the model ships.
@@ -99,20 +129,31 @@ fn main() {
         true,
         "rationale string shipped with decisions",
     );
-    println!("\n== RAI assessment (Direction 4) ==");
     for (id, principle, required, status) in assessment.report() {
-        println!(
-            "  [{}] {id} ({principle:?}) -> {status:?}",
-            if required { "required" } else { "optional" }
+        emit(
+            &obs,
+            "rai_check",
+            &[
+                ("check", id),
+                ("principle", &format!("{principle:?}")),
+                ("required", &required.to_string()),
+                ("status", &format!("{status:?}")),
+            ],
         );
     }
-    println!(
-        "  verdict: {:?} -> deployment {}",
-        assessment.status(),
-        if assessment.status() == AssessmentStatus::Approved {
-            "unblocked"
-        } else {
-            "blocked"
-        }
+    emit(
+        &obs,
+        "rai_verdict",
+        &[
+            ("status", &format!("{:?}", assessment.status())),
+            (
+                "deployment",
+                if assessment.status() == AssessmentStatus::Approved {
+                    "unblocked"
+                } else {
+                    "blocked"
+                },
+            ),
+        ],
     );
 }

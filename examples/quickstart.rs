@@ -3,7 +3,9 @@
 //! Generates a SCOPE-like workload, analyzes it (Peregrine), trains
 //! cardinality micromodels on the history (CLEO), wires the learned model
 //! into a guarded deployment with a live feedback loop, and shows a
-//! rollback firing when the world drifts.
+//! rollback firing when the world drifts. The whole loop records itself
+//! into a flight-recorder trace, and progress is printed as
+//! machine-parseable JSON event lines.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -12,26 +14,51 @@ use autonomous_data_services::core::{
 };
 use autonomous_data_services::engine::cardinality::{CardinalityModel, TrueCardinality};
 use autonomous_data_services::learned::cardinality::{LearnedCardinality, TrainConfig};
+use autonomous_data_services::obs::{digest_f64, Obs, Provenance};
 use autonomous_data_services::workload::analyze::WorkloadAnalysis;
 use autonomous_data_services::workload::gen::{GeneratorConfig, WorkloadGenerator};
 
+/// Records a progress event and prints it as one JSON line.
+fn emit(obs: &Obs, name: &str, fields: &[(&str, &str)]) {
+    obs.event("example.quickstart", name, 0.0, fields);
+    println!("{}", obs.last_event_json().expect("recording"));
+}
+
 fn main() {
+    let obs = Obs::recording();
+
     // 1. A week of synthetic SCOPE-like workload, calibrated to the paper's
     //    published statistics.
     let workload = WorkloadGenerator::new(GeneratorConfig::default())
         .expect("default config is valid")
         .generate()
         .expect("generation succeeds");
-    println!("generated {} jobs over {} days", workload.trace.len(), 7);
+    emit(
+        &obs,
+        "workload_generated",
+        &[("jobs", &workload.trace.len().to_string()), ("days", "7")],
+    );
 
     // 2. Workload analysis: recurrence, sharing, dependencies.
     let analysis = WorkloadAnalysis::analyze(&workload.trace);
     let stats = analysis.stats();
-    println!(
-        "analysis: {:.0}% recurring, {:.0}% share subexpressions, {:.0}% in pipelines",
-        stats.recurring_fraction * 100.0,
-        stats.shared_subexpression_fraction * 100.0,
-        stats.dependent_fraction * 100.0
+    emit(
+        &obs,
+        "workload_analyzed",
+        &[
+            (
+                "recurring_pct",
+                &format!("{:.0}", stats.recurring_fraction * 100.0),
+            ),
+            (
+                "shared_subexpression_pct",
+                &format!("{:.0}", stats.shared_subexpression_fraction * 100.0),
+            ),
+            (
+                "pipeline_pct",
+                &format!("{:.0}", stats.dependent_fraction * 100.0),
+            ),
+        ],
     );
 
     // 3. Train per-template cardinality micromodels on the history.
@@ -43,16 +70,20 @@ fn main() {
         .collect();
     let (model, report) =
         LearnedCardinality::train(&workload.catalog, &plans, TrainConfig::default());
-    println!(
-        "micromodels: kept {}/{} trained; median q-error {:.2} -> {:.2}",
-        report.models_kept,
-        report.templates_trained,
-        report.default_q_error,
-        report.learned_q_error
+    emit(
+        &obs,
+        "micromodels_trained",
+        &[
+            ("kept", &report.models_kept.to_string()),
+            ("trained", &report.templates_trained.to_string()),
+            ("default_q_error", &format!("{:.2}", report.default_q_error)),
+            ("learned_q_error", &format!("{:.2}", report.learned_q_error)),
+        ],
     );
 
-    // 4. Deploy behind guardrails with a monitored feedback loop.
-    let guards = GuardrailSet::standard();
+    // 4. Deploy behind guardrails with a monitored feedback loop; every
+    //    verdict lands in the flight recorder with the model's provenance.
+    let guards = GuardrailSet::standard().with_obs(obs.clone());
     let decision = Decision {
         predicted_perf: 82.0,
         baseline_perf: 100.0,
@@ -60,48 +91,98 @@ fn main() {
         baseline_cost: 10.0,
         group: 0,
     };
-    match guards.check(&decision) {
-        Verdict::Allow => println!("guardrails: deployment allowed"),
-        Verdict::Block(reason) => println!("guardrails: blocked ({reason})"),
+    let provenance = Provenance::new(
+        "learned-cardinality",
+        1,
+        digest_f64([
+            decision.predicted_perf,
+            decision.baseline_perf,
+            decision.predicted_cost,
+            decision.baseline_cost,
+        ]),
+    );
+    match guards.check_recorded(&decision, &provenance, 0.0) {
+        Verdict::Allow => emit(&obs, "deployment_gate", &[("verdict", "allow")]),
+        Verdict::Block(reason) => emit(
+            &obs,
+            "deployment_gate",
+            &[("verdict", "block"), ("reason", &reason)],
+        ),
     }
 
-    let mut registry = ModelRegistry::new();
+    let mut registry = ModelRegistry::with_obs(obs.clone());
     registry.deploy("learned-cardinality-v1", report.learned_q_error);
-    let mut feedback = FeedbackLoop::new(LoopConfig {
-        window: 20,
-        ..Default::default()
-    });
+    let mut feedback = FeedbackLoop::with_obs(
+        LoopConfig {
+            window: 20,
+            ..Default::default()
+        },
+        obs.clone(),
+    );
 
     // Healthy phase: live predictions track the truth.
     let truth = TrueCardinality::new(&workload.catalog);
     let mut last_verdict = MonitorVerdict::Warming;
-    for job in workload.trace.jobs().iter().take(40) {
+    for (tick, job) in workload.trace.jobs().iter().take(40).enumerate() {
         let predicted = model.estimate(&job.plan).expect("plan validates").ln();
         let actual = truth.estimate(&job.plan).expect("plan validates").ln();
-        last_verdict = feedback.observe(
+        last_verdict = feedback.observe_recorded(
             predicted,
             actual,
             registry.current().expect("deployed").deployment_error,
+            &Provenance::new("learned-cardinality", 1, digest_f64([predicted, actual])),
+            1,
+            tick as f64,
         );
     }
-    println!("feedback loop (healthy phase): {last_verdict:?}");
+    emit(
+        &obs,
+        "feedback_healthy_phase",
+        &[("verdict", &format!("{last_verdict:?}"))],
+    );
 
     // Drift phase: the world changes; errors explode; the loop rolls back.
     registry.deploy("learned-cardinality-v2", report.learned_q_error);
     feedback.reset();
     for i in 0..40 {
-        let verdict = feedback.observe(0.0, 10.0 + i as f64, 0.05);
+        let (predicted, actual) = (0.0, 10.0 + i as f64);
+        let verdict = feedback.observe_recorded(
+            predicted,
+            actual,
+            0.05,
+            &Provenance::new("learned-cardinality", 2, digest_f64([predicted, actual])),
+            1,
+            (40 + i) as f64,
+        );
         if verdict == MonitorVerdict::Rollback {
             registry.rollback();
-            println!(
-                "feedback loop (drift phase): rolled back to `{}`",
-                registry.current().expect("deployed").model
+            emit(
+                &obs,
+                "feedback_drift_phase",
+                &[
+                    ("verdict", "rollback"),
+                    ("restored", registry.current().expect("deployed").model),
+                ],
             );
             break;
         }
     }
-    println!(
-        "model versions deployed over the session: {}",
-        registry.version_count()
+
+    // 5. The flight recorder now holds the whole session: ask it which
+    //    decisions drifted past 2x predicted/observed error.
+    let trace = obs.snapshot();
+    let drifted = trace
+        .query()
+        .component("core.feedback")
+        .min_error_factor(2.0)
+        .decisions();
+    emit(
+        &obs,
+        "session_summary",
+        &[
+            ("versions_deployed", &registry.version_count().to_string()),
+            ("decisions_recorded", &trace.decisions.len().to_string()),
+            ("decisions_drifted_2x", &drifted.len().to_string()),
+        ],
     );
 }

@@ -1,11 +1,13 @@
 //! Engine-layer tour over a recurring workload: computation reuse
 //! (CloudViews), rule-hint steering, and checkpoint optimization (Phoebe)
-//! applied to the same SCOPE-like trace.
+//! applied to the same SCOPE-like trace — with the steering bandit's hint
+//! provenance and Phoebe's cut decisions recorded into one flight-recorder
+//! trace, and progress printed as machine-parseable JSON event lines.
 //!
 //! Run with: `cargo run --release --example recurring_jobs`
 
 use autonomous_data_services::checkpoint::{
-    evaluate, plan_checkpoints, PhoebeConfig, StagePredictor,
+    evaluate_with_obs, plan_checkpoints_with_obs, PhoebeConfig, StagePredictor,
 };
 use autonomous_data_services::engine::cardinality::{DefaultEstimator, TrueCardinality};
 use autonomous_data_services::engine::cost::CostModel;
@@ -13,13 +15,21 @@ use autonomous_data_services::engine::exec::{ClusterConfig, SimOptions, Simulato
 use autonomous_data_services::engine::physical::StageDag;
 use autonomous_data_services::engine::rules::{Optimizer, RuleSet};
 use autonomous_data_services::learned::steering::{SteeringConfig, SteeringController};
+use autonomous_data_services::obs::Obs;
 use autonomous_data_services::reuse::{replay, ReplayConfig};
 use autonomous_data_services::workload::gen::{GeneratorConfig, WorkloadGenerator};
 use autonomous_data_services::workload::plan::{CmpOp, LogicalPlan, Predicate};
 use autonomous_data_services::workload::signature::template_signature;
 use std::collections::HashMap;
 
+/// Records a progress event and prints it as one JSON line.
+fn emit(obs: &Obs, name: &str, fields: &[(&str, &str)]) {
+    obs.event("example.recurring_jobs", name, 0.0, fields);
+    println!("{}", obs.last_event_json().expect("recording"));
+}
+
 fn main() {
+    let obs = Obs::recording();
     let workload = WorkloadGenerator::new(GeneratorConfig {
         days: 6,
         jobs_per_day: 120,
@@ -30,7 +40,11 @@ fn main() {
     .expect("valid config")
     .generate()
     .expect("generation succeeds");
-    println!("== workload: {} jobs ==", workload.trace.len());
+    emit(
+        &obs,
+        "workload_generated",
+        &[("jobs", &workload.trace.len().to_string())],
+    );
 
     // --- CloudViews: train views on the first half, replay the second.
     let report = replay(
@@ -42,16 +56,26 @@ fn main() {
         },
     )
     .expect("replay runs");
-    println!(
-        "cloudviews: {} views; latency -{:.0}%, processing time -{:.0}% ({} hits, {} via containment)",
-        report.views_selected,
-        report.latency_improvement * 100.0,
-        report.cpu_reduction * 100.0,
-        report.total_hits,
-        report.containment_hits
+    emit(
+        &obs,
+        "cloudviews_replayed",
+        &[
+            ("views", &report.views_selected.to_string()),
+            (
+                "latency_improvement_pct",
+                &format!("{:.0}", report.latency_improvement * 100.0),
+            ),
+            (
+                "cpu_reduction_pct",
+                &format!("{:.0}", report.cpu_reduction * 100.0),
+            ),
+            ("hits", &report.total_hits.to_string()),
+            ("containment_hits", &report.containment_hits.to_string()),
+        ],
     );
 
     // --- Steering: bandit over rule hints for the most frequent template.
+    //     Every observed hint lands in the flight recorder with provenance.
     let est = DefaultEstimator::new(&workload.catalog);
     let truth = TrueCardinality::new(&workload.catalog);
     let cost_model = CostModel::default();
@@ -64,7 +88,8 @@ fn main() {
             .push(&job.plan);
     }
     by_template.retain(|_, v| v.len() >= 10);
-    let mut controller = SteeringController::new(RuleSet::all(), SteeringConfig::default());
+    let mut controller =
+        SteeringController::with_obs(RuleSet::all(), SteeringConfig::default(), obs.clone());
     let true_cost = |plan: &LogicalPlan, rules: RuleSet| {
         let optimized = optimizer
             .optimize(plan, rules, &est)
@@ -88,14 +113,19 @@ fn main() {
         }
     }
     let stats = controller.stats();
-    println!(
-        "steering: {} of {} recurring templates steered off the default config \
-({} promotions, {} candidates blocked by the validation model, mean reward {:.3})",
-        stats.templates_steered,
-        stats.templates,
-        stats.promotions,
-        stats.rejected_by_validation,
-        stats.mean_reward
+    emit(
+        &obs,
+        "steering_converged",
+        &[
+            ("templates_steered", &stats.templates_steered.to_string()),
+            ("templates", &stats.templates.to_string()),
+            ("promotions", &stats.promotions.to_string()),
+            (
+                "rejected_by_validation",
+                &stats.rejected_by_validation.to_string(),
+            ),
+            ("mean_reward", &format!("{:.3}", stats.mean_reward)),
+        ],
     );
 
     // --- Phoebe: checkpoint a large recurring job.
@@ -144,14 +174,46 @@ fn main() {
         hotspot_threshold: 0.05,
         ..Default::default()
     };
-    let plan = plan_checkpoints(&dag, &forecast, &config);
-    let phoebe = evaluate(&dag, &plan, cluster, 0.85).expect("simulates");
-    println!(
-        "phoebe: {} of {} stages checkpointed; hotspot temp -{:.0}%, restart -{:.0}%, slowdown {:.1}%",
-        plan.stages.len(),
-        dag.len(),
-        phoebe.hotspot_reduction * 100.0,
-        phoebe.restart_speedup * 100.0,
-        phoebe.slowdown * 100.0
+    let plan = plan_checkpoints_with_obs(&dag, &forecast, &config, &obs);
+    let phoebe = evaluate_with_obs(&dag, &plan, cluster, 0.85, &obs).expect("simulates");
+    emit(
+        &obs,
+        "phoebe_evaluated",
+        &[
+            ("stages_checkpointed", &plan.stages.len().to_string()),
+            ("stages", &dag.len().to_string()),
+            (
+                "hotspot_reduction_pct",
+                &format!("{:.0}", phoebe.hotspot_reduction * 100.0),
+            ),
+            (
+                "restart_speedup_pct",
+                &format!("{:.0}", phoebe.restart_speedup * 100.0),
+            ),
+            ("slowdown_pct", &format!("{:.1}", phoebe.slowdown * 100.0)),
+        ],
+    );
+
+    // One trace holds the bandit's promotions and Phoebe's cuts alike.
+    let trace = obs.snapshot();
+    emit(
+        &obs,
+        "trace_summary",
+        &[
+            ("spans", &trace.spans.len().to_string()),
+            (
+                "hints_recorded",
+                &trace
+                    .query()
+                    .component("learned.steering")
+                    .decisions()
+                    .len()
+                    .to_string(),
+            ),
+            (
+                "cuts_recorded",
+                &trace.events_named("cut_selected").count().to_string(),
+            ),
+        ],
     );
 }

@@ -1,33 +1,40 @@
 //! Service + infrastructure layers: Moneyball pause/resume for serverless
 //! databases and the Fig 2 provisioning Pareto for cluster pools.
 //!
+//! Results are recorded as obs events and gauges, streamed as JSON lines,
+//! and the full canonical trace export is printed at the end — the same
+//! machine-parseable artifact the flight recorder produces everywhere else.
+//!
 //! Run with: `cargo run --release --example serverless_autoscale`
 
 use autonomous_data_services::infra::provision::{
     simulate_provisioning, DemandModel, PoolPolicy, ProvisionConfig,
 };
+use autonomous_data_services::obs::Obs;
 use autonomous_data_services::service::moneyball::{generate_usage, simulate_policy, PausePolicy};
 
+/// Records a progress event and prints it as one JSON line.
+fn emit(obs: &Obs, name: &str, fields: &[(&str, &str)]) {
+    obs.event("example.serverless_autoscale", name, 0.0, fields);
+    println!("{}", obs.last_event_json().expect("recording"));
+}
+
 fn main() {
+    let obs = Obs::recording();
+
     // --- Moneyball: a fleet of 800 serverless databases, 77% with
     //     predictable usage (the paper's measured share).
     let fleet = generate_usage(800, 21, 0.77, 7);
-    println!(
-        "== Moneyball: pause/resume over {} databases ==",
-        fleet.len()
-    );
-    println!(
-        "{:<28} {:>18} {:>18}",
-        "policy", "cold resumes/db-day", "idle hours/db-day"
+    emit(
+        &obs,
+        "moneyball_fleet_generated",
+        &[("databases", &fleet.len().to_string())],
     );
     for (name, policy) in [
-        ("always-on", PausePolicy::AlwaysOn),
+        ("always_on", PausePolicy::AlwaysOn),
+        ("reactive_2h", PausePolicy::Reactive { idle_hours: 2 }),
         (
-            "reactive (2h idle)",
-            PausePolicy::Reactive { idle_hours: 2 },
-        ),
-        (
-            "proactive (Moneyball)",
+            "proactive_moneyball",
             PausePolicy::Proactive {
                 idle_hours: 2,
                 threshold: 0.4,
@@ -35,9 +42,33 @@ fn main() {
         ),
     ] {
         let r = simulate_policy(&fleet, policy);
-        println!(
-            "{:<28} {:>18.2} {:>18.2}",
-            name, r.cold_resumes_per_db, r.idle_hours_per_db
+        let labels = [("policy", name)];
+        obs.gauge_set(
+            "service.moneyball",
+            "cold_resumes_per_db_day",
+            &labels,
+            r.cold_resumes_per_db,
+        );
+        obs.gauge_set(
+            "service.moneyball",
+            "idle_hours_per_db_day",
+            &labels,
+            r.idle_hours_per_db,
+        );
+        emit(
+            &obs,
+            "pause_policy_simulated",
+            &[
+                ("policy", name),
+                (
+                    "cold_resumes_per_db_day",
+                    &format!("{:.2}", r.cold_resumes_per_db),
+                ),
+                (
+                    "idle_hours_per_db_day",
+                    &format!("{:.2}", r.idle_hours_per_db),
+                ),
+            ],
         );
     }
     let proactive = simulate_policy(
@@ -47,33 +78,67 @@ fn main() {
             threshold: 0.4,
         },
     );
-    println!(
-        "classifier found {:.0}% of usage predictable ({:.0}% accuracy vs ground truth)\n",
-        proactive.predictable_fraction * 100.0,
-        proactive.classifier_accuracy * 100.0
+    emit(
+        &obs,
+        "moneyball_classifier",
+        &[
+            (
+                "predictable_pct",
+                &format!("{:.0}", proactive.predictable_fraction * 100.0),
+            ),
+            (
+                "accuracy_pct",
+                &format!("{:.0}", proactive.classifier_accuracy * 100.0),
+            ),
+        ],
     );
 
     // --- Fig 2: the QoS-vs-cost plane for cluster pool policies.
     let demand = DemandModel::default();
     let config = ProvisionConfig::default();
-    println!("== Cluster provisioning: QoS vs cost (Fig 2) ==");
-    println!(
-        "{:<22} {:>12} {:>12} {:>14}",
-        "policy", "mean wait s", "p95 wait s", "idle clus-hrs"
-    );
     for size in [0usize, 5, 10, 20, 30, 40, 60] {
         let r = simulate_provisioning(&demand, PoolPolicy::Static { size }, &config);
-        println!(
-            "{:<22} {:>12.1} {:>12.1} {:>14.0}",
-            format!("static pool = {size}"),
-            r.mean_wait,
-            r.p95_wait,
-            r.idle_cluster_hours
+        let policy = format!("static_{size}");
+        let labels = [("policy", policy.as_str())];
+        obs.gauge_set("infra.provision", "mean_wait_seconds", &labels, r.mean_wait);
+        obs.gauge_set("infra.provision", "p95_wait_seconds", &labels, r.p95_wait);
+        obs.gauge_set(
+            "infra.provision",
+            "idle_cluster_hours",
+            &labels,
+            r.idle_cluster_hours,
+        );
+        emit(
+            &obs,
+            "pool_policy_simulated",
+            &[
+                ("policy", &policy),
+                ("mean_wait_s", &format!("{:.1}", r.mean_wait)),
+                ("p95_wait_s", &format!("{:.1}", r.p95_wait)),
+                (
+                    "idle_cluster_hours",
+                    &format!("{:.0}", r.idle_cluster_hours),
+                ),
+            ],
         );
     }
     let forecast = simulate_provisioning(&demand, PoolPolicy::Forecast { headroom: 1.2 }, &config);
-    println!(
-        "{:<22} {:>12.1} {:>12.1} {:>14.0}   <- dominates the static frontier",
-        "forecast (ML)", forecast.mean_wait, forecast.p95_wait, forecast.idle_cluster_hours
+    emit(
+        &obs,
+        "pool_policy_simulated",
+        &[
+            ("policy", "forecast_ml"),
+            ("mean_wait_s", &format!("{:.1}", forecast.mean_wait)),
+            ("p95_wait_s", &format!("{:.1}", forecast.p95_wait)),
+            (
+                "idle_cluster_hours",
+                &format!("{:.0}", forecast.idle_cluster_hours),
+            ),
+            ("dominates_static_frontier", "true"),
+        ],
     );
+
+    // The canonical JSON export: events and gauges in one deterministic
+    // document, ready for downstream tooling.
+    println!("{}", obs.export_json());
 }

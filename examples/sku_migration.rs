@@ -1,74 +1,157 @@
 //! Doppler walk-through: migrating on-prem databases to the cloud with
-//! segment models plus a per-customer price-performance ranking.
+//! segment models plus a per-customer price-performance ranking. Every
+//! recommendation is recorded into the flight recorder with the segment
+//! model's provenance, and progress is printed as JSON event lines.
 //!
 //! Run with: `cargo run --release --example sku_migration`
 
 use autonomous_data_services::core::{AlgorithmStore, Category};
+use autonomous_data_services::obs::{digest_f64, Obs, Provenance};
 use autonomous_data_services::service::doppler::{
     evaluate, generate_customers, standard_skus, true_best_sku, Doppler,
 };
 
+/// Records a progress event and prints it as one JSON line.
+fn emit(obs: &Obs, name: &str, fields: &[(&str, &str)]) {
+    obs.event("example.sku_migration", name, 0.0, fields);
+    println!("{}", obs.last_event_json().expect("recording"));
+}
+
 fn main() {
+    let obs = Obs::recording();
+
     // The AlgorithmStore is how a new team would discover this capability.
     let store = AlgorithmStore::standard();
     let hits = store.search("segment cluster");
-    println!("AlgorithmStore search for 'segment cluster':");
     for entry in hits.iter().take(3) {
-        println!(
-            "  {} — {} ({})",
-            entry.name, entry.description, entry.implementation
+        emit(
+            &obs,
+            "algorithm_store_hit",
+            &[
+                ("name", &entry.name),
+                ("description", &entry.description),
+                ("implementation", &entry.implementation),
+            ],
         );
     }
-    println!(
-        "  ({} classification templates total)\n",
-        store.by_category(Category::Classification).len()
+    emit(
+        &obs,
+        "algorithm_store_stats",
+        &[(
+            "classification_templates",
+            &store
+                .by_category(Category::Classification)
+                .len()
+                .to_string(),
+        )],
     );
 
     // Train on the existing Azure customer population, evaluate on new
-    // migrating customers.
+    // migrating customers. Each recommendation is a flight-recorder
+    // decision: which SKU the segment model picked vs. the ground truth.
     let skus = standard_skus();
     let train = generate_customers(1600, 8, 0.12, 3);
     let migrating = generate_customers(12, 8, 0.12, 99);
     let doppler = Doppler::train(&train, skus.clone(), 8, 7).expect("k <= population");
 
-    println!(
-        "{:<10} {:>10} {:>10} {:>9} {:>9} {:>8}",
-        "customer", "obs vcores", "obs mem", "truth", "doppler", "naive"
-    );
     for (i, customer) in migrating.iter().enumerate() {
-        let truth = true_best_sku(&skus, customer).map(|s| skus[s].name.clone());
-        let rec = doppler.recommend(customer).map(|s| skus[s].name.clone());
-        let naive = doppler.naive(customer).map(|s| skus[s].name.clone());
-        println!(
-            "{:<10} {:>10.1} {:>10.1} {:>9} {:>9} {:>8}",
-            format!("cust-{i}"),
-            customer.observed_vcores,
-            customer.observed_memory_gb,
-            truth.unwrap_or_default(),
-            rec.unwrap_or_default(),
-            naive.unwrap_or_default()
+        let truth = true_best_sku(&skus, customer);
+        let rec = doppler.recommend(customer);
+        let naive = doppler.naive(customer);
+        obs.record_decision(
+            "example.sku_migration",
+            "sku_recommendation",
+            &Provenance::new(
+                "doppler-segment-model",
+                1,
+                digest_f64([customer.observed_vcores, customer.observed_memory_gb]),
+            ),
+            rec.map_or(-1.0, |s| s as f64),
+            truth.map(|s| s as f64),
+            if rec == truth { "match" } else { "mismatch" },
+            false,
+            0,
+            i as f64,
+        );
+        emit(
+            &obs,
+            "customer_recommended",
+            &[
+                ("customer", &format!("cust-{i}")),
+                (
+                    "observed_vcores",
+                    &format!("{:.1}", customer.observed_vcores),
+                ),
+                (
+                    "observed_memory_gb",
+                    &format!("{:.1}", customer.observed_memory_gb),
+                ),
+                (
+                    "truth",
+                    &truth.map(|s| skus[s].name.clone()).unwrap_or_default(),
+                ),
+                (
+                    "doppler",
+                    &rec.map(|s| skus[s].name.clone()).unwrap_or_default(),
+                ),
+                (
+                    "naive",
+                    &naive.map(|s| skus[s].name.clone()).unwrap_or_default(),
+                ),
+            ],
         );
     }
 
     // The price-performance curve for one customer: the "customized rank of
     // all SKU options" the paper describes.
     let customer = &migrating[0];
-    println!("\nprice-performance rank for cust-0 (cheapest fitting first):");
-    for idx in doppler.price_performance_rank(customer).iter().take(4) {
+    for (rank, idx) in doppler
+        .price_performance_rank(customer)
+        .iter()
+        .take(4)
+        .enumerate()
+    {
         let sku = &skus[*idx];
-        println!(
-            "  {} — {} vcores, {} GB, ${}/mo",
-            sku.name, sku.vcores, sku.memory_gb, sku.price
+        emit(
+            &obs,
+            "price_performance_rank",
+            &[
+                ("customer", "cust-0"),
+                ("rank", &rank.to_string()),
+                ("sku", &sku.name),
+                ("vcores", &sku.vcores.to_string()),
+                ("memory_gb", &sku.memory_gb.to_string()),
+                ("price_per_month", &sku.price.to_string()),
+            ],
         );
     }
 
-    // Fleet-level accuracy.
+    // Fleet-level accuracy, cross-checked against the flight recorder.
     let test = generate_customers(400, 8, 0.12, 4);
     let report = evaluate(&doppler, &test);
-    println!(
-        "\naccuracy over {} customers: Doppler {:.1}% vs naive profile rule {:.1}% (paper: >95%)",
-        report.customers,
-        report.doppler_accuracy * 100.0,
-        report.naive_accuracy * 100.0
+    let trace = obs.snapshot();
+    let mismatches = trace
+        .query()
+        .model("doppler-segment-model")
+        .decisions()
+        .iter()
+        .filter(|d| d.verdict == "mismatch")
+        .count();
+    emit(
+        &obs,
+        "fleet_accuracy",
+        &[
+            ("customers", &report.customers.to_string()),
+            (
+                "doppler_accuracy_pct",
+                &format!("{:.1}", report.doppler_accuracy * 100.0),
+            ),
+            (
+                "naive_accuracy_pct",
+                &format!("{:.1}", report.naive_accuracy * 100.0),
+            ),
+            ("paper_claim_pct", ">95"),
+            ("migrating_mismatches_recorded", &mismatches.to_string()),
+        ],
     );
 }

@@ -44,6 +44,7 @@ pub use adas_faultsim as faultsim;
 pub use adas_infra as infra;
 pub use adas_learned as learned;
 pub use adas_ml as ml;
+pub use adas_obs as obs;
 pub use adas_pipeline as pipeline;
 pub use adas_reuse as reuse;
 pub use adas_service as service;

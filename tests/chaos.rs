@@ -17,8 +17,8 @@ use autonomous_data_services::engine::cost::CostModel;
 use autonomous_data_services::engine::exec::ClusterConfig;
 use autonomous_data_services::engine::physical::{StageDag, StageId};
 use autonomous_data_services::faultsim::{
-    ChaosRunner, DelayedFeedback, FaultConfig, FaultEvent, FaultInjector, FaultSchedule,
-    ModelFaults, Served,
+    ChaosRunner, DelayedFeedback, FaultCause, FaultConfig, FaultEvent, FaultInjector,
+    FaultSchedule, ModelFaults, Served,
 };
 use autonomous_data_services::infra::machine::{MachineFleet, SkuSpec};
 use autonomous_data_services::learned::cost::{CostEnsemble, CostTrainConfig};
@@ -120,6 +120,52 @@ fn chaos_checkpointed_stages_never_recompute_after_restarts() {
             }
         }
     }
+}
+
+/// ISSUE 3 satellite: the restart loop used to swallow *why* each attempt
+/// died. Every injected fault now surfaces as a typed `AttemptFailure`
+/// carrying its cause, strike fraction and surviving-stage count, and the
+/// causes serialize with the outcome so recorded baselines capture them.
+#[test]
+fn chaos_attempt_failures_carry_typed_causes() {
+    let w = workload();
+    let dags = dags(&w, 6);
+    let cluster = ClusterConfig::default();
+    let config = FaultConfig {
+        task_crash_rate: 1.0,
+        machine_loss_rate: 1.0,
+        ..FaultConfig::standard()
+    };
+    let runner = ChaosRunner::new(cluster, f64::INFINITY).expect("valid cluster");
+    let injector = FaultInjector::new(11, config);
+    let mut causes_seen: HashSet<&'static str> = HashSet::new();
+    for (i, dag) in dags.iter().enumerate() {
+        let schedule = injector.schedule_for(i as u64, cluster.machines);
+        let all: HashSet<StageId> = dag.stages().iter().map(|s| s.id).collect();
+        let outcome = runner.run_job(dag, &all, &schedule).expect("runs");
+        assert_eq!(
+            outcome.attempt_failures.len(),
+            outcome.injected,
+            "job {i}: every injected fault must surface its cause"
+        );
+        for (idx, failure) in outcome.attempt_failures.iter().enumerate() {
+            assert_eq!(failure.attempt, idx + 1, "failures arrive in attempt order");
+            assert!((0.0..=1.0).contains(&failure.at));
+            assert!(failure.surviving_stages <= dag.len());
+            causes_seen.insert(failure.cause.kind());
+            match failure.cause {
+                FaultCause::TaskCrash => {}
+                FaultCause::MachineLoss { machine } => assert!(machine < cluster.machines),
+                FaultCause::TempExhaustion { hotspot } => assert!(hotspot < cluster.machines),
+            }
+        }
+        let json = serde_json::to_string(&outcome).expect("serializes");
+        assert!(json.contains("attempt_failures"));
+    }
+    assert!(
+        causes_seen.contains("task_crash") && causes_seen.contains("machine_loss"),
+        "forced crash+loss rates must exercise both causes, saw {causes_seen:?}"
+    );
 }
 
 /// With everything checkpointed, recovery is never slower than with

@@ -4,16 +4,20 @@
 
 use autonomous_data_services::engine::cost::CostModel;
 use autonomous_data_services::engine::exec::{ClusterConfig, SimOptions, Simulator};
-use autonomous_data_services::engine::physical::StageDag;
+use autonomous_data_services::engine::physical::{StageDag, StageId};
+use autonomous_data_services::faultsim::{ChaosRunner, FaultConfig, FaultInjector};
 use autonomous_data_services::infra::machine::{MachineFleet, SkuSpec};
 use autonomous_data_services::infra::provision::{
     simulate_provisioning, DemandModel, PoolPolicy, ProvisionConfig,
 };
+use autonomous_data_services::obs::{Histogram, Obs};
 use autonomous_data_services::service::moneyball::{generate_usage, simulate_policy, PausePolicy};
 use autonomous_data_services::service::seagull::{
     generate_fleet, schedule_fleet, BackupForecaster,
 };
 use autonomous_data_services::workload::gen::{GeneratorConfig, WorkloadGenerator};
+use proptest::prelude::*;
+use std::collections::HashSet;
 
 #[test]
 fn workload_generation_is_reproducible() {
@@ -119,6 +123,101 @@ fn exec_reports_serialize_byte_identical() {
             serde_json::to_string(&r1).expect("serializes"),
             serde_json::to_string(&r2).expect("serializes")
         );
+    }
+}
+
+/// ISSUE 3: the flight recorder itself replays deterministically. Two
+/// chaos runs under the same fault seed — spans, fault events, counters,
+/// histograms and all — export byte-identical serialized traces, while a
+/// different seed diverges somewhere in the trace.
+#[test]
+fn chaos_flight_recorder_traces_are_byte_identical() {
+    let w = WorkloadGenerator::new(GeneratorConfig {
+        days: 1,
+        jobs_per_day: 12,
+        ..Default::default()
+    })
+    .expect("valid")
+    .generate()
+    .expect("generates");
+    let cm = CostModel::default();
+    let cluster = ClusterConfig::default();
+    let dags: Vec<StageDag> = w
+        .trace
+        .jobs()
+        .iter()
+        .take(8)
+        .map(|j| StageDag::compile(&j.plan, &w.catalog, &cm).expect("compiles"))
+        .collect();
+
+    let run = |seed: u64| -> String {
+        let obs = Obs::recording();
+        let runner =
+            ChaosRunner::with_obs(cluster, f64::INFINITY, obs.clone()).expect("valid cluster");
+        let injector = FaultInjector::new(seed, FaultConfig::standard());
+        for (i, dag) in dags.iter().enumerate() {
+            let schedule = injector.schedule_for(i as u64, cluster.machines);
+            let ckpt: HashSet<StageId> = dag
+                .stages()
+                .iter()
+                .map(|s| s.id)
+                .filter(|id| id.0 % 2 == 0)
+                .collect();
+            runner.run_job(dag, &ckpt, &schedule).expect("runs");
+        }
+        obs.export_json()
+    };
+
+    let a = run(42);
+    let b = run(42);
+    assert_eq!(a, b, "same seed must export byte-identical traces");
+    assert_ne!(a, run(43), "different seeds must diverge in the trace");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// ISSUE 3: histogram bucket counts are permutation-invariant under
+    /// merge — observing a value set in any order, sharded across two
+    /// histograms at any split point and merged in either direction, yields
+    /// exactly the buckets of observing them directly.
+    #[test]
+    fn histogram_bucket_counts_are_permutation_invariant_under_merge(
+        values in proptest::collection::vec(0.0f64..50.0, 1..64),
+        split in 0usize..64,
+        rotate in 0usize..64,
+    ) {
+        let bounds = Histogram::default_bounds();
+        let mut direct = Histogram::new(&bounds);
+        for &v in &values {
+            direct.observe(v);
+        }
+
+        let mut permuted = values.clone();
+        permuted.rotate_left(rotate % values.len());
+        permuted.reverse();
+        let split = split % (values.len() + 1);
+        let mut left = Histogram::new(&bounds);
+        let mut right = Histogram::new(&bounds);
+        for (i, &v) in permuted.iter().enumerate() {
+            if i < split {
+                left.observe(v);
+            } else {
+                right.observe(v);
+            }
+        }
+
+        let mut ab = left.clone();
+        prop_assert!(ab.merge(&right), "same bounds must merge");
+        let mut ba = right.clone();
+        prop_assert!(ba.merge(&left), "merge is direction-agnostic");
+        prop_assert_eq!(&ab.counts, &direct.counts);
+        prop_assert_eq!(&ba.counts, &direct.counts);
+        prop_assert_eq!(ab.count, direct.count);
+        prop_assert_eq!(ba.count, direct.count);
+        // Bucket counts are exact; the running sum is float arithmetic, so
+        // permutations may differ by rounding only.
+        prop_assert!((ab.sum - direct.sum).abs() <= 1e-9 * direct.sum.abs().max(1.0));
     }
 }
 

@@ -7,6 +7,7 @@ use autonomous_data_services::core::guardrails::{
     CostGuard, Decision, FairnessCheck, Guardrail, GuardrailSet, RegressionGuard, Verdict,
 };
 use autonomous_data_services::faultsim::{FaultConfig, ModelFaults};
+use autonomous_data_services::obs::{digest_f64, Obs, Provenance};
 
 fn decision(perf: f64, cost: f64, group: u32) -> Decision {
     Decision {
@@ -69,6 +70,96 @@ fn cost_guard_blocks_poison_scaled_costs() {
         Verdict::Block(reason) => assert!(reason.contains("cost"), "{reason}"),
         Verdict::Allow => panic!("poison-inflated cost slipped through"),
     }
+}
+
+/// ISSUE 3 acceptance: replaying the scenarios above through
+/// `check_recorded` makes the flight recorder reproduce *every* veto —
+/// with the vetoing model's id + version, the predicted performance and the
+/// observed baseline it was judged against — while allowed decisions are
+/// recorded unvetoed.
+#[test]
+fn flight_recorder_reproduces_every_guardrail_veto() {
+    let obs = Obs::recording();
+    let guards = GuardrailSet::standard().with_obs(obs.clone());
+    let faults = ModelFaults::new(1, 0.0, 0.0, FaultConfig::standard().poison_factor);
+
+    // The same decision mix the unrecorded tests exercise: boundary allows,
+    // degenerate baselines, honest estimates and poison-scaled ones.
+    let honest = decision(100.0, 10.0, 0);
+    let poisoned_cost = Decision {
+        predicted_cost: faults.poisoned(honest.predicted_cost),
+        ..honest
+    };
+    let regressed_perf = decision(faults.poisoned(100.0), 10.0, 0);
+    let zero_baseline = Decision {
+        predicted_perf: 50.0,
+        baseline_perf: 0.0,
+        predicted_cost: 50.0,
+        baseline_cost: 0.0,
+        group: 0,
+    };
+    let cases = [
+        ("honest", &honest),
+        ("poisoned-cost", &poisoned_cost),
+        ("regressed-perf", &regressed_perf),
+        ("zero-baseline", &zero_baseline),
+    ];
+
+    let mut expected_vetoes = Vec::new();
+    for (version, (name, d)) in cases.iter().enumerate() {
+        let provenance = Provenance::new(
+            name,
+            version as u64 + 1,
+            digest_f64([d.predicted_perf, d.baseline_perf]),
+        );
+        if let Verdict::Block(reason) = guards.check_recorded(d, &provenance, version as f64) {
+            expected_vetoes.push((*name, version as u64 + 1, d.predicted_perf, reason));
+        }
+    }
+    assert_eq!(
+        expected_vetoes.len(),
+        2,
+        "exactly the poisoned cost and regressed perf are vetoed"
+    );
+
+    // Every veto the guardrails issued is reproducible from the trace.
+    let trace = obs.snapshot();
+    assert_eq!(
+        trace.decisions.len(),
+        cases.len(),
+        "every check is recorded"
+    );
+    let vetoed = trace
+        .query()
+        .component("core.guardrails")
+        .vetoed()
+        .decisions();
+    assert_eq!(vetoed.len(), expected_vetoes.len());
+    for (record, (model, version, predicted, reason)) in vetoed.iter().zip(&expected_vetoes) {
+        assert_eq!(record.model_id, *model);
+        assert_eq!(record.model_version, *version);
+        assert_eq!(record.predicted, *predicted);
+        assert_eq!(
+            record.observed,
+            Some(100.0),
+            "the observed outcome is the measured baseline"
+        );
+        assert_eq!(record.verdict, format!("block: {reason}"));
+        assert!(record.vetoed);
+    }
+    // Allowed decisions are recorded too, unvetoed — the audit trail covers
+    // the whole loop, not just the refusals.
+    assert!(trace
+        .query()
+        .model("honest")
+        .decisions()
+        .iter()
+        .all(|d| !d.vetoed && d.verdict == "allow"));
+    // And the per-guard veto counters agree with the verdicts.
+    assert_eq!(
+        trace.metrics.counter("core.guardrails", "checks", &[]),
+        cases.len() as u64
+    );
 }
 
 #[test]
