@@ -34,4 +34,4 @@ pub use cut::{
     evaluate, evaluate_with_obs, plan_checkpoints, plan_checkpoints_with_obs, CheckpointPlan,
     PhoebeConfig, PhoebeReport,
 };
-pub use predict::{StageForecast, StagePredictor};
+pub use predict::{ServedStagePredictor, StageForecast, StagePredictor};

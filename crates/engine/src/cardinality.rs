@@ -29,6 +29,27 @@ pub trait CardinalityModel {
     fn annotate(&self, plan: &LogicalPlan) -> Result<Vec<f64>>;
 }
 
+// Forwarding impls so shared estimators (e.g. a serving-gateway adapter
+// behind an `Arc`) plug into `Optimizer::optimize` without re-implementing
+// the trait.
+impl<T: CardinalityModel + ?Sized> CardinalityModel for &T {
+    fn annotate(&self, plan: &LogicalPlan) -> Result<Vec<f64>> {
+        (**self).annotate(plan)
+    }
+}
+
+impl<T: CardinalityModel + ?Sized> CardinalityModel for Box<T> {
+    fn annotate(&self, plan: &LogicalPlan) -> Result<Vec<f64>> {
+        (**self).annotate(plan)
+    }
+}
+
+impl<T: CardinalityModel + ?Sized> CardinalityModel for std::sync::Arc<T> {
+    fn annotate(&self, plan: &LogicalPlan) -> Result<Vec<f64>> {
+        (**self).annotate(plan)
+    }
+}
+
 /// Fraction of a uniform integer range `[min, max]` selected by `op value`.
 fn uniform_selectivity(meta: &ColumnMeta, op: CmpOp, value: i64) -> f64 {
     let span = (meta.max - meta.min) as f64 + 1.0;

@@ -1,0 +1,293 @@
+//! Gateway-served variants of the learned estimators.
+//!
+//! The paper's optimizer never calls models in-process: predictions come
+//! from a serving tier with versioning, caching and guardrails (Sec 4.2's
+//! "ask the service, else use the default" contract). These adapters keep
+//! the in-process types (`LearnedCardinality`, `CostEnsemble`) as the
+//! *training* artifacts and publish their fitted models into a
+//! [`Gateway`], so every optimizer-facing prediction goes through the
+//! serving layer — cache, circuit breaker, fallback and all.
+//!
+//! Naming convention for gateway models: `card/<sig>` for per-template
+//! cardinality micromodels, `cost/<sig>` for cost micromodels, and
+//! `cost/global` for the ensemble's global model. Fallback closures serve
+//! the engine default in the model's own output space: feature 0 is
+//! ln(default rows) and feature 1 is ln(default cost), so the fallbacks are
+//! simply those features.
+
+use crate::cardinality::LearnedCardinality;
+use crate::cost::CostEnsemble;
+use crate::features;
+use adas_engine::cardinality::{CardinalityModel, DefaultEstimator};
+use adas_engine::cost::CostModel;
+use adas_serve::{Gateway, ModelHandle, Prediction, RegressorModel};
+use adas_workload::catalog::Catalog;
+use adas_workload::plan::LogicalPlan;
+use adas_workload::signature::{template_signature, Signature};
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Formats the gateway name of a cardinality micromodel.
+pub fn cardinality_model_name(sig: Signature) -> String {
+    format!("card/{:016x}", sig.0)
+}
+
+/// Formats the gateway name of a cost micromodel.
+pub fn cost_model_name(sig: Signature) -> String {
+    format!("cost/{:016x}", sig.0)
+}
+
+/// Gateway name of the cost ensemble's global model.
+pub const COST_GLOBAL_MODEL: &str = "cost/global";
+
+impl<'a> LearnedCardinality<'a> {
+    /// Publishes every retained micromodel into `gateway` (deterministic
+    /// signature order) and returns a [`CardinalityModel`] whose root
+    /// estimates are obtained through the serving layer. Re-publishing
+    /// after retraining bumps each model's served version (hot-swap).
+    pub fn publish(&self, gateway: &Gateway) -> ServedCardinality<'a> {
+        let mut handles = HashMap::new();
+        let mut signatures: Vec<Signature> = self.signatures();
+        signatures.sort();
+        for sig in signatures {
+            let handle = gateway.register(&cardinality_model_name(sig), |f: &[f64]| f[0]);
+            let model = self
+                .model(sig)
+                .expect("signature listed by signatures()")
+                .clone();
+            gateway
+                .publish(handle, Arc::new(RegressorModel(model)), 0.0)
+                .expect("freshly registered handle");
+            handles.insert(sig, handle);
+        }
+        ServedCardinality {
+            catalog: self.catalog(),
+            cost_model: CostModel::default(),
+            gateway: gateway.clone(),
+            handles,
+            sim_time: Cell::new(0.0),
+        }
+    }
+}
+
+/// A [`CardinalityModel`] that asks the gateway for covered templates and
+/// uses the default estimator everywhere else — the served twin of
+/// [`LearnedCardinality`]. Plugs straight into `Optimizer::optimize`.
+pub struct ServedCardinality<'a> {
+    catalog: &'a Catalog,
+    cost_model: CostModel,
+    gateway: Gateway,
+    handles: HashMap<Signature, ModelHandle>,
+    sim_time: Cell<f64>,
+}
+
+impl ServedCardinality<'_> {
+    /// Sets the simulated time stamped onto subsequent gateway requests
+    /// (drives breaker cooldowns and batching deadlines).
+    pub fn set_sim_time(&self, sim_time: f64) {
+        self.sim_time.set(sim_time);
+    }
+
+    /// The gateway serving this estimator.
+    pub fn gateway(&self) -> &Gateway {
+        &self.gateway
+    }
+
+    /// Number of templates served by a micromodel.
+    pub fn served_count(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Whether a plan's template is served by a micromodel.
+    pub fn covers(&self, plan: &LogicalPlan) -> bool {
+        self.handles.contains_key(&template_signature(plan))
+    }
+}
+
+impl CardinalityModel for ServedCardinality<'_> {
+    fn annotate(&self, plan: &LogicalPlan) -> adas_engine::Result<Vec<f64>> {
+        let mut ann = DefaultEstimator::new(self.catalog).annotate(plan)?;
+        if let Some(&handle) = self.handles.get(&template_signature(plan)) {
+            let f = features::featurize(plan, self.catalog, &self.cost_model);
+            let prediction = self
+                .gateway
+                .predict(handle, &f, self.sim_time.get())
+                .expect("handle registered at publish time");
+            ann[0] = prediction.value.exp().max(1.0);
+        }
+        Ok(ann)
+    }
+}
+
+impl<'a> CostEnsemble<'a> {
+    /// Publishes the micromodels and the global model into `gateway` and
+    /// returns the served cost predictor.
+    pub fn publish(&self, gateway: &Gateway) -> ServedCost<'a> {
+        let mut micro = HashMap::new();
+        let mut signatures: Vec<Signature> = self.signatures();
+        signatures.sort();
+        for sig in signatures {
+            let handle = gateway.register(&cost_model_name(sig), |f: &[f64]| f[1]);
+            let model = self
+                .micromodel(sig)
+                .expect("signature listed by signatures()")
+                .clone();
+            gateway
+                .publish(handle, Arc::new(RegressorModel(model)), 0.0)
+                .expect("freshly registered handle");
+            micro.insert(sig, handle);
+        }
+        let global = self.global_model().map(|model| {
+            let handle = gateway.register(COST_GLOBAL_MODEL, |f: &[f64]| f[1]);
+            gateway
+                .publish(handle, Arc::new(RegressorModel(model.clone())), 0.0)
+                .expect("freshly registered handle");
+            handle
+        });
+        ServedCost {
+            catalog: self.catalog(),
+            cost_model: CostModel::default(),
+            gateway: gateway.clone(),
+            micro,
+            global,
+            sim_time: Cell::new(0.0),
+        }
+    }
+}
+
+/// The served twin of [`CostEnsemble`]: micromodel → global → analytic
+/// default, with every model call routed through the gateway.
+pub struct ServedCost<'a> {
+    catalog: &'a Catalog,
+    cost_model: CostModel,
+    gateway: Gateway,
+    micro: HashMap<Signature, ModelHandle>,
+    global: Option<ModelHandle>,
+    sim_time: Cell<f64>,
+}
+
+impl ServedCost<'_> {
+    /// Sets the simulated time stamped onto subsequent gateway requests.
+    pub fn set_sim_time(&self, sim_time: f64) {
+        self.sim_time.set(sim_time);
+    }
+
+    /// The gateway serving this predictor.
+    pub fn gateway(&self) -> &Gateway {
+        &self.gateway
+    }
+
+    /// Number of served cost micromodels.
+    pub fn served_count(&self) -> usize {
+        self.micro.len()
+    }
+
+    /// Predicts the true cost of a plan through the serving layer.
+    pub fn predict(&self, plan: &LogicalPlan) -> f64 {
+        self.predict_detail(plan).value.exp()
+    }
+
+    /// Full serving detail (value is in ln-cost space): which version
+    /// answered and whether the value came from cache, model or fallback.
+    pub fn predict_detail(&self, plan: &LogicalPlan) -> Prediction {
+        let sig = template_signature(plan);
+        let f = features::featurize(plan, self.catalog, &self.cost_model);
+        let handle = self.micro.get(&sig).copied().or(self.global);
+        match handle {
+            Some(handle) => self
+                .gateway
+                .predict(handle, &f, self.sim_time.get())
+                .expect("handle registered at publish time"),
+            // No model at all: the analytic default, shaped like a fallback.
+            None => Prediction {
+                value: f[1],
+                version: 0,
+                source: adas_serve::Source::Fallback(adas_serve::FallbackCause::NoModel),
+                features_digest: 0,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cardinality::TrainConfig;
+    use crate::cost::CostTrainConfig;
+    use adas_serve::GatewayConfig;
+    use adas_workload::gen::{GeneratorConfig, WorkloadGenerator};
+
+    fn history() -> (Catalog, Vec<LogicalPlan>) {
+        let w = WorkloadGenerator::new(GeneratorConfig {
+            days: 6,
+            jobs_per_day: 150,
+            n_templates: 20,
+            ..Default::default()
+        })
+        .unwrap()
+        .generate()
+        .unwrap();
+        let plans = w.trace.jobs().iter().map(|j| j.plan.clone()).collect();
+        (w.catalog, plans)
+    }
+
+    #[test]
+    fn served_cardinality_matches_direct_path() {
+        let (catalog, plans) = history();
+        let (direct, _) = LearnedCardinality::train(&catalog, &plans, TrainConfig::default());
+        let gateway = Gateway::new(GatewayConfig::standard());
+        let served = direct.publish(&gateway);
+        assert_eq!(served.served_count(), direct.model_count());
+        for plan in plans.iter().take(50) {
+            let a = direct.estimate(plan).unwrap();
+            let b = served.estimate(plan).unwrap();
+            assert_eq!(a.to_bits(), b.to_bits(), "served must equal direct");
+        }
+        assert!(gateway.stats().requests > 0, "predictions went via gateway");
+    }
+
+    #[test]
+    fn served_cardinality_cache_hits_on_recurrence() {
+        let (catalog, plans) = history();
+        let (direct, _) = LearnedCardinality::train(&catalog, &plans, TrainConfig::default());
+        let gateway = Gateway::new(GatewayConfig::standard());
+        let served = direct.publish(&gateway);
+        let covered: Vec<&LogicalPlan> = plans.iter().filter(|p| served.covers(p)).collect();
+        assert!(!covered.is_empty());
+        served.estimate(covered[0]).unwrap();
+        served.estimate(covered[0]).unwrap();
+        assert!(gateway.stats().cache_hits >= 1);
+    }
+
+    #[test]
+    fn served_cost_matches_direct_path() {
+        let (catalog, plans) = history();
+        let (direct, _) = CostEnsemble::train(&catalog, &plans, CostTrainConfig::default());
+        let gateway = Gateway::new(GatewayConfig::standard());
+        let served = direct.publish(&gateway);
+        assert_eq!(served.served_count(), direct.micromodel_count());
+        for plan in plans.iter().take(50) {
+            let a = direct.predict(plan);
+            let b = served.predict(plan);
+            assert_eq!(a.to_bits(), b.to_bits(), "served must equal direct");
+        }
+    }
+
+    #[test]
+    fn republish_hot_swaps_versions() {
+        let (catalog, plans) = history();
+        let (direct, _) = LearnedCardinality::train(&catalog, &plans, TrainConfig::default());
+        let gateway = Gateway::new(GatewayConfig::standard());
+        let first = direct.publish(&gateway);
+        let second = direct.publish(&gateway);
+        assert_eq!(first.served_count(), second.served_count());
+        // Same handles, bumped versions.
+        let sig = *first.handles.keys().next().unwrap();
+        assert_eq!(first.handles[&sig], second.handles[&sig]);
+        assert_eq!(
+            gateway.current_version(first.handles[&sig]).unwrap(),
+            Some(2)
+        );
+    }
+}

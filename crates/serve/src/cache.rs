@@ -1,0 +1,243 @@
+//! Sharded LRU prediction cache.
+//!
+//! Predictions are pure functions of `(model id, version, feature digest)`,
+//! so a recurring plan signature (the paper's "recurrent jobs" workload,
+//! Zhu et al. §3) can skip inference entirely. The cache is sharded to keep
+//! lock contention off the multi-threaded serving path; each shard runs an
+//! exact LRU over its own slice of the capacity.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Key identifying one cached prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Gateway-stable model id ([`crate::ModelHandle::index`]).
+    pub model: u64,
+    /// Deployed model version the prediction came from.
+    pub version: u64,
+    /// FNV-1a digest of the feature vector bits (`obs::digest_f64`).
+    pub digest: u64,
+}
+
+impl CacheKey {
+    fn shard_hash(&self) -> u64 {
+        // SplitMix64 finalizer over the mixed key — spreads sequential
+        // digests evenly across shards.
+        let mut x = self
+            .model
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .rotate_left(17)
+            ^ self.version.wrapping_mul(0xBF58_476D_1CE4_E5B9)
+            ^ self.digest;
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    /// key → (value, last-touch tick).
+    map: HashMap<CacheKey, (f64, u64)>,
+    /// Monotonic per-shard recency clock.
+    tick: u64,
+}
+
+impl Shard {
+    fn touch(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+}
+
+/// Sharded LRU cache of scalar predictions.
+#[derive(Debug)]
+pub struct PredictionCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl PredictionCache {
+    /// Creates a cache holding roughly `capacity` entries across `shards`
+    /// shards (each shard holds `ceil(capacity / shards)`, min 1).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = capacity.div_ceil(shards).max(1);
+        Self {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, key: &CacheKey) -> usize {
+        (key.shard_hash() % self.shards.len() as u64) as usize
+    }
+
+    /// Looks up a prediction, bumping its recency and the hit/miss counters.
+    pub fn get(&self, key: &CacheKey) -> Option<f64> {
+        let mut shard = self.shards[self.shard_of(key)].lock();
+        let tick = shard.touch();
+        match shard.map.get_mut(key) {
+            Some((value, last)) => {
+                *last = tick;
+                let value = *value;
+                drop(shard);
+                self.hits.fetch_add(1, Relaxed);
+                Some(value)
+            }
+            None => {
+                drop(shard);
+                self.misses.fetch_add(1, Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Looks up a prediction without touching recency or counters.
+    pub fn peek(&self, key: &CacheKey) -> Option<f64> {
+        let shard = self.shards[self.shard_of(key)].lock();
+        shard.map.get(key).map(|&(value, _)| value)
+    }
+
+    /// Inserts (or refreshes) a prediction, evicting the least-recently-used
+    /// entry of the target shard if it is full.
+    pub fn insert(&self, key: CacheKey, value: f64) {
+        let mut shard = self.shards[self.shard_of(&key)].lock();
+        let tick = shard.touch();
+        if shard.map.len() >= self.per_shard && !shard.map.contains_key(&key) {
+            if let Some(victim) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, &(_, last))| last)
+                .map(|(k, _)| *k)
+            {
+                shard.map.remove(&victim);
+                self.evictions.fetch_add(1, Relaxed);
+            }
+        }
+        shard.map.insert(key, (value, tick));
+    }
+
+    /// Total entries currently cached.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-shard entry budget.
+    pub fn per_shard_capacity(&self) -> usize {
+        self.per_shard
+    }
+
+    /// All cached keys of one shard, most recent first (test/diagnostic
+    /// helper; takes the shard lock).
+    pub fn shard_keys_by_recency(&self, shard: usize) -> Vec<CacheKey> {
+        let guard = self.shards[shard].lock();
+        let mut entries: Vec<(CacheKey, u64)> =
+            guard.map.iter().map(|(k, &(_, last))| (*k, last)).collect();
+        drop(guard);
+        entries.sort_by_key(|&(_, last)| std::cmp::Reverse(last));
+        entries.into_iter().map(|(k, _)| k).collect()
+    }
+
+    /// Shard index a key maps to (test/diagnostic helper).
+    pub fn shard_index(&self, key: &CacheKey) -> usize {
+        self.shard_of(key)
+    }
+
+    /// Cache hits since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Relaxed)
+    }
+
+    /// Cache misses since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Relaxed)
+    }
+
+    /// Evictions since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(d: u64) -> CacheKey {
+        CacheKey {
+            model: 0,
+            version: 1,
+            digest: d,
+        }
+    }
+
+    #[test]
+    fn hit_returns_inserted_value_bitwise() {
+        let cache = PredictionCache::new(8, 2);
+        cache.insert(key(42), 1.5e-3);
+        assert_eq!(cache.get(&key(42)).unwrap().to_bits(), 1.5e-3f64.to_bits());
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 0);
+    }
+
+    #[test]
+    fn miss_counts_and_returns_none() {
+        let cache = PredictionCache::new(8, 2);
+        assert!(cache.get(&key(7)).is_none());
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent_within_shard() {
+        // Single shard, capacity 2: inserting a third key evicts the least
+        // recently used of the first two.
+        let cache = PredictionCache::new(2, 1);
+        cache.insert(key(1), 1.0);
+        cache.insert(key(2), 2.0);
+        assert!(cache.get(&key(1)).is_some()); // key 1 now most recent
+        cache.insert(key(3), 3.0); // evicts key 2
+        assert!(cache.peek(&key(1)).is_some());
+        assert!(cache.peek(&key(2)).is_none());
+        assert!(cache.peek(&key(3)).is_some());
+        assert_eq!(cache.evictions(), 1);
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_eviction() {
+        let cache = PredictionCache::new(2, 1);
+        cache.insert(key(1), 1.0);
+        cache.insert(key(2), 2.0);
+        cache.insert(key(1), 10.0); // refresh, not an eviction
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.peek(&key(1)), Some(10.0));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn capacity_is_per_shard() {
+        let cache = PredictionCache::new(16, 4);
+        assert_eq!(cache.shard_count(), 4);
+        assert_eq!(cache.per_shard_capacity(), 4);
+    }
+}

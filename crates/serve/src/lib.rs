@@ -1,0 +1,74 @@
+//! Concurrent model-serving gateway for the autonomy loop.
+//!
+//! The paper's model hierarchy (Zhu et al., SIGMOD 2023, §4) only works in
+//! production because every learned model sits behind shared serving
+//! machinery: versioned deployment, bounded inference latency, and automatic
+//! fallback to engine defaults when a model misbehaves. This crate is that
+//! layer for the reproduction — a [`Gateway`] that fronts every learned
+//! model and owns:
+//!
+//! * a **worker pool** (std threads only) with a bounded request queue and
+//!   admission control / backpressure,
+//! * **micro-batching**: requests for the same `(model, version)` are
+//!   coalesced into batched inference calls with a deterministic flush
+//!   policy (batch size or simulated-time deadline), so same-seed runs stay
+//!   byte-identical regardless of thread scheduling,
+//! * a **sharded prediction cache** keyed by
+//!   `(model id, version, feature digest)` with LRU eviction and hit/miss
+//!   counters in `obs`,
+//! * **per-model circuit breakers** driven by `faultsim`'s model
+//!   timeout/staleness/poisoning channels: after N consecutive failures the
+//!   breaker opens and the gateway serves the registered heuristic fallback
+//!   (the engine's default estimate) while recording a degraded-mode
+//!   `DecisionRecord`, closing again via half-open probes,
+//! * **versioned hot-swap**: publishing through `core`'s `ModelRegistry`
+//!   atomically swaps the serving snapshot under concurrent readers, with no
+//!   lock held during inference.
+//!
+//! # Determinism
+//!
+//! Worker threads compute *pure* batched predictions only. Every piece of
+//! mutable state — fault-channel RNG draws, breaker transitions, cache
+//! fills, obs records — is touched on the **caller** thread in request
+//! order. Same seed, same requests ⇒ byte-identical trace, at any worker
+//! count.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod breaker;
+mod cache;
+mod gateway;
+mod model;
+mod pool;
+
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker, Transition};
+pub use cache::{CacheKey, PredictionCache};
+pub use gateway::{
+    FallbackCause, Gateway, GatewayConfig, GatewayStats, Prediction, Request, ServingSnapshot,
+    Source,
+};
+pub use model::{FnModel, ModelHandle, RegressorModel, ServableModel};
+pub use pool::{BatchPromise, WorkerPool};
+
+use std::fmt;
+
+/// Errors surfaced by the serving layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// A [`ModelHandle`] did not resolve to a registered model.
+    UnknownModel(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownModel(which) => write!(f, "unknown model: {which}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Convenience alias for serving-layer results.
+pub type Result<T> = std::result::Result<T, ServeError>;

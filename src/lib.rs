@@ -33,6 +33,7 @@
 //! | Service | Seagull, Moneyball, Doppler, Spark auto-tuning | [`service`] |
 //! | Cross-cutting | model hierarchy, feedback loop, guardrails, AlgorithmStore, joint optimization | [`core`] |
 //! | Substrates | telemetry store & seasonal analysis | [`telemetry`]; ML models: [`ml`] |
+//! | Cross-cutting | model-serving gateway (batching, cache, breakers) | [`serve`] |
 //! | Validation | deterministic fault injection & chaos testing | [`faultsim`] |
 
 #![warn(missing_docs)]
@@ -47,6 +48,7 @@ pub use adas_ml as ml;
 pub use adas_obs as obs;
 pub use adas_pipeline as pipeline;
 pub use adas_reuse as reuse;
+pub use adas_serve as serve;
 pub use adas_service as service;
 pub use adas_telemetry as telemetry;
 pub use adas_workload as workload;

@@ -383,3 +383,97 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------- property 5
+
+/// Runs the gateway breaker scenario once: heavy injected timeouts open the
+/// per-model breaker, the run completes on the heuristic fallback, faults
+/// clear, and half-open probes close the breaker again. Returns the
+/// serialized flight-recorder trace (breaker transitions included).
+fn gateway_breaker_scenario(seed: u64) -> (String, autonomous_data_services::serve::GatewayStats) {
+    use autonomous_data_services::obs::Obs;
+    use autonomous_data_services::serve::{BreakerState, FnModel, Gateway, GatewayConfig, Source};
+    use std::sync::Arc;
+
+    let obs = Obs::recording();
+    let mut config = GatewayConfig::standard();
+    config.cache_capacity = 0; // every request must face the fault channel
+    let gateway = Gateway::with_obs(config, obs.clone());
+    let handle = gateway.register("chaos/cardinality", |f: &[f64]| f[0] + 1.0);
+    gateway
+        .publish(handle, Arc::new(FnModel(|f: &[f64]| f[0] * 2.0)), 0.0)
+        .expect("registered");
+
+    // Phase 1: a hostile fault channel — most calls time out or serve
+    // stale. The breaker must open; every answer must stay usable.
+    gateway
+        .inject_faults(handle, ModelFaults::new(seed, 0.3, 0.5, 1.0))
+        .expect("registered");
+    let mut opened = false;
+    for t in 0..120u64 {
+        let p = gateway
+            .predict(handle, &[(t % 13) as f64], t as f64)
+            .expect("registered");
+        assert!(p.value.is_finite(), "degraded serving must stay usable");
+        if gateway.breaker_state(handle).expect("registered") == BreakerState::Open {
+            opened = true;
+        }
+    }
+    assert!(opened, "sustained timeouts must open the breaker");
+
+    // Phase 2: the model recovers. Half-open probes (after the cooldown)
+    // must close the breaker and hand serving back to the model.
+    gateway.clear_faults(handle).expect("registered");
+    let mut last_source = None;
+    for t in 200..260u64 {
+        let p = gateway
+            .predict(handle, &[(t % 13) as f64], t as f64)
+            .expect("registered");
+        assert!(p.value.is_finite());
+        last_source = Some(p.source);
+    }
+    assert_eq!(
+        gateway.breaker_state(handle).expect("registered"),
+        BreakerState::Closed,
+        "probes against the recovered model must close the breaker"
+    );
+    assert_eq!(last_source, Some(Source::Model));
+
+    let stats = gateway.stats();
+    let trace = obs.snapshot();
+    assert!(
+        trace
+            .events
+            .iter()
+            .any(|e| e.name == "breaker_transition" && e.field("to") == Some("open")),
+        "the trace must record the breaker opening"
+    );
+    assert!(
+        trace
+            .events
+            .iter()
+            .any(|e| e.name == "breaker_transition" && e.field("to") == Some("closed")),
+        "the trace must record the breaker closing"
+    );
+    (
+        serde_json::to_string(&trace).expect("trace serializes"),
+        stats,
+    )
+}
+
+/// Injected model timeouts open the circuit breaker, the run completes on
+/// the registered heuristic fallback, and the same seed replays a
+/// byte-identical trace — breaker transitions included. A different seed
+/// draws a different fault pattern.
+#[test]
+fn chaos_gateway_breaker_trips_and_replays_byte_identically() {
+    let (trace_a, stats_a) = gateway_breaker_scenario(7);
+    let (trace_b, stats_b) = gateway_breaker_scenario(7);
+    assert_eq!(trace_a, trace_b, "same seed must replay byte-identically");
+    assert_eq!(stats_a.fallbacks, stats_b.fallbacks);
+    assert!(stats_a.fallbacks > 0, "degraded mode must actually engage");
+    assert!(stats_a.stale > 0, "staleness channel must actually engage");
+
+    let (trace_c, _) = gateway_breaker_scenario(8);
+    assert_ne!(trace_a, trace_c, "a different seed must draw differently");
+}
