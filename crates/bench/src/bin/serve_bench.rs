@@ -15,13 +15,16 @@
 //! * **batching isolation** — 8 workers, cache off, unique requests only:
 //!   batch size 32 vs. batch size 1, isolating what micro-batching buys
 //!   over per-row pool dispatch.
+//! * **canary overhead** — single-threaded serving with a 20% canary
+//!   candidate staged vs. the same gateway without one. The routing layer
+//!   (arrival ticket + candidate snapshot read) must cost < 5%.
 
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Instant;
 
 use adas_serve::{
-    FnModel, Gateway, GatewayConfig, GatewayStats, ModelHandle, Request, ServableModel,
+    DeployPhase, FnModel, Gateway, GatewayConfig, GatewayStats, ModelHandle, Request, ServableModel,
 };
 use serde::Serialize;
 
@@ -111,6 +114,14 @@ struct ServeBench {
     batch32_rps: f64,
     /// Batch-32 over batch-1 throughput, 8 workers, cache off, unique rows.
     batching_speedup: f64,
+    canary_baseline_rps: f64,
+    canary_rps: f64,
+    /// Relative cost of serving with a 20% canary candidate staged vs. the
+    /// same gateway with no candidate (`canary_time / baseline_time - 1`,
+    /// best-of-rounds, cache off so every request takes the routed path).
+    /// Must stay < 0.05.
+    canary_overhead: f64,
+    canary_overhead_ok: bool,
 }
 
 fn main() {
@@ -202,6 +213,46 @@ fn main() {
     let batch1_secs = batch_secs(1);
     let batch32_secs = batch_secs(32);
 
+    // Canary routing overhead: the same single-threaded serve loop with and
+    // without a 20% canary candidate staged. Cache off so every request
+    // pays the routing decision; the candidate runs the identical model, so
+    // the delta is purely the routing machinery (ticket + candidate read).
+    let canary_gateway = |staged: bool| {
+        let mut config = GatewayConfig::standard();
+        config.cache_capacity = 0;
+        let (gateway, handle) = gateway_with(config);
+        if staged {
+            gateway
+                .stage_candidate(
+                    handle,
+                    Arc::new(FnModel(|f: &[f64]| infer(f))),
+                    0.0,
+                    DeployPhase::Canary,
+                    20,
+                    "bench",
+                    0.0,
+                )
+                .expect("registered handle");
+        }
+        (gateway, handle)
+    };
+    let canary_secs_for = |staged: bool| {
+        let (gateway, handle) = canary_gateway(staged);
+        best_secs(ROUNDS, || {
+            let mut acc = 0.0f64;
+            for (t, &i) in order.iter().enumerate() {
+                acc += gateway
+                    .predict(handle, &features[i], t as f64)
+                    .expect("registered handle")
+                    .value;
+            }
+            black_box(acc);
+        })
+    };
+    let canary_baseline_secs = canary_secs_for(false);
+    let canary_secs = canary_secs_for(true);
+    let canary_overhead = canary_secs / canary_baseline_secs - 1.0;
+
     let overhead = disabled_secs / direct_secs - 1.0;
     let speedup = direct_secs / concurrent_secs;
     let report = ServeBench {
@@ -221,6 +272,10 @@ fn main() {
         batch1_rps: UNIQUE as f64 / batch1_secs,
         batch32_rps: UNIQUE as f64 / batch32_secs,
         batching_speedup: batch1_secs / batch32_secs,
+        canary_baseline_rps: total as f64 / canary_baseline_secs,
+        canary_rps: total as f64 / canary_secs,
+        canary_overhead,
+        canary_overhead_ok: canary_overhead < 0.05,
     };
 
     let json = serde_json::to_string_pretty(&report).expect("serializes");
@@ -233,6 +288,10 @@ fn main() {
     }
     if !report.concurrent_speedup_ok {
         eprintln!("concurrent gateway speedup {speedup:.2}x is below the 2x floor");
+        std::process::exit(1);
+    }
+    if !report.canary_overhead_ok {
+        eprintln!("canary routing overhead {canary_overhead:.4} exceeds the 5% budget");
         std::process::exit(1);
     }
 }

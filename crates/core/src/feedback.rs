@@ -108,6 +108,13 @@ impl<M: Clone> ModelRegistry<M> {
     pub fn version_count(&self) -> usize {
         self.versions.len()
     }
+
+    /// The version number the *next* [`ModelRegistry::deploy`] call will
+    /// assign — used to label a staged candidate (shadow/canary) before it
+    /// is actually deployed.
+    pub fn next_version(&self) -> u64 {
+        self.versions.last().map_or(1, |v| v.version + 1)
+    }
 }
 
 /// What the monitor concluded after an observation.
@@ -264,10 +271,13 @@ mod tests {
     fn registry_versions_monotone() {
         let mut reg = ModelRegistry::new();
         assert!(reg.current().is_none());
+        assert_eq!(reg.next_version(), 1);
         assert_eq!(reg.deploy("m1", 0.1), 1);
+        assert_eq!(reg.next_version(), 2);
         assert_eq!(reg.deploy("m2", 0.2), 2);
         assert_eq!(reg.current().unwrap().version, 2);
         assert_eq!(reg.version_count(), 2);
+        assert_eq!(reg.next_version(), 3);
     }
 
     #[test]

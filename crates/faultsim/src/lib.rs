@@ -43,7 +43,7 @@ pub mod telemetry;
 
 pub use chaos::{AttemptFailure, ChaosOutcome, ChaosRunner, FaultCause};
 pub use feedback::DelayedFeedback;
-pub use model::{ModelFaults, Served};
+pub use model::{ModelFaults, PoisonProfile, Served};
 pub use schedule::{FaultEvent, FaultSchedule};
 pub use seed::{channel_rng, Channel};
 pub use telemetry::{TelemetryFaults, TelemetryPerturbation};

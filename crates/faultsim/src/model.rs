@@ -36,6 +36,34 @@ impl Served {
     }
 }
 
+/// How a poisoned model's bias evolves over successive calls.
+///
+/// Real poisonings rarely look like a constant multiplier: a bad retrain
+/// drifts in gradually (training-set contamination accumulating), and a
+/// flaky artifact alternates between looking healthy and misbehaving — the
+/// exact pattern canary hysteresis exists to catch. All profiles are pure
+/// functions of the call counter, so same-seed replays see the same bias
+/// sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum PoisonProfile {
+    /// The classic constant multiplicative bias (the historical behavior of
+    /// [`ModelFaults::poisoned`]).
+    Constant,
+    /// Slow poison: the bias ramps linearly from none (factor 1) to the
+    /// full `poison_factor` over `ramp_calls` calls, then holds.
+    Slow {
+        /// Calls over which the bias ramps to full strength. Minimum 1.
+        ramp_calls: u64,
+    },
+    /// Flappy model: alternates windows of `period_calls` healthy calls
+    /// (factor 1) with windows of fully poisoned calls. Starts healthy — a
+    /// flapping model's most deceptive opening.
+    Flappy {
+        /// Length of each healthy/poisoned window, in calls. Minimum 1.
+        period_calls: u64,
+    },
+}
+
 /// Seeded serving-fault source for scalar predictions.
 #[derive(Debug, Clone)]
 pub struct ModelFaults {
@@ -43,6 +71,8 @@ pub struct ModelFaults {
     staleness: f64,
     timeout_rate: f64,
     poison_factor: f64,
+    profile: PoisonProfile,
+    poison_calls: u64,
     last: Option<f64>,
 }
 
@@ -51,11 +81,31 @@ impl ModelFaults {
     /// probabilities; `poison_factor` is the multiplicative bias
     /// [`ModelFaults::poisoned`] applies.
     pub fn new(seed: u64, staleness: f64, timeout_rate: f64, poison_factor: f64) -> Self {
+        Self::with_profile(
+            seed,
+            staleness,
+            timeout_rate,
+            poison_factor,
+            PoisonProfile::Constant,
+        )
+    }
+
+    /// Creates a fault source whose poison bias follows `profile` instead
+    /// of the constant default.
+    pub fn with_profile(
+        seed: u64,
+        staleness: f64,
+        timeout_rate: f64,
+        poison_factor: f64,
+        profile: PoisonProfile,
+    ) -> Self {
         Self {
             rng: channel_rng(seed, Channel::Model),
             staleness,
             timeout_rate,
             poison_factor,
+            profile,
+            poison_calls: 0,
             last: None,
         }
     }
@@ -81,14 +131,46 @@ impl ModelFaults {
 
     /// A poisoned model's answer: the clean prediction under systematic
     /// multiplicative bias. Deterministic (no RNG draw) so guardrail tests
-    /// can reason about it exactly.
+    /// can reason about it exactly. Ignores the profile's call counter —
+    /// use [`ModelFaults::apply_poison`] for evolving profiles.
     pub fn poisoned(&self, clean: f64) -> f64 {
         clean * self.poison_factor
+    }
+
+    /// A poisoned model's answer under the configured [`PoisonProfile`],
+    /// advancing the profile's call counter. Deterministic: the bias is a
+    /// pure function of the counter, with no RNG draw, so the serving path
+    /// stays byte-identical across same-seed replays.
+    pub fn apply_poison(&mut self, clean: f64) -> f64 {
+        let calls = self.poison_calls;
+        self.poison_calls += 1;
+        let factor = match self.profile {
+            PoisonProfile::Constant => self.poison_factor,
+            PoisonProfile::Slow { ramp_calls } => {
+                let ramp = ramp_calls.max(1);
+                let progress = ((calls + 1).min(ramp)) as f64 / ramp as f64;
+                1.0 + (self.poison_factor - 1.0) * progress
+            }
+            PoisonProfile::Flappy { period_calls } => {
+                let period = period_calls.max(1);
+                if (calls / period) % 2 == 1 {
+                    self.poison_factor
+                } else {
+                    1.0
+                }
+            }
+        };
+        clean * factor
     }
 
     /// The configured poison bias.
     pub fn poison_factor(&self) -> f64 {
         self.poison_factor
+    }
+
+    /// The configured poison profile.
+    pub fn poison_profile(&self) -> PoisonProfile {
+        self.profile
     }
 }
 
@@ -156,5 +238,48 @@ mod tests {
         let m = ModelFaults::new(7, 0.0, 0.0, 2.5);
         assert_eq!(m.poisoned(4.0), 10.0);
         assert_eq!(m.poison_factor(), 2.5);
+        assert_eq!(m.poison_profile(), PoisonProfile::Constant);
+    }
+
+    #[test]
+    fn constant_profile_matches_legacy_poisoned() {
+        let mut m = ModelFaults::new(7, 0.0, 0.0, 2.5);
+        for i in 0..10 {
+            let clean = 1.0 + i as f64;
+            assert_eq!(m.apply_poison(clean), m.poisoned(clean));
+        }
+    }
+
+    #[test]
+    fn slow_poison_ramps_linearly_then_holds() {
+        let mut m =
+            ModelFaults::with_profile(7, 0.0, 0.0, 3.0, PoisonProfile::Slow { ramp_calls: 4 });
+        // Factors: 1.5, 2.0, 2.5, 3.0, then 3.0 forever.
+        let factors: Vec<f64> = (0..6).map(|_| m.apply_poison(1.0)).collect();
+        assert_eq!(factors, vec![1.5, 2.0, 2.5, 3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn flappy_poison_alternates_windows_starting_healthy() {
+        let mut m =
+            ModelFaults::with_profile(7, 0.0, 0.0, 4.0, PoisonProfile::Flappy { period_calls: 3 });
+        let factors: Vec<f64> = (0..12).map(|_| m.apply_poison(1.0)).collect();
+        assert_eq!(
+            factors,
+            vec![1.0, 1.0, 1.0, 4.0, 4.0, 4.0, 1.0, 1.0, 1.0, 4.0, 4.0, 4.0]
+        );
+    }
+
+    #[test]
+    fn profiles_draw_no_rng_and_leave_serving_unchanged() {
+        // Interleaving apply_poison must not perturb the serve() stream.
+        let mut plain = ModelFaults::new(3, 0.3, 0.1, 2.0);
+        let mut mixed =
+            ModelFaults::with_profile(3, 0.3, 0.1, 2.0, PoisonProfile::Slow { ramp_calls: 8 });
+        for i in 0..200 {
+            let x = i as f64;
+            mixed.apply_poison(x);
+            assert_eq!(plain.serve(x), mixed.serve(x));
+        }
     }
 }

@@ -20,11 +20,13 @@ use crate::cost::CostEnsemble;
 use crate::features;
 use adas_engine::cardinality::{CardinalityModel, DefaultEstimator};
 use adas_engine::cost::CostModel;
-use adas_serve::{Gateway, ModelHandle, Prediction, RegressorModel};
+use adas_serve::{
+    AutonomyAction, AutonomyController, Gateway, ModelHandle, Prediction, RegressorModel,
+};
 use adas_workload::catalog::Catalog;
 use adas_workload::plan::LogicalPlan;
 use adas_workload::signature::{template_signature, Signature};
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -67,9 +69,14 @@ impl<'a> LearnedCardinality<'a> {
             gateway: gateway.clone(),
             handles,
             sim_time: Cell::new(0.0),
+            last: RefCell::new(HashMap::new()),
         }
     }
 }
+
+/// Per-template stash of the last served prediction: the handle it came
+/// from, the features it was computed on, and the prediction itself.
+type LastServed = HashMap<Signature, (ModelHandle, Vec<f64>, Prediction)>;
 
 /// A [`CardinalityModel`] that asks the gateway for covered templates and
 /// uses the default estimator everywhere else — the served twin of
@@ -80,6 +87,10 @@ pub struct ServedCardinality<'a> {
     gateway: Gateway,
     handles: HashMap<Signature, ModelHandle>,
     sim_time: Cell<f64>,
+    /// Last served prediction per template, kept so the observed outcome
+    /// can be fed back *without* re-predicting (a re-predict would advance
+    /// the canary ticket and cache state, breaking replay determinism).
+    last: RefCell<LastServed>,
 }
 
 impl ServedCardinality<'_> {
@@ -103,18 +114,42 @@ impl ServedCardinality<'_> {
     pub fn covers(&self, plan: &LogicalPlan) -> bool {
         self.handles.contains_key(&template_signature(plan))
     }
+
+    /// Feeds the observed true row count for the most recent estimate of
+    /// `plan`'s template into the autonomy `controller` (which supervises
+    /// this estimator's gateway). Returns the controller's actions, or
+    /// `None` when the template is not served or has no pending estimate.
+    ///
+    /// Outcomes arrive in ln-rows space, matching the served model's
+    /// output space.
+    pub fn observe_actual(
+        &self,
+        plan: &LogicalPlan,
+        actual_rows: f64,
+        controller: &mut AutonomyController,
+        sim_time: f64,
+    ) -> Option<Vec<AutonomyAction>> {
+        let sig = template_signature(plan);
+        let (handle, features, prediction) = self.last.borrow_mut().remove(&sig)?;
+        let actual = actual_rows.max(1.0).ln();
+        controller
+            .observe(handle, &features, &prediction, actual, sim_time)
+            .ok()
+    }
 }
 
 impl CardinalityModel for ServedCardinality<'_> {
     fn annotate(&self, plan: &LogicalPlan) -> adas_engine::Result<Vec<f64>> {
         let mut ann = DefaultEstimator::new(self.catalog).annotate(plan)?;
-        if let Some(&handle) = self.handles.get(&template_signature(plan)) {
+        let sig = template_signature(plan);
+        if let Some(&handle) = self.handles.get(&sig) {
             let f = features::featurize(plan, self.catalog, &self.cost_model);
             let prediction = self
                 .gateway
                 .predict(handle, &f, self.sim_time.get())
                 .expect("handle registered at publish time");
             ann[0] = prediction.value.exp().max(1.0);
+            self.last.borrow_mut().insert(sig, (handle, f, prediction));
         }
         Ok(ann)
     }
@@ -152,6 +187,7 @@ impl<'a> CostEnsemble<'a> {
             micro,
             global,
             sim_time: Cell::new(0.0),
+            last: RefCell::new(HashMap::new()),
         }
     }
 }
@@ -165,6 +201,10 @@ pub struct ServedCost<'a> {
     micro: HashMap<Signature, ModelHandle>,
     global: Option<ModelHandle>,
     sim_time: Cell<f64>,
+    /// Last served prediction per template (see
+    /// [`ServedCardinality::observe_actual`] for why it is stashed rather
+    /// than re-predicted).
+    last: RefCell<LastServed>,
 }
 
 impl ServedCost<'_> {
@@ -195,10 +235,14 @@ impl ServedCost<'_> {
         let f = features::featurize(plan, self.catalog, &self.cost_model);
         let handle = self.micro.get(&sig).copied().or(self.global);
         match handle {
-            Some(handle) => self
-                .gateway
-                .predict(handle, &f, self.sim_time.get())
-                .expect("handle registered at publish time"),
+            Some(handle) => {
+                let prediction = self
+                    .gateway
+                    .predict(handle, &f, self.sim_time.get())
+                    .expect("handle registered at publish time");
+                self.last.borrow_mut().insert(sig, (handle, f, prediction));
+                prediction
+            }
             // No model at all: the analytic default, shaped like a fallback.
             None => Prediction {
                 value: f[1],
@@ -207,6 +251,25 @@ impl ServedCost<'_> {
                 features_digest: 0,
             },
         }
+    }
+
+    /// Feeds the observed true cost for the most recent prediction of
+    /// `plan`'s template into the autonomy `controller`. Returns the
+    /// controller's actions, or `None` when no prediction is pending for
+    /// the template. Outcomes are converted to ln-cost space.
+    pub fn observe_actual(
+        &self,
+        plan: &LogicalPlan,
+        actual_cost: f64,
+        controller: &mut AutonomyController,
+        sim_time: f64,
+    ) -> Option<Vec<AutonomyAction>> {
+        let sig = template_signature(plan);
+        let (handle, features, prediction) = self.last.borrow_mut().remove(&sig)?;
+        let actual = actual_cost.max(1.0).ln();
+        controller
+            .observe(handle, &features, &prediction, actual, sim_time)
+            .ok()
     }
 }
 
@@ -272,6 +335,52 @@ mod tests {
             let b = served.predict(plan);
             assert_eq!(a.to_bits(), b.to_bits(), "served must equal direct");
         }
+    }
+
+    #[test]
+    fn observe_actual_feeds_the_controller_without_repredicting() {
+        let (catalog, plans) = history();
+        let (direct, _) = LearnedCardinality::train(&catalog, &plans, TrainConfig::default());
+        let gateway = Gateway::new(GatewayConfig::standard());
+        let served = direct.publish(&gateway);
+        let mut controller = AutonomyController::new(gateway.clone(), adas_obs::Obs::disabled());
+        let covered: Vec<&LogicalPlan> = plans.iter().filter(|p| served.covers(p)).collect();
+        assert!(!covered.is_empty());
+        let plan = covered[0];
+        // No estimate yet: nothing stashed.
+        assert!(served
+            .observe_actual(plan, 100.0, &mut controller, 0.0)
+            .is_none());
+        served.estimate(plan).unwrap();
+        let requests_before = gateway.stats().requests;
+        let actions = served.observe_actual(plan, 100.0, &mut controller, 1.0);
+        assert!(actions.is_some(), "stashed prediction is consumed");
+        assert_eq!(
+            gateway.stats().requests,
+            requests_before,
+            "feedback must not re-predict"
+        );
+        // Consumed: a second outcome for the same estimate is rejected.
+        assert!(served
+            .observe_actual(plan, 100.0, &mut controller, 2.0)
+            .is_none());
+    }
+
+    #[test]
+    fn served_cost_observe_actual_roundtrip() {
+        let (catalog, plans) = history();
+        let (direct, _) = CostEnsemble::train(&catalog, &plans, CostTrainConfig::default());
+        let gateway = Gateway::new(GatewayConfig::standard());
+        let served = direct.publish(&gateway);
+        let mut controller = AutonomyController::new(gateway.clone(), adas_obs::Obs::disabled());
+        let plan = &plans[0];
+        served.predict(plan);
+        assert!(served
+            .observe_actual(plan, 1234.5, &mut controller, 1.0)
+            .is_some());
+        assert!(served
+            .observe_actual(plan, 1234.5, &mut controller, 2.0)
+            .is_none());
     }
 
     #[test]

@@ -78,6 +78,69 @@ impl DecisionRecord {
     }
 }
 
+/// What kind of deployment change a [`DeploymentRecord`] captures.
+///
+/// These are the edges of the serving layer's deployment state machine
+/// (Stable → Shadow → Canary → Promote/Demote, plus direct publishes and
+/// rollbacks). Recording them as *typed* trace records — rather than
+/// free-form events — is what makes every deployment change reproducible
+/// and queryable from the flight record alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeploymentKind {
+    /// A new version was published and is serving all traffic.
+    Publish,
+    /// Serving was rolled back to an earlier (redeployed) version.
+    Rollback,
+    /// A candidate version was staged in shadow mode (mirrored traffic,
+    /// answers not served).
+    ShadowStart,
+    /// A candidate version began serving a slice of live traffic.
+    CanaryStart,
+    /// A candidate passed evaluation and became the serving version.
+    Promote,
+    /// A candidate failed evaluation and was discarded.
+    Demote,
+}
+
+impl DeploymentKind {
+    /// Stable lowercase name used in exports and queries.
+    pub fn name(self) -> &'static str {
+        match self {
+            DeploymentKind::Publish => "publish",
+            DeploymentKind::Rollback => "rollback",
+            DeploymentKind::ShadowStart => "shadow_start",
+            DeploymentKind::CanaryStart => "canary_start",
+            DeploymentKind::Promote => "promote",
+            DeploymentKind::Demote => "demote",
+        }
+    }
+}
+
+/// One deployment change, as recorded in the flight recorder: which model,
+/// which version, what happened and *why* (the triggering cause — e.g.
+/// `drift`, `guard_trip`, `breaker_open`, `canary_healthy`, `manual`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeploymentRecord {
+    /// Logical sequence number (total order within the trace).
+    pub seq: u64,
+    /// Enclosing span, if any.
+    pub span: Option<SpanId>,
+    /// Simulated time of the change, seconds.
+    pub sim_time: f64,
+    /// Subsystem that made the change (e.g. `serve.gateway`).
+    pub component: String,
+    /// What happened.
+    pub kind: DeploymentKind,
+    /// Model identifier (gateway registration name).
+    pub model_id: String,
+    /// Version the change concerns: the newly serving version for
+    /// publish/rollback/promote, the candidate version for
+    /// shadow/canary/demote.
+    pub version: u64,
+    /// The triggering cause, verbatim.
+    pub cause: String,
+}
+
 /// FNV-1a digest over the bit patterns of a feature vector — the cheap,
 /// deterministic input fingerprint decision records carry.
 pub fn digest_f64(features: impl IntoIterator<Item = f64>) -> u64 {

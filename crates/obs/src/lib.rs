@@ -53,7 +53,9 @@ pub mod metrics;
 pub mod span;
 pub mod trace;
 
-pub use flight::{digest_bytes, digest_f64, DecisionRecord, Provenance};
+pub use flight::{
+    digest_bytes, digest_f64, DecisionRecord, DeploymentKind, DeploymentRecord, Provenance,
+};
 pub use metrics::{Histogram, MetricKey, MetricValue, MetricsRegistry};
 pub use span::{SpanId, SpanRecord};
 pub use trace::{EventRecord, Trace, TraceQuery};
@@ -68,6 +70,7 @@ struct Recorder {
     spans: Vec<SpanRecord>,
     events: Vec<EventRecord>,
     decisions: Vec<DecisionRecord>,
+    deployments: Vec<DeploymentRecord>,
     metrics: MetricsRegistry,
 }
 
@@ -211,6 +214,33 @@ impl Obs {
         });
     }
 
+    /// Records one typed deployment change (publish, rollback, shadow or
+    /// canary start, promote, demote) with its triggering cause.
+    pub fn record_deployment(
+        &self,
+        component: &str,
+        kind: DeploymentKind,
+        model_id: &str,
+        version: u64,
+        cause: &str,
+        sim_time: f64,
+    ) {
+        let Some(inner) = &self.inner else { return };
+        let mut rec = inner.lock();
+        let seq = rec.next_seq();
+        let span = rec.span_stack.last().copied();
+        rec.deployments.push(DeploymentRecord {
+            seq,
+            span,
+            sim_time,
+            component: component.to_string(),
+            kind,
+            model_id: model_id.to_string(),
+            version,
+            cause: cause.to_string(),
+        });
+    }
+
     /// Adds `delta` to a counter.
     pub fn counter_add(&self, component: &str, name: &str, labels: &[(&str, &str)], delta: u64) {
         let Some(inner) = &self.inner else { return };
@@ -268,6 +298,7 @@ impl Obs {
             spans: rec.spans.clone(),
             events: rec.events.clone(),
             decisions: rec.decisions.clone(),
+            deployments: rec.deployments.clone(),
             metrics: rec.metrics.clone(),
         }
     }
@@ -392,6 +423,59 @@ mod tests {
             obs.export_json()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn deployment_records_carry_cause_and_order() {
+        let obs = Obs::recording();
+        let span = obs.span_enter("serve.gateway", "deploy", 0.0);
+        obs.record_deployment(
+            "serve.gateway",
+            DeploymentKind::Publish,
+            "card",
+            1,
+            "manual",
+            0.5,
+        );
+        obs.record_deployment(
+            "serve.gateway",
+            DeploymentKind::CanaryStart,
+            "card",
+            2,
+            "drift",
+            1.0,
+        );
+        obs.record_deployment(
+            "serve.gateway",
+            DeploymentKind::Rollback,
+            "card",
+            3,
+            "guard_trip",
+            2.0,
+        );
+        obs.span_exit(span, 2.5);
+        let trace = obs.snapshot();
+        assert_eq!(trace.deployments.len(), 3);
+        assert_eq!(trace.deployments_of("card").count(), 3);
+        assert_eq!(trace.deployments_of("other").count(), 0);
+        assert_eq!(trace.deployments[0].span, Some(span));
+        assert_eq!(trace.deployments[1].kind, DeploymentKind::CanaryStart);
+        assert_eq!(trace.deployments[1].kind.name(), "canary_start");
+        assert_eq!(trace.deployments[2].cause, "guard_trip");
+        // Sequence numbers interleave with the span's.
+        assert!(trace.deployments[0].seq > trace.spans[0].seq);
+        assert!(trace.deployments[0].seq < trace.deployments[1].seq);
+        // Round-trips through canonical JSON, and old traces (without the
+        // field) still deserialize.
+        let json = obs.export_json();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, trace);
+        let mut value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        if let serde_json::Value::Map(map) = &mut value {
+            map.retain(|(k, _)| k != "deployments");
+        }
+        let legacy: Trace = serde_json::from_value(value).unwrap();
+        assert!(legacy.deployments.is_empty());
     }
 
     #[test]

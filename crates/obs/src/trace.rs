@@ -1,6 +1,6 @@
 //! Trace snapshots and the query API over them.
 
-use crate::flight::DecisionRecord;
+use crate::flight::{DecisionRecord, DeploymentRecord};
 use crate::metrics::MetricsRegistry;
 use crate::span::{SpanId, SpanRecord};
 use serde::{Deserialize, Serialize};
@@ -42,6 +42,11 @@ pub struct Trace {
     pub events: Vec<EventRecord>,
     /// Flight-recorder decision records, in sequence order.
     pub decisions: Vec<DecisionRecord>,
+    /// Typed deployment changes (publish / rollback / shadow / canary /
+    /// promote / demote), in sequence order. Defaults to empty when
+    /// deserializing traces captured before this field existed.
+    #[serde(default)]
+    pub deployments: Vec<DeploymentRecord>,
     /// Metrics at snapshot time.
     pub metrics: MetricsRegistry,
 }
@@ -71,6 +76,16 @@ impl Trace {
     /// Events named `name`, across all components.
     pub fn events_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a EventRecord> {
         self.events.iter().filter(move |e| e.name == name)
+    }
+
+    /// Deployment records concerning model `model_id`, in sequence order.
+    pub fn deployments_of<'a>(
+        &'a self,
+        model_id: &'a str,
+    ) -> impl Iterator<Item = &'a DeploymentRecord> {
+        self.deployments
+            .iter()
+            .filter(move |d| d.model_id == model_id)
     }
 }
 

@@ -9,12 +9,21 @@
 //! ```text
 //!            N consecutive failures
 //!   Closed ───────────────────────────▶ Open
-//!     ▲                                  │ cooldown_ticks elapse
+//!     ▲                                  │ cooldown elapses
 //!     │  probe_successes in a row        ▼
 //!     └────────────────────────────── HalfOpen
 //!                 (any probe failure reopens)
 //! ```
+//!
+//! Each reopen from a failed half-open probe multiplies the cooldown by
+//! `backoff_factor` (capped at `max_cooldown_ticks`), so a persistently
+//! broken model is probed exponentially less often; closing fully resets
+//! the backoff. An optional fractional jitter decorrelates probe times
+//! across breakers, drawn from a SplitMix64 stream seeded by
+//! `BreakerConfig::seed` — deterministic, so same-seed replays stay
+//! byte-identical.
 
+use adas_faultsim::seed::derive;
 use serde::Serialize;
 
 /// Breaker tuning knobs.
@@ -27,8 +36,22 @@ pub struct BreakerConfig {
     /// the breaker. Minimum 1.
     pub failure_threshold: u32,
     /// Simulated ticks the breaker stays open before admitting a half-open
-    /// probe.
+    /// probe, for the first open after a closed period.
     pub cooldown_ticks: f64,
+    /// Multiplier applied to the cooldown on every consecutive reopen (a
+    /// half-open probe failing). Values below 1 are treated as 1 (no
+    /// backoff). Fully closing resets the backoff.
+    pub backoff_factor: f64,
+    /// Upper bound on the pre-jitter cooldown, so backoff can never push
+    /// the next probe out indefinitely.
+    pub max_cooldown_ticks: f64,
+    /// Deterministic jitter: each cooldown is stretched by a factor drawn
+    /// uniformly from `[1, 1 + jitter_frac)` on a seeded SplitMix64 stream.
+    /// `0.0` (the default) disables jitter entirely.
+    pub jitter_frac: f64,
+    /// Seed for the jitter stream. Same seed ⇒ same jitter sequence ⇒
+    /// byte-identical replays.
+    pub seed: u64,
     /// Consecutive half-open probe successes required to close again.
     /// Minimum 1.
     pub probe_successes: u32,
@@ -46,6 +69,10 @@ impl Default for BreakerConfig {
             enabled: true,
             failure_threshold: 4,
             cooldown_ticks: 32.0,
+            backoff_factor: 2.0,
+            max_cooldown_ticks: 256.0,
+            jitter_frac: 0.0,
+            seed: 0,
             probe_successes: 2,
             guard_factor: f64::INFINITY,
         }
@@ -106,6 +133,11 @@ pub struct CircuitBreaker {
     probes_succeeded: u32,
     open_until: f64,
     transitions: u64,
+    /// Consecutive opens since the last full close (drives the backoff).
+    reopens: u32,
+    /// Monotone count of every open ever — the jitter stream index, so
+    /// repeated open/close cycles draw fresh (but reproducible) jitter.
+    total_opens: u64,
 }
 
 impl CircuitBreaker {
@@ -118,6 +150,8 @@ impl CircuitBreaker {
             probes_succeeded: 0,
             open_until: 0.0,
             transitions: 0,
+            reopens: 0,
+            total_opens: 0,
         }
     }
 
@@ -129,6 +163,43 @@ impl CircuitBreaker {
     /// Total state changes since construction.
     pub fn transitions(&self) -> u64 {
         self.transitions
+    }
+
+    /// Consecutive opens since the breaker last fully closed (0 while it
+    /// has stayed closed). Each additional open in the streak multiplies
+    /// the next cooldown by `backoff_factor`.
+    pub fn open_streak(&self) -> u32 {
+        self.reopens
+    }
+
+    /// The cooldown the *next* open would impose, after backoff, cap, and
+    /// deterministic jitter.
+    fn next_cooldown(&self) -> f64 {
+        let factor = self.config.backoff_factor.max(1.0);
+        // Exponent is clamped so pathological configs can't overflow powi
+        // into infinity before the cap applies.
+        let backed_off = self.config.cooldown_ticks * factor.powi(self.reopens.min(64) as i32);
+        let capped = backed_off.min(
+            self.config
+                .max_cooldown_ticks
+                .max(self.config.cooldown_ticks),
+        );
+        if self.config.jitter_frac > 0.0 {
+            // 53 high-quality mantissa bits of the SplitMix64 draw → [0, 1).
+            let unit =
+                (derive(self.config.seed, self.total_opens) >> 11) as f64 / (1u64 << 53) as f64;
+            capped * (1.0 + self.config.jitter_frac * unit)
+        } else {
+            capped
+        }
+    }
+
+    /// Opens the breaker at `sim_time`, advancing the backoff counters.
+    fn open(&mut self, sim_time: f64) -> Option<Transition> {
+        self.open_until = sim_time + self.next_cooldown();
+        self.reopens = self.reopens.saturating_add(1);
+        self.total_opens += 1;
+        self.shift(BreakerState::Open)
     }
 
     fn shift(&mut self, to: BreakerState) -> Option<Transition> {
@@ -176,6 +247,7 @@ impl CircuitBreaker {
                 self.probes_succeeded += 1;
                 if self.probes_succeeded >= self.config.probe_successes.max(1) {
                     self.consecutive_failures = 0;
+                    self.reopens = 0; // full close resets the backoff
                     self.shift(BreakerState::Closed)
                 } else {
                     None
@@ -197,16 +269,12 @@ impl CircuitBreaker {
             BreakerState::Closed => {
                 self.consecutive_failures += 1;
                 if self.consecutive_failures >= self.config.failure_threshold.max(1) {
-                    self.open_until = sim_time + self.config.cooldown_ticks;
-                    self.shift(BreakerState::Open)
+                    self.open(sim_time)
                 } else {
                     None
                 }
             }
-            BreakerState::HalfOpen => {
-                self.open_until = sim_time + self.config.cooldown_ticks;
-                self.shift(BreakerState::Open)
-            }
+            BreakerState::HalfOpen => self.open(sim_time),
             BreakerState::Open => None,
         }
     }
@@ -221,6 +289,10 @@ mod tests {
             enabled: true,
             failure_threshold: threshold,
             cooldown_ticks: cooldown,
+            backoff_factor: 2.0,
+            max_cooldown_ticks: 8.0 * cooldown,
+            jitter_frac: 0.0,
+            seed: 0,
             probe_successes: probes,
             guard_factor: f64::INFINITY,
         }
@@ -260,15 +332,78 @@ mod tests {
     }
 
     #[test]
-    fn probe_failure_reopens() {
+    fn probe_failure_reopens_with_backed_off_cooldown() {
         let mut b = CircuitBreaker::new(config(1, 10.0, 2));
-        b.on_failure(0.0);
+        b.on_failure(0.0); // first open: cooldown 10
         b.allow(10.0); // half-open
         let t = b.on_failure(10.0).unwrap();
         assert_eq!(t.from, BreakerState::HalfOpen);
         assert_eq!(t.to, BreakerState::Open);
-        assert!(!b.allow(19.9).0);
-        assert!(b.allow(20.0).0);
+        // Second open in the streak: cooldown doubles to 20.
+        assert!(!b.allow(29.9).0);
+        assert!(b.allow(30.0).0);
+        assert_eq!(b.open_streak(), 2);
+    }
+
+    #[test]
+    fn backoff_doubles_per_reopen_and_caps() {
+        // cooldown 10, factor 2, cap 80: sequence 10, 20, 40, 80, 80, …
+        let mut b = CircuitBreaker::new(config(1, 10.0, 2));
+        let mut now = 0.0;
+        let mut cooldowns = Vec::new();
+        for _ in 0..6 {
+            b.on_failure(now); // opens (or reopens from half-open)
+            assert_eq!(b.state(), BreakerState::Open);
+            cooldowns.push(b.open_until - now);
+            now = b.open_until;
+            let (allowed, _) = b.allow(now); // half-open probe at the boundary
+            assert!(allowed);
+        }
+        assert_eq!(cooldowns, vec![10.0, 20.0, 40.0, 80.0, 80.0, 80.0]);
+    }
+
+    #[test]
+    fn closing_resets_the_backoff() {
+        let mut b = CircuitBreaker::new(config(1, 10.0, 1));
+        b.on_failure(0.0); // open, cooldown 10
+        b.allow(10.0); // half-open
+        b.on_failure(10.0); // reopen, cooldown 20
+        b.allow(30.0); // half-open
+        b.on_success(); // closes (1 probe), streak resets
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.open_streak(), 0);
+        b.on_failure(40.0); // fresh open: back to the base cooldown
+        assert!(!b.allow(49.9).0);
+        assert!(b.allow(50.0).0);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let jittered = |seed: u64| {
+            let mut cfg = config(1, 10.0, 2);
+            cfg.jitter_frac = 0.5;
+            cfg.seed = seed;
+            let mut b = CircuitBreaker::new(cfg);
+            let mut now = 0.0;
+            let mut cooldowns = Vec::new();
+            for _ in 0..4 {
+                b.on_failure(now);
+                cooldowns.push(b.open_until - now);
+                now = b.open_until;
+                b.allow(now);
+            }
+            cooldowns
+        };
+        let a = jittered(7);
+        let b = jittered(7);
+        assert_eq!(a, b, "same seed must draw the same jitter");
+        let c = jittered(8);
+        assert_ne!(a, c, "different seeds must draw different jitter");
+        // Each cooldown stays within [base, base * 1.5).
+        for (i, &cd) in a.iter().enumerate() {
+            let base = 10.0 * 2f64.powi(i as i32);
+            assert!(cd >= base && cd < base * 1.5, "cooldown {i} = {cd}");
+        }
     }
 
     #[test]

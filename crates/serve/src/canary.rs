@@ -1,0 +1,54 @@
+//! Candidate deployments: shadow and canary evaluation types.
+//!
+//! A *candidate* is a model version that has been staged behind the serving
+//! version but not yet published. The gateway can run it in two phases:
+//!
+//! * **Shadow** — every request is mirrored through the candidate on the
+//!   caller thread; its answers are logged (as [`ShadowSample`]s and
+//!   `shadow_serve` decision records) but never served.
+//! * **Canary** — a deterministic slice of live traffic (`traffic_pct` of
+//!   requests, by arrival ticket) is answered by the candidate; the rest
+//!   stays on the primary.
+//!
+//! Promotion and demotion decisions belong to the autonomy controller
+//! ([`crate::AutonomyController`]); the gateway only provides the routing
+//! mechanics and keeps them deterministic (the ticket counter advances on
+//! the caller thread in request order, so same-seed replays route the same
+//! requests to the candidate).
+
+use serde::Serialize;
+
+/// Phase of a staged candidate version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum DeployPhase {
+    /// The candidate runs on mirrored traffic; its answers are not served.
+    Shadow,
+    /// The candidate serves a deterministic percentage of live traffic.
+    Canary,
+}
+
+impl DeployPhase {
+    /// Stable lowercase name used in obs labels and traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            DeployPhase::Shadow => "shadow",
+            DeployPhase::Canary => "canary",
+        }
+    }
+}
+
+/// One mirrored inference by a shadow-phase candidate, as drained by
+/// [`crate::Gateway::drain_shadow`]. Pairs with the primary's answer for
+/// the same request via `features_digest`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ShadowSample {
+    /// Digest of the request's feature vector.
+    pub features_digest: u64,
+    /// The candidate's provisional version.
+    pub version: u64,
+    /// What the candidate would have answered (poison bias included when a
+    /// version-scoped poison targets the candidate).
+    pub value: f64,
+    /// Simulated arrival time of the mirrored request.
+    pub sim_time: f64,
+}

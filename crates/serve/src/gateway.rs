@@ -2,19 +2,24 @@
 
 use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker, Transition};
 use crate::cache::{CacheKey, PredictionCache};
+use crate::canary::{DeployPhase, ShadowSample};
 use crate::model::{ModelHandle, ServableModel};
 use crate::pool::{BatchPromise, WorkerPool};
 use crate::{Result, ServeError};
 use adas_core::feedback::ModelRegistry;
 use adas_faultsim::{ModelFaults, Served};
-use adas_obs::{digest_f64, Obs, Provenance};
+use adas_obs::{digest_f64, DeploymentKind, Obs, Provenance};
 use parking_lot::{Mutex, RwLock};
 use serde::Serialize;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 
 const COMPONENT: &str = "serve.gateway";
+
+/// Bounded length of each model's shadow-sample log; the oldest samples are
+/// dropped first once a slow consumer lets it fill up.
+const SHADOW_LOG_CAP: usize = 256;
 
 /// Gateway tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
@@ -197,6 +202,10 @@ pub struct GatewayStats {
     pub shed: u64,
     /// Requests served a stale prediction by the fault channel.
     pub stale: u64,
+    /// Requests routed to a canary candidate.
+    pub canary_routed: u64,
+    /// Requests mirrored through a shadow candidate.
+    pub shadow_serves: u64,
     /// `cache_hits / (cache_hits + cache_misses)`, 0 when no probes.
     pub cache_hit_rate: f64,
 }
@@ -212,6 +221,8 @@ struct Counters {
     fallbacks: AtomicU64,
     shed: AtomicU64,
     stale: AtomicU64,
+    canary_routed: AtomicU64,
+    shadow_serves: AtomicU64,
 }
 
 /// Immutable serving snapshot: what `predict` reads. Swapped atomically by
@@ -234,10 +245,47 @@ impl ServingSnapshot {
     }
 }
 
+/// Which serving versions a poison injection biases.
+///
+/// Version-scoped poisoning models a corrupted *artifact*: one bad version
+/// misbehaves while every other version of the same model stays healthy, so
+/// an automatic rollback actually lands somewhere clean. `All` is the
+/// legacy whole-serving-path poisoning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub enum PoisonScope {
+    /// No poisoning (the default).
+    #[default]
+    None,
+    /// Every version served through this entry is biased.
+    All,
+    /// Only the named version's predictions are biased.
+    Version(u64),
+}
+
+impl PoisonScope {
+    /// True when the scope covers `version`.
+    pub fn covers(self, version: u64) -> bool {
+        match self {
+            PoisonScope::None => false,
+            PoisonScope::All => true,
+            PoisonScope::Version(v) => v == version,
+        }
+    }
+}
+
 #[derive(Default)]
 struct FaultChannel {
     source: Option<ModelFaults>,
-    poisoned: bool,
+    poisoned: PoisonScope,
+}
+
+/// A staged candidate version: the model, its claimed error, and how much
+/// traffic it sees.
+struct CandidateState {
+    snapshot: Arc<ServingSnapshot>,
+    deployment_error: f64,
+    phase: DeployPhase,
+    traffic_pct: u8,
 }
 
 /// Boxed degraded-mode heuristic registered alongside each model.
@@ -248,6 +296,11 @@ struct ModelEntry {
     id: usize,
     registry: Mutex<ModelRegistry<Arc<dyn ServableModel>>>,
     snapshot: RwLock<Option<Arc<ServingSnapshot>>>,
+    candidate: RwLock<Option<CandidateState>>,
+    /// Arrival ticket for deterministic canary routing: request `t` goes to
+    /// the candidate iff `t % 100 < traffic_pct`. Reset on every stage.
+    canary_ticket: AtomicU64,
+    shadow_log: Mutex<VecDeque<ShadowSample>>,
     breaker: Mutex<CircuitBreaker>,
     faults: Mutex<FaultChannel>,
     fallback: Fallback,
@@ -321,6 +374,9 @@ impl Gateway {
             id,
             registry: Mutex::new(ModelRegistry::with_obs(self.inner.obs.clone())),
             snapshot: RwLock::new(None),
+            candidate: RwLock::new(None),
+            canary_ticket: AtomicU64::new(0),
+            shadow_log: Mutex::new(VecDeque::new()),
             breaker: Mutex::new(CircuitBreaker::new(self.inner.config.breaker)),
             faults: Mutex::new(FaultChannel::default()),
             fallback: Box::new(fallback),
@@ -354,27 +410,39 @@ impl Gateway {
     /// and atomically swaps the serving snapshot. Concurrent readers see
     /// either the old or the new version, never a torn state. Returns the
     /// deployed version number.
+    ///
+    /// Equivalent to [`Gateway::publish_with_cause`] with cause `"manual"`
+    /// at simulated time 0.
     pub fn publish(
         &self,
         handle: ModelHandle,
         model: Arc<dyn ServableModel>,
         deployment_error: f64,
     ) -> Result<u64> {
+        self.publish_with_cause(handle, model, deployment_error, "manual", 0.0)
+    }
+
+    /// [`Gateway::publish`] with an explicit triggering cause and simulated
+    /// time, recorded as a typed [`DeploymentKind::Publish`] trace record.
+    /// Publishing discards any staged candidate (recorded as a demote) and
+    /// resets the model's circuit breaker — a fresh version earns a fresh
+    /// failure budget.
+    pub fn publish_with_cause(
+        &self,
+        handle: ModelHandle,
+        model: Arc<dyn ServableModel>,
+        deployment_error: f64,
+        cause: &str,
+        sim_time: f64,
+    ) -> Result<u64> {
         let entry = self.entry(handle)?;
+        self.discard_candidate(&entry, "superseded_by_publish", sim_time);
         let version = entry
             .registry
             .lock()
             .deploy(model.clone(), deployment_error);
         *entry.snapshot.write() = Some(Arc::new(ServingSnapshot { version, model }));
-        self.inner.obs.event(
-            COMPONENT,
-            "hot_swap",
-            0.0,
-            &[
-                ("model", entry.name.as_str()),
-                ("version", &version.to_string()),
-            ],
-        );
+        self.swap_epilogue(&entry, DeploymentKind::Publish, version, cause, sim_time);
         Ok(version)
     }
 
@@ -382,7 +450,23 @@ impl Gateway {
     /// version, per `ModelRegistry` semantics) and swaps the snapshot.
     /// Returns the new serving version, or `None` when there is no earlier
     /// version to fall back to.
+    ///
+    /// Equivalent to [`Gateway::rollback_with_cause`] with cause `"manual"`
+    /// at simulated time 0.
     pub fn rollback(&self, handle: ModelHandle) -> Result<Option<u64>> {
+        self.rollback_with_cause(handle, "manual", 0.0)
+    }
+
+    /// [`Gateway::rollback`] with an explicit triggering cause and simulated
+    /// time, recorded as a typed [`DeploymentKind::Rollback`] trace record.
+    /// Rolling back discards any staged candidate (recorded as a demote)
+    /// and resets the model's circuit breaker.
+    pub fn rollback_with_cause(
+        &self,
+        handle: ModelHandle,
+        cause: &str,
+        sim_time: f64,
+    ) -> Result<Option<u64>> {
         let entry = self.entry(handle)?;
         let mut registry = entry.registry.lock();
         let Some(version) = registry.rollback() else {
@@ -394,17 +478,204 @@ impl Gateway {
             .model
             .clone();
         drop(registry);
+        self.discard_candidate(&entry, "superseded_by_rollback", sim_time);
         *entry.snapshot.write() = Some(Arc::new(ServingSnapshot { version, model }));
+        self.swap_epilogue(&entry, DeploymentKind::Rollback, version, cause, sim_time);
+        Ok(Some(version))
+    }
+
+    /// Shared tail of every snapshot swap: breaker reset, hot-swap event,
+    /// typed deployment record.
+    fn swap_epilogue(
+        &self,
+        entry: &ModelEntry,
+        kind: DeploymentKind,
+        version: u64,
+        cause: &str,
+        sim_time: f64,
+    ) {
+        *entry.breaker.lock() = CircuitBreaker::new(self.inner.config.breaker);
         self.inner.obs.event(
             COMPONENT,
             "hot_swap",
-            0.0,
+            sim_time,
             &[
                 ("model", entry.name.as_str()),
                 ("version", &version.to_string()),
             ],
         );
-        Ok(Some(version))
+        self.inner
+            .obs
+            .record_deployment(COMPONENT, kind, &entry.name, version, cause, sim_time);
+    }
+
+    /// Drops any staged candidate, recording the demote. No-op otherwise.
+    fn discard_candidate(&self, entry: &ModelEntry, cause: &str, sim_time: f64) {
+        let dropped = entry.candidate.write().take();
+        if let Some(c) = dropped {
+            entry.shadow_log.lock().clear();
+            self.inner.obs.record_deployment(
+                COMPONENT,
+                DeploymentKind::Demote,
+                &entry.name,
+                c.snapshot.version,
+                cause,
+                sim_time,
+            );
+        }
+    }
+
+    /// Stages `model` as a candidate version in `phase`, without deploying
+    /// it. The candidate is labelled with the registry's *next* version
+    /// number (the one it will get if promoted), which is returned.
+    ///
+    /// In [`DeployPhase::Shadow`], every request is mirrored through the
+    /// candidate (answers logged, never served). In [`DeployPhase::Canary`],
+    /// `traffic_pct`% of requests (deterministically, by arrival ticket) are
+    /// answered by the candidate. Replaces any previously staged candidate
+    /// (recorded as a demote).
+    #[allow(clippy::too_many_arguments)]
+    pub fn stage_candidate(
+        &self,
+        handle: ModelHandle,
+        model: Arc<dyn ServableModel>,
+        deployment_error: f64,
+        phase: DeployPhase,
+        traffic_pct: u8,
+        cause: &str,
+        sim_time: f64,
+    ) -> Result<u64> {
+        let entry = self.entry(handle)?;
+        self.discard_candidate(&entry, "restaged", sim_time);
+        let version = entry.registry.lock().next_version();
+        let kind = match phase {
+            DeployPhase::Shadow => DeploymentKind::ShadowStart,
+            DeployPhase::Canary => DeploymentKind::CanaryStart,
+        };
+        entry.canary_ticket.store(0, Relaxed);
+        *entry.candidate.write() = Some(CandidateState {
+            snapshot: Arc::new(ServingSnapshot { version, model }),
+            deployment_error,
+            phase,
+            traffic_pct: traffic_pct.min(100),
+        });
+        self.inner
+            .obs
+            .record_deployment(COMPONENT, kind, &entry.name, version, cause, sim_time);
+        Ok(version)
+    }
+
+    /// Moves a shadow-phase candidate into canary phase at `traffic_pct`%
+    /// of live traffic. Returns the candidate's provisional version, or an
+    /// error when no candidate is staged.
+    pub fn advance_candidate(
+        &self,
+        handle: ModelHandle,
+        traffic_pct: u8,
+        cause: &str,
+        sim_time: f64,
+    ) -> Result<u64> {
+        let entry = self.entry(handle)?;
+        let mut candidate = entry.candidate.write();
+        let Some(c) = candidate.as_mut() else {
+            return Err(ServeError::NoCandidate(entry.name.clone()));
+        };
+        c.phase = DeployPhase::Canary;
+        c.traffic_pct = traffic_pct.min(100);
+        let version = c.snapshot.version;
+        drop(candidate);
+        entry.canary_ticket.store(0, Relaxed);
+        self.inner.obs.record_deployment(
+            COMPONENT,
+            DeploymentKind::CanaryStart,
+            &entry.name,
+            version,
+            cause,
+            sim_time,
+        );
+        Ok(version)
+    }
+
+    /// Promotes the staged candidate: deploys it through the registry with
+    /// its observed (windowed) error, swaps the serving snapshot, resets
+    /// the breaker, and clears the candidate slot. Returns the deployed
+    /// version.
+    pub fn promote_candidate(
+        &self,
+        handle: ModelHandle,
+        measured_error: f64,
+        cause: &str,
+        sim_time: f64,
+    ) -> Result<u64> {
+        let entry = self.entry(handle)?;
+        let Some(c) = entry.candidate.write().take() else {
+            return Err(ServeError::NoCandidate(entry.name.clone()));
+        };
+        entry.shadow_log.lock().clear();
+        let model = c.snapshot.model.clone();
+        let version = entry.registry.lock().deploy(model.clone(), measured_error);
+        *entry.snapshot.write() = Some(Arc::new(ServingSnapshot { version, model }));
+        self.swap_epilogue(&entry, DeploymentKind::Promote, version, cause, sim_time);
+        Ok(version)
+    }
+
+    /// Demotes (discards) the staged candidate, recording the demote with
+    /// its cause. Returns the demoted candidate's provisional version, or
+    /// an error when no candidate is staged.
+    pub fn demote_candidate(&self, handle: ModelHandle, cause: &str, sim_time: f64) -> Result<u64> {
+        let entry = self.entry(handle)?;
+        let Some(c) = entry.candidate.write().take() else {
+            return Err(ServeError::NoCandidate(entry.name.clone()));
+        };
+        entry.shadow_log.lock().clear();
+        let version = c.snapshot.version;
+        self.inner.obs.record_deployment(
+            COMPONENT,
+            DeploymentKind::Demote,
+            &entry.name,
+            version,
+            cause,
+            sim_time,
+        );
+        Ok(version)
+    }
+
+    /// The staged candidate's provisional version and phase, or `None` when
+    /// nothing is staged.
+    pub fn candidate_status(&self, handle: ModelHandle) -> Result<Option<(u64, DeployPhase)>> {
+        let entry = self.entry(handle)?;
+        let candidate = entry.candidate.read();
+        Ok(candidate.as_ref().map(|c| (c.snapshot.version, c.phase)))
+    }
+
+    /// The staged candidate's claimed deployment error, or `None` when
+    /// nothing is staged.
+    pub fn candidate_deployment_error(&self, handle: ModelHandle) -> Result<Option<f64>> {
+        let entry = self.entry(handle)?;
+        let candidate = entry.candidate.read();
+        Ok(candidate.as_ref().map(|c| c.deployment_error))
+    }
+
+    /// Drains and returns all buffered shadow samples for a model, oldest
+    /// first.
+    pub fn drain_shadow(&self, handle: ModelHandle) -> Result<Vec<ShadowSample>> {
+        let entry = self.entry(handle)?;
+        let mut log = entry.shadow_log.lock();
+        Ok(log.drain(..).collect())
+    }
+
+    /// The registered name of a model.
+    pub fn model_name(&self, handle: ModelHandle) -> Result<String> {
+        let entry = self.entry(handle)?;
+        Ok(entry.name.clone())
+    }
+
+    /// The serving version's deployment-time error claim (`None` before the
+    /// first publish).
+    pub fn current_deployment_error(&self, handle: ModelHandle) -> Result<Option<f64>> {
+        let entry = self.entry(handle)?;
+        let registry = entry.registry.lock();
+        Ok(registry.current().map(|v| v.deployment_error))
     }
 
     /// Currently served version (`None` before the first publish).
@@ -438,20 +709,35 @@ impl Gateway {
     }
 
     /// Marks the model's serving path as poisoned: fresh predictions are
-    /// biased by the fault channel's poison factor before the guard sees
-    /// them.
+    /// biased by the fault channel's poison profile before the guard sees
+    /// them. `true` poisons every version ([`PoisonScope::All`]); `false`
+    /// clears poisoning.
     pub fn set_poisoned(&self, handle: ModelHandle, poisoned: bool) -> Result<()> {
+        self.set_poison_scope(
+            handle,
+            if poisoned {
+                PoisonScope::All
+            } else {
+                PoisonScope::None
+            },
+        )
+    }
+
+    /// Scopes poisoning to specific versions — e.g.
+    /// [`PoisonScope::Version`] models one corrupted artifact, so a
+    /// rollback to an earlier version actually heals serving.
+    pub fn set_poison_scope(&self, handle: ModelHandle, scope: PoisonScope) -> Result<()> {
         let entry = self.entry(handle)?;
-        entry.faults.lock().poisoned = poisoned;
+        entry.faults.lock().poisoned = scope;
         Ok(())
     }
 
-    /// Detaches any fault channel and clears the poisoned flag.
+    /// Detaches any fault channel and clears the poison scope.
     pub fn clear_faults(&self, handle: ModelHandle) -> Result<()> {
         let entry = self.entry(handle)?;
         let mut faults = entry.faults.lock();
         faults.source = None;
-        faults.poisoned = false;
+        faults.poisoned = PoisonScope::None;
         Ok(())
     }
 
@@ -466,11 +752,98 @@ impl Gateway {
         Ok(self.serve_one(&entry, features, sim_time))
     }
 
+    /// Picks the snapshot a request is served by: the staged canary
+    /// candidate for its deterministic traffic slice, the primary
+    /// otherwise. A shadow-phase candidate is mirrored here (inference on
+    /// the caller thread, answer logged, primary still served) — both the
+    /// ticket advance and the mirror happen in request order, which is what
+    /// keeps canary routing byte-identical across replays.
+    fn route(
+        &self,
+        entry: &ModelEntry,
+        primary: Arc<ServingSnapshot>,
+        features: &[f64],
+        sim_time: f64,
+    ) -> Arc<ServingSnapshot> {
+        let candidate = entry.candidate.read();
+        let Some(c) = candidate.as_ref() else {
+            return primary;
+        };
+        match c.phase {
+            DeployPhase::Canary => {
+                let ticket = entry.canary_ticket.fetch_add(1, Relaxed);
+                if ticket % 100 < c.traffic_pct as u64 {
+                    self.inner.counters.canary_routed.fetch_add(1, Relaxed);
+                    self.inner.obs.counter_add(
+                        COMPONENT,
+                        "canary_routed",
+                        &[("model", entry.name.as_str())],
+                        1,
+                    );
+                    c.snapshot.clone()
+                } else {
+                    primary
+                }
+            }
+            DeployPhase::Shadow => {
+                let shadow = c.snapshot.clone();
+                drop(candidate);
+                let clean = shadow.model.predict(features);
+                let digest = digest_f64(features.iter().copied());
+                // The mirror sees version-scoped poison (a corrupted
+                // candidate artifact must look corrupted in shadow), but
+                // not the staleness/timeout channel — those model the
+                // serving path, which shadow traffic never takes.
+                let value = {
+                    let mut channel = entry.faults.lock();
+                    if channel.poisoned.covers(shadow.version) {
+                        channel
+                            .source
+                            .as_mut()
+                            .map_or(clean, |faults| faults.apply_poison(clean))
+                    } else {
+                        clean
+                    }
+                };
+                self.inner.counters.shadow_serves.fetch_add(1, Relaxed);
+                self.inner.obs.counter_add(
+                    COMPONENT,
+                    "shadow_serves",
+                    &[("model", entry.name.as_str())],
+                    1,
+                );
+                self.inner.obs.record_decision(
+                    COMPONENT,
+                    "shadow_serve",
+                    &Provenance::new(&entry.name, shadow.version, digest),
+                    value,
+                    None,
+                    "shadow",
+                    false,
+                    0,
+                    sim_time,
+                );
+                let mut log = entry.shadow_log.lock();
+                if log.len() >= SHADOW_LOG_CAP {
+                    log.pop_front();
+                }
+                log.push_back(ShadowSample {
+                    features_digest: digest,
+                    version: shadow.version,
+                    value,
+                    sim_time,
+                });
+                primary
+            }
+        }
+    }
+
     fn serve_one(&self, entry: &ModelEntry, features: &[f64], sim_time: f64) -> Prediction {
         self.admit(entry);
-        let Some(snapshot) = entry.snapshot.read().clone() else {
+        let Some(primary) = entry.snapshot.read().clone() else {
             return self.serve_fallback(entry, 0, 0, features, FallbackCause::NoModel, sim_time);
         };
+        let snapshot = self.route(entry, primary, features, sim_time);
         let mut digest = 0u64;
         if let Some(hit) = self.probe_cache(entry, &snapshot, features, &mut digest) {
             return hit;
@@ -536,7 +909,7 @@ impl Gateway {
                 }
             }
             self.admit(&entry);
-            let Some(snapshot) = entry.snapshot.read().clone() else {
+            let Some(primary) = entry.snapshot.read().clone() else {
                 slots.push(Slot::Ready(self.serve_fallback(
                     &entry,
                     0,
@@ -547,6 +920,7 @@ impl Gateway {
                 )));
                 continue;
             };
+            let snapshot = self.route(&entry, primary, &request.features, now);
             let mut digest = digest_f64(request.features.iter().copied());
             if let Some(hit) = self.probe_cache(&entry, &snapshot, &request.features, &mut digest) {
                 slots.push(Slot::Ready(hit));
@@ -754,11 +1128,11 @@ impl Gateway {
     ) -> Prediction {
         let served = {
             let mut channel = entry.faults.lock();
-            let biased = if channel.poisoned {
+            let biased = if channel.poisoned.covers(snapshot.version) {
                 channel
                     .source
-                    .as_ref()
-                    .map_or(clean, |faults| faults.poisoned(clean))
+                    .as_mut()
+                    .map_or(clean, |faults| faults.apply_poison(clean))
             } else {
                 clean
             };
@@ -929,6 +1303,8 @@ impl Gateway {
             fallbacks: c.fallbacks.load(Relaxed),
             shed: c.shed.load(Relaxed),
             stale: c.stale.load(Relaxed),
+            canary_routed: c.canary_routed.load(Relaxed),
+            shadow_serves: c.shadow_serves.load(Relaxed),
             cache_hit_rate: if probes == 0 {
                 0.0
             } else {
@@ -1214,5 +1590,206 @@ mod tests {
             ),
             1
         );
+    }
+
+    #[test]
+    fn canary_routes_deterministic_slice() {
+        let mut config = GatewayConfig::standard();
+        config.cache_capacity = 0;
+        let (gateway, handle) = identity_gateway(config);
+        gateway
+            .stage_candidate(
+                handle,
+                Arc::new(FnModel(|f: &[f64]| f[0] + 50.0)),
+                0.01,
+                DeployPhase::Canary,
+                20,
+                "test",
+                0.0,
+            )
+            .unwrap();
+        assert_eq!(
+            gateway.candidate_status(handle).unwrap(),
+            Some((2, DeployPhase::Canary))
+        );
+        let mut canary = 0;
+        for i in 0..200 {
+            let p = gateway.predict(handle, &[i as f64], i as f64).unwrap();
+            if p.version == 2 {
+                canary += 1;
+                assert_eq!(p.value, i as f64 + 50.0);
+            } else {
+                assert_eq!(p.version, 1);
+                assert_eq!(p.value, i as f64 + 1.0);
+            }
+        }
+        // Ticket counter: tickets 0–19 of every 100 go to the candidate.
+        assert_eq!(canary, 40);
+        assert_eq!(gateway.stats().canary_routed, 40);
+    }
+
+    #[test]
+    fn shadow_mirrors_without_serving() {
+        let mut config = GatewayConfig::standard();
+        config.cache_capacity = 0;
+        let (gateway, handle) = identity_gateway(config);
+        gateway
+            .stage_candidate(
+                handle,
+                Arc::new(FnModel(|f: &[f64]| f[0] * 2.0)),
+                0.01,
+                DeployPhase::Shadow,
+                0,
+                "test",
+                0.0,
+            )
+            .unwrap();
+        for i in 0..5 {
+            let p = gateway.predict(handle, &[i as f64], i as f64).unwrap();
+            assert_eq!(p.version, 1, "shadow answers are never served");
+            assert_eq!(p.value, i as f64 + 1.0);
+        }
+        let samples = gateway.drain_shadow(handle).unwrap();
+        assert_eq!(samples.len(), 5);
+        assert_eq!(samples[2].value, 4.0);
+        assert_eq!(samples[2].version, 2);
+        assert_eq!(samples[2].sim_time, 2.0);
+        assert_eq!(gateway.stats().shadow_serves, 5);
+        assert!(gateway.drain_shadow(handle).unwrap().is_empty());
+    }
+
+    #[test]
+    fn candidate_lifecycle_records_typed_deployments() {
+        let obs = Obs::recording();
+        let gateway = Gateway::with_obs(GatewayConfig::standard(), obs.clone());
+        let handle = gateway.register("m", |f: &[f64]| f[0]);
+        gateway
+            .publish(handle, Arc::new(FnModel(|f: &[f64]| f[0] + 1.0)), 0.05)
+            .unwrap();
+        let staged = gateway
+            .stage_candidate(
+                handle,
+                Arc::new(FnModel(|f: &[f64]| f[0] + 2.0)),
+                0.02,
+                DeployPhase::Shadow,
+                0,
+                "retrain:drift",
+                1.0,
+            )
+            .unwrap();
+        assert_eq!(staged, 2);
+        gateway
+            .advance_candidate(handle, 25, "shadow_healthy", 2.0)
+            .unwrap();
+        assert_eq!(
+            gateway.candidate_status(handle).unwrap(),
+            Some((2, DeployPhase::Canary))
+        );
+        let promoted = gateway
+            .promote_candidate(handle, 0.02, "canary_healthy", 3.0)
+            .unwrap();
+        assert_eq!(promoted, 2);
+        assert_eq!(gateway.candidate_status(handle).unwrap(), None);
+        assert_eq!(gateway.current_version(handle).unwrap(), Some(2));
+        let p = gateway.predict(handle, &[1.0], 4.0).unwrap();
+        assert_eq!(p.value, 3.0, "promoted candidate now serves");
+        // A failed candidate: stage then demote.
+        gateway
+            .stage_candidate(
+                handle,
+                Arc::new(FnModel(|f: &[f64]| f[0] + 9.0)),
+                0.02,
+                DeployPhase::Canary,
+                10,
+                "retrain:drift",
+                5.0,
+            )
+            .unwrap();
+        gateway
+            .demote_candidate(handle, "canary_unhealthy", 6.0)
+            .unwrap();
+        assert_eq!(gateway.candidate_status(handle).unwrap(), None);
+        let trace = obs.snapshot();
+        let got: Vec<(DeploymentKind, String, u64)> = trace
+            .deployments
+            .iter()
+            .map(|d| (d.kind, d.cause.clone(), d.version))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                (DeploymentKind::Publish, "manual".to_string(), 1),
+                (DeploymentKind::ShadowStart, "retrain:drift".to_string(), 2),
+                (DeploymentKind::CanaryStart, "shadow_healthy".to_string(), 2),
+                (DeploymentKind::Promote, "canary_healthy".to_string(), 2),
+                (DeploymentKind::CanaryStart, "retrain:drift".to_string(), 3),
+                (DeploymentKind::Demote, "canary_unhealthy".to_string(), 3),
+            ]
+        );
+        assert!(trace.deployments.iter().all(|d| d.model_id == "m"));
+    }
+
+    #[test]
+    fn publish_discards_staged_candidate() {
+        let obs = Obs::recording();
+        let gateway = Gateway::with_obs(GatewayConfig::standard(), obs.clone());
+        let handle = gateway.register("m", |f: &[f64]| f[0]);
+        gateway
+            .publish(handle, Arc::new(FnModel(|f: &[f64]| f[0] + 1.0)), 0.05)
+            .unwrap();
+        gateway
+            .stage_candidate(
+                handle,
+                Arc::new(FnModel(|f: &[f64]| f[0] + 2.0)),
+                0.02,
+                DeployPhase::Shadow,
+                0,
+                "test",
+                1.0,
+            )
+            .unwrap();
+        gateway
+            .publish(handle, Arc::new(FnModel(|f: &[f64]| f[0] + 3.0)), 0.01)
+            .unwrap();
+        assert_eq!(gateway.candidate_status(handle).unwrap(), None);
+        let trace = obs.snapshot();
+        let demote = trace
+            .deployments
+            .iter()
+            .find(|d| d.kind == DeploymentKind::Demote)
+            .expect("implicit demote recorded");
+        assert_eq!(demote.cause, "superseded_by_publish");
+    }
+
+    #[test]
+    fn version_scoped_poison_spares_other_versions() {
+        let mut config = GatewayConfig::standard();
+        config.cache_capacity = 0;
+        let (gateway, handle) = identity_gateway(config);
+        gateway
+            .inject_faults(handle, ModelFaults::new(7, 0.0, 0.0, 4.0))
+            .unwrap();
+        gateway
+            .set_poison_scope(handle, PoisonScope::Version(2))
+            .unwrap();
+        gateway
+            .stage_candidate(
+                handle,
+                Arc::new(FnModel(|f: &[f64]| f[0] + 1.0)),
+                0.05,
+                DeployPhase::Shadow,
+                0,
+                "test",
+                0.0,
+            )
+            .unwrap();
+        let p = gateway.predict(handle, &[1.0], 0.0).unwrap();
+        assert_eq!(p.value, 2.0, "primary v1 is outside the poison scope");
+        let samples = gateway.drain_shadow(handle).unwrap();
+        assert_eq!(samples[0].value, 8.0, "candidate v2 output is poisoned 4x");
+        // Widen to all versions: the primary is now hit too.
+        gateway.set_poison_scope(handle, PoisonScope::All).unwrap();
+        let p = gateway.predict(handle, &[1.0], 1.0).unwrap();
+        assert_eq!(p.value, 8.0);
     }
 }

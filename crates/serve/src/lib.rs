@@ -36,17 +36,21 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod autonomy;
 mod breaker;
 mod cache;
+mod canary;
 mod gateway;
 mod model;
 mod pool;
 
+pub use autonomy::{AutonomyAction, AutonomyConfig, AutonomyController, CanaryConfig, Retrainer};
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker, Transition};
 pub use cache::{CacheKey, PredictionCache};
+pub use canary::{DeployPhase, ShadowSample};
 pub use gateway::{
-    FallbackCause, Gateway, GatewayConfig, GatewayStats, Prediction, Request, ServingSnapshot,
-    Source,
+    FallbackCause, Gateway, GatewayConfig, GatewayStats, PoisonScope, Prediction, Request,
+    ServingSnapshot, Source,
 };
 pub use model::{FnModel, ModelHandle, RegressorModel, ServableModel};
 pub use pool::{BatchPromise, WorkerPool};
@@ -58,12 +62,18 @@ use std::fmt;
 pub enum ServeError {
     /// A [`ModelHandle`] did not resolve to a registered model.
     UnknownModel(String),
+    /// A candidate operation (advance/promote/demote) found no staged
+    /// candidate for the named model.
+    NoCandidate(String),
 }
 
 impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ServeError::UnknownModel(which) => write!(f, "unknown model: {which}"),
+            ServeError::NoCandidate(which) => {
+                write!(f, "no staged candidate for model: {which}")
+            }
         }
     }
 }

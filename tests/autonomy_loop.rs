@@ -163,3 +163,110 @@ fn joint_optimization_coordinates_provisioning_knobs() {
     assert!(joint.objective <= seq.objective);
     assert!(joint.settings[0] + joint.settings[1] >= demand);
 }
+
+#[test]
+fn controller_closes_the_loop_for_served_cardinality() {
+    // End to end through the PR-5 consumer: a learned cardinality model
+    // drifts, the controller retrains it from observed outcomes, evaluates
+    // the candidate in shadow then canary, and promotes — all through
+    // `ServedCardinality::observe_actual`, no manual deployment calls.
+    use autonomous_data_services::engine::cardinality::CardinalityModel;
+    use autonomous_data_services::learned::cardinality::{LearnedCardinality, TrainConfig};
+    use autonomous_data_services::learned::serving::cardinality_model_name;
+    use autonomous_data_services::obs::Obs;
+    use autonomous_data_services::serve::{
+        AutonomyAction, AutonomyConfig, AutonomyController, CanaryConfig, FnModel, Gateway,
+        GatewayConfig, ServableModel,
+    };
+    use autonomous_data_services::workload::gen::{GeneratorConfig, WorkloadGenerator};
+    use autonomous_data_services::workload::signature::template_signature;
+    use std::sync::Arc;
+
+    let w = WorkloadGenerator::new(GeneratorConfig {
+        days: 6,
+        jobs_per_day: 150,
+        n_templates: 20,
+        ..Default::default()
+    })
+    .unwrap()
+    .generate()
+    .unwrap();
+    let plans: Vec<_> = w.trace.jobs().iter().map(|j| j.plan.clone()).collect();
+    let (direct, _) = LearnedCardinality::train(&w.catalog, &plans, TrainConfig::default());
+    let obs = Obs::recording();
+    let gateway = Gateway::with_obs(GatewayConfig::standard(), obs.clone());
+    let served = direct.publish(&gateway);
+    let plan = plans
+        .iter()
+        .find(|p| served.covers(p))
+        .expect("trained coverage");
+    let handle = gateway
+        .resolve(&cardinality_model_name(template_signature(plan)))
+        .expect("published template");
+
+    let mut ctl = AutonomyController::new(gateway.clone(), obs.clone());
+    ctl.supervise(
+        handle,
+        AutonomyConfig {
+            monitor: autonomous_data_services::core::LoopConfig {
+                window: 10,
+                retrain_factor: 1.5,
+                rollback_factor: 8.0,
+            },
+            canary: CanaryConfig {
+                traffic_pct: 40,
+                shadow_first: true,
+                min_decisions: 5,
+                promote_streak: 2,
+                demote_streak: 2,
+                promote_error_factor: 1.2,
+                demote_error_factor: 2.0,
+                restage_backoff_ticks: 8.0,
+                max_restage_backoff_ticks: 64.0,
+            },
+            guarded_streak: 4,
+            breaker_open_streak: 10,
+            retrain_cooldown_ticks: 4.0,
+            min_retrain_observations: 10,
+        },
+        // Constant fit in ln-rows space: the template's observed outcomes.
+        Box::new(|history: &[(Vec<f64>, f64)]| {
+            let c = history.iter().map(|(_, y)| *y).sum::<f64>() / history.len() as f64;
+            Some((
+                Arc::new(FnModel(move |_: &[f64]| c)) as Arc<dyn ServableModel>,
+                0.05,
+            ))
+        }),
+    );
+
+    // The world changed: this template now always yields 1000 rows.
+    let mut actions = Vec::new();
+    for t in 0..600u64 {
+        let sim_time = t as f64;
+        served.set_sim_time(sim_time);
+        served.estimate(plan).unwrap();
+        if let Some(step) = served.observe_actual(plan, 1000.0, &mut ctl, sim_time) {
+            actions.extend(step);
+        }
+    }
+    assert!(
+        actions
+            .iter()
+            .any(|a| matches!(a, AutonomyAction::RetrainScheduled { .. })),
+        "drift must schedule a retrain: {actions:?}"
+    );
+    assert!(
+        actions
+            .iter()
+            .any(|a| matches!(a, AutonomyAction::Promoted { .. })),
+        "the retrained template model must promote: {actions:?}"
+    );
+    // The promoted model now tracks the new world.
+    served.set_sim_time(1000.0);
+    let rows = served.estimate(plan).unwrap();
+    assert!(
+        (rows - 1000.0).abs() / 1000.0 < 0.05,
+        "estimate {rows} should track the new cardinality"
+    );
+    assert!(gateway.current_version(handle).unwrap().unwrap() >= 2);
+}

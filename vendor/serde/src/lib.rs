@@ -13,8 +13,8 @@
 //! The `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros (from the
 //! vendored `serde_derive`) support named/tuple/unit structs and enums with
 //! unit, tuple, and struct variants, one optional type parameter, and the
-//! `#[serde(skip)]` field attribute — exactly the shapes this workspace
-//! uses. Externally-tagged enum encoding matches real serde_json
+//! `#[serde(skip)]` / `#[serde(default)]` field attributes — exactly the
+//! shapes this workspace uses. Externally-tagged enum encoding matches real serde_json
 //! (`"Variant"`, `{"Variant": payload}`), and newtype structs are
 //! transparent.
 

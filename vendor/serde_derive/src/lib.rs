@@ -14,7 +14,10 @@
 //! - enums with unit, tuple, and struct variants, encoded externally
 //!   tagged exactly like serde_json (`"Variant"` / `{"Variant": ...}`);
 //! - the `#[serde(skip)]` field attribute (omitted on serialize, filled
-//!   from `Default::default()` on deserialize).
+//!   from `Default::default()` on deserialize);
+//! - the `#[serde(default)]` field attribute (serialized normally, filled
+//!   from `Default::default()` when absent on deserialize — used for
+//!   forward-compatible additions to persisted formats).
 //!
 //! Anything outside that surface fails the build with a descriptive panic
 //! rather than silently mis-serializing.
@@ -27,6 +30,15 @@ struct Field {
     name: Option<String>,
     /// Marked `#[serde(skip)]`.
     skip: bool,
+    /// Marked `#[serde(default)]`.
+    uses_default: bool,
+}
+
+/// Field-level serde attributes recognized by this stand-in.
+#[derive(Default, Clone, Copy)]
+struct FieldAttrs {
+    skip: bool,
+    uses_default: bool,
 }
 
 /// The body shape of a struct or one enum variant.
@@ -105,10 +117,10 @@ impl Cursor {
         self.pos >= self.tokens.len()
     }
 
-    /// Consumes attributes (`#[...]`), returning whether any was
-    /// `#[serde(skip)]`.
-    fn skip_attrs(&mut self) -> bool {
-        let mut skip = false;
+    /// Consumes attributes (`#[...]`), returning any recognized
+    /// `#[serde(...)]` field flags.
+    fn skip_attrs(&mut self) -> FieldAttrs {
+        let mut attrs = FieldAttrs::default();
         while let Some(TokenTree::Punct(p)) = self.peek() {
             if p.as_char() != '#' {
                 break;
@@ -116,14 +128,14 @@ impl Cursor {
             self.next();
             match self.next() {
                 Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
-                    if attr_is_serde_skip(g.stream()) {
-                        skip = true;
-                    }
+                    let flags = serde_attr_flags(g.stream());
+                    attrs.skip |= flags.skip;
+                    attrs.uses_default |= flags.uses_default;
                 }
                 other => panic!("serde_derive: expected [...] after #, got {other:?}"),
             }
         }
-        skip
+        attrs
     }
 
     /// Consumes `pub`, `pub(...)` if present.
@@ -183,15 +195,23 @@ impl Cursor {
     }
 }
 
-fn attr_is_serde_skip(stream: TokenStream) -> bool {
+fn serde_attr_flags(stream: TokenStream) -> FieldAttrs {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
-    match tokens.as_slice() {
-        [TokenTree::Ident(name), TokenTree::Group(args)] if name.to_string() == "serde" => args
-            .stream()
-            .into_iter()
-            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip")),
-        _ => false,
+    let mut attrs = FieldAttrs::default();
+    if let [TokenTree::Ident(name), TokenTree::Group(args)] = tokens.as_slice() {
+        if name.to_string() == "serde" {
+            for t in args.stream() {
+                if let TokenTree::Ident(id) = &t {
+                    match id.to_string().as_str() {
+                        "skip" => attrs.skip = true,
+                        "default" => attrs.uses_default = true,
+                        _ => {}
+                    }
+                }
+            }
+        }
     }
+    attrs
 }
 
 fn parse_item(input: TokenStream) -> Item {
@@ -291,7 +311,7 @@ fn parse_named_fields(body: TokenStream) -> Vec<Field> {
     let mut c = Cursor::new(body);
     let mut fields = Vec::new();
     while !c.at_end() {
-        let skip = c.skip_attrs();
+        let attrs = c.skip_attrs();
         if c.at_end() {
             break;
         }
@@ -304,7 +324,8 @@ fn parse_named_fields(body: TokenStream) -> Vec<Field> {
         c.skip_until_comma();
         fields.push(Field {
             name: Some(name),
-            skip,
+            skip: attrs.skip,
+            uses_default: attrs.uses_default,
         });
     }
     fields
@@ -314,13 +335,17 @@ fn parse_tuple_fields(body: TokenStream) -> Vec<Field> {
     let mut c = Cursor::new(body);
     let mut fields = Vec::new();
     while !c.at_end() {
-        let skip = c.skip_attrs();
+        let attrs = c.skip_attrs();
         if c.at_end() {
             break;
         }
         c.skip_visibility();
         c.skip_until_comma();
-        fields.push(Field { name: None, skip });
+        fields.push(Field {
+            name: None,
+            skip: attrs.skip,
+            uses_default: attrs.uses_default,
+        });
     }
     fields
 }
@@ -580,6 +605,13 @@ fn de_named_inits(fields: &[Field], map_var: &str) -> String {
             let fname = f.name.as_deref().unwrap();
             if f.skip {
                 format!("{fname}: ::std::default::Default::default()")
+            } else if f.uses_default {
+                format!(
+                    "{fname}: match ::serde::__field({map_var}, \"{fname}\") {{ \
+                        ::serde::Value::Null => ::std::default::Default::default(), \
+                        __fv => ::serde::Deserialize::from_value(__fv)? \
+                    }}"
+                )
             } else {
                 format!(
                     "{fname}: ::serde::Deserialize::from_value(::serde::__field({map_var}, \"{fname}\"))?"
