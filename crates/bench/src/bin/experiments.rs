@@ -6,6 +6,7 @@
 //! experiments phoebe seagull # run a subset
 //! experiments --table …      # human-readable aligned tables instead
 //! experiments --json out.json …  # also dump rows as JSON
+//! experiments --trace out.trace.json …  # stream the full flight record
 //! ```
 //!
 //! Progress and results stream as machine-parseable JSON lines through the
@@ -16,6 +17,7 @@
 use adas_bench::experiments::registry;
 use adas_bench::{render_table, Row};
 use adas_obs::Obs;
+use std::io::Write as _;
 use std::time::Instant;
 
 fn emit(obs: &Obs, name: &str, fields: &[(&str, &str)]) {
@@ -26,6 +28,7 @@ fn emit(obs: &Obs, name: &str, fields: &[(&str, &str)]) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut table = false;
     let mut selected: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
@@ -35,6 +38,13 @@ fn main() {
                 json_path = iter.next();
                 if json_path.is_none() {
                     eprintln!("--json requires a path");
+                    std::process::exit(2);
+                }
+            }
+            "--trace" => {
+                trace_path = iter.next();
+                if trace_path.is_none() {
+                    eprintln!("--trace requires a path");
                     std::process::exit(2);
                 }
             }
@@ -103,6 +113,38 @@ fn main() {
                 "rows_written",
                 &[("rows", &all_rows.len().to_string()), ("path", &path)],
             );
+        }
+    }
+
+    if let Some(path) = trace_path {
+        // Stream the flight record chunk by chunk — the full export string
+        // is never materialized, so arbitrarily long campaigns stay flat in
+        // memory.
+        let file = std::fs::File::create(&path).unwrap_or_else(|e| {
+            eprintln!("failed to create {path}: {e}");
+            std::process::exit(1);
+        });
+        let mut writer = std::io::BufWriter::new(file);
+        let mut failed = None;
+        obs.export_stream(64 * 1024, |chunk| {
+            if failed.is_none() {
+                if let Err(e) = writer.write_all(chunk.as_bytes()) {
+                    failed = Some(e);
+                }
+            }
+        });
+        let result = failed
+            .map(Err)
+            .unwrap_or_else(|| writer.flush())
+            .map_err(|e| e.to_string());
+        if let Err(e) = result {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        if table {
+            println!("wrote flight record to {path}");
+        } else {
+            emit(&obs, "trace_written", &[("path", &path)]);
         }
     }
 }

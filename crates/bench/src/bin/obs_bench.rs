@@ -6,8 +6,10 @@
 //! production configuration: one branch per instrumentation point), and with
 //! [`Obs::recording`] (full spans, metrics and flight recording) — and
 //! records jobs/second for each into `BENCH_obs.json` at the repo root. The
-//! contract this baseline tracks: the disabled path must cost < 5% versus
-//! the raw simulator.
+//! contracts this baseline tracks: the disabled path must cost < 5% and the
+//! full recording path < 10% versus the raw simulator. Overheads are
+//! best-of-rounds and clamped at 0 — a negative reading is measurement
+//! noise, not a speedup, and must not mask a real regression elsewhere.
 
 use std::time::Instant;
 
@@ -25,22 +27,21 @@ struct ObsBench {
     disabled_jobs_per_sec: f64,
     recording_jobs_per_sec: f64,
     /// Relative cost of the disabled-obs path vs. the unobserved simulator
-    /// (`disabled_time / plain_time - 1`, best-of-rounds). Must stay < 0.05.
+    /// (`disabled_time / plain_time - 1`, best-of-rounds, clamped at 0).
+    /// Must stay < 0.05.
     disabled_overhead: f64,
     disabled_overhead_ok: bool,
     /// Relative cost of full recording vs. the unobserved simulator
-    /// (informational; recording is expected to cost real time).
+    /// (best-of-rounds, clamped at 0). Must stay < 0.10 — always-on flight
+    /// recording is budgeted like any other hot-path cost.
     recording_overhead: f64,
+    recording_overhead_ok: bool,
 }
 
-fn best_secs(rounds: usize, mut f: impl FnMut()) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..rounds {
-        let start = Instant::now();
-        f();
-        best = best.min(start.elapsed().as_secs_f64());
-    }
-    best
+fn timed(f: impl FnOnce()) -> f64 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_secs_f64()
 }
 
 fn main() {
@@ -64,7 +65,7 @@ fn main() {
     let cluster = ClusterConfig::default();
     let disabled_sim = Simulator::new(cluster).expect("valid cluster");
 
-    const ROUNDS: usize = 7;
+    const ROUNDS: usize = 15;
     // Replay the whole job set this many times per timed round so each
     // measurement spans tens of milliseconds; a single pass is ~1ms and
     // best-of-rounds over that is dominated by scheduler noise.
@@ -76,37 +77,51 @@ fn main() {
             .expect("simulates");
     }
 
-    let plain = best_secs(ROUNDS, || {
-        for _ in 0..PASSES_PER_ROUND {
-            for dag in &dags {
-                disabled_sim
-                    .run_unobserved(dag, &SimOptions::default())
-                    .expect("simulates");
+    // Rounds interleave the three configurations so background-load drift
+    // hits all of them roughly equally; a sequential plan (all plain rounds,
+    // then all disabled, …) lets one load spike skew a whole configuration
+    // and shows up as multi-point overhead swings between runs.
+    let mut plain = f64::INFINITY;
+    let mut disabled_secs = f64::INFINITY;
+    let mut recording_secs = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        plain = plain.min(timed(|| {
+            for _ in 0..PASSES_PER_ROUND {
+                for dag in &dags {
+                    disabled_sim
+                        .run_unobserved(dag, &SimOptions::default())
+                        .expect("simulates");
+                }
             }
-        }
-    });
-    let disabled_secs = best_secs(ROUNDS, || {
-        for _ in 0..PASSES_PER_ROUND {
-            for dag in &dags {
-                disabled_sim
-                    .run(dag, &SimOptions::default())
-                    .expect("simulates");
+        }));
+        disabled_secs = disabled_secs.min(timed(|| {
+            for _ in 0..PASSES_PER_ROUND {
+                for dag in &dags {
+                    disabled_sim
+                        .run(dag, &SimOptions::default())
+                        .expect("simulates");
+                }
             }
-        }
-    });
-    // A fresh recorder per round keeps the trace from growing unboundedly
-    // across rounds while still amortizing allocation over a full pass set.
-    let recording_secs = best_secs(ROUNDS, || {
-        let sim = Simulator::with_obs(cluster, Obs::recording()).expect("valid cluster");
-        for _ in 0..PASSES_PER_ROUND {
-            for dag in &dags {
-                sim.run(dag, &SimOptions::default()).expect("simulates");
+        }));
+        // A fresh recorder per round keeps the trace from growing
+        // unboundedly across rounds while still amortizing allocation over
+        // a full pass set.
+        recording_secs = recording_secs.min(timed(|| {
+            let sim = Simulator::with_obs(cluster, Obs::recording()).expect("valid cluster");
+            for _ in 0..PASSES_PER_ROUND {
+                for dag in &dags {
+                    sim.run(dag, &SimOptions::default()).expect("simulates");
+                }
             }
-        }
-    });
+        }));
+    }
 
     let n = (dags.len() * PASSES_PER_ROUND) as f64;
-    let overhead = disabled_secs / plain - 1.0;
+    // Clamp at 0: best-of-rounds can come out marginally below the plain
+    // baseline (scheduler noise), and reporting that as a negative overhead
+    // ("a speedup") would be dishonest.
+    let overhead = (disabled_secs / plain - 1.0).max(0.0);
+    let recording_overhead = (recording_secs / plain - 1.0).max(0.0);
     let report = ObsBench {
         jobs: dags.len(),
         rounds: ROUNDS,
@@ -115,15 +130,24 @@ fn main() {
         recording_jobs_per_sec: n / recording_secs,
         disabled_overhead: overhead,
         disabled_overhead_ok: overhead < 0.05,
-        recording_overhead: recording_secs / plain - 1.0,
+        recording_overhead,
+        recording_overhead_ok: recording_overhead < 0.10,
     };
 
     let json = serde_json::to_string_pretty(&report).expect("serializes");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
     std::fs::write(path, format!("{json}\n")).expect("writes baseline");
     println!("{json}");
+    let mut failed = false;
     if !report.disabled_overhead_ok {
         eprintln!("disabled-path overhead {overhead:.4} exceeds the 5% budget");
+        failed = true;
+    }
+    if !report.recording_overhead_ok {
+        eprintln!("recording overhead {recording_overhead:.4} exceeds the 10% budget");
+        failed = true;
+    }
+    if failed {
         std::process::exit(1);
     }
 }

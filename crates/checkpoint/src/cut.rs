@@ -118,28 +118,29 @@ pub fn plan_checkpoints_with_obs(
     let span = obs.span_enter("checkpoint.cut", "plan_checkpoints", 0.0);
     let plan = plan_checkpoints_inner(dag, forecast, config);
     if obs.is_enabled() {
+        let mut batch = obs.batch();
         for t in &plan.cut_times {
-            obs.event(
+            batch.event(
                 "checkpoint.cut",
                 "cut_selected",
                 *t,
                 &[("predicted_time", &format!("{t:.6}"))],
             );
         }
-        obs.gauge_set(
+        batch.gauge_set(
             "checkpoint.cut",
             "stages_checkpointed",
             &[],
             plan.stages.len() as f64,
         );
-        obs.gauge_set(
+        batch.gauge_set(
             "checkpoint.cut",
             "predicted_bytes",
             &[],
             plan.predicted_bytes,
         );
+        batch.span_exit(span, plan.cut_times.last().copied().unwrap_or(0.0));
     }
-    obs.span_exit(span, plan.cut_times.last().copied().unwrap_or(0.0));
     plan
 }
 
@@ -307,19 +308,22 @@ pub fn evaluate_with_obs(
 
     let rel = |from: f64, to: f64| if from > 0.0 { (from - to) / from } else { 0.0 };
     if obs.is_enabled() {
-        obs.gauge_set(
+        // The simulators above record through the same handle, so the batch
+        // opens only after they finish.
+        let mut batch = obs.batch();
+        batch.gauge_set(
             "checkpoint.cut",
             "hotspot_reduction",
             &[],
             rel(baseline.hotspot_peak(), ckpt.hotspot_peak()),
         );
-        obs.gauge_set(
+        batch.gauge_set(
             "checkpoint.cut",
             "slowdown",
             &[],
             rel(ckpt.latency, baseline.latency).abs(),
         );
-        obs.gauge_set(
+        batch.gauge_set(
             "checkpoint.cut",
             "restart_speedup",
             &[],

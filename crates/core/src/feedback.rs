@@ -227,15 +227,15 @@ impl FeedbackLoop {
                 MonitorVerdict::Rollback => "rollback",
                 MonitorVerdict::Warming => "warming",
             };
-            self.obs
-                .counter_add("core.feedback", "verdicts", &[("verdict", verdict_str)], 1);
-            self.obs.histogram_observe(
+            let mut batch = self.obs.batch();
+            batch.counter_add("core.feedback", "verdicts", &[("verdict", verdict_str)], 1);
+            batch.histogram_observe(
                 "core.feedback",
                 "feedback_latency_ticks",
                 &[],
                 feedback_latency_ticks as f64,
             );
-            self.obs.record_decision(
+            batch.record_decision(
                 "core.feedback",
                 "monitor_verdict",
                 provenance,

@@ -150,16 +150,17 @@ impl GuardrailSet {
                 Verdict::Allow => ("allow".to_string(), false),
                 Verdict::Block(reason) => (format!("block: {reason}"), true),
             };
-            self.obs.counter_add("core.guardrails", "checks", &[], 1);
+            let mut batch = self.obs.batch();
+            batch.counter_add("core.guardrails", "checks", &[], 1);
             if vetoed {
-                self.obs.counter_add(
+                batch.counter_add(
                     "core.guardrails",
                     "vetoes",
                     &[("guard", guard_name.unwrap_or("unknown"))],
                     1,
                 );
             }
-            self.obs.record_decision(
+            batch.record_decision(
                 "core.guardrails",
                 "autonomy_decision",
                 provenance,

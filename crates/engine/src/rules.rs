@@ -410,7 +410,12 @@ impl Optimizer {
             }
         }
         if self.obs.is_enabled() {
-            self.obs.gauge_set(
+            // Only the tail is batched: the rewrite loop above calls
+            // `total_cost` with a caller-supplied cardinality model that may
+            // itself record into this handle (e.g. a served model), so the
+            // lock must not be held across it.
+            let mut batch = self.obs.batch();
+            batch.gauge_set(
                 "engine.rules",
                 "cost_reduction_ratio",
                 &[],
@@ -420,8 +425,8 @@ impl Optimizer {
                     1.0
                 },
             );
+            batch.span_exit(span, 0.0);
         }
-        self.obs.span_exit(span, 0.0);
         Ok(Optimized {
             plan: current,
             estimated_cost: current_cost,

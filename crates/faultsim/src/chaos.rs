@@ -122,6 +122,13 @@ impl ChaosRunner {
         &self.sim
     }
 
+    /// Streams this runner's flight record as chunked canonical JSON (see
+    /// [`Obs::export_stream`]): a long chaos campaign can ship its trace
+    /// without ever materializing the full export string.
+    pub fn export_trace_stream(&self, chunk_size: usize, sink: impl FnMut(&str)) {
+        self.obs.export_stream(chunk_size, sink);
+    }
+
     /// Runs `dag` to completion under `schedule`, restarting after every
     /// fault that fires. Checkpointed outputs persist in the global store
     /// and are never executed twice; non-checkpointed temp outputs survive
@@ -229,7 +236,11 @@ impl ChaosRunner {
                     at,
                     surviving_stages: survivors.len(),
                 });
-                self.obs.event(
+                // One lock for the injection triple; the enclosing loop runs
+                // the simulator (which records through the same handle), so
+                // the batch stays scoped to this block.
+                let mut batch = self.obs.batch();
+                batch.event(
                     "faultsim.chaos",
                     "fault_injected",
                     total_latency,
@@ -240,13 +251,14 @@ impl ChaosRunner {
                         ("surviving_stages", &survivors.len().to_string()),
                     ],
                 );
-                self.obs.counter_add(
+                batch.counter_add(
                     "faultsim.chaos",
                     "faults_injected",
                     &[("kind", cause.kind())],
                     1,
                 );
-                self.obs.counter_add("faultsim.chaos", "restarts", &[], 1);
+                batch.counter_add("faultsim.chaos", "restarts", &[], 1);
+                drop(batch);
                 persisted.extend(survivors.iter().filter(|id| checkpointed.contains(*id)));
                 precomputed.extend(survivors);
             }

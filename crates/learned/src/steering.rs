@@ -209,7 +209,8 @@ impl SteeringController {
                 state.promotions as u64 + 1,
                 digest_f64([template.0 as f64, chosen.0 as f64]),
             );
-            self.obs.record_decision(
+            let mut batch = self.obs.batch();
+            batch.record_decision(
                 "learned.steering",
                 "rule_hint",
                 &provenance,
@@ -224,8 +225,7 @@ impl SteeringController {
                 0,
                 0.0,
             );
-            self.obs
-                .counter_add("learned.steering", "hints_observed", &[], 1);
+            batch.counter_add("learned.steering", "hints_observed", &[], 1);
         }
 
         // Promotion check: skip arm 0 (the deployed config itself).
@@ -243,7 +243,8 @@ impl SteeringController {
                     state.promotions = promotions;
                     state.rejected = rejected;
                     *self.steered.entry(template).or_insert(0) += 1;
-                    self.obs.event(
+                    let mut batch = self.obs.batch();
+                    batch.event(
                         "learned.steering",
                         "hint_promoted",
                         0.0,
@@ -253,15 +254,15 @@ impl SteeringController {
                             ("mean_reward", &format!("{mean:.6}")),
                         ],
                     );
-                    self.obs
-                        .counter_add("learned.steering", "promotions", &[], 1);
+                    batch.counter_add("learned.steering", "promotions", &[], 1);
                 } else {
                     // Raw mean looked good but wins were inconsistent: the
                     // validation model blocks the promotion. Clear the arm's
                     // history so it must re-qualify.
                     state.rejected += 1;
                     state.history[arm].rewards.clear();
-                    self.obs.event(
+                    let mut batch = self.obs.batch();
+                    batch.event(
                         "learned.steering",
                         "hint_rejected_by_validation",
                         0.0,
@@ -271,8 +272,7 @@ impl SteeringController {
                             ("win_rate", &format!("{win_rate:.6}")),
                         ],
                     );
-                    self.obs
-                        .counter_add("learned.steering", "rejected_by_validation", &[], 1);
+                    batch.counter_add("learned.steering", "rejected_by_validation", &[], 1);
                 }
             }
         }

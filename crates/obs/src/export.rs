@@ -1,7 +1,9 @@
-//! Exporters: canonical JSON and Prometheus text exposition.
+//! Exporters: canonical JSON (whole-string and chunked streaming) and
+//! Prometheus text exposition.
 
 use crate::metrics::{MetricKey, MetricValue, MetricsRegistry};
 use crate::trace::Trace;
+use serde::Serialize;
 use std::fmt::Write as _;
 
 /// Serializes a trace to canonical JSON.
@@ -16,6 +18,90 @@ pub fn to_json(trace: &Trace) -> String {
 /// Pretty-printed variant of [`to_json`], for human eyes.
 pub fn to_json_pretty(trace: &Trace) -> String {
     serde_json::to_string_pretty(trace).expect("trace serialization is infallible")
+}
+
+/// Accumulates serialized output and hands it to `sink` in chunks of at
+/// least `chunk_size` bytes (the final chunk may be shorter). Chunk
+/// boundaries are arbitrary — only the concatenation is meaningful.
+pub(crate) struct ChunkSink<'a> {
+    buf: String,
+    chunk_size: usize,
+    sink: &'a mut dyn FnMut(&str),
+}
+
+impl<'a> ChunkSink<'a> {
+    pub(crate) fn new(chunk_size: usize, sink: &'a mut dyn FnMut(&str)) -> Self {
+        Self {
+            buf: String::with_capacity(chunk_size.clamp(1, 1 << 20) * 2),
+            chunk_size: chunk_size.max(1),
+            sink,
+        }
+    }
+
+    pub(crate) fn raw(&mut self, s: &str) {
+        self.buf.push_str(s);
+        if self.buf.len() >= self.chunk_size {
+            (self.sink)(&self.buf);
+            self.buf.clear();
+        }
+    }
+
+    pub(crate) fn record<T: Serialize>(&mut self, record: &T) {
+        let s = serde_json::to_string(record).expect("record serialization is infallible");
+        self.raw(&s);
+    }
+
+    pub(crate) fn finish(self) {
+        if !self.buf.is_empty() {
+            (self.sink)(&self.buf);
+        }
+    }
+}
+
+/// Streams a trace as chunked canonical JSON: each record serializes on its
+/// own, so the peak allocation is one record plus one chunk buffer — the
+/// whole export string never exists in memory. The concatenation of the
+/// chunks handed to `sink` is byte-identical to [`to_json`] of the same
+/// trace.
+pub fn to_json_stream(trace: &Trace, chunk_size: usize, mut sink: impl FnMut(&str)) {
+    let mut w = ChunkSink::new(chunk_size, &mut sink);
+    w.raw("{\"spans\":[");
+    for (i, s) in trace.spans.iter().enumerate() {
+        if i > 0 {
+            w.raw(",");
+        }
+        w.record(s);
+    }
+    w.raw("],\"events\":[");
+    for (i, e) in trace.events.iter().enumerate() {
+        if i > 0 {
+            w.raw(",");
+        }
+        w.record(e);
+    }
+    w.raw("],\"decisions\":[");
+    for (i, d) in trace.decisions.iter().enumerate() {
+        if i > 0 {
+            w.raw(",");
+        }
+        w.record(d);
+    }
+    w.raw("],\"deployments\":[");
+    for (i, d) in trace.deployments.iter().enumerate() {
+        if i > 0 {
+            w.raw(",");
+        }
+        w.record(d);
+    }
+    w.raw("],\"metrics\":[");
+    for (i, (key, value)) in trace.metrics.metrics.iter().enumerate() {
+        if i > 0 {
+            w.raw(",");
+        }
+        w.record(&serde::Value::Seq(vec![key.to_value(), value.to_value()]));
+    }
+    w.raw("]}");
+    w.finish();
 }
 
 fn sanitize(name: &str) -> String {

@@ -12,7 +12,8 @@
 //! * **flight recorder** ([`flight`]) — every autonomy-loop decision as a
 //!   provenance record: model id + version, input-feature digest, predicted
 //!   vs. observed outcome, guardrail verdict, feedback latency in ticks;
-//! * **exporters** ([`export`]) — canonical JSON and Prometheus text;
+//! * **exporters** ([`export`]) — canonical JSON (whole-string or chunked
+//!   streaming) and Prometheus text;
 //! * **queries** ([`trace`]) — e.g. "all decisions where predicted/observed
 //!   error exceeds 2x".
 //!
@@ -20,6 +21,23 @@
 //! instrumented constructors — no globals, no wall clock. The disabled
 //! handle ([`Obs::disabled`]) reduces every instrumentation site to one
 //! branch; `obs_bench` holds that path to < 5% overhead.
+//!
+//! ## The recording hot path
+//!
+//! Always-on recording must be budgeted like any other hot-path cost, so
+//! the default backend ([`Obs::recording`]) never allocates per record:
+//! strings intern to integer ids ([`intern`]), records stage into a
+//! preallocated ring and flush in batches, metric updates land in dense
+//! slots, and strings are only resolved back at snapshot/export time. A
+//! direct-mutation reference backend ([`Obs::recording_direct`]) keeps the
+//! original one-`Trace`-mutation-per-record semantics; the equivalence
+//! suite pins both to byte-identical canonical JSON. Instrumentation sites
+//! that emit several records at one point in time should take one
+//! [`Obs::batch`] and record through it — one lock acquisition for the
+//! whole block instead of one per record. Fleet-scale runs can bound trace
+//! growth with deterministic per-seed sampling
+//! ([`Obs::recording_sampled`], [`sample`]) and export without ever
+//! holding the full JSON in memory ([`Obs::export_stream`]).
 //!
 //! ```
 //! use adas_obs::{Obs, Provenance};
@@ -47,38 +65,192 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod direct;
 pub mod export;
 pub mod flight;
+pub mod intern;
 pub mod metrics;
+mod ring;
+pub mod sample;
 pub mod span;
 pub mod trace;
 
 pub use flight::{
     digest_bytes, digest_f64, DecisionRecord, DeploymentKind, DeploymentRecord, Provenance,
 };
+pub use intern::Interner;
 pub use metrics::{Histogram, MetricKey, MetricValue, MetricsRegistry};
+pub use sample::{sample_keeps, SampleConfig};
 pub use span::{SpanId, SpanRecord};
 pub use trace::{EventRecord, Trace, TraceQuery};
 
+use direct::DirectRecorder;
 use parking_lot::Mutex;
+use ring::{BatchedRecorder, MetricIdKey, DEFAULT_RING_CAPACITY};
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
+use std::sync::MutexGuard;
 
-#[derive(Debug, Default)]
-struct Recorder {
-    seq: u64,
-    span_stack: Vec<SpanId>,
-    spans: Vec<SpanRecord>,
-    events: Vec<EventRecord>,
-    decisions: Vec<DecisionRecord>,
-    deployments: Vec<DeploymentRecord>,
-    metrics: MetricsRegistry,
+/// Default chunk size for [`Obs::export_stream`], in bytes.
+pub const DEFAULT_STREAM_CHUNK: usize = 64 * 1024;
+
+/// One recorder backend behind an [`Obs`] handle.
+// The enum lives inside the handle's `Arc<Mutex<..>>`, heap-allocated once
+// per recorder; boxing the large variant would add a pointer chase to every
+// staged record for no memory win.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+enum Recorder {
+    /// Per-record trace mutation — the reference semantics.
+    Direct(DirectRecorder),
+    /// Ring-staged, interned, batch-flushed — the hot-path default.
+    Batched(BatchedRecorder),
 }
 
 impl Recorder {
-    fn next_seq(&mut self) -> u64 {
-        let s = self.seq;
-        self.seq += 1;
-        s
+    fn span_enter(&mut self, component: &str, name: &str, sim_time: f64) -> SpanId {
+        match self {
+            Recorder::Direct(d) => d.span_enter(component, name, sim_time),
+            Recorder::Batched(b) => b.span_enter(component, name, sim_time),
+        }
+    }
+
+    fn span_enter_indexed(
+        &mut self,
+        component: &str,
+        base: &str,
+        index: usize,
+        sim_time: f64,
+    ) -> SpanId {
+        match self {
+            Recorder::Direct(d) => d.span_enter(component, &format!("{base}_{index}"), sim_time),
+            Recorder::Batched(b) => b.span_enter_indexed(component, base, index, sim_time),
+        }
+    }
+
+    fn span_exit(&mut self, id: SpanId, sim_time: f64) {
+        match self {
+            Recorder::Direct(d) => d.span_exit(id, sim_time),
+            Recorder::Batched(b) => b.span_exit(id, sim_time),
+        }
+    }
+
+    fn event(&mut self, component: &str, name: &str, sim_time: f64, fields: &[(&str, &str)]) {
+        match self {
+            Recorder::Direct(d) => d.event(component, name, sim_time, fields),
+            Recorder::Batched(b) => b.event(component, name, sim_time, fields),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn record_decision(
+        &mut self,
+        component: &str,
+        decision: &str,
+        provenance: &Provenance<'_>,
+        predicted: f64,
+        observed: Option<f64>,
+        verdict: &str,
+        vetoed: bool,
+        feedback_latency_ticks: u64,
+        sim_time: f64,
+    ) {
+        match self {
+            Recorder::Direct(d) => d.record_decision(
+                component,
+                decision,
+                provenance.model_id,
+                provenance.model_version,
+                provenance.features_digest,
+                predicted,
+                observed,
+                verdict,
+                vetoed,
+                feedback_latency_ticks,
+                sim_time,
+            ),
+            Recorder::Batched(b) => b.record_decision(
+                component,
+                decision,
+                provenance.model_id,
+                provenance.model_version,
+                provenance.features_digest,
+                predicted,
+                observed,
+                verdict,
+                vetoed,
+                feedback_latency_ticks,
+                sim_time,
+            ),
+        }
+    }
+
+    fn record_deployment(
+        &mut self,
+        component: &str,
+        kind: DeploymentKind,
+        model_id: &str,
+        version: u64,
+        cause: &str,
+        sim_time: f64,
+    ) {
+        match self {
+            Recorder::Direct(d) => {
+                d.record_deployment(component, kind, model_id, version, cause, sim_time)
+            }
+            Recorder::Batched(b) => {
+                b.record_deployment(component, kind, model_id, version, cause, sim_time)
+            }
+        }
+    }
+
+    fn counter_add(&mut self, component: &str, name: &str, labels: &[(&str, &str)], delta: u64) {
+        match self {
+            Recorder::Direct(d) => d.counter_add(component, name, labels, delta),
+            Recorder::Batched(b) => b.counter_add(component, name, labels, delta),
+        }
+    }
+
+    fn gauge_set(&mut self, component: &str, name: &str, labels: &[(&str, &str)], value: f64) {
+        match self {
+            Recorder::Direct(d) => d.gauge_set(component, name, labels, value),
+            Recorder::Batched(b) => b.gauge_set(component, name, labels, value),
+        }
+    }
+
+    fn histogram_observe(
+        &mut self,
+        component: &str,
+        name: &str,
+        labels: &[(&str, &str)],
+        bounds: Option<&[f64]>,
+        value: f64,
+    ) {
+        match self {
+            Recorder::Direct(d) => d.histogram_observe(component, name, labels, bounds, value),
+            Recorder::Batched(b) => b.histogram_observe(component, name, labels, bounds, value),
+        }
+    }
+
+    fn last_event_json(&mut self) -> Option<String> {
+        match self {
+            Recorder::Direct(d) => d.last_event_json(),
+            Recorder::Batched(b) => b.last_event_json(),
+        }
+    }
+
+    fn snapshot(&mut self) -> Trace {
+        match self {
+            Recorder::Direct(d) => d.snapshot(),
+            Recorder::Batched(b) => b.snapshot(),
+        }
+    }
+
+    fn export_stream(&mut self, chunk_size: usize, sink: &mut dyn FnMut(&str)) {
+        match self {
+            Recorder::Direct(d) => d.export_stream(chunk_size, sink),
+            Recorder::Batched(b) => b.export_stream(chunk_size, sink),
+        }
     }
 }
 
@@ -87,7 +259,10 @@ impl Recorder {
 /// Cheap to clone (an `Arc` internally) and thread through constructors.
 /// [`Obs::disabled`] carries no recorder at all: every instrumentation call
 /// is a single `Option` branch, which is what keeps the always-on
-/// production configuration within the overhead budget.
+/// production configuration within the overhead budget. When recording,
+/// the default backend stages records through a preallocated ring with
+/// interned strings (see the crate docs); [`Obs::recording_direct`] selects
+/// the per-record reference backend instead.
 #[derive(Debug, Clone, Default)]
 pub struct Obs {
     inner: Option<Arc<Mutex<Recorder>>>,
@@ -99,10 +274,43 @@ impl Obs {
         Self { inner: None }
     }
 
-    /// A live recorder.
+    /// A live recorder using the batched hot-path backend.
     pub fn recording() -> Self {
+        Self::from_recorder(Recorder::Batched(BatchedRecorder::new(
+            DEFAULT_RING_CAPACITY,
+            None,
+        )))
+    }
+
+    /// A live recorder using the original direct-mutation backend — the
+    /// reference semantics the batched backend is equivalence-tested
+    /// against.
+    pub fn recording_direct() -> Self {
+        Self::from_recorder(Recorder::Direct(DirectRecorder::default()))
+    }
+
+    /// A batched recorder with an explicit staging-ring capacity (records
+    /// between forced flushes). Mostly useful in tests that want to force
+    /// many flush boundaries.
+    pub fn recording_with_ring(capacity: usize) -> Self {
+        Self::from_recorder(Recorder::Batched(BatchedRecorder::new(capacity, None)))
+    }
+
+    /// A batched recorder with deterministic per-seed sampling: whether a
+    /// span/event/decision is kept is a pure function of `(seed, id)`, so
+    /// same-seed replays export byte-identical sampled traces and the
+    /// sampled trace is a strict filter of the full one (see [`sample`]).
+    /// Deployment records and metrics are never sampled out.
+    pub fn recording_sampled(seed: u64, keep_ratio: f64) -> Self {
+        Self::from_recorder(Recorder::Batched(BatchedRecorder::new(
+            DEFAULT_RING_CAPACITY,
+            Some(SampleConfig::new(seed, keep_ratio)),
+        )))
+    }
+
+    fn from_recorder(recorder: Recorder) -> Self {
         Self {
-            inner: Some(Arc::new(Mutex::new(Recorder::default()))),
+            inner: Some(Arc::new(Mutex::new(recorder))),
         }
     }
 
@@ -111,27 +319,123 @@ impl Obs {
         self.inner.is_some()
     }
 
+    /// Opens a recording batch: one lock acquisition for a whole block of
+    /// records. Instrumentation sites that emit several records at one
+    /// point in time should prefer this over repeated [`Obs`] calls.
+    ///
+    /// The batch holds the recorder lock until dropped — do **not** call
+    /// back into the same `Obs` handle (directly or through a callback)
+    /// while a batch is open, and keep batches scoped to straight-line
+    /// recording code.
+    pub fn batch(&self) -> ObsBatch<'_> {
+        ObsBatch {
+            token: self.token(),
+            guard: self.inner.as_ref().map(|i| i.lock()),
+        }
+    }
+
+    /// Identity of the recorder behind this handle (its allocation address),
+    /// 0 when disabled. Metric handles remember it so their pre-resolved
+    /// interned ids are only ever applied to the recorder they came from.
+    fn token(&self) -> usize {
+        self.inner
+            .as_ref()
+            .map(|i| Arc::as_ptr(i) as usize)
+            .unwrap_or(0)
+    }
+
+    /// Creates a pre-resolved span identity for a fixed
+    /// `(component, name)`. See [`SpanKey`].
+    pub fn span_key(&self, component: &str, name: &str) -> SpanKey {
+        SpanKey {
+            component: component.to_string(),
+            name: name.to_string(),
+            fast: self.intern_pair(component, name),
+        }
+    }
+
+    /// Creates a pre-resolved identity for `{base}_{index}`-named spans.
+    /// See [`IndexedSpanKey`].
+    pub fn indexed_span_key(&self, component: &str, base: &str) -> IndexedSpanKey {
+        IndexedSpanKey {
+            component: component.to_string(),
+            base: base.to_string(),
+            fast: self.intern_pair(component, base),
+        }
+    }
+
+    fn intern_pair(&self, component: &str, name: &str) -> Option<(usize, (u32, u32))> {
+        self.inner.as_ref().and_then(|arc| match &mut *arc.lock() {
+            Recorder::Batched(b) => {
+                Some((Arc::as_ptr(arc) as usize, b.intern_pair(component, name)))
+            }
+            Recorder::Direct(_) => None,
+        })
+    }
+
+    /// Creates a pre-resolved counter handle for a fixed
+    /// `(component, name, labels)` identity. See [`CounterHandle`].
+    pub fn counter_handle(
+        &self,
+        component: &str,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> CounterHandle {
+        CounterHandle(MetricHandle::new(self, component, name, labels))
+    }
+
+    /// Creates a pre-resolved gauge handle. See [`GaugeHandle`].
+    pub fn gauge_handle(
+        &self,
+        component: &str,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> GaugeHandle {
+        GaugeHandle(MetricHandle::new(self, component, name, labels))
+    }
+
+    /// Creates a pre-resolved histogram handle; `bounds` (used on first
+    /// touch, like [`Obs::histogram_observe_with`]) default to the standard
+    /// latency buckets when `None`. See [`HistogramHandle`].
+    pub fn histogram_handle(
+        &self,
+        component: &str,
+        name: &str,
+        labels: &[(&str, &str)],
+        bounds: Option<&[f64]>,
+    ) -> HistogramHandle {
+        HistogramHandle {
+            inner: MetricHandle::new(self, component, name, labels),
+            bounds: bounds.map(<[f64]>::to_vec),
+        }
+    }
+
     /// Opens a span at simulated time `sim_time`, parented to the innermost
     /// open span. Returns [`SpanId::NONE`] when disabled.
     pub fn span_enter(&self, component: &str, name: &str, sim_time: f64) -> SpanId {
         let Some(inner) = &self.inner else {
             return SpanId::NONE;
         };
-        let mut rec = inner.lock();
-        let seq = rec.next_seq();
-        let id = SpanId(rec.spans.len() as u64);
-        let parent = rec.span_stack.last().copied();
-        rec.spans.push(SpanRecord {
-            id,
-            parent,
-            component: component.to_string(),
-            name: name.to_string(),
-            start: sim_time,
-            end: sim_time,
-            seq,
-        });
-        rec.span_stack.push(id);
-        id
+        inner.lock().span_enter(component, name, sim_time)
+    }
+
+    /// Opens a span named `{base}_{index}` — the common per-stage /
+    /// per-job naming scheme. The batched backend formats each distinct
+    /// `(base, index)` pair once and reuses the interned name after that,
+    /// keeping repeated hot-loop spans allocation-free.
+    pub fn span_enter_indexed(
+        &self,
+        component: &str,
+        base: &str,
+        index: usize,
+        sim_time: f64,
+    ) -> SpanId {
+        let Some(inner) = &self.inner else {
+            return SpanId::NONE;
+        };
+        inner
+            .lock()
+            .span_enter_indexed(component, base, index, sim_time)
     }
 
     /// Closes span `id` at simulated time `sim_time`. Tolerates exits out
@@ -141,42 +445,20 @@ impl Obs {
             return;
         }
         let Some(inner) = &self.inner else { return };
-        let mut rec = inner.lock();
-        if let Some(pos) = rec.span_stack.iter().rposition(|&s| s == id) {
-            rec.span_stack.truncate(pos);
-        }
-        if let Some(span) = rec.spans.get_mut(id.0 as usize) {
-            span.end = sim_time;
-        }
+        inner.lock().span_exit(id, sim_time);
     }
 
     /// Emits a free-form event.
     pub fn event(&self, component: &str, name: &str, sim_time: f64, fields: &[(&str, &str)]) {
         let Some(inner) = &self.inner else { return };
-        let mut rec = inner.lock();
-        let seq = rec.next_seq();
-        let span = rec.span_stack.last().copied();
-        rec.events.push(EventRecord {
-            seq,
-            span,
-            sim_time,
-            component: component.to_string(),
-            name: name.to_string(),
-            fields: fields
-                .iter()
-                .map(|(k, v)| (k.to_string(), v.to_string()))
-                .collect(),
-        });
+        inner.lock().event(component, name, sim_time, fields);
     }
 
     /// The most recent event as a JSON line, for streaming progress output
     /// alongside the full trace export.
     pub fn last_event_json(&self) -> Option<String> {
         let inner = self.inner.as_ref()?;
-        let rec = inner.lock();
-        rec.events
-            .last()
-            .map(|e| serde_json::to_string(e).expect("event serialization is infallible"))
+        inner.lock().last_event_json()
     }
 
     /// Records one autonomy-loop decision into the flight recorder.
@@ -194,24 +476,17 @@ impl Obs {
         sim_time: f64,
     ) {
         let Some(inner) = &self.inner else { return };
-        let mut rec = inner.lock();
-        let seq = rec.next_seq();
-        let span = rec.span_stack.last().copied();
-        rec.decisions.push(DecisionRecord {
-            seq,
-            span,
-            sim_time,
-            component: component.to_string(),
-            decision: decision.to_string(),
-            model_id: provenance.model_id.to_string(),
-            model_version: provenance.model_version,
-            features_digest: provenance.features_digest,
+        inner.lock().record_decision(
+            component,
+            decision,
+            provenance,
             predicted,
             observed,
-            verdict: verdict.to_string(),
+            verdict,
             vetoed,
             feedback_latency_ticks,
-        });
+            sim_time,
+        );
     }
 
     /// Records one typed deployment change (publish, rollback, shadow or
@@ -226,37 +501,21 @@ impl Obs {
         sim_time: f64,
     ) {
         let Some(inner) = &self.inner else { return };
-        let mut rec = inner.lock();
-        let seq = rec.next_seq();
-        let span = rec.span_stack.last().copied();
-        rec.deployments.push(DeploymentRecord {
-            seq,
-            span,
-            sim_time,
-            component: component.to_string(),
-            kind,
-            model_id: model_id.to_string(),
-            version,
-            cause: cause.to_string(),
-        });
+        inner
+            .lock()
+            .record_deployment(component, kind, model_id, version, cause, sim_time);
     }
 
     /// Adds `delta` to a counter.
     pub fn counter_add(&self, component: &str, name: &str, labels: &[(&str, &str)], delta: u64) {
         let Some(inner) = &self.inner else { return };
-        inner
-            .lock()
-            .metrics
-            .counter_add(MetricKey::new(component, name, labels), delta);
+        inner.lock().counter_add(component, name, labels, delta);
     }
 
     /// Sets a gauge.
     pub fn gauge_set(&self, component: &str, name: &str, labels: &[(&str, &str)], value: f64) {
         let Some(inner) = &self.inner else { return };
-        inner
-            .lock()
-            .metrics
-            .gauge_set(MetricKey::new(component, name, labels), value);
+        inner.lock().gauge_set(component, name, labels, value);
     }
 
     /// Observes into a histogram with the default latency buckets.
@@ -267,7 +526,10 @@ impl Obs {
         labels: &[(&str, &str)],
         value: f64,
     ) {
-        self.histogram_observe_with(component, name, labels, &Histogram::default_bounds(), value);
+        let Some(inner) = &self.inner else { return };
+        inner
+            .lock()
+            .histogram_observe(component, name, labels, None, value);
     }
 
     /// Observes into a histogram created with explicit `bounds` on first
@@ -281,11 +543,9 @@ impl Obs {
         value: f64,
     ) {
         let Some(inner) = &self.inner else { return };
-        inner.lock().metrics.histogram_observe(
-            MetricKey::new(component, name, labels),
-            bounds,
-            value,
-        );
+        inner
+            .lock()
+            .histogram_observe(component, name, labels, Some(bounds), value);
     }
 
     /// An immutable snapshot of everything recorded so far.
@@ -293,14 +553,7 @@ impl Obs {
         let Some(inner) = &self.inner else {
             return Trace::default();
         };
-        let rec = inner.lock();
-        Trace {
-            spans: rec.spans.clone(),
-            events: rec.events.clone(),
-            decisions: rec.decisions.clone(),
-            deployments: rec.deployments.clone(),
-            metrics: rec.metrics.clone(),
-        }
+        inner.lock().snapshot()
     }
 
     /// Canonical JSON export of the current snapshot.
@@ -313,9 +566,407 @@ impl Obs {
         export::to_json_pretty(&self.snapshot())
     }
 
+    /// Streams the canonical JSON export in chunks of at least `chunk_size`
+    /// bytes (the final chunk may be shorter). The concatenation of the
+    /// chunks is byte-identical to [`Obs::export_json`], but the batched
+    /// backend resolves one record at a time — neither the full `Trace`
+    /// clone nor the full export string is ever materialized, which is what
+    /// lets a fleet-scale run ship its flight record without holding it in
+    /// memory. A disabled handle streams the empty trace.
+    pub fn export_stream(&self, chunk_size: usize, mut sink: impl FnMut(&str)) {
+        match &self.inner {
+            Some(inner) => inner.lock().export_stream(chunk_size, &mut sink),
+            None => export::to_json_stream(&Trace::default(), chunk_size, sink),
+        }
+    }
+
     /// Prometheus text exposition of the current metrics.
     pub fn export_prometheus(&self) -> String {
         export::to_prometheus(&self.snapshot().metrics)
+    }
+}
+
+/// Shared innards of the typed metric handles: the full string identity
+/// (always kept, so a handle works — more slowly — against any recorder)
+/// plus, when the handle was created from a batched recorder, that
+/// recorder's pre-resolved interned key. The hot-path update through the
+/// fast key skips string hashing and comparison entirely; the `token` check
+/// makes sure interned ids never reach a recorder they don't belong to.
+#[derive(Debug)]
+struct MetricHandle {
+    component: String,
+    name: String,
+    labels: Vec<(String, String)>,
+    fast: Option<(usize, MetricIdKey)>,
+    /// Memoized dense slot index on the fast-path recorder, `u32::MAX`
+    /// until first use. Only consulted after the `fast` token check, and
+    /// slots are append-only for a recorder's lifetime, so a memoized
+    /// index can never go stale or reach the wrong recorder.
+    slot: AtomicU32,
+}
+
+impl Clone for MetricHandle {
+    fn clone(&self) -> Self {
+        Self {
+            component: self.component.clone(),
+            name: self.name.clone(),
+            labels: self.labels.clone(),
+            fast: self.fast.clone(),
+            slot: AtomicU32::new(self.slot.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl MetricHandle {
+    fn new(obs: &Obs, component: &str, name: &str, labels: &[(&str, &str)]) -> Self {
+        // Interns the identity strings but creates no metric slot: a handle
+        // that is never used leaves the exported registry untouched, exactly
+        // like a string-path call that never happens.
+        let fast = obs.inner.as_ref().and_then(|arc| match &mut *arc.lock() {
+            Recorder::Batched(b) => Some((
+                Arc::as_ptr(arc) as usize,
+                b.make_metric_key(component, name, labels),
+            )),
+            Recorder::Direct(_) => None,
+        });
+        Self {
+            component: component.to_string(),
+            name: name.to_string(),
+            labels: labels
+                .iter()
+                .map(|&(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            fast,
+            slot: AtomicU32::new(u32::MAX),
+        }
+    }
+
+    fn borrowed_labels(&self) -> Vec<(&str, &str)> {
+        self.labels
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect()
+    }
+
+    /// The fast key, when it belongs to the recorder behind `batch`.
+    fn key_for(&self, token: usize) -> Option<&MetricIdKey> {
+        match &self.fast {
+            Some((t, key)) if *t == token => Some(key),
+            _ => None,
+        }
+    }
+}
+
+/// A pre-resolved `(component, name)` span identity (see [`Obs::span_key`]),
+/// with the same fast-path/fallback contract as [`CounterHandle`]: entering
+/// through the key skips interning lookups on the recorder the key came
+/// from, and degrades to the ordinary string path anywhere else.
+#[derive(Debug, Clone)]
+pub struct SpanKey {
+    component: String,
+    name: String,
+    fast: Option<(usize, (u32, u32))>,
+}
+
+impl SpanKey {
+    /// Opens a span through an open batch (see [`ObsBatch::span_enter`]).
+    pub fn enter(&self, batch: &mut ObsBatch<'_>, sim_time: f64) -> SpanId {
+        let token = batch.token;
+        let Some(rec) = batch.guard.as_deref_mut() else {
+            return SpanId::NONE;
+        };
+        if let Recorder::Batched(b) = rec {
+            if let Some((t, (component, name))) = self.fast {
+                if t == token {
+                    return b.span_enter_ids(component, name, sim_time);
+                }
+            }
+        }
+        rec.span_enter(&self.component, &self.name, sim_time)
+    }
+}
+
+/// A pre-resolved `(component, base)` identity for `{base}_{index}`-named
+/// spans (see [`Obs::indexed_span_key`] and the fast-path/fallback contract
+/// on [`SpanKey`]).
+#[derive(Debug, Clone)]
+pub struct IndexedSpanKey {
+    component: String,
+    base: String,
+    fast: Option<(usize, (u32, u32))>,
+}
+
+impl IndexedSpanKey {
+    /// Opens a `{base}_{index}` span through an open batch (see
+    /// [`ObsBatch::span_enter_indexed`]).
+    pub fn enter(&self, batch: &mut ObsBatch<'_>, index: usize, sim_time: f64) -> SpanId {
+        let token = batch.token;
+        let Some(rec) = batch.guard.as_deref_mut() else {
+            return SpanId::NONE;
+        };
+        if let Recorder::Batched(b) = rec {
+            if let Some((t, (component, base))) = self.fast {
+                if t == token {
+                    return b.span_enter_indexed_ids(component, base, index, sim_time);
+                }
+            }
+        }
+        rec.span_enter_indexed(&self.component, &self.base, index, sim_time)
+    }
+}
+
+/// A pre-resolved counter identity (see [`Obs::counter_handle`]).
+///
+/// Handles are for instrumentation sites hot enough that even interning
+/// lookups matter: creation resolves `(component, name, labels)` once, and
+/// each [`CounterHandle::add`] is then a hash-free slot update. A handle
+/// used against a recorder other than the one it was created from (or after
+/// the handle's `Obs` was swapped out) silently falls back to the normal
+/// string path — same records, just slower — so caching handles (e.g. in a
+/// `OnceLock`) can never corrupt a trace.
+#[derive(Debug, Clone)]
+pub struct CounterHandle(MetricHandle);
+
+impl CounterHandle {
+    /// Adds `delta` to the counter through an open batch.
+    pub fn add(&self, batch: &mut ObsBatch<'_>, delta: u64) {
+        let token = batch.token;
+        let Some(rec) = batch.guard.as_deref_mut() else {
+            return;
+        };
+        if let Recorder::Batched(b) = rec {
+            if let Some(key) = self.0.key_for(token) {
+                match self.0.slot.load(Ordering::Relaxed) {
+                    u32::MAX => {
+                        let slot = b.counter_add_key(key, delta);
+                        self.0.slot.store(slot, Ordering::Relaxed);
+                    }
+                    slot => b.counter_add_slot(slot, delta),
+                }
+                return;
+            }
+        }
+        rec.counter_add(
+            &self.0.component,
+            &self.0.name,
+            &self.0.borrowed_labels(),
+            delta,
+        );
+    }
+}
+
+/// A pre-resolved gauge identity (see [`Obs::gauge_handle`] and the
+/// fast-path/fallback contract on [`CounterHandle`]).
+#[derive(Debug, Clone)]
+pub struct GaugeHandle(MetricHandle);
+
+impl GaugeHandle {
+    /// Sets the gauge through an open batch.
+    pub fn set(&self, batch: &mut ObsBatch<'_>, value: f64) {
+        let token = batch.token;
+        let Some(rec) = batch.guard.as_deref_mut() else {
+            return;
+        };
+        if let Recorder::Batched(b) = rec {
+            if let Some(key) = self.0.key_for(token) {
+                match self.0.slot.load(Ordering::Relaxed) {
+                    u32::MAX => {
+                        let slot = b.gauge_set_key(key, value);
+                        self.0.slot.store(slot, Ordering::Relaxed);
+                    }
+                    slot => b.gauge_set_slot(slot, value),
+                }
+                return;
+            }
+        }
+        rec.gauge_set(
+            &self.0.component,
+            &self.0.name,
+            &self.0.borrowed_labels(),
+            value,
+        );
+    }
+}
+
+/// A pre-resolved histogram identity (see [`Obs::histogram_handle`] and the
+/// fast-path/fallback contract on [`CounterHandle`]).
+#[derive(Debug, Clone)]
+pub struct HistogramHandle {
+    inner: MetricHandle,
+    bounds: Option<Vec<f64>>,
+}
+
+impl HistogramHandle {
+    /// Observes `value` through an open batch.
+    pub fn observe(&self, batch: &mut ObsBatch<'_>, value: f64) {
+        let token = batch.token;
+        let Some(rec) = batch.guard.as_deref_mut() else {
+            return;
+        };
+        if let Recorder::Batched(b) = rec {
+            if let Some(key) = self.inner.key_for(token) {
+                match self.inner.slot.load(Ordering::Relaxed) {
+                    u32::MAX => {
+                        let slot = b.histogram_observe_key(key, self.bounds.as_deref(), value);
+                        self.inner.slot.store(slot, Ordering::Relaxed);
+                    }
+                    slot => b.histogram_observe_slot(slot, value),
+                }
+                return;
+            }
+        }
+        rec.histogram_observe(
+            &self.inner.component,
+            &self.inner.name,
+            &self.inner.borrowed_labels(),
+            self.bounds.as_deref(),
+            value,
+        );
+    }
+}
+
+/// A recording batch: holds the recorder lock once for a whole block of
+/// records (see [`Obs::batch`]). All methods are no-ops on a disabled
+/// handle; `span_enter*` then return [`SpanId::NONE`].
+pub struct ObsBatch<'a> {
+    token: usize,
+    guard: Option<MutexGuard<'a, Recorder>>,
+}
+
+impl ObsBatch<'_> {
+    /// True when this batch actually records.
+    pub fn is_recording(&self) -> bool {
+        self.guard.is_some()
+    }
+
+    /// Batch equivalent of [`Obs::span_enter`].
+    pub fn span_enter(&mut self, component: &str, name: &str, sim_time: f64) -> SpanId {
+        match &mut self.guard {
+            Some(rec) => rec.span_enter(component, name, sim_time),
+            None => SpanId::NONE,
+        }
+    }
+
+    /// Batch equivalent of [`Obs::span_enter_indexed`].
+    pub fn span_enter_indexed(
+        &mut self,
+        component: &str,
+        base: &str,
+        index: usize,
+        sim_time: f64,
+    ) -> SpanId {
+        match &mut self.guard {
+            Some(rec) => rec.span_enter_indexed(component, base, index, sim_time),
+            None => SpanId::NONE,
+        }
+    }
+
+    /// Batch equivalent of [`Obs::span_exit`].
+    pub fn span_exit(&mut self, id: SpanId, sim_time: f64) {
+        if !id.is_real() {
+            return;
+        }
+        if let Some(rec) = &mut self.guard {
+            rec.span_exit(id, sim_time);
+        }
+    }
+
+    /// Batch equivalent of [`Obs::event`].
+    pub fn event(&mut self, component: &str, name: &str, sim_time: f64, fields: &[(&str, &str)]) {
+        if let Some(rec) = &mut self.guard {
+            rec.event(component, name, sim_time, fields);
+        }
+    }
+
+    /// Batch equivalent of [`Obs::record_decision`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_decision(
+        &mut self,
+        component: &str,
+        decision: &str,
+        provenance: &Provenance<'_>,
+        predicted: f64,
+        observed: Option<f64>,
+        verdict: &str,
+        vetoed: bool,
+        feedback_latency_ticks: u64,
+        sim_time: f64,
+    ) {
+        if let Some(rec) = &mut self.guard {
+            rec.record_decision(
+                component,
+                decision,
+                provenance,
+                predicted,
+                observed,
+                verdict,
+                vetoed,
+                feedback_latency_ticks,
+                sim_time,
+            );
+        }
+    }
+
+    /// Batch equivalent of [`Obs::record_deployment`].
+    pub fn record_deployment(
+        &mut self,
+        component: &str,
+        kind: DeploymentKind,
+        model_id: &str,
+        version: u64,
+        cause: &str,
+        sim_time: f64,
+    ) {
+        if let Some(rec) = &mut self.guard {
+            rec.record_deployment(component, kind, model_id, version, cause, sim_time);
+        }
+    }
+
+    /// Batch equivalent of [`Obs::counter_add`].
+    pub fn counter_add(
+        &mut self,
+        component: &str,
+        name: &str,
+        labels: &[(&str, &str)],
+        delta: u64,
+    ) {
+        if let Some(rec) = &mut self.guard {
+            rec.counter_add(component, name, labels, delta);
+        }
+    }
+
+    /// Batch equivalent of [`Obs::gauge_set`].
+    pub fn gauge_set(&mut self, component: &str, name: &str, labels: &[(&str, &str)], value: f64) {
+        if let Some(rec) = &mut self.guard {
+            rec.gauge_set(component, name, labels, value);
+        }
+    }
+
+    /// Batch equivalent of [`Obs::histogram_observe`].
+    pub fn histogram_observe(
+        &mut self,
+        component: &str,
+        name: &str,
+        labels: &[(&str, &str)],
+        value: f64,
+    ) {
+        if let Some(rec) = &mut self.guard {
+            rec.histogram_observe(component, name, labels, None, value);
+        }
+    }
+
+    /// Batch equivalent of [`Obs::histogram_observe_with`].
+    pub fn histogram_observe_with(
+        &mut self,
+        component: &str,
+        name: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+        value: f64,
+    ) {
+        if let Some(rec) = &mut self.guard {
+            rec.histogram_observe(component, name, labels, Some(bounds), value);
+        }
     }
 }
 
@@ -331,6 +982,10 @@ mod tests {
         obs.span_exit(span, 1.0);
         obs.counter_add("c", "n", &[], 1);
         obs.event("c", "e", 0.0, &[]);
+        let mut batch = obs.batch();
+        assert!(!batch.is_recording());
+        assert_eq!(batch.span_enter("c", "n", 0.0), SpanId::NONE);
+        drop(batch);
         let trace = obs.snapshot();
         assert_eq!(trace, Trace::default());
         assert!(!obs.is_enabled());
@@ -485,5 +1140,201 @@ mod tests {
         clone.counter_add("c", "n", &[], 2);
         obs.counter_add("c", "n", &[], 1);
         assert_eq!(obs.snapshot().metrics.counter("c", "n", &[]), 3);
+    }
+
+    #[test]
+    fn batch_records_like_individual_calls() {
+        let individual = {
+            let obs = Obs::recording();
+            let s = obs.span_enter("c", "block", 0.0);
+            obs.event("c", "e", 0.1, &[("k", "v")]);
+            obs.counter_add("c", "n", &[], 2);
+            obs.gauge_set("c", "g", &[], 1.5);
+            obs.histogram_observe("c", "h", &[], 0.02);
+            obs.span_exit(s, 0.2);
+            obs.export_json()
+        };
+        let batched = {
+            let obs = Obs::recording();
+            let mut b = obs.batch();
+            assert!(b.is_recording());
+            let s = b.span_enter("c", "block", 0.0);
+            b.event("c", "e", 0.1, &[("k", "v")]);
+            b.counter_add("c", "n", &[], 2);
+            b.gauge_set("c", "g", &[], 1.5);
+            b.histogram_observe("c", "h", &[], 0.02);
+            b.span_exit(s, 0.2);
+            drop(b);
+            obs.export_json()
+        };
+        assert_eq!(individual, batched);
+    }
+
+    #[test]
+    fn indexed_span_names_match_formatted_names() {
+        let obs = Obs::recording();
+        for i in [0usize, 3, 3, 11] {
+            let s = obs.span_enter_indexed("engine.exec", "stage", i, 0.0);
+            obs.span_exit(s, 1.0);
+        }
+        let trace = obs.snapshot();
+        let names: Vec<&str> = trace.spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["stage_0", "stage_3", "stage_3", "stage_11"]);
+
+        let direct = Obs::recording_direct();
+        for i in [0usize, 3, 3, 11] {
+            let s = direct.span_enter_indexed("engine.exec", "stage", i, 0.0);
+            direct.span_exit(s, 1.0);
+        }
+        assert_eq!(direct.export_json(), obs.export_json());
+    }
+
+    #[test]
+    fn direct_and_batched_backends_export_identically() {
+        let drive = |obs: &Obs| {
+            for i in 0..50usize {
+                let t = i as f64 * 0.1;
+                let s = obs.span_enter_indexed("c", "job", i % 7, t);
+                obs.event("c", "tick", t, &[("i", "x")]);
+                obs.counter_add("c", "ticks", &[("shard", "0")], 1);
+                obs.histogram_observe("c", "lat", &[], 0.004 * (i % 9) as f64);
+                obs.gauge_set("c", "depth", &[], i as f64);
+                obs.record_decision(
+                    "c",
+                    "d",
+                    &Provenance::new("m", 1, i as u64),
+                    1.0,
+                    Some(1.5),
+                    "allow",
+                    false,
+                    2,
+                    t,
+                );
+                obs.span_exit(s, t + 0.05);
+            }
+            obs.record_deployment("c", DeploymentKind::Promote, "m", 2, "canary_healthy", 9.0);
+        };
+        let direct = Obs::recording_direct();
+        let batched = Obs::recording();
+        let tiny_ring = Obs::recording_with_ring(3);
+        drive(&direct);
+        drive(&batched);
+        drive(&tiny_ring);
+        assert_eq!(direct.export_json(), batched.export_json());
+        assert_eq!(direct.export_json(), tiny_ring.export_json());
+    }
+
+    #[test]
+    fn sampled_trace_is_strict_filter_of_full_trace() {
+        let drive = |obs: &Obs| {
+            for i in 0..200usize {
+                let t = i as f64;
+                let s = obs.span_enter("c", "s", t);
+                obs.event("c", "e", t, &[]);
+                obs.span_exit(s, t + 0.5);
+            }
+            obs.record_deployment("c", DeploymentKind::Publish, "m", 1, "manual", 0.0);
+        };
+        let full = Obs::recording();
+        let sampled = Obs::recording_sampled(7, 0.5);
+        drive(&full);
+        drive(&sampled);
+        let full = full.snapshot();
+        let sampled = sampled.snapshot();
+        assert!(sampled.spans.len() < full.spans.len());
+        assert!(!sampled.spans.is_empty());
+        // Every sampled record is bit-for-bit one of the full run's.
+        for s in &sampled.spans {
+            assert!(full.spans.contains(s));
+        }
+        for e in &sampled.events {
+            assert!(full.events.contains(e));
+        }
+        // Deployments and metrics are never sampled out.
+        assert_eq!(sampled.deployments, full.deployments);
+        assert_eq!(sampled.metrics, full.metrics);
+        // Same seed, same scenario: byte-identical replay.
+        let replay = Obs::recording_sampled(7, 0.5);
+        drive(&replay);
+        assert_eq!(replay.snapshot(), sampled);
+    }
+
+    #[test]
+    fn metric_handles_record_like_string_calls() {
+        let drive_strings = |obs: &Obs| {
+            let mut b = obs.batch();
+            b.counter_add("c", "hits", &[("shard", "0")], 3);
+            b.gauge_set("c", "depth", &[], 2.5);
+            b.histogram_observe("c", "lat", &[], 0.004);
+        };
+        let drive_handles = |obs: &Obs| {
+            let hits = obs.counter_handle("c", "hits", &[("shard", "0")]);
+            let depth = obs.gauge_handle("c", "depth", &[]);
+            let lat = obs.histogram_handle("c", "lat", &[], None);
+            let mut b = obs.batch();
+            hits.add(&mut b, 3);
+            depth.set(&mut b, 2.5);
+            lat.observe(&mut b, 0.004);
+        };
+
+        // Handles and string calls export identically, on both backends.
+        for (strings, handles) in [
+            (Obs::recording(), Obs::recording()),
+            (Obs::recording_direct(), Obs::recording_direct()),
+        ] {
+            drive_strings(&strings);
+            drive_handles(&handles);
+            assert_eq!(strings.export_json(), handles.export_json());
+        }
+
+        // A handle created from one recorder falls back to the string path
+        // against another recorder — same records, no id confusion.
+        let origin = Obs::recording();
+        let hits = origin.counter_handle("c", "hits", &[("shard", "0")]);
+        // Skew the other recorder's interner so equal ids mean different
+        // strings across the two recorders.
+        let other = Obs::recording();
+        other.counter_add("zzz", "unrelated", &[], 1);
+        let mut b = other.batch();
+        hits.add(&mut b, 7);
+        drop(b);
+        assert_eq!(
+            other
+                .snapshot()
+                .metrics
+                .counter("c", "hits", &[("shard", "0")]),
+            7
+        );
+
+        // A handle from a disabled Obs still records through the strings.
+        let disabled_handle = Obs::disabled().counter_handle("c", "hits", &[]);
+        let rec = Obs::recording();
+        let mut b = rec.batch();
+        disabled_handle.add(&mut b, 2);
+        drop(b);
+        assert_eq!(rec.snapshot().metrics.counter("c", "hits", &[]), 2);
+
+        // An unused handle creates no metric slot.
+        let obs = Obs::recording();
+        let _unused = obs.histogram_handle("c", "never_touched", &[], None);
+        assert!(obs.snapshot().metrics.metrics.is_empty());
+    }
+
+    #[test]
+    fn export_stream_concatenates_to_export_json() {
+        let obs = Obs::recording();
+        let s = obs.span_enter("c", "s", 0.0);
+        obs.event("c", "e", 0.1, &[("k", "v")]);
+        obs.counter_add("c", "n", &[], 1);
+        obs.span_exit(s, 1.0);
+        for chunk_size in [1usize, 7, 64, 1 << 20] {
+            let mut streamed = String::new();
+            obs.export_stream(chunk_size, |chunk| streamed.push_str(chunk));
+            assert_eq!(streamed, obs.export_json(), "chunk_size {chunk_size}");
+        }
+        let disabled = Obs::disabled();
+        let mut streamed = String::new();
+        disabled.export_stream(16, |chunk| streamed.push_str(chunk));
+        assert_eq!(streamed, disabled.export_json());
     }
 }

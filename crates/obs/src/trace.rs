@@ -78,6 +78,14 @@ impl Trace {
         self.events.iter().filter(move |e| e.name == name)
     }
 
+    /// Streams this trace as chunked canonical JSON: `sink` receives chunks
+    /// of at least `chunk_size` bytes whose concatenation is byte-identical
+    /// to [`crate::export::to_json`] of the same trace, without the full
+    /// export string ever being materialized.
+    pub fn export_stream(&self, chunk_size: usize, sink: impl FnMut(&str)) {
+        crate::export::to_json_stream(self, chunk_size, sink);
+    }
+
     /// Deployment records concerning model `model_id`, in sequence order.
     pub fn deployments_of<'a>(
         &'a self,

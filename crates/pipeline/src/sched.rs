@@ -186,34 +186,37 @@ pub fn schedule_with_obs(
     };
 
     if obs.is_enabled() {
-        let root = obs.span_enter("pipeline.sched", "schedule", 0.0);
+        // One lock for the whole replay; per-job spans use the interned
+        // indexed-name path instead of formatting `job_{id}` each time.
+        let mut batch = obs.batch();
+        let root = batch.span_enter("pipeline.sched", "schedule", 0.0);
         let mut ids: Vec<JobId> = finish.keys().copied().collect();
         ids.sort();
         for id in &ids {
             let end = finish[id];
             let start = end - work[id] / work_per_second;
-            let span = obs.span_enter("pipeline.sched", &format!("job_{}", id.0), start);
-            obs.span_exit(span, end);
-            obs.histogram_observe(
+            let span = batch.span_enter_indexed("pipeline.sched", "job", id.0 as usize, start);
+            batch.span_exit(span, end);
+            batch.histogram_observe(
                 "pipeline.sched",
                 "completion_seconds",
                 &[("policy", policy.name())],
                 end - submit[id],
             );
         }
-        obs.counter_add(
+        batch.counter_add(
             "pipeline.sched",
             "jobs_scheduled",
             &[("policy", policy.name())],
             ids.len() as u64,
         );
-        obs.gauge_set(
+        batch.gauge_set(
             "pipeline.sched",
             "makespan_seconds",
             &[("policy", policy.name())],
             makespan,
         );
-        obs.span_exit(root, makespan);
+        batch.span_exit(root, makespan);
     }
 
     Ok(ScheduleReport {

@@ -354,6 +354,14 @@ impl Gateway {
         &self.inner.config
     }
 
+    /// Streams the gateway's flight record as chunked canonical JSON (see
+    /// [`Obs::export_stream`]): the concatenated chunks match the full
+    /// export byte-for-byte without the whole trace ever being held in
+    /// memory — the shape a long-lived serving process needs.
+    pub fn export_trace_stream(&self, chunk_size: usize, sink: impl FnMut(&str)) {
+        self.inner.obs.export_stream(chunk_size, sink);
+    }
+
     /// Registers a model by name with its degraded-mode heuristic fallback
     /// (e.g. the engine's default cardinality estimate). Idempotent: a
     /// second registration under the same name returns the existing handle
@@ -495,7 +503,8 @@ impl Gateway {
         sim_time: f64,
     ) {
         *entry.breaker.lock() = CircuitBreaker::new(self.inner.config.breaker);
-        self.inner.obs.event(
+        let mut batch = self.inner.obs.batch();
+        batch.event(
             COMPONENT,
             "hot_swap",
             sim_time,
@@ -504,9 +513,7 @@ impl Gateway {
                 ("version", &version.to_string()),
             ],
         );
-        self.inner
-            .obs
-            .record_deployment(COMPONENT, kind, &entry.name, version, cause, sim_time);
+        batch.record_deployment(COMPONENT, kind, &entry.name, version, cause, sim_time);
     }
 
     /// Drops any staged candidate, recording the demote. No-op otherwise.
@@ -806,13 +813,14 @@ impl Gateway {
                     }
                 };
                 self.inner.counters.shadow_serves.fetch_add(1, Relaxed);
-                self.inner.obs.counter_add(
+                let mut batch = self.inner.obs.batch();
+                batch.counter_add(
                     COMPONENT,
                     "shadow_serves",
                     &[("model", entry.name.as_str())],
                     1,
                 );
-                self.inner.obs.record_decision(
+                batch.record_decision(
                     COMPONENT,
                     "shadow_serve",
                     &Provenance::new(&entry.name, shadow.version, digest),
@@ -823,6 +831,7 @@ impl Gateway {
                     0,
                     sim_time,
                 );
+                drop(batch);
                 let mut log = entry.shadow_log.lock();
                 if log.len() >= SHADOW_LOG_CAP {
                     log.pop_front();
@@ -1227,7 +1236,8 @@ impl Gateway {
     }
 
     fn record_transition(&self, entry: &ModelEntry, transition: Transition, sim_time: f64) {
-        self.inner.obs.event(
+        let mut batch = self.inner.obs.batch();
+        batch.event(
             COMPONENT,
             "breaker_transition",
             sim_time,
@@ -1237,7 +1247,7 @@ impl Gateway {
                 ("to", transition.to.name()),
             ],
         );
-        self.inner.obs.counter_add(
+        batch.counter_add(
             COMPONENT,
             "breaker_transitions",
             &[("model", entry.name.as_str()), ("to", transition.to.name())],
@@ -1261,13 +1271,14 @@ impl Gateway {
             if digest == 0 {
                 digest = digest_f64(features.iter().copied());
             }
-            self.inner.obs.counter_add(
+            let mut batch = self.inner.obs.batch();
+            batch.counter_add(
                 COMPONENT,
                 "fallbacks",
                 &[("model", entry.name.as_str()), ("cause", cause.name())],
                 1,
             );
-            self.inner.obs.record_decision(
+            batch.record_decision(
                 COMPONENT,
                 "degraded_serve",
                 &Provenance::new(&entry.name, version, digest),

@@ -226,7 +226,10 @@ pub fn schedule_fleet_with_obs(
     tolerance: f64,
     obs: &Obs,
 ) -> SeagullReport {
-    let span = obs.span_enter("service.seagull", "schedule_fleet", 0.0);
+    // The forecasters below are pure, so the whole fleet sweep records
+    // through one batch: one lock acquisition instead of several per server.
+    let mut batch = obs.batch();
+    let span = batch.span_enter("service.seagull", "schedule_fleet", 0.0);
     let mut hits = 0usize;
     let mut ratio_sum = 0.0f64;
     for server in fleet {
@@ -237,14 +240,14 @@ pub fn schedule_fleet_with_obs(
             hits += 1;
         }
         ratio_sum += ratio;
-        if obs.is_enabled() {
+        if batch.is_recording() {
             let predicted_load: f64 = forecast[chosen..chosen + window_hours].iter().sum();
             let provenance = Provenance::new(
                 method.model_id(),
                 1,
                 digest_f64(server.history.iter().copied()),
             );
-            obs.record_decision(
+            batch.record_decision(
                 "service.seagull",
                 "backup_window",
                 &provenance,
@@ -255,14 +258,14 @@ pub fn schedule_fleet_with_obs(
                 HOURS as u64, // outcome observed one simulated day later
                 chosen as f64,
             );
-            obs.counter_add(
+            batch.counter_add(
                 "service.seagull",
                 "placements",
                 &[("method", method.model_id())],
                 1,
             );
             if ok {
-                obs.counter_add(
+                batch.counter_add(
                     "service.seagull",
                     "accurate_placements",
                     &[("method", method.model_id())],
@@ -271,15 +274,16 @@ pub fn schedule_fleet_with_obs(
             }
         }
     }
-    if obs.is_enabled() && !fleet.is_empty() {
-        obs.gauge_set(
+    if batch.is_recording() && !fleet.is_empty() {
+        batch.gauge_set(
             "service.seagull",
             "accuracy",
             &[("method", method.model_id())],
             hits as f64 / fleet.len() as f64,
         );
     }
-    obs.span_exit(span, HOURS as f64);
+    batch.span_exit(span, HOURS as f64);
+    drop(batch);
     SeagullReport {
         servers: fleet.len(),
         accuracy: if fleet.is_empty() {

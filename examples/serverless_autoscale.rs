@@ -139,6 +139,9 @@ fn main() {
     );
 
     // The canonical JSON export: events and gauges in one deterministic
-    // document, ready for downstream tooling.
-    println!("{}", obs.export_json());
+    // document, ready for downstream tooling. Streamed in chunks — the
+    // concatenation is byte-identical to `obs.export_json()`, but the full
+    // document never sits in memory.
+    obs.export_stream(16 * 1024, |chunk| print!("{chunk}"));
+    println!();
 }

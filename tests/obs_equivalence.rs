@@ -1,0 +1,157 @@
+//! Replay equivalence between the flight recorder's backends.
+//!
+//! The batched hot-path recorder (`Obs::recording`) earns its speed with
+//! ring staging, string interning and pre-resolved handles — none of which
+//! may change a single exported byte. This suite drives the same seeded
+//! chaos scenario through the old-style direct-mutation reference backend
+//! (`Obs::recording_direct`), the batched default, and a batched recorder
+//! with a tiny staging ring (forcing many flush boundaries mid-scenario),
+//! and pins all three to byte-identical canonical JSON.
+
+use autonomous_data_services::engine::cost::CostModel;
+use autonomous_data_services::engine::exec::{ClusterConfig, SimOptions, Simulator};
+use autonomous_data_services::engine::physical::{StageDag, StageId};
+use autonomous_data_services::faultsim::{ChaosRunner, FaultConfig, FaultInjector};
+use autonomous_data_services::obs::{DeploymentKind, Obs};
+use autonomous_data_services::service::seagull::{
+    generate_fleet, schedule_fleet_with_obs, BackupForecaster,
+};
+use autonomous_data_services::workload::gen::{GeneratorConfig, WorkloadGenerator};
+use std::collections::HashSet;
+
+fn scenario_dags() -> Vec<StageDag> {
+    let w = WorkloadGenerator::new(GeneratorConfig {
+        days: 1,
+        jobs_per_day: 12,
+        ..Default::default()
+    })
+    .expect("valid")
+    .generate()
+    .expect("generates");
+    let cm = CostModel::default();
+    w.trace
+        .jobs()
+        .iter()
+        .take(8)
+        .map(|j| StageDag::compile(&j.plan, &w.catalog, &cm).expect("compiles"))
+        .collect()
+}
+
+/// One full seeded scenario: chaos-injected job runs (spans, events,
+/// counters, histograms), a seagull fleet sweep (decision records), and a
+/// deployment triple (deployment records) — every record kind the trace
+/// schema has.
+fn drive_scenario(obs: &Obs, dags: &[StageDag], seed: u64) {
+    let cluster = ClusterConfig::default();
+    let runner = ChaosRunner::with_obs(cluster, f64::INFINITY, obs.clone()).expect("valid cluster");
+    let injector = FaultInjector::new(seed, FaultConfig::standard());
+    for (i, dag) in dags.iter().enumerate() {
+        let schedule = injector.schedule_for(i as u64, cluster.machines);
+        let ckpt: HashSet<StageId> = dag
+            .stages()
+            .iter()
+            .map(|s| s.id)
+            .filter(|id| id.0 % 2 == 0)
+            .collect();
+        runner.run_job(dag, &ckpt, &schedule).expect("runs");
+    }
+
+    let fleet = generate_fleet(20, 14, 0.6, 0.3, seed);
+    schedule_fleet_with_obs(&fleet, BackupForecaster::MlModel, 2, 0.25, obs);
+
+    obs.record_deployment(
+        "serve.gateway",
+        DeploymentKind::Publish,
+        "m",
+        1,
+        "manual",
+        0.5,
+    );
+    obs.record_deployment(
+        "serve.gateway",
+        DeploymentKind::CanaryStart,
+        "m",
+        2,
+        "drift",
+        1.0,
+    );
+    obs.record_deployment(
+        "serve.gateway",
+        DeploymentKind::Rollback,
+        "m",
+        2,
+        "guard_trip",
+        2.0,
+    );
+}
+
+#[test]
+fn batched_and_direct_backends_export_byte_identical_traces() {
+    let dags = scenario_dags();
+    for seed in [7u64, 21, 42] {
+        let direct = Obs::recording_direct();
+        let batched = Obs::recording();
+        // A 3-record ring forces a flush boundary inside nearly every job,
+        // so flush-ordering bugs cannot hide behind a large ring.
+        let tiny_ring = Obs::recording_with_ring(3);
+        drive_scenario(&direct, &dags, seed);
+        drive_scenario(&batched, &dags, seed);
+        drive_scenario(&tiny_ring, &dags, seed);
+
+        let reference = direct.export_json();
+        assert_eq!(
+            reference,
+            batched.export_json(),
+            "seed {seed}: batched backend diverged from the direct reference"
+        );
+        assert_eq!(
+            reference,
+            tiny_ring.export_json(),
+            "seed {seed}: tiny-ring backend diverged from the direct reference"
+        );
+        assert!(
+            !reference.is_empty() && reference.contains("\"spans\""),
+            "seed {seed}: scenario must actually record something"
+        );
+    }
+}
+
+#[test]
+fn backends_agree_across_interleaved_snapshots() {
+    // Snapshots force flushes at arbitrary points; taking one mid-scenario
+    // must not perturb what either backend ultimately exports.
+    let dags = scenario_dags();
+    let direct = Obs::recording_direct();
+    let batched = Obs::recording();
+    let cluster = ClusterConfig::default();
+    for obs in [&direct, &batched] {
+        let sim = Simulator::with_obs(cluster, obs.clone()).expect("valid cluster");
+        for (i, dag) in dags.iter().enumerate() {
+            sim.run(dag, &SimOptions::default()).expect("simulates");
+            if i % 3 == 0 {
+                let _ = obs.snapshot();
+            }
+        }
+    }
+    assert_eq!(direct.export_json(), batched.export_json());
+}
+
+#[test]
+fn same_seed_replays_are_byte_identical_per_backend() {
+    let dags = scenario_dags();
+    for mk in [Obs::recording, Obs::recording_direct] {
+        let (a, b) = (mk(), mk());
+        drive_scenario(&a, &dags, 21);
+        drive_scenario(&b, &dags, 21);
+        assert_eq!(a.export_json(), b.export_json());
+    }
+    let a = Obs::recording();
+    let b = Obs::recording();
+    drive_scenario(&a, &dags, 21);
+    drive_scenario(&b, &dags, 42);
+    assert_ne!(
+        a.export_json(),
+        b.export_json(),
+        "different fault seeds must diverge in the trace"
+    );
+}
