@@ -16,7 +16,7 @@
 
 use adas_bench::experiments::registry;
 use adas_bench::{render_table, Row};
-use adas_obs::Obs;
+use adas_obs::{Obs, DEFAULT_EXPORT_CHUNK};
 use std::io::Write as _;
 use std::time::Instant;
 
@@ -126,7 +126,7 @@ fn main() {
         });
         let mut writer = std::io::BufWriter::new(file);
         let mut failed = None;
-        obs.export_stream(64 * 1024, |chunk| {
+        obs.export_stream(DEFAULT_EXPORT_CHUNK, |chunk| {
             if failed.is_none() {
                 if let Err(e) = writer.write_all(chunk.as_bytes()) {
                     failed = Some(e);

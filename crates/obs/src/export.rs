@@ -178,6 +178,56 @@ pub fn to_prometheus(registry: &MetricsRegistry) -> String {
     out
 }
 
+/// Renders a whole trace in the Prometheus text exposition format: the
+/// metrics registry (via [`to_prometheus`]) plus counters synthesized from
+/// the trace's typed records — `deployments_total{model,kind}` from
+/// deployment records and `autonomy_incidents_total{model,cause}` from
+/// `autonomy_incident` decisions — so a scraper sees deployment churn and
+/// incident pressure without parsing the JSON export.
+///
+/// Synthesized series are grouped in sorted `(model, label)` order, so the
+/// output is deterministic for a deterministic trace.
+pub fn to_prometheus_trace(trace: &Trace) -> String {
+    let mut out = to_prometheus(&trace.metrics);
+    let mut deployments: std::collections::BTreeMap<(String, String), u64> =
+        std::collections::BTreeMap::new();
+    for d in &trace.deployments {
+        *deployments
+            .entry((d.model_id.clone(), d.kind.name().to_string()))
+            .or_insert(0) += 1;
+    }
+    if !deployments.is_empty() {
+        let _ = writeln!(out, "# TYPE deployments_total counter");
+        for ((model, kind), count) in &deployments {
+            let _ = writeln!(
+                out,
+                "deployments_total{{model=\"{model}\",kind=\"{kind}\"}} {count}"
+            );
+        }
+    }
+    let mut incidents: std::collections::BTreeMap<(String, String), u64> =
+        std::collections::BTreeMap::new();
+    for d in trace
+        .decisions
+        .iter()
+        .filter(|d| d.decision == "autonomy_incident")
+    {
+        *incidents
+            .entry((d.model_id.clone(), d.verdict.clone()))
+            .or_insert(0) += 1;
+    }
+    if !incidents.is_empty() {
+        let _ = writeln!(out, "# TYPE autonomy_incidents_total counter");
+        for ((model, cause), count) in &incidents {
+            let _ = writeln!(
+                out,
+                "autonomy_incidents_total{{model=\"{model}\",cause=\"{cause}\"}} {count}"
+            );
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,6 +253,93 @@ mod tests {
         assert!(text.contains("engine_exec_stage_latency_bucket{le=\"1\"} 1"));
         assert!(text.contains("engine_exec_stage_latency_bucket{le=\"+Inf\"} 1"));
         assert!(text.contains("engine_exec_stage_latency_count 1"));
+    }
+
+    #[test]
+    fn prometheus_trace_output_is_pinned() {
+        use crate::flight::{DecisionRecord, DeploymentKind, DeploymentRecord};
+        let mut reg = MetricsRegistry::default();
+        reg.counter_add(
+            MetricKey::new("serve.gateway", "requests", &[("model", "card")]),
+            4,
+        );
+        for v in [0.5, 3.0] {
+            reg.histogram_observe(
+                MetricKey::new("serve.gateway", "latency", &[]),
+                &[1.0, 10.0],
+                v,
+            );
+        }
+        let trace = Trace {
+            spans: vec![],
+            events: vec![],
+            decisions: vec![DecisionRecord {
+                seq: 5,
+                span: None,
+                sim_time: 3.0,
+                component: "serve.autonomy".into(),
+                decision: "autonomy_incident".into(),
+                model_id: "card".into(),
+                model_version: 2,
+                features_digest: 0,
+                predicted: 12.0,
+                observed: None,
+                verdict: "slo_burn".into(),
+                vetoed: true,
+                feedback_latency_ticks: 0,
+            }],
+            deployments: vec![
+                DeploymentRecord {
+                    seq: 1,
+                    span: None,
+                    sim_time: 0.0,
+                    component: "serve.gateway".into(),
+                    kind: DeploymentKind::Publish,
+                    model_id: "card".into(),
+                    version: 1,
+                    cause: "bootstrap".into(),
+                },
+                DeploymentRecord {
+                    seq: 9,
+                    span: None,
+                    sim_time: 4.0,
+                    component: "serve.gateway".into(),
+                    kind: DeploymentKind::Rollback,
+                    model_id: "card".into(),
+                    version: 2,
+                    cause: "slo_burn".into(),
+                },
+                DeploymentRecord {
+                    seq: 11,
+                    span: None,
+                    sim_time: 5.0,
+                    component: "serve.gateway".into(),
+                    kind: DeploymentKind::Publish,
+                    model_id: "cost".into(),
+                    version: 1,
+                    cause: "bootstrap".into(),
+                },
+            ],
+            metrics: reg,
+        };
+        // The full exposition, byte for byte: conformant cumulative
+        // histogram series plus the synthesized deployment/incident
+        // counters in sorted group order.
+        let expected = "# TYPE serve_gateway_latency histogram\n\
+            serve_gateway_latency_bucket{le=\"1\"} 1\n\
+            serve_gateway_latency_bucket{le=\"10\"} 2\n\
+            serve_gateway_latency_bucket{le=\"+Inf\"} 2\n\
+            serve_gateway_latency_sum 3.5\n\
+            serve_gateway_latency_count 2\n\
+            # TYPE serve_gateway_requests counter\n\
+            serve_gateway_requests{model=\"card\"} 4\n\
+            # TYPE deployments_total counter\n\
+            deployments_total{model=\"card\",kind=\"publish\"} 1\n\
+            deployments_total{model=\"card\",kind=\"rollback\"} 1\n\
+            deployments_total{model=\"cost\",kind=\"publish\"} 1\n\
+            # TYPE autonomy_incidents_total counter\n\
+            autonomy_incidents_total{model=\"card\",cause=\"slo_burn\"} 1\n";
+        assert_eq!(to_prometheus_trace(&trace), expected);
     }
 
     #[test]

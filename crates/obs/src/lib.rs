@@ -91,8 +91,11 @@ use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use std::sync::MutexGuard;
 
-/// Default chunk size for [`Obs::export_stream`], in bytes.
-pub const DEFAULT_STREAM_CHUNK: usize = 64 * 1024;
+/// Default chunk size for [`Obs::export_stream`] and
+/// [`Trace::export_stream`], in bytes. Every caller that streams a trace
+/// (chaos runner, gateway, experiments bin, `tracectl`) should use this
+/// instead of hardcoding its own size.
+pub const DEFAULT_EXPORT_CHUNK: usize = 64 * 1024;
 
 /// One recorder backend behind an [`Obs`] handle.
 // The enum lives inside the handle's `Arc<Mutex<..>>`, heap-allocated once
@@ -105,6 +108,17 @@ enum Recorder {
     Direct(DirectRecorder),
     /// Ring-staged, interned, batch-flushed — the hot-path default.
     Batched(BatchedRecorder),
+}
+
+/// Position in a recording for [`Obs::snapshot_since`]: how many records of
+/// each kind the caller has already consumed. A fresh (default) cursor
+/// makes the first incremental snapshot equal to a full [`Obs::snapshot`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCursor {
+    spans: usize,
+    events: usize,
+    decisions: usize,
+    deployments: usize,
 }
 
 impl Recorder {
@@ -556,6 +570,37 @@ impl Obs {
         inner.lock().snapshot()
     }
 
+    /// Incremental snapshot: everything recorded since `cursor` last saw
+    /// this handle, advancing the cursor. The delta's record vectors hold
+    /// only new entries (all four are append-only in record order), while
+    /// `metrics` is always the full cumulative registry — counters and
+    /// histograms are running totals, not deltas.
+    ///
+    /// Spans are included in the delta when they are *entered*; a span
+    /// still open at the cut keeps `end == start` in that delta and is not
+    /// re-reported when it later closes. Online consumers doing latency
+    /// analysis (watchtower's SLO engine) should therefore take their cuts
+    /// after the spans they care about have exited.
+    pub fn snapshot_since(&self, cursor: &mut TraceCursor) -> Trace {
+        let mut full = self.snapshot();
+        let delta = Trace {
+            spans: full.spans.split_off(cursor.spans.min(full.spans.len())),
+            events: full.events.split_off(cursor.events.min(full.events.len())),
+            decisions: full
+                .decisions
+                .split_off(cursor.decisions.min(full.decisions.len())),
+            deployments: full
+                .deployments
+                .split_off(cursor.deployments.min(full.deployments.len())),
+            metrics: full.metrics,
+        };
+        cursor.spans += delta.spans.len();
+        cursor.events += delta.events.len();
+        cursor.decisions += delta.decisions.len();
+        cursor.deployments += delta.deployments.len();
+        delta
+    }
+
     /// Canonical JSON export of the current snapshot.
     pub fn export_json(&self) -> String {
         export::to_json(&self.snapshot())
@@ -580,9 +625,11 @@ impl Obs {
         }
     }
 
-    /// Prometheus text exposition of the current metrics.
+    /// Prometheus text exposition of the current snapshot: the metrics
+    /// registry plus deployment/incident counters synthesized from the
+    /// trace's typed records (see [`export::to_prometheus_trace`]).
     pub fn export_prometheus(&self) -> String {
-        export::to_prometheus(&self.snapshot().metrics)
+        export::to_prometheus_trace(&self.snapshot())
     }
 }
 
@@ -1336,5 +1383,57 @@ mod tests {
         let mut streamed = String::new();
         disabled.export_stream(16, |chunk| streamed.push_str(chunk));
         assert_eq!(streamed, disabled.export_json());
+    }
+
+    #[test]
+    fn snapshot_since_returns_disjoint_deltas_and_cumulative_metrics() {
+        let obs = Obs::recording();
+        let mut cursor = TraceCursor::default();
+
+        obs.event("c", "first", 0.0, &[]);
+        obs.counter_add("c", "n", &[], 1);
+        let d1 = obs.snapshot_since(&mut cursor);
+        assert_eq!(d1.events.len(), 1);
+        assert_eq!(d1.events[0].name, "first");
+        assert_eq!(d1.metrics.counter("c", "n", &[]), 1);
+
+        // Nothing new: the delta is empty, metrics still cumulative.
+        let d2 = obs.snapshot_since(&mut cursor);
+        assert!(d2.events.is_empty() && d2.spans.is_empty());
+        assert_eq!(d2.metrics.counter("c", "n", &[]), 1);
+
+        let s = obs.span_enter("c", "s", 1.0);
+        obs.event("c", "second", 1.5, &[]);
+        obs.record_decision(
+            "c",
+            "d",
+            &Provenance::new("m", 1, 0),
+            1.0,
+            Some(1.0),
+            "ok",
+            false,
+            0,
+            1.6,
+        );
+        obs.counter_add("c", "n", &[], 2);
+        obs.span_exit(s, 2.0);
+        let d3 = obs.snapshot_since(&mut cursor);
+        assert_eq!(d3.events.len(), 1);
+        assert_eq!(d3.events[0].name, "second");
+        assert_eq!(d3.spans.len(), 1);
+        assert_eq!(d3.decisions.len(), 1);
+        assert_eq!(d3.metrics.counter("c", "n", &[]), 3);
+
+        // Deltas partition the full snapshot.
+        let full = obs.snapshot();
+        assert_eq!(
+            full.events.len(),
+            d1.events.len() + d3.events.len(),
+            "deltas must be disjoint and exhaustive"
+        );
+        // A fresh cursor replays everything.
+        let mut fresh = TraceCursor::default();
+        let all = obs.snapshot_since(&mut fresh);
+        assert_eq!(serde_json::to_string(&all), serde_json::to_string(&full));
     }
 }

@@ -1,6 +1,6 @@
 //! Trace snapshots and the query API over them.
 
-use crate::flight::{DecisionRecord, DeploymentRecord};
+use crate::flight::{DecisionRecord, DeploymentKind, DeploymentRecord};
 use crate::metrics::MetricsRegistry;
 use crate::span::{SpanId, SpanRecord};
 use serde::{Deserialize, Serialize};
@@ -60,6 +60,9 @@ impl Trace {
             model_id: None,
             vetoed_only: false,
             min_error_factor: None,
+            kind: None,
+            cause: None,
+            version: None,
         }
     }
 
@@ -97,7 +100,7 @@ impl Trace {
     }
 }
 
-/// A filter-builder over a trace's decision records.
+/// A filter-builder over a trace's decision and deployment records.
 ///
 /// ```
 /// use adas_obs::Obs;
@@ -118,6 +121,9 @@ pub struct TraceQuery<'a> {
     model_id: Option<String>,
     vetoed_only: bool,
     min_error_factor: Option<f64>,
+    kind: Option<DeploymentKind>,
+    cause: Option<String>,
+    version: Option<u64>,
 }
 
 impl<'a> TraceQuery<'a> {
@@ -144,6 +150,43 @@ impl<'a> TraceQuery<'a> {
     pub fn min_error_factor(mut self, factor: f64) -> Self {
         self.min_error_factor = Some(factor);
         self
+    }
+
+    /// Keep only deployment records of `kind` (publish, rollback, …).
+    /// Applies to [`TraceQuery::deployments`] only.
+    pub fn kind(mut self, kind: DeploymentKind) -> Self {
+        self.kind = Some(kind);
+        self
+    }
+
+    /// Keep only deployment records whose triggering cause is `cause`
+    /// (e.g. `guard_trip_streak`, `slo_burn`, `canary_healthy`). Applies to
+    /// [`TraceQuery::deployments`] only.
+    pub fn cause(mut self, cause: &str) -> Self {
+        self.cause = Some(cause.to_string());
+        self
+    }
+
+    /// Keep only deployment records concerning `version`. Applies to
+    /// [`TraceQuery::deployments`] only.
+    pub fn version(mut self, version: u64) -> Self {
+        self.version = Some(version);
+        self
+    }
+
+    /// Runs the query over deployment records, honoring the shared
+    /// component/model filters plus [`TraceQuery::kind`],
+    /// [`TraceQuery::cause`] and [`TraceQuery::version`].
+    pub fn deployments(&self) -> Vec<&'a DeploymentRecord> {
+        self.trace
+            .deployments
+            .iter()
+            .filter(|d| self.component.as_deref().map_or(true, |c| d.component == c))
+            .filter(|d| self.model_id.as_deref().map_or(true, |m| d.model_id == m))
+            .filter(|d| self.kind.map_or(true, |k| d.kind == k))
+            .filter(|d| self.cause.as_deref().map_or(true, |c| d.cause == c))
+            .filter(|d| self.version.map_or(true, |v| d.version == v))
+            .collect()
     }
 
     /// Runs the query.

@@ -89,6 +89,64 @@ impl Default for CanaryConfig {
     }
 }
 
+/// Aggregate service-health input derived from SLO burn-rate analysis —
+/// produced by `watchtower`'s SLO engine over flight-recorder windows (or
+/// any other monitor) and fed to [`AutonomyController::ingest_health`].
+///
+/// A burn rate of 1.0 means the service is consuming its error budget
+/// exactly as fast as the SLO allows; 10.0 means the budget burns ten
+/// times too fast. The two windows implement the classic multi-window
+/// alert: the *fast* window catches a fresh regression quickly, the
+/// *slow* window keeps a short blip from triggering, and an action fires
+/// only when both agree.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct HealthSignal {
+    /// Error-budget burn rate averaged over the short alert window.
+    pub fast_burn: f64,
+    /// Error-budget burn rate averaged over the long alert window.
+    pub slow_burn: f64,
+    /// Complete tumbling windows that informed the signal; signals below
+    /// [`SloPolicy::min_windows`] are ignored as warm-up noise.
+    pub windows: u32,
+}
+
+impl HealthSignal {
+    /// The burn rate both alert windows agree on (their minimum) — the
+    /// value [`SloPolicy`] thresholds are compared against.
+    pub fn sustained_burn(&self) -> f64 {
+        self.fast_burn.min(self.slow_burn)
+    }
+}
+
+/// Maps SLO burn rates to autonomy actions: how hot the error budget must
+/// burn before the controller rolls back or schedules a retrain.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct SloPolicy {
+    /// Sustained burn at or above this rolls back the serving version (or
+    /// demotes a staged candidate) with cause `slo_burn`.
+    pub rollback_burn: f64,
+    /// Sustained burn at or above this (but below `rollback_burn`)
+    /// schedules a retrain with cause `slo_burn`.
+    pub retrain_burn: f64,
+    /// Minimum complete SLO windows before a signal is actionable.
+    pub min_windows: u32,
+    /// Simulated ticks to ignore further health signals after an
+    /// SLO-triggered action — trailing windows still contain pre-action
+    /// bad events, and acting on them again would thrash the registry.
+    pub action_cooldown_ticks: f64,
+}
+
+impl Default for SloPolicy {
+    fn default() -> Self {
+        Self {
+            rollback_burn: 8.0,
+            retrain_burn: 2.0,
+            min_windows: 2,
+            action_cooldown_ticks: 32.0,
+        }
+    }
+}
+
 /// Controller tuning for one supervised model.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct AutonomyConfig {
@@ -96,6 +154,8 @@ pub struct AutonomyConfig {
     pub monitor: LoopConfig,
     /// Candidate evaluation policy.
     pub canary: CanaryConfig,
+    /// SLO burn-rate thresholds for [`AutonomyController::ingest_health`].
+    pub slo: SloPolicy,
     /// Consecutive poison-guard fallbacks that trigger an automatic
     /// rollback (or candidate demotion when one is staged).
     pub guarded_streak: u32,
@@ -114,6 +174,7 @@ impl Default for AutonomyConfig {
         Self {
             monitor: LoopConfig::default(),
             canary: CanaryConfig::default(),
+            slo: SloPolicy::default(),
             guarded_streak: 6,
             breaker_open_streak: 12,
             retrain_cooldown_ticks: 16.0,
@@ -200,6 +261,9 @@ struct Supervised {
     unhealthy_windows: u32,
     /// Shadow samples drained from the gateway, awaiting their actuals.
     pending_shadow: VecDeque<(u64, f64)>,
+    /// No SLO-triggered action before this simulated time (post-action
+    /// cooldown, so trailing bad windows don't double-fire).
+    slo_action_allowed_at: f64,
 }
 
 impl Supervised {
@@ -218,6 +282,7 @@ impl Supervised {
             healthy_windows: 0,
             unhealthy_windows: 0,
             pending_shadow: VecDeque::new(),
+            slo_action_allowed_at: 0.0,
             config,
         }
     }
@@ -510,6 +575,116 @@ impl AutonomyController {
         Ok(actions)
     }
 
+    /// Feeds an SLO burn-rate signal through the loop: sustained burn at or
+    /// above [`SloPolicy::rollback_burn`] rolls back (or demotes a staged
+    /// candidate), at or above [`SloPolicy::retrain_burn`] schedules a
+    /// retrain — so the controller reacts to aggregate service health, not
+    /// just raw guard/breaker streaks. Signals with fewer complete windows
+    /// than [`SloPolicy::min_windows`], and signals arriving inside the
+    /// post-action cooldown, are ignored.
+    ///
+    /// Like [`AutonomyController::observe`], calls must arrive in
+    /// simulated-time order for replays to stay byte-identical.
+    pub fn ingest_health(
+        &mut self,
+        handle: ModelHandle,
+        signal: &HealthSignal,
+        sim_time: f64,
+    ) -> Result<Vec<AutonomyAction>> {
+        let mut actions = Vec::new();
+        let Some(state) = self.supervised.get_mut(&handle.index()) else {
+            return Ok(actions);
+        };
+        let policy = state.config.slo;
+        if signal.windows < policy.min_windows || sim_time < state.slo_action_allowed_at {
+            return Ok(actions);
+        }
+        let burn = signal.sustained_burn();
+        if burn < policy.retrain_burn {
+            return Ok(actions);
+        }
+        let candidate = self.gateway.candidate_status(handle)?;
+        let version = self.gateway.current_version(handle)?.unwrap_or(0);
+        let cause = "slo_burn";
+        if burn >= policy.rollback_burn {
+            self.record_health_decision(handle, version, burn, cause, true, sim_time)?;
+            if candidate.is_some() {
+                let demoted = self.gateway.demote_candidate(handle, cause, sim_time)?;
+                let state = self.state_mut(handle);
+                state.schedule_demote_backoff(sim_time);
+                state.retrain_pending = Some(cause.to_string());
+                state.slo_action_allowed_at = sim_time + policy.action_cooldown_ticks;
+                actions.push(AutonomyAction::Demoted {
+                    version: demoted,
+                    cause: cause.to_string(),
+                });
+            } else if let Some(landed) =
+                self.gateway.rollback_with_cause(handle, cause, sim_time)?
+            {
+                let state = self.state_mut(handle);
+                state.reset_after_swap();
+                state.retrain_pending = Some(cause.to_string());
+                state.slo_action_allowed_at = sim_time + policy.action_cooldown_ticks;
+                actions.push(AutonomyAction::RolledBack {
+                    version: landed,
+                    cause: cause.to_string(),
+                });
+                actions.push(AutonomyAction::RetrainScheduled {
+                    cause: cause.to_string(),
+                });
+                return Ok(actions); // fresh slate, same as a streak rollback
+            } else {
+                // Nothing to roll back to — retraining is the only way out.
+                let state = self.state_mut(handle);
+                state.slo_action_allowed_at = sim_time + policy.action_cooldown_ticks;
+                if state.retrain_pending.is_none() {
+                    state.retrain_pending = Some(cause.to_string());
+                    actions.push(AutonomyAction::RetrainScheduled {
+                        cause: cause.to_string(),
+                    });
+                }
+            }
+        } else {
+            self.record_health_decision(handle, version, burn, cause, false, sim_time)?;
+            let state = self.state_mut(handle);
+            if state.retrain_pending.is_none() && candidate.is_none() {
+                state.retrain_pending = Some(cause.to_string());
+                state.slo_action_allowed_at = sim_time + policy.action_cooldown_ticks;
+                actions.push(AutonomyAction::RetrainScheduled {
+                    cause: cause.to_string(),
+                });
+            }
+        }
+        actions.extend(self.maybe_retrain(handle, sim_time)?);
+        Ok(actions)
+    }
+
+    /// Records an SLO-burn incident decision: `predicted` carries the burn
+    /// rate so the trace preserves how hot the budget was burning.
+    fn record_health_decision(
+        &self,
+        handle: ModelHandle,
+        version: u64,
+        burn: f64,
+        verdict: &str,
+        vetoed: bool,
+        sim_time: f64,
+    ) -> Result<()> {
+        let name = self.gateway.model_name(handle)?;
+        self.obs.record_decision(
+            COMPONENT,
+            "autonomy_incident",
+            &Provenance::new(&name, version, 0),
+            burn,
+            None,
+            verdict,
+            vetoed,
+            0,
+            sim_time,
+        );
+        Ok(())
+    }
+
     /// Evaluates one full candidate window: healthy / unhealthy /
     /// inconclusive, hysteresis streaks, and the resulting phase change.
     fn evaluate_candidate_window(
@@ -724,6 +899,7 @@ mod tests {
                 restage_backoff_ticks: 8.0,
                 max_restage_backoff_ticks: 64.0,
             },
+            slo: SloPolicy::default(),
             guarded_streak: 3,
             breaker_open_streak: 8,
             retrain_cooldown_ticks: 4.0,
@@ -847,6 +1023,63 @@ mod tests {
             Some(1),
             "primary never changed"
         );
+    }
+
+    #[test]
+    fn slo_burn_signal_rolls_back_and_schedules_retrain() {
+        let (mut ctl, handle, obs) = controller();
+        ctl.supervise(handle, loop_config(), scalar_retrainer());
+        ctl.install(handle, Arc::new(FnModel(|f: &[f64]| f[0])), 0.05, 0.0)
+            .unwrap();
+        ctl.install(handle, Arc::new(FnModel(|f: &[f64]| f[0])), 0.06, 1.0)
+            .unwrap();
+        // Warm-up: below min_windows the signal is ignored however hot.
+        let warmup = HealthSignal {
+            fast_burn: 100.0,
+            slow_burn: 100.0,
+            windows: 1,
+        };
+        assert!(ctl.ingest_health(handle, &warmup, 2.0).unwrap().is_empty());
+        // Healthy burn is ignored.
+        let ok = HealthSignal {
+            fast_burn: 0.5,
+            slow_burn: 0.4,
+            windows: 5,
+        };
+        assert!(ctl.ingest_health(handle, &ok, 3.0).unwrap().is_empty());
+        // A fast-only spike is not sustained: the slow window vetoes it.
+        let spike = HealthSignal {
+            fast_burn: 50.0,
+            slow_burn: 0.2,
+            windows: 5,
+        };
+        assert!(ctl.ingest_health(handle, &spike, 3.5).unwrap().is_empty());
+        // Sustained burn over the rollback line rolls back with slo_burn.
+        let hot = HealthSignal {
+            fast_burn: 20.0,
+            slow_burn: 12.0,
+            windows: 5,
+        };
+        let acts = ctl.ingest_health(handle, &hot, 4.0).unwrap();
+        assert!(
+            acts.iter().any(|a| matches!(
+                a,
+                AutonomyAction::RolledBack { cause, .. } if cause == "slo_burn"
+            )),
+            "sustained burn must roll back: {acts:?}"
+        );
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, AutonomyAction::RetrainScheduled { .. })));
+        // Post-action cooldown mutes the trailing hot windows.
+        assert!(ctl.ingest_health(handle, &hot, 5.0).unwrap().is_empty());
+        let trace = obs.snapshot();
+        let rb = trace
+            .deployments
+            .iter()
+            .find(|d| d.kind == DeploymentKind::Rollback)
+            .expect("typed rollback record");
+        assert_eq!(rb.cause, "slo_burn");
     }
 
     #[test]

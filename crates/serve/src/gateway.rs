@@ -715,6 +715,27 @@ impl Gateway {
         Ok(())
     }
 
+    /// [`Gateway::inject_faults`] with an explicit simulated time, recorded
+    /// as a `model_fault_injected` trace event — so downstream analysis
+    /// (watchtower incident reconstruction) can blame the injection as an
+    /// incident's root cause instead of its first symptom.
+    pub fn inject_faults_at(
+        &self,
+        handle: ModelHandle,
+        faults: ModelFaults,
+        sim_time: f64,
+    ) -> Result<()> {
+        let entry = self.entry(handle)?;
+        entry.faults.lock().source = Some(faults);
+        self.inner.obs.event(
+            COMPONENT,
+            "model_fault_injected",
+            sim_time,
+            &[("model", entry.name.as_str()), ("kind", "channel")],
+        );
+        Ok(())
+    }
+
     /// Marks the model's serving path as poisoned: fresh predictions are
     /// biased by the fault channel's poison profile before the guard sees
     /// them. `true` poisons every version ([`PoisonScope::All`]); `false`
@@ -739,12 +760,57 @@ impl Gateway {
         Ok(())
     }
 
+    /// [`Gateway::set_poison_scope`] with an explicit simulated time,
+    /// recorded as a `model_fault_injected` trace event carrying the scope
+    /// (and poisoned version, when scoped) — the ground-truth root cause
+    /// watchtower's incident reconstruction links symptoms back to.
+    pub fn set_poison_scope_at(
+        &self,
+        handle: ModelHandle,
+        scope: PoisonScope,
+        sim_time: f64,
+    ) -> Result<()> {
+        let entry = self.entry(handle)?;
+        entry.faults.lock().poisoned = scope;
+        let (scope_name, version) = match scope {
+            PoisonScope::None => ("none", String::new()),
+            PoisonScope::All => ("all", String::new()),
+            PoisonScope::Version(v) => ("version", v.to_string()),
+        };
+        self.inner.obs.event(
+            COMPONENT,
+            "model_fault_injected",
+            sim_time,
+            &[
+                ("model", entry.name.as_str()),
+                ("kind", "poison"),
+                ("scope", scope_name),
+                ("version", version.as_str()),
+            ],
+        );
+        Ok(())
+    }
+
     /// Detaches any fault channel and clears the poison scope.
     pub fn clear_faults(&self, handle: ModelHandle) -> Result<()> {
         let entry = self.entry(handle)?;
         let mut faults = entry.faults.lock();
         faults.source = None;
         faults.poisoned = PoisonScope::None;
+        Ok(())
+    }
+
+    /// [`Gateway::clear_faults`] with an explicit simulated time, recorded
+    /// as a `model_faults_cleared` trace event.
+    pub fn clear_faults_at(&self, handle: ModelHandle, sim_time: f64) -> Result<()> {
+        self.clear_faults(handle)?;
+        let entry = self.entry(handle)?;
+        self.inner.obs.event(
+            COMPONENT,
+            "model_faults_cleared",
+            sim_time,
+            &[("model", entry.name.as_str())],
+        );
         Ok(())
     }
 
@@ -1067,6 +1133,17 @@ impl Gateway {
             .counter_add(COMPONENT, "requests", &[("model", entry.name.as_str())], 1);
     }
 
+    /// Per-model SLO bookkeeping: every answer either meets the objective
+    /// (fresh model/cache serves) or consumes error budget (stale values,
+    /// fallbacks of any cause). Watchtower's SLO engine and the Prometheus
+    /// export aggregate these.
+    fn record_slo(&self, entry: &ModelEntry, good: bool) {
+        let name = if good { "slo_good" } else { "slo_bad" };
+        self.inner
+            .obs
+            .counter_add(COMPONENT, name, &[("model", entry.name.as_str())], 1);
+    }
+
     fn probe_cache(
         &self,
         entry: &ModelEntry,
@@ -1092,6 +1169,7 @@ impl Gateway {
                     &[("model", entry.name.as_str())],
                     1,
                 );
+                self.record_slo(entry, true);
                 Some(Prediction {
                     value,
                     version: snapshot.version,
@@ -1171,6 +1249,7 @@ impl Gateway {
                     1,
                 );
                 self.breaker_failure(entry, sim_time);
+                self.record_slo(entry, false);
                 Prediction {
                     value: previous,
                     version: snapshot.version,
@@ -1216,6 +1295,7 @@ impl Gateway {
                         value,
                     );
                 }
+                self.record_slo(entry, true);
                 Prediction {
                     value,
                     version: snapshot.version,
@@ -1266,6 +1346,7 @@ impl Gateway {
     ) -> Prediction {
         let value = (entry.fallback)(features);
         self.inner.counters.fallbacks.fetch_add(1, Relaxed);
+        self.record_slo(entry, false);
         let mut digest = digest;
         if self.inner.obs.is_enabled() {
             if digest == 0 {

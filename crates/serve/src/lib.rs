@@ -44,7 +44,10 @@ mod gateway;
 mod model;
 mod pool;
 
-pub use autonomy::{AutonomyAction, AutonomyConfig, AutonomyController, CanaryConfig, Retrainer};
+pub use autonomy::{
+    AutonomyAction, AutonomyConfig, AutonomyController, CanaryConfig, HealthSignal, Retrainer,
+    SloPolicy,
+};
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker, Transition};
 pub use cache::{CacheKey, PredictionCache};
 pub use canary::{DeployPhase, ShadowSample};

@@ -1,0 +1,63 @@
+//! `tracectl` — watchtower analyses over an exported trace JSON file.
+//!
+//! ```text
+//! tracectl slo <trace.json>                  SLO windows and burn alerts
+//! tracectl incidents <trace.json>            reconstructed incidents
+//! tracectl critpath <trace.json>             critical-path profile
+//! tracectl critpath <trace.json> --collapsed collapsed stacks (flamegraph)
+//! tracectl summary <trace.json>              all three, one JSON document
+//! ```
+//!
+//! Traces come from [`Obs::export_json`] or [`Obs::export_stream`]; the
+//! analyses use [`adas_watchtower::default_specs`]. All JSON output is
+//! canonical — byte-identical for byte-identical traces.
+//!
+//! [`Obs::export_json`]: adas_obs::Obs::export_json
+//! [`Obs::export_stream`]: adas_obs::Obs::export_stream
+
+use adas_obs::Trace;
+use adas_watchtower::{
+    analyze, collapsed_stacks, critical_path, default_specs, evaluate, reconstruct,
+    to_canonical_json,
+};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: tracectl <slo|incidents|critpath|summary> <trace.json> [--collapsed]";
+
+fn load_trace(path: &str) -> Result<Trace, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("tracectl: read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("tracectl: parse {path}: {e:?}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let collapsed = args.iter().any(|a| a == "--collapsed");
+    let mut positional = args.iter().filter(|a| !a.starts_with("--"));
+    let (command, path) = match (positional.next(), positional.next()) {
+        (Some(c), Some(p)) => (c.as_str(), p.as_str()),
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let trace = match load_trace(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let specs = default_specs();
+    match command {
+        "slo" => println!("{}", to_canonical_json(&evaluate(&trace, &specs))),
+        "incidents" => println!("{}", to_canonical_json(&reconstruct(&trace))),
+        "critpath" if collapsed => print!("{}", collapsed_stacks(&trace)),
+        "critpath" => println!("{}", to_canonical_json(&critical_path(&trace))),
+        "summary" => println!("{}", to_canonical_json(&analyze(&trace, &specs))),
+        other => {
+            eprintln!("tracectl: unknown command `{other}`\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,352 @@
+//! Critical-path profiling over the span forest.
+//!
+//! Spans form a forest via parent links (a parent missing from the trace —
+//! e.g. truncated by a delta snapshot — makes a span top-level). The
+//! **critical path** is the chain you get by starting at the last-finishing
+//! top-level span and repeatedly descending into the last-finishing child:
+//! the spine of simulated time the run could not have avoided. Each step
+//! carries its **self time** — duration minus the part covered by the step's
+//! chosen child — and the report also attributes self time per component
+//! across *all* spans (duration minus every child's overlap), which is what
+//! the collapsed-stack export feeds to flamegraph renderers.
+//!
+//! Everything here is a pure function of the trace: same trace bytes, same
+//! report bytes. Ties (identical end times) break on the higher sequence
+//! number, which replays reproduce exactly.
+
+use adas_obs::{SpanId, SpanRecord, Trace};
+use serde::Serialize;
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, HashMap};
+
+/// Parent-walk depth cap for untrusted traces (`tracectl` input): a parent
+/// cycle in a hand-edited JSON file terminates instead of hanging.
+const MAX_DEPTH: usize = 256;
+
+/// One span on the critical path.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PathStep {
+    /// Component that opened the span.
+    pub component: String,
+    /// Span name.
+    pub name: String,
+    /// Simulated start time.
+    pub start: f64,
+    /// Simulated end time.
+    pub end: f64,
+    /// Ticks of this step not covered by any deeper step on the path, so
+    /// the steps' self times always sum to exactly the covered part of the
+    /// path (time goes to the deepest span that holds it).
+    pub self_ticks: f64,
+}
+
+/// Aggregate self time of one component across every span it opened.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ComponentSelfTime {
+    /// Component name (`(untracked)` for envelope time outside every
+    /// top-level span).
+    pub component: String,
+    /// Total self ticks.
+    pub self_ticks: f64,
+}
+
+/// The critical-path profile of one trace.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CritPathReport {
+    /// Simulated envelope of the trace: latest span end minus earliest
+    /// span start.
+    pub total_ticks: f64,
+    /// Length of the critical path (the envelope: the path spine spans the
+    /// whole profiled interval, so this never exceeds `total_ticks` and
+    /// never undercuts the longest single span).
+    pub path_ticks: f64,
+    /// Path ticks not attributed to any step's self time (gaps between the
+    /// envelope and the chain of spans).
+    pub idle_ticks: f64,
+    /// The path, root first.
+    pub path: Vec<PathStep>,
+    /// Per-component self time over all spans, sorted by component.
+    pub self_time: Vec<ComponentSelfTime>,
+}
+
+/// Overlap in ticks between two spans, clamped at zero.
+fn overlap(a: &SpanRecord, b: &SpanRecord) -> f64 {
+    (a.end.min(b.end) - a.start.max(b.start)).max(0.0)
+}
+
+/// Self time of span `i`: duration minus every child's overlap, clamped at
+/// zero (children overlapping each other can over-subtract; clamping keeps
+/// the attribution deterministic and non-negative).
+fn span_self(spans: &[SpanRecord], children: &[Vec<usize>], i: usize) -> f64 {
+    let covered: f64 = children[i]
+        .iter()
+        .map(|&c| overlap(&spans[i], &spans[c]))
+        .sum();
+    (spans[i].duration() - covered).max(0.0)
+}
+
+/// Index spans by id and group children under their parents. A parent id
+/// absent from the trace (or a self-parent) makes the span top-level.
+fn build_forest(spans: &[SpanRecord]) -> (Vec<Vec<usize>>, Vec<usize>) {
+    let index: HashMap<SpanId, usize> = spans.iter().enumerate().map(|(i, s)| (s.id, i)).collect();
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
+    let mut top = Vec::new();
+    for (i, s) in spans.iter().enumerate() {
+        match s
+            .parent
+            .and_then(|p| index.get(&p).copied())
+            .filter(|&p| p != i)
+        {
+            Some(p) => children[p].push(i),
+            None => top.push(i),
+        }
+    }
+    (children, top)
+}
+
+/// Ticks of `[s, e)` already covered by the merged, disjoint, sorted
+/// interval list.
+fn covered_within(covered: &[(f64, f64)], s: f64, e: f64) -> f64 {
+    covered
+        .iter()
+        .map(|&(cs, ce)| (e.min(ce) - s.max(cs)).max(0.0))
+        .sum()
+}
+
+/// Inserts `[s, e)` into the merged, disjoint, sorted interval list.
+fn insert_interval(covered: &mut Vec<(f64, f64)>, s: f64, e: f64) {
+    if e <= s {
+        return;
+    }
+    let (mut s, mut e) = (s, e);
+    covered.retain(|&(cs, ce)| {
+        if cs <= e && ce >= s {
+            s = s.min(cs);
+            e = e.max(ce);
+            false
+        } else {
+            true
+        }
+    });
+    let at = covered.partition_point(|&(cs, _)| cs < s);
+    covered.insert(at, (s, e));
+}
+
+/// Last-finishing span among `candidates` (ties break on higher seq).
+fn last_finishing(spans: &[SpanRecord], candidates: &[usize]) -> Option<usize> {
+    candidates.iter().copied().max_by(|&a, &b| {
+        spans[a]
+            .end
+            .partial_cmp(&spans[b].end)
+            .unwrap_or(Ordering::Equal)
+            .then(spans[a].seq.cmp(&spans[b].seq))
+    })
+}
+
+/// Profiles the trace's span forest. An empty trace yields an all-zero
+/// report.
+pub fn critical_path(trace: &Trace) -> CritPathReport {
+    let spans = &trace.spans;
+    if spans.is_empty() {
+        return CritPathReport {
+            total_ticks: 0.0,
+            path_ticks: 0.0,
+            idle_ticks: 0.0,
+            path: Vec::new(),
+            self_time: Vec::new(),
+        };
+    }
+    let (children, top) = build_forest(spans);
+    let env_start = spans.iter().map(|s| s.start).fold(f64::INFINITY, f64::min);
+    let env_end = spans
+        .iter()
+        .map(|s| s.end)
+        .fold(f64::NEG_INFINITY, f64::max)
+        .max(env_start);
+    let total_ticks = (env_end - env_start).max(0.0);
+
+    // Walk the spine: last-finishing top-level span, then last-finishing
+    // child at each level.
+    let mut path_idx = Vec::new();
+    let mut cursor = last_finishing(spans, &top);
+    while let Some(i) = cursor {
+        if path_idx.len() >= MAX_DEPTH {
+            break;
+        }
+        path_idx.push(i);
+        cursor = last_finishing(spans, &children[i]);
+    }
+    // Attribute each tick of the path to the deepest step holding it:
+    // walking leaf → root against a merged coverage set makes the steps'
+    // self times sum to exactly the union of the path's intervals, so
+    // `idle_ticks` is a true gap measure rather than a clamp artifact.
+    let mut covered: Vec<(f64, f64)> = Vec::new();
+    let mut selfs = vec![0.0; path_idx.len()];
+    for (pos, &i) in path_idx.iter().enumerate().rev() {
+        let (s, e) = (spans[i].start, spans[i].end.max(spans[i].start));
+        selfs[pos] = ((e - s) - covered_within(&covered, s, e)).max(0.0);
+        insert_interval(&mut covered, s, e);
+    }
+    let path: Vec<PathStep> = path_idx
+        .iter()
+        .zip(&selfs)
+        .map(|(&i, &self_ticks)| PathStep {
+            component: spans[i].component.clone(),
+            name: spans[i].name.clone(),
+            start: spans[i].start,
+            end: spans[i].end,
+            self_ticks,
+        })
+        .collect();
+    let attributed: f64 = selfs.iter().sum();
+
+    // Per-component self time over every span, plus the envelope time no
+    // top-level span covers at all.
+    let mut by_component: BTreeMap<String, f64> = BTreeMap::new();
+    for i in 0..spans.len() {
+        *by_component
+            .entry(spans[i].component.clone())
+            .or_insert(0.0) += span_self(spans, &children, i);
+    }
+    let mut intervals: Vec<(f64, f64)> = top
+        .iter()
+        .map(|&i| (spans[i].start, spans[i].end.max(spans[i].start)))
+        .collect();
+    intervals.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));
+    let mut covered = 0.0;
+    let mut frontier = env_start;
+    for (s, e) in intervals {
+        let s = s.max(frontier);
+        if e > s {
+            covered += e - s;
+            frontier = e;
+        }
+    }
+    let untracked = (total_ticks - covered).max(0.0);
+    if untracked > 0.0 {
+        *by_component.entry("(untracked)".to_string()).or_insert(0.0) += untracked;
+    }
+    let self_time = by_component
+        .into_iter()
+        .map(|(component, self_ticks)| ComponentSelfTime {
+            component,
+            self_ticks,
+        })
+        .collect();
+
+    CritPathReport {
+        total_ticks,
+        path_ticks: total_ticks,
+        idle_ticks: (total_ticks - attributed).max(0.0),
+        path,
+        self_time,
+    }
+}
+
+/// Collapsed-stack (flamegraph-format) export: one line per distinct stack,
+/// `component:name;...;component:name <milliticks>`, sorted, with self time
+/// scaled to integer milliticks (zero-valued stacks are dropped). Pipe the
+/// output straight into any flamegraph renderer.
+pub fn collapsed_stacks(trace: &Trace) -> String {
+    let spans = &trace.spans;
+    let (children, _) = build_forest(spans);
+    let index: HashMap<SpanId, usize> = spans.iter().enumerate().map(|(i, s)| (s.id, i)).collect();
+    let mut stacks: BTreeMap<String, u64> = BTreeMap::new();
+    for i in 0..spans.len() {
+        let value = (span_self(spans, &children, i) * 1000.0).round() as u64;
+        if value == 0 {
+            continue;
+        }
+        // Walk to the root, then reverse into root-first frames.
+        let mut chain = vec![i];
+        let mut cursor = i;
+        while let Some(p) = spans[cursor]
+            .parent
+            .and_then(|p| index.get(&p).copied())
+            .filter(|&p| p != cursor)
+        {
+            if chain.len() >= MAX_DEPTH || chain.contains(&p) {
+                break;
+            }
+            chain.push(p);
+            cursor = p;
+        }
+        let stack = chain
+            .iter()
+            .rev()
+            .map(|&j| format!("{}:{}", spans[j].component, spans[j].name))
+            .collect::<Vec<_>>()
+            .join(";");
+        *stacks.entry(stack).or_insert(0) += value;
+    }
+    let mut out = String::new();
+    for (stack, value) in &stacks {
+        out.push_str(stack);
+        out.push(' ');
+        out.push_str(&value.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adas_obs::Obs;
+
+    #[test]
+    fn path_follows_last_finishing_children() {
+        let obs = Obs::recording();
+        let root = obs.span_enter("engine", "run_job", 0.0);
+        let fast = obs.span_enter("engine.exec", "stage-0", 1.0);
+        obs.span_exit(fast, 2.0);
+        let slow = obs.span_enter("engine.exec", "stage-1", 2.0);
+        obs.span_exit(slow, 9.0);
+        obs.span_exit(root, 10.0);
+        let report = critical_path(&obs.snapshot());
+        assert_eq!(report.total_ticks, 10.0);
+        assert_eq!(report.path_ticks, 10.0);
+        let names: Vec<&str> = report.path.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["run_job", "stage-1"]);
+        // Root self = 10 - overlap(2..9) = 3; leaf self = 7; idle = 0.
+        assert_eq!(report.path[0].self_ticks, 3.0);
+        assert_eq!(report.path[1].self_ticks, 7.0);
+        assert_eq!(report.idle_ticks, 0.0);
+    }
+
+    #[test]
+    fn self_time_accounts_for_untracked_gaps() {
+        let obs = Obs::recording();
+        let a = obs.span_enter("engine", "a", 0.0);
+        obs.span_exit(a, 4.0);
+        // Gap 4..6 with no span at all.
+        let b = obs.span_enter("serve", "b", 6.0);
+        obs.span_exit(b, 10.0);
+        let report = critical_path(&obs.snapshot());
+        assert_eq!(report.total_ticks, 10.0);
+        let untracked = report
+            .self_time
+            .iter()
+            .find(|c| c.component == "(untracked)")
+            .expect("gap attributed");
+        assert_eq!(untracked.self_ticks, 2.0);
+    }
+
+    #[test]
+    fn collapsed_stacks_are_sorted_and_scaled() {
+        let obs = Obs::recording();
+        let root = obs.span_enter("engine", "run", 0.0);
+        let child = obs.span_enter("engine.exec", "stage-0", 0.0);
+        obs.span_exit(child, 1.5);
+        obs.span_exit(root, 2.0);
+        let out = collapsed_stacks(&obs.snapshot());
+        assert_eq!(out, "engine:run 500\nengine:run;engine.exec:stage-0 1500\n");
+    }
+
+    #[test]
+    fn empty_trace_profiles_to_zero() {
+        let report = critical_path(&Trace::default());
+        assert_eq!(report.total_ticks, 0.0);
+        assert!(report.path.is_empty() && report.self_time.is_empty());
+    }
+}

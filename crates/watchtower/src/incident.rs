@@ -1,0 +1,447 @@
+//! Causal incident reconstruction.
+//!
+//! The flight recorder captures an incident as scattered records: a fault
+//! injection event, a burst of vetoed `degraded_serve` decisions, breaker
+//! transitions, an `autonomy_incident` trigger, and finally a rollback or
+//! demote deployment. This module stitches them back into per-model
+//! **incidents** using the causal links the records already carry — the
+//! model id on events, decisions, and deployments, and the trace's total
+//! sequence order.
+//!
+//! Linking rules (all keyed by model, scanned in `seq` order, so the result
+//! is invariant under any permutation of the trace's record vectors):
+//!
+//! - An incident **opens** at the first `model_fault_injected` event,
+//!   vetoed `degraded_serve` decision, `breaker_transition` event, or
+//!   `autonomy_incident` decision for a model with no open incident.
+//! - While open, matching records append to the incident's timeline
+//!   (capped per stage; full counts are kept separately). Chaos-runner
+//!   `fault_injected` events carry no model and attach to *every* open
+//!   incident as context.
+//! - The incident **closes** at the first rollback or demote deployment
+//!   for the model whose cause names an autonomy-loop trigger (manual,
+//!   bootstrap, and candidate-housekeeping causes don't count) — that
+//!   deployment becomes the [`Resolution`].
+//! - The **root cause** is the earliest `model_fault_injected` entry in
+//!   the timeline when one exists (the injected fault explains the rest),
+//!   otherwise the opening record.
+
+use adas_obs::{DeploymentKind, Trace};
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// Timeline entries kept per stage; beyond this, only counters advance.
+const TIMELINE_CAP_PER_STAGE: usize = 8;
+
+/// One record on an incident's timeline.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TimelineEntry {
+    /// Sequence number of the underlying record.
+    pub seq: u64,
+    /// Simulated time of the record.
+    pub sim_time: f64,
+    /// Which linking stage matched: `fault_injected`, `degraded_serve`,
+    /// `breaker_transition`, `autonomy_trigger`, `faults_cleared`,
+    /// `chaos_fault`, or `deployment`.
+    pub stage: String,
+    /// Stage-specific detail (event fields, fallback cause, deployment
+    /// kind/version/cause).
+    pub detail: String,
+}
+
+/// The deployment that closed an incident.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Resolution {
+    /// Deployment kind name (`rollback` or `demote`).
+    pub kind: String,
+    /// Version the deployment concerned.
+    pub version: u64,
+    /// The loop cause that triggered it (e.g. `guard_trip_streak`,
+    /// `slo_burn`).
+    pub cause: String,
+    /// Simulated time of the deployment.
+    pub sim_time: f64,
+}
+
+/// One reconstructed incident.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Incident {
+    /// Ordinal in opening order.
+    pub id: u64,
+    /// Model the incident concerns.
+    pub model: String,
+    /// Simulated time the incident opened.
+    pub opened_at: f64,
+    /// Simulated time of the resolution, if one landed.
+    pub closed_at: Option<f64>,
+    /// The blamed record.
+    pub root_cause: TimelineEntry,
+    /// The closing deployment, if any.
+    pub resolution: Option<Resolution>,
+    /// Total vetoed `degraded_serve` decisions attributed (timeline caps;
+    /// this does not).
+    pub degraded_serves: u64,
+    /// Total breaker transitions attributed.
+    pub breaker_transitions: u64,
+    /// Timeline in sequence order, capped per stage.
+    pub timeline: Vec<TimelineEntry>,
+}
+
+/// All incidents reconstructed from one trace, in opening order.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct IncidentReport {
+    /// The incidents.
+    pub incidents: Vec<Incident>,
+}
+
+/// One trace record flattened into the scan, in a form the state machine
+/// can consume.
+struct Item {
+    seq: u64,
+    sim_time: f64,
+    /// `None` for chaos-runner faults, which carry no model.
+    model: Option<String>,
+    stage: &'static str,
+    detail: String,
+    opens: bool,
+    resolution: Option<Resolution>,
+}
+
+fn join_fields(fields: &[(String, String)]) -> String {
+    fields
+        .iter()
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// True when a rollback/demote cause names an autonomy-loop trigger rather
+/// than operator action or candidate housekeeping.
+fn is_loop_cause(cause: &str) -> bool {
+    cause != "manual"
+        && cause != "bootstrap"
+        && cause != "restaged"
+        && !cause.starts_with("superseded")
+}
+
+fn gather(trace: &Trace) -> Vec<Item> {
+    let mut items = Vec::new();
+    for e in &trace.events {
+        match e.name.as_str() {
+            "model_fault_injected" => {
+                if let Some(model) = e.field("model") {
+                    items.push(Item {
+                        seq: e.seq,
+                        sim_time: e.sim_time,
+                        model: Some(model.to_string()),
+                        stage: "fault_injected",
+                        detail: join_fields(&e.fields),
+                        opens: true,
+                        resolution: None,
+                    });
+                }
+            }
+            "model_faults_cleared" => {
+                if let Some(model) = e.field("model") {
+                    items.push(Item {
+                        seq: e.seq,
+                        sim_time: e.sim_time,
+                        model: Some(model.to_string()),
+                        stage: "faults_cleared",
+                        detail: String::new(),
+                        opens: false,
+                        resolution: None,
+                    });
+                }
+            }
+            "breaker_transition" => {
+                if let Some(model) = e.field("model") {
+                    items.push(Item {
+                        seq: e.seq,
+                        sim_time: e.sim_time,
+                        model: Some(model.to_string()),
+                        stage: "breaker_transition",
+                        detail: join_fields(&e.fields),
+                        opens: true,
+                        resolution: None,
+                    });
+                }
+            }
+            "fault_injected" => {
+                // Chaos-runner faults have no model; they attach to every
+                // open incident as context.
+                items.push(Item {
+                    seq: e.seq,
+                    sim_time: e.sim_time,
+                    model: None,
+                    stage: "chaos_fault",
+                    detail: join_fields(&e.fields),
+                    opens: false,
+                    resolution: None,
+                });
+            }
+            _ => {}
+        }
+    }
+    for d in &trace.decisions {
+        let stage = match d.decision.as_str() {
+            "degraded_serve" if d.vetoed => "degraded_serve",
+            "autonomy_incident" => "autonomy_trigger",
+            _ => continue,
+        };
+        items.push(Item {
+            seq: d.seq,
+            sim_time: d.sim_time,
+            model: Some(d.model_id.clone()),
+            stage,
+            detail: d.verdict.clone(),
+            opens: true,
+            resolution: None,
+        });
+    }
+    for d in &trace.deployments {
+        let closing = matches!(d.kind, DeploymentKind::Rollback | DeploymentKind::Demote)
+            && is_loop_cause(&d.cause);
+        items.push(Item {
+            seq: d.seq,
+            sim_time: d.sim_time,
+            model: Some(d.model_id.clone()),
+            stage: "deployment",
+            detail: format!("{} v{} cause={}", d.kind.name(), d.version, d.cause),
+            opens: false,
+            resolution: closing.then(|| Resolution {
+                kind: d.kind.name().to_string(),
+                version: d.version,
+                cause: d.cause.clone(),
+                sim_time: d.sim_time,
+            }),
+        });
+    }
+    items.sort_by_key(|i| i.seq);
+    items
+}
+
+fn push_capped(incident: &mut Incident, entry: TimelineEntry) {
+    let in_stage = incident
+        .timeline
+        .iter()
+        .filter(|t| t.stage == entry.stage)
+        .count();
+    if in_stage < TIMELINE_CAP_PER_STAGE {
+        incident.timeline.push(entry);
+    }
+}
+
+/// Reconstructs incidents from a trace. The result depends only on record
+/// contents and sequence numbers, never on vector order.
+pub fn reconstruct(trace: &Trace) -> IncidentReport {
+    let items = gather(trace);
+    let mut incidents: Vec<Incident> = Vec::new();
+    let mut open: HashMap<String, usize> = HashMap::new();
+    for item in items {
+        let entry = TimelineEntry {
+            seq: item.seq,
+            sim_time: item.sim_time,
+            stage: item.stage.to_string(),
+            detail: item.detail.clone(),
+        };
+        let Some(model) = &item.model else {
+            // Chaos context: annotate every open incident.
+            for &idx in open.values() {
+                push_capped(&mut incidents[idx], entry.clone());
+            }
+            continue;
+        };
+        let slot = open.get(model).copied();
+        let idx = match (slot, item.opens) {
+            (Some(idx), _) => idx,
+            (None, true) => {
+                let idx = incidents.len();
+                incidents.push(Incident {
+                    id: idx as u64,
+                    model: model.clone(),
+                    opened_at: item.sim_time,
+                    closed_at: None,
+                    root_cause: entry.clone(),
+                    resolution: None,
+                    degraded_serves: 0,
+                    breaker_transitions: 0,
+                    timeline: Vec::new(),
+                });
+                open.insert(model.clone(), idx);
+                idx
+            }
+            // Clears and deployments outside an incident are not
+            // incident-worthy on their own.
+            (None, false) => continue,
+        };
+        let incident = &mut incidents[idx];
+        match item.stage {
+            "degraded_serve" => incident.degraded_serves += 1,
+            "breaker_transition" => incident.breaker_transitions += 1,
+            _ => {}
+        }
+        push_capped(incident, entry);
+        if let Some(resolution) = item.resolution {
+            incident.closed_at = Some(resolution.sim_time);
+            incident.resolution = Some(resolution);
+            open.remove(model);
+        }
+    }
+    // Blame the earliest injected fault when the timeline has one: the
+    // injection explains the degradation that opened the incident.
+    for incident in &mut incidents {
+        if let Some(fault) = incident
+            .timeline
+            .iter()
+            .find(|t| t.stage == "fault_injected")
+        {
+            incident.root_cause = fault.clone();
+        }
+    }
+    IncidentReport { incidents }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adas_obs::{Obs, Provenance};
+
+    fn degraded(obs: &Obs, model: &str, version: u64, cause: &str, sim_time: f64) {
+        obs.record_decision(
+            "serve.gateway",
+            "degraded_serve",
+            &Provenance::new(model, version, 0),
+            0.0,
+            None,
+            cause,
+            true,
+            0,
+            sim_time,
+        );
+    }
+
+    #[test]
+    fn poison_to_rollback_reconstructs_one_incident() {
+        let obs = Obs::recording();
+        obs.event(
+            "serve.gateway",
+            "model_fault_injected",
+            5.0,
+            &[
+                ("model", "card"),
+                ("kind", "poison"),
+                ("scope", "version"),
+                ("version", "2"),
+            ],
+        );
+        degraded(&obs, "card", 2, "guarded", 6.0);
+        degraded(&obs, "card", 2, "guarded", 7.0);
+        obs.event(
+            "serve.gateway",
+            "breaker_transition",
+            8.0,
+            &[("model", "card"), ("from", "Closed"), ("to", "Open")],
+        );
+        obs.record_deployment(
+            "serve.gateway",
+            DeploymentKind::Rollback,
+            "card",
+            1,
+            "guard_trip_streak",
+            9.0,
+        );
+        let report = reconstruct(&obs.snapshot());
+        assert_eq!(report.incidents.len(), 1);
+        let inc = &report.incidents[0];
+        assert_eq!(inc.model, "card");
+        assert_eq!(inc.root_cause.stage, "fault_injected");
+        assert!(inc.root_cause.detail.contains("kind=poison"));
+        assert_eq!(inc.degraded_serves, 2);
+        assert_eq!(inc.breaker_transitions, 1);
+        let res = inc.resolution.as_ref().expect("closed");
+        assert_eq!((res.kind.as_str(), res.version), ("rollback", 1));
+        assert_eq!(inc.closed_at, Some(9.0));
+    }
+
+    #[test]
+    fn manual_and_housekeeping_deployments_do_not_close() {
+        let obs = Obs::recording();
+        degraded(&obs, "card", 3, "breaker_open", 1.0);
+        obs.record_deployment(
+            "serve.gateway",
+            DeploymentKind::Demote,
+            "card",
+            3,
+            "superseded_by_publish",
+            2.0,
+        );
+        obs.record_deployment(
+            "serve.gateway",
+            DeploymentKind::Rollback,
+            "card",
+            2,
+            "manual",
+            3.0,
+        );
+        let report = reconstruct(&obs.snapshot());
+        assert_eq!(report.incidents.len(), 1);
+        assert!(report.incidents[0].resolution.is_none());
+        // Both deployments still appear on the timeline as context.
+        let deploys = report.incidents[0]
+            .timeline
+            .iter()
+            .filter(|t| t.stage == "deployment")
+            .count();
+        assert_eq!(deploys, 2);
+    }
+
+    #[test]
+    fn incidents_are_per_model_and_reopen_after_resolution() {
+        let obs = Obs::recording();
+        degraded(&obs, "card", 2, "shed", 1.0);
+        degraded(&obs, "cost", 5, "timeout", 2.0);
+        obs.record_deployment(
+            "serve.gateway",
+            DeploymentKind::Rollback,
+            "card",
+            1,
+            "breaker_open_streak",
+            3.0,
+        );
+        degraded(&obs, "card", 1, "shed", 4.0);
+        let report = reconstruct(&obs.snapshot());
+        assert_eq!(report.incidents.len(), 3);
+        let models: Vec<&str> = report.incidents.iter().map(|i| i.model.as_str()).collect();
+        assert_eq!(models, ["card", "cost", "card"]);
+        assert!(report.incidents[0].resolution.is_some());
+        assert!(report.incidents[2].resolution.is_none());
+    }
+
+    #[test]
+    fn chaos_faults_attach_to_open_incidents_only() {
+        let obs = Obs::recording();
+        obs.event(
+            "faultsim.chaos",
+            "fault_injected",
+            0.5,
+            &[("kind", "crash")],
+        );
+        degraded(&obs, "card", 2, "guarded", 1.0);
+        obs.event(
+            "faultsim.chaos",
+            "fault_injected",
+            1.5,
+            &[("kind", "stall")],
+        );
+        let report = reconstruct(&obs.snapshot());
+        assert_eq!(report.incidents.len(), 1);
+        let chaos: Vec<&str> = report.incidents[0]
+            .timeline
+            .iter()
+            .filter(|t| t.stage == "chaos_fault")
+            .map(|t| t.detail.as_str())
+            .collect();
+        assert_eq!(chaos, ["kind=stall"]);
+    }
+}

@@ -1,0 +1,79 @@
+//! Watchtower: deterministic trace analytics over flight-recorder traces.
+//!
+//! The recorder (`adas-obs`) captures everything the autonomy loop does —
+//! spans, metrics, decision provenance, typed deployment records — but a
+//! million-job trace is useless until something *interprets* it. This crate
+//! is that something, in three layers:
+//!
+//! 1. **SLO engine** ([`slo`]) — declarative SLO specs (latency quantiles
+//!    from fixed-bucket histograms, error rate, staleness budgets)
+//!    evaluated over tumbling simulated-time windows, with classic
+//!    multi-window burn-rate alerts. Burn rates feed
+//!    [`adas_serve::HealthSignal`], so the `AutonomyController` can retrain
+//!    or roll back on aggregate SLO burn, not just raw streaks.
+//! 2. **Causal incident reconstruction** ([`incident`]) — links fault
+//!    injections → degraded/vetoed decisions → breaker transitions →
+//!    rollback deployments into per-incident timelines with a blamed root
+//!    cause, using model id + version and the trace's total record order.
+//! 3. **Critical-path profiler** ([`critpath`]) — the longest
+//!    simulated-time chain through the span forest with per-component
+//!    self-time attribution, plus a collapsed-stack (flamegraph-format)
+//!    text export.
+//!
+//! Every artifact is canonical JSON and a pure function of the trace, so
+//! the same seeded run analyzes to byte-identical reports — analysis is as
+//! replayable as the trace itself. The `tracectl` bin exposes all three
+//! over exported trace JSON files.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod critpath;
+pub mod incident;
+pub mod slo;
+
+pub use critpath::{collapsed_stacks, critical_path, ComponentSelfTime, CritPathReport, PathStep};
+pub use incident::{reconstruct, Incident, IncidentReport, Resolution, TimelineEntry};
+pub use slo::{evaluate, BurnAlert, SloEngine, SloObjective, SloReport, SloSpec, SpecReport};
+
+use adas_obs::Trace;
+use serde::Serialize;
+
+/// The three analysis artifacts over one trace, bundled for `tracectl
+/// summary` and the bench gate.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct WatchtowerReport {
+    /// SLO evaluation over every spec.
+    pub slo: SloReport,
+    /// Reconstructed incidents.
+    pub incidents: IncidentReport,
+    /// Critical-path profile.
+    pub critical_path: CritPathReport,
+}
+
+/// Runs all three analyses over `trace` with the given SLO specs.
+pub fn analyze(trace: &Trace, specs: &[SloSpec]) -> WatchtowerReport {
+    WatchtowerReport {
+        slo: evaluate(trace, specs),
+        incidents: reconstruct(trace),
+        critical_path: critical_path(trace),
+    }
+}
+
+/// Canonical JSON for any report type: deterministic field and container
+/// order, so byte equality of two reports means semantic equality.
+pub fn to_canonical_json<T: Serialize>(value: &T) -> String {
+    serde_json::to_string(value).expect("report serialization is infallible")
+}
+
+/// A reasonable default spec set for traces produced by this repo's
+/// serving stack: gateway availability (non-degraded serves), gateway
+/// answer staleness, and engine stage latency. `tracectl` uses these when
+/// no spec file is given.
+pub fn default_specs() -> Vec<SloSpec> {
+    vec![
+        SloSpec::error_rate("gateway-availability", "serve.gateway", 0.99, 50.0),
+        SloSpec::staleness("gateway-staleness", "serve.gateway", 0.99, 50.0, 10),
+        SloSpec::latency("engine-stage-p99", "engine.exec", 0.99, 64.0, 100.0),
+    ]
+}

@@ -17,7 +17,7 @@ use autonomous_data_services::faultsim::{ModelFaults, PoisonProfile};
 use autonomous_data_services::obs::Obs;
 use autonomous_data_services::serve::{
     AutonomyAction, AutonomyConfig, AutonomyController, CanaryConfig, FnModel, Gateway,
-    GatewayConfig, PoisonScope, ServableModel,
+    GatewayConfig, PoisonScope, ServableModel, SloPolicy,
 };
 use std::sync::Arc;
 
@@ -49,6 +49,7 @@ fn main() {
                 restage_backoff_ticks: 16.0,
                 max_restage_backoff_ticks: 128.0,
             },
+            slo: SloPolicy::default(),
             guarded_streak: 4,
             breaker_open_streak: 10,
             retrain_cooldown_ticks: 8.0,

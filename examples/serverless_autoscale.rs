@@ -10,7 +10,7 @@
 use autonomous_data_services::infra::provision::{
     simulate_provisioning, DemandModel, PoolPolicy, ProvisionConfig,
 };
-use autonomous_data_services::obs::Obs;
+use autonomous_data_services::obs::{Obs, DEFAULT_EXPORT_CHUNK};
 use autonomous_data_services::service::moneyball::{generate_usage, simulate_policy, PausePolicy};
 
 /// Records a progress event and prints it as one JSON line.
@@ -142,6 +142,6 @@ fn main() {
     // document, ready for downstream tooling. Streamed in chunks — the
     // concatenation is byte-identical to `obs.export_json()`, but the full
     // document never sits in memory.
-    obs.export_stream(16 * 1024, |chunk| print!("{chunk}"));
+    obs.export_stream(DEFAULT_EXPORT_CHUNK, |chunk| print!("{chunk}"));
     println!();
 }

@@ -35,6 +35,8 @@
 //! | Substrates | telemetry store & seasonal analysis | [`telemetry`]; ML models: [`ml`] |
 //! | Cross-cutting | model-serving gateway (batching, cache, breakers) | [`serve`] |
 //! | Validation | deterministic fault injection & chaos testing | [`faultsim`] |
+//! | Observability | flight recorder (spans, metrics, decision provenance) | [`obs`] |
+//! | Observability | SLO burn rates, incident reconstruction, critical-path profiling | [`watchtower`] |
 
 #![warn(missing_docs)]
 
@@ -51,4 +53,5 @@ pub use adas_reuse as reuse;
 pub use adas_serve as serve;
 pub use adas_service as service;
 pub use adas_telemetry as telemetry;
+pub use adas_watchtower as watchtower;
 pub use adas_workload as workload;

@@ -14,7 +14,7 @@ use autonomous_data_services::faultsim::{ModelFaults, PoisonProfile};
 use autonomous_data_services::obs::{DeploymentKind, Obs, Trace};
 use autonomous_data_services::serve::{
     AutonomyAction, AutonomyConfig, AutonomyController, CanaryConfig, FnModel, Gateway,
-    GatewayConfig, PoisonScope, Retrainer, ServableModel,
+    GatewayConfig, PoisonScope, Retrainer, ServableModel, SloPolicy,
 };
 use std::sync::Arc;
 
@@ -38,6 +38,7 @@ fn drill_config() -> AutonomyConfig {
             restage_backoff_ticks: 16.0,
             max_restage_backoff_ticks: 128.0,
         },
+        slo: SloPolicy::default(),
         guarded_streak: 4,
         breaker_open_streak: 10,
         retrain_cooldown_ticks: 8.0,
@@ -108,13 +109,14 @@ fn run_drill(seed: u64) -> DrillOutcome {
         if !poisoned {
             if let Some(v) = promoted_version {
                 gateway
-                    .inject_faults(
+                    .inject_faults_at(
                         handle,
                         ModelFaults::with_profile(seed, 0.05, 0.05, 4.0, PoisonProfile::Constant),
+                        sim_time,
                     )
                     .unwrap();
                 gateway
-                    .set_poison_scope(handle, PoisonScope::Version(v))
+                    .set_poison_scope_at(handle, PoisonScope::Version(v), sim_time)
                     .unwrap();
                 poisoned = true;
             }

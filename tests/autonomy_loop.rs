@@ -176,7 +176,7 @@ fn controller_closes_the_loop_for_served_cardinality() {
     use autonomous_data_services::obs::Obs;
     use autonomous_data_services::serve::{
         AutonomyAction, AutonomyConfig, AutonomyController, CanaryConfig, FnModel, Gateway,
-        GatewayConfig, ServableModel,
+        GatewayConfig, ServableModel, SloPolicy,
     };
     use autonomous_data_services::workload::gen::{GeneratorConfig, WorkloadGenerator};
     use autonomous_data_services::workload::signature::template_signature;
@@ -224,6 +224,7 @@ fn controller_closes_the_loop_for_served_cardinality() {
                 restage_backoff_ticks: 8.0,
                 max_restage_backoff_ticks: 64.0,
             },
+            slo: SloPolicy::default(),
             guarded_streak: 4,
             breaker_open_streak: 10,
             retrain_cooldown_ticks: 4.0,

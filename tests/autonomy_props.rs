@@ -15,7 +15,7 @@ use autonomous_data_services::faultsim::{ModelFaults, PoisonProfile};
 use autonomous_data_services::obs::Obs;
 use autonomous_data_services::serve::{
     AutonomyAction, AutonomyConfig, AutonomyController, CanaryConfig, FallbackCause, FnModel,
-    Gateway, GatewayConfig, PoisonScope, Retrainer, ServableModel, Source,
+    Gateway, GatewayConfig, PoisonScope, Retrainer, ServableModel, SloPolicy, Source,
 };
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -51,6 +51,7 @@ fn base_config() -> AutonomyConfig {
             restage_backoff_ticks: 8.0,
             max_restage_backoff_ticks: 64.0,
         },
+        slo: SloPolicy::default(),
         guarded_streak: 4,
         breaker_open_streak: 10,
         retrain_cooldown_ticks: 4.0,

@@ -1,0 +1,155 @@
+//! Property tests for the watchtower analyses.
+//!
+//! - The critical path can never claim more simulated time than the trace's
+//!   envelope, and never less than the longest single span.
+//! - Incident reconstruction is a function of record *contents*, not of the
+//!   order the trace's vectors happen to hold them in.
+
+use autonomous_data_services::obs::{DeploymentKind, Obs, Provenance, SpanId, Trace};
+use autonomous_data_services::watchtower::{critical_path, reconstruct, to_canonical_json};
+use proptest::prelude::*;
+
+/// A random span forest: each span picks an earlier span as parent (or
+/// none), with start/end drawn inside a bounded tick range.
+fn arb_trace_spans() -> impl Strategy<Value = Trace> {
+    proptest::collection::vec((0u64..64, 0u64..64, 0u64..4, 0u64..3), 1..24).prop_map(|raw| {
+        let obs = Obs::recording();
+        let mut ids: Vec<SpanId> = Vec::new();
+        let mut open: Vec<(SpanId, f64)> = Vec::new();
+        for (a, b, parent_sel, component_sel) in raw {
+            let start = a.min(b) as f64;
+            let end = a.max(b) as f64;
+            let component = ["engine.exec", "serve.gateway", "infra.sim"][component_sel as usize];
+            // The recorder nests by stack; to exercise arbitrary parent
+            // links (including none), close everything not on the chosen
+            // ancestry path first.
+            let keep = if ids.is_empty() {
+                0
+            } else {
+                (parent_sel as usize) % (open.len() + 1)
+            };
+            while open.len() > keep {
+                let (id, at) = open.pop().unwrap();
+                obs.span_exit(id, at);
+            }
+            let id = obs.span_enter(component, "op", start);
+            ids.push(id);
+            open.push((id, end));
+        }
+        while let Some((id, at)) = open.pop() {
+            obs.span_exit(id, at);
+        }
+        obs.snapshot()
+    })
+}
+
+/// A random incident-shaped trace: interleaved fault events, degraded
+/// serves, breaker transitions, and deployments across a few models.
+fn arb_incident_trace() -> impl Strategy<Value = Trace> {
+    proptest::collection::vec((0u64..6, 0u64..3, 1u64..5, 0u64..4), 0..40).prop_map(|raw| {
+        let obs = Obs::recording();
+        for (i, (kind_sel, model_sel, version, cause_sel)) in raw.iter().enumerate() {
+            let sim_time = i as f64;
+            let model = ["card", "cost", "steer"][*model_sel as usize];
+            match kind_sel {
+                0 => obs.event(
+                    "serve.gateway",
+                    "model_fault_injected",
+                    sim_time,
+                    &[("model", model), ("kind", "poison")],
+                ),
+                1 => obs.record_decision(
+                    "serve.gateway",
+                    "degraded_serve",
+                    &Provenance::new(model, *version, 0),
+                    0.0,
+                    None,
+                    "guarded",
+                    true,
+                    0,
+                    sim_time,
+                ),
+                2 => obs.event(
+                    "serve.gateway",
+                    "breaker_transition",
+                    sim_time,
+                    &[("model", model), ("from", "Closed"), ("to", "Open")],
+                ),
+                3 => obs.event(
+                    "faultsim.chaos",
+                    "fault_injected",
+                    sim_time,
+                    &[("kind", "crash")],
+                ),
+                4 => obs.record_deployment(
+                    "serve.gateway",
+                    DeploymentKind::Rollback,
+                    model,
+                    *version,
+                    ["guard_trip_streak", "slo_burn", "manual", "bootstrap"][*cause_sel as usize],
+                    sim_time,
+                ),
+                _ => obs.record_deployment(
+                    "serve.gateway",
+                    DeploymentKind::Publish,
+                    model,
+                    *version,
+                    "retrain",
+                    sim_time,
+                ),
+            }
+        }
+        obs.snapshot()
+    })
+}
+
+/// Rotates every record vector by `k` — a permutation that preserves record
+/// contents (and seq numbers) while scrambling vector order.
+fn rotate_trace(trace: &Trace, k: usize) -> Trace {
+    fn rotate<T>(v: &mut [T], k: usize) {
+        if !v.is_empty() {
+            let mid = k % v.len();
+            v.rotate_left(mid);
+        }
+    }
+    let mut t = trace.clone();
+    rotate(&mut t.spans, k);
+    rotate(&mut t.events, k);
+    rotate(&mut t.decisions, k);
+    rotate(&mut t.deployments, k);
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn critical_path_is_bounded_by_envelope_and_longest_span(trace in arb_trace_spans()) {
+        let report = critical_path(&trace);
+        let env_start = trace.spans.iter().map(|s| s.start).fold(f64::INFINITY, f64::min);
+        let env_end = trace.spans.iter().map(|s| s.end).fold(f64::NEG_INFINITY, f64::max);
+        let envelope = (env_end - env_start).max(0.0);
+        let longest = trace
+            .spans
+            .iter()
+            .map(|s| s.duration())
+            .fold(0.0f64, f64::max);
+        prop_assert!(report.path_ticks <= envelope + 1e-9,
+            "path {} exceeds wall envelope {}", report.path_ticks, envelope);
+        prop_assert!(report.path_ticks + 1e-9 >= longest,
+            "path {} undercuts longest span {}", report.path_ticks, longest);
+        // The decomposition accounts for the whole path.
+        let attributed: f64 = report.path.iter().map(|s| s.self_ticks).sum();
+        prop_assert!((attributed + report.idle_ticks - report.path_ticks).abs() < 1e-6);
+    }
+
+    #[test]
+    fn incident_reconstruction_is_permutation_invariant(
+        trace in arb_incident_trace(),
+        k in 1usize..17,
+    ) {
+        let baseline = to_canonical_json(&reconstruct(&trace));
+        let rotated = to_canonical_json(&reconstruct(&rotate_trace(&trace, k)));
+        prop_assert_eq!(baseline, rotated);
+    }
+}
