@@ -30,12 +30,27 @@ struct FaultsimBench {
     disabled_overhead_ok: bool,
 }
 
-fn best_secs(rounds: usize, mut f: impl FnMut()) -> f64 {
-    let mut best = f64::INFINITY;
+/// Best-of-`rounds` wall time for three configurations measured
+/// *interleaved*: each round times all three back to back, so slow drift in
+/// clock frequency or background load hits every configuration equally
+/// instead of masquerading as overhead of whichever block ran last.
+fn best_secs_triple(
+    rounds: usize,
+    mut a: impl FnMut(),
+    mut b: impl FnMut(),
+    mut c: impl FnMut(),
+) -> (f64, f64, f64) {
+    let mut best = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
     for _ in 0..rounds {
         let start = Instant::now();
-        f();
-        best = best.min(start.elapsed().as_secs_f64());
+        a();
+        best.0 = best.0.min(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        b();
+        best.1 = best.1.min(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        c();
+        best.2 = best.2.min(start.elapsed().as_secs_f64());
     }
     best
 }
@@ -71,7 +86,7 @@ fn main() {
         .map(|i| standard.schedule_for(i as u64, cluster.machines))
         .collect();
 
-    const ROUNDS: usize = 7;
+    const ROUNDS: usize = 21;
     // Replay the whole job set this many times per timed round so each
     // measurement spans tens of milliseconds; a single pass is ~1ms and
     // best-of-rounds over that is dominated by scheduler noise.
@@ -81,31 +96,34 @@ fn main() {
         sim.run(dag, &SimOptions::default()).expect("simulates");
     }
 
-    let plain = best_secs(ROUNDS, || {
-        for _ in 0..PASSES_PER_ROUND {
-            for dag in &dags {
-                sim.run(dag, &SimOptions::default()).expect("simulates");
+    let (plain, disabled_secs, standard_secs) = best_secs_triple(
+        ROUNDS,
+        || {
+            for _ in 0..PASSES_PER_ROUND {
+                for dag in &dags {
+                    sim.run(dag, &SimOptions::default()).expect("simulates");
+                }
             }
-        }
-    });
-    let disabled_secs = best_secs(ROUNDS, || {
-        for _ in 0..PASSES_PER_ROUND {
-            for (dag, schedule) in dags.iter().zip(&disabled_schedules) {
-                runner
-                    .run_job(dag, &no_checkpoints, schedule)
-                    .expect("runs");
+        },
+        || {
+            for _ in 0..PASSES_PER_ROUND {
+                for (dag, schedule) in dags.iter().zip(&disabled_schedules) {
+                    runner
+                        .run_job(dag, &no_checkpoints, schedule)
+                        .expect("runs");
+                }
             }
-        }
-    });
-    let standard_secs = best_secs(ROUNDS, || {
-        for _ in 0..PASSES_PER_ROUND {
-            for (dag, schedule) in dags.iter().zip(&standard_schedules) {
-                runner
-                    .run_job(dag, &no_checkpoints, schedule)
-                    .expect("runs");
+        },
+        || {
+            for _ in 0..PASSES_PER_ROUND {
+                for (dag, schedule) in dags.iter().zip(&standard_schedules) {
+                    runner
+                        .run_job(dag, &no_checkpoints, schedule)
+                        .expect("runs");
+                }
             }
-        }
-    });
+        },
+    );
 
     let n = (dags.len() * PASSES_PER_ROUND) as f64;
     let overhead = disabled_secs / plain - 1.0;

@@ -9,8 +9,12 @@
 use crate::physical::{StageDag, StageId};
 use crate::{EngineError, Result};
 use adas_obs::{CounterHandle, GaugeHandle, HistogramHandle, IndexedSpanKey, Obs, SpanKey};
+use adas_simkern::{Component, Ctx, OrderedTick, Simulation};
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+use std::rc::Rc;
 use std::sync::OnceLock;
 
 /// Cluster parameters.
@@ -152,7 +156,16 @@ impl Simulator {
     /// this is what makes checkpoint-based recovery cheaper than a full
     /// re-run.
     fn required_stages(dag: &StageDag, options: &SimOptions) -> Vec<bool> {
-        let consumers = dag.consumers();
+        Self::required_stages_with(dag, options, &dag.consumers())
+    }
+
+    /// [`Simulator::required_stages`] with the consumer lists precomputed,
+    /// so the kernel path computes `dag.consumers()` exactly once per run.
+    fn required_stages_with(
+        dag: &StageDag,
+        options: &SimOptions,
+        consumers: &[Vec<StageId>],
+    ) -> Vec<bool> {
         let n = dag.len();
         let mut required = vec![false; n];
         // Walk sinks-to-sources; topological order means consumers have
@@ -229,7 +242,55 @@ impl Simulator {
     /// Internal scheduler: returns the report plus, for each stage, the
     /// machines its tasks ran on (the temp-output placement machine-failure
     /// analysis needs).
+    ///
+    /// The schedule is produced by a [`ClusterSim`] component on the
+    /// `simkern` discrete-event kernel: stage-task completions are events,
+    /// the kernel clock is the only notion of time, and earliest-free-slot
+    /// selection is a heap pop instead of the old O(total_slots) scan. The
+    /// result is pinned byte-identical to [`Simulator::schedule_legacy`]
+    /// by `tests/simkern_equivalence.rs`.
     fn schedule(
+        &self,
+        dag: &StageDag,
+        options: &SimOptions,
+    ) -> Result<(ExecReport, Vec<Vec<usize>>)> {
+        let consumers = dag.consumers();
+        let required = Self::required_stages_with(dag, options, &consumers);
+        let cluster = ClusterSim::new(&self.config, dag, required, &consumers);
+        let mut sim = Simulation::new(0);
+        let cluster = Rc::new(RefCell::new(cluster));
+        let id = sim.add_component(cluster.clone());
+        sim.schedule(0.0, id, ClusterEvent::Kick);
+        sim.run();
+        let mut cluster = cluster.borrow_mut();
+        debug_assert_eq!(
+            cluster.placed,
+            cluster.stages.len(),
+            "every stage must be placed when the event queue drains"
+        );
+        let (stage_start, stage_finish, stage_machines, total_cpu, required) = cluster.take();
+        let latency = stage_finish.iter().copied().fold(0.0, f64::max);
+        let machine_temp_peak =
+            self.temp_peaks(dag, options, &stage_finish, &stage_machines, latency);
+        Ok((
+            ExecReport {
+                latency,
+                total_cpu_seconds: total_cpu,
+                stage_start,
+                stage_finish,
+                machine_temp_peak,
+                executed: required,
+            },
+            stage_machines,
+        ))
+    }
+
+    /// The pre-kernel scheduler, kept verbatim as the reference the
+    /// equivalence suite and `des_bench` compare against: a blocking loop
+    /// over stages with an O(total_slots) earliest-free scan per task.
+    /// Production paths go through the kernel-backed [`Simulator::run`];
+    /// this one exists to *prove* the port changed nothing.
+    pub fn schedule_legacy(
         &self,
         dag: &StageDag,
         options: &SimOptions,
@@ -294,6 +355,15 @@ impl Simulator {
             },
             stage_machines,
         ))
+    }
+
+    /// Like [`Simulator::run`] but through [`Simulator::schedule_legacy`]:
+    /// the pre-kernel blocking loop, with identical trace recording. The
+    /// equivalence suite pins `run` == `run_legacy` bytes.
+    pub fn run_legacy(&self, dag: &StageDag, options: &SimOptions) -> Result<ExecReport> {
+        let report = self.schedule_legacy(dag, options)?.0;
+        self.record_run(&report);
+        Ok(report)
     }
 
     /// Like [`Simulator::run`], additionally returning the machines each
@@ -464,6 +534,242 @@ impl Simulator {
     }
 }
 
+/// Events of the cluster-execution simulation.
+#[derive(Debug, Clone, Copy)]
+enum ClusterEvent {
+    /// Bootstraps the run: settles skipped stages and places the first
+    /// wave of ready stages.
+    Kick,
+    /// Every task of `stage` has completed; its temp output exists and its
+    /// consumers may become placeable.
+    StageComplete(usize),
+}
+
+/// Per-stage data the component needs, copied out of the DAG because
+/// `simkern` components are `'static`. Inputs and consumers are flattened
+/// into one backing vector each (CSR-style offsets) — the copy costs a
+/// fixed handful of allocations instead of two per stage, which is what
+/// keeps the kernel path's per-run overhead inside `des_bench`'s 5% gate.
+#[derive(Debug, Clone, Copy)]
+struct StageMeta {
+    tasks: usize,
+    work: f64,
+    /// End offset of this stage's inputs in `inputs_flat` (starts at the
+    /// previous stage's end, 0 for the first).
+    inputs_end: usize,
+    /// End offset of this stage's consumers in `consumers_flat`.
+    consumers_end: usize,
+}
+
+#[derive(Debug, Clone)]
+struct SimStages {
+    meta: Vec<StageMeta>,
+    inputs_flat: Vec<usize>,
+    consumers_flat: Vec<usize>,
+}
+
+impl SimStages {
+    fn len(&self) -> usize {
+        self.meta.len()
+    }
+
+    fn inputs(&self, idx: usize) -> &[usize] {
+        let start = if idx == 0 {
+            0
+        } else {
+            self.meta[idx - 1].inputs_end
+        };
+        &self.inputs_flat[start..self.meta[idx].inputs_end]
+    }
+
+    fn consumers(&self, idx: usize) -> &[usize] {
+        let start = if idx == 0 {
+            0
+        } else {
+            self.meta[idx - 1].consumers_end
+        };
+        &self.consumers_flat[start..self.meta[idx].consumers_end]
+    }
+}
+
+/// The cluster executor as a `simkern` component.
+///
+/// Placement preserves the legacy list-scheduling discipline exactly: the
+/// dispatch cursor walks stages in topological order, and a stage is
+/// placed the moment the cursor reaches it with every input complete.
+/// Task arithmetic is identical — `task_start = max(slot_free, ready)`
+/// with `ready` the max input finish — so reports are byte-identical to
+/// the legacy loop. What changed is the *mechanism*: stage completions
+/// are kernel events (the clock advances through the schedule rather
+/// than a blocking loop "owning" time), and the earliest-free slot is a
+/// `BinaryHeap<Reverse<(OrderedTick, slot)>>` pop with an explicit index
+/// tie-break instead of an O(total_slots) `min_by` scan that silently
+/// tolerated NaN free-times.
+///
+/// One wrinkle: list scheduling can queue a stage's tasks on slots that
+/// free *before* the current clock (the cursor held it back behind an
+/// earlier stage). Its completion event then fires at `max(now, finish)`
+/// — report times always come from the stored schedule, never from event
+/// fire times, so clamping keeps the clock monotone without perturbing a
+/// single output bit.
+struct ClusterSim {
+    slots_per_machine: usize,
+    work_per_second: f64,
+    task_overhead: f64,
+    stages: SimStages,
+    required: Vec<bool>,
+    /// `(next free time, slot)` min-heap; slot index breaks ties.
+    slot_free: BinaryHeap<Reverse<(OrderedTick, usize)>>,
+    /// Incomplete-input count per stage.
+    remaining_inputs: Vec<usize>,
+    /// Dispatch cursor: stages below it are placed (or skipped).
+    cursor: usize,
+    placed: usize,
+    stage_start: Vec<f64>,
+    stage_finish: Vec<f64>,
+    stage_machines: Vec<Vec<usize>>,
+    total_cpu: f64,
+}
+
+impl ClusterSim {
+    fn new(
+        config: &ClusterConfig,
+        dag: &StageDag,
+        required: Vec<bool>,
+        consumers: &[Vec<StageId>],
+    ) -> Self {
+        let n = dag.len();
+        let total_slots = config.machines * config.slots_per_machine;
+        let mut meta = Vec::with_capacity(n);
+        let mut inputs_flat = Vec::new();
+        let mut consumers_flat = Vec::new();
+        let mut remaining_inputs = Vec::with_capacity(n);
+        for (s, c) in dag.stages().iter().zip(consumers) {
+            inputs_flat.extend(s.inputs.iter().map(|i| i.0));
+            consumers_flat.extend(c.iter().map(|i| i.0));
+            meta.push(StageMeta {
+                tasks: s.tasks,
+                work: s.work,
+                inputs_end: inputs_flat.len(),
+                consumers_end: consumers_flat.len(),
+            });
+            remaining_inputs.push(s.inputs.len());
+        }
+        Self {
+            slots_per_machine: config.slots_per_machine,
+            work_per_second: config.work_per_second,
+            task_overhead: config.task_overhead,
+            stages: SimStages {
+                meta,
+                inputs_flat,
+                consumers_flat,
+            },
+            required,
+            slot_free: (0..total_slots)
+                .map(|slot| Reverse((OrderedTick::new(0.0), slot)))
+                .collect(),
+            remaining_inputs,
+            cursor: 0,
+            placed: 0,
+            stage_start: vec![0.0; n],
+            stage_finish: vec![0.0; n],
+            stage_machines: vec![Vec::new(); n],
+            total_cpu: 0.0,
+        }
+    }
+
+    /// Marks `idx` complete and unblocks its consumers.
+    fn complete(&mut self, idx: usize) {
+        for c in 0..self.stages.consumers(idx).len() {
+            let consumer = self.stages.consumers(idx)[c];
+            self.remaining_inputs[consumer] -= 1;
+        }
+    }
+
+    /// Places every stage the cursor can reach: skipped stages settle at
+    /// time zero, required stages are placed once all inputs completed.
+    fn advance_cursor(&mut self, ctx: &mut Ctx<'_, ClusterEvent>) {
+        while self.cursor < self.stages.len() {
+            let idx = self.cursor;
+            if !self.required[idx] {
+                // Precomputed or shielded: completes instantly at time 0,
+                // exactly like the legacy loop's `continue` arm.
+                self.stage_start[idx] = 0.0;
+                self.stage_finish[idx] = 0.0;
+                self.cursor += 1;
+                self.placed += 1;
+                self.complete(idx);
+                continue;
+            }
+            if self.remaining_inputs[idx] > 0 {
+                return; // wait for a StageComplete event
+            }
+            self.place(idx, ctx);
+            self.cursor += 1;
+            self.placed += 1;
+        }
+    }
+
+    /// Places one required stage's tasks on the slot heap and schedules
+    /// its completion event.
+    fn place(&mut self, idx: usize, ctx: &mut Ctx<'_, ClusterEvent>) {
+        let ready = self
+            .stages
+            .inputs(idx)
+            .iter()
+            .map(|&s| self.stage_finish[s])
+            .fold(0.0f64, f64::max);
+        let tasks = self.stages.meta[idx].tasks;
+        let task_work = self.stages.meta[idx].work / tasks as f64;
+        let task_duration = task_work / self.work_per_second + self.task_overhead;
+        let mut finish = ready;
+        let mut start = f64::INFINITY;
+        for _ in 0..tasks {
+            let Reverse((free, slot)) = self.slot_free.pop().expect("at least one slot");
+            debug_assert!(free.get().is_finite(), "slot free-time must be finite");
+            let task_start = free.get().max(ready);
+            let task_finish = task_start + task_duration;
+            self.slot_free
+                .push(Reverse((OrderedTick::new(task_finish), slot)));
+            self.total_cpu += task_duration;
+            finish = finish.max(task_finish);
+            start = start.min(task_start);
+            self.stage_machines[idx].push(slot / self.slots_per_machine);
+        }
+        self.stage_start[idx] = if start.is_finite() { start } else { ready };
+        self.stage_finish[idx] = finish;
+        // Completion fires at the stage's schedule finish — clamped to the
+        // clock when the cursor placed it "into the past" (see type docs).
+        // Absolute-time emit: a delay round-trip (`now + (finish - now)`)
+        // can land a ulp off the true finish instant.
+        ctx.emit_self_at(ClusterEvent::StageComplete(idx), finish);
+    }
+
+    /// Moves the results out after the run.
+    #[allow(clippy::type_complexity)]
+    fn take(&mut self) -> (Vec<f64>, Vec<f64>, Vec<Vec<usize>>, f64, Vec<bool>) {
+        (
+            std::mem::take(&mut self.stage_start),
+            std::mem::take(&mut self.stage_finish),
+            std::mem::take(&mut self.stage_machines),
+            self.total_cpu,
+            std::mem::take(&mut self.required),
+        )
+    }
+}
+
+impl Component<ClusterEvent> for ClusterSim {
+    fn on_event(&mut self, event: &ClusterEvent, ctx: &mut Ctx<'_, ClusterEvent>) {
+        match *event {
+            ClusterEvent::Kick => self.advance_cursor(ctx),
+            ClusterEvent::StageComplete(idx) => {
+                self.complete(idx);
+                self.advance_cursor(ctx);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -484,6 +790,58 @@ mod tests {
             0,
         )
         .aggregate(vec![1])
+    }
+
+    #[test]
+    fn kernel_schedule_matches_legacy_bit_for_bit() {
+        let dag = dag_for(&big_plan());
+        let sim = Simulator::new(ClusterConfig::default()).unwrap();
+        for checkpoint_all in [false, true] {
+            let options = SimOptions {
+                checkpointed: if checkpoint_all {
+                    dag.stages().iter().map(|s| s.id).collect()
+                } else {
+                    HashSet::new()
+                },
+                precomputed: HashSet::new(),
+            };
+            let (kernel, kernel_placement) = sim.schedule(&dag, &options).unwrap();
+            let (legacy, legacy_placement) = sim.schedule_legacy(&dag, &options).unwrap();
+            assert_eq!(kernel, legacy);
+            assert_eq!(kernel_placement, legacy_placement);
+            // Bit-level, not just PartialEq (which would call 0.0 == -0.0):
+            // compare the raw bit patterns of every time.
+            let bits = |r: &ExecReport| -> Vec<u64> {
+                r.stage_start
+                    .iter()
+                    .chain(&r.stage_finish)
+                    .chain(&r.machine_temp_peak)
+                    .chain([r.latency, r.total_cpu_seconds].iter())
+                    .map(|f| f.to_bits())
+                    .collect()
+            };
+            assert_eq!(bits(&kernel), bits(&legacy));
+        }
+    }
+
+    #[test]
+    fn kernel_matches_legacy_with_precomputed_stages() {
+        let dag = dag_for(&big_plan());
+        let sim = Simulator::new(ClusterConfig {
+            machines: 2,
+            slots_per_machine: 1,
+            ..Default::default()
+        })
+        .unwrap();
+        let mut precomputed = HashSet::new();
+        precomputed.insert(StageId(0));
+        let options = SimOptions {
+            checkpointed: HashSet::new(),
+            precomputed,
+        };
+        let (kernel, _) = sim.schedule(&dag, &options).unwrap();
+        let (legacy, _) = sim.schedule_legacy(&dag, &options).unwrap();
+        assert_eq!(kernel, legacy);
     }
 
     #[test]

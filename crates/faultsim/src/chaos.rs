@@ -13,8 +13,11 @@ use adas_engine::exec::{ClusterConfig, ExecReport, SimOptions, Simulator};
 use adas_engine::physical::{StageDag, StageId};
 use adas_engine::Result;
 use adas_obs::Obs;
+use adas_simkern::{Component, Ctx, Simulation};
 use serde::Serialize;
+use std::cell::RefCell;
 use std::collections::HashSet;
+use std::rc::Rc;
 
 /// The resolved cause of one aborted attempt. Unlike the scheduled
 /// [`FaultEvent`], this records what *actually* struck: a temp-exhaustion
@@ -129,11 +132,171 @@ impl ChaosRunner {
         self.obs.export_stream(chunk_size, sink);
     }
 
+    /// Resolves what a scheduled fault does to the attempt described by
+    /// `report`/`placement`: the surviving stage outputs and the concrete
+    /// [`FaultCause`], or `None` when the fault cannot fire (temp
+    /// exhaustion below capacity). Shared verbatim by the kernel-backed
+    /// [`ChaosRunner::run_job`] and [`ChaosRunner::run_job_legacy`].
+    #[allow(clippy::too_many_arguments)]
+    fn resolve_fault(
+        &self,
+        dag: &StageDag,
+        checkpointed: &HashSet<StageId>,
+        precomputed: &HashSet<StageId>,
+        report: &ExecReport,
+        placement: &[Vec<usize>],
+        event: FaultEvent,
+        at: f64,
+    ) -> Option<(HashSet<StageId>, FaultCause)> {
+        match event {
+            FaultEvent::TaskCrash { .. } => {
+                // The job dies after `at` of its stages (by finish
+                // order) completed; only globally-stored outputs
+                // (checkpointed or already precomputed) survive.
+                let mut order: Vec<usize> = (0..dag.len()).collect();
+                order.sort_by(|&a, &b| {
+                    report.stage_finish[a]
+                        .partial_cmp(&report.stage_finish[b])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                let completed = ((dag.len() as f64) * at).floor() as usize;
+                Some((
+                    order[..completed.min(dag.len())]
+                        .iter()
+                        .map(|&i| StageId(i))
+                        .filter(|id| checkpointed.contains(id) || precomputed.contains(id))
+                        .collect(),
+                    FaultCause::TaskCrash,
+                ))
+            }
+            FaultEvent::MachineLoss { machine, .. } => {
+                let clamped = machine.min(self.machines.saturating_sub(1));
+                Some((
+                    self.machine_loss_survivors(
+                        dag,
+                        checkpointed,
+                        precomputed,
+                        report,
+                        placement,
+                        clamped,
+                        at,
+                    ),
+                    FaultCause::MachineLoss { machine: clamped },
+                ))
+            }
+            FaultEvent::TempExhaustion { .. } => {
+                if report.hotspot_peak() > self.temp_capacity {
+                    // The hotspot machine spills past capacity and is
+                    // taken out of service.
+                    let hotspot = report
+                        .machine_temp_peak
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                        .map(|(m, _)| m)
+                        .unwrap_or(0);
+                    Some((
+                        self.machine_loss_survivors(
+                            dag,
+                            checkpointed,
+                            precomputed,
+                            report,
+                            placement,
+                            hotspot,
+                            at,
+                        ),
+                        FaultCause::TempExhaustion { hotspot },
+                    ))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
     /// Runs `dag` to completion under `schedule`, restarting after every
     /// fault that fires. Checkpointed outputs persist in the global store
     /// and are never executed twice; non-checkpointed temp outputs survive
     /// a machine loss only when they avoided the dead machine.
+    ///
+    /// The fault schedule is replayed as `simkern` events: each strike is
+    /// an event whose fire time is the accumulated wall-clock at which it
+    /// lands, so the kernel clock *is* the `total_latency` accumulator.
+    /// Reports, outcomes and recorded traces are bit-for-bit those of
+    /// [`ChaosRunner::run_job_legacy`].
     pub fn run_job(
+        &self,
+        dag: &StageDag,
+        checkpointed: &HashSet<StageId>,
+        schedule: &FaultSchedule,
+    ) -> Result<ChaosOutcome> {
+        let job_span = self.obs.span_enter("faultsim.chaos", "run_job", 0.0);
+        if schedule.events.is_empty() {
+            // No scheduled faults means no kernel events to replay: the
+            // drill is exactly one clean attempt at clock zero. Taking it
+            // directly skips the per-job simulation setup (dag/checkpoint
+            // clones, event queue) that the disabled-path budget would
+            // otherwise pay for. Bit-identical to the event-driven path
+            // below — with an empty schedule `Attempt(0)` goes straight to
+            // the final run — and therefore to `run_job_legacy` too.
+            let options = SimOptions {
+                checkpointed: checkpointed.clone(),
+                precomputed: HashSet::new(),
+            };
+            let final_report = self.sim.run(dag, &options)?;
+            let total_latency = final_report.latency;
+            self.obs.span_exit(job_span, total_latency);
+            return Ok(ChaosOutcome {
+                final_report,
+                attempts: 1,
+                injected: 0,
+                recomputed_checkpointed: 0,
+                total_latency,
+                attempt_failures: Vec::new(),
+            });
+        }
+        let drill = Rc::new(RefCell::new(ChaosSim {
+            runner: self.clone(),
+            dag: dag.clone(),
+            checkpointed: checkpointed.clone(),
+            events: schedule.events.clone(),
+            precomputed: HashSet::new(),
+            persisted: HashSet::new(),
+            attempts: 0,
+            injected: 0,
+            recomputed_checkpointed: 0,
+            attempt_failures: Vec::new(),
+            final_report: None,
+            total_latency: 0.0,
+            error: None,
+        }));
+        let mut sim = Simulation::new(0);
+        let id = sim.add_component(drill.clone());
+        sim.schedule(0.0, id, ChaosEvent::Attempt(0));
+        sim.run();
+        drop(sim);
+        let state = Rc::try_unwrap(drill)
+            .unwrap_or_else(|_| unreachable!("simulation still holds the component"))
+            .into_inner();
+        if let Some(err) = state.error {
+            return Err(err);
+        }
+        self.obs.span_exit(job_span, state.total_latency);
+        Ok(ChaosOutcome {
+            final_report: state.final_report.expect("final attempt ran"),
+            attempts: state.attempts,
+            injected: state.injected,
+            recomputed_checkpointed: state.recomputed_checkpointed,
+            total_latency: state.total_latency,
+            attempt_failures: state.attempt_failures,
+        })
+    }
+
+    /// The pre-simkern drill: a blocking loop that re-runs the simulator
+    /// per scheduled fault and accumulates `total_latency` by hand. Kept as
+    /// the reference implementation the equivalence suite pins
+    /// [`ChaosRunner::run_job`] bit-for-bit against.
+    pub fn run_job_legacy(
         &self,
         dag: &StageDag,
         checkpointed: &HashSet<StageId>,
@@ -159,72 +322,15 @@ impl ChaosRunner {
             recomputed_checkpointed += persisted.iter().filter(|id| report.executed[id.0]).count();
 
             let at = event.strike_fraction().clamp(0.0, 1.0);
-            let survivors: Option<(HashSet<StageId>, FaultCause)> = match *event {
-                FaultEvent::TaskCrash { .. } => {
-                    // The job dies after `at` of its stages (by finish
-                    // order) completed; only globally-stored outputs
-                    // (checkpointed or already precomputed) survive.
-                    let mut order: Vec<usize> = (0..dag.len()).collect();
-                    order.sort_by(|&a, &b| {
-                        report.stage_finish[a]
-                            .partial_cmp(&report.stage_finish[b])
-                            .unwrap_or(std::cmp::Ordering::Equal)
-                    });
-                    let completed = ((dag.len() as f64) * at).floor() as usize;
-                    Some((
-                        order[..completed.min(dag.len())]
-                            .iter()
-                            .map(|&i| StageId(i))
-                            .filter(|id| checkpointed.contains(id) || precomputed.contains(id))
-                            .collect(),
-                        FaultCause::TaskCrash,
-                    ))
-                }
-                FaultEvent::MachineLoss { machine, .. } => {
-                    let clamped = machine.min(self.machines.saturating_sub(1));
-                    Some((
-                        self.machine_loss_survivors(
-                            dag,
-                            checkpointed,
-                            &precomputed,
-                            &report,
-                            &placement,
-                            clamped,
-                            at,
-                        ),
-                        FaultCause::MachineLoss { machine: clamped },
-                    ))
-                }
-                FaultEvent::TempExhaustion { .. } => {
-                    if report.hotspot_peak() > self.temp_capacity {
-                        // The hotspot machine spills past capacity and is
-                        // taken out of service.
-                        let hotspot = report
-                            .machine_temp_peak
-                            .iter()
-                            .enumerate()
-                            .max_by(|a, b| {
-                                a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal)
-                            })
-                            .map(|(m, _)| m)
-                            .unwrap_or(0);
-                        Some((
-                            self.machine_loss_survivors(
-                                dag,
-                                checkpointed,
-                                &precomputed,
-                                &report,
-                                &placement,
-                                hotspot,
-                                at,
-                            ),
-                            FaultCause::TempExhaustion { hotspot },
-                        ))
-                    } else {
-                        None
-                    }
-                }
-            };
+            let survivors = self.resolve_fault(
+                dag,
+                checkpointed,
+                &precomputed,
+                &report,
+                &placement,
+                *event,
+                at,
+            );
 
             if let Some((survivors, cause)) = survivors {
                 injected += 1;
@@ -319,6 +425,157 @@ impl ChaosRunner {
     }
 }
 
+/// The chaos drill as simulation events: `Attempt(k)` fires at the
+/// accumulated wall-clock at which attempt `k` begins.
+enum ChaosEvent {
+    /// Start attempt `k`: run the simulator, resolve scheduled fault `k`
+    /// (or, past the end of the schedule, the final successful run).
+    Attempt(usize),
+}
+
+/// Component state for one [`ChaosRunner::run_job`] drill. Owns clones of
+/// the inputs so the component satisfies the kernel's `'static` bound; the
+/// runner clone shares the same `Obs` handle, so everything it records
+/// lands in the caller's trace.
+struct ChaosSim {
+    runner: ChaosRunner,
+    dag: StageDag,
+    checkpointed: HashSet<StageId>,
+    events: Vec<FaultEvent>,
+    precomputed: HashSet<StageId>,
+    persisted: HashSet<StageId>,
+    attempts: usize,
+    injected: usize,
+    recomputed_checkpointed: usize,
+    attempt_failures: Vec<AttemptFailure>,
+    final_report: Option<ExecReport>,
+    total_latency: f64,
+    error: Option<adas_engine::EngineError>,
+}
+
+impl ChaosSim {
+    /// Runs scheduled fault `k` against a fresh attempt. Returns the next
+    /// event to emit: the following strike at the accumulated latency, or
+    /// at the unchanged clock when the fault could not fire.
+    fn strike(&mut self, k: usize, now: f64) -> Option<(ChaosEvent, f64)> {
+        let options = SimOptions {
+            checkpointed: self.checkpointed.clone(),
+            precomputed: self.precomputed.clone(),
+        };
+        let (report, placement) = match self.runner.sim.run_with_placement(&self.dag, &options) {
+            Ok(r) => r,
+            Err(e) => {
+                self.error = Some(e);
+                return None;
+            }
+        };
+        self.recomputed_checkpointed += self
+            .persisted
+            .iter()
+            .filter(|id| report.executed[id.0])
+            .count();
+
+        let event = self.events[k];
+        let at = event.strike_fraction().clamp(0.0, 1.0);
+        let survivors = self.runner.resolve_fault(
+            &self.dag,
+            &self.checkpointed,
+            &self.precomputed,
+            &report,
+            &placement,
+            event,
+            at,
+        );
+
+        let Some((survivors, cause)) = survivors else {
+            // Fault could not fire: no latency accrues, next strike lands
+            // at the same instant.
+            return Some((ChaosEvent::Attempt(k + 1), now));
+        };
+        self.injected += 1;
+        self.attempts += 1;
+        // The kernel clock is the `total_latency` accumulator: this strike
+        // lands at `now + latency·at`, exactly the legacy left-to-right sum.
+        let strike_time = now + report.latency * at;
+        self.attempt_failures.push(AttemptFailure {
+            attempt: self.attempts,
+            cause,
+            at,
+            surviving_stages: survivors.len(),
+        });
+        // One lock for the injection triple; `run_with_placement` above
+        // records through the same handle, so the batch stays scoped here.
+        let mut batch = self.runner.obs.batch();
+        batch.event(
+            "faultsim.chaos",
+            "fault_injected",
+            strike_time,
+            &[
+                ("kind", cause.kind()),
+                ("attempt", &self.attempts.to_string()),
+                ("at", &format!("{at:.6}")),
+                ("surviving_stages", &survivors.len().to_string()),
+            ],
+        );
+        batch.counter_add(
+            "faultsim.chaos",
+            "faults_injected",
+            &[("kind", cause.kind())],
+            1,
+        );
+        batch.counter_add("faultsim.chaos", "restarts", &[], 1);
+        drop(batch);
+        self.persisted.extend(
+            survivors
+                .iter()
+                .filter(|id| self.checkpointed.contains(*id)),
+        );
+        self.precomputed.extend(survivors);
+        Some((ChaosEvent::Attempt(k + 1), strike_time))
+    }
+
+    /// The final (successful) run, at the accumulated clock.
+    fn finish(&mut self, now: f64) {
+        let options = SimOptions {
+            checkpointed: self.checkpointed.clone(),
+            precomputed: std::mem::take(&mut self.precomputed),
+        };
+        // Goes through `Simulator::run` so its per-stage spans land in the
+        // same trace as the fault events above.
+        let final_report = match self.runner.sim.run(&self.dag, &options) {
+            Ok(r) => r,
+            Err(e) => {
+                self.error = Some(e);
+                return;
+            }
+        };
+        self.recomputed_checkpointed += self
+            .persisted
+            .iter()
+            .filter(|id| final_report.executed[id.0])
+            .count();
+        self.total_latency = now + final_report.latency;
+        self.attempts += 1;
+        self.final_report = Some(final_report);
+    }
+}
+
+impl Component<ChaosEvent> for ChaosSim {
+    fn on_event(&mut self, event: &ChaosEvent, ctx: &mut Ctx<'_, ChaosEvent>) {
+        let ChaosEvent::Attempt(k) = *event;
+        if self.error.is_some() {
+            return;
+        }
+        if k < self.events.len() {
+            if let Some((next, time)) = self.strike(k, ctx.time()) {
+                ctx.emit_self_at(next, time);
+            }
+        } else {
+            self.finish(ctx.time());
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -382,6 +639,42 @@ mod tests {
         };
         let outcome = r.run_job(&dag, &HashSet::new(), &schedule).unwrap();
         assert_eq!(outcome.attempts, 2);
+    }
+
+    #[test]
+    fn kernel_drill_matches_legacy_bit_for_bit() {
+        let dag = dag();
+        let r = ChaosRunner::new(ClusterConfig::default(), 1.0).unwrap();
+        let ckpt: HashSet<StageId> = dag
+            .stages()
+            .iter()
+            .map(|s| s.id)
+            .filter(|id| id.0 % 2 == 0)
+            .collect();
+        let schedule = FaultSchedule {
+            events: vec![
+                FaultEvent::TaskCrash { at: 0.6 },
+                FaultEvent::TempExhaustion { at: 0.4 },
+                FaultEvent::MachineLoss {
+                    machine: 1,
+                    at: 0.9,
+                },
+            ],
+        };
+        let kernel = r.run_job(&dag, &ckpt, &schedule).unwrap();
+        let legacy = r.run_job_legacy(&dag, &ckpt, &schedule).unwrap();
+        assert_eq!(kernel.final_report, legacy.final_report);
+        assert_eq!(kernel.attempts, legacy.attempts);
+        assert_eq!(kernel.injected, legacy.injected);
+        assert_eq!(
+            kernel.recomputed_checkpointed,
+            legacy.recomputed_checkpointed
+        );
+        assert_eq!(
+            kernel.total_latency.to_bits(),
+            legacy.total_latency.to_bits()
+        );
+        assert_eq!(kernel.attempt_failures, legacy.attempt_failures);
     }
 
     #[test]

@@ -37,20 +37,16 @@ impl Channel {
     }
 }
 
-/// SplitMix64 finalizer: one full avalanche step over `x`.
-#[inline]
-fn mix(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
-}
-
 /// Derives a sub-seed from a master seed and an index (job number, epoch,
 /// …). `derive(s, a) == derive(s, a)` always; collisions across distinct
 /// `(seed, index)` pairs are as unlikely as SplitMix64 allows.
+///
+/// Delegates to [`adas_simkern::rng::derive`] — the kernel holds the
+/// canonical copy of the SplitMix64 constants, so the simulation kernel
+/// and the fault channels can never drift apart. The derived values are
+/// bit-for-bit what this module produced before the delegation.
 pub fn derive(master: u64, index: u64) -> u64 {
-    mix(mix(master) ^ mix(index.wrapping_mul(0xA24B_AED4_963E_E407)))
+    adas_simkern::rng::derive(master, index)
 }
 
 /// A seeded RNG for one channel of a master seed.

@@ -15,11 +15,14 @@ use adas_engine::cardinality::TrueCardinality;
 use adas_engine::cost::CostModel;
 use adas_engine::Result;
 use adas_obs::Obs;
+use adas_simkern::{Component, Ctx, Simulation};
 use adas_workload::catalog::Catalog;
 use adas_workload::job::Trace;
 use adas_workload::JobId;
 use serde::Serialize;
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::rc::Rc;
 
 /// Job prioritization policy among ready jobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
@@ -88,101 +91,82 @@ pub fn schedule(
     )
 }
 
-/// Like [`schedule`], recording the run into `obs`: a `schedule` span over
-/// the makespan with one child span per job (at its simulated dispatch and
-/// finish times, in job-id order), a `jobs_scheduled` counter labelled by
-/// policy, the makespan gauge and a completion-time histogram.
-pub fn schedule_with_obs(
-    trace: &Trace,
-    catalog: &Catalog,
-    job_slots: usize,
+/// Trace-derived inputs shared by every scheduler variant: the dependency
+/// graph, per-job work, downstream-work priorities, and submit times.
+struct SchedInputs {
+    graph: PipelineGraph,
+    work: HashMap<JobId, f64>,
+    priority: HashMap<JobId, f64>,
+    submit: HashMap<JobId, f64>,
+}
+
+impl SchedInputs {
+    fn build(trace: &Trace, catalog: &Catalog) -> Result<Self> {
+        let graph = PipelineGraph::build(trace);
+        let truth = TrueCardinality::new(catalog);
+        let cost_model = CostModel::default();
+        let mut work: HashMap<JobId, f64> = HashMap::new();
+        for job in trace.jobs() {
+            work.insert(job.id, cost_model.total_cost(&job.plan, &truth)?);
+        }
+        let mut memo = HashMap::new();
+        let priority: HashMap<JobId, f64> = trace
+            .jobs()
+            .iter()
+            .map(|j| (j.id, downstream_work(j.id, &graph, &work, &mut memo)))
+            .collect();
+        let submit: HashMap<JobId, f64> = trace
+            .jobs()
+            .iter()
+            .map(|j| (j.id, j.submit_time as f64))
+            .collect();
+        Ok(Self {
+            graph,
+            work,
+            priority,
+            submit,
+        })
+    }
+
+    /// The policy comparator over ready jobs. `min_by` with this ordering
+    /// picks the dispatch winner; the `a.cmp(&b)` tie-break keeps it total.
+    fn compare(&self, policy: Policy, a: JobId, b: JobId) -> std::cmp::Ordering {
+        match policy {
+            Policy::Fifo => self.submit[&a]
+                .partial_cmp(&self.submit[&b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b)),
+            Policy::CriticalPath => self.priority[&b]
+                .partial_cmp(&self.priority[&a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b)),
+        }
+    }
+}
+
+/// Computes the report and replays the run into `obs` (shared by the
+/// kernel-backed and legacy paths so their traces stay byte-identical).
+fn finalize(
+    inputs: &SchedInputs,
+    finish: HashMap<JobId, f64>,
     work_per_second: f64,
     policy: Policy,
     obs: &Obs,
-) -> Result<ScheduleReport> {
-    assert!(job_slots >= 1, "need at least one job slot");
-    assert!(work_per_second > 0.0, "work_per_second must be positive");
-    let graph = PipelineGraph::build(trace);
-    let truth = TrueCardinality::new(catalog);
-    let cost_model = CostModel::default();
-    let mut work: HashMap<JobId, f64> = HashMap::new();
-    for job in trace.jobs() {
-        work.insert(job.id, cost_model.total_cost(&job.plan, &truth)?);
-    }
-    let mut memo = HashMap::new();
-    let priority: HashMap<JobId, f64> = trace
-        .jobs()
-        .iter()
-        .map(|j| (j.id, downstream_work(j.id, &graph, &work, &mut memo)))
-        .collect();
-
-    let submit: HashMap<JobId, f64> = trace
-        .jobs()
-        .iter()
-        .map(|j| (j.id, j.submit_time as f64))
-        .collect();
-    let mut finish: HashMap<JobId, f64> = HashMap::new();
-    let mut slot_free = vec![0.0f64; job_slots];
-    let mut pending: Vec<JobId> = trace.jobs().iter().map(|j| j.id).collect();
-    let mut now = 0.0f64;
-
-    // Event-driven dispatch: at each instant, place the highest-priority
-    // *currently ready* job onto a *currently free* slot; when nothing can
-    // be dispatched, advance time to the next event (a slot freeing, a job
-    // arriving, or a dependency completing).
-    while !pending.is_empty() {
-        let ready: Vec<JobId> = pending
-            .iter()
-            .copied()
-            .filter(|&id| submit[&id] <= now)
-            .filter(|&id| {
-                graph
-                    .producers(id)
-                    .iter()
-                    .all(|p| finish.get(p).is_some_and(|&f| f <= now))
-            })
-            .collect();
-        let free_slot = slot_free
-            .iter()
-            .position(|&f| f <= now)
-            .filter(|_| !ready.is_empty());
-        if let Some(slot) = free_slot {
-            let next = ready
-                .into_iter()
-                .min_by(|&a, &b| match policy {
-                    Policy::Fifo => submit[&a]
-                        .partial_cmp(&submit[&b])
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then(a.cmp(&b)),
-                    Policy::CriticalPath => priority[&b]
-                        .partial_cmp(&priority[&a])
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then(a.cmp(&b)),
-                })
-                .expect("checked non-empty");
-            pending.retain(|&id| id != next);
-            let end = now + work[&next] / work_per_second;
-            slot_free[slot] = end;
-            finish.insert(next, end);
-            continue;
-        }
-        // Advance to the next event strictly after `now`.
-        let next_time = slot_free
-            .iter()
-            .copied()
-            .chain(pending.iter().map(|id| submit[id]))
-            .chain(finish.values().copied())
-            .filter(|&t| t > now)
-            .fold(f64::INFINITY, f64::min);
-        debug_assert!(next_time.is_finite(), "scheduler stalled with pending jobs");
-        now = next_time;
-    }
-
+) -> ScheduleReport {
     let makespan = finish.values().copied().fold(0.0, f64::max);
-    let mean_completion = if finish.is_empty() {
+    // Sum completions in job-id order: `HashMap` iteration order varies
+    // with the per-map hasher seed, which would make the mean differ in
+    // ulps from run to run.
+    let mut sorted: Vec<JobId> = finish.keys().copied().collect();
+    sorted.sort();
+    let mean_completion = if sorted.is_empty() {
         0.0
     } else {
-        finish.iter().map(|(id, f)| f - submit[id]).sum::<f64>() / finish.len() as f64
+        sorted
+            .iter()
+            .map(|id| finish[id] - inputs.submit[id])
+            .sum::<f64>()
+            / sorted.len() as f64
     };
 
     if obs.is_enabled() {
@@ -194,14 +178,14 @@ pub fn schedule_with_obs(
         ids.sort();
         for id in &ids {
             let end = finish[id];
-            let start = end - work[id] / work_per_second;
+            let start = end - inputs.work[id] / work_per_second;
             let span = batch.span_enter_indexed("pipeline.sched", "job", id.0 as usize, start);
             batch.span_exit(span, end);
             batch.histogram_observe(
                 "pipeline.sched",
                 "completion_seconds",
                 &[("policy", policy.name())],
-                end - submit[id],
+                end - inputs.submit[id],
             );
         }
         batch.counter_add(
@@ -219,10 +203,434 @@ pub fn schedule_with_obs(
         batch.span_exit(root, makespan);
     }
 
-    Ok(ScheduleReport {
+    ScheduleReport {
         makespan,
         mean_completion,
         finish,
+    }
+}
+
+/// The one event kind job scheduling needs: "a decision instant arrived"
+/// (a job just became submittable, a slot freed, or a dependency finished).
+enum SchedEvent {
+    Wake,
+}
+
+/// The scheduler as a simkern component. A `Wake` event fires at every job
+/// arrival and every job completion; the handler runs the same greedy
+/// dispatch loop the legacy scheduler ran at each decision instant, so the
+/// finish map is bit-for-bit identical — only the owner of time changed.
+struct SchedSim {
+    policy: Policy,
+    work_per_second: f64,
+    inputs: SchedInputs,
+    pending: Vec<JobId>,
+    finish: HashMap<JobId, f64>,
+    slot_free: Vec<f64>,
+}
+
+impl SchedSim {
+    /// Dispatches every job startable at `ctx.time()`, scheduling a wake at
+    /// each dispatched job's finish. Mirrors one legacy `while` iteration
+    /// per pass: ready/free are recomputed from scratch after every
+    /// placement, so zero-duration jobs cascade at the same instant exactly
+    /// as the legacy `continue` did.
+    fn dispatch_all(&mut self, ctx: &mut Ctx<'_, SchedEvent>) {
+        let now = ctx.time();
+        loop {
+            let ready: Vec<JobId> = self
+                .pending
+                .iter()
+                .copied()
+                .filter(|&id| self.inputs.submit[&id] <= now)
+                .filter(|&id| {
+                    self.inputs
+                        .graph
+                        .producers(id)
+                        .iter()
+                        .all(|p| self.finish.get(p).is_some_and(|&f| f <= now))
+                })
+                .collect();
+            let free_slot = self
+                .slot_free
+                .iter()
+                .position(|&f| f <= now)
+                .filter(|_| !ready.is_empty());
+            let Some(slot) = free_slot else {
+                return;
+            };
+            let next = ready
+                .into_iter()
+                .min_by(|&a, &b| self.inputs.compare(self.policy, a, b))
+                .expect("checked non-empty");
+            self.pending.retain(|&id| id != next);
+            let end = now + self.inputs.work[&next] / self.work_per_second;
+            self.slot_free[slot] = end;
+            self.finish.insert(next, end);
+            ctx.emit_self_at(SchedEvent::Wake, end);
+        }
+    }
+}
+
+impl Component<SchedEvent> for SchedSim {
+    fn on_event(&mut self, _event: &SchedEvent, ctx: &mut Ctx<'_, SchedEvent>) {
+        self.dispatch_all(ctx);
+    }
+}
+
+/// Like [`schedule`], recording the run into `obs`: a `schedule` span over
+/// the makespan with one child span per job (at its simulated dispatch and
+/// finish times, in job-id order), a `jobs_scheduled` counter labelled by
+/// policy, the makespan gauge and a completion-time histogram.
+///
+/// Time is owned by the `simkern` event loop: job arrivals are scheduled
+/// as events at their submit times and completions as events at each job's
+/// computed finish; the greedy dispatch decision runs at each event. The
+/// decisions — and therefore the report and the recorded trace — are
+/// bit-for-bit those of [`schedule_legacy`].
+pub fn schedule_with_obs(
+    trace: &Trace,
+    catalog: &Catalog,
+    job_slots: usize,
+    work_per_second: f64,
+    policy: Policy,
+    obs: &Obs,
+) -> Result<ScheduleReport> {
+    assert!(job_slots >= 1, "need at least one job slot");
+    assert!(work_per_second > 0.0, "work_per_second must be positive");
+    let inputs = SchedInputs::build(trace, catalog)?;
+    let pending: Vec<JobId> = trace.jobs().iter().map(|j| j.id).collect();
+    let arrivals: Vec<f64> = pending.iter().map(|id| inputs.submit[id]).collect();
+    let sched = Rc::new(RefCell::new(SchedSim {
+        policy,
+        work_per_second,
+        inputs,
+        pending,
+        finish: HashMap::new(),
+        slot_free: vec![0.0f64; job_slots],
+    }));
+    let mut sim = Simulation::new(0);
+    let id = sim.add_component(sched.clone());
+    for t in arrivals {
+        sim.schedule_at(t, id, SchedEvent::Wake);
+    }
+    sim.run();
+    drop(sim);
+    let sched = Rc::try_unwrap(sched)
+        .unwrap_or_else(|_| unreachable!("simulation still holds the component"))
+        .into_inner();
+    debug_assert!(
+        sched.pending.is_empty(),
+        "scheduler stalled with pending jobs"
+    );
+    Ok(finalize(
+        &sched.inputs,
+        sched.finish,
+        work_per_second,
+        policy,
+        obs,
+    ))
+}
+
+/// The pre-simkern scheduler: a blocking loop that advances its own `now`
+/// to the next interesting instant. Kept as the reference implementation —
+/// the equivalence suite pins [`schedule_with_obs`] bit-for-bit to this.
+pub fn schedule_legacy(
+    trace: &Trace,
+    catalog: &Catalog,
+    job_slots: usize,
+    work_per_second: f64,
+    policy: Policy,
+    obs: &Obs,
+) -> Result<ScheduleReport> {
+    assert!(job_slots >= 1, "need at least one job slot");
+    assert!(work_per_second > 0.0, "work_per_second must be positive");
+    let inputs = SchedInputs::build(trace, catalog)?;
+    let mut finish: HashMap<JobId, f64> = HashMap::new();
+    let mut slot_free = vec![0.0f64; job_slots];
+    let mut pending: Vec<JobId> = trace.jobs().iter().map(|j| j.id).collect();
+    let mut now = 0.0f64;
+
+    // Event-driven dispatch: at each instant, place the highest-priority
+    // *currently ready* job onto a *currently free* slot; when nothing can
+    // be dispatched, advance time to the next event (a slot freeing, a job
+    // arriving, or a dependency completing).
+    while !pending.is_empty() {
+        let ready: Vec<JobId> = pending
+            .iter()
+            .copied()
+            .filter(|&id| inputs.submit[&id] <= now)
+            .filter(|&id| {
+                inputs
+                    .graph
+                    .producers(id)
+                    .iter()
+                    .all(|p| finish.get(p).is_some_and(|&f| f <= now))
+            })
+            .collect();
+        let free_slot = slot_free
+            .iter()
+            .position(|&f| f <= now)
+            .filter(|_| !ready.is_empty());
+        if let Some(slot) = free_slot {
+            let next = ready
+                .into_iter()
+                .min_by(|&a, &b| inputs.compare(policy, a, b))
+                .expect("checked non-empty");
+            pending.retain(|&id| id != next);
+            let end = now + inputs.work[&next] / work_per_second;
+            slot_free[slot] = end;
+            finish.insert(next, end);
+            continue;
+        }
+        // Advance to the next event strictly after `now`.
+        let next_time = slot_free
+            .iter()
+            .copied()
+            .chain(pending.iter().map(|id| inputs.submit[id]))
+            .chain(finish.values().copied())
+            .filter(|&t| t > now)
+            .fold(f64::INFINITY, f64::min);
+        debug_assert!(next_time.is_finite(), "scheduler stalled with pending jobs");
+        now = next_time;
+    }
+
+    Ok(finalize(&inputs, finish, work_per_second, policy, obs))
+}
+
+/// How the pipeline optimizer is driven relative to job execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum OptimizerMode {
+    /// The legacy shape: one blocking loop owns both phases, so the
+    /// optimizer never runs while any job is executing — optimize job n,
+    /// run job n, only then look at job n+1.
+    Serial,
+    /// Kernel-scheduled: the optimizer is its own component and starts on
+    /// job n+1 the moment it is free, overlapping job n's execution.
+    Pipelined,
+}
+
+impl OptimizerMode {
+    /// Stable name for metrics labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            OptimizerMode::Serial => "serial",
+            OptimizerMode::Pipelined => "pipelined",
+        }
+    }
+}
+
+/// Outcome of one optimize-then-execute scheduling run.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PipelinedReport {
+    /// Time at which the last job finished executing.
+    pub makespan: f64,
+    /// Mean job completion time (execution finish − submit).
+    pub mean_completion: f64,
+    /// Per-job execution finish times.
+    pub finish: HashMap<JobId, f64>,
+    /// Per-job optimization finish times (always ≤ the execution start).
+    pub opt_finish: HashMap<JobId, f64>,
+}
+
+/// The optimize-then-execute scheduler as a simkern component: one
+/// optimizer resource plus `job_slots` execution slots, with wake events
+/// at submits, optimization completions and execution completions.
+struct PipelinedSim {
+    policy: Policy,
+    mode: OptimizerMode,
+    work_per_second: f64,
+    optimize_seconds: f64,
+    inputs: SchedInputs,
+    /// Jobs not yet sent to the optimizer.
+    unoptimized: Vec<JobId>,
+    /// Jobs optimized (or being optimized) but not yet executing.
+    pending: Vec<JobId>,
+    /// Instant the optimizer frees up.
+    opt_free: f64,
+    opt_finish: HashMap<JobId, f64>,
+    finish: HashMap<JobId, f64>,
+    slot_free: Vec<f64>,
+}
+
+impl PipelinedSim {
+    fn dispatch_all(&mut self, ctx: &mut Ctx<'_, SchedEvent>) {
+        let now = ctx.time();
+        loop {
+            let mut progressed = false;
+
+            // Feed the optimizer. In serial mode it refuses to start while
+            // any job is executing or an already-optimized job has not yet
+            // finished — that is the legacy blocking loop where one thread
+            // owns both phases and fully drains a job before the next.
+            let exec_in_flight = self.slot_free.iter().any(|&f| f > now);
+            let opt_blocked =
+                self.mode == OptimizerMode::Serial && (exec_in_flight || !self.pending.is_empty());
+            if self.opt_free <= now && !opt_blocked {
+                let candidate = self
+                    .unoptimized
+                    .iter()
+                    .copied()
+                    .filter(|&id| self.inputs.submit[&id] <= now)
+                    .min_by(|&a, &b| self.inputs.compare(self.policy, a, b));
+                if let Some(job) = candidate {
+                    self.unoptimized.retain(|&id| id != job);
+                    let done = now + self.optimize_seconds;
+                    self.opt_free = done;
+                    self.opt_finish.insert(job, done);
+                    self.pending.push(job);
+                    ctx.emit_self_at(SchedEvent::Wake, done);
+                    progressed = true;
+                }
+            }
+
+            // Same greedy execution dispatch as [`SchedSim`], gated on the
+            // job's optimization having completed by `now`.
+            let ready: Vec<JobId> = self
+                .pending
+                .iter()
+                .copied()
+                .filter(|&id| self.opt_finish[&id] <= now)
+                .filter(|&id| {
+                    self.inputs
+                        .graph
+                        .producers(id)
+                        .iter()
+                        .all(|p| self.finish.get(p).is_some_and(|&f| f <= now))
+                })
+                .collect();
+            let free_slot = self
+                .slot_free
+                .iter()
+                .position(|&f| f <= now)
+                .filter(|_| !ready.is_empty());
+            if let Some(slot) = free_slot {
+                let next = ready
+                    .into_iter()
+                    .min_by(|&a, &b| self.inputs.compare(self.policy, a, b))
+                    .expect("checked non-empty");
+                self.pending.retain(|&id| id != next);
+                let end = now + self.inputs.work[&next] / self.work_per_second;
+                self.slot_free[slot] = end;
+                self.finish.insert(next, end);
+                ctx.emit_self_at(SchedEvent::Wake, end);
+                progressed = true;
+            }
+
+            if !progressed {
+                return;
+            }
+        }
+    }
+}
+
+impl Component<SchedEvent> for PipelinedSim {
+    fn on_event(&mut self, _event: &SchedEvent, ctx: &mut Ctx<'_, SchedEvent>) {
+        self.dispatch_all(ctx);
+    }
+}
+
+/// Schedules a trace through an explicit optimize-then-execute pipeline:
+/// every job must pass through a single optimizer resource (taking
+/// `optimize_seconds`) before it can run on one of `job_slots` slots.
+///
+/// [`OptimizerMode::Serial`] reproduces the legacy single-loop shape where
+/// the optimizer and the cluster never overlap; [`OptimizerMode::Pipelined`]
+/// lets the kernel interleave them, so optimizing job n+1 overlaps the
+/// execution of job n. The makespan ratio between the two modes is the
+/// headline number `des_bench` gates on.
+#[allow(clippy::too_many_arguments)]
+pub fn schedule_pipelined(
+    trace: &Trace,
+    catalog: &Catalog,
+    job_slots: usize,
+    work_per_second: f64,
+    optimize_seconds: f64,
+    policy: Policy,
+    mode: OptimizerMode,
+    obs: &Obs,
+) -> Result<PipelinedReport> {
+    assert!(job_slots >= 1, "need at least one job slot");
+    assert!(work_per_second > 0.0, "work_per_second must be positive");
+    assert!(
+        optimize_seconds >= 0.0 && optimize_seconds.is_finite(),
+        "optimize_seconds must be finite and non-negative"
+    );
+    let inputs = SchedInputs::build(trace, catalog)?;
+    let unoptimized: Vec<JobId> = trace.jobs().iter().map(|j| j.id).collect();
+    let arrivals: Vec<f64> = unoptimized.iter().map(|id| inputs.submit[id]).collect();
+    let component = Rc::new(RefCell::new(PipelinedSim {
+        policy,
+        mode,
+        work_per_second,
+        optimize_seconds,
+        inputs,
+        unoptimized,
+        pending: Vec::new(),
+        opt_free: 0.0,
+        opt_finish: HashMap::new(),
+        finish: HashMap::new(),
+        slot_free: vec![0.0f64; job_slots],
+    }));
+    let mut sim = Simulation::new(0);
+    let id = sim.add_component(component.clone());
+    for t in arrivals {
+        sim.schedule_at(t, id, SchedEvent::Wake);
+    }
+    sim.run();
+    drop(sim);
+    let state = Rc::try_unwrap(component)
+        .unwrap_or_else(|_| unreachable!("simulation still holds the component"))
+        .into_inner();
+    debug_assert!(
+        state.unoptimized.is_empty() && state.pending.is_empty(),
+        "pipelined scheduler stalled"
+    );
+
+    let makespan = state.finish.values().copied().fold(0.0, f64::max);
+    let mut sorted: Vec<JobId> = state.finish.keys().copied().collect();
+    sorted.sort();
+    let mean_completion = if sorted.is_empty() {
+        0.0
+    } else {
+        sorted
+            .iter()
+            .map(|id| state.finish[id] - state.inputs.submit[id])
+            .sum::<f64>()
+            / sorted.len() as f64
+    };
+
+    if obs.is_enabled() {
+        let mut batch = obs.batch();
+        let root = batch.span_enter("pipeline.pipelined", "schedule_pipelined", 0.0);
+        let mut ids: Vec<JobId> = state.finish.keys().copied().collect();
+        ids.sort();
+        for id in &ids {
+            let end = state.finish[id];
+            let start = end - state.inputs.work[id] / work_per_second;
+            let span = batch.span_enter_indexed("pipeline.pipelined", "job", id.0 as usize, start);
+            batch.span_exit(span, end);
+        }
+        batch.counter_add(
+            "pipeline.pipelined",
+            "jobs_scheduled",
+            &[("mode", mode.name())],
+            ids.len() as u64,
+        );
+        batch.gauge_set(
+            "pipeline.pipelined",
+            "makespan_seconds",
+            &[("mode", mode.name())],
+            makespan,
+        );
+        batch.span_exit(root, makespan);
+    }
+
+    Ok(PipelinedReport {
+        makespan,
+        mean_completion,
+        finish: state.finish,
+        opt_finish: state.opt_finish,
     })
 }
 
@@ -301,6 +709,99 @@ mod tests {
             f[1] >= 2.0 * f[0] - 1e-6,
             "jobs must not overlap on one slot"
         );
+    }
+
+    #[test]
+    fn kernel_schedule_matches_legacy_bit_for_bit() {
+        let w = WorkloadGenerator::new(GeneratorConfig {
+            days: 2,
+            jobs_per_day: 80,
+            ..Default::default()
+        })
+        .unwrap()
+        .generate()
+        .unwrap();
+        for policy in [Policy::Fifo, Policy::CriticalPath] {
+            for slots in [1, 3, 8] {
+                let kernel =
+                    schedule_with_obs(&w.trace, &w.catalog, slots, 1e7, policy, &Obs::disabled())
+                        .unwrap();
+                let legacy =
+                    schedule_legacy(&w.trace, &w.catalog, slots, 1e7, policy, &Obs::disabled())
+                        .unwrap();
+                assert_eq!(kernel.finish.len(), legacy.finish.len());
+                for (id, f) in &legacy.finish {
+                    assert_eq!(
+                        kernel.finish[id].to_bits(),
+                        f.to_bits(),
+                        "job {id:?} finish diverged ({policy:?}, {slots} slots)"
+                    );
+                }
+                assert_eq!(kernel.makespan.to_bits(), legacy.makespan.to_bits());
+                assert_eq!(
+                    kernel.mean_completion.to_bits(),
+                    legacy.mean_completion.to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_mode_overlaps_optimizer_with_execution() {
+        // Independent equal jobs: serial alternates optimize/execute, so
+        // its makespan is ~n·(opt+exec); pipelined hides optimization
+        // behind execution after the first job.
+        let jobs: Vec<Job> = (0..8).map(|i| job(i, 0, 500, vec![], vec![])).collect();
+        let trace = Trace::new(jobs);
+        let catalog = Catalog::standard();
+        let serial = schedule_pipelined(
+            &trace,
+            &catalog,
+            1,
+            1e6,
+            5.0,
+            Policy::Fifo,
+            OptimizerMode::Serial,
+            &Obs::disabled(),
+        )
+        .unwrap();
+        let pipelined = schedule_pipelined(
+            &trace,
+            &catalog,
+            1,
+            1e6,
+            5.0,
+            Policy::Fifo,
+            OptimizerMode::Pipelined,
+            &Obs::disabled(),
+        )
+        .unwrap();
+        assert_eq!(serial.finish.len(), 8);
+        assert_eq!(pipelined.finish.len(), 8);
+        assert!(
+            pipelined.makespan < serial.makespan,
+            "pipelined {} should beat serial {}",
+            pipelined.makespan,
+            serial.makespan
+        );
+        // Every job is optimized before it finishes executing, in both modes.
+        for r in [&serial, &pipelined] {
+            for (id, &end) in &r.finish {
+                assert!(r.opt_finish[id] <= end, "optimization precedes finish");
+            }
+        }
+        // In serial mode the optimizer never overlapped execution: the k-th
+        // optimization starts only after the (k-1)-th execution finished.
+        let mut opt_times: Vec<f64> = serial.opt_finish.values().copied().collect();
+        let mut exec_times: Vec<f64> = serial.finish.values().copied().collect();
+        opt_times.sort_by(f64::total_cmp);
+        exec_times.sort_by(f64::total_cmp);
+        for k in 1..opt_times.len() {
+            assert!(
+                opt_times[k] - 5.0 >= exec_times[k - 1] - 1e-9,
+                "serial optimizer started during execution"
+            );
+        }
     }
 
     #[test]

@@ -36,6 +36,7 @@ use crate::model::{ModelHandle, ServableModel};
 use crate::{BreakerState, Result};
 use adas_core::feedback::{FeedbackLoop, LoopConfig, MonitorVerdict};
 use adas_obs::{digest_f64, Obs, Provenance};
+use adas_simkern::{Cooldown, CountWindow};
 use serde::Serialize;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -247,12 +248,12 @@ struct Supervised {
     breaker_open_streak: u32,
     /// A retrain is wanted but has not produced a staged candidate yet.
     retrain_pending: Option<String>,
-    /// No retrain before this simulated time (cooldown / restage backoff).
-    retrain_allowed_at: f64,
+    /// No retrain before this tick (cooldown / restage backoff).
+    retrain_cooldown: Cooldown,
     /// Current restage backoff (doubles per consecutive demotion).
     restage_backoff: f64,
     /// Candidate absolute errors in the current tumbling window.
-    cand_window: Vec<f64>,
+    cand_window: CountWindow,
     /// Primary absolute errors (bounded, for the evaluation baseline).
     prim_recent: VecDeque<f64>,
     /// Consecutive healthy candidate windows.
@@ -261,9 +262,9 @@ struct Supervised {
     unhealthy_windows: u32,
     /// Shadow samples drained from the gateway, awaiting their actuals.
     pending_shadow: VecDeque<(u64, f64)>,
-    /// No SLO-triggered action before this simulated time (post-action
-    /// cooldown, so trailing bad windows don't double-fire).
-    slo_action_allowed_at: f64,
+    /// No SLO-triggered action before this tick (post-action cooldown,
+    /// so trailing bad windows don't double-fire).
+    slo_action_cooldown: Cooldown,
 }
 
 impl Supervised {
@@ -275,14 +276,14 @@ impl Supervised {
             guarded_streak: 0,
             breaker_open_streak: 0,
             retrain_pending: None,
-            retrain_allowed_at: 0.0,
+            retrain_cooldown: Cooldown::ready_now(),
             restage_backoff: config.canary.restage_backoff_ticks,
-            cand_window: Vec::new(),
+            cand_window: CountWindow::new(),
             prim_recent: VecDeque::new(),
             healthy_windows: 0,
             unhealthy_windows: 0,
             pending_shadow: VecDeque::new(),
-            slo_action_allowed_at: 0.0,
+            slo_action_cooldown: Cooldown::ready_now(),
             config,
         }
     }
@@ -559,7 +560,7 @@ impl AutonomyController {
                     state.cand_window.push((value - actual).abs());
                 }
             }
-            if state.cand_window.len() >= state.config.canary.min_decisions.max(1) {
+            if state.cand_window.is_full(state.config.canary.min_decisions) {
                 actions.extend(self.evaluate_candidate_window(
                     handle,
                     cand_version,
@@ -596,7 +597,7 @@ impl AutonomyController {
             return Ok(actions);
         };
         let policy = state.config.slo;
-        if signal.windows < policy.min_windows || sim_time < state.slo_action_allowed_at {
+        if signal.windows < policy.min_windows || !state.slo_action_cooldown.ready(sim_time) {
             return Ok(actions);
         }
         let burn = signal.sustained_burn();
@@ -613,7 +614,9 @@ impl AutonomyController {
                 let state = self.state_mut(handle);
                 state.schedule_demote_backoff(sim_time);
                 state.retrain_pending = Some(cause.to_string());
-                state.slo_action_allowed_at = sim_time + policy.action_cooldown_ticks;
+                state
+                    .slo_action_cooldown
+                    .arm(sim_time, policy.action_cooldown_ticks);
                 actions.push(AutonomyAction::Demoted {
                     version: demoted,
                     cause: cause.to_string(),
@@ -624,7 +627,9 @@ impl AutonomyController {
                 let state = self.state_mut(handle);
                 state.reset_after_swap();
                 state.retrain_pending = Some(cause.to_string());
-                state.slo_action_allowed_at = sim_time + policy.action_cooldown_ticks;
+                state
+                    .slo_action_cooldown
+                    .arm(sim_time, policy.action_cooldown_ticks);
                 actions.push(AutonomyAction::RolledBack {
                     version: landed,
                     cause: cause.to_string(),
@@ -636,7 +641,9 @@ impl AutonomyController {
             } else {
                 // Nothing to roll back to — retraining is the only way out.
                 let state = self.state_mut(handle);
-                state.slo_action_allowed_at = sim_time + policy.action_cooldown_ticks;
+                state
+                    .slo_action_cooldown
+                    .arm(sim_time, policy.action_cooldown_ticks);
                 if state.retrain_pending.is_none() {
                     state.retrain_pending = Some(cause.to_string());
                     actions.push(AutonomyAction::RetrainScheduled {
@@ -649,7 +656,9 @@ impl AutonomyController {
             let state = self.state_mut(handle);
             if state.retrain_pending.is_none() && candidate.is_none() {
                 state.retrain_pending = Some(cause.to_string());
-                state.slo_action_allowed_at = sim_time + policy.action_cooldown_ticks;
+                state
+                    .slo_action_cooldown
+                    .arm(sim_time, policy.action_cooldown_ticks);
                 actions.push(AutonomyAction::RetrainScheduled {
                     cause: cause.to_string(),
                 });
@@ -697,8 +706,10 @@ impl AutonomyController {
     ) -> Result<Vec<AutonomyAction>> {
         let mut actions = Vec::new();
         let state = self.state_mut(handle);
-        let cand_err = state.cand_window.iter().sum::<f64>() / state.cand_window.len() as f64;
-        state.cand_window.clear();
+        let cand_err = state
+            .cand_window
+            .drain_mean()
+            .expect("window evaluated only when full");
         let prim_err = if state.prim_recent.is_empty() {
             deployment_error
         } else {
@@ -790,14 +801,16 @@ impl AutonomyController {
         let Some(cause) = state.retrain_pending.clone() else {
             return Ok(actions);
         };
-        if sim_time < state.retrain_allowed_at
+        if !state.retrain_cooldown.ready(sim_time)
             || state.history.len() < state.config.min_retrain_observations.max(1)
         {
             return Ok(actions);
         }
         state.history.make_contiguous();
         let trained = (state.retrainer)(state.history.as_slices().0);
-        state.retrain_allowed_at = sim_time + state.config.retrain_cooldown_ticks;
+        state
+            .retrain_cooldown
+            .arm(sim_time, state.config.retrain_cooldown_ticks);
         let Some((model, claimed_error)) = trained else {
             return Ok(actions); // retry after the cooldown
         };
@@ -863,7 +876,7 @@ impl Supervised {
     /// After a demotion: push the next restage out by the current backoff,
     /// then double it (capped).
     fn schedule_demote_backoff(&mut self, sim_time: f64) {
-        self.retrain_allowed_at = sim_time + self.restage_backoff;
+        self.retrain_cooldown.arm(sim_time, self.restage_backoff);
         self.restage_backoff = (self.restage_backoff * 2.0).min(
             self.config
                 .canary

@@ -48,6 +48,10 @@ pub struct GatewayConfig {
     pub max_in_flight: usize,
     /// Per-model circuit-breaker tuning.
     pub breaker: BreakerConfig,
+    /// Use the pre-simkern O(open groups) deadline scan instead of the
+    /// timer wheel. Flushes are identical either way (the equivalence
+    /// suite pins this); the flag exists so that proof stays executable.
+    pub legacy_deadline_scan: bool,
 }
 
 impl GatewayConfig {
@@ -62,6 +66,7 @@ impl GatewayConfig {
             cache_shards: 8,
             max_in_flight: 1 << 20,
             breaker: BreakerConfig::default(),
+            legacy_deadline_scan: false,
         }
     }
 
@@ -77,6 +82,7 @@ impl GatewayConfig {
             cache_shards: 1,
             max_in_flight: usize::MAX,
             breaker: BreakerConfig::disabled(),
+            legacy_deadline_scan: false,
         }
     }
 
@@ -960,6 +966,10 @@ impl Gateway {
         let mut groups: Vec<BatchGroup> = Vec::new();
         // Open (undispatched) groups in insertion order: (model id, version, group index).
         let mut open: Vec<(u64, u64, usize)> = Vec::new();
+        // Deadline timers, keyed by the tick each group opened at. Groups
+        // flushed early (by the size trigger) are invalidated lazily:
+        // `dispatch` is a no-op on an already-dispatched group.
+        let mut deadlines: adas_simkern::TimerWheel<usize> = adas_simkern::TimerWheel::new();
         // Duplicate suppression: identical pending rows share one batch slot.
         let mut inflight: HashMap<(u64, u64, u64), (usize, usize)> = HashMap::new();
         let mut slots: Vec<Slot> = Vec::with_capacity(requests.len());
@@ -968,18 +978,31 @@ impl Gateway {
         for request in requests {
             let entry = self.entry(request.handle)?;
             let now = request.sim_time;
-            // Deadline flushes happen before this request is admitted, in
-            // group-open order — a deterministic function of the request
-            // sequence alone.
+            // Deadline flushes happen before this request is admitted — a
+            // deterministic function of the request sequence alone. The
+            // wheel pops groups oldest-first while the *exact* legacy
+            // comparison holds; the due-set matches the legacy scan because
+            // the predicate is monotone in the open tick, and flush order
+            // within one instant is unobservable (counters are sums and
+            // results settle in request order).
             if config.batch_deadline_ticks.is_finite() {
-                let mut i = 0;
-                while i < open.len() {
-                    let g = open[i].2;
-                    if now - groups[g].oldest >= config.batch_deadline_ticks {
+                if config.legacy_deadline_scan {
+                    let mut i = 0;
+                    while i < open.len() {
+                        let g = open[i].2;
+                        if now - groups[g].oldest >= config.batch_deadline_ticks {
+                            self.dispatch(&mut groups[g]);
+                            open.remove(i);
+                        } else {
+                            i += 1;
+                        }
+                    }
+                } else {
+                    while let Some((_, g)) =
+                        deadlines.pop_due(|oldest| now - oldest >= config.batch_deadline_ticks)
+                    {
                         self.dispatch(&mut groups[g]);
-                        open.remove(i);
-                    } else {
-                        i += 1;
+                        open.retain(|&(_, _, gg)| gg != g);
                     }
                 }
             }
@@ -1050,6 +1073,12 @@ impl Gateway {
                     });
                     let g = groups.len() - 1;
                     open.push((entry.id as u64, snapshot.version, g));
+                    if config.batch_deadline_ticks.is_finite()
+                        && !config.legacy_deadline_scan
+                        && now.is_finite()
+                    {
+                        deadlines.schedule(now, g);
+                    }
                     g
                 }
             };
@@ -1648,6 +1677,40 @@ mod tests {
         ];
         gateway.predict_many(&requests).unwrap();
         assert_eq!(gateway.stats().batches, 2);
+    }
+
+    #[test]
+    fn timer_wheel_flushes_match_legacy_scan() {
+        // Same request sequence through the wheel-backed and legacy
+        // deadline paths: identical predictions (bit-for-bit) and stats.
+        let mk = |legacy: bool| {
+            let mut config = GatewayConfig::standard();
+            config.cache_capacity = 0;
+            config.batch_size = 3;
+            config.batch_deadline_ticks = 4.0;
+            config.legacy_deadline_scan = legacy;
+            identity_gateway(config)
+        };
+        let times = [0.0, 1.0, 2.5, 5.0, 5.0, 9.5, 12.0, 12.0, 20.0];
+        let build = |handle| {
+            times
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| Request::new(handle, vec![i as f64], t))
+                .collect::<Vec<_>>()
+        };
+        let (wheel_gw, wheel_handle) = mk(false);
+        let (legacy_gw, legacy_handle) = mk(true);
+        let wheel_out = wheel_gw.predict_many(&build(wheel_handle)).unwrap();
+        let legacy_out = legacy_gw.predict_many(&build(legacy_handle)).unwrap();
+        for (a, b) in wheel_out.iter().zip(&legacy_out) {
+            assert_eq!(a.value.to_bits(), b.value.to_bits());
+            assert_eq!(a.source, b.source);
+        }
+        let (ws, ls) = (wheel_gw.stats(), legacy_gw.stats());
+        assert_eq!(ws.batches, ls.batches);
+        assert_eq!(ws.batched_rows, ls.batched_rows);
+        assert_eq!(ws.model_calls, ls.model_calls);
     }
 
     #[test]

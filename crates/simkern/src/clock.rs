@@ -1,0 +1,119 @@
+//! The simulated clock: monotone `f64` seconds.
+
+use std::cmp::Ordering;
+
+/// A totally ordered simulated-time value, for use as a heap key (e.g.
+/// `BinaryHeap<Reverse<(OrderedTick, slot)>>`). Construction asserts the
+/// tick is finite in debug builds — NaN keys would silently corrupt heap
+/// order, the failure mode the old `partial_cmp(..).unwrap_or(Equal)`
+/// scans tolerated; ordering falls back to `total_cmp` so release builds
+/// stay total either way.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrderedTick(f64);
+
+impl OrderedTick {
+    /// Wraps `t`, asserting finiteness in debug builds.
+    #[inline]
+    pub fn new(t: f64) -> Self {
+        debug_assert!(t.is_finite(), "tick must be finite, got {t}");
+        Self(t)
+    }
+
+    /// The wrapped tick.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for OrderedTick {}
+
+impl Ord for OrderedTick {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl PartialOrd for OrderedTick {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A monotone simulated clock. Time is plain `f64` seconds (the unit every
+/// existing layer already uses); the clock only ever moves forward, and
+/// only the kernel advances it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimClock {
+    now: f64,
+}
+
+impl SimClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        Self { now: 0.0 }
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Advances the clock to `t`. Moving backwards is a kernel bug: debug
+    /// builds assert, release builds clamp (the clock stays monotone either
+    /// way).
+    #[inline]
+    pub fn advance_to(&mut self, t: f64) {
+        debug_assert!(t.is_finite(), "clock target must be finite, got {t}");
+        debug_assert!(t >= self.now, "clock must be monotone: {t} < {}", self.now);
+        if t > self.now {
+            self.now = t;
+        }
+    }
+}
+
+impl Default for SimClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_advances() {
+        let mut c = SimClock::new();
+        assert_eq!(c.now(), 0.0);
+        c.advance_to(2.5);
+        assert_eq!(c.now(), 2.5);
+        c.advance_to(2.5); // same instant is fine
+        assert_eq!(c.now(), 2.5);
+    }
+
+    #[test]
+    fn ordered_ticks_sort_with_index_tie_break() {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut heap = BinaryHeap::new();
+        heap.push(Reverse((OrderedTick::new(2.0), 0usize)));
+        heap.push(Reverse((OrderedTick::new(1.0), 3usize)));
+        heap.push(Reverse((OrderedTick::new(1.0), 1usize)));
+        let order: Vec<usize> =
+            std::iter::from_fn(|| heap.pop().map(|Reverse((_, i))| i)).collect();
+        assert_eq!(order, vec![1, 3, 0], "equal ticks pop lowest index first");
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    #[cfg(debug_assertions)]
+    fn backwards_is_a_bug() {
+        let mut c = SimClock::new();
+        c.advance_to(2.0);
+        c.advance_to(1.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Discrete-event simulation kernel.
+//!
+//! Every layer of this repository simulates time: the cluster executor
+//! places stage tasks on machine slots, the pipeline scheduler replays
+//! multi-job traces, the chaos runner injects faults mid-run, and the
+//! serving gateway flushes micro-batches on simulated deadlines. Before
+//! this crate each of those layers advanced its *own* private notion of
+//! time with a blocking loop; `simkern` gives them one shared kernel:
+//!
+//! * [`SimClock`] — a monotone simulated clock (plain `f64` seconds).
+//! * [`EventQueue`] — a binary-heap event queue keyed `(time, seq)`, so
+//!   ties resolve in schedule order and replays are deterministic.
+//! * [`Simulation`] / [`Component`] / [`Ctx`] — typed components receive
+//!   events through `on_event` and emit new ones with
+//!   [`Ctx::emit`]/[`Ctx::cancel`]; [`Simulation::step`] and
+//!   [`Simulation::run_until`] drive the loop.
+//! * [`rng`] — the SplitMix64 seed-derivation scheme shared with
+//!   `faultsim`'s per-channel streams, plus a registry of independent
+//!   seeded streams for components.
+//! * [`Window`] / [`CountWindow`] / [`Cooldown`] — the tumbling-window and
+//!   cooldown arithmetic previously duplicated between the serving
+//!   autonomy controller and the watchtower SLO engine.
+//! * [`TimerWheel`] — standalone deterministic timers for layers (like the
+//!   gateway's deadline flush) that are driven by external request arrival
+//!   rather than by a full simulation loop.
+//!
+//! # Determinism rules
+//!
+//! 1. Events fire in ascending `(time, seq)` order; `seq` is assigned at
+//!    schedule time, so two events at the same instant fire in the order
+//!    they were scheduled.
+//! 2. The clock never moves backwards; scheduling an event in the past is
+//!    a bug (checked in debug builds, clamped to `now` in release).
+//! 3. A cancelled event never fires; cancellation is O(1) (a tombstone).
+//! 4. All randomness flows through [`rng::RngRegistry`]: per-salt streams
+//!    are insensitive to how many draws other streams make.
+
+pub mod clock;
+pub mod queue;
+pub mod rng;
+pub mod sim;
+pub mod timer;
+pub mod window;
+
+pub use clock::{OrderedTick, SimClock};
+pub use queue::{EventId, EventQueue, Scheduled};
+pub use sim::{Component, ComponentId, Ctx, Simulation};
+pub use timer::{TimerId, TimerWheel};
+pub use window::{Cooldown, CountWindow, Window};

@@ -1,0 +1,202 @@
+//! Standalone deterministic timers.
+//!
+//! Some layers advance simulated time without running a full event loop:
+//! the serving gateway, for example, is driven by request arrival and only
+//! needs "fire every batch-flush deadline that has passed by now". A
+//! [`TimerWheel`] is the kernel's answer: a `(key, seq)` heap with lazy
+//! cancellation whose pop order matches the event queue's determinism
+//! rules, but whose notion of "due" is delegated to the caller — so a
+//! legacy comparison like `now - opened >= deadline` can be preserved
+//! bit-for-bit while the *mechanism* (who tracks the pending set, and in
+//! what order it drains) moves onto the kernel.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Handle to a scheduled timer, usable to [`TimerWheel::cancel`] it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerId(u64);
+
+struct TimerEntry<P> {
+    key: f64,
+    seq: u64,
+    payload: P,
+}
+
+impl<P> PartialEq for TimerEntry<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl<P> Eq for TimerEntry<P> {}
+impl<P> Ord for TimerEntry<P> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on (key, seq): reverse both sides.
+        other
+            .key
+            .total_cmp(&self.key)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<P> PartialOrd for TimerEntry<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic timer heap keyed `(key, seq)`.
+///
+/// `key` is typically the tick a deadline was armed at (or the absolute
+/// fire time — the wheel does not care, only the *due* predicate does).
+/// [`TimerWheel::pop_due`] pops the minimum entry while the caller's
+/// predicate holds; because any sane due-predicate is monotone in the key
+/// (if a later-armed timer is due, every earlier-armed one is too),
+/// min-first popping never misses a due timer.
+pub struct TimerWheel<P> {
+    heap: BinaryHeap<TimerEntry<P>>,
+    cancelled: Vec<bool>,
+    live: usize,
+}
+
+impl<P> TimerWheel<P> {
+    /// An empty wheel.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            cancelled: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Schedules a timer with `key` and `payload`. Keys must be finite.
+    pub fn schedule(&mut self, key: f64, payload: P) -> TimerId {
+        assert!(key.is_finite(), "timer key must be finite, got {key}");
+        let seq = self.cancelled.len() as u64;
+        self.cancelled.push(false);
+        self.heap.push(TimerEntry { key, seq, payload });
+        self.live += 1;
+        TimerId(seq)
+    }
+
+    /// Cancels a pending timer; `true` iff it had not popped yet.
+    pub fn cancel(&mut self, id: TimerId) -> bool {
+        match self.cancelled.get_mut(id.0 as usize) {
+            Some(flag @ false) => {
+                *flag = true;
+                self.live -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Pops the minimum `(key, seq)` timer if `due(key)` holds, skipping
+    /// cancelled entries. Call in a loop to drain everything due.
+    pub fn pop_due(&mut self, due: impl Fn(f64) -> bool) -> Option<(f64, P)> {
+        loop {
+            let top = self.heap.peek()?;
+            if self.cancelled[top.seq as usize] {
+                self.heap.pop();
+                continue;
+            }
+            if !due(top.key) {
+                return None;
+            }
+            let entry = self.heap.pop().expect("peeked");
+            self.cancelled[entry.seq as usize] = true;
+            self.live -= 1;
+            return Some((entry.key, entry.payload));
+        }
+    }
+
+    /// Drains every remaining live timer in `(key, seq)` order.
+    pub fn drain(&mut self) -> Vec<(f64, P)> {
+        let mut out = Vec::with_capacity(self.live);
+        while let Some(entry) = self.pop_due(|_| true) {
+            out.push(entry);
+        }
+        out
+    }
+
+    /// Live (pending) timer count.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no live timers remain.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+}
+
+impl<P> Default for TimerWheel<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_due_timers_min_first() {
+        let mut w = TimerWheel::new();
+        w.schedule(3.0, "c");
+        w.schedule(1.0, "a");
+        w.schedule(2.0, "b");
+        let mut fired = Vec::new();
+        while let Some((_, p)) = w.pop_due(|k| k <= 2.0) {
+            fired.push(p);
+        }
+        assert_eq!(fired, vec!["a", "b"]);
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn equal_keys_pop_in_schedule_order() {
+        let mut w = TimerWheel::new();
+        w.schedule(1.0, "first");
+        w.schedule(1.0, "second");
+        assert_eq!(w.pop_due(|_| true).unwrap().1, "first");
+        assert_eq!(w.pop_due(|_| true).unwrap().1, "second");
+    }
+
+    #[test]
+    fn cancelled_timers_never_pop() {
+        let mut w = TimerWheel::new();
+        let a = w.schedule(1.0, "a");
+        w.schedule(2.0, "b");
+        assert!(w.cancel(a));
+        assert!(!w.cancel(a));
+        assert_eq!(w.pop_due(|_| true).unwrap().1, "b");
+        assert!(w.pop_due(|_| true).is_none());
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn legacy_deadline_predicate_is_preserved() {
+        // The gateway's flush condition `now - opened >= deadline` must be
+        // expressible verbatim through the predicate.
+        let mut w = TimerWheel::new();
+        w.schedule(10.0, "g0"); // opened at tick 10
+        w.schedule(12.0, "g1"); // opened at tick 12
+        let deadline = 5.0;
+        let now = 15.5;
+        let mut fired = Vec::new();
+        while let Some((_, p)) = w.pop_due(|opened| now - opened >= deadline) {
+            fired.push(p);
+        }
+        assert_eq!(fired, vec!["g0"]);
+    }
+
+    #[test]
+    fn drain_returns_key_order() {
+        let mut w = TimerWheel::new();
+        w.schedule(2.0, 2);
+        w.schedule(1.0, 1);
+        let drained: Vec<i32> = w.drain().into_iter().map(|(_, p)| p).collect();
+        assert_eq!(drained, vec![1, 2]);
+        assert!(w.is_empty());
+    }
+}

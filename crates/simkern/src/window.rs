@@ -1,0 +1,248 @@
+//! Shared tumbling-window and cooldown arithmetic.
+//!
+//! Before this module the serving autonomy controller and the watchtower
+//! SLO engine each carried their own copy of "which window does tick `t`
+//! land in, and how many windows are complete" — a duplication that made
+//! boundary behaviour (an event exactly on a window edge) easy to get
+//! subtly wrong in one place but not the other. [`Window`] is the single
+//! time-anchored tumbling window; [`CountWindow`] is its count-triggered
+//! sibling (the autonomy controller's candidate-quality windows);
+//! [`Cooldown`] is the "no action before tick T" latch both layers use.
+
+/// Tumbling windows of fixed width, anchored at time zero: window `i`
+/// covers `[i*w, (i+1)*w)`. An event exactly on an edge lands in the
+/// *later* window — each instant belongs to exactly one window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Window {
+    width: f64,
+}
+
+impl Window {
+    /// A tumbling window of `width` ticks.
+    pub fn new(width: f64) -> Self {
+        Self { width }
+    }
+
+    /// The configured width.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Whether the width defines usable windows (positive and not NaN).
+    pub fn is_valid(&self) -> bool {
+        self.width > 0.0
+    }
+
+    /// Index of the window containing tick `t` (negative ticks clamp to
+    /// window 0). Requires a valid width.
+    #[inline]
+    pub fn index_of(&self, t: f64) -> u64 {
+        (t.max(0.0) / self.width) as u64
+    }
+
+    /// Start tick of window `idx`.
+    #[inline]
+    pub fn start(&self, idx: u64) -> f64 {
+        idx as f64 * self.width
+    }
+
+    /// End tick of window `idx` (exclusive; the start of window `idx+1`).
+    #[inline]
+    pub fn end(&self, idx: u64) -> f64 {
+        (idx + 1) as f64 * self.width
+    }
+
+    /// Number of *complete* windows once the clock reached `max_time`: the
+    /// windows whose end the clock has passed. A clock sitting exactly on
+    /// an edge `k*w` has completed exactly `k` windows. Returns 0 for an
+    /// invalid width.
+    #[inline]
+    pub fn complete_before(&self, max_time: f64) -> u64 {
+        if self.width > 0.0 {
+            (max_time / self.width) as u64
+        } else {
+            0
+        }
+    }
+}
+
+/// A count-triggered tumbling window: accumulate samples, evaluate when at
+/// least `min_len` arrived, drain and start the next window. This is the
+/// autonomy controller's candidate-quality window shape.
+#[derive(Debug, Clone, Default)]
+pub struct CountWindow {
+    samples: Vec<f64>,
+}
+
+impl CountWindow {
+    /// An empty window.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample to the current window.
+    pub fn push(&mut self, sample: f64) {
+        self.samples.push(sample);
+    }
+
+    /// Samples in the current (incomplete) window.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the current window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Whether the window holds at least `min_len` samples (`min_len` is
+    /// floored at 1, matching every caller's `max(1)` guard).
+    pub fn is_full(&self, min_len: usize) -> bool {
+        self.samples.len() >= min_len.max(1)
+    }
+
+    /// Drains the window, returning the mean of its samples; `None` when
+    /// empty. The next window starts empty.
+    pub fn drain_mean(&mut self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mean = self.samples.iter().sum::<f64>() / self.samples.len() as f64;
+        self.samples.clear();
+        Some(mean)
+    }
+
+    /// Discards the current window's samples.
+    pub fn clear(&mut self) {
+        self.samples.clear();
+    }
+}
+
+/// A "no action before tick T" latch: arm it with a duration, query it
+/// with the current tick. Used for retrain cooldowns, restage backoff and
+/// post-SLO-action quiet periods.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Cooldown {
+    until: f64,
+}
+
+impl Cooldown {
+    /// A cooldown that is immediately ready.
+    pub fn ready_now() -> Self {
+        Self { until: 0.0 }
+    }
+
+    /// Whether the cooldown has elapsed at tick `now`. Ready exactly at
+    /// the armed tick (`now == until` is ready), matching the strict
+    /// `now < until` blocking checks this replaces. The negated form is
+    /// kept (rather than `now >= until`) so a NaN tick reads as ready,
+    /// exactly as it fell through the legacy blocking branches.
+    #[inline]
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    pub fn ready(&self, now: f64) -> bool {
+        !(now < self.until)
+    }
+
+    /// Blocks actions until `now + duration`.
+    pub fn arm(&mut self, now: f64, duration: f64) {
+        self.until = now + duration;
+    }
+
+    /// The tick the cooldown expires at.
+    pub fn until(&self) -> f64 {
+        self.until
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundary_tick_lands_in_exactly_one_window() {
+        let w = Window::new(10.0);
+        // An event exactly on the edge k*w belongs to window k, and only k.
+        for k in 0..20u64 {
+            let edge = k as f64 * 10.0;
+            assert_eq!(w.index_of(edge), k, "edge {edge} must open window {k}");
+            if k > 0 {
+                // Just inside the previous window.
+                assert_eq!(w.index_of(edge - 1e-9), k - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn clock_on_edge_completes_exactly_k_windows() {
+        let w = Window::new(8.0);
+        assert_eq!(w.complete_before(0.0), 0);
+        assert_eq!(w.complete_before(7.999_999), 0);
+        assert_eq!(w.complete_before(8.0), 1, "edge completes the window");
+        assert_eq!(w.complete_before(16.0), 2);
+        assert_eq!(w.complete_before(23.9), 2);
+    }
+
+    #[test]
+    fn window_bounds_round_trip() {
+        let w = Window::new(5.0);
+        for idx in 0..10u64 {
+            assert_eq!(w.index_of(w.start(idx)), idx);
+            assert_eq!(w.end(idx), w.start(idx + 1));
+        }
+    }
+
+    #[test]
+    fn negative_ticks_clamp_to_window_zero() {
+        let w = Window::new(4.0);
+        assert_eq!(w.index_of(-3.0), 0);
+    }
+
+    #[test]
+    fn invalid_widths_define_no_windows() {
+        assert!(!Window::new(0.0).is_valid());
+        assert!(!Window::new(-1.0).is_valid());
+        assert!(!Window::new(f64::NAN).is_valid());
+        assert_eq!(Window::new(0.0).complete_before(100.0), 0);
+        assert_eq!(Window::new(f64::NAN).complete_before(100.0), 0);
+    }
+
+    #[test]
+    fn count_window_drains_mean_and_resets() {
+        let mut w = CountWindow::new();
+        assert!(!w.is_full(3));
+        w.push(1.0);
+        w.push(2.0);
+        w.push(6.0);
+        assert!(w.is_full(3));
+        assert_eq!(w.drain_mean(), Some(3.0));
+        assert!(w.is_empty());
+        assert_eq!(w.drain_mean(), None);
+    }
+
+    #[test]
+    fn count_window_min_len_floors_at_one() {
+        let mut w = CountWindow::new();
+        w.push(5.0);
+        assert!(w.is_full(0), "min_len 0 behaves as 1");
+    }
+
+    #[test]
+    fn cooldown_is_ready_exactly_on_expiry() {
+        let mut c = Cooldown::ready_now();
+        assert!(c.ready(0.0));
+        c.arm(10.0, 5.0);
+        assert!(!c.ready(14.999));
+        assert!(c.ready(15.0), "ready exactly at the armed tick");
+        assert_eq!(c.until(), 15.0);
+    }
+
+    #[test]
+    fn nan_now_never_blocks() {
+        // `!(now < until)` keeps the legacy semantics: a NaN clock compares
+        // false and therefore reads as ready, exactly like the `now <
+        // allowed_at` checks this replaces.
+        let mut c = Cooldown::ready_now();
+        c.arm(0.0, 10.0);
+        assert!(c.ready(f64::NAN));
+    }
+}

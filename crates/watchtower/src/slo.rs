@@ -21,6 +21,7 @@
 
 use adas_obs::{Histogram, Trace};
 use adas_serve::HealthSignal;
+use adas_simkern::Window;
 use serde::Serialize;
 use std::collections::BTreeMap;
 
@@ -152,6 +153,13 @@ impl SloSpec {
     fn budget(&self) -> f64 {
         (1.0 - self.target).max(1e-9)
     }
+
+    /// The spec's tumbling window, on the kernel's shared arithmetic so
+    /// the SLO engine and the autonomy controller can never disagree on
+    /// where a boundary tick lands.
+    fn window(&self) -> Window {
+        Window::new(self.window_ticks)
+    }
 }
 
 /// One complete tumbling window of one spec.
@@ -263,7 +271,8 @@ impl SloEngine {
             self.max_time = self.max_time.max(d.sim_time);
         }
         for (spec, acc) in self.specs.iter().zip(&mut self.acc) {
-            if spec.window_ticks <= 0.0 || spec.window_ticks.is_nan() {
+            let win = spec.window();
+            if !win.is_valid() {
                 continue;
             }
             match &spec.objective {
@@ -274,7 +283,7 @@ impl SloEngine {
                 } => {
                     for s in delta.spans.iter().filter(|s| &s.component == component) {
                         let duration = (s.end - s.start).max(0.0);
-                        let idx = (s.start.max(0.0) / spec.window_ticks) as u64;
+                        let idx = win.index_of(s.start);
                         let w = acc.entry(idx).or_default();
                         w.total += 1;
                         if duration > *threshold_ticks {
@@ -287,7 +296,7 @@ impl SloEngine {
                 }
                 SloObjective::ErrorRate { component } => {
                     for d in delta.decisions.iter().filter(|d| &d.component == component) {
-                        let idx = (d.sim_time.max(0.0) / spec.window_ticks) as u64;
+                        let idx = win.index_of(d.sim_time);
                         let w = acc.entry(idx).or_default();
                         w.total += 1;
                         if d.vetoed {
@@ -300,7 +309,7 @@ impl SloEngine {
                     max_feedback_ticks,
                 } => {
                     for d in delta.decisions.iter().filter(|d| &d.component == component) {
-                        let idx = (d.sim_time.max(0.0) / spec.window_ticks) as u64;
+                        let idx = win.index_of(d.sim_time);
                         let w = acc.entry(idx).or_default();
                         w.total += 1;
                         if d.feedback_latency_ticks > *max_feedback_ticks {
@@ -315,12 +324,7 @@ impl SloEngine {
     /// Complete windows of spec `i`: windows whose end the clock has
     /// passed.
     fn complete_windows(&self, i: usize) -> u64 {
-        let w = self.specs[i].window_ticks;
-        if w > 0.0 {
-            (self.max_time / w) as u64
-        } else {
-            0
-        }
+        self.specs[i].window().complete_before(self.max_time)
     }
 
     /// The full evaluation: per-spec windows (empty ones included) and
@@ -331,6 +335,7 @@ impl SloEngine {
             .iter()
             .enumerate()
             .map(|(i, spec)| {
+                let win = spec.window();
                 let complete = self.complete_windows(i);
                 let windows: Vec<WindowReport> = (0..complete)
                     .map(|idx| {
@@ -350,7 +355,7 @@ impl SloEngine {
                         };
                         WindowReport {
                             index: idx,
-                            start: idx as f64 * spec.window_ticks,
+                            start: win.start(idx),
                             total,
                             bad,
                             bad_fraction,
@@ -425,7 +430,7 @@ fn burn_alerts(spec: &SloSpec, windows: &[WindowReport]) -> Vec<BurnAlert> {
             let (fast_burn, slow_burn) = trailing_burns(spec, windows, at);
             (fast_burn.min(slow_burn) >= spec.alert_burn).then(|| BurnAlert {
                 window: windows[at].index,
-                sim_time: (windows[at].index + 1) as f64 * spec.window_ticks,
+                sim_time: spec.window().end(windows[at].index),
                 fast_burn,
                 slow_burn,
             })

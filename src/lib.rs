@@ -37,6 +37,7 @@
 //! | Validation | deterministic fault injection & chaos testing | [`faultsim`] |
 //! | Observability | flight recorder (spans, metrics, decision provenance) | [`obs`] |
 //! | Observability | SLO burn rates, incident reconstruction, critical-path profiling | [`watchtower`] |
+//! | Substrates | discrete-event simulation kernel (clock, event queue, seeded RNG) | [`simkern`] |
 
 #![warn(missing_docs)]
 
@@ -52,6 +53,7 @@ pub use adas_pipeline as pipeline;
 pub use adas_reuse as reuse;
 pub use adas_serve as serve;
 pub use adas_service as service;
+pub use adas_simkern as simkern;
 pub use adas_telemetry as telemetry;
 pub use adas_watchtower as watchtower;
 pub use adas_workload as workload;
