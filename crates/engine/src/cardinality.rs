@@ -57,6 +57,7 @@ fn uniform_selectivity(meta: &ColumnMeta, op: CmpOp, value: i64) -> f64 {
     let below = (clamped - meta.min) as f64; // values strictly below
     match op {
         CmpOp::Eq => 1.0 / meta.distinct.max(1) as f64,
+        CmpOp::Ne => 1.0 - 1.0 / meta.distinct.max(1) as f64,
         CmpOp::Lt => below / span,
         CmpOp::Le => (below + 1.0) / span,
         CmpOp::Gt => (span - below - 1.0) / span,
@@ -85,6 +86,7 @@ fn true_selectivity(meta: &ColumnMeta, op: CmpOp, value: i64) -> f64 {
         CmpOp::Gt => 1.0 - mass_below(frac_below_incl),
         CmpOp::Ge => 1.0 - mass_below(frac_below),
         CmpOp::Eq => (mass_below(frac_below_incl) - mass_below(frac_below)).max(1e-12 / span),
+        CmpOp::Ne => 1.0 - (mass_below(frac_below_incl) - mass_below(frac_below)).max(1e-12 / span),
     }
     .clamp(0.0, 1.0)
 }

@@ -1,0 +1,320 @@
+//! Typed AST for the SQL subset, with byte-offset spans on every node.
+//!
+//! The AST is deliberately close to the text: flipped comparisons
+//! (`5 < col`), `BETWEEN`, `ORDER BY` and `LIMIT` all survive parsing and
+//! are only normalized away by the rewrite pipeline, so each rule has a
+//! visible, testable effect and diagnostics can point at the original
+//! source.
+
+use adas_workload::plan::CmpOp;
+
+/// A half-open byte range `[start, end)` into the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span.
+    pub fn new(start: usize, end: usize) -> Self {
+        Self { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn join(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+/// A query: a single select block or a `UNION ALL` of two queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryExpr {
+    /// A plain `SELECT` block.
+    Select(Box<SelectBlock>),
+    /// `left UNION ALL right`. Chains parse left-associatively; a union as
+    /// the right operand requires parentheses in the text.
+    Union {
+        /// Left operand.
+        left: Box<QueryExpr>,
+        /// Right operand.
+        right: Box<QueryExpr>,
+        /// Source span of the whole union expression.
+        span: Span,
+    },
+}
+
+impl QueryExpr {
+    /// Source span of the expression.
+    pub fn span(&self) -> Span {
+        match self {
+            Self::Select(b) => b.span,
+            Self::Union { span, .. } => *span,
+        }
+    }
+
+    /// Name and span of the base table: the leftmost table reference,
+    /// which resolves the query's unqualified column names (mirroring
+    /// `LogicalPlan::base_table`).
+    pub fn base_table(&self) -> (&str, Span) {
+        match self {
+            Self::Select(b) => b.from.base_table(),
+            Self::Union { left, .. } => left.base_table(),
+        }
+    }
+
+    /// Visits every select block in deterministic pre-order (a block before
+    /// the blocks nested in its FROM items; union left before right).
+    pub fn for_each_block(&self, f: &mut impl FnMut(&SelectBlock)) {
+        match self {
+            Self::Select(b) => {
+                f(b);
+                b.from.for_each_block(f);
+                if let Some(join) = &b.join {
+                    join.right.for_each_block(f);
+                }
+            }
+            Self::Union { left, right, .. } => {
+                left.for_each_block(f);
+                right.for_each_block(f);
+            }
+        }
+    }
+
+    /// Mutable variant of [`for_each_block`](Self::for_each_block), same
+    /// deterministic order.
+    pub fn for_each_block_mut(&mut self, f: &mut impl FnMut(&mut SelectBlock)) {
+        match self {
+            Self::Select(b) => {
+                f(b);
+                b.from.for_each_block_mut(f);
+                if let Some(join) = &mut b.join {
+                    join.right.for_each_block_mut(f);
+                }
+            }
+            Self::Union { left, right, .. } => {
+                left.for_each_block_mut(f);
+                right.for_each_block_mut(f);
+            }
+        }
+    }
+}
+
+/// One `SELECT … FROM … [JOIN …] [WHERE …] [GROUP BY …] [ORDER BY …]
+/// [LIMIT …]` block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectBlock {
+    /// The select list (`*` or explicit columns).
+    pub select: SelectList,
+    /// The (left) FROM item.
+    pub from: FromItem,
+    /// Optional equi-join against a second FROM item.
+    pub join: Option<JoinClause>,
+    /// WHERE conjunction, in textual order. Empty when absent.
+    pub conditions: Vec<Condition>,
+    /// GROUP BY columns. Empty when absent.
+    pub group_by: Vec<ColumnRef>,
+    /// ORDER BY keys. Empty when absent; elided by the optimize phase.
+    pub order_by: Vec<OrderKey>,
+    /// LIMIT row count. Elided by the optimize phase.
+    pub limit: Option<Limit>,
+    /// Source span of the whole block.
+    pub span: Span,
+}
+
+/// The select list of a block.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectList {
+    /// `SELECT *` — lowers to no projection.
+    Star(Span),
+    /// Explicit columns — lowers to a `Project` node.
+    Columns(Vec<ColumnRef>),
+}
+
+/// A FROM-position item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FromItem {
+    /// A base table reference.
+    Table {
+        /// Table name as written.
+        name: String,
+        /// Source span of the name.
+        span: Span,
+    },
+    /// A parenthesized derived table.
+    Derived {
+        /// The subquery.
+        query: Box<QueryExpr>,
+        /// Source span including the parentheses.
+        span: Span,
+    },
+}
+
+impl FromItem {
+    /// Source span of the item.
+    pub fn span(&self) -> Span {
+        match self {
+            Self::Table { span, .. } | Self::Derived { span, .. } => *span,
+        }
+    }
+
+    /// Name and span of the base table reachable through this item.
+    pub fn base_table(&self) -> (&str, Span) {
+        match self {
+            Self::Table { name, span } => (name, *span),
+            Self::Derived { query, .. } => query.base_table(),
+        }
+    }
+
+    fn for_each_block(&self, f: &mut impl FnMut(&SelectBlock)) {
+        if let Self::Derived { query, .. } = self {
+            query.for_each_block(f);
+        }
+    }
+
+    fn for_each_block_mut(&mut self, f: &mut impl FnMut(&mut SelectBlock)) {
+        if let Self::Derived { query, .. } = self {
+            query.for_each_block_mut(f);
+        }
+    }
+}
+
+/// `[INNER] JOIN right ON left_key = right_key`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinClause {
+    /// The right FROM item.
+    pub right: FromItem,
+    /// Join key resolved against the left item's base table.
+    pub left_key: ColumnRef,
+    /// Join key resolved against the right item's base table.
+    pub right_key: ColumnRef,
+    /// Source span of the join clause.
+    pub span: Span,
+}
+
+/// A possibly-qualified column reference. `resolved` is filled by the
+/// analyze phase's column-resolution rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnRef {
+    /// Optional `table.` qualifier (must match the resolving base table).
+    pub qualifier: Option<(String, Span)>,
+    /// Column name as written.
+    pub name: String,
+    /// Source span of the whole reference.
+    pub span: Span,
+    /// Column ordinal in the resolving base table, once resolved.
+    pub resolved: Option<usize>,
+}
+
+/// One WHERE conjunct.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Condition {
+    /// `column op value` (or `value op column` when `flipped`).
+    Cmp(CmpCond),
+    /// `column BETWEEN low AND high` — desugared by the canonicalize phase.
+    Between(BetweenCond),
+}
+
+impl Condition {
+    /// Source span of the condition.
+    pub fn span(&self) -> Span {
+        match self {
+            Self::Cmp(c) => c.span,
+            Self::Between(b) => b.span,
+        }
+    }
+}
+
+/// A comparison condition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CmpCond {
+    /// The column operand.
+    pub column: ColumnRef,
+    /// Comparison operator, as written.
+    pub op: CmpOp,
+    /// The value operand.
+    pub value: Value,
+    /// True when the text had the value on the left (`5 < col`); the
+    /// canonicalize phase mirrors the operator and clears this.
+    pub flipped: bool,
+    /// Source span of the condition.
+    pub span: Span,
+}
+
+/// A `BETWEEN` condition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BetweenCond {
+    /// The column operand.
+    pub column: ColumnRef,
+    /// Inclusive lower bound.
+    pub low: Value,
+    /// Inclusive upper bound.
+    pub high: Value,
+    /// Source span of the condition.
+    pub span: Span,
+}
+
+/// A literal or `?` template parameter in value position.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// An integer literal.
+    Literal {
+        /// The value.
+        value: i64,
+        /// Source span.
+        span: Span,
+    },
+    /// A `?` placeholder; `index` counts placeholders in lexical order.
+    /// `bound` is filled by the analyze phase's parameter-binding rule.
+    Param {
+        /// Zero-based lexical placeholder index.
+        index: usize,
+        /// Source span of the `?`.
+        span: Span,
+        /// The bound literal, once binding has run.
+        bound: Option<i64>,
+    },
+}
+
+impl Value {
+    /// Source span of the value.
+    pub fn span(&self) -> Span {
+        match self {
+            Self::Literal { span, .. } | Self::Param { span, .. } => *span,
+        }
+    }
+
+    /// The concrete value, if it is a literal or an already-bound
+    /// parameter.
+    pub fn concrete(&self) -> Option<i64> {
+        match self {
+            Self::Literal { value, .. } => Some(*value),
+            Self::Param { bound, .. } => *bound,
+        }
+    }
+}
+
+/// One ORDER BY key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    /// The ordering column.
+    pub column: ColumnRef,
+    /// True for `DESC`, false for `ASC` (the default).
+    pub desc: bool,
+    /// Source span of the key.
+    pub span: Span,
+}
+
+/// A LIMIT clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limit {
+    /// Maximum number of rows requested.
+    pub rows: u64,
+    /// Source span of the clause.
+    pub span: Span,
+}

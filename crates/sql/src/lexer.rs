@@ -1,0 +1,250 @@
+//! Hand-written lexer for the SQL subset.
+//!
+//! Produces a flat token stream with byte spans. Keywords are not
+//! distinguished here — they are ordinary identifiers matched
+//! case-insensitively by the parser — so `select` and `SELECT` lex
+//! identically and table/column names may shadow nothing.
+
+use crate::ast::Span;
+use crate::diag::{ErrorKind, Result, SqlError};
+
+/// Token payload. Tokens are `Copy`: identifier text is not stored here —
+/// it is read back from the source through the token's span, which keeps
+/// the hot lexing loop allocation-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (text = the token's span of the source).
+    Ident,
+    /// Unsigned integer literal (sign is a separate [`TokenKind::Minus`]).
+    Number(u64),
+    /// `?` template parameter placeholder.
+    Question,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `!=` or `<>`
+    Ne,
+    /// `-`
+    Minus,
+    /// End of input (always the final token).
+    Eof,
+}
+
+impl Token {
+    /// The token as it would appear in `src`, for error messages.
+    pub fn describe(&self, src: &str) -> String {
+        match self.kind {
+            TokenKind::Ident => src[self.span.start..self.span.end].to_string(),
+            TokenKind::Number(n) => n.to_string(),
+            TokenKind::Question => "?".into(),
+            TokenKind::Comma => ",".into(),
+            TokenKind::Dot => ".".into(),
+            TokenKind::LParen => "(".into(),
+            TokenKind::RParen => ")".into(),
+            TokenKind::Star => "*".into(),
+            TokenKind::Eq => "=".into(),
+            TokenKind::Lt => "<".into(),
+            TokenKind::Le => "<=".into(),
+            TokenKind::Gt => ">".into(),
+            TokenKind::Ge => ">=".into(),
+            TokenKind::Ne => "!=".into(),
+            TokenKind::Minus => "-".into(),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// One token with its source span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// The payload.
+    pub kind: TokenKind,
+    /// Byte span in the source.
+    pub span: Span,
+}
+
+/// Lexes `input` into tokens, ending with a single [`TokenKind::Eof`].
+pub fn lex(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::with_capacity(input.len() / 4 + 1);
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        let start = i;
+        let kind = match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+                continue;
+            }
+            b'?' => {
+                i += 1;
+                TokenKind::Question
+            }
+            b',' => {
+                i += 1;
+                TokenKind::Comma
+            }
+            b'.' => {
+                i += 1;
+                TokenKind::Dot
+            }
+            b'(' => {
+                i += 1;
+                TokenKind::LParen
+            }
+            b')' => {
+                i += 1;
+                TokenKind::RParen
+            }
+            b'*' => {
+                i += 1;
+                TokenKind::Star
+            }
+            b'=' => {
+                i += 1;
+                TokenKind::Eq
+            }
+            b'-' => {
+                i += 1;
+                TokenKind::Minus
+            }
+            b'<' => {
+                i += 1;
+                match bytes.get(i) {
+                    Some(b'=') => {
+                        i += 1;
+                        TokenKind::Le
+                    }
+                    Some(b'>') => {
+                        i += 1;
+                        TokenKind::Ne
+                    }
+                    _ => TokenKind::Lt,
+                }
+            }
+            b'>' => {
+                i += 1;
+                if bytes.get(i) == Some(&b'=') {
+                    i += 1;
+                    TokenKind::Ge
+                } else {
+                    TokenKind::Gt
+                }
+            }
+            b'!' => {
+                i += 1;
+                if bytes.get(i) == Some(&b'=') {
+                    i += 1;
+                    TokenKind::Ne
+                } else {
+                    return Err(SqlError::new(
+                        ErrorKind::UnexpectedChar('!'),
+                        Span::new(start, start + 1),
+                    ));
+                }
+            }
+            b'0'..=b'9' => {
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let value = text
+                    .parse::<u64>()
+                    .map_err(|_| SqlError::new(ErrorKind::NumberTooLarge, Span::new(start, i)))?;
+                TokenKind::Number(value)
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                TokenKind::Ident
+            }
+            other => {
+                // Report the whole UTF-8 scalar, not its lead byte.
+                let c = input[start..].chars().next().unwrap_or(other as char);
+                return Err(SqlError::new(
+                    ErrorKind::UnexpectedChar(c),
+                    Span::new(start, start + c.len_utf8()),
+                ));
+            }
+        };
+        tokens.push(Token {
+            kind,
+            span: Span::new(start, i),
+        });
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        span: Span::new(input.len(), input.len()),
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        lex(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_operators_and_idents() {
+        assert_eq!(
+            kinds("a <= 5 AND b <> -3"),
+            vec![
+                TokenKind::Ident,
+                TokenKind::Le,
+                TokenKind::Number(5),
+                TokenKind::Ident,
+                TokenKind::Ident,
+                TokenKind::Ne,
+                TokenKind::Minus,
+                TokenKind::Number(3),
+                TokenKind::Eof,
+            ]
+        );
+        assert_eq!(kinds("x != 1")[1], TokenKind::Ne);
+    }
+
+    #[test]
+    fn spans_are_byte_offsets() {
+        let tokens = lex("ab <= 12").unwrap();
+        assert_eq!(tokens[0].span, Span::new(0, 2));
+        assert_eq!(tokens[1].span, Span::new(3, 5));
+        assert_eq!(tokens[2].span, Span::new(6, 8));
+        assert_eq!(tokens[3].span, Span::new(8, 8));
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        let err = lex("a @ b").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::UnexpectedChar('@'));
+        assert_eq!(err.span, Span::new(2, 3));
+        let err = lex("a ! b").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::UnexpectedChar('!'));
+    }
+
+    #[test]
+    fn rejects_oversized_numbers() {
+        let err = lex("99999999999999999999999").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::NumberTooLarge);
+    }
+}

@@ -112,6 +112,62 @@ pub struct GeneratedWorkload {
     pub pipelined_jobs: usize,
 }
 
+/// One job rendered as a SQL template: the `?`-parameterized text shared by
+/// every instance of the job's template, plus this instance's bindings.
+/// Feeding `sql` + `params` through the `adas-sql` front-end (parse →
+/// rewrite → lower) reproduces the job's plan exactly, signatures included.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SqlJob {
+    /// The job this rendering came from.
+    pub id: JobId,
+    /// The job's template (the ad-hoc sentinel for non-recurring jobs).
+    pub template: TemplateId,
+    /// Canonical `?`-templated SQL text.
+    pub sql: String,
+    /// Literal bindings, in placeholder order.
+    pub params: Vec<i64>,
+    /// Submit time, copied from the job.
+    pub submit_time: u64,
+}
+
+impl GeneratedWorkload {
+    /// Renders every job in the trace as a SQL template plus bindings, in
+    /// trace order. Instances of one recurring template share byte-identical
+    /// `sql` text and differ only in `params`.
+    pub fn sql_jobs(&self) -> Result<Vec<SqlJob>> {
+        self.trace
+            .jobs()
+            .iter()
+            .map(|job| {
+                let (sql, params) = crate::sqltext::to_sql_template(&job.plan, &self.catalog)?;
+                Ok(SqlJob {
+                    id: job.id,
+                    template: job.template,
+                    sql,
+                    params,
+                    submit_time: job.submit_time,
+                })
+            })
+            .collect()
+    }
+
+    /// The distinct SQL template texts of the recurring templates that
+    /// actually appear in the trace, sorted by template id.
+    pub fn sql_templates(&self) -> Result<Vec<(TemplateId, String)>> {
+        let mut out = std::collections::BTreeMap::new();
+        for job in self.trace.jobs() {
+            if job.template == TemplateId(u64::MAX) {
+                continue;
+            }
+            if let std::collections::btree_map::Entry::Vacant(e) = out.entry(job.template) {
+                let (sql, _) = crate::sqltext::to_sql_template(&job.plan, &self.catalog)?;
+                e.insert(sql);
+            }
+        }
+        Ok(out.into_iter().collect())
+    }
+}
+
 /// Deterministic, calibrated workload generator.
 #[derive(Debug, Clone)]
 pub struct WorkloadGenerator {
@@ -499,6 +555,39 @@ mod tests {
                 "template {tpl} instances disagree on template signature"
             );
         }
+    }
+
+    #[test]
+    fn sql_jobs_share_template_text_within_a_template() {
+        let w = WorkloadGenerator::new(small_config())
+            .unwrap()
+            .generate()
+            .unwrap();
+        let sql_jobs = w.sql_jobs().unwrap();
+        assert_eq!(sql_jobs.len(), w.trace.len());
+        use std::collections::HashMap;
+        let mut text_by_template: HashMap<TemplateId, &str> = HashMap::new();
+        for sj in &sql_jobs {
+            if sj.template == TemplateId(u64::MAX) {
+                continue;
+            }
+            let prev = text_by_template.entry(sj.template).or_insert(&sj.sql);
+            assert_eq!(
+                *prev, sj.sql,
+                "template {} instances rendered different SQL",
+                sj.template
+            );
+            // Recurring templates vary exactly four literals per instance,
+            // but the shared-branch literals also become placeholders.
+            assert!(sj.params.len() >= 4, "too few bindings: {:?}", sj.params);
+        }
+        let templates = w.sql_templates().unwrap();
+        assert_eq!(templates.len(), text_by_template.len());
+        for (id, sql) in &templates {
+            assert_eq!(text_by_template[id], sql);
+        }
+        // Sorted by template id.
+        assert!(templates.windows(2).all(|w| w[0].0 < w[1].0));
     }
 
     #[test]

@@ -28,6 +28,9 @@
 //!   analysis, and per-template arrival forecasting.
 //! * [`interchange`] — a versioned, Substrait-flavoured JSON plan
 //!   interchange format (Direction 2 standardization).
+//! * [`sqltext`] — canonical SQL rendering of plans (inverse of the
+//!   `adas-sql` front-end's lowering), including `?`-templated rendering
+//!   for recurring jobs.
 //! * [`evolution`] — workload-evolution analysis: fleet volume trends,
 //!   emerging/receding template detection, multi-day arrival forecasts.
 
@@ -64,6 +67,7 @@ pub mod interchange;
 pub mod job;
 pub mod plan;
 pub mod signature;
+pub mod sqltext;
 
 pub use error::WorkloadError;
 pub use ids::{DatasetId, JobId, TemplateId};

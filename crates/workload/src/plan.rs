@@ -23,10 +23,14 @@ pub enum CmpOp {
     Ge,
     /// `=`
     Eq,
+    /// `!=` (also spelled `<>` in SQL text)
+    Ne,
 }
 
 impl CmpOp {
-    /// Stable discriminant used by signature hashing.
+    /// Stable discriminant used by signature hashing. `Ne` was added after
+    /// the original five; its discriminant extends the sequence so every
+    /// pre-existing signature stays byte-identical.
     pub fn discriminant(self) -> u8 {
         match self {
             Self::Lt => 0,
@@ -34,6 +38,7 @@ impl CmpOp {
             Self::Gt => 2,
             Self::Ge => 3,
             Self::Eq => 4,
+            Self::Ne => 5,
         }
     }
 
@@ -45,6 +50,33 @@ impl CmpOp {
             Self::Gt => lhs > rhs,
             Self::Ge => lhs >= rhs,
             Self::Eq => lhs == rhs,
+            Self::Ne => lhs != rhs,
+        }
+    }
+
+    /// The operator with its operands swapped: `a op b` ⇔ `b op.mirror() a`.
+    /// Used by the SQL front-end to canonicalize literal-on-the-left
+    /// comparisons.
+    pub fn mirror(self) -> Self {
+        match self {
+            Self::Lt => Self::Gt,
+            Self::Le => Self::Ge,
+            Self::Gt => Self::Lt,
+            Self::Ge => Self::Le,
+            Self::Eq => Self::Eq,
+            Self::Ne => Self::Ne,
+        }
+    }
+
+    /// Canonical SQL spelling.
+    pub fn sql(self) -> &'static str {
+        match self {
+            Self::Lt => "<",
+            Self::Le => "<=",
+            Self::Gt => ">",
+            Self::Ge => ">=",
+            Self::Eq => "=",
+            Self::Ne => "!=",
         }
     }
 }
@@ -112,6 +144,13 @@ impl Predicate {
                     (CmpOp::Eq, CmpOp::Le) => sc.value <= oc.value,
                     (CmpOp::Eq, CmpOp::Gt) => sc.value > oc.value,
                     (CmpOp::Eq, CmpOp::Ge) => sc.value >= oc.value,
+                    // `x != w` is implied whenever `self` excludes `w`.
+                    (CmpOp::Ne, CmpOp::Ne) => sc.value == oc.value,
+                    (CmpOp::Eq, CmpOp::Ne) => sc.value != oc.value,
+                    (CmpOp::Lt, CmpOp::Ne) => sc.value <= oc.value,
+                    (CmpOp::Le, CmpOp::Ne) => sc.value < oc.value,
+                    (CmpOp::Gt, CmpOp::Ne) => sc.value >= oc.value,
+                    (CmpOp::Ge, CmpOp::Ne) => sc.value > oc.value,
                     _ => false,
                 }
             })
@@ -449,6 +488,66 @@ mod tests {
         assert!(CmpOp::Ge.eval(2, 2));
         assert!(CmpOp::Eq.eval(2, 2));
         assert!(!CmpOp::Eq.eval(1, 2));
+        assert!(CmpOp::Ne.eval(1, 2));
+        assert!(!CmpOp::Ne.eval(2, 2));
+    }
+
+    #[test]
+    fn cmp_op_discriminants_are_stable() {
+        // Pinned: these feed signature hashing, so any renumbering would
+        // silently invalidate every recorded signature.
+        let all = [
+            (CmpOp::Lt, 0u8),
+            (CmpOp::Le, 1),
+            (CmpOp::Gt, 2),
+            (CmpOp::Ge, 3),
+            (CmpOp::Eq, 4),
+            (CmpOp::Ne, 5),
+        ];
+        for (op, d) in all {
+            assert_eq!(op.discriminant(), d);
+        }
+    }
+
+    #[test]
+    fn cmp_op_mirror_preserves_truth() {
+        for op in [
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+            CmpOp::Eq,
+            CmpOp::Ne,
+        ] {
+            for a in -2i64..=2 {
+                for b in -2i64..=2 {
+                    assert_eq!(op.eval(a, b), op.mirror().eval(b, a), "{op:?} {a} {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ne_containment() {
+        let ne = |v| Predicate::single(0, CmpOp::Ne, v);
+        // x = 3 implies x != 4, not x != 3.
+        assert!(Predicate::single(0, CmpOp::Eq, 3).contained_in(&ne(4)));
+        assert!(!Predicate::single(0, CmpOp::Eq, 3).contained_in(&ne(3)));
+        // x < 5 implies x != 5 and x != 7 but not x != 4.
+        assert!(Predicate::single(0, CmpOp::Lt, 5).contained_in(&ne(5)));
+        assert!(Predicate::single(0, CmpOp::Lt, 5).contained_in(&ne(7)));
+        assert!(!Predicate::single(0, CmpOp::Lt, 5).contained_in(&ne(4)));
+        // x <= 5 implies x != 6 but not x != 5.
+        assert!(Predicate::single(0, CmpOp::Le, 5).contained_in(&ne(6)));
+        assert!(!Predicate::single(0, CmpOp::Le, 5).contained_in(&ne(5)));
+        // x > 5 implies x != 5; x >= 5 implies x != 4 but not x != 5.
+        assert!(Predicate::single(0, CmpOp::Gt, 5).contained_in(&ne(5)));
+        assert!(Predicate::single(0, CmpOp::Ge, 5).contained_in(&ne(4)));
+        assert!(!Predicate::single(0, CmpOp::Ge, 5).contained_in(&ne(5)));
+        // Ne only implies the same Ne; it is never contained in Eq/ranges.
+        assert!(ne(5).contained_in(&ne(5)));
+        assert!(!ne(5).contained_in(&ne(6)));
+        assert!(!ne(5).contained_in(&Predicate::single(0, CmpOp::Lt, 5)));
     }
 
     #[test]

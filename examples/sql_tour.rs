@@ -1,0 +1,91 @@
+//! A guided tour of the SQL front door: lex/parse with caret diagnostics,
+//! the phased rewrite pipeline (analyze → canonicalize → optimize → lower)
+//! with per-rule outcomes, obs spans over every phase, the round trip back
+//! to canonical SQL text, and the template cache that recurring workloads
+//! run on.
+//!
+//! Run with: `cargo run --release --example sql_tour`
+
+use autonomous_data_services::obs::Obs;
+use autonomous_data_services::sql::{CachedFrontend, Frontend, QueryRule};
+use autonomous_data_services::workload::catalog::Catalog;
+use autonomous_data_services::workload::signature::{strict_signature, template_signature};
+use autonomous_data_services::workload::sqltext::to_sql;
+
+fn main() {
+    let catalog = Catalog::standard();
+    let frontend = Frontend::new(&catalog);
+
+    // --- 1. Diagnostics: rejected queries point carets at the offense. ---
+    println!("== diagnostics ==");
+    for bad in [
+        "SELECT * FROM evnts WHERE user_id = 3",
+        "SELECT * FROM events WHERE users.user_id = 3",
+        "SELECT * FROM events WHERE user_id BETWEEN 1",
+    ] {
+        let err = frontend.compile(bad, &[]).expect_err("rejected");
+        println!("{}\n", err.render(bad));
+    }
+
+    // --- 2. Compile: messy text, canonical plan. The rewrite report says
+    //        which rules fired. ---
+    println!("== rewrite pipeline ==");
+    let sql = "SELECT user_id FROM (SELECT * FROM events ORDER BY ts_hour LIMIT 10) \
+               WHERE 5 < user_id AND event_type BETWEEN ? AND ? GROUP BY user_id";
+    let compiled = frontend.compile(sql, &[2, 8]).expect("compiles");
+    for app in &compiled.report.applications {
+        println!(
+            "  {:<12} {:<24} {}",
+            app.phase.name(),
+            app.rule.name(),
+            app.outcome.name()
+        );
+    }
+    assert!(compiled
+        .report
+        .changed()
+        .contains(&QueryRule::BetweenDesugar));
+
+    // --- 3. Observability: every phase runs under an obs span. ---
+    println!("\n== obs spans ==");
+    let obs = Obs::recording();
+    frontend
+        .compile_observed(sql, &[2, 8], &obs, 0.0)
+        .expect("compiles");
+    for span in &obs.snapshot().spans {
+        println!(
+            "  {:<12} [{:>4.1}, {:>4.1}]",
+            span.name, span.start, span.end
+        );
+    }
+
+    // --- 4. Round trip: the lowered plan renders back to canonical SQL,
+    //        and that text compiles to the identical plan and signatures. ---
+    println!("\n== round trip ==");
+    let canonical = to_sql(&compiled.plan, &catalog).expect("renders");
+    println!("  {canonical}");
+    let again = frontend.compile(&canonical, &[]).expect("compiles");
+    assert_eq!(again.plan, compiled.plan);
+    assert_eq!(
+        strict_signature(&again.plan),
+        strict_signature(&compiled.plan)
+    );
+    println!(
+        "  strict {} / template {}",
+        strict_signature(&compiled.plan),
+        template_signature(&compiled.plan)
+    );
+
+    // --- 5. The template cache: recurring instances skip the parser and
+    //        every rewrite phase — a hit patches a clone of the cached
+    //        lowered plan. ---
+    println!("\n== template cache ==");
+    let cached = CachedFrontend::new(frontend.clone());
+    for (low, high) in [(2, 8), (1, 4), (3, 9)] {
+        let plan = cached.compile_plan(sql, &[low, high]).expect("compiles");
+        let fresh = frontend.compile(sql, &[low, high]).expect("compiles");
+        assert_eq!(plan, fresh.plan);
+    }
+    let (hits, misses) = cached.stats();
+    println!("  {hits} hits, {misses} miss — identical plans either path");
+}

@@ -25,6 +25,7 @@
 //! |---|---|---|
 //! | Infrastructure | machine-behaviour models (Fig 1), KEA, proactive provisioning (Fig 2) | [`infra`] |
 //! | Engine | workload analysis (Peregrine) | [`workload`] |
+//! | Engine | SQL front-end (parser + phased rewrite pipeline) | [`sql`] |
 //! | Engine | engine substrate (plans, optimizer, stage DAGs, cluster sim) | [`engine`] |
 //! | Engine | cardinality/cost micromodels, steering | [`learned`] |
 //! | Engine | checkpoint optimizer (Phoebe) | [`checkpoint`] |
@@ -54,6 +55,7 @@ pub use adas_reuse as reuse;
 pub use adas_serve as serve;
 pub use adas_service as service;
 pub use adas_simkern as simkern;
+pub use adas_sql as sql;
 pub use adas_telemetry as telemetry;
 pub use adas_watchtower as watchtower;
 pub use adas_workload as workload;

@@ -1,0 +1,51 @@
+-- Negative SQL corpus: every non-comment line must be rejected — either by
+-- the lexer/parser, by name resolution, or by parameter-arity checking.
+-- The corpus test binds one value per `?` placeholder, so rejections here
+-- are never a param-count artifact unless the line is specifically about it.
+SELECT
+SELECT FROM events
+SELECT * FROM
+SELECT * WHERE user_id = 1
+FROM events
+SELECT ** FROM events
+SELECT *, user_id FROM events
+SELECT user_id, FROM events
+SELECT user_id user_id FROM events
+SELECT * FROM events events
+SELECT * FROM events WHERE
+SELECT * FROM events WHERE user_id
+SELECT * FROM events WHERE user_id =
+SELECT * FROM events WHERE user_id = = 4
+SELECT * FROM events WHERE user_id ! 4
+SELECT * FROM events WHERE user_id == 4
+SELECT * FROM events WHERE user_id = 4 AND
+SELECT * FROM events WHERE user_id = 4 OR event_type = 2
+SELECT * FROM events WHERE user_id BETWEEN 1
+SELECT * FROM events WHERE user_id BETWEEN 1 AND
+SELECT * FROM events WHERE user_id BETWEEN AND 2
+SELECT * FROM events WHERE user_id = 9223372036854775808
+SELECT * FROM events WHERE user_id = -9223372036854775809
+SELECT * FROM events WHERE user_id = 99999999999999999999999999
+SELECT * FROM events GROUP BY
+SELECT * FROM events GROUP user_id
+SELECT * FROM events ORDER ts_hour
+SELECT * FROM events ORDER BY
+SELECT * FROM events LIMIT
+SELECT * FROM events LIMIT x
+SELECT * FROM events LIMIT -1
+SELECT * FROM (SELECT * FROM events
+SELECT * FROM (SELECT * FROM events))
+SELECT * FROM ()
+SELECT * FROM events JOIN users
+SELECT * FROM events JOIN users ON
+SELECT * FROM events JOIN users ON user_id
+SELECT * FROM events JOIN users ON user_id = 4
+SELECT * FROM events UNION SELECT * FROM sessions
+SELECT * FROM events UNION ALL
+SELECT * FROM evnts
+SELECT * FROM events WHERE usr_id = 1
+SELECT * FROM events WHERE duration_s = 1
+SELECT nonexistent FROM events
+SELECT * FROM events JOIN users ON users.user_id = users.user_id
+SELECT * FROM events WHERE sessions.user_id = 1
+SELECT * FROM events; DROP TABLE events

@@ -1,0 +1,43 @@
+-- Positive SQL corpus: every non-comment line must parse, resolve against
+-- the standard catalog, and lower to a LogicalPlan. `?` placeholders are
+-- bound positionally by the corpus test.
+SELECT * FROM events
+select * from events
+SELECT user_id FROM events
+SELECT user_id, event_type FROM events
+SELECT user_id, user_id FROM events
+SELECT * FROM events WHERE user_id = 42
+SELECT * FROM events WHERE user_id != 42
+SELECT * FROM events WHERE user_id <> 42
+SELECT * FROM events WHERE user_id < 10 AND event_type >= 3
+SELECT * FROM events WHERE 42 = user_id
+SELECT * FROM events WHERE 42 <= user_id AND 99 > event_type
+SELECT * FROM events WHERE ts_hour BETWEEN 100 AND 200
+SELECT * FROM events WHERE ts_hour BETWEEN ? AND ?
+SELECT * FROM events WHERE user_id = ?
+SELECT * FROM events WHERE user_id = ? AND event_type = ? AND region_id = ?
+SELECT * FROM events WHERE user_id = -9223372036854775808
+SELECT * FROM events WHERE user_id = 9223372036854775807
+SELECT * FROM sessions WHERE duration_s > -1
+SELECT * FROM events GROUP BY user_id
+SELECT user_id FROM events GROUP BY user_id
+SELECT * FROM events WHERE region_id = 7 GROUP BY user_id
+SELECT * FROM events ORDER BY ts_hour
+SELECT * FROM events ORDER BY ts_hour ASC
+SELECT * FROM events ORDER BY ts_hour DESC, user_id ASC
+SELECT * FROM events LIMIT 10
+SELECT * FROM events ORDER BY ts_hour DESC LIMIT 10
+SELECT * FROM events JOIN users ON events.user_id = users.user_id
+SELECT * FROM events INNER JOIN users ON user_id = user_id
+SELECT * FROM events JOIN regions ON region_id = region_id WHERE ts_hour > 5
+SELECT * FROM (SELECT * FROM events)
+SELECT * FROM (SELECT * FROM (SELECT * FROM events))
+SELECT * FROM (SELECT user_id FROM events WHERE user_id > 5)
+SELECT * FROM (SELECT * FROM events WHERE user_id = ?) WHERE event_type = ?
+SELECT * FROM events UNION ALL SELECT * FROM sessions
+SELECT * FROM events UNION ALL SELECT * FROM sessions UNION ALL SELECT * FROM users
+(SELECT * FROM events) UNION ALL (SELECT * FROM sessions)
+SELECT * FROM (SELECT * FROM events UNION ALL SELECT * FROM sessions)
+SELECT user_id FROM events WHERE user_id BETWEEN 1 AND 9 GROUP BY user_id
+SELECT machine_id, value_bucket FROM telemetry WHERE counter_id = 3 AND ts_hour BETWEEN ? AND ?
+SELECT * FROM telemetry JOIN events ON machine_id = user_id WHERE value_bucket <> 0 ORDER BY machine_id LIMIT 100

@@ -1,0 +1,284 @@
+//! Property tests for the SQL front-end: render/parse round-trips are
+//! byte-identical, the rewrite pipeline is idempotent, and rule order
+//! within a phase cannot change the lowered plan.
+
+use autonomous_data_services::sql::{Frontend, PhaseOrders, QueryRule, RuleOutcome};
+use autonomous_data_services::workload::catalog::Catalog;
+use autonomous_data_services::workload::plan::{CmpOp, Comparison, LogicalPlan, Predicate};
+use autonomous_data_services::workload::signature::{strict_signature, template_signature};
+use autonomous_data_services::workload::sqltext::{to_sql, to_sql_template};
+use proptest::prelude::*;
+use std::fmt::Write as _;
+
+/// Strategy producing arbitrary renderable plans over the standard catalog:
+/// every operator keeps its ordinals within the narrowest table (regions,
+/// width 2) so any base table resolves them.
+fn arb_plan() -> impl Strategy<Value = LogicalPlan> {
+    let tables = ["events", "sessions", "users", "regions", "telemetry"];
+    let leaf = (0..tables.len()).prop_map(move |i| LogicalPlan::scan(tables[i]));
+    let clause = (
+        0usize..2,
+        prop_oneof![
+            Just(CmpOp::Lt),
+            Just(CmpOp::Le),
+            Just(CmpOp::Gt),
+            Just(CmpOp::Ge),
+            Just(CmpOp::Eq),
+            Just(CmpOp::Ne),
+        ],
+        -500i64..5000,
+    )
+        .prop_map(|(col, op, v)| Comparison::new(col, op, v))
+        .boxed();
+    leaf.prop_recursive(4, 24, 2, move |inner| {
+        prop_oneof![
+            (inner.clone(), collection::vec(clause.clone(), 1..3))
+                .prop_map(|(child, clauses)| child.filter(Predicate::new(clauses))),
+            (
+                inner.clone(),
+                prop_oneof![Just(vec![0]), Just(vec![0, 1]), Just(vec![1, 0])]
+            )
+                .prop_map(|(child, cols)| child.project(cols)),
+            (
+                inner.clone(),
+                prop_oneof![Just(vec![0]), Just(vec![1]), Just(vec![0, 1])]
+            )
+                .prop_map(|(child, cols)| child.aggregate(cols)),
+            (inner.clone(), inner.clone(), 0usize..2, 0usize..2)
+                .prop_map(|(l, r, lk, rk)| LogicalPlan::join(l, r, lk, rk)),
+            (inner.clone(), inner).prop_map(|(l, r)| LogicalPlan::union(l, r)),
+        ]
+    })
+}
+
+const TABLES: &[(&str, &[&str])] = &[
+    ("events", &["user_id", "event_type", "ts_hour", "region_id"]),
+    ("sessions", &["user_id", "duration_s", "ts_hour"]),
+    ("users", &["user_id", "segment", "country_id"]),
+    ("regions", &["region_id", "tier"]),
+    (
+        "telemetry",
+        &["machine_id", "counter_id", "ts_hour", "value_bucket"],
+    ),
+];
+
+/// A deliberately messy (but always valid) query: flipped comparisons,
+/// `BETWEEN`, both `!=` spellings, `ORDER BY`/`LIMIT`, pass-through derived
+/// wrapping, optional trailing union — everything the canonicalize and
+/// optimize phases exist to clean up.
+#[derive(Debug, Clone)]
+struct MessyQuery {
+    table: usize,
+    select_cols: Vec<usize>,
+    conds: Vec<(usize, usize, usize, i64, i64, bool)>,
+    group: (bool, usize),
+    order: (bool, usize, bool),
+    limit: (bool, u64),
+    wraps: usize,
+    union_with: (bool, usize),
+}
+
+fn arb_messy() -> impl Strategy<Value = MessyQuery> {
+    (
+        (
+            0usize..TABLES.len(),
+            collection::vec(0usize..4, 0..3),
+            collection::vec(
+                (
+                    0usize..4,
+                    0usize..7,
+                    0usize..3,
+                    -100i64..10_000,
+                    -100i64..10_000,
+                    {
+                        // parameterize roughly half the values
+                        (0usize..2).prop_map(|b| b == 1)
+                    },
+                ),
+                0..4,
+            ),
+        ),
+        (0usize..2, 0usize..4),
+        (0usize..2, 0usize..4, 0usize..2),
+        (0usize..2, 1u64..500),
+        0usize..3,
+        (0usize..2, 0usize..TABLES.len()),
+    )
+        .prop_map(
+            |((table, select_cols, conds), group, order, limit, wraps, union_with)| MessyQuery {
+                table,
+                select_cols,
+                conds,
+                group: (group.0 == 1, group.1),
+                order: (order.0 == 1, order.1, order.2 == 1),
+                limit: (limit.0 == 1, limit.1),
+                wraps,
+                union_with: (union_with.0 == 1, union_with.1),
+            },
+        )
+}
+
+/// Renders a [`MessyQuery`] to SQL text plus its `?` bindings.
+fn build_sql(q: &MessyQuery) -> (String, Vec<i64>) {
+    let (tname, cols) = TABLES[q.table];
+    let col = |i: usize| cols[i % cols.len()];
+    let mut params = Vec::new();
+    let mut sql = String::from("SELECT ");
+    if q.select_cols.is_empty() {
+        sql.push('*');
+    } else {
+        let names: Vec<&str> = q.select_cols.iter().map(|&i| col(i)).collect();
+        sql.push_str(&names.join(", "));
+    }
+    write!(sql, " FROM {tname}").unwrap();
+    if !q.conds.is_empty() {
+        sql.push_str(" WHERE ");
+        const OPS: &[&str] = &["=", "<", "<=", ">", ">=", "!=", "<>"];
+        for (i, &(c, op, form, v1, v2, param)) in q.conds.iter().enumerate() {
+            if i > 0 {
+                sql.push_str(" AND ");
+            }
+            let value = |v: i64, params: &mut Vec<i64>| -> String {
+                if param {
+                    params.push(v);
+                    "?".into()
+                } else {
+                    v.to_string()
+                }
+            };
+            match form {
+                0 => {
+                    let v = value(v1, &mut params);
+                    write!(sql, "{} {} {v}", col(c), OPS[op]).unwrap();
+                }
+                1 => {
+                    let v = value(v1, &mut params);
+                    write!(sql, "{v} {} {}", OPS[op], col(c)).unwrap();
+                }
+                _ => {
+                    let lo = value(v1, &mut params);
+                    let hi = value(v2, &mut params);
+                    write!(sql, "{} BETWEEN {lo} AND {hi}", col(c)).unwrap();
+                }
+            }
+        }
+    }
+    if q.group.0 {
+        write!(sql, " GROUP BY {}", col(q.group.1)).unwrap();
+    }
+    if q.order.0 {
+        write!(
+            sql,
+            " ORDER BY {}{}",
+            col(q.order.1),
+            if q.order.2 { " DESC" } else { " ASC" }
+        )
+        .unwrap();
+    }
+    if q.limit.0 {
+        write!(sql, " LIMIT {}", q.limit.1).unwrap();
+    }
+    for _ in 0..q.wraps {
+        sql = format!("SELECT * FROM ({sql})");
+    }
+    if q.union_with.0 {
+        write!(sql, " UNION ALL SELECT * FROM {}", TABLES[q.union_with.1].0).unwrap();
+    }
+    (sql, params)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `parse(render(plan))` lowers back to the *same plan*, node for node
+    /// — hence byte-identical strict and template signatures — in both the
+    /// literal and the `?`-templated rendering.
+    #[test]
+    fn render_parse_roundtrip_is_byte_identical(plan in arb_plan()) {
+        let catalog = Catalog::standard();
+        let frontend = Frontend::new(&catalog);
+
+        let sql = to_sql(&plan, &catalog).expect("generated plans render");
+        let compiled = match frontend.compile(&sql, &[]) {
+            Ok(c) => c,
+            Err(e) => return Err(TestCaseError::fail(e.render(&sql))),
+        };
+        prop_assert_eq!(&compiled.plan, &plan, "literal round trip: {}", sql);
+        prop_assert_eq!(strict_signature(&compiled.plan), strict_signature(&plan));
+        prop_assert_eq!(template_signature(&compiled.plan), template_signature(&plan));
+
+        let (tsql, params) = to_sql_template(&plan, &catalog).expect("renders");
+        let compiled = match frontend.compile(&tsql, &params) {
+            Ok(c) => c,
+            Err(e) => return Err(TestCaseError::fail(e.render(&tsql))),
+        };
+        prop_assert_eq!(&compiled.plan, &plan, "template round trip: {}", tsql);
+    }
+
+    /// The rewrite phases are idempotent: whatever they changed on the
+    /// first run, a second run over their own output reports no `Changed`
+    /// outcome and leaves the AST untouched.
+    #[test]
+    fn rewrite_phases_are_idempotent(q in arb_messy()) {
+        let catalog = Catalog::standard();
+        let frontend = Frontend::new(&catalog);
+        let (sql, params) = build_sql(&q);
+        let compiled = match frontend.compile(&sql, &params) {
+            Ok(c) => c,
+            Err(e) => return Err(TestCaseError::fail(e.render(&sql))),
+        };
+        // The decorations really exercised their rules on the first run.
+        if sql.contains(" BETWEEN ") {
+            prop_assert_eq!(
+                compiled.report.outcome(QueryRule::BetweenDesugar),
+                Some(RuleOutcome::Changed)
+            );
+        }
+        if sql.contains(" ORDER BY ") || sql.contains(" LIMIT ") {
+            // Either elision dropped the clauses, or a collapse of the
+            // enclosing pass-through derived table discarded them first.
+            prop_assert!(
+                compiled.report.outcome(QueryRule::OrderLimitElision)
+                    == Some(RuleOutcome::Changed)
+                    || compiled.report.outcome(QueryRule::DerivedTableCollapse)
+                        == Some(RuleOutcome::Changed),
+                "ordering clauses survived: {}",
+                sql
+            );
+        }
+        let mut again = compiled.query.clone();
+        let report = frontend.rewrite(&mut again, &[]).expect("re-rewrite runs");
+        prop_assert!(
+            !report.any_rewrite_changed(),
+            "second run changed the query: {:?} on {}",
+            report.changed(),
+            sql
+        );
+        prop_assert_eq!(again, compiled.query);
+    }
+
+    /// Rule application order within a phase does not change the lowered
+    /// plan (the rules of one phase touch disjoint AST parts).
+    #[test]
+    fn rule_order_within_a_phase_is_irrelevant(q in arb_messy()) {
+        let catalog = Catalog::standard();
+        let frontend = Frontend::new(&catalog);
+        let (sql, params) = build_sql(&q);
+        let mut reversed = PhaseOrders::canonical();
+        reversed.analyze.reverse();
+        reversed.canonicalize.reverse();
+        reversed.optimize.reverse();
+        let canonical = match frontend.compile(&sql, &params) {
+            Ok(c) => c,
+            Err(e) => return Err(TestCaseError::fail(e.render(&sql))),
+        };
+        let permuted = frontend
+            .compile_with_order(&sql, &params, &reversed)
+            .expect("reversed order compiles");
+        prop_assert_eq!(&canonical.plan, &permuted.plan, "order changed plan on {}", sql);
+        prop_assert_eq!(
+            strict_signature(&canonical.plan),
+            strict_signature(&permuted.plan)
+        );
+    }
+}
